@@ -1,0 +1,30 @@
+//! Criterion bench: golden executor and analog functional executor on a
+//! CIFAR-scale ResNet-18.
+
+use aimc_dnn::{he_init, infer_golden, resnet18_cifar, AimcExecutor, Shape, Tensor};
+use aimc_xbar::XbarConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_dnn(c: &mut Criterion) {
+    let g = resnet18_cifar(10);
+    let w = he_init(&g, 0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let shape = Shape::new(3, 32, 32);
+    let x = Tensor::from_vec(
+        shape,
+        (0..shape.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    );
+    let mut group = c.benchmark_group("dnn");
+    group.sample_size(10);
+    group.bench_function("golden_resnet18_cifar", |b| {
+        b.iter(|| infer_golden(&g, &w, &x))
+    });
+    let mut exec = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 1).unwrap();
+    group.bench_function("analog_resnet18_cifar", |b| b.iter(|| exec.infer(&x)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dnn);
+criterion_main!(benches);

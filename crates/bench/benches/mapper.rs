@@ -1,0 +1,21 @@
+//! Criterion bench: mapping-compiler cost for the three strategies.
+
+use aimc_core::{map_network, MappingStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_mapper(c: &mut Criterion) {
+    let g = aimc_bench::paper_graph();
+    let arch = aimc_bench::paper_arch();
+    let mut group = c.benchmark_group("mapper");
+    for strategy in MappingStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("resnet18_256", strategy.label()),
+            &strategy,
+            |b, &s| b.iter(|| map_network(&g, &arch, s).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapper);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: interconnect transfer cost (reservation walk).
+
+use aimc_noc::{Endpoint, Noc, NocConfig, TxnKind};
+use aimc_sim::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_transfer");
+    group.bench_function("neighbor_4KiB", |b| {
+        let mut noc = Noc::new(NocConfig::paper_512());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            noc.transfer(
+                SimTime::from_ns(t),
+                TxnKind::Write,
+                Endpoint::Cluster(0),
+                Endpoint::Cluster(1),
+                4096,
+            )
+        })
+    });
+    group.bench_function("cross_chip_4KiB", |b| {
+        let mut noc = Noc::new(NocConfig::paper_512());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            noc.transfer(
+                SimTime::from_ns(t),
+                TxnKind::Write,
+                Endpoint::Cluster(0),
+                Endpoint::Cluster(511),
+                4096,
+            )
+        })
+    });
+    group.bench_function("hbm_read_4KiB", |b| {
+        let mut noc = Noc::new(NocConfig::paper_512());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            noc.transfer(
+                SimTime::from_ns(t),
+                TxnKind::Read,
+                Endpoint::Cluster(7),
+                Endpoint::Hbm,
+                4096,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfers);
+criterion_main!(benches);

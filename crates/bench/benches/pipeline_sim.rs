@@ -1,0 +1,24 @@
+//! Criterion bench: full-platform event simulation (512 clusters, batch 2).
+
+use aimc_core::{map_network, MappingStrategy};
+use aimc_runtime::simulate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sim(c: &mut Criterion) {
+    let g = aimc_bench::paper_graph();
+    let arch = aimc_bench::paper_arch();
+    let mut group = c.benchmark_group("pipeline_sim");
+    group.sample_size(10);
+    for strategy in MappingStrategy::ALL {
+        let m = map_network(&g, &arch, strategy).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("resnet18_batch2", strategy.label()),
+            &m,
+            |b, m| b.iter(|| simulate(&g, m, &arch, 2)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: analog MVM evaluation cost (functional model).
+
+use aimc_xbar::{Crossbar, XbarConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xbar_mvm");
+    for &size in &[64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w: Vec<f32> = (0..size * size).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x: Vec<f32> = (0..size).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ideal =
+            Crossbar::program(&XbarConfig::ideal(size, size), &w, size, size, &mut rng).unwrap();
+        let noisy =
+            Crossbar::program(&XbarConfig::hermes_256().with_size(size, size), &w, size, size, &mut rng)
+                .unwrap();
+        let mut out = vec![0.0f32; size];
+        group.bench_with_input(BenchmarkId::new("ideal", size), &size, |b, _| {
+            b.iter(|| ideal.mvm_into(&x, &mut out, &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("noisy", size), &size, |b, _| {
+            b.iter(|| noisy.mvm_into(&x, &mut out, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvm);
+criterion_main!(benches);

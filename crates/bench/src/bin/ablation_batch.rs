@@ -1,0 +1,35 @@
+//! Ablation: batch size. The paper's pipeline needs batches to fill
+//! (Sec. IV-3: "assuming the possibility of having large batches of images
+//! allows for the creation of the software pipeline"); this sweep shows
+//! throughput saturating as fill/drain amortize.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin ablation_batch
+//! ```
+
+use aimc_core::{map_network, MappingStrategy};
+use aimc_runtime::simulate;
+
+fn main() {
+    let g = aimc_bench::paper_graph();
+    let arch = aimc_bench::paper_arch();
+    let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).expect("mapping");
+    println!("Ablation — batch size on the final mapping\n");
+    println!(
+        "{:<7} {:>12} {:>10} {:>10} {:>14}",
+        "batch", "makespan", "TOPS", "img/s", "ms per image"
+    );
+    for batch in [1usize, 2, 4, 8, 16, 32] {
+        let r = simulate(&g, &m, &arch, batch);
+        println!(
+            "{:<7} {:>12} {:>10.2} {:>10.0} {:>14.3}",
+            batch,
+            r.makespan.to_string(),
+            r.tops(),
+            r.images_per_s(),
+            r.makespan.as_ms_f64() / batch as f64
+        );
+    }
+    println!("\nexpected shape: throughput rises with batch and saturates once the");
+    println!("pipeline fill/drain is amortized (the paper evaluates batch 16).");
+}

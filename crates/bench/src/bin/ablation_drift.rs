@@ -1,0 +1,55 @@
+//! Ablation: PCM conductance drift over deployment time. Non-volatile AIMC
+//! stores weights once and infers for months (Sec. I: parameters "do not
+//! need to be transferred from on- or off-chip storage"); drift slowly
+//! decays conductances as `g(t) = g₀ (t/t₀)^{-ν}`. This study measures
+//! classification agreement of the analog executor against the digital
+//! golden model as a function of time since programming.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin ablation_drift
+//! ```
+
+use aimc_dnn::{he_init, infer_golden, resnet18_cifar, AimcExecutor, Shape, Tensor};
+use aimc_xbar::XbarConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let graph = resnet18_cifar(10);
+    let weights = he_init(&graph, 42);
+    let mut rng = StdRng::seed_from_u64(9);
+    let n = 20;
+    let images: Vec<Tensor> = (0..n)
+        .map(|_| {
+            let s = Shape::new(3, 32, 32);
+            Tensor::from_vec(s, (0..s.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        })
+        .collect();
+    let golden: Vec<usize> = images
+        .iter()
+        .map(|x| infer_golden(&graph, &weights, x).argmax())
+        .collect();
+
+    println!("Ablation — PCM drift vs classification agreement ({n} inputs)\n");
+    println!("{:<22} {:>12} {:>12}", "time since program", "g decay", "agreement");
+    for (label, hours) in [
+        ("1 hour", 1.0),
+        ("1 day", 24.0),
+        ("1 month", 24.0 * 30.0),
+        ("1 year", 24.0 * 365.0),
+    ] {
+        let mut exec =
+            AimcExecutor::program(&graph, &weights, &XbarConfig::hermes_256(), 1).unwrap();
+        exec.apply_drift(hours);
+        let agree = images
+            .iter()
+            .zip(&golden)
+            .filter(|(x, &g)| exec.infer(&(*x).clone()).argmax() == g)
+            .count();
+        let decay = hours.max(1.0).powf(-XbarConfig::hermes_256().drift_nu);
+        println!("{:<22} {:>11.1}% {:>9}/{:<2}", label, decay * 100.0, agree, n);
+    }
+    println!("\nnote: uniform drift mostly rescales logits; agreement degrades slowly —");
+    println!("the known robustness of ratio-preserving drift (compensable by a single");
+    println!("per-layer gain, as HERMES-class systems do).");
+}

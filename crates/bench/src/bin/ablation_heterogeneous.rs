@@ -1,0 +1,72 @@
+//! Ablation: heterogeneous clusters (Sec. VI discussion). The paper
+//! suggests mitigating the "local mapping" inefficiency by provisioning
+//! *analog clusters* (IMA + one core) for analog-bound stages and *digital
+//! clusters* (16 cores, no IMA) for digital/reduction stages. This study
+//! re-costs the final ResNet-18 mapping under that provisioning and reports
+//! the area and area-efficiency gains.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin ablation_heterogeneous [batch]
+//! ```
+
+use aimc_core::{MappingStrategy, StageRole};
+use aimc_runtime::{AreaModel, ClusterVariant};
+
+fn main() {
+    let batch = aimc_bench::batch_from_args();
+    let (_, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, batch);
+    let area = AreaModel::default();
+
+    let mut counts = [(ClusterVariant::Full, 0usize),
+        (ClusterVariant::Analog, 0),
+        (ClusterVariant::Digital, 0),
+        (ClusterVariant::Memory, 0)];
+    let mut hetero_mm2 = 0.0;
+    for s in m.stages() {
+        let n = s.total_clusters();
+        // Analog stages with absorbed reduction levels still need the full
+        // core complex; pure-MVM stages can drop to a single control core.
+        let variant = match (&s.role, &s.analog) {
+            (StageRole::Analog, Some(a)) if a.reduction.absorbed_levels == 0
+                && s.digital_per_chunk.len() <= 1 =>
+            {
+                ClusterVariant::Analog
+            }
+            (StageRole::Analog, Some(_)) => ClusterVariant::Full,
+            (StageRole::Reduction { .. }, _) | (StageRole::Digital, _) => ClusterVariant::Digital,
+            _ => ClusterVariant::Full,
+        };
+        hetero_mm2 += n as f64 * area.variant_mm2(variant);
+        for c in counts.iter_mut() {
+            if c.0 == variant {
+                c.1 += n;
+            }
+        }
+    }
+    let n_storage = m.residuals.storage_clusters.len();
+    hetero_mm2 += n_storage as f64 * area.variant_mm2(ClusterVariant::Memory);
+    for c in counts.iter_mut() {
+        if c.0 == ClusterVariant::Memory {
+            c.1 += n_storage;
+        }
+    }
+
+    let homo_mm2 = m.n_clusters_used as f64 * area.cluster_mm2();
+    let gops = r.tops() * 1000.0;
+
+    println!("Ablation — heterogeneous cluster provisioning (batch {batch})\n");
+    println!("{:<10} {:>9} {:>12}", "variant", "clusters", "mm2 each");
+    for (v, n) in counts {
+        println!("{:<10} {:>9} {:>12.3}", format!("{v:?}"), n, area.variant_mm2(v));
+    }
+    println!(
+        "\nhomogeneous mapped area:   {homo_mm2:>8.1} mm2 -> {:.1} GOPS/mm2",
+        gops / homo_mm2
+    );
+    println!(
+        "heterogeneous mapped area: {hetero_mm2:>8.1} mm2 -> {:.1} GOPS/mm2 ({:.1}% smaller)",
+        gops / hetero_mm2,
+        100.0 * (1.0 - hetero_mm2 / homo_mm2)
+    );
+    println!("\n(the paper proposes exactly this split — Sec. VI, 'local mapping' discussion)");
+}

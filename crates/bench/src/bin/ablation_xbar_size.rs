@@ -1,0 +1,44 @@
+//! Ablation: crossbar array size (the Sec. VI discussion — "another
+//! approach could be to use larger IMA arrays. However, this would require
+//! more data transfers per cluster").
+//!
+//! Sweeps the IMA geometry and reports cluster usage, utilization and
+//! throughput on the paper workload.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin ablation_xbar_size [batch]
+//! ```
+
+use aimc_core::{map_network, MappingStrategy};
+use aimc_runtime::simulate;
+
+fn main() {
+    let batch = aimc_bench::batch_from_args().min(8);
+    let g = aimc_bench::paper_graph();
+    println!("Ablation — IMA crossbar size (batch {batch})\n");
+    println!(
+        "{:<10} {:>9} {:>12} {:>10} {:>10}",
+        "xbar", "clusters", "utilization", "TOPS", "img/s"
+    );
+    for size in [128usize, 256, 512, 1024] {
+        let mut arch = aimc_bench::paper_arch();
+        arch.cluster.ima.xbar.rows = size;
+        arch.cluster.ima.xbar.cols = size;
+        match map_network(&g, &arch, MappingStrategy::OnChipResiduals) {
+            Ok(m) => {
+                let r = simulate(&g, &m, &arch, batch);
+                println!(
+                    "{:<10} {:>9} {:>11.1}% {:>10.2} {:>10.0}",
+                    format!("{size}x{size}"),
+                    m.n_clusters_used,
+                    100.0 * m.local_mapping_utilization(size, size),
+                    r.tops(),
+                    r.images_per_s()
+                );
+            }
+            Err(e) => println!("{:<10} mapping failed: {e}", format!("{size}x{size}")),
+        }
+    }
+    println!("\nexpected shape: larger arrays need fewer clusters but waste cells (lower utilization);");
+    println!("smaller arrays multiply row splits and reduction stages.");
+}

@@ -1,0 +1,47 @@
+//! Deployment-cost study: one-time weight programming of the full mapping
+//! (the reason the paper's computational model is *statically* mapped,
+//! Sec. I) versus the recurring inference cost.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin deployment
+//! ```
+
+use aimc_core::MappingStrategy;
+use aimc_xbar::ProgrammingModel;
+
+fn main() {
+    let (g, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, 16);
+    let model = ProgrammingModel::default();
+
+    // Occupied cells per programmed array: every split of every lane of
+    // every analog stage holds its slice of the layer's weights.
+    let mut arrays: Vec<u64> = Vec::new();
+    for s in m.stages() {
+        if let Some(a) = &s.analog {
+            for _lane in 0..s.lanes {
+                for &rows in &a.split.rows_per_split {
+                    for &cols in &a.split.cols_per_split {
+                        arrays.push((rows * cols) as u64);
+                    }
+                }
+            }
+        }
+    }
+    let cost = model.deployment_cost(&arrays);
+
+    println!("Deployment (weight programming) vs inference — final mapping\n");
+    println!("network parameters:        {:>12.2} M", g.total_params() as f64 / 1e6);
+    println!("programmed cells:          {:>12.2} M (replicas included)", cost.cells as f64 / 1e6);
+    println!("programmed arrays:         {:>12}", arrays.len());
+    println!("deployment time:           {:>12.2} ms (arrays program in parallel)", cost.time_ms);
+    println!("deployment energy:         {:>12.2} mJ", cost.energy_mj);
+    println!();
+    println!("batch-16 inference:        {:>12.2} ms", r.makespan.as_ms_f64());
+    println!(
+        "deployment amortized after {:>12.0} images",
+        cost.time_ms / (r.makespan.as_ms_f64() / 16.0)
+    );
+    println!("\nthe write/read asymmetry (ms-scale programming vs 130 ns MVMs) is why");
+    println!("the paper maps layers statically and replicates rather than re-programs");
+    println!("(Sec. I / Sec. IV-1).");
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Fig. 2A/B** — the ResNet-18 DAG and its static mapping on
+//! the 512-cluster platform.
+//!
+//! ```text
+//! cargo run -p aimc-bench --bin fig2_mapping
+//! ```
+
+use aimc_core::{map_network, MappingStrategy};
+
+fn main() {
+    let g = aimc_bench::paper_graph();
+    let arch = aimc_bench::paper_arch();
+
+    println!("Fig. 2A — ResNet-18 DAG (node id, op, output shape, params):\n");
+    println!("{g}");
+    println!(
+        "total: {:.2} GMAC/image, {:.2} M parameters\n",
+        g.total_macs() as f64 / 1e9,
+        g.total_params() as f64 / 1e6
+    );
+
+    println!("Fig. 2B — mapping on the 512-cluster system (final strategy):\n");
+    let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).expect("mapping");
+    println!("{}", m.summary());
+    println!(
+        "residual storage: {:.2} MB staged on clusters {:?} (paper: ~1.6 MB, +2 clusters)",
+        m.residuals.total_bytes as f64 / (1024.0 * 1024.0),
+        m.residuals.storage_clusters,
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 5A** — throughput across the mapping optimizations:
+//! naive → data-replication/parallelization → on-chip residuals.
+//!
+//! The paper reports ≈1.6× for replication/parallelization and ≈1.9× for
+//! the on-chip residual placement; our factors are larger because the naive
+//! baseline is more unbalanced (see EXPERIMENTS.md §Fig. 5A).
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin fig5a_throughput [batch]
+//! ```
+
+use aimc_core::MappingStrategy;
+
+fn main() {
+    let batch = aimc_bench::batch_from_args();
+    println!("Fig. 5A — ResNet-18 throughput by mapping optimization (batch {batch})\n");
+    println!(
+        "{:<30} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "strategy", "clusters", "TOPS", "img/s", "gain", "cum."
+    );
+    let mut prev: Option<f64> = None;
+    let mut first: Option<f64> = None;
+    for strategy in MappingStrategy::ALL {
+        let (_, m, r) = aimc_bench::run_paper(strategy, batch);
+        let tops = r.tops();
+        let gain = prev.map_or(1.0, |p| tops / p);
+        let cum = first.map_or(1.0, |f| tops / f);
+        println!(
+            "{:<30} {:>9} {:>10.2} {:>10.0} {:>7.2}x {:>7.2}x",
+            strategy.label(),
+            m.n_clusters_used,
+            tops,
+            r.images_per_s(),
+            gain,
+            cum
+        );
+        prev = Some(tops);
+        first = first.or(Some(tops));
+    }
+    println!("\npaper gains: replication+parallelization 1.6x (+61 clusters), on-chip residuals 1.9x (+2 clusters)");
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 5B/C/D** — per-cluster execution-time breakdowns
+//! (compute / communication / synchronization / sleep) for the three
+//! mapping strategies. Writes one CSV per strategy next to the current
+//! directory and prints a compressed ASCII rendering.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin fig5bcd_breakdown [batch]
+//! ```
+
+use aimc_core::MappingStrategy;
+use aimc_runtime::report::{breakdown_ascii, breakdown_csv, run_summary};
+
+fn main() {
+    let batch = aimc_bench::batch_from_args();
+    for (fig, strategy) in [
+        ("5B", MappingStrategy::Naive),
+        ("5C", MappingStrategy::Balanced),
+        ("5D", MappingStrategy::OnChipResiduals),
+    ] {
+        let (_, m, r) = aimc_bench::run_paper(strategy, batch);
+        let csv = breakdown_csv(&r.clusters);
+        let path = format!("fig{fig}_breakdown.csv");
+        std::fs::write(&path, &csv).expect("write CSV");
+        println!(
+            "Fig. {fig} — {} ({} clusters) -> {path}",
+            strategy.label(),
+            m.n_clusters_used
+        );
+        println!("  {}", run_summary(&r));
+        println!("  per-cluster time ('#' compute, '~' comm+sync, '.' sleep):");
+        for line in breakdown_ascii(&r.clusters, 16, 48).lines() {
+            println!("  {line}");
+        }
+        let analog_bound = r.clusters.iter().filter(|c| c.analog_bound).count();
+        println!(
+            "  {} of {} clusters analog-bound (green in the paper), rest digital-bound\n",
+            analog_bound,
+            r.clusters.len()
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Fig. 6** — performance degradation from the 516-TOPS ideal
+//! through global mapping, local mapping, intra-layer unbalance and
+//! communication.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin fig6_waterfall [batch]
+//! ```
+
+use aimc_core::MappingStrategy;
+use aimc_runtime::Waterfall;
+
+fn main() {
+    let batch = aimc_bench::batch_from_args();
+    let (g, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, batch);
+    let w = Waterfall::compute(&g, &m, &aimc_bench::paper_arch(), &r);
+    println!("Fig. 6 — performance degradation by non-ideality (batch {batch})\n");
+    println!("{}", w.render());
+    let f = w.cumulative_factors();
+    println!(
+        "cumulative factors: global {:.1}x, local {:.1}x, unbalance {:.1}x, communication {:.1}x",
+        f[0], f[1], f[2], f[3]
+    );
+    println!("paper:              global 1.6x, local 4.7x, unbalance 23.8x, communication 28.4x");
+}

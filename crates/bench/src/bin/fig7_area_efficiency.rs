@@ -1,0 +1,32 @@
+//! Regenerates **Fig. 7** — area efficiency (GOPS/mm²) per layer group,
+//! communication inefficiencies excluded.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin fig7_area_efficiency
+//! ```
+
+use aimc_core::MappingStrategy;
+use aimc_runtime::{group_area_efficiency, AreaModel};
+
+fn main() {
+    let (g, m, _r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, 2);
+    let eff = group_area_efficiency(&g, &m, &aimc_bench::paper_arch(), &AreaModel::default());
+    println!("Fig. 7 — area efficiency per layer group (no communication)\n");
+    println!(
+        "{:<6} {:<12} {:>9} {:>12} {:>14}",
+        "group", "IFM shape", "clusters", "GOP/image", "GOPS/mm2"
+    );
+    let max = eff.iter().map(|e| e.gops_per_mm2).fold(0.0f64, f64::max);
+    for e in &eff {
+        let bar = "#".repeat(((e.gops_per_mm2 / max.max(1e-9)) * 40.0) as usize);
+        println!(
+            "{:<6} {:<12} {:>9} {:>12.3} {:>14.1}  {bar}",
+            e.group,
+            e.label,
+            e.clusters,
+            e.ops_per_image as f64 / 1e9,
+            e.gops_per_mm2
+        );
+    }
+    println!("\npaper: group 3 peaks (Layer 12 at 600 GOPS/mm2); group 5 lowest (~50 GOPS/mm2)");
+}

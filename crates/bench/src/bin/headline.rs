@@ -1,0 +1,30 @@
+//! Regenerates the **Sec. VI headline metrics**: TOPS, images/s, batch
+//! latency, energy, TOPS/W, GOPS/mm², clusters used — side by side with the
+//! paper's reported values.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin headline [batch]
+//! ```
+
+use aimc_core::MappingStrategy;
+use aimc_runtime::{AreaModel, EnergyModel, Headline};
+
+fn main() {
+    let batch = aimc_bench::batch_from_args();
+    let (_, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, batch);
+    let h = Headline::compute(
+        &m,
+        &aimc_bench::paper_arch(),
+        &r,
+        &EnergyModel::default(),
+        &AreaModel::default(),
+    );
+    println!("Headline — end-to-end ResNet-18 inference, batch {batch}\n");
+    println!("{}", h.render());
+    println!("energy breakdown [mJ]: analog {:.2}, digital {:.2}, noc {:.2}, hbm {:.2}, static {:.2}",
+        h.energy.analog_mj, h.energy.digital_mj, h.energy.noc_mj, h.energy.hbm_mj, h.energy.static_mj);
+    println!(
+        "\ncrossbar-executed throughput: {:.1} TOPS (full-array ops; nominal-op convention above)",
+        r.tops_executed()
+    );
+}

@@ -1,0 +1,49 @@
+//! Cross-network comparison: maps and executes several DNNs on the paper's
+//! platform — the generality the paper claims over VGG-only prior work
+//! (ISAAC, PUMA) by handling residual dataflow loops.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin networks [batch]
+//! ```
+
+use aimc_core::{map_network, MappingStrategy};
+use aimc_dnn::{mobilenet_v1_lite, resnet18, resnet34, vgg11, vgg16, Graph};
+use aimc_runtime::simulate;
+
+fn main() {
+    let batch = aimc_bench::batch_from_args().min(8);
+    let arch = aimc_bench::paper_arch();
+    let nets: Vec<(&str, Graph)> = vec![
+        ("resnet18@256", resnet18(256, 256, 1000)),
+        ("resnet34@256", resnet34(256, 256, 1000)),
+        ("vgg11@224", vgg11(224, 224, 1000)),
+        ("vgg16@224", vgg16(224, 224, 1000)),
+        ("mobilenetv1@224", mobilenet_v1_lite(224, 224, 1000)),
+    ];
+    println!("Cross-network mapping + execution (batch {batch})\n");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>10} {:>9} {:>10}",
+        "network", "GMAC/img", "params M", "clusters", "resid KB", "TOPS", "img/s"
+    );
+    for (name, g) in nets {
+        match map_network(&g, &arch, MappingStrategy::OnChipResiduals) {
+            Ok(m) => {
+                let r = simulate(&g, &m, &arch, batch);
+                println!(
+                    "{:<14} {:>9.2} {:>9.2} {:>9} {:>10.0} {:>9.2} {:>10.0}",
+                    name,
+                    g.total_macs() as f64 / 1e9,
+                    g.total_params() as f64 / 1e6,
+                    m.n_clusters_used,
+                    m.residuals.total_bytes as f64 / 1024.0,
+                    r.tops(),
+                    r.images_per_s()
+                );
+            }
+            Err(e) => println!("{:<14} does not map: {e}", name),
+        }
+    }
+    println!("\nVGG nets carry zero residual storage; ResNets pay for their skip edges —");
+    println!("the dataflow-loop handling that distinguishes this architecture from");
+    println!("pipelined VGG-only designs (Sec. I).");
+}

@@ -1,0 +1,10 @@
+//! Regenerates **Table I** — the architecture parameters of the platform.
+//!
+//! ```text
+//! cargo run -p aimc-bench --bin table1_params
+//! ```
+
+fn main() {
+    println!("Table I: GVSOC architecture parameters (reproduced platform)\n");
+    println!("{}", aimc_bench::paper_arch());
+}

@@ -1,0 +1,63 @@
+//! # aimc-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §2 for the
+//! experiment index) plus criterion microbenchmarks. This library crate
+//! holds the shared setup used by all of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aimc_core::{map_network, ArchConfig, MappingStrategy, SystemMapping};
+use aimc_dnn::{resnet18, Graph};
+use aimc_runtime::{simulate, RunReport};
+
+/// The paper's workload: ResNet-18 on 256×256 inputs, 1000 classes.
+pub fn paper_graph() -> Graph {
+    resnet18(256, 256, 1000)
+}
+
+/// The paper's platform (Table I).
+pub fn paper_arch() -> ArchConfig {
+    ArchConfig::paper()
+}
+
+/// Maps and simulates the paper workload with `strategy` for a batch.
+///
+/// # Panics
+/// Panics if mapping fails on the paper platform (it cannot, by test).
+pub fn run_paper(strategy: MappingStrategy, batch: usize) -> (Graph, SystemMapping, RunReport) {
+    let g = paper_graph();
+    let arch = paper_arch();
+    let m = map_network(&g, &arch, strategy).expect("paper workload must map");
+    let r = simulate(&g, &m, &arch, batch);
+    (g, m, r)
+}
+
+/// Reads the batch size from the first CLI argument (default 16, the
+/// paper's batch).
+pub fn batch_from_args() -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_is_consistent() {
+        let g = paper_graph();
+        assert_eq!(g.len(), 28);
+        assert_eq!(paper_arch().n_clusters(), 512);
+    }
+
+    #[test]
+    fn run_paper_small_batch() {
+        let (_, m, r) = run_paper(MappingStrategy::OnChipResiduals, 2);
+        assert!(m.n_clusters_used <= 512);
+        assert_eq!(r.batch, 2);
+        assert!(r.tops() > 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cluster configuration (Table I defaults).
+
+use aimc_xbar::XbarConfig;
+
+/// Configuration of the IMA subsystem around the crossbar (Fig. 1C):
+/// streamers, double-buffered I/O, and per-job control overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImaConfig {
+    /// The analog array (geometry, MVM latency, energy).
+    pub xbar: XbarConfig,
+    /// Streamer read ports between L1 and the input buffer (Table I: 16).
+    /// Each port moves one byte per cycle.
+    pub streamer_read_ports: usize,
+    /// Streamer write ports between the output buffer and L1 (Table I: 16).
+    pub streamer_write_ports: usize,
+    /// Control cycles to configure and trigger one job (address generators,
+    /// job registers; executed by the master core).
+    pub job_setup_cycles: u64,
+}
+
+impl Default for ImaConfig {
+    fn default() -> Self {
+        ImaConfig {
+            xbar: XbarConfig::hermes_256(),
+            streamer_read_ports: 16,
+            streamer_write_ports: 16,
+            job_setup_cycles: 64,
+        }
+    }
+}
+
+/// DMA engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaConfig {
+    /// Maximum bytes per AXI burst (segmentation granularity).
+    pub max_burst_bytes: usize,
+    /// Maximum outstanding bursts (documented limit; the transfer engine
+    /// serializes per-link anyway, so this bounds latency hiding toward
+    /// high-latency targets such as the HBM).
+    pub max_outstanding: usize,
+    /// Cycles for the core to program one DMA transfer descriptor.
+    pub setup_cycles: u64,
+}
+
+impl Default for DmaConfig {
+    fn default() -> Self {
+        DmaConfig {
+            max_burst_bytes: 1024,
+            max_outstanding: 8,
+            setup_cycles: 32,
+        }
+    }
+}
+
+/// Full cluster configuration (Fig. 1A): RISC-V cores + L1 TCDM + DMA + IMA.
+///
+/// # Examples
+/// ```
+/// use aimc_cluster::ClusterConfig;
+/// let c = ClusterConfig::paper();
+/// assert_eq!(c.n_cores, 16);
+/// assert_eq!(c.l1_bytes, 1024 * 1024);
+/// assert_eq!(c.ima.xbar.rows, 256);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// RISC-V cores per cluster (Table I: 16).
+    pub n_cores: usize,
+    /// L1 scratchpad capacity in bytes (Table I: 1 MB).
+    pub l1_bytes: usize,
+    /// TCDM banks (banking conflicts are folded into kernel cost constants).
+    pub l1_banks: usize,
+    /// The in-memory accelerator subsystem.
+    pub ima: ImaConfig,
+    /// The cluster DMA.
+    pub dma: DmaConfig,
+    /// Per-kernel-launch orchestration overhead in cycles: master-core event
+    /// waits, barrier, thread dispatch (Sec. IV-5 execution flow).
+    pub kernel_launch_cycles: u64,
+}
+
+impl ClusterConfig {
+    /// Table I configuration.
+    pub fn paper() -> Self {
+        ClusterConfig {
+            n_cores: 16,
+            l1_bytes: 1024 * 1024,
+            l1_banks: 32,
+            ima: ImaConfig::default(),
+            dma: DmaConfig::default(),
+            kernel_launch_cycles: 300,
+        }
+    }
+
+    /// Validates structural consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cores == 0 {
+            return Err("cluster needs at least one core".into());
+        }
+        if self.l1_bytes == 0 {
+            return Err("L1 must be non-empty".into());
+        }
+        if self.ima.streamer_read_ports == 0 || self.ima.streamer_write_ports == 0 {
+            return Err("streamers need at least one port".into());
+        }
+        if self.dma.max_burst_bytes == 0 || self.dma.max_outstanding == 0 {
+            return Err("DMA burst size and outstanding limit must be positive".into());
+        }
+        self.ima.xbar.validate()
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let c = ClusterConfig::paper();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.n_cores, 16);
+        assert_eq!(c.l1_bytes, 1 << 20);
+        assert_eq!(c.ima.streamer_read_ports, 16);
+        assert_eq!(c.ima.streamer_write_ports, 16);
+        assert_eq!(c.ima.xbar.mvm_latency_ns, 130.0);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = ClusterConfig::paper();
+        c.n_cores = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::paper();
+        c.l1_bytes = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::paper();
+        c.ima.streamer_read_ports = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::paper();
+        c.dma.max_outstanding = 0;
+        assert!(c.validate().is_err());
+        let mut c = ClusterConfig::paper();
+        c.ima.xbar.rows = 0;
+        assert!(c.validate().is_err());
+    }
+}

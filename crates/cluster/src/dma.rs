@@ -1,0 +1,108 @@
+//! DMA transfer segmentation.
+//!
+//! The cluster DMA moves tiles between L1s (and to/from HBM) as sequences of
+//! AXI bursts. Segmentation matters for timing: the HBM controller pays a
+//! per-burst row overhead, so the *number* of bursts — not only the byte
+//! count — determines the cost of scattered traffic (the naive residual
+//! placement of Sec. V-4).
+
+use crate::config::DmaConfig;
+
+/// A planned DMA transfer split into bursts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmaPlan {
+    /// Burst sizes in bytes, in issue order. All but the last equal the
+    /// configured maximum.
+    pub bursts: Vec<usize>,
+    /// Total bytes (sum of bursts).
+    pub total_bytes: usize,
+    /// Descriptor programming cycles (charged to the master core once).
+    pub setup_cycles: u64,
+}
+
+impl DmaPlan {
+    /// Number of bursts.
+    pub fn n_bursts(&self) -> usize {
+        self.bursts.len()
+    }
+}
+
+/// Splits a transfer of `bytes` into bursts according to `cfg`.
+///
+/// Zero-byte transfers produce an empty plan (no bursts, setup still paid —
+/// the descriptor is programmed before the size is known to be degenerate).
+///
+/// # Examples
+/// ```
+/// use aimc_cluster::{plan_transfer, DmaConfig};
+/// let cfg = DmaConfig::default(); // 1 KiB bursts
+/// let plan = plan_transfer(&cfg, 2500);
+/// assert_eq!(plan.bursts, vec![1024, 1024, 452]);
+/// assert_eq!(plan.total_bytes, 2500);
+/// ```
+pub fn plan_transfer(cfg: &DmaConfig, bytes: usize) -> DmaPlan {
+    let mut bursts = Vec::new();
+    let mut remaining = bytes;
+    while remaining > 0 {
+        let b = remaining.min(cfg.max_burst_bytes);
+        bursts.push(b);
+        remaining -= b;
+    }
+    DmaPlan {
+        bursts,
+        total_bytes: bytes,
+        setup_cycles: cfg.setup_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple_has_uniform_bursts() {
+        let cfg = DmaConfig {
+            max_burst_bytes: 256,
+            max_outstanding: 4,
+            setup_cycles: 32,
+        };
+        let p = plan_transfer(&cfg, 1024);
+        assert_eq!(p.bursts, vec![256; 4]);
+        assert_eq!(p.n_bursts(), 4);
+        assert_eq!(p.total_bytes, 1024);
+    }
+
+    #[test]
+    fn remainder_goes_last() {
+        let cfg = DmaConfig {
+            max_burst_bytes: 100,
+            max_outstanding: 4,
+            setup_cycles: 32,
+        };
+        let p = plan_transfer(&cfg, 250);
+        assert_eq!(p.bursts, vec![100, 100, 50]);
+    }
+
+    #[test]
+    fn small_transfer_is_single_burst() {
+        let p = plan_transfer(&DmaConfig::default(), 8);
+        assert_eq!(p.bursts, vec![8]);
+    }
+
+    #[test]
+    fn zero_bytes_is_empty_plan() {
+        let p = plan_transfer(&DmaConfig::default(), 0);
+        assert!(p.bursts.is_empty());
+        assert_eq!(p.total_bytes, 0);
+        assert_eq!(p.setup_cycles, DmaConfig::default().setup_cycles);
+    }
+
+    #[test]
+    fn burst_sum_equals_total() {
+        for bytes in [1usize, 1023, 1024, 1025, 123_456] {
+            let p = plan_transfer(&DmaConfig::default(), bytes);
+            assert_eq!(p.bursts.iter().sum::<usize>(), bytes);
+            assert!(p.bursts.iter().all(|&b| b <= 1024 && b > 0));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! IMA subsystem timing: the three-phase execution model of Fig. 3
+//! (stream-in → compute → stream-out) with double-buffered I/O.
+//!
+//! Per MVM:
+//! * **stream-in** moves `rows_used` activation bytes from L1 into the input
+//!   buffer through `streamer_read_ports` byte-per-cycle ports;
+//! * **compute** is the fixed analog latency (DAC + array + ADC, 130 ns);
+//! * **stream-out** moves `cols_used` result bytes back to L1.
+//!
+//! Because the buffers are duplicated ("double buffering, completely
+//! overlapping the cost of transfers … with the computation", Sec. IV-2),
+//! the steady-state issue interval is the *maximum* of the three phases, and
+//! a job of `n_mvm` products takes fill + (n−1)·interval + drain.
+
+use crate::config::ImaConfig;
+use aimc_sim::{Cycles, Frequency, SimTime};
+
+/// A batched IMA workload: `n_mvm` matrix-vector products against the
+/// currently programmed weights, each reading `rows_used` bytes and
+/// producing `cols_used` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImaJob {
+    /// Number of MVMs (output pixels in this tile).
+    pub n_mvm: u64,
+    /// Active word lines (bytes streamed in per MVM).
+    pub rows_used: usize,
+    /// Active bit lines (bytes streamed out per MVM).
+    pub cols_used: usize,
+}
+
+/// Timing/energy summary of one executed job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImaJobReport {
+    /// Total wall-clock time of the job, including setup.
+    pub duration: SimTime,
+    /// The steady-state issue interval between consecutive MVMs.
+    pub issue_interval: SimTime,
+    /// Whether the job is bound by the analog compute phase (vs streamers).
+    pub compute_bound: bool,
+    /// Energy of the job in nanojoules (array + converters + streamers).
+    pub energy_nj: f64,
+    /// Crossbar operations actually executed: `2·rows·cols` per MVM over the
+    /// *full* array (the device evaluates every cross point), used for the
+    /// "crossbar-executed TOPS" metric.
+    pub executed_ops: u64,
+    /// Useful operations: `2·rows_used·cols_used` per MVM.
+    pub useful_ops: u64,
+}
+
+/// The IMA timing model.
+///
+/// # Examples
+/// ```
+/// use aimc_cluster::{ImaConfig, ImaJob, ImaModel};
+/// use aimc_sim::Frequency;
+/// let ima = ImaModel::new(ImaConfig::default(), Frequency::from_ghz(1));
+/// let report = ima.run(ImaJob { n_mvm: 1024, rows_used: 256, cols_used: 256 });
+/// // 256x256 at 16B/cycle streamers: 16-cycle streams vs 130-cycle compute
+/// // ⇒ compute bound.
+/// assert!(report.compute_bound);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImaModel {
+    cfg: ImaConfig,
+    freq: Frequency,
+}
+
+impl ImaModel {
+    /// Creates the model for a cluster clock.
+    pub fn new(cfg: ImaConfig, freq: Frequency) -> Self {
+        ImaModel { cfg, freq }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ImaConfig {
+        &self.cfg
+    }
+
+    /// Stream-in time for one MVM.
+    pub fn stream_in(&self, rows_used: usize) -> SimTime {
+        let cycles = rows_used.div_ceil(self.cfg.streamer_read_ports) as u64;
+        self.freq.cycles_to_time(Cycles(cycles))
+    }
+
+    /// Stream-out time for one MVM.
+    pub fn stream_out(&self, cols_used: usize) -> SimTime {
+        let cycles = cols_used.div_ceil(self.cfg.streamer_write_ports) as u64;
+        self.freq.cycles_to_time(Cycles(cycles))
+    }
+
+    /// The analog compute phase (constant).
+    pub fn compute(&self) -> SimTime {
+        SimTime::from_ns_f64(self.cfg.xbar.mvm_latency_ns)
+    }
+
+    /// Executes a job analytically.
+    ///
+    /// # Panics
+    /// Panics if the job uses more rows/cols than the array provides, or is
+    /// empty — both are mapper bugs, not runtime conditions.
+    pub fn run(&self, job: ImaJob) -> ImaJobReport {
+        assert!(job.n_mvm > 0, "empty IMA job");
+        assert!(
+            job.rows_used <= self.cfg.xbar.rows && job.cols_used <= self.cfg.xbar.cols,
+            "job {}x{} exceeds array {}x{}",
+            job.rows_used,
+            job.cols_used,
+            self.cfg.xbar.rows,
+            self.cfg.xbar.cols
+        );
+        assert!(job.rows_used > 0 && job.cols_used > 0, "degenerate IMA job");
+
+        let t_in = self.stream_in(job.rows_used);
+        let t_cmp = self.compute();
+        let t_out = self.stream_out(job.cols_used);
+        let interval = t_in.max(t_cmp).max(t_out);
+
+        let setup = self.freq.cycles_to_time(Cycles(self.cfg.job_setup_cycles));
+        // Fill (first stream-in) + steady issue + drain (last compute+out).
+        let pipeline = t_in
+            + SimTime::from_ps(interval.as_ps() * (job.n_mvm - 1))
+            + t_cmp
+            + t_out;
+        let duration = setup + pipeline;
+
+        let full_cells = (self.cfg.xbar.rows * self.cfg.xbar.cols) as u64;
+        let used_cells = (job.rows_used * job.cols_used) as u64;
+        ImaJobReport {
+            duration,
+            issue_interval: interval,
+            compute_bound: t_cmp >= t_in && t_cmp >= t_out,
+            energy_nj: self.cfg.xbar.mvm_energy_nj * job.n_mvm as f64,
+            executed_ops: 2 * full_cells * job.n_mvm,
+            useful_ops: 2 * used_cells * job.n_mvm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ImaModel {
+        ImaModel::new(ImaConfig::default(), Frequency::from_ghz(1))
+    }
+
+    #[test]
+    fn full_array_job_is_compute_bound() {
+        let r = model().run(ImaJob {
+            n_mvm: 100,
+            rows_used: 256,
+            cols_used: 256,
+        });
+        assert!(r.compute_bound);
+        assert_eq!(r.issue_interval, SimTime::from_ns(130));
+        // setup 64 + fill 16 + 99*130 + 130 + 16 = 13096 ns... cycles at 1GHz.
+        assert_eq!(r.duration, SimTime::from_ns(64 + 16 + 99 * 130 + 130 + 16));
+    }
+
+    #[test]
+    fn single_mvm_has_no_steady_state() {
+        let m = model();
+        let r = m.run(ImaJob {
+            n_mvm: 1,
+            rows_used: 147, // the paper's Layer 0: 7*7*3
+            cols_used: 64,
+        });
+        // ceil(147/16)=10 in, 130 compute, ceil(64/16)=4 out, 64 setup.
+        assert_eq!(r.duration, SimTime::from_ns(64 + 10 + 130 + 4));
+        assert!(r.compute_bound);
+    }
+
+    #[test]
+    fn ops_accounting_distinguishes_useful_from_executed() {
+        let r = model().run(ImaJob {
+            n_mvm: 2,
+            rows_used: 147,
+            cols_used: 64,
+        });
+        assert_eq!(r.useful_ops, 2 * 2 * 147 * 64);
+        assert_eq!(r.executed_ops, 2 * 2 * 256 * 256);
+        assert!(r.useful_ops < r.executed_ops);
+    }
+
+    #[test]
+    fn throughput_matches_paper_peak() {
+        // 4096 MVMs at full occupancy in ~4096*130ns ⇒ ~1.008 TOPS.
+        let r = model().run(ImaJob {
+            n_mvm: 4096,
+            rows_used: 256,
+            cols_used: 256,
+        });
+        let tops = r.useful_ops as f64 / r.duration.as_s_f64() / 1e12;
+        assert!((tops - 1.008).abs() < 0.01, "got {tops} TOPS");
+    }
+
+    #[test]
+    fn streamer_bound_when_compute_is_fast() {
+        let mut cfg = ImaConfig::default();
+        cfg.xbar.mvm_latency_ns = 4.0; // hypothetical fast array
+        let m = ImaModel::new(cfg, Frequency::from_ghz(1));
+        let r = m.run(ImaJob {
+            n_mvm: 10,
+            rows_used: 256,
+            cols_used: 256,
+        });
+        assert!(!r.compute_bound);
+        assert_eq!(r.issue_interval, SimTime::from_ns(16)); // 256/16 ports
+    }
+
+    #[test]
+    fn energy_scales_with_mvm_count() {
+        let m = model();
+        let r1 = m.run(ImaJob {
+            n_mvm: 10,
+            rows_used: 64,
+            cols_used: 64,
+        });
+        let r2 = m.run(ImaJob {
+            n_mvm: 20,
+            rows_used: 64,
+            cols_used: 64,
+        });
+        assert!((r2.energy_nj - 2.0 * r1.energy_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds array")]
+    fn rejects_oversized_jobs() {
+        model().run(ImaJob {
+            n_mvm: 1,
+            rows_used: 257,
+            cols_used: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty IMA job")]
+    fn rejects_empty_jobs() {
+        model().run(ImaJob {
+            n_mvm: 0,
+            rows_used: 1,
+            cols_used: 1,
+        });
+    }
+}

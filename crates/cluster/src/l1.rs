@@ -1,0 +1,200 @@
+//! L1 TCDM buffer allocator.
+//!
+//! The mapper uses this to *prove* a tiling fits the 1 MB scratchpad
+//! (Sec. IV-4): every buffer a stage needs — double-buffered input and
+//! output tiles, partial-sum buffers, residual storage — is allocated by
+//! name, and over-subscription is a hard error at mapping time rather than a
+//! silent fiction at simulation time.
+
+use core::fmt;
+
+/// Error returned when a requested buffer exceeds the remaining capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L1Overflow {
+    /// Name of the buffer that failed to fit.
+    pub buffer: String,
+    /// Requested bytes.
+    pub requested: usize,
+    /// Bytes still free.
+    pub available: usize,
+    /// Total capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for L1Overflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 overflow: buffer '{}' needs {} B but only {} of {} B remain",
+            self.buffer, self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for L1Overflow {}
+
+/// A named allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L1Buffer {
+    /// Buffer name (diagnostics).
+    pub name: String,
+    /// Byte offset within the TCDM.
+    pub offset: usize,
+    /// Size in bytes.
+    pub bytes: usize,
+}
+
+/// Bump allocator over one cluster's L1.
+///
+/// # Examples
+/// ```
+/// use aimc_cluster::L1Allocator;
+/// let mut l1 = L1Allocator::new(1024);
+/// let a = l1.alloc("in_tile", 256)?;
+/// assert_eq!(a.offset, 0);
+/// let b = l1.alloc("out_tile", 512)?;
+/// assert_eq!(b.offset, 256);
+/// assert_eq!(l1.free_bytes(), 256);
+/// assert!(l1.alloc("too_big", 512).is_err());
+/// # Ok::<(), aimc_cluster::L1Overflow>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1Allocator {
+    capacity: usize,
+    used: usize,
+    buffers: Vec<L1Buffer>,
+}
+
+impl L1Allocator {
+    /// Creates an allocator over `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        L1Allocator {
+            capacity,
+            used: 0,
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Allocates `bytes` under `name`.
+    ///
+    /// Zero-byte allocations are legal and consume nothing (they appear in
+    /// the buffer list for completeness).
+    ///
+    /// # Errors
+    /// Returns [`L1Overflow`] if the buffer does not fit.
+    pub fn alloc(&mut self, name: &str, bytes: usize) -> Result<L1Buffer, L1Overflow> {
+        if bytes > self.capacity - self.used {
+            return Err(L1Overflow {
+                buffer: name.to_string(),
+                requested: bytes,
+                available: self.capacity - self.used,
+                capacity: self.capacity,
+            });
+        }
+        let buf = L1Buffer {
+            name: name.to_string(),
+            offset: self.used,
+            bytes,
+        };
+        self.used += bytes;
+        self.buffers.push(buf.clone());
+        Ok(buf)
+    }
+
+    /// Allocates a double-buffered pair (`name/0`, `name/1`) of `bytes` each.
+    ///
+    /// # Errors
+    /// Returns [`L1Overflow`] if either half does not fit.
+    pub fn alloc_double(&mut self, name: &str, bytes: usize) -> Result<(L1Buffer, L1Buffer), L1Overflow> {
+        let a = self.alloc(&format!("{name}/0"), bytes)?;
+        let b = self.alloc(&format!("{name}/1"), bytes)?;
+        Ok((a, b))
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes allocated so far.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes remaining.
+    pub fn free_bytes(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// All allocations, in allocation order.
+    pub fn buffers(&self) -> &[L1Buffer] {
+        &self.buffers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_is_contiguous() {
+        let mut l1 = L1Allocator::new(100);
+        let a = l1.alloc("a", 30).unwrap();
+        let b = l1.alloc("b", 30).unwrap();
+        assert_eq!((a.offset, b.offset), (0, 30));
+        assert_eq!(l1.used_bytes(), 60);
+        assert_eq!(l1.free_bytes(), 40);
+        assert!((l1.occupancy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_reports_context() {
+        let mut l1 = L1Allocator::new(64);
+        l1.alloc("x", 60).unwrap();
+        let err = l1.alloc("big", 10).unwrap_err();
+        assert_eq!(err.requested, 10);
+        assert_eq!(err.available, 4);
+        assert_eq!(err.capacity, 64);
+        assert!(err.to_string().contains("big"));
+        // Failed allocation leaves state untouched.
+        assert_eq!(l1.used_bytes(), 60);
+    }
+
+    #[test]
+    fn double_buffers_allocate_two_halves() {
+        let mut l1 = L1Allocator::new(1000);
+        let (a, b) = l1.alloc_double("tile", 100).unwrap();
+        assert_eq!(a.name, "tile/0");
+        assert_eq!(b.name, "tile/1");
+        assert_eq!(b.offset, 100);
+        assert_eq!(l1.used_bytes(), 200);
+        assert!(l1.alloc_double("huge", 500).is_err());
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut l1 = L1Allocator::new(10);
+        assert!(l1.alloc("all", 10).is_ok());
+        assert_eq!(l1.free_bytes(), 0);
+        assert!(l1.alloc("none", 0).is_ok());
+        assert!(l1.alloc("one", 1).is_err());
+    }
+
+    #[test]
+    fn buffer_list_tracks_names() {
+        let mut l1 = L1Allocator::new(100);
+        l1.alloc("first", 1).unwrap();
+        l1.alloc("second", 2).unwrap();
+        let names: Vec<&str> = l1.buffers().iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+}

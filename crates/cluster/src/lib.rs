@@ -1,0 +1,39 @@
+//! # aimc-cluster — heterogeneous cluster model
+//!
+//! Timing models of everything inside one cluster of the architecture
+//! (Fig. 1A/C of the paper): the IMA subsystem (streamers, double-buffered
+//! I/O, the three-phase stream-in/compute/stream-out execution of Fig. 3),
+//! the 16-core SPMD digital engine with per-kernel cycle cost models, the
+//! 1 MB L1 TCDM (as a capacity-checked allocator for the mapper), and DMA
+//! burst segmentation.
+//!
+//! The cluster pieces are *passive* analytical models: the pipelined,
+//! self-timed composition across 512 clusters happens in `aimc-runtime` on
+//! top of the `aimc-sim` event kernel.
+//!
+//! ## Example
+//! ```
+//! use aimc_cluster::{ClusterConfig, ImaJob, ImaModel};
+//! use aimc_sim::Frequency;
+//!
+//! let cfg = ClusterConfig::paper();
+//! let ima = ImaModel::new(cfg.ima.clone(), Frequency::from_ghz(1));
+//! // One tile of the paper's Layer 2 (3x3 conv, 64ch, 192-row split):
+//! let report = ima.run(ImaJob { n_mvm: 512, rows_used: 192, cols_used: 64 });
+//! assert!(report.compute_bound); // 130 ns dominates 12-cycle streams
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dma;
+mod ima;
+mod kernels;
+mod l1;
+
+pub use config::{ClusterConfig, DmaConfig, ImaConfig};
+pub use dma::{plan_transfer, DmaPlan};
+pub use ima::{ImaJob, ImaJobReport, ImaModel};
+pub use kernels::{DigitalEngine, DigitalKernel, KernelReport};
+pub use l1::{L1Allocator, L1Buffer, L1Overflow};

@@ -1,0 +1,108 @@
+//! Property-based tests for the cluster timing models.
+
+use aimc_cluster::{
+    plan_transfer, ClusterConfig, DigitalEngine, DigitalKernel, DmaConfig, ImaConfig, ImaJob,
+    ImaModel, L1Allocator,
+};
+use aimc_sim::Frequency;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// IMA job duration is monotone in every workload dimension and the
+    /// issue interval never falls below the analog latency floor when
+    /// compute-bound.
+    #[test]
+    fn ima_duration_is_monotone(
+        n_mvm in 1u64..5000,
+        rows in 1usize..=256,
+        cols in 1usize..=256,
+    ) {
+        let m = ImaModel::new(ImaConfig::default(), Frequency::from_ghz(1));
+        let base = m.run(ImaJob { n_mvm, rows_used: rows, cols_used: cols });
+        let more_mvms = m.run(ImaJob { n_mvm: n_mvm + 1, rows_used: rows, cols_used: cols });
+        prop_assert!(more_mvms.duration > base.duration);
+        if rows < 256 {
+            let more_rows = m.run(ImaJob { n_mvm, rows_used: rows + 1, cols_used: cols });
+            prop_assert!(more_rows.duration >= base.duration);
+        }
+        prop_assert!(base.issue_interval >= m.stream_in(rows).min(m.compute()));
+        prop_assert!(base.useful_ops <= base.executed_ops);
+    }
+
+    /// Energy is exactly linear in the MVM count.
+    #[test]
+    fn ima_energy_linear(n in 1u64..10_000, rows in 1usize..=256, cols in 1usize..=256) {
+        let m = ImaModel::new(ImaConfig::default(), Frequency::from_ghz(1));
+        let one = m.run(ImaJob { n_mvm: 1, rows_used: rows, cols_used: cols }).energy_nj;
+        let many = m.run(ImaJob { n_mvm: n, rows_used: rows, cols_used: cols }).energy_nj;
+        prop_assert!((many - one * n as f64).abs() < 1e-6);
+    }
+
+    /// Digital kernels: more cores never slow a kernel down; duration is
+    /// monotone in element count.
+    #[test]
+    fn kernels_scale_sanely(
+        elems in 1u64..1_000_000,
+        cores in 1usize..64,
+    ) {
+        let f = Frequency::from_ghz(1);
+        let e1 = DigitalEngine::new(cores, 300, f);
+        let e2 = DigitalEngine::new(cores * 2, 300, f);
+        for k in [
+            DigitalKernel::ResidualAdd { elems },
+            DigitalKernel::MaxPool { elems, k: 3 },
+            DigitalKernel::AvgPool { elems },
+            DigitalKernel::Requantize { elems },
+        ] {
+            let a = e1.run(k);
+            let b = e2.run(k);
+            prop_assert!(b.duration <= a.duration, "{:?}", k);
+            prop_assert!(a.core_cycles >= 300);
+        }
+        let small = e1.run(DigitalKernel::ResidualAdd { elems });
+        let large = e1.run(DigitalKernel::ResidualAdd { elems: elems + 1000 });
+        prop_assert!(large.duration >= small.duration);
+    }
+
+    /// DMA plans tile the transfer exactly with maximal bursts.
+    #[test]
+    fn dma_plans_partition(bytes in 0usize..1_000_000, burst in 1usize..8192) {
+        let cfg = DmaConfig { max_burst_bytes: burst, max_outstanding: 8, setup_cycles: 32 };
+        let p = plan_transfer(&cfg, bytes);
+        prop_assert_eq!(p.bursts.iter().sum::<usize>(), bytes);
+        prop_assert!(p.bursts.iter().all(|&b| b > 0 && b <= burst));
+        // All but the last burst are maximal.
+        if p.bursts.len() > 1 {
+            prop_assert!(p.bursts[..p.bursts.len() - 1].iter().all(|&b| b == burst));
+        }
+        prop_assert_eq!(p.n_bursts(), bytes.div_ceil(burst.max(1)));
+    }
+
+    /// The L1 allocator never over-commits and offsets never overlap.
+    #[test]
+    fn l1_allocations_never_overlap(sizes in prop::collection::vec(0usize..300_000, 1..20)) {
+        let mut l1 = L1Allocator::new(1 << 20);
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            if let Ok(buf) = l1.alloc(&format!("b{i}"), sz) {
+                spans.push((buf.offset, buf.offset + buf.bytes));
+            }
+        }
+        prop_assert!(l1.used_bytes() <= l1.capacity());
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+        }
+    }
+
+    /// Cluster config validation never panics, and the paper config plus
+    /// arbitrary positive tweaks stays valid.
+    #[test]
+    fn config_validation_total(cores in 1usize..64, l1_kb in 1usize..4096) {
+        let mut c = ClusterConfig::paper();
+        c.n_cores = cores;
+        c.l1_bytes = l1_kb * 1024;
+        prop_assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,179 @@
+//! Whole-platform architecture configuration (Table I).
+
+use aimc_cluster::ClusterConfig;
+use aimc_noc::NocConfig;
+use aimc_sim::Frequency;
+use core::fmt;
+
+/// Aggregate configuration of the massively parallel platform.
+///
+/// # Examples
+/// ```
+/// use aimc_core::ArchConfig;
+/// let a = ArchConfig::paper();
+/// assert_eq!(a.n_clusters(), 512);
+/// assert!((a.ideal_tops() - 516.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// Per-cluster configuration (cores, L1, IMA, DMA).
+    pub cluster: ClusterConfig,
+    /// Interconnect + HBM configuration; also defines the cluster count.
+    pub noc: NocConfig,
+    /// Platform clock (Table I: 1 GHz).
+    pub frequency: Frequency,
+}
+
+impl ArchConfig {
+    /// The paper's platform: 512 clusters, Table I parameters.
+    pub fn paper() -> Self {
+        ArchConfig {
+            cluster: ClusterConfig::paper(),
+            noc: NocConfig::paper_512(),
+            frequency: Frequency::from_ghz(1),
+        }
+    }
+
+    /// A reduced platform for fast tests: `4 × l1_count` clusters with the
+    /// same cluster internals.
+    pub fn small(clusters_per_l1: usize, l1_count: usize) -> Self {
+        ArchConfig {
+            cluster: ClusterConfig::paper(),
+            noc: NocConfig::small(clusters_per_l1, l1_count),
+            frequency: Frequency::from_ghz(1),
+        }
+    }
+
+    /// Number of clusters (leaves of the quadrant tree).
+    pub fn n_clusters(&self) -> usize {
+        self.noc.n_clusters()
+    }
+
+    /// Total RISC-V cores.
+    pub fn n_cores(&self) -> usize {
+        self.n_clusters() * self.cluster.n_cores
+    }
+
+    /// Parameters storable per IMA ("64 K parameters" for 256×256).
+    pub fn params_per_ima(&self) -> usize {
+        self.cluster.ima.xbar.capacity_weights()
+    }
+
+    /// Peak platform throughput with every IMA at full occupancy — the
+    /// "ideal" bar of Fig. 6, in TOPS.
+    pub fn ideal_tops(&self) -> f64 {
+        self.n_clusters() as f64 * self.cluster.ima.xbar.peak_ops_per_s() / 1e12
+    }
+
+    /// Validates all nested configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        self.cluster.validate()?;
+        self.noc.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl fmt::Display for ArchConfig {
+    /// Renders Table I.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qf: Vec<String> = self
+            .noc
+            .quadrant_factors
+            .iter()
+            .rev()
+            .map(|x| x.to_string())
+            .collect();
+        let lat: Vec<String> = std::iter::once(self.noc.hbm.latency_cycles)
+            .chain(self.noc.router_latency_cycles.iter().rev().copied())
+            .map(|x| x.to_string())
+            .collect();
+        let wid: Vec<String> = std::iter::once(self.noc.hbm.width_bytes)
+            .chain(self.noc.link_width_bytes.iter().rev().copied())
+            .map(|x| x.to_string())
+            .collect();
+        writeln!(f, "Number of clusters                {}", self.n_clusters())?;
+        writeln!(f, "Number of IMA per cluster         1")?;
+        writeln!(f, "Number of CORES per cluster       {}", self.cluster.n_cores)?;
+        writeln!(
+            f,
+            "L1 memory size                    {} MB",
+            self.cluster.l1_bytes / (1024 * 1024)
+        )?;
+        writeln!(
+            f,
+            "HBM size                          {:.1} GB",
+            self.noc.hbm.capacity_bytes as f64 / (1024.0 * 1024.0 * 1024.0)
+        )?;
+        writeln!(f, "Operating frequency               {}", self.frequency)?;
+        writeln!(
+            f,
+            "Streamer ports (read and write)   {}",
+            self.cluster.ima.streamer_read_ports
+        )?;
+        writeln!(
+            f,
+            "IMA crossbar size                 {}x{}",
+            self.cluster.ima.xbar.rows, self.cluster.ima.xbar.cols
+        )?;
+        writeln!(
+            f,
+            "Analog latency (MVM operation)    {} ns",
+            self.cluster.ima.xbar.mvm_latency_ns
+        )?;
+        writeln!(
+            f,
+            "Quadrant factor (HBM,wr,L3,L2,L1) (1,{})",
+            qf.join(",")
+        )?;
+        writeln!(
+            f,
+            "Data width (HBM,wr,L3,L2,L1)      ({}) Bytes",
+            wid.join(",")
+        )?;
+        writeln!(f, "Latency (HBM,wr,L3,L2,L1)         ({}) cycles", lat.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let a = ArchConfig::paper();
+        assert!(a.validate().is_ok());
+        assert_eq!(a.n_clusters(), 512);
+        assert_eq!(a.n_cores(), 8192);
+        assert_eq!(a.params_per_ima(), 65_536);
+    }
+
+    #[test]
+    fn ideal_tops_is_fig6_ideal_bar() {
+        let a = ArchConfig::paper();
+        assert!((a.ideal_tops() - 516.1).abs() < 0.5, "{}", a.ideal_tops());
+    }
+
+    #[test]
+    fn table_render_contains_key_rows() {
+        let s = ArchConfig::paper().to_string();
+        assert!(s.contains("512"));
+        assert!(s.contains("256x256"));
+        assert!(s.contains("130 ns"));
+        assert!(s.contains("(1,8,4,4,4)"));
+        assert!(s.contains("(100,4,4,4,4)"));
+        assert!(s.contains("(64,64,64,64,64)"));
+    }
+
+    #[test]
+    fn small_config_shrinks_cluster_count() {
+        let a = ArchConfig::small(4, 4);
+        assert_eq!(a.n_clusters(), 16);
+        assert!(a.validate().is_ok());
+    }
+}

@@ -1,0 +1,208 @@
+//! Analytic per-stage latency estimation.
+//!
+//! Used twice: by the pipeline balancer (Sec. V-2 — replication levels are
+//! chosen from these estimates) and by the Fig. 6 "intra-layer unbalance"
+//! analysis (pipeline throughput bound by the slowest stage, communication
+//! excluded).
+
+use crate::arch::ArchConfig;
+use crate::stage::{Stage, StageRole};
+use aimc_cluster::{DigitalEngine, ImaModel};
+use aimc_sim::{Cycles, SimTime};
+
+/// Per-chunk timing of one stage lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Analog (IMA) time per chunk, zero if no analog part.
+    pub analog: SimTime,
+    /// Digital (CORES) time per chunk.
+    pub digital: SimTime,
+    /// Lane occupancy per chunk: IMA and CORES overlap across consecutive
+    /// chunks (Sec. IV-5), so the steady-state service is their maximum.
+    pub service: SimTime,
+    /// Chunk latency through the lane: analog then digital, sequential for
+    /// any *single* chunk.
+    pub latency: SimTime,
+}
+
+/// Computes the per-chunk timing of `stage` on the given architecture.
+pub fn stage_chunk_timing(stage: &Stage, arch: &ArchConfig) -> StageTiming {
+    let analog = match &stage.analog {
+        Some(part) => {
+            let ima = ImaModel::new(arch.cluster.ima.clone(), arch.frequency);
+            ima.run(part.job).duration
+        }
+        None => SimTime::ZERO,
+    };
+    let digital = if stage.digital_per_chunk.is_empty() {
+        SimTime::ZERO
+    } else {
+        let eng = DigitalEngine::new(
+            arch.cluster.n_cores,
+            arch.cluster.kernel_launch_cycles,
+            arch.frequency,
+        );
+        eng.run_all(&stage.digital_per_chunk).duration
+    };
+    let source = if matches!(stage.role, StageRole::Source) {
+        // The source streams image chunks from HBM: its service is the HBM
+        // channel occupancy for one chunk.
+        let bytes = stage.tiling.out_tile_bytes();
+        let beats = bytes.div_ceil(arch.noc.hbm.width_bytes) as u64;
+        arch.frequency
+            .cycles_to_time(Cycles(arch.noc.hbm.row_overhead_cycles + beats))
+    } else {
+        SimTime::ZERO
+    };
+    let service = analog.max(digital).max(source);
+    StageTiming {
+        analog,
+        digital,
+        service,
+        latency: analog + digital,
+    }
+}
+
+/// Per-image stage occupancy: `chunks_per_image × service / lanes`.
+///
+/// This is the quantity the pipeline balancer equalizes; the slowest stage
+/// bounds steady-state throughput.
+pub fn stage_time_per_image(stage: &Stage, arch: &ArchConfig) -> SimTime {
+    let t = stage_chunk_timing(stage, arch);
+    let total = t.service.as_ps() * stage.tiling.chunks_per_image as u64;
+    SimTime::from_ps(total / stage.lanes as u64)
+}
+
+/// The pipeline's estimated steady-state bottleneck (slowest stage per
+/// image), ignoring communication — Fig. 6's "intra-layer unbalance" level.
+pub fn bottleneck_per_image(stages: &[Stage], arch: &ArchConfig) -> SimTime {
+    stages
+        .iter()
+        .map(|s| stage_time_per_image(s, arch))
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::ReductionPlan;
+    use crate::split::SplitPlan;
+    use crate::stage::{AnalogPart, Stage, StageRole};
+    use crate::tiling::Tiling;
+    use aimc_cluster::{DigitalKernel, ImaJob};
+    use aimc_dnn::Shape;
+
+    fn analog_stage(lanes: usize) -> Stage {
+        let split = SplitPlan::for_matrix(576, 64, 256, 256);
+        let tiling = Tiling::plan(Shape::new(64, 64, 64), Shape::new(64, 64, 64), 3, 1);
+        Stage {
+            id: 1,
+            node: 2,
+            name: "conv2".into(),
+            role: StageRole::Analog,
+            tiling,
+            analog: Some(AnalogPart {
+                job: ImaJob {
+                    n_mvm: tiling.mvms_per_chunk(),
+                    rows_used: split.max_rows(),
+                    cols_used: split.max_cols(),
+                },
+                split,
+                reduction: ReductionPlan::new(3, 4),
+            }),
+            digital_per_chunk: vec![DigitalKernel::Requantize { elems: 16384 }],
+            lanes,
+            lane_clusters: 3,
+            clusters: vec![],
+            producers: vec![],
+            group: 2,
+        }
+    }
+
+    #[test]
+    fn analog_stage_is_mvm_bound() {
+        let t = stage_chunk_timing(&analog_stage(1), &ArchConfig::paper());
+        // 256 MVMs × 130 ns ≈ 33 µs dominates the digital requantize.
+        assert!(t.analog > SimTime::from_us(30), "{}", t.analog);
+        assert!(t.digital < t.analog);
+        assert_eq!(t.service, t.analog);
+        assert_eq!(t.latency, t.analog + t.digital);
+    }
+
+    #[test]
+    fn replication_divides_per_image_time() {
+        let arch = ArchConfig::paper();
+        let t1 = stage_time_per_image(&analog_stage(1), &arch);
+        let t4 = stage_time_per_image(&analog_stage(4), &arch);
+        assert_eq!(t1.as_ps(), 4 * t4.as_ps());
+    }
+
+    #[test]
+    fn per_image_time_matches_paper_unbalance_scale() {
+        // A 64-channel conv at 64x64 with no replication: 4096 MVMs ⇒
+        // ≈0.53 ms/image — the "first layers dominate" effect of Fig. 5B.
+        let arch = ArchConfig::paper();
+        let t = stage_time_per_image(&analog_stage(1), &arch);
+        let ms = t.as_ms_f64();
+        assert!((0.5..0.62).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn digital_stage_service_is_kernel_time() {
+        let tiling = Tiling::plan(Shape::new(64, 128, 128), Shape::new(64, 64, 64), 3, 2);
+        let s = Stage {
+            id: 2,
+            node: 1,
+            name: "pool1".into(),
+            role: StageRole::Digital,
+            tiling,
+            analog: None,
+            digital_per_chunk: vec![DigitalKernel::MaxPool {
+                elems: tiling.mvms_per_chunk() * 64,
+                k: 3,
+            }],
+            lanes: 1,
+            lane_clusters: 1,
+            clusters: vec![],
+            producers: vec![],
+            group: 1,
+        };
+        let t = stage_chunk_timing(&s, &ArchConfig::paper());
+        assert_eq!(t.analog, SimTime::ZERO);
+        assert_eq!(t.service, t.digital);
+        assert!(t.digital > SimTime::ZERO);
+    }
+
+    #[test]
+    fn source_stage_rate_is_hbm_bound() {
+        let tiling = Tiling::plan(Shape::new(3, 256, 256), Shape::new(3, 256, 256), 1, 1);
+        let s = Stage {
+            id: 0,
+            node: 0,
+            name: "source".into(),
+            role: StageRole::Source,
+            tiling,
+            analog: None,
+            digital_per_chunk: vec![],
+            lanes: 1,
+            lane_clusters: 0,
+            clusters: vec![],
+            producers: vec![],
+            group: 0,
+        };
+        let arch = ArchConfig::paper();
+        let t = stage_chunk_timing(&s, &arch);
+        // 3*256*16 = 12288 bytes / 64 B per cycle + 24 row overhead = 216 cyc.
+        assert_eq!(t.service, SimTime::from_ns(216));
+    }
+
+    #[test]
+    fn bottleneck_takes_the_max() {
+        let arch = ArchConfig::paper();
+        let fast = analog_stage(16);
+        let slow = analog_stage(1);
+        let b = bottleneck_per_image(&[fast.clone(), slow.clone()], &arch);
+        assert_eq!(b, stage_time_per_image(&slow, &arch));
+    }
+}

@@ -1,0 +1,59 @@
+//! # aimc-core — the mapping compiler
+//!
+//! This crate implements the paper's central contribution: the computational
+//! model and static mapping that lower an end-to-end DNN onto a massively
+//! parallel heterogeneous AIMC platform (Secs. IV and V):
+//!
+//! * [`SplitPlan`] — multi-cluster layer splitting: row splits with partial
+//!   reduction, column splits with input broadcast (Sec. V-1);
+//! * [`ReductionPlan`] — pipelined logarithmic reduction trees, with the
+//!   first levels absorbed by the producer clusters' idle cores (Sec. V-3);
+//! * [`Tiling`] — W-dimension data tiling under the 1 MB L1 budget, with the
+//!   batch as the implicit continuation of W (Sec. IV-4);
+//! * data replication and digital parallelization via a greedy pipeline
+//!   balancer (Sec. V-2);
+//! * residual lifetime management: HBM vs spare-cluster L1 (Sec. V-4);
+//! * [`ArchConfig`] — the Table I platform description.
+//!
+//! The output, a [`SystemMapping`], is a fully placed pipeline (stages →
+//! lanes → physical clusters, plus inter-stage edges with byte counts and
+//! chunk-dependency metadata) that `aimc-runtime` executes on the
+//! event-driven platform simulator.
+//!
+//! ## Example
+//! ```
+//! use aimc_core::{map_network, ArchConfig, MappingStrategy};
+//! use aimc_dnn::resnet18;
+//!
+//! # fn main() -> Result<(), aimc_core::MapError> {
+//! let graph = resnet18(256, 256, 1000);
+//! let mapping = map_network(&graph, &ArchConfig::paper(), MappingStrategy::OnChipResiduals)?;
+//! println!("{}", mapping.summary());
+//! assert!(mapping.n_clusters_used <= 512);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod estimate;
+mod mapping;
+mod reduction;
+mod split;
+mod stage;
+mod strategy;
+mod tiling;
+
+pub use arch::ArchConfig;
+pub use estimate::{bottleneck_per_image, stage_chunk_timing, stage_time_per_image, StageTiming};
+pub use mapping::{map_network, MapError, RESIDUAL_INFLIGHT_FACTOR};
+pub use reduction::ReductionPlan;
+pub use split::SplitPlan;
+pub use stage::{
+    AnalogPart, ClusterId, EdgeKind, EdgeSpec, ResidualReport, ResidualRoute, Stage, StageId,
+    StageRole, SystemMapping,
+};
+pub use strategy::MappingStrategy;
+pub use tiling::{Tiling, MAX_CHUNKS_PER_IMAGE};

@@ -1,0 +1,832 @@
+//! The mapping compiler: lowers a DNN graph onto the many-core platform.
+//!
+//! Pipeline (Sec. IV/V of the paper):
+//!
+//! 1. **Stage construction** — every graph node becomes an analog or digital
+//!    pipeline stage (multi-cluster split per Sec. V-1), followed by its
+//!    dedicated reduction-tree levels (Sec. V-3). A source stage streams
+//!    input chunks from HBM.
+//! 2. **Balancing** (strategies with replication, Sec. V-2) — a greedy
+//!    balancer adds data-replication lanes to the slowest stage until that
+//!    stage is capped (replication cannot exceed the chunk parallelism) or
+//!    the cluster budget is exhausted.
+//! 3. **Residual placement** (Sec. V-4) — skip edges are routed through HBM
+//!    (naive) or through spare clusters' L1 (final strategy).
+//! 4. **Placement** — stages receive consecutive physical cluster ids in
+//!    pipeline order (the x-axis layout of Fig. 5B/C/D), and every stage's
+//!    tile set is proven to fit the 1 MB L1.
+
+use crate::arch::ArchConfig;
+use crate::estimate::stage_time_per_image;
+use crate::reduction::ReductionPlan;
+use crate::split::SplitPlan;
+use crate::stage::{
+    AnalogPart, EdgeKind, EdgeSpec, ResidualReport, ResidualRoute, Stage, StageId, StageRole,
+    SystemMapping,
+};
+use crate::strategy::MappingStrategy;
+use crate::tiling::Tiling;
+use aimc_cluster::{DigitalKernel, ImaJob, L1Overflow};
+use aimc_dnn::{layer_group, Graph, LayerKind, Shape};
+use core::fmt;
+
+/// Multiplier converting per-image residual footprints into in-flight bytes:
+/// with double-buffered chunk flow roughly 1.4 images of each skip tensor
+/// are alive at once (producer side + consumer side + chunk skew). The paper
+/// reports 1.6 MB for ResNet-18, which this factor reproduces (1184 KiB of
+/// skip OFMs × 1.4 ≈ 1.62 MB).
+pub const RESIDUAL_INFLIGHT_FACTOR: f64 = 1.4;
+
+/// Errors from the mapping compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// The mapping needs more clusters than the platform provides.
+    OutOfClusters {
+        /// Clusters required.
+        needed: usize,
+        /// Clusters available.
+        available: usize,
+    },
+    /// A stage's working set cannot fit the L1.
+    L1 {
+        /// Offending stage name.
+        stage: String,
+        /// The allocation failure.
+        overflow: L1Overflow,
+    },
+    /// The graph contains an operator the mapper does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::OutOfClusters { needed, available } => {
+                write!(f, "mapping needs {needed} clusters, platform has {available}")
+            }
+            MapError::L1 { stage, overflow } => write!(f, "stage {stage}: {overflow}"),
+            MapError::Unsupported(s) => write!(f, "unsupported operator: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Maximum data-replication lanes per stage: a lane serves chunks
+/// `k ≡ lane (mod lanes)`, so replication beyond the per-image chunk count
+/// stops helping single-image latency and is disallowed (this is also what
+/// bounds the paper's Layer-0 replication).
+fn lane_cap(stage: &Stage) -> usize {
+    stage.tiling.chunks_per_image
+}
+
+/// Chooses a tiling whose per-cluster working set fits the L1, refining the
+/// W split beyond the default when necessary (Sec. IV-4; wide early layers
+/// of VGG-class networks need more than [`crate::MAX_CHUNKS_PER_IMAGE`]
+/// slices).
+#[allow(clippy::too_many_arguments)] // a focused planning helper, not API
+fn fit_tiling(
+    ifm: Shape,
+    ofm: Shape,
+    kw: usize,
+    stride: usize,
+    l1_bytes: usize,
+    row_share: usize,
+    col_share: usize,
+    partials: usize,
+    stage: &str,
+) -> Result<Tiling, MapError> {
+    let mut min_chunks = 1;
+    loop {
+        let t = Tiling::plan_min_chunks(ifm, ofm, kw, stride, min_chunks);
+        match t.check_l1(l1_bytes, row_share, col_share, partials) {
+            Ok(()) => return Ok(t),
+            Err(overflow) => {
+                if t.chunks_per_image >= ofm.w {
+                    return Err(MapError::L1 {
+                        stage: stage.to_string(),
+                        overflow,
+                    });
+                }
+                min_chunks = t.chunks_per_image + 1;
+            }
+        }
+    }
+}
+
+/// Compiles `graph` onto `arch` with the given strategy.
+///
+/// # Errors
+/// Returns [`MapError`] if the platform is too small, a tile set cannot fit
+/// L1, or the graph contains unsupported operators.
+///
+/// # Examples
+/// ```
+/// use aimc_core::{map_network, ArchConfig, MappingStrategy};
+/// use aimc_dnn::resnet18;
+/// let g = resnet18(256, 256, 1000);
+/// let m = map_network(&g, &ArchConfig::paper(), MappingStrategy::OnChipResiduals)?;
+/// assert!(m.n_clusters_used <= 512);
+/// # Ok::<(), aimc_core::MapError>(())
+/// ```
+pub fn map_network(
+    graph: &Graph,
+    arch: &ArchConfig,
+    strategy: MappingStrategy,
+) -> Result<SystemMapping, MapError> {
+    let xr = arch.cluster.ima.xbar.rows;
+    let xc = arch.cluster.ima.xbar.cols;
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut node_final_stage: Vec<StageId> = vec![usize::MAX; graph.len()];
+    let mut skip_edges: Vec<(StageId, usize, usize)> = Vec::new(); // (stage, edge idx, bytes/img)
+
+    // ---- Source stage -------------------------------------------------------
+    let in_shape = graph.input_shape();
+    let source_tiling = Tiling::plan(in_shape, in_shape, 1, 1);
+    stages.push(Stage {
+        id: 0,
+        node: usize::MAX,
+        name: "source".into(),
+        role: StageRole::Source,
+        tiling: source_tiling,
+        analog: None,
+        digital_per_chunk: vec![],
+        lanes: 1,
+        lane_clusters: 0,
+        clusters: vec![],
+        producers: vec![],
+        group: 0,
+    });
+
+    // ---- Per-node stages ----------------------------------------------------
+    for node in graph.nodes() {
+        let ifm = node.ifm_shape(graph);
+        let ofm = node.out_shape;
+        let group = layer_group(graph, node.id);
+        let producer_stage = |input_idx: usize| -> StageId {
+            match node.inputs.get(input_idx) {
+                Some(&p) => node_final_stage[p],
+                None => 0, // network input comes from the source stage
+            }
+        };
+
+        match &node.kind {
+            LayerKind::Input => {
+                node_final_stage[node.id] = 0;
+            }
+            LayerKind::Conv(cfg) => {
+                let split = SplitPlan::for_matrix(cfg.xbar_rows(), cfg.xbar_cols(), xr, xc);
+                let reduction = ReductionPlan::new(split.row_splits, 4);
+                // Dedicated reduction clusters double-buffer two partial
+                // inputs and one output (≈6 tiles); fold that requirement
+                // into the layer's tiling as an equivalent partial count.
+                let partials = if reduction.dedicated_adds_per_level.is_empty() {
+                    reduction.absorbed_levels.min(2) + 1
+                } else {
+                    (reduction.absorbed_levels.min(2) + 1).max(4)
+                };
+                let tiling = fit_tiling(
+                    ifm,
+                    ofm,
+                    cfg.kw,
+                    cfg.stride,
+                    arch.cluster.l1_bytes,
+                    split.row_splits,
+                    split.col_splits,
+                    partials,
+                    &node.name,
+                )?;
+                let last = push_analog_chain(
+                    &mut stages,
+                    AnalogChain {
+                        node: node.id,
+                        name: &node.name,
+                        rows: cfg.xbar_rows(),
+                        cols: cfg.xbar_cols(),
+                        tiling,
+                        group,
+                        main_producer: producer_stage(0),
+                        in_bytes_per_chunk: tiling.in_tile_bytes(),
+                        halo: usize::from(cfg.kw > cfg.stride),
+                        extra_digital: vec![],
+                    },
+                    (xr, xc),
+                );
+                node_final_stage[node.id] = last;
+            }
+            LayerKind::Linear { in_features, out_features } => {
+                let tiling = Tiling::plan(
+                    Shape::new(*in_features, 1, 1),
+                    Shape::new(*out_features, 1, 1),
+                    1,
+                    1,
+                );
+                let last = push_analog_chain(
+                    &mut stages,
+                    AnalogChain {
+                        node: node.id,
+                        name: &node.name,
+                        rows: *in_features,
+                        cols: *out_features,
+                        tiling,
+                        group,
+                        main_producer: producer_stage(0),
+                        in_bytes_per_chunk: *in_features,
+                        halo: 0,
+                        extra_digital: vec![],
+                    },
+                    (xr, xc),
+                );
+                node_final_stage[node.id] = last;
+            }
+            LayerKind::DepthwiseConv(cfg) => {
+                // Depthwise convolutions run digitally on the CORES: their
+                // block-diagonal weight matrix wastes crossbar cells (K²
+                // useful cells per column), so the SIMD MAC loop wins — the
+                // paper's related work time-multiplexes MobileNet for the
+                // same reason.
+                let tiling = fit_tiling(
+                    ifm, ofm, cfg.kw, cfg.stride,
+                    arch.cluster.l1_bytes, 1, 1, 1, &node.name,
+                )?;
+                let out_elems = tiling.mvms_per_chunk() * ofm.c as u64;
+                let macs = out_elems * (cfg.kh * cfg.kw) as u64;
+                let id = stages.len();
+                stages.push(Stage {
+                    id,
+                    node: node.id,
+                    name: node.name.clone(),
+                    role: StageRole::Digital,
+                    tiling,
+                    analog: None,
+                    digital_per_chunk: vec![
+                        DigitalKernel::FcDigital { macs },
+                        DigitalKernel::Requantize { elems: out_elems },
+                    ],
+                    lanes: 1,
+                    lane_clusters: 1,
+                    clusters: vec![],
+                    producers: vec![EdgeSpec {
+                        from: producer_stage(0),
+                        bytes_per_chunk: tiling.in_tile_bytes(),
+                        transfers: 1,
+                        halo_chunks: usize::from(cfg.kw > cfg.stride),
+                        kind: EdgeKind::Stream,
+                    }],
+                    group,
+                });
+                node_final_stage[node.id] = id;
+            }
+            LayerKind::MaxPool { k, stride, .. } => {
+                let tiling = fit_tiling(
+                    ifm, ofm, *k, *stride,
+                    arch.cluster.l1_bytes, 1, 1, 1, &node.name,
+                )?;
+                let id = stages.len();
+                stages.push(Stage {
+                    id,
+                    node: node.id,
+                    name: node.name.clone(),
+                    role: StageRole::Digital,
+                    tiling,
+                    analog: None,
+                    digital_per_chunk: vec![DigitalKernel::MaxPool {
+                        elems: tiling.mvms_per_chunk() * ofm.c as u64,
+                        k: *k,
+                    }],
+                    lanes: 1,
+                    lane_clusters: 1,
+                    clusters: vec![],
+                    producers: vec![EdgeSpec {
+                        from: producer_stage(0),
+                        bytes_per_chunk: tiling.in_tile_bytes(),
+                        transfers: 1,
+                        halo_chunks: usize::from(*k > *stride),
+                        kind: EdgeKind::Stream,
+                    }],
+                    group,
+                });
+                node_final_stage[node.id] = id;
+            }
+            LayerKind::GlobalAvgPool => {
+                let tiling = Tiling::plan(ifm, ofm, 1, 1);
+                let id = stages.len();
+                stages.push(Stage {
+                    id,
+                    node: node.id,
+                    name: node.name.clone(),
+                    role: StageRole::Digital,
+                    tiling,
+                    analog: None,
+                    digital_per_chunk: vec![DigitalKernel::AvgPool {
+                        elems: ifm.numel() as u64,
+                    }],
+                    lanes: 1,
+                    lane_clusters: 1,
+                    clusters: vec![],
+                    producers: vec![EdgeSpec {
+                        from: producer_stage(0),
+                        bytes_per_chunk: ifm.numel(),
+                        transfers: 1,
+                        halo_chunks: 0,
+                        kind: EdgeKind::Stream,
+                    }],
+                    group,
+                });
+                node_final_stage[node.id] = id;
+            }
+            LayerKind::Residual { projection } => {
+                let tiling = fit_tiling(
+                    ofm, ofm, 1, 1,
+                    arch.cluster.l1_bytes, 1, 1, 2, &node.name,
+                )?;
+                let main_from = producer_stage(0);
+                let skip_from = producer_stage(1);
+                let skip_bytes_per_chunk = stages[skip_from].tiling.out_tile_bytes()
+                    * (stages[skip_from].tiling.chunks_per_image / tiling.chunks_per_image).max(1);
+                let skip_ofm_bytes_per_image =
+                    graph.node(node.inputs[1]).out_shape.numel();
+
+                let analog = projection.map(|p| {
+                    let split = SplitPlan::for_matrix(p.xbar_rows(), p.xbar_cols(), xr, xc);
+                    AnalogPart {
+                        job: ImaJob {
+                            n_mvm: tiling.mvms_per_chunk(),
+                            rows_used: split.max_rows(),
+                            cols_used: split.max_cols(),
+                        },
+                        reduction: ReductionPlan::new(split.row_splits, 4),
+                        split,
+                    }
+                });
+                let lane_clusters = analog.as_ref().map_or(1, |a| a.split.imas());
+                let out_elems = tiling.mvms_per_chunk() * ofm.c as u64;
+                let id = stages.len();
+                let skip_transfers = analog
+                    .as_ref()
+                    .map_or(1, |a| a.split.col_splits);
+                let mut producers = vec![EdgeSpec {
+                    from: main_from,
+                    bytes_per_chunk: tiling.out_tile_bytes(),
+                    transfers: 1,
+                    halo_chunks: 0,
+                    kind: EdgeKind::Stream,
+                }];
+                let skip_edge_idx = producers.len();
+                producers.push(EdgeSpec {
+                    from: skip_from,
+                    bytes_per_chunk: skip_bytes_per_chunk * skip_transfers,
+                    transfers: skip_transfers,
+                    halo_chunks: 0,
+                    kind: EdgeKind::Skip {
+                        via: ResidualRoute::Hbm, // placement fixed later
+                    },
+                });
+                stages.push(Stage {
+                    id,
+                    node: node.id,
+                    name: node.name.clone(),
+                    role: if analog.is_some() {
+                        StageRole::Analog
+                    } else {
+                        StageRole::Digital
+                    },
+                    tiling,
+                    analog,
+                    digital_per_chunk: vec![
+                        DigitalKernel::ResidualAdd { elems: out_elems },
+                        DigitalKernel::Requantize { elems: out_elems },
+                    ],
+                    lanes: 1,
+                    lane_clusters,
+                    clusters: vec![],
+                    producers,
+                    group,
+                });
+                skip_edges.push((id, skip_edge_idx, skip_ofm_bytes_per_image));
+                node_final_stage[node.id] = id;
+            }
+        }
+    }
+
+    // ---- Residual sizing (before balancing: affects the budget) -------------
+    let residual_bytes: usize = (skip_edges
+        .iter()
+        .map(|&(_, _, b)| b)
+        .sum::<usize>() as f64
+        * RESIDUAL_INFLIGHT_FACTOR) as usize;
+    let n_storage = if strategy.residuals_on_chip() {
+        residual_bytes.div_ceil(arch.cluster.l1_bytes)
+    } else {
+        0
+    };
+
+    // ---- Balancing (Sec. V-2) ------------------------------------------------
+    if strategy.balances() {
+        let budget = arch
+            .n_clusters()
+            .saturating_sub(n_storage)
+            .saturating_sub(stages.iter().map(|s| s.total_clusters()).sum());
+        balance(&mut stages, arch, budget);
+    }
+
+    // ---- Placement ------------------------------------------------------------
+    let mut next_cluster = 0usize;
+    for s in stages.iter_mut() {
+        let n = s.total_clusters();
+        s.clusters = (next_cluster..next_cluster + n).collect();
+        next_cluster += n;
+    }
+    let storage_clusters: Vec<usize> = (next_cluster..next_cluster + n_storage).collect();
+    let n_used = next_cluster + n_storage;
+    if n_used > arch.n_clusters() {
+        return Err(MapError::OutOfClusters {
+            needed: n_used,
+            available: arch.n_clusters(),
+        });
+    }
+
+    // ---- Residual routing (Sec. V-4) ------------------------------------------
+    for (i, &(stage_id, edge_idx, _)) in skip_edges.iter().enumerate() {
+        let via = if strategy.residuals_on_chip() {
+            ResidualRoute::StorageCluster(storage_clusters[i % storage_clusters.len().max(1)])
+        } else {
+            ResidualRoute::Hbm
+        };
+        stages[stage_id].producers[edge_idx].kind = EdgeKind::Skip { via };
+    }
+
+    // ---- L1 validation ---------------------------------------------------------
+    for s in &stages {
+        match &s.role {
+            StageRole::Source => continue,
+            StageRole::Reduction { .. } => {
+                // A reduction cluster double-buffers two partial inputs and
+                // one output tile, each one column group's share of the OFM
+                // tile (the conv's tiling was fitted with this in mind).
+                let col_splits = stages
+                    .iter()
+                    .find(|t| t.node == s.node && t.analog.is_some())
+                    .and_then(|t| t.analog.as_ref())
+                    .map_or(1, |a| a.split.col_splits);
+                let tile = s.tiling.out_tile_bytes().div_ceil(col_splits);
+                let mut l1 = aimc_cluster::L1Allocator::new(arch.cluster.l1_bytes);
+                let check = l1
+                    .alloc_double("partial_a", tile)
+                    .and_then(|_| l1.alloc_double("partial_b", tile))
+                    .and_then(|_| l1.alloc_double("sum", tile));
+                check.map_err(|overflow| MapError::L1 {
+                    stage: s.name.clone(),
+                    overflow,
+                })?;
+            }
+            _ => {
+                let (row_share, col_share, partials) = match &s.analog {
+                    Some(a) => (
+                        a.split.row_splits,
+                        a.split.col_splits,
+                        a.reduction.absorbed_levels.min(2) + 1,
+                    ),
+                    None => (1, 1, 1),
+                };
+                s.tiling
+                    .check_l1(arch.cluster.l1_bytes, row_share, col_share, partials)
+                    .map_err(|overflow| MapError::L1 {
+                        stage: s.name.clone(),
+                        overflow,
+                    })?;
+            }
+        }
+    }
+
+    Ok(SystemMapping {
+        stages,
+        strategy,
+        node_final_stage,
+        residuals: ResidualReport {
+            total_bytes: residual_bytes,
+            storage_clusters,
+        },
+        n_clusters_used: n_used,
+        n_clusters_available: arch.n_clusters(),
+    })
+}
+
+/// Parameters for one analog layer and its reduction chain.
+struct AnalogChain<'a> {
+    node: usize,
+    name: &'a str,
+    rows: usize,
+    cols: usize,
+    tiling: Tiling,
+    group: usize,
+    main_producer: StageId,
+    in_bytes_per_chunk: usize,
+    halo: usize,
+    extra_digital: Vec<DigitalKernel>,
+}
+
+/// Pushes the analog stage plus its dedicated reduction levels; returns the
+/// final stage id (whose output is the layer's OFM).
+fn push_analog_chain(
+    stages: &mut Vec<Stage>,
+    chain: AnalogChain<'_>,
+    (xr, xc): (usize, usize),
+) -> StageId {
+    let split = SplitPlan::for_matrix(chain.rows, chain.cols, xr, xc);
+    let reduction = ReductionPlan::new(split.row_splits, 4);
+    let out_elems_per_group =
+        (chain.tiling.mvms_per_chunk() as usize * chain.tiling.ofm.c).div_ceil(split.col_splits)
+            as u64;
+
+    let mut digital = chain.extra_digital;
+    for _ in 0..reduction.absorbed_levels {
+        digital.push(DigitalKernel::ReductionAdd {
+            elems: out_elems_per_group,
+        });
+    }
+    digital.push(DigitalKernel::Requantize {
+        elems: out_elems_per_group,
+    });
+
+    let id = stages.len();
+    stages.push(Stage {
+        id,
+        node: chain.node,
+        name: chain.name.to_string(),
+        role: StageRole::Analog,
+        tiling: chain.tiling,
+        analog: Some(AnalogPart {
+            job: ImaJob {
+                n_mvm: chain.tiling.mvms_per_chunk(),
+                rows_used: split.max_rows(),
+                cols_used: split.max_cols(),
+            },
+            split: split.clone(),
+            reduction: reduction.clone(),
+        }),
+        digital_per_chunk: digital,
+        lanes: 1,
+        lane_clusters: split.imas(),
+        clusters: vec![],
+        producers: vec![EdgeSpec {
+            from: chain.main_producer,
+            bytes_per_chunk: chain.in_bytes_per_chunk * split.col_splits,
+            transfers: split.col_splits,
+            halo_chunks: chain.halo,
+            kind: EdgeKind::Stream,
+        }],
+        group: chain.group,
+    });
+
+    // Dedicated reduction levels.
+    let mut last = id;
+    let mut inputs = reduction.after_absorption;
+    let tile_bytes_per_group = chain
+        .tiling
+        .out_tile_bytes()
+        .div_ceil(split.col_splits);
+    for (li, &adds) in reduction.dedicated_adds_per_level.iter().enumerate() {
+        let rid = stages.len();
+        stages.push(Stage {
+            id: rid,
+            node: chain.node,
+            name: format!("{}/red{}", chain.name, li + 1),
+            role: StageRole::Reduction {
+                level: li + 1,
+                inputs,
+            },
+            tiling: chain.tiling,
+            analog: None,
+            digital_per_chunk: vec![DigitalKernel::ReductionAdd {
+                elems: out_elems_per_group,
+            }],
+            lanes: 1,
+            lane_clusters: adds * split.col_splits,
+            clusters: vec![],
+            producers: vec![EdgeSpec {
+                from: last,
+                bytes_per_chunk: tile_bytes_per_group * inputs * split.col_splits,
+                transfers: inputs * split.col_splits,
+                halo_chunks: 0,
+                kind: EdgeKind::Stream,
+            }],
+            group: chain.group,
+        });
+        last = rid;
+        inputs = inputs.div_ceil(2);
+    }
+    last
+}
+
+/// Greedy pipeline balancer: repeatedly add one replication lane to the
+/// slowest stage until it is capped or the budget runs out (Sec. V-2).
+fn balance(stages: &mut [Stage], arch: &ArchConfig, mut budget: usize) {
+    loop {
+        // Find the slowest stage.
+        let mut worst: Option<(usize, u64)> = None;
+        for (i, s) in stages.iter().enumerate() {
+            let t = stage_time_per_image(s, arch).as_ps();
+            if worst.is_none_or(|(_, wt)| t > wt) {
+                worst = Some((i, t));
+            }
+        }
+        let Some((idx, _)) = worst else { return };
+        let s = &mut stages[idx];
+        if !s.role.replicable() || s.lanes >= lane_cap(s) || s.lane_clusters > budget {
+            // The bottleneck cannot be improved: the pipeline is balanced.
+            return;
+        }
+        budget -= s.lane_clusters;
+        s.lanes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimc_dnn::resnet18;
+
+    fn arch() -> ArchConfig {
+        ArchConfig::paper()
+    }
+
+    fn stage_named<'a>(m: &'a SystemMapping, name: &str) -> &'a Stage {
+        m.stages
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no stage {name}"))
+    }
+
+    #[test]
+    fn naive_mapping_fits_the_platform() {
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::Naive).unwrap();
+        assert!(m.n_clusters_used < 512, "used {}", m.n_clusters_used);
+        assert!(m.n_clusters_used > 200, "used {}", m.n_clusters_used);
+        // No replication anywhere.
+        assert!(m.stages.iter().all(|s| s.lanes == 1));
+        // Residuals to HBM.
+        assert!(m.residuals.storage_clusters.is_empty());
+    }
+
+    #[test]
+    fn deep_conv_layers_take_40_clusters() {
+        // Sec. V-1: a 2.3M-parameter 512-channel conv needs 36 IMAs and,
+        // with its reduction tree, 40 clusters.
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::Naive).unwrap();
+        let conv21 = stage_named(&m, "conv21");
+        let a = conv21.analog.as_ref().unwrap();
+        assert_eq!(a.split.imas(), 36);
+        let red_clusters: usize = m
+            .stages
+            .iter()
+            .filter(|s| s.node == 21 && matches!(s.role, StageRole::Reduction { .. }))
+            .map(|s| s.total_clusters())
+            .sum();
+        assert_eq!(conv21.total_clusters() + red_clusters, 40);
+    }
+
+    #[test]
+    fn layer0_single_ima_no_reduction() {
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::Naive).unwrap();
+        let conv0 = stage_named(&m, "conv0");
+        assert_eq!(conv0.total_clusters(), 1);
+        assert!(conv0.analog.as_ref().unwrap().reduction.is_trivial());
+        assert!(!m
+            .stages
+            .iter()
+            .any(|s| s.node == 0 && matches!(s.role, StageRole::Reduction { .. })));
+    }
+
+    #[test]
+    fn balanced_mapping_replicates_the_stem() {
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::Balanced).unwrap();
+        let conv0 = stage_named(&m, "conv0");
+        assert!(
+            conv0.lanes >= 8,
+            "Layer 0 should be heavily replicated, got {}",
+            conv0.lanes
+        );
+        // Replication must never exceed the chunk parallelism.
+        for s in &m.stages {
+            assert!(s.lanes <= s.tiling.chunks_per_image.max(1), "{}", s.name);
+        }
+        assert!(m.n_clusters_used <= 512);
+        assert!(m.n_clusters_used > map_network(&g, &arch(), MappingStrategy::Naive)
+            .unwrap()
+            .n_clusters_used);
+    }
+
+    #[test]
+    fn final_strategy_adds_residual_storage_clusters() {
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::OnChipResiduals).unwrap();
+        // Sec. V-4: ≈1.6 MB of residuals ⇒ 2 spare clusters.
+        assert_eq!(m.residuals.storage_clusters.len(), 2);
+        let mb = m.residuals.total_bytes as f64 / (1024.0 * 1024.0);
+        assert!((1.4..1.9).contains(&mb), "residual footprint {mb} MB");
+        // Every skip edge routed through a storage cluster.
+        for s in &m.stages {
+            for e in &s.producers {
+                if let EdgeKind::Skip { via } = e.kind {
+                    assert!(matches!(via, ResidualRoute::StorageCluster(_)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_routes_residuals_through_hbm() {
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::Naive).unwrap();
+        let mut n_skip = 0;
+        for s in &m.stages {
+            for e in &s.producers {
+                if let EdgeKind::Skip { via } = e.kind {
+                    assert_eq!(via, ResidualRoute::Hbm);
+                    n_skip += 1;
+                }
+            }
+        }
+        assert_eq!(n_skip, 8, "ResNet-18 has 8 residual joins");
+    }
+
+    #[test]
+    fn cluster_ids_are_consecutive_in_pipeline_order() {
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::OnChipResiduals).unwrap();
+        let mut expected = 0usize;
+        for s in &m.stages {
+            for &c in &s.clusters {
+                assert_eq!(c, expected);
+                expected += 1;
+            }
+        }
+        for &c in &m.residuals.storage_clusters {
+            assert_eq!(c, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, m.n_clusters_used);
+    }
+
+    #[test]
+    fn edges_reference_earlier_stages() {
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::Balanced).unwrap();
+        for s in &m.stages {
+            for e in &s.producers {
+                assert!(e.from < s.id, "edge {} -> {} not topological", e.from, s.id);
+                assert!(e.bytes_per_chunk > 0);
+                assert!(e.transfers > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn used_cluster_count_matches_paper_scale() {
+        // The paper's final mapping uses 322 of 512 clusters; ours should be
+        // in the same regime (250–420) for the same network and platform.
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::OnChipResiduals).unwrap();
+        assert!(
+            (250..=420).contains(&m.n_clusters_used),
+            "clusters used: {}",
+            m.n_clusters_used
+        );
+        let f = m.global_mapping_factor();
+        assert!((0.5..=0.85).contains(&f), "global mapping factor {f}");
+    }
+
+    #[test]
+    fn local_utilization_is_fractional() {
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::Naive).unwrap();
+        let u = m.local_mapping_utilization(256, 256);
+        // Mixed utilization: deep layers pack perfectly, early layers poorly,
+        // digital clusters at zero.
+        assert!((0.15..0.75).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn too_small_platform_is_rejected() {
+        let g = resnet18(256, 256, 1000);
+        let small = ArchConfig::small(4, 4); // 16 clusters
+        let err = map_network(&g, &small, MappingStrategy::Naive).unwrap_err();
+        assert!(matches!(err, MapError::OutOfClusters { .. }));
+        assert!(err.to_string().contains("clusters"));
+    }
+
+    #[test]
+    fn summary_mentions_every_stage() {
+        let g = resnet18(256, 256, 1000);
+        let m = map_network(&g, &arch(), MappingStrategy::Naive).unwrap();
+        let s = m.summary();
+        assert!(s.contains("conv0"));
+        assert!(s.contains("fc27"));
+        assert!(s.contains("red1"));
+    }
+}

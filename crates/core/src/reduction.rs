@@ -1,0 +1,165 @@
+//! Reduction-tree planning (Sec. V-3).
+//!
+//! Row-split layers produce `S` partial outputs per column group that must
+//! be summed. The paper pipelines the binary reduction tree, assigning each
+//! level "a logarithmically decreasing number of clusters":
+//!
+//! * the first levels are **absorbed** by the producer clusters themselves —
+//!   their CORES are idle while the IMA computes, so pairwise adds are free
+//!   cluster-wise (Sec. IV-5: "computation in a cluster can be performed by
+//!   the CORES, IMA, or both in parallel");
+//! * once the partial count falls to `absorb_threshold` or below, the
+//!   remaining levels become **dedicated pipeline stages**, one cluster per
+//!   pairwise add.
+//!
+//! With the default threshold 4, the paper's 512-channel layers
+//! (18 row splits × 2 column groups) absorb 18→9→5→3 and dedicate
+//! 1+1 clusters per column group: 36 IMAs + 4 reduction clusters = the
+//! "40 clusters" of Sec. V-1.
+
+/// The planned reduction tree for one column group of a row-split layer.
+///
+/// # Examples
+/// ```
+/// use aimc_core::ReductionPlan;
+/// let p = ReductionPlan::new(18, 4);
+/// assert_eq!(p.absorbed_levels, 3);           // 18→9→5→3 on producers
+/// assert_eq!(p.after_absorption, 3);
+/// assert_eq!(p.dedicated_adds_per_level, vec![1, 1]); // 3→2→1
+/// assert_eq!(p.dedicated_clusters(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionPlan {
+    /// Partial outputs to reduce (the layer's row splits).
+    pub fan_in: usize,
+    /// Tree levels executed on the producer clusters' cores.
+    pub absorbed_levels: usize,
+    /// Partial count remaining after absorption.
+    pub after_absorption: usize,
+    /// Pairwise adds at each dedicated level (one cluster per add).
+    pub dedicated_adds_per_level: Vec<usize>,
+}
+
+impl ReductionPlan {
+    /// Plans the tree for `fan_in` partials, absorbing levels on the
+    /// producers while more than `absorb_threshold` partials remain.
+    ///
+    /// # Panics
+    /// Panics if `fan_in == 0`.
+    pub fn new(fan_in: usize, absorb_threshold: usize) -> Self {
+        assert!(fan_in > 0, "reduction needs at least one input");
+        let mut n = fan_in;
+        let mut absorbed = 0;
+        while n > absorb_threshold.max(1) {
+            n = n.div_ceil(2);
+            absorbed += 1;
+        }
+        let after = n;
+        let mut dedicated = Vec::new();
+        while n > 1 {
+            let adds = n / 2;
+            dedicated.push(adds);
+            n = n.div_ceil(2);
+        }
+        ReductionPlan {
+            fan_in,
+            absorbed_levels: absorbed,
+            after_absorption: after,
+            dedicated_adds_per_level: dedicated,
+        }
+    }
+
+    /// Total dedicated clusters for one column group.
+    pub fn dedicated_clusters(&self) -> usize {
+        self.dedicated_adds_per_level.iter().sum()
+    }
+
+    /// Total tree depth (absorbed + dedicated levels).
+    pub fn depth(&self) -> usize {
+        self.absorbed_levels + self.dedicated_adds_per_level.len()
+    }
+
+    /// Whether any reduction is needed at all.
+    pub fn is_trivial(&self) -> bool {
+        self.fan_in == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_input_is_trivial() {
+        let p = ReductionPlan::new(1, 4);
+        assert!(p.is_trivial());
+        assert_eq!(p.absorbed_levels, 0);
+        assert_eq!(p.dedicated_clusters(), 0);
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn small_fanin_goes_fully_dedicated() {
+        // 3 partials ≤ threshold 4: no absorption; 3→2→1 dedicated.
+        let p = ReductionPlan::new(3, 4);
+        assert_eq!(p.absorbed_levels, 0);
+        assert_eq!(p.after_absorption, 3);
+        assert_eq!(p.dedicated_adds_per_level, vec![1, 1]);
+        assert_eq!(p.dedicated_clusters(), 2);
+        assert_eq!(p.depth(), 2);
+    }
+
+    #[test]
+    fn five_partials_absorb_one_level() {
+        // 128-channel layers: 5 row splits. 5 > 4 ⇒ absorb 5→3, then 3→2→1.
+        let p = ReductionPlan::new(5, 4);
+        assert_eq!(p.absorbed_levels, 1);
+        assert_eq!(p.after_absorption, 3);
+        assert_eq!(p.dedicated_clusters(), 2);
+    }
+
+    #[test]
+    fn paper_512ch_layer_counts() {
+        // Sec. V-1: 36 IMAs + reductions ⇒ 40 clusters; Sec. V-3: "sum up
+        // the partial products of up to 20 clusters".
+        let p = ReductionPlan::new(18, 4);
+        assert_eq!(p.absorbed_levels, 3); // 18→9→5→3
+        assert_eq!(p.dedicated_clusters(), 2); // per column group
+        // Two column groups (512 cols / 256): 36 + 2*2 = 40. Checked in the
+        // mapping tests; here verify the per-group arithmetic.
+        assert_eq!(36 + 2 * p.dedicated_clusters(), 40);
+    }
+
+    #[test]
+    fn nine_partials() {
+        // 256-channel layers: 2304 rows → 9 splits.
+        let p = ReductionPlan::new(9, 4);
+        assert_eq!(p.absorbed_levels, 2); // 9→5→3
+        assert_eq!(p.after_absorption, 3);
+        assert_eq!(p.dedicated_clusters(), 2);
+        assert_eq!(p.depth(), 4);
+    }
+
+    #[test]
+    fn threshold_one_absorbs_everything() {
+        let p = ReductionPlan::new(16, 1);
+        assert_eq!(p.absorbed_levels, 4);
+        assert_eq!(p.after_absorption, 1);
+        assert_eq!(p.dedicated_clusters(), 0);
+    }
+
+    #[test]
+    fn large_threshold_dedicates_everything() {
+        let p = ReductionPlan::new(16, 100);
+        assert_eq!(p.absorbed_levels, 0);
+        // 16→8→4→2→1: adds 8,4,2,1.
+        assert_eq!(p.dedicated_adds_per_level, vec![8, 4, 2, 1]);
+        assert_eq!(p.dedicated_clusters(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn rejects_zero_fanin() {
+        ReductionPlan::new(0, 4);
+    }
+}

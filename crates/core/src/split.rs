@@ -1,0 +1,173 @@
+//! Multi-cluster layer splitting (Sec. V-1).
+//!
+//! A layer whose weight matrix is `rows × cols` (rows = `Cin·Kx·Ky`,
+//! cols = `Cout`) is split when either dimension exceeds the crossbar:
+//!
+//! * **row splits** — each split computes a *partial* output that must be
+//!   reduced digitally;
+//! * **column splits** — the input vector is *broadcast* to all column
+//!   splits, each producing a disjoint slice of the output channels.
+//!
+//! Both can occur at once (e.g. the 512-channel layers: 4608 rows × 512
+//! cols on 256×256 arrays ⇒ 18 × 2 = 36 IMAs).
+
+/// How one layer's weights are distributed over crossbar arrays.
+///
+/// # Examples
+/// ```
+/// use aimc_core::SplitPlan;
+/// // The paper's Layer 21/24 class: 3x3 conv, 512→512.
+/// let p = SplitPlan::for_matrix(4608, 512, 256, 256);
+/// assert_eq!(p.row_splits, 18);
+/// assert_eq!(p.col_splits, 2);
+/// assert_eq!(p.imas(), 36);
+/// assert!(p.rows_per_split.iter().all(|&r| r == 256)); // perfectly packed
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitPlan {
+    /// Total weight-matrix rows (`Cin·Kx·Ky`).
+    pub rows_total: usize,
+    /// Total weight-matrix columns (`Cout`).
+    pub cols_total: usize,
+    /// Number of row splits.
+    pub row_splits: usize,
+    /// Number of column splits.
+    pub col_splits: usize,
+    /// Rows on each row split (balanced ceil-split).
+    pub rows_per_split: Vec<usize>,
+    /// Columns on each column split.
+    pub cols_per_split: Vec<usize>,
+}
+
+/// Balanced split of `total` into `n` chunks (sizes differ by at most 1).
+fn balanced(total: usize, n: usize) -> Vec<usize> {
+    let base = total / n;
+    let rem = total % n;
+    (0..n).map(|i| base + usize::from(i < rem)).collect()
+}
+
+impl SplitPlan {
+    /// Plans the split of a `rows × cols` matrix onto `xbar_rows × xbar_cols`
+    /// arrays.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn for_matrix(rows: usize, cols: usize, xbar_rows: usize, xbar_cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate weight matrix");
+        assert!(xbar_rows > 0 && xbar_cols > 0, "degenerate crossbar");
+        let row_splits = rows.div_ceil(xbar_rows);
+        let col_splits = cols.div_ceil(xbar_cols);
+        SplitPlan {
+            rows_total: rows,
+            cols_total: cols,
+            row_splits,
+            col_splits,
+            rows_per_split: balanced(rows, row_splits),
+            cols_per_split: balanced(cols, col_splits),
+        }
+    }
+
+    /// Number of crossbar arrays (= clusters, at 1 IMA per cluster) holding
+    /// this layer's parameters (before any data replication).
+    pub fn imas(&self) -> usize {
+        self.row_splits * self.col_splits
+    }
+
+    /// Maximum rows used on any array (sizing the stream-in phase).
+    pub fn max_rows(&self) -> usize {
+        self.rows_per_split.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum columns used on any array.
+    pub fn max_cols(&self) -> usize {
+        self.cols_per_split.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean crossbar-cell utilization across this layer's arrays — the
+    /// "local mapping" factor of Fig. 6.
+    pub fn utilization(&self, xbar_rows: usize, xbar_cols: usize) -> f64 {
+        let used: usize = self
+            .rows_per_split
+            .iter()
+            .map(|&r| {
+                self.cols_per_split
+                    .iter()
+                    .map(|&c| r * c)
+                    .sum::<usize>()
+            })
+            .sum();
+        used as f64 / (self.imas() * xbar_rows * xbar_cols) as f64
+    }
+
+    /// Whether the layer needs a partial-sum reduction (more than one row
+    /// split).
+    pub fn needs_reduction(&self) -> bool {
+        self.row_splits > 1
+    }
+
+    /// Whether the input must be broadcast (more than one column split).
+    pub fn needs_broadcast(&self) -> bool {
+        self.col_splits > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer0_fits_one_array() {
+        // 7x7x3 → 64: 147 rows × 64 cols ("excluding Layer 0", Sec. V-1).
+        let p = SplitPlan::for_matrix(147, 64, 256, 256);
+        assert_eq!(p.imas(), 1);
+        assert!(!p.needs_reduction());
+        assert!(!p.needs_broadcast());
+        assert!((p.utilization(256, 256) - (147.0 * 64.0) / 65536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sixty_four_channel_layers_split_rows_three_ways() {
+        // 3x3 conv 64→64: 576 rows.
+        let p = SplitPlan::for_matrix(576, 64, 256, 256);
+        assert_eq!(p.row_splits, 3);
+        assert_eq!(p.col_splits, 1);
+        assert_eq!(p.rows_per_split, vec![192, 192, 192]);
+        assert!(p.needs_reduction());
+    }
+
+    #[test]
+    fn deep_layers_split_both_dimensions() {
+        // 3x3 conv 512→512 ("Layer 22 … 2.3M parameters", Sec. V-1).
+        let p = SplitPlan::for_matrix(4608, 512, 256, 256);
+        assert_eq!((p.row_splits, p.col_splits), (18, 2));
+        assert_eq!(p.imas(), 36);
+        assert_eq!(p.max_rows(), 256);
+        assert_eq!(p.max_cols(), 256);
+        // Perfect packing ⇒ utilization 1.
+        assert!((p.utilization(256, 256) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_splits_balance_within_one() {
+        let p = SplitPlan::for_matrix(1000, 300, 256, 256);
+        assert_eq!(p.row_splits, 4);
+        assert_eq!(p.col_splits, 2);
+        assert_eq!(p.rows_per_split, vec![250, 250, 250, 250]);
+        assert_eq!(p.cols_per_split, vec![150, 150]);
+        let sum: usize = p.rows_per_split.iter().sum();
+        assert_eq!(sum, 1000);
+    }
+
+    #[test]
+    fn utilization_drops_with_padding_waste() {
+        // 100 rows on a 256-row array: only 100/256 of rows used.
+        let p = SplitPlan::for_matrix(100, 256, 256, 256);
+        assert!((p.utilization(256, 256) - 100.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_zero_dims() {
+        SplitPlan::for_matrix(0, 10, 256, 256);
+    }
+}

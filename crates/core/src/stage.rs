@@ -1,0 +1,260 @@
+//! The mapped pipeline: stages, lanes, and inter-stage edges.
+//!
+//! A [`SystemMapping`] is the compiler's output: the DNN graph lowered onto
+//! the 512-cluster platform as an ordered list of pipeline [`Stage`]s. Each
+//! stage owns one or more *lanes* (data-replication copies, Sec. V-2), each
+//! lane a fixed set of clusters (the layer's row×column splits, Sec. V-1).
+//! Dedicated reduction-tree levels (Sec. V-3) are stages of their own.
+
+use crate::reduction::ReductionPlan;
+use crate::split::SplitPlan;
+use crate::strategy::MappingStrategy;
+use crate::tiling::Tiling;
+use aimc_cluster::{DigitalKernel, ImaJob};
+use aimc_dnn::NodeId;
+use core::fmt;
+
+/// Pipeline stage index within a [`SystemMapping`].
+pub type StageId = usize;
+/// Physical cluster index on the platform.
+pub type ClusterId = usize;
+
+/// The role a stage plays in the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageRole {
+    /// Streams input images from HBM (no clusters).
+    Source,
+    /// A layer's analog computation (conv / FC / residual projection), with
+    /// absorbed reduction levels on the same clusters.
+    Analog,
+    /// A dedicated reduction-tree level (`level` starts at 1 after the
+    /// absorbed levels).
+    Reduction {
+        /// Dedicated level index (1-based).
+        level: usize,
+        /// Partial tiles entering this level (per column group).
+        inputs: usize,
+    },
+    /// A purely digital layer (pooling, residual add without projection) or
+    /// the digital part of a residual with projection.
+    Digital,
+}
+
+impl StageRole {
+    /// Whether the balancer may add lanes to this stage.
+    pub fn replicable(&self) -> bool {
+        !matches!(self, StageRole::Source)
+    }
+}
+
+/// The analog component of a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogPart {
+    /// Row/column split of the weight matrix.
+    pub split: SplitPlan,
+    /// Reduction-tree plan for the row-split partials.
+    pub reduction: ReductionPlan,
+    /// Per-chunk IMA job on each split cluster (max split dimensions).
+    pub job: ImaJob,
+}
+
+/// How a skip (residual) edge is buffered between distant pipeline stages
+/// (Sec. V-4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidualRoute {
+    /// Round-trip through the off-chip HBM (the naive placement).
+    Hbm,
+    /// Staged in the L1 of a spare cluster (the optimized placement).
+    StorageCluster(ClusterId),
+}
+
+/// Classification of a data edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Producer and consumer are adjacent pipeline stages.
+    Stream,
+    /// A residual skip edge with a long data lifetime, buffered `via`
+    /// external storage.
+    Skip {
+        /// Where the data is buffered in flight.
+        via: ResidualRoute,
+    },
+}
+
+/// One inbound data edge of a stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSpec {
+    /// Producer stage.
+    pub from: StageId,
+    /// Total payload bytes entering the consumer per consumer chunk
+    /// (including any broadcast multiplication).
+    pub bytes_per_chunk: usize,
+    /// Number of distinct point-to-point transfers the payload splits into.
+    pub transfers: usize,
+    /// Extra producer chunks needed for convolution halo (0 or 1).
+    pub halo_chunks: usize,
+    /// Stream vs skip routing.
+    pub kind: EdgeKind,
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Stage index (topological).
+    pub id: StageId,
+    /// The graph node this stage implements (reduction stages reference
+    /// their analog layer's node).
+    pub node: NodeId,
+    /// Display name, e.g. `"conv2"`, `"conv2/red1"`.
+    pub name: String,
+    /// Role in the pipeline.
+    pub role: StageRole,
+    /// W-dimension tiling of this stage's output.
+    pub tiling: Tiling,
+    /// Analog component, if any.
+    pub analog: Option<AnalogPart>,
+    /// Digital kernels executed per chunk on each lane's cores (absorbed
+    /// reductions, requantization, pooling, residual adds).
+    pub digital_per_chunk: Vec<DigitalKernel>,
+    /// Number of data-replication lanes (Sec. V-2); chunk `k` is served by
+    /// lane `k mod lanes`.
+    pub lanes: usize,
+    /// Clusters per lane.
+    pub lane_clusters: usize,
+    /// Flat cluster assignment, length `lanes * lane_clusters` (lane-major).
+    /// Empty until placement.
+    pub clusters: Vec<ClusterId>,
+    /// Inbound edges (empty for the source).
+    pub producers: Vec<EdgeSpec>,
+    /// Fig. 7 layer group of the parent node.
+    pub group: usize,
+}
+
+impl Stage {
+    /// Total clusters over all lanes.
+    pub fn total_clusters(&self) -> usize {
+        self.lanes * self.lane_clusters
+    }
+
+    /// The clusters of one lane.
+    ///
+    /// # Panics
+    /// Panics if `lane >= lanes` or placement has not run.
+    pub fn lane(&self, lane: usize) -> &[ClusterId] {
+        assert!(lane < self.lanes, "lane out of range");
+        &self.clusters[lane * self.lane_clusters..(lane + 1) * self.lane_clusters]
+    }
+
+    /// A representative cluster of a lane (DMA endpoint for edge traffic).
+    /// Source stages have no clusters and return `None`.
+    pub fn lane_representative(&self, lane: usize) -> Option<ClusterId> {
+        if self.lane_clusters == 0 {
+            None
+        } else {
+            Some(self.lane(lane)[0])
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let role = match &self.role {
+            StageRole::Source => "source".to_string(),
+            StageRole::Analog => "analog".to_string(),
+            StageRole::Reduction { level, inputs } => format!("red{level}({inputs})"),
+            StageRole::Digital => "digital".to_string(),
+        };
+        write!(
+            f,
+            "stage {:>3} {:<12} {:<10} lanes={} x {} clusters, {} chunks/img",
+            self.id, self.name, role, self.lanes, self.lane_clusters, self.tiling.chunks_per_image
+        )
+    }
+}
+
+/// Residual storage summary (Sec. V-4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidualReport {
+    /// Total in-flight residual bytes across all skip edges.
+    pub total_bytes: usize,
+    /// Storage clusters dedicated to residuals (empty when routed to HBM).
+    pub storage_clusters: Vec<ClusterId>,
+}
+
+/// The complete compiled mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemMapping {
+    /// Pipeline stages in topological order (stage 0 is the source).
+    pub stages: Vec<Stage>,
+    /// Strategy that produced this mapping.
+    pub strategy: MappingStrategy,
+    /// Final stage of each graph node (the stage whose output is the node's
+    /// OFM), indexed by node id.
+    pub node_final_stage: Vec<StageId>,
+    /// Residual placement summary.
+    pub residuals: ResidualReport,
+    /// Clusters used (compute + residual storage).
+    pub n_clusters_used: usize,
+    /// Total clusters available on the platform.
+    pub n_clusters_available: usize,
+}
+
+impl SystemMapping {
+    /// Stages in id order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Compute clusters (excluding residual storage).
+    pub fn compute_clusters(&self) -> usize {
+        self.stages.iter().map(|s| s.total_clusters()).sum()
+    }
+
+    /// Fraction of platform clusters holding work — the "global mapping"
+    /// factor of Fig. 6 divides ideal performance by its inverse.
+    pub fn global_mapping_factor(&self) -> f64 {
+        self.n_clusters_used as f64 / self.n_clusters_available as f64
+    }
+
+    /// Mean crossbar utilization over all mapped IMAs (replicas included) —
+    /// the "local mapping" factor of Fig. 6. Clusters without an IMA job
+    /// (digital/reduction/storage) count as zero utilization, matching the
+    /// paper's "in other cases the array is not used at all".
+    pub fn local_mapping_utilization(&self, xbar_rows: usize, xbar_cols: usize) -> f64 {
+        let mut used_cells = 0.0f64;
+        let mut clusters = 0usize;
+        for s in &self.stages {
+            clusters += s.total_clusters();
+            if let Some(a) = &s.analog {
+                used_cells += a.split.utilization(xbar_rows, xbar_cols)
+                    * (a.split.imas() * s.lanes) as f64;
+                // Non-IMA clusters of the lane (none today: lane == splits)
+            }
+        }
+        clusters += self.residuals.storage_clusters.len();
+        if clusters == 0 {
+            0.0
+        } else {
+            used_cells / clusters as f64
+        }
+    }
+
+    /// A Fig. 2B-style text summary of the mapping.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "strategy: {:?} — {} / {} clusters ({} compute + {} residual storage)",
+            self.strategy,
+            self.n_clusters_used,
+            self.n_clusters_available,
+            self.compute_clusters(),
+            self.residuals.storage_clusters.len()
+        );
+        for s in &self.stages {
+            let _ = writeln!(out, "{s}");
+        }
+        out
+    }
+}

@@ -1,0 +1,66 @@
+//! The three mapping strategies evaluated in Fig. 5.
+
+/// Mapping optimization level (Sec. V / Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingStrategy {
+    /// Fig. 5B: multi-cluster splitting only — no replication, no digital
+    /// parallelization; residuals buffered in HBM.
+    Naive,
+    /// Fig. 5C: + data replication of analog layers and parallelization of
+    /// digital layers to balance the pipeline; residuals still in HBM.
+    Balanced,
+    /// Fig. 5D: + residuals staged in spare clusters' L1 instead of HBM
+    /// (the final mapping; "+2 clusters", 1.9× over Balanced).
+    OnChipResiduals,
+}
+
+impl MappingStrategy {
+    /// All strategies in Fig. 5 order.
+    pub const ALL: [MappingStrategy; 3] = [
+        MappingStrategy::Naive,
+        MappingStrategy::Balanced,
+        MappingStrategy::OnChipResiduals,
+    ];
+
+    /// Whether the balancer runs (replication + parallelization).
+    pub fn balances(self) -> bool {
+        !matches!(self, MappingStrategy::Naive)
+    }
+
+    /// Whether residuals are staged on-chip in spare cluster L1.
+    pub fn residuals_on_chip(self) -> bool {
+        matches!(self, MappingStrategy::OnChipResiduals)
+    }
+
+    /// Short label used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            MappingStrategy::Naive => "naive",
+            MappingStrategy::Balanced => "replication+parallelization",
+            MappingStrategy::OnChipResiduals => "final (on-chip residuals)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_flags() {
+        assert!(!MappingStrategy::Naive.balances());
+        assert!(MappingStrategy::Balanced.balances());
+        assert!(MappingStrategy::OnChipResiduals.balances());
+        assert!(!MappingStrategy::Naive.residuals_on_chip());
+        assert!(!MappingStrategy::Balanced.residuals_on_chip());
+        assert!(MappingStrategy::OnChipResiduals.residuals_on_chip());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = MappingStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
+    }
+}

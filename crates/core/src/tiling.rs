@@ -1,0 +1,206 @@
+//! Data tiling along the W dimension (Sec. IV-4).
+//!
+//! IFM/OFM are split into vertical slices ("chunks") so tiles fit the 1 MB
+//! L1; the batch dimension is the continuation of W, so a batch of B images
+//! is a stream of `B × chunks_per_image` chunks flowing down the pipeline
+//! (Fig. 2C).
+
+use aimc_cluster::L1Allocator;
+use aimc_dnn::Shape;
+
+/// Upper bound on chunks per image: more chunks = finer pipelining but more
+/// per-tile overhead. 16 vertical slices keeps every ResNet-18 tile well
+/// under the L1 budget while giving the pipeline enough in-flight chunks.
+pub const MAX_CHUNKS_PER_IMAGE: usize = 16;
+
+/// The tiling of one layer's input/output feature maps.
+///
+/// # Examples
+/// ```
+/// use aimc_core::Tiling;
+/// use aimc_dnn::Shape;
+/// // Layer 2: 64x64x64 in → 64x64x64 out, 3x3 s1.
+/// let t = Tiling::plan(Shape::new(64, 64, 64), Shape::new(64, 64, 64), 3, 1);
+/// assert_eq!(t.chunks_per_image, 16);
+/// assert_eq!(t.out_tile_w, 4);
+/// assert_eq!(t.in_tile_w, 6); // 4*1 + (3-1) halo
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tiling {
+    /// Input feature-map shape.
+    pub ifm: Shape,
+    /// Output feature-map shape.
+    pub ofm: Shape,
+    /// Vertical slices per image.
+    pub chunks_per_image: usize,
+    /// Output tile width (last chunk may be narrower; byte accounting uses
+    /// this conservative width).
+    pub out_tile_w: usize,
+    /// Input tile width including convolution halo.
+    pub in_tile_w: usize,
+}
+
+impl Tiling {
+    /// Plans the tiling for a layer with kernel width `kw` and stride
+    /// `stride` (use `kw = stride = 1` for element-wise layers).
+    ///
+    /// The chunk count is the largest divisor of `ofm.w` not exceeding
+    /// [`MAX_CHUNKS_PER_IMAGE`] (falling back to `ofm.w` itself below the
+    /// cap), so chunks tile the width exactly for the power-of-two ResNet
+    /// geometries.
+    pub fn plan(ifm: Shape, ofm: Shape, kw: usize, stride: usize) -> Self {
+        Self::plan_min_chunks(ifm, ofm, kw, stride, 1)
+    }
+
+    /// Like [`Tiling::plan`] but with at least `min_chunks` vertical slices
+    /// — used when the default tiling's working set exceeds the L1 and the
+    /// W split must be refined (wide early layers of VGG-class networks).
+    ///
+    /// Picks the smallest divisor of `ofm.w` that is ≥ both `min_chunks`
+    /// and the default chunk count, saturating at `ofm.w` (1-pixel tiles).
+    pub fn plan_min_chunks(
+        ifm: Shape,
+        ofm: Shape,
+        kw: usize,
+        stride: usize,
+        min_chunks: usize,
+    ) -> Self {
+        let default = largest_divisor_at_most(ofm.w, MAX_CHUNKS_PER_IMAGE);
+        let chunks = if min_chunks <= default {
+            default
+        } else {
+            (min_chunks..=ofm.w)
+                .find(|d| ofm.w.is_multiple_of(*d))
+                .unwrap_or(ofm.w)
+        };
+        let out_tile_w = ofm.w.div_ceil(chunks);
+        let halo = kw.saturating_sub(stride);
+        let in_tile_w = (out_tile_w * stride + halo).min(ifm.w);
+        Tiling {
+            ifm,
+            ofm,
+            chunks_per_image: chunks,
+            out_tile_w,
+            in_tile_w,
+        }
+    }
+
+    /// Input tile bytes (int8) for the full channel depth.
+    pub fn in_tile_bytes(&self) -> usize {
+        self.ifm.c * self.ifm.h * self.in_tile_w
+    }
+
+    /// Output tile bytes (int8) for the full channel depth.
+    pub fn out_tile_bytes(&self) -> usize {
+        self.ofm.c * self.ofm.h * self.out_tile_w
+    }
+
+    /// Output pixels per chunk (MVMs per chunk for an analog layer).
+    pub fn mvms_per_chunk(&self) -> u64 {
+        (self.ofm.h * self.out_tile_w) as u64
+    }
+
+    /// Validates that a cluster holding `1/row_share` of the input channels
+    /// and `1/col_share` of the output channels can double-buffer its tiles
+    /// (plus `extra_partials` partial-sum tiles for absorbed reductions) in
+    /// `l1_bytes`.
+    ///
+    /// # Errors
+    /// Returns the failing allocation as an [`aimc_cluster::L1Overflow`].
+    pub fn check_l1(
+        &self,
+        l1_bytes: usize,
+        row_share: usize,
+        col_share: usize,
+        extra_partials: usize,
+    ) -> Result<(), aimc_cluster::L1Overflow> {
+        let mut l1 = L1Allocator::new(l1_bytes);
+        let in_bytes = self.in_tile_bytes().div_ceil(row_share.max(1));
+        let out_bytes = self.out_tile_bytes().div_ceil(col_share.max(1));
+        l1.alloc_double("ifm_tile", in_bytes)?;
+        l1.alloc_double("ofm_tile", out_bytes)?;
+        for i in 0..extra_partials {
+            l1.alloc(&format!("partial{i}"), out_bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// Largest divisor of `n` that is ≤ `cap` (1 divides everything).
+fn largest_divisor_at_most(n: usize, cap: usize) -> usize {
+    debug_assert!(n > 0);
+    (1..=cap.min(n)).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisor_helper() {
+        assert_eq!(largest_divisor_at_most(128, 16), 16);
+        assert_eq!(largest_divisor_at_most(8, 16), 8);
+        assert_eq!(largest_divisor_at_most(12, 16), 12);
+        assert_eq!(largest_divisor_at_most(14, 16), 14);
+        assert_eq!(largest_divisor_at_most(15, 4), 3);
+        assert_eq!(largest_divisor_at_most(7, 4), 1);
+        assert_eq!(largest_divisor_at_most(1, 16), 1);
+    }
+
+    #[test]
+    fn resnet_layer_tilings() {
+        // Layer 0: 3x256x256 → 64x128x128, 7x7 s2.
+        let t0 = Tiling::plan(Shape::new(3, 256, 256), Shape::new(64, 128, 128), 7, 2);
+        assert_eq!(t0.chunks_per_image, 16);
+        assert_eq!(t0.out_tile_w, 8);
+        assert_eq!(t0.in_tile_w, 8 * 2 + 5);
+        // Deep 8x8 layers: width 8 < 16 ⇒ 8 chunks of width 1.
+        let t5 = Tiling::plan(Shape::new(512, 8, 8), Shape::new(512, 8, 8), 3, 1);
+        assert_eq!(t5.chunks_per_image, 8);
+        assert_eq!(t5.out_tile_w, 1);
+        assert_eq!(t5.in_tile_w, 3);
+        // FC / GAP output: width 1 ⇒ single chunk.
+        let tf = Tiling::plan(Shape::new(512, 1, 1), Shape::new(1000, 1, 1), 1, 1);
+        assert_eq!(tf.chunks_per_image, 1);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let t = Tiling::plan(Shape::new(64, 64, 64), Shape::new(64, 64, 64), 3, 1);
+        assert_eq!(t.in_tile_bytes(), 64 * 64 * 6);
+        assert_eq!(t.out_tile_bytes(), 64 * 64 * 4);
+        assert_eq!(t.mvms_per_chunk(), 64 * 4);
+    }
+
+    #[test]
+    fn halo_capped_by_input_width() {
+        // Tiny input: halo cannot exceed the image.
+        let t = Tiling::plan(Shape::new(8, 4, 2), Shape::new(8, 4, 2), 3, 1);
+        assert!(t.in_tile_w <= 2);
+    }
+
+    #[test]
+    fn l1_check_passes_for_resnet_tiles() {
+        // The largest tile pressure: Layer 0 output 64x128x8 = 64 KiB.
+        let t0 = Tiling::plan(Shape::new(3, 256, 256), Shape::new(64, 128, 128), 7, 2);
+        assert!(t0.check_l1(1 << 20, 1, 1, 0).is_ok());
+        // Every other ResNet layer comfortably fits 1 MB with partials.
+        let t2 = Tiling::plan(Shape::new(64, 64, 64), Shape::new(64, 64, 64), 3, 1);
+        assert!(t2.check_l1(1 << 20, 3, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn l1_check_fails_when_memory_is_tiny() {
+        let t = Tiling::plan(Shape::new(64, 64, 64), Shape::new(64, 64, 64), 3, 1);
+        let err = t.check_l1(16 * 1024, 1, 1, 0).unwrap_err();
+        assert!(err.requested > 0);
+    }
+
+    #[test]
+    fn whole_image_fits_nowhere_without_tiling() {
+        // Motivation check (Sec. IV-4): the full 64-ch 128x128 OFM with
+        // double buffering exceeds 1 MB, so W-tiling is mandatory.
+        let full = 64 * 128 * 128 * 2 * 2; // in+out, double-buffered
+        assert!(full > 1 << 20);
+    }
+}

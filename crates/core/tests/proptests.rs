@@ -1,0 +1,103 @@
+//! Property-based tests for the mapping compiler's planning primitives.
+
+use aimc_core::{ReductionPlan, SplitPlan, Tiling, MAX_CHUNKS_PER_IMAGE};
+use aimc_dnn::Shape;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Splits cover the weight matrix exactly: per-split sizes sum to the
+    /// totals, none exceeds the array, and the count is the ceil division.
+    #[test]
+    fn split_plan_partitions_exactly(
+        rows in 1usize..10_000,
+        cols in 1usize..4_000,
+        xr in 16usize..1024,
+        xc in 16usize..1024,
+    ) {
+        let p = SplitPlan::for_matrix(rows, cols, xr, xc);
+        prop_assert_eq!(p.row_splits, rows.div_ceil(xr));
+        prop_assert_eq!(p.col_splits, cols.div_ceil(xc));
+        prop_assert_eq!(p.rows_per_split.iter().sum::<usize>(), rows);
+        prop_assert_eq!(p.cols_per_split.iter().sum::<usize>(), cols);
+        prop_assert!(p.rows_per_split.iter().all(|&r| r <= xr && r > 0));
+        prop_assert!(p.cols_per_split.iter().all(|&c| c <= xc && c > 0));
+        // Balanced: sizes differ by at most 1.
+        let rmax = p.rows_per_split.iter().max().unwrap();
+        let rmin = p.rows_per_split.iter().min().unwrap();
+        prop_assert!(rmax - rmin <= 1);
+    }
+
+    /// Utilization is exact: used cells over provisioned cells, in (0, 1].
+    #[test]
+    fn split_utilization_bounds(
+        rows in 1usize..5_000,
+        cols in 1usize..2_000,
+    ) {
+        let p = SplitPlan::for_matrix(rows, cols, 256, 256);
+        let u = p.utilization(256, 256);
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-12);
+        let exact = (rows * cols) as f64 / (p.imas() * 256 * 256) as f64;
+        prop_assert!((u - exact).abs() < 1e-9);
+    }
+
+    /// A reduction tree always reduces to one output; absorbed + dedicated
+    /// level arithmetic is consistent; dedicated clusters are bounded by
+    /// fan-in − 1 (total adds of a binary tree).
+    #[test]
+    fn reduction_tree_converges(fan_in in 1usize..200, threshold in 1usize..16) {
+        let p = ReductionPlan::new(fan_in, threshold);
+        // Replay the plan.
+        let mut n = fan_in;
+        for _ in 0..p.absorbed_levels {
+            n = n.div_ceil(2);
+        }
+        prop_assert_eq!(n, p.after_absorption);
+        prop_assert!(n <= threshold.max(1) || p.absorbed_levels == 0 || n <= threshold.max(1));
+        for &adds in &p.dedicated_adds_per_level {
+            prop_assert_eq!(adds, n / 2);
+            n = n.div_ceil(2);
+        }
+        prop_assert_eq!(n, 1, "tree must converge to a single output");
+        prop_assert!(p.dedicated_clusters() < fan_in.max(2));
+    }
+
+    /// Tilings cover the output width and respect the chunk cap; input tile
+    /// widths never exceed the input.
+    #[test]
+    fn tiling_covers_width(
+        c in 1usize..512,
+        h in 1usize..128,
+        w in 1usize..256,
+        kw in 1usize..8,
+        stride in 1usize..4,
+    ) {
+        let ofm_w = w;
+        let ifm = Shape::new(c, h, (w * stride + kw).min(4096));
+        let ofm = Shape::new(c, h, ofm_w);
+        let t = Tiling::plan(ifm, ofm, kw, stride);
+        prop_assert!(t.chunks_per_image >= 1);
+        prop_assert!(t.chunks_per_image <= MAX_CHUNKS_PER_IMAGE.max(1));
+        prop_assert!(t.out_tile_w * t.chunks_per_image >= ofm.w, "chunks must cover W");
+        prop_assert!(t.in_tile_w <= ifm.w);
+        prop_assert!(t.mvms_per_chunk() >= 1);
+        // Byte accounting matches the dimensions.
+        prop_assert_eq!(t.out_tile_bytes(), c * h * t.out_tile_w);
+    }
+
+    /// The L1 check accepts exactly when the arithmetic says it fits.
+    #[test]
+    fn l1_check_is_consistent(
+        c in 1usize..256,
+        h in 8usize..64,
+        w in 8usize..64,
+        budget_kb in 1usize..2048,
+    ) {
+        let shape = Shape::new(c, h, w);
+        let t = Tiling::plan(shape, shape, 3, 1);
+        let need = 2 * t.in_tile_bytes() + 2 * t.out_tile_bytes();
+        let ok = t.check_l1(budget_kb * 1024, 1, 1, 0).is_ok();
+        prop_assert_eq!(ok, need <= budget_kb * 1024);
+    }
+}

@@ -1,0 +1,432 @@
+//! Functional AIMC executor: runs a graph with every analog-amenable layer
+//! (convolutions, the FC head, residual projections) evaluated on modeled
+//! PCM crossbars from `aimc-xbar`, split across multiple arrays exactly like
+//! the multi-cluster mapping of Sec. V-1:
+//!
+//! * rows (`Cin·Kx·Ky`) beyond the array height are split across arrays and
+//!   the partial outputs are **reduced digitally** (as the CORES do);
+//! * columns (`Cout`) beyond the array width are split across arrays with the
+//!   input **broadcast** to each.
+//!
+//! Digital layers (pooling, residual adds, ReLU) use the golden ops — they
+//! run on the RISC-V cores in the real system.
+//!
+//! This executor answers the functional question the timing simulator cannot:
+//! *does the network still classify correctly through quantized, noisy analog
+//! arrays?* (See the `analog_accuracy` example.)
+
+use crate::graph::Graph;
+use crate::layer::{ConvCfg, LayerKind};
+use crate::ops;
+use crate::tensor::{Shape, Tensor};
+use crate::weights::Weights;
+use aimc_xbar::{Crossbar, XbarConfig, XbarError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// One analog layer deployed across one or more crossbar tiles.
+#[derive(Debug)]
+struct AnalogLayer {
+    cfg: ConvCfg,
+    /// `tiles[row_split][col_split]`.
+    tiles: Vec<Vec<Crossbar>>,
+    row_chunks: Vec<(usize, usize)>, // (start, len) in xbar-row space
+    col_chunks: Vec<(usize, usize)>, // (start, len) in output-channel space
+}
+
+/// Splits `total` into chunks of at most `max` (the paper's ceil-split).
+fn split_dim(total: usize, max: usize) -> Vec<(usize, usize)> {
+    let n = total.div_ceil(max);
+    let base = total / n;
+    let rem = total % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < rem);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+impl AnalogLayer {
+    fn program(
+        cfg: ConvCfg,
+        xbar_weights: &[f32], // [rows][cols] row-major
+        xbar_cfg: &XbarConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, XbarError> {
+        let rows = cfg.xbar_rows();
+        let cols = cfg.xbar_cols();
+        let row_chunks = split_dim(rows, xbar_cfg.rows);
+        let col_chunks = split_dim(cols, xbar_cfg.cols);
+        let mut tiles = Vec::with_capacity(row_chunks.len());
+        for &(r0, rl) in &row_chunks {
+            let mut row_tiles = Vec::with_capacity(col_chunks.len());
+            for &(c0, cl) in &col_chunks {
+                let mut block = Vec::with_capacity(rl * cl);
+                for r in r0..r0 + rl {
+                    block.extend_from_slice(&xbar_weights[r * cols + c0..r * cols + c0 + cl]);
+                }
+                row_tiles.push(Crossbar::program(xbar_cfg, &block, rl, cl, rng)?);
+            }
+            tiles.push(row_tiles);
+        }
+        Ok(AnalogLayer {
+            cfg,
+            tiles,
+            row_chunks,
+            col_chunks,
+        })
+    }
+
+    /// Full conv via per-pixel im2col MVMs with digital partial reduction.
+    fn conv(&self, x: &Tensor, rng: &mut StdRng) -> Tensor {
+        let outs = self.cfg.out_shape(x.shape());
+        let mut y = Tensor::zeros(outs);
+        let rows = self.cfg.xbar_rows();
+        let mut patch = vec![0.0f32; rows];
+        let mut col_buf = vec![0.0f32; self.col_chunks.iter().map(|c| c.1).max().unwrap_or(0)];
+        for oh in 0..outs.h {
+            for ow in 0..outs.w {
+                ops::im2col_patch(x, &self.cfg, oh, ow, &mut patch);
+                for (ri, &(r0, rl)) in self.row_chunks.iter().enumerate() {
+                    let xin = &patch[r0..r0 + rl];
+                    for (ci, &(c0, cl)) in self.col_chunks.iter().enumerate() {
+                        let out = &mut col_buf[..cl];
+                        self.tiles[ri][ci]
+                            .mvm_into(xin, out, rng)
+                            .expect("programmed dimensions are consistent");
+                        for (k, &v) in out.iter().enumerate() {
+                            let oc = c0 + k;
+                            // Digital reduction of row-split partials.
+                            let cur = y.get(oc, oh, ow);
+                            y.set(oc, oh, ow, cur + v);
+                        }
+                    }
+                }
+                if self.cfg.relu {
+                    for oc in 0..outs.c {
+                        if y.get(oc, oh, ow) < 0.0 {
+                            y.set(oc, oh, ow, 0.0);
+                        }
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    fn total_mvms(&self) -> u64 {
+        self.tiles
+            .iter()
+            .flatten()
+            .map(|t| t.mvm_count())
+            .sum()
+    }
+}
+
+/// Graph executor with analog layers on modeled crossbars.
+///
+/// # Examples
+/// ```no_run
+/// use aimc_dnn::{AimcExecutor, he_init, resnet18_cifar, Shape, Tensor};
+/// use aimc_xbar::XbarConfig;
+/// let g = resnet18_cifar(10);
+/// let w = he_init(&g, 0);
+/// let mut exec = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 1).unwrap();
+/// let y = exec.infer(&Tensor::zeros(Shape::new(3, 32, 32)));
+/// assert_eq!(y.shape(), Shape::new(10, 1, 1));
+/// ```
+pub struct AimcExecutor {
+    graph: Graph,
+    weights: Weights,
+    analog: HashMap<usize, AnalogLayer>,
+    /// FC head deployed as crossbar tiles (reuses conv machinery with a
+    /// 1×1 "image").
+    rng: StdRng,
+    xbar_cfg: XbarConfig,
+}
+
+impl AimcExecutor {
+    /// Programs all analog layers of `graph` onto crossbars.
+    ///
+    /// # Errors
+    /// Propagates [`XbarError`] from programming (e.g. invalid config).
+    ///
+    /// # Panics
+    /// Panics if a parametric node lacks weights.
+    pub fn program(
+        graph: &Graph,
+        weights: &Weights,
+        xbar_cfg: &XbarConfig,
+        seed: u64,
+    ) -> Result<Self, XbarError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut analog = HashMap::new();
+        for node in graph.nodes() {
+            let conv_cfg = match &node.kind {
+                LayerKind::Conv(c) => Some(*c),
+                LayerKind::Residual {
+                    projection: Some(p),
+                } => Some(*p),
+                LayerKind::Linear {
+                    in_features,
+                    out_features,
+                } => Some(ConvCfg {
+                    in_ch: *in_features,
+                    out_ch: *out_features,
+                    kh: 1,
+                    kw: 1,
+                    stride: 1,
+                    pad: 0,
+                    relu: false,
+                }),
+                _ => None,
+            };
+            if let Some(cfg) = conv_cfg {
+                let w = weights
+                    .get(node.id)
+                    .unwrap_or_else(|| panic!("missing weights for node {}", node.id));
+                let wx = ops::weights_to_xbar_layout(w, &cfg);
+                analog.insert(node.id, AnalogLayer::program(cfg, &wx, xbar_cfg, &mut rng)?);
+            }
+        }
+        Ok(AimcExecutor {
+            graph: graph.clone(),
+            weights: weights.clone(),
+            analog,
+            rng,
+            xbar_cfg: xbar_cfg.clone(),
+        })
+    }
+
+    /// Number of crossbar tiles programmed (row splits × col splits summed
+    /// over analog layers) — must agree with the mapper's IMA counts.
+    pub fn tile_count(&self) -> usize {
+        self.analog
+            .values()
+            .map(|l| l.tiles.iter().map(|r| r.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// The crossbar configuration in use.
+    pub fn xbar_config(&self) -> &XbarConfig {
+        &self.xbar_cfg
+    }
+
+    /// Total MVMs evaluated since programming.
+    pub fn total_mvms(&self) -> u64 {
+        self.analog.values().map(|l| l.total_mvms()).sum()
+    }
+
+    /// Applies PCM conductance drift to every programmed tile: `t_hours`
+    /// since programming (see [`Crossbar::apply_drift`]). Models inference
+    /// long after deployment without re-programming — the scenario
+    /// non-volatile AIMC targets.
+    pub fn apply_drift(&mut self, t_hours: f64) {
+        for layer in self.analog.values_mut() {
+            for row in layer.tiles.iter_mut() {
+                for tile in row.iter_mut() {
+                    tile.apply_drift(t_hours);
+                }
+            }
+        }
+    }
+
+    /// Runs one image through the network.
+    ///
+    /// # Panics
+    /// Panics if the input shape does not match the graph.
+    pub fn infer(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape(), self.graph.input_shape(), "input shape mismatch");
+        let mut outs: Vec<Tensor> = Vec::with_capacity(self.graph.len());
+        // Iterate by id to placate the borrow checker (graph is immutable,
+        // rng is mutable).
+        for id in 0..self.graph.len() {
+            let node = self.graph.node(id).clone();
+            let fetch = |slot: usize, outs: &[Tensor]| -> Tensor {
+                match node.inputs.get(slot) {
+                    Some(&p) => outs[p].clone(),
+                    None => input.clone(),
+                }
+            };
+            let y = match &node.kind {
+                LayerKind::Input => input.clone(),
+                LayerKind::Conv(_) => {
+                    let x = fetch(0, &outs);
+                    self.analog
+                        .get(&id)
+                        .expect("analog layer programmed")
+                        .conv(&x, &mut self.rng)
+                }
+                LayerKind::DepthwiseConv(cfg) => {
+                    // Depthwise runs digitally on the CORES (block-diagonal
+                    // weights waste crossbar cells).
+                    let w = self
+                        .weights
+                        .get(id)
+                        .unwrap_or_else(|| panic!("missing weights for node {id}"));
+                    ops::depthwise_conv2d(&fetch(0, &outs), w, cfg)
+                }
+                LayerKind::MaxPool { k, stride, pad } => {
+                    ops::maxpool2d(&fetch(0, &outs), *k, *stride, *pad)
+                }
+                LayerKind::GlobalAvgPool => ops::global_avgpool(&fetch(0, &outs)),
+                LayerKind::Linear { out_features, .. } => {
+                    let x = fetch(0, &outs);
+                    let flat = Tensor::from_vec(
+                        Shape::new(x.shape().numel(), 1, 1),
+                        x.into_vec(),
+                    );
+                    let y = self
+                        .analog
+                        .get(&id)
+                        .expect("analog layer programmed")
+                        .conv(&flat, &mut self.rng);
+                    Tensor::from_vec(Shape::new(*out_features, 1, 1), y.into_vec())
+                }
+                LayerKind::Residual { projection } => {
+                    let main = fetch(0, &outs);
+                    let skip = fetch(1, &outs);
+                    let skip = match projection {
+                        Some(_) => self
+                            .analog
+                            .get(&id)
+                            .expect("projection programmed")
+                            .conv(&skip, &mut self.rng),
+                        None => skip,
+                    };
+                    ops::add(&main, &skip, true)
+                }
+            };
+            outs.push(y);
+        }
+        let _ = &self.weights; // retained for future re-programming APIs
+        outs.pop().expect("non-empty graph")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::infer_golden;
+    use crate::graph::GraphBuilder;
+    use crate::weights::he_init;
+    use rand::Rng;
+
+    fn small_cnn() -> Graph {
+        let mut b = GraphBuilder::new(Shape::new(3, 8, 8));
+        let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 8, 1));
+        let c1 = b.conv("c1", Some(c0), ConvCfg::k3(8, 8, 1));
+        let r = b.residual("r", c1, c0, None);
+        let p = b.global_avgpool("gap", r);
+        let _ = b.linear("fc", p, 4);
+        b.finish()
+    }
+
+    fn random_image(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            shape,
+            (0..shape.numel()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn split_dim_covers_exactly() {
+        assert_eq!(split_dim(576, 256), vec![(0, 192), (192, 192), (384, 192)]);
+        assert_eq!(split_dim(256, 256), vec![(0, 256)]);
+        assert_eq!(split_dim(512, 256), vec![(0, 256), (256, 256)]);
+        assert_eq!(split_dim(5, 2), vec![(0, 2), (2, 2), (4, 1)]);
+        // Chunks tile the range with no gaps.
+        for (total, max) in [(1000, 256), (77, 10), (1, 5)] {
+            let chunks = split_dim(total, max);
+            let mut pos = 0;
+            for (s, l) in chunks {
+                assert_eq!(s, pos);
+                assert!(l <= max);
+                pos += l;
+            }
+            assert_eq!(pos, total);
+        }
+    }
+
+    #[test]
+    fn ideal_analog_matches_golden() {
+        let g = small_cnn();
+        let w = he_init(&g, 3);
+        let x = random_image(g.input_shape(), 7);
+        let golden = infer_golden(&g, &w, &x);
+        let mut exec =
+            AimcExecutor::program(&g, &w, &XbarConfig::ideal(256, 256), 1).unwrap();
+        let analog = exec.infer(&x);
+        for (a, b) in analog.data().iter().zip(golden.data()) {
+            let tol = 0.05 * b.abs().max(1.0);
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn row_splits_are_exercised_by_small_arrays() {
+        let g = small_cnn();
+        let w = he_init(&g, 3);
+        // 8-channel 3x3 conv ⇒ 72 rows; a 32-row array forces 3 row splits.
+        // c0: 27 rows→1 tile; c1: 72 rows→3 tiles; fc: 1 tile ⇒ 5 tiles.
+        let cfg = XbarConfig::ideal(32, 16);
+        let mut exec = AimcExecutor::program(&g, &w, &cfg, 1).unwrap();
+        assert_eq!(exec.tile_count(), 5);
+        let x = random_image(g.input_shape(), 7);
+        let golden = infer_golden(&g, &w, &x);
+        let analog = exec.infer(&x);
+        for (a, b) in analog.data().iter().zip(golden.data()) {
+            let tol = 0.08 * b.abs().max(1.0);
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+        assert!(exec.total_mvms() > 0);
+    }
+
+    #[test]
+    fn noisy_arrays_still_classify_like_golden() {
+        let g = small_cnn();
+        let w = he_init(&g, 5);
+        let mut exec =
+            AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 2).unwrap();
+        let mut agree = 0;
+        let n = 10;
+        for i in 0..n {
+            let x = random_image(g.input_shape(), 100 + i);
+            let golden = infer_golden(&g, &w, &x);
+            let analog = exec.infer(&x);
+            if golden.argmax() == analog.argmax() {
+                agree += 1;
+            }
+        }
+        // Device noise may flip borderline decisions, but most must agree.
+        assert!(agree >= n * 6 / 10, "only {agree}/{n} agreed");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = small_cnn();
+        let w = he_init(&g, 5);
+        let x = random_image(g.input_shape(), 3);
+        let run = || {
+            let mut e = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 9).unwrap();
+            e.infer(&x)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tile_count_matches_split_arithmetic() {
+        let g = small_cnn();
+        let w = he_init(&g, 0);
+        let cfg = XbarConfig::ideal(32, 4);
+        let exec = AimcExecutor::program(&g, &w, &cfg, 1).unwrap();
+        // c0: rows 27→1 split, cols 8→2; c1: rows 72→3, cols 8→2;
+        // fc: rows 8→1, cols 4→1. Total tiles = 2 + 6 + 1 = 9.
+        assert_eq!(exec.tile_count(), 9);
+    }
+}

@@ -1,0 +1,188 @@
+//! The golden (digital f32) graph executor — the functional ground truth.
+
+use crate::graph::{Graph, NodeId};
+use crate::layer::LayerKind;
+use crate::ops;
+use crate::tensor::Tensor;
+use crate::weights::Weights;
+
+/// Executes `graph` on one input image, returning every node's output.
+///
+/// The returned vector is indexed by node id; the network result is the last
+/// entry.
+///
+/// # Panics
+/// Panics if a parametric node has no weights, or if the input shape does
+/// not match `graph.input_shape()`.
+///
+/// # Examples
+/// ```
+/// use aimc_dnn::{execute_golden, he_init, resnet18_cifar, Shape, Tensor};
+/// let g = resnet18_cifar(10);
+/// let w = he_init(&g, 0);
+/// let x = Tensor::zeros(Shape::new(3, 32, 32));
+/// let outs = execute_golden(&g, &w, &x);
+/// assert_eq!(outs.last().unwrap().shape(), Shape::new(10, 1, 1));
+/// ```
+pub fn execute_golden(graph: &Graph, weights: &Weights, input: &Tensor) -> Vec<Tensor> {
+    assert_eq!(
+        input.shape(),
+        graph.input_shape(),
+        "input shape mismatch"
+    );
+    let mut outs: Vec<Tensor> = Vec::with_capacity(graph.len());
+    for node in graph.nodes() {
+        let fetch = |slot: usize, outs: &[Tensor]| -> Tensor {
+            match node.inputs.get(slot) {
+                Some(&p) => outs[p].clone(),
+                None => input.clone(),
+            }
+        };
+        let y = match &node.kind {
+            LayerKind::Input => input.clone(),
+            LayerKind::Conv(cfg) => {
+                let x = fetch(0, &outs);
+                let w = weights
+                    .get(node.id)
+                    .unwrap_or_else(|| panic!("missing weights for node {}", node.id));
+                ops::conv2d(&x, w, cfg)
+            }
+            LayerKind::DepthwiseConv(cfg) => {
+                let x = fetch(0, &outs);
+                let w = weights
+                    .get(node.id)
+                    .unwrap_or_else(|| panic!("missing weights for node {}", node.id));
+                ops::depthwise_conv2d(&x, w, cfg)
+            }
+            LayerKind::MaxPool { k, stride, pad } => {
+                let x = fetch(0, &outs);
+                ops::maxpool2d(&x, *k, *stride, *pad)
+            }
+            LayerKind::GlobalAvgPool => {
+                let x = fetch(0, &outs);
+                ops::global_avgpool(&x)
+            }
+            LayerKind::Linear { out_features, .. } => {
+                let x = fetch(0, &outs);
+                let w = weights
+                    .get(node.id)
+                    .unwrap_or_else(|| panic!("missing weights for node {}", node.id));
+                ops::linear(&x, w, *out_features)
+            }
+            LayerKind::Residual { projection } => {
+                let main = fetch(0, &outs);
+                let skip = fetch(1, &outs);
+                let skip = match projection {
+                    Some(p) => {
+                        let w = weights
+                            .get(node.id)
+                            .unwrap_or_else(|| panic!("missing projection weights for node {}", node.id));
+                        ops::conv2d(&skip, w, p)
+                    }
+                    None => skip,
+                };
+                ops::add(&main, &skip, true)
+            }
+        };
+        outs.push(y);
+    }
+    outs
+}
+
+/// Convenience wrapper returning only the network output (logits).
+pub fn infer_golden(graph: &Graph, weights: &Weights, input: &Tensor) -> Tensor {
+    execute_golden(graph, weights, input)
+        .pop()
+        .expect("graph is non-empty")
+}
+
+/// Identifies the node whose output feeds the residual *skip* input of
+/// `res_node` (used by the runtime to wire residual edges).
+pub fn skip_producer(graph: &Graph, res_node: NodeId) -> Option<NodeId> {
+    let n = graph.node(res_node);
+    match n.kind {
+        LayerKind::Residual { .. } => n.inputs.get(1).copied(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::layer::ConvCfg;
+    use crate::resnet::resnet18_cifar;
+    use crate::tensor::Shape;
+    use crate::weights::he_init;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_image(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            shape,
+            (0..shape.numel()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn cifar_resnet_executes_end_to_end() {
+        let g = resnet18_cifar(10);
+        let w = he_init(&g, 11);
+        let x = random_image(g.input_shape(), 5);
+        let outs = execute_golden(&g, &w, &x);
+        assert_eq!(outs.len(), g.len());
+        let logits = outs.last().unwrap();
+        assert_eq!(logits.shape(), Shape::new(10, 1, 1));
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+        // Residual + ReLU stages keep activations non-negative after node 0.
+        assert!(outs[3].data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn infer_matches_execute_tail() {
+        let g = resnet18_cifar(10);
+        let w = he_init(&g, 2);
+        let x = random_image(g.input_shape(), 9);
+        let a = infer_golden(&g, &w, &x);
+        let b = execute_golden(&g, &w, &x).pop().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = resnet18_cifar(10);
+        let w = he_init(&g, 2);
+        let x = random_image(g.input_shape(), 1);
+        assert_eq!(infer_golden(&g, &w, &x), infer_golden(&g, &w, &x));
+    }
+
+    #[test]
+    fn skip_producer_identifies_residual_edges() {
+        let mut b = GraphBuilder::new(Shape::new(3, 8, 8));
+        let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 4, 1));
+        let c1 = b.conv("c1", Some(c0), ConvCfg::k3(4, 4, 1));
+        let r = b.residual("r", c1, c0, None);
+        let g = b.finish();
+        assert_eq!(skip_producer(&g, r), Some(c0));
+        assert_eq!(skip_producer(&g, c1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape mismatch")]
+    fn rejects_wrong_input_shape() {
+        let g = resnet18_cifar(10);
+        let w = he_init(&g, 0);
+        let x = Tensor::zeros(Shape::new(3, 16, 16));
+        execute_golden(&g, &w, &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing weights")]
+    fn rejects_missing_weights() {
+        let g = resnet18_cifar(10);
+        let w = Weights::new();
+        let x = Tensor::zeros(g.input_shape());
+        execute_golden(&g, &w, &x);
+    }
+}

@@ -1,0 +1,421 @@
+//! The network DAG (Fig. 2A): nodes in topological order with explicit
+//! producer edges, shape inference, and whole-network op/parameter totals.
+
+use crate::layer::{ConvCfg, LayerKind};
+use crate::tensor::Shape;
+use core::fmt;
+
+/// Identifier of a node within its graph (also the paper's "Layer N" index).
+pub type NodeId = usize;
+
+/// One operator instance in the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Graph-unique id; equals the node's position (topological by
+    /// construction).
+    pub id: NodeId,
+    /// Human-readable name (e.g. `"conv2"`).
+    pub name: String,
+    /// The operator.
+    pub kind: LayerKind,
+    /// Producer nodes. Convention for [`LayerKind::Residual`]:
+    /// `inputs[0]` is the main path, `inputs[1]` the skip path.
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub out_shape: Shape,
+}
+
+impl Node {
+    /// The node's input feature-map shape: the output shape of `inputs[0]`,
+    /// or the network input shape for nodes consuming the raw input.
+    pub fn ifm_shape(&self, graph: &Graph) -> Shape {
+        match self.inputs.first() {
+            Some(&p) => graph.node(p).out_shape,
+            None => graph.input_shape(),
+        }
+    }
+
+    /// MAC count of this node for one image (0 for non-MAC ops; pooling and
+    /// additions are counted separately as digital element ops).
+    pub fn macs(&self, graph: &Graph) -> u64 {
+        match &self.kind {
+            LayerKind::Conv(c) => c.macs(self.ifm_shape(graph)),
+            // Depthwise: one K×K MAC window per output element.
+            LayerKind::DepthwiseConv(c) => {
+                self.out_shape.numel() as u64 * (c.kh * c.kw) as u64
+            }
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => (*in_features * *out_features) as u64,
+            LayerKind::Residual {
+                projection: Some(p),
+            } => {
+                let skip_shape = graph.node(self.inputs[1]).out_shape;
+                p.macs(skip_shape)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Digital element-operations of this node per image (adds/compares
+    /// executed on the CORES).
+    pub fn digital_elem_ops(&self, graph: &Graph) -> u64 {
+        match &self.kind {
+            LayerKind::MaxPool { k, .. } => self.out_shape.numel() as u64 * (k * k) as u64,
+            LayerKind::GlobalAvgPool => self.ifm_shape(graph).numel() as u64,
+            LayerKind::Residual { .. } => self.out_shape.numel() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// A directed acyclic network graph.
+///
+/// Nodes are stored in topological order (enforced at construction: every
+/// edge points from a lower to a higher id), so iteration order is execution
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    input_shape: Shape,
+}
+
+impl Graph {
+    /// The network's input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// All nodes in topological (= id) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes (including the input node).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Consumers of a node, in id order.
+    pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.inputs.contains(&id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The final node (network output).
+    ///
+    /// # Panics
+    /// Panics on an empty graph.
+    pub fn output(&self) -> &Node {
+        self.nodes.last().expect("graph is empty")
+    }
+
+    /// Total MACs per image.
+    pub fn total_macs(&self) -> u64 {
+        self.nodes.iter().map(|n| n.macs(self)).sum()
+    }
+
+    /// Total operations per image, counting 2 ops per MAC (the TOPS
+    /// convention used for the headline numbers).
+    pub fn total_ops(&self) -> u64 {
+        2 * self.total_macs()
+    }
+
+    /// Total parameters.
+    pub fn total_params(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kind.params() as u64).sum()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "{:>3} {:<8} {:<28} -> {:<12} ({} params)",
+                n.id,
+                n.name,
+                n.kind.to_string(),
+                n.out_shape.to_string(),
+                n.kind.params()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental, shape-checked graph construction.
+///
+/// # Examples
+/// ```
+/// use aimc_dnn::{ConvCfg, GraphBuilder, Shape};
+/// let mut b = GraphBuilder::new(Shape::new(3, 32, 32));
+/// let x = b.input();
+/// let c = b.conv("c0", x, ConvCfg::k3(3, 16, 1));
+/// let g = b.finish();
+/// assert_eq!(g.node(c).out_shape, Shape::new(16, 32, 32));
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    input_shape: Shape,
+}
+
+impl GraphBuilder {
+    /// Starts a graph whose input node (id 0 is *not* created; the input is
+    /// implicit producer of the first layer) has shape `input_shape`.
+    ///
+    /// To match the paper's numbering, node 0 is the first *compute* layer
+    /// (`0 conv` in Fig. 2A); the image source is represented by a pseudo
+    /// node only inside the runtime.
+    pub fn new(input_shape: Shape) -> Self {
+        GraphBuilder {
+            nodes: Vec::new(),
+            input_shape,
+        }
+    }
+
+    /// Handle used as producer for layers consuming the raw network input.
+    pub fn input(&self) -> Option<NodeId> {
+        None
+    }
+
+    fn shape_of(&self, src: Option<NodeId>) -> Shape {
+        match src {
+            None => self.input_shape,
+            Some(id) => self.nodes[id].out_shape,
+        }
+    }
+
+    fn push(&mut self, name: &str, kind: LayerKind, inputs: Vec<NodeId>, out_shape: Shape) -> NodeId {
+        let id = self.nodes.len();
+        for &p in &inputs {
+            assert!(p < id, "edges must point forward (topological ids)");
+        }
+        self.nodes.push(Node {
+            id,
+            name: name.to_string(),
+            kind,
+            inputs,
+            out_shape,
+        });
+        id
+    }
+
+    /// Adds a convolution; `src = None` consumes the network input.
+    pub fn conv(&mut self, name: &str, src: Option<NodeId>, cfg: ConvCfg) -> NodeId {
+        let in_shape = self.shape_of(src);
+        let out = cfg.out_shape(in_shape);
+        self.push(
+            name,
+            LayerKind::Conv(cfg),
+            src.into_iter().collect(),
+            out,
+        )
+    }
+
+    /// Adds a depthwise convolution (`cfg.in_ch` must equal `cfg.out_ch`).
+    ///
+    /// # Panics
+    /// Panics if the channel counts differ or do not match the input.
+    pub fn depthwise(&mut self, name: &str, src: NodeId, cfg: ConvCfg) -> NodeId {
+        assert_eq!(cfg.in_ch, cfg.out_ch, "depthwise conv preserves channels");
+        let in_shape = self.nodes[src].out_shape;
+        let out = cfg.out_shape(in_shape);
+        self.push(name, LayerKind::DepthwiseConv(cfg), vec![src], out)
+    }
+
+    /// Adds a max-pool layer.
+    pub fn maxpool(&mut self, name: &str, src: NodeId, k: usize, stride: usize, pad: usize) -> NodeId {
+        let s = self.nodes[src].out_shape;
+        let h = (s.h + 2 * pad - k) / stride + 1;
+        let w = (s.w + 2 * pad - k) / stride + 1;
+        self.push(
+            name,
+            LayerKind::MaxPool { k, stride, pad },
+            vec![src],
+            Shape::new(s.c, h, w),
+        )
+    }
+
+    /// Adds a global average pool (output 1×1).
+    pub fn global_avgpool(&mut self, name: &str, src: NodeId) -> NodeId {
+        let s = self.nodes[src].out_shape;
+        self.push(
+            name,
+            LayerKind::GlobalAvgPool,
+            vec![src],
+            Shape::new(s.c, 1, 1),
+        )
+    }
+
+    /// Adds a fully connected layer over the flattened input.
+    pub fn linear(&mut self, name: &str, src: NodeId, out_features: usize) -> NodeId {
+        let s = self.nodes[src].out_shape;
+        let in_features = s.numel();
+        self.push(
+            name,
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            },
+            vec![src],
+            Shape::new(out_features, 1, 1),
+        )
+    }
+
+    /// Adds a residual addition `main + skip`, with an optional projection
+    /// convolution applied to the skip path.
+    ///
+    /// # Panics
+    /// Panics if the (projected) skip shape disagrees with the main shape.
+    pub fn residual(
+        &mut self,
+        name: &str,
+        main: NodeId,
+        skip: NodeId,
+        projection: Option<ConvCfg>,
+    ) -> NodeId {
+        let main_shape = self.nodes[main].out_shape;
+        let skip_shape = self.nodes[skip].out_shape;
+        let projected = match &projection {
+            Some(p) => p.out_shape(skip_shape),
+            None => skip_shape,
+        };
+        assert_eq!(
+            main_shape, projected,
+            "residual branches must produce identical shapes"
+        );
+        self.push(
+            name,
+            LayerKind::Residual { projection },
+            vec![main, skip],
+            main_shape,
+        )
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Panics
+    /// Panics if the graph is empty.
+    pub fn finish(self) -> Graph {
+        assert!(!self.nodes.is_empty(), "graph has no layers");
+        Graph {
+            nodes: self.nodes,
+            input_shape: self.input_shape,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new(Shape::new(3, 8, 8));
+        let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 4, 1));
+        let c1 = b.conv("c1", Some(c0), ConvCfg::k3(4, 4, 1));
+        let r = b.residual("r", c1, c0, None);
+        let p = b.global_avgpool("gap", r);
+        let _fc = b.linear("fc", p, 10);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_topological_ids() {
+        let g = tiny();
+        assert_eq!(g.len(), 5);
+        for n in g.nodes() {
+            for &p in &n.inputs {
+                assert!(p < n.id);
+            }
+        }
+    }
+
+    #[test]
+    fn consumers_are_tracked() {
+        let g = tiny();
+        assert_eq!(g.consumers(0), vec![1, 2]); // conv1 and residual skip
+        assert_eq!(g.consumers(1), vec![2]);
+        assert!(g.consumers(4).is_empty());
+    }
+
+    #[test]
+    fn shapes_flow_through() {
+        let g = tiny();
+        assert_eq!(g.node(0).out_shape, Shape::new(4, 8, 8));
+        assert_eq!(g.node(3).out_shape, Shape::new(4, 1, 1));
+        assert_eq!(g.node(4).out_shape, Shape::new(10, 1, 1));
+        assert_eq!(g.output().id, 4);
+        assert_eq!(g.node(1).ifm_shape(&g), Shape::new(4, 8, 8));
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let g = tiny();
+        // c0: 8*8*4*27, c1: 8*8*4*36, fc: 4*10
+        let expect = 64 * 4 * 27 + 64 * 4 * 36 + 40;
+        assert_eq!(g.total_macs(), expect as u64);
+        assert_eq!(g.total_ops(), 2 * expect as u64);
+        assert_eq!(g.total_params(), (3 * 4 * 9 + 4 * 4 * 9 + 40) as u64);
+    }
+
+    #[test]
+    fn digital_ops_counted_for_pool_and_residual() {
+        let g = tiny();
+        assert_eq!(g.node(2).digital_elem_ops(&g), 4 * 8 * 8); // residual add
+        assert_eq!(g.node(3).digital_elem_ops(&g), 4 * 8 * 8); // gap reads all
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn residual_rejects_shape_mismatch() {
+        let mut b = GraphBuilder::new(Shape::new(3, 8, 8));
+        let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 4, 1));
+        let c1 = b.conv("c1", Some(c0), ConvCfg::k3(4, 8, 2));
+        b.residual("r", c1, c0, None);
+    }
+
+    #[test]
+    fn residual_with_projection_reconciles_shapes() {
+        let mut b = GraphBuilder::new(Shape::new(3, 8, 8));
+        let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 4, 1));
+        let c1 = b.conv("c1", Some(c0), ConvCfg::k3(4, 8, 2));
+        let r = b.residual("r", c1, c0, Some(ConvCfg::k1(4, 8, 2)));
+        let g = b.finish();
+        assert_eq!(g.node(r).out_shape, Shape::new(8, 4, 4));
+        // Projection MACs are attributed to the residual node.
+        assert_eq!(g.node(r).macs(&g), (4 * 4 * 8 * 4) as u64);
+    }
+
+    #[test]
+    fn display_lists_every_node() {
+        let g = tiny();
+        let s = g.to_string();
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("residual"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no layers")]
+    fn empty_graph_rejected() {
+        GraphBuilder::new(Shape::new(1, 1, 1)).finish();
+    }
+}

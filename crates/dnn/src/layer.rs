@@ -1,0 +1,335 @@
+//! Layer definitions with shape inference and MAC/parameter accounting.
+//!
+//! These are the analytic quantities the mapping compiler in `aimc-core`
+//! consumes: every cluster-count in Sec. V of the paper derives from
+//! `params()` (how many crossbars a layer needs) and every latency estimate
+//! from `macs()` / output geometry.
+
+use crate::tensor::Shape;
+use core::fmt;
+
+/// Configuration of a 2-D convolution.
+///
+/// # Examples
+/// ```
+/// use aimc_dnn::{ConvCfg, Shape};
+/// // The paper's Layer 20/21/23/24 class: 3x3, 512→512.
+/// let cfg = ConvCfg::k3(512, 512, 1);
+/// assert_eq!(cfg.params(), 2_359_296); // "2.3M parameters" (Sec. V-1)
+/// assert_eq!(cfg.out_shape(Shape::new(512, 8, 8)), Shape::new(512, 8, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvCfg {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Fused ReLU on the output.
+    pub relu: bool,
+}
+
+impl ConvCfg {
+    /// A 3×3 convolution with padding 1 (the ResNet workhorse).
+    pub const fn k3(in_ch: usize, out_ch: usize, stride: usize) -> Self {
+        ConvCfg {
+            in_ch,
+            out_ch,
+            kh: 3,
+            kw: 3,
+            stride,
+            pad: 1,
+            relu: true,
+        }
+    }
+
+    /// A 1×1 projection convolution (residual downsample path).
+    pub const fn k1(in_ch: usize, out_ch: usize, stride: usize) -> Self {
+        ConvCfg {
+            in_ch,
+            out_ch,
+            kh: 1,
+            kw: 1,
+            stride,
+            pad: 0,
+            relu: false,
+        }
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Panics
+    /// Panics if the input channel count disagrees with the configuration.
+    pub fn out_shape(&self, input: Shape) -> Shape {
+        assert_eq!(input.c, self.in_ch, "input channels mismatch");
+        let h = (input.h + 2 * self.pad - self.kh) / self.stride + 1;
+        let w = (input.w + 2 * self.pad - self.kw) / self.stride + 1;
+        Shape::new(self.out_ch, h, w)
+    }
+
+    /// Weight parameter count (no bias; batch-norm is folded).
+    pub const fn params(&self) -> usize {
+        self.in_ch * self.out_ch * self.kh * self.kw
+    }
+
+    /// Rows the layer occupies on a crossbar: `Cin · Kx · Ky` (Sec. V-1).
+    pub const fn xbar_rows(&self) -> usize {
+        self.in_ch * self.kh * self.kw
+    }
+
+    /// Columns the layer occupies on a crossbar: `Cout` (Sec. V-1).
+    pub const fn xbar_cols(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Multiply-accumulate count for a given input shape.
+    pub fn macs(&self, input: Shape) -> u64 {
+        let out = self.out_shape(input);
+        (out.numel() as u64) * (self.in_ch * self.kh * self.kw) as u64
+    }
+
+    /// Matrix-vector products needed per image: one per output pixel
+    /// (per row/column split — splits are the mapper's concern).
+    pub fn mvms_per_image(&self, input: Shape) -> u64 {
+        let out = self.out_shape(input);
+        (out.h * out.w) as u64
+    }
+}
+
+/// The operator of a graph node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerKind {
+    /// The network input placeholder.
+    Input,
+    /// 2-D convolution (+ optional fused ReLU), executed on the IMA.
+    Conv(ConvCfg),
+    /// Depthwise 2-D convolution (`groups == channels`, `in_ch == out_ch`).
+    /// Executed digitally on the CORES: a depthwise layer's weight matrix is
+    /// block-diagonal, so a crossbar deployment would occupy `C·K²` rows for
+    /// `K²` useful cells per column — the per-channel MAC loop on the DSP
+    /// cores is the efficient home (cf. the MobileNetV2 discussion in the
+    /// paper's related work).
+    DepthwiseConv(ConvCfg),
+    /// Max pooling, executed digitally on the CORES.
+    MaxPool {
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Global average pooling to 1×1, executed digitally.
+    GlobalAvgPool,
+    /// Fully connected layer, executed on the IMA.
+    Linear {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Residual addition `main + skip` (+ ReLU); the optional projection is
+    /// the 1×1 strided convolution applied to the skip path at stage
+    /// boundaries. The add runs on the CORES; the projection on the IMA.
+    Residual {
+        /// Projection conv on the skip input, if the shapes differ.
+        projection: Option<ConvCfg>,
+    },
+}
+
+impl LayerKind {
+    /// Short operator mnemonic matching Fig. 2A's labels.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LayerKind::Input => "in",
+            LayerKind::Conv(_) => "conv",
+            LayerKind::DepthwiseConv(_) => "dwconv",
+            LayerKind::MaxPool { .. } => "pool",
+            LayerKind::GlobalAvgPool => "pool",
+            LayerKind::Linear { .. } => "FC",
+            LayerKind::Residual { .. } => "res",
+        }
+    }
+
+    /// Whether the layer's main computation runs in the analog domain.
+    pub fn is_analog(&self) -> bool {
+        matches!(self, LayerKind::Conv(_) | LayerKind::Linear { .. })
+            || matches!(
+                self,
+                LayerKind::Residual {
+                    projection: Some(_)
+                }
+            )
+    }
+
+    /// Parameter count of the node.
+    pub fn params(&self) -> usize {
+        match self {
+            LayerKind::Conv(c) => c.params(),
+            // One K×K filter per channel.
+            LayerKind::DepthwiseConv(c) => c.out_ch * c.kh * c.kw,
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => in_features * out_features,
+            LayerKind::Residual {
+                projection: Some(p),
+            } => p.params(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Input => write!(f, "input"),
+            LayerKind::Conv(c) => write!(
+                f,
+                "conv {}x{} {}→{} s{}",
+                c.kh, c.kw, c.in_ch, c.out_ch, c.stride
+            ),
+            LayerKind::DepthwiseConv(c) => {
+                write!(f, "dwconv {}x{} c{} s{}", c.kh, c.kw, c.out_ch, c.stride)
+            }
+            LayerKind::MaxPool { k, stride, .. } => write!(f, "maxpool {k}x{k} s{stride}"),
+            LayerKind::GlobalAvgPool => write!(f, "global avgpool"),
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => write!(f, "fc {in_features}→{out_features}"),
+            LayerKind::Residual { projection } => match projection {
+                Some(p) => write!(f, "residual (+proj {}→{} s{})", p.in_ch, p.out_ch, p.stride),
+                None => write!(f, "residual"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_inference() {
+        let c = ConvCfg::k3(64, 64, 1);
+        assert_eq!(c.out_shape(Shape::new(64, 64, 64)), Shape::new(64, 64, 64));
+        let s2 = ConvCfg::k3(64, 128, 2);
+        assert_eq!(s2.out_shape(Shape::new(64, 64, 64)), Shape::new(128, 32, 32));
+        let first = ConvCfg {
+            in_ch: 3,
+            out_ch: 64,
+            kh: 7,
+            kw: 7,
+            stride: 2,
+            pad: 3,
+            relu: true,
+        };
+        assert_eq!(
+            first.out_shape(Shape::new(3, 256, 256)),
+            Shape::new(64, 128, 128)
+        );
+    }
+
+    #[test]
+    fn conv_params_and_xbar_geometry() {
+        let c = ConvCfg::k3(512, 512, 1);
+        assert_eq!(c.params(), 512 * 512 * 9);
+        assert_eq!(c.xbar_rows(), 4608);
+        assert_eq!(c.xbar_cols(), 512);
+        let p = ConvCfg::k1(64, 128, 2);
+        assert_eq!(p.params(), 8192);
+        assert_eq!(p.xbar_rows(), 64);
+    }
+
+    #[test]
+    fn conv_macs_and_mvms() {
+        let c = ConvCfg::k3(64, 64, 1);
+        let input = Shape::new(64, 64, 64);
+        assert_eq!(c.macs(input), 64 * 64 * 64 * 576);
+        assert_eq!(c.mvms_per_image(input), 64 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels mismatch")]
+    fn conv_rejects_wrong_channels() {
+        ConvCfg::k3(64, 64, 1).out_shape(Shape::new(32, 8, 8));
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(LayerKind::Conv(ConvCfg::k3(8, 8, 1)).is_analog());
+        assert!(LayerKind::Linear {
+            in_features: 512,
+            out_features: 1000
+        }
+        .is_analog());
+        assert!(!LayerKind::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 1
+        }
+        .is_analog());
+        assert!(!LayerKind::Residual { projection: None }.is_analog());
+        assert!(LayerKind::Residual {
+            projection: Some(ConvCfg::k1(64, 128, 2))
+        }
+        .is_analog());
+    }
+
+    #[test]
+    fn params_accounting() {
+        assert_eq!(
+            LayerKind::Linear {
+                in_features: 512,
+                out_features: 1000
+            }
+            .params(),
+            512_000
+        );
+        assert_eq!(LayerKind::Residual { projection: None }.params(), 0);
+        assert_eq!(LayerKind::Input.params(), 0);
+    }
+
+    #[test]
+    fn mnemonics_match_fig2a() {
+        assert_eq!(LayerKind::Conv(ConvCfg::k3(8, 8, 1)).mnemonic(), "conv");
+        assert_eq!(
+            LayerKind::MaxPool {
+                k: 3,
+                stride: 2,
+                pad: 1
+            }
+            .mnemonic(),
+            "pool"
+        );
+        assert_eq!(LayerKind::Residual { projection: None }.mnemonic(), "res");
+        assert_eq!(
+            LayerKind::Linear {
+                in_features: 1,
+                out_features: 1
+            }
+            .mnemonic(),
+            "FC"
+        );
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for k in [
+            LayerKind::Input,
+            LayerKind::Conv(ConvCfg::k3(4, 4, 1)),
+            LayerKind::GlobalAvgPool,
+            LayerKind::Residual { projection: None },
+        ] {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Symmetric int8 quantization — the deployment precision of the paper's
+//! mapping arithmetic ("each 256×256 IMA can store 64 K parameters" only
+//! holds for one-byte weights, and tile byte counts assume int8 activations).
+
+use crate::tensor::Tensor;
+
+/// A symmetric linear quantizer `q = round(x / scale)` clamped to `[-127, 127]`.
+///
+/// # Examples
+/// ```
+/// use aimc_dnn::quant::Quantizer;
+/// let q = Quantizer::fit(&[0.5, -2.0, 1.0]);
+/// let code = q.quantize(1.0);
+/// assert!((q.dequantize(code) - 1.0).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    scale: f32,
+}
+
+impl Quantizer {
+    /// Builds a quantizer whose range covers the max-abs of `data`.
+    /// All-zero (or empty) data yields a unit scale.
+    pub fn fit(data: &[f32]) -> Self {
+        let max = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        Quantizer {
+            scale: if max > 0.0 { max / 127.0 } else { 1.0 },
+        }
+    }
+
+    /// Builds a quantizer from an explicit scale.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not positive and finite.
+    pub fn from_scale(scale: f32) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        Quantizer { scale }
+    }
+
+    /// The step size.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value.
+    pub fn quantize(&self, x: f32) -> i8 {
+        (x / self.scale).round().clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes one code.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Quantizes a whole slice.
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i8> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Round-trips a tensor through int8, returning the dequantized result
+    /// (what the fake-quantized deployment computes with).
+    pub fn fake_quantize(&self, t: &Tensor) -> Tensor {
+        let data = t
+            .data()
+            .iter()
+            .map(|&x| self.dequantize(self.quantize(x)))
+            .collect();
+        Tensor::from_vec(t.shape(), data)
+    }
+}
+
+/// Mean squared quantization error of round-tripping `data` through int8.
+pub fn quantization_mse(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let q = Quantizer::fit(data);
+    data.iter()
+        .map(|&x| {
+            let e = (x - q.dequantize(q.quantize(x))) as f64;
+            e * e
+        })
+        .sum::<f64>()
+        / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Shape;
+
+    #[test]
+    fn fit_covers_max_abs() {
+        let q = Quantizer::fit(&[0.1, -12.7, 3.0]);
+        assert!((q.scale() - 0.1).abs() < 1e-6);
+        assert_eq!(q.quantize(-12.7), -127);
+        assert_eq!(q.quantize(12.7), 127);
+    }
+
+    #[test]
+    fn zero_data_gets_unit_scale() {
+        let q = Quantizer::fit(&[0.0, 0.0]);
+        assert_eq!(q.scale(), 1.0);
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let q = Quantizer::fit(&[1.0]);
+        for i in -100..=100 {
+            let x = i as f32 / 100.0;
+            let e = (x - q.dequantize(q.quantize(x))).abs();
+            assert!(e <= q.scale() / 2.0 + 1e-6, "x={x} e={e}");
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let q = Quantizer::from_scale(0.01);
+        assert_eq!(q.quantize(10.0), 127);
+        assert_eq!(q.quantize(-10.0), -127);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_scale() {
+        Quantizer::from_scale(0.0);
+    }
+
+    #[test]
+    fn fake_quantize_preserves_shape() {
+        let t = Tensor::from_vec(Shape::new(1, 2, 2), vec![0.11, -0.49, 0.5, 0.0]);
+        let q = Quantizer::fit(t.data());
+        let fq = q.fake_quantize(&t);
+        assert_eq!(fq.shape(), t.shape());
+        for (a, b) in fq.data().iter().zip(t.data()) {
+            assert!((a - b).abs() <= q.scale() / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_is_small_relative_to_range() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 / 500.0) - 1.0).collect();
+        let mse = quantization_mse(&data);
+        // Uniform quantization MSE ≈ step²/12, step = 1/127.
+        let step = 1.0f64 / 127.0;
+        assert!(mse < step * step, "mse {mse}");
+        assert_eq!(quantization_mse(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar() {
+        let q = Quantizer::fit(&[2.0]);
+        let xs = [0.5f32, -1.0, 2.0];
+        let codes = q.quantize_slice(&xs);
+        for (c, &x) in codes.iter().zip(&xs) {
+            assert_eq!(*c, q.quantize(x));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Minimal CHW tensor used by the functional executors.
+//!
+//! The timing simulation never touches tensor *values* (it works on byte
+//! counts); these types serve the golden reference executor and the AIMC
+//! functional executor, so they favor clarity over peak performance.
+
+use core::fmt;
+
+/// The shape of one feature map: channels × height × width.
+///
+/// # Examples
+/// ```
+/// use aimc_dnn::Shape;
+/// let s = Shape::new(64, 56, 56);
+/// assert_eq!(s.numel(), 64 * 56 * 56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Channels.
+    pub c: usize,
+    /// Height (rows).
+    pub h: usize,
+    /// Width (columns).
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a shape.
+    pub const fn new(c: usize, h: usize, w: usize) -> Self {
+        Shape { c, h, w }
+    }
+
+    /// Total number of elements.
+    pub const fn numel(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Bytes when stored as int8 (the deployment datatype in the paper's
+    /// mapping arithmetic: "each 256×256 IMA can store 64 K parameters").
+    pub const fn bytes_i8(&self) -> usize {
+        self.numel()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// A dense CHW feature map of `f32` values.
+///
+/// # Examples
+/// ```
+/// use aimc_dnn::{Shape, Tensor};
+/// let mut t = Tensor::zeros(Shape::new(2, 3, 3));
+/// t.set(1, 2, 2, 5.0);
+/// assert_eq!(t.get(1, 2, 2), 5.0);
+/// assert_eq!(t.get(0, 0, 0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero-filled tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            data: vec![0.0; shape.numel()],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer length {} does not match shape {}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Immutable view of the underlying CHW-ordered buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    #[inline]
+    fn index(&self, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(c < self.shape.c && h < self.shape.h && w < self.shape.w);
+        (c * self.shape.h + h) * self.shape.w + w
+    }
+
+    /// Element read.
+    ///
+    /// # Panics
+    /// Panics (debug) if indices are out of bounds.
+    #[inline]
+    pub fn get(&self, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.index(c, h, w)]
+    }
+
+    /// Element write.
+    #[inline]
+    pub fn set(&mut self, c: usize, h: usize, w: usize, v: f32) {
+        let i = self.index(c, h, w);
+        self.data[i] = v;
+    }
+
+    /// Index of the maximum element (ties broken toward the lower index) —
+    /// the classification decision on logits.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Largest absolute value (used for quantization scales); 0 for empty.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_arithmetic() {
+        let s = Shape::new(3, 4, 5);
+        assert_eq!(s.numel(), 60);
+        assert_eq!(s.bytes_i8(), 60);
+        assert_eq!(s.to_string(), "3x4x5");
+    }
+
+    #[test]
+    fn chw_layout_is_row_major_in_w() {
+        let mut t = Tensor::zeros(Shape::new(2, 2, 3));
+        t.set(0, 0, 1, 1.0);
+        t.set(0, 1, 0, 2.0);
+        t.set(1, 0, 0, 3.0);
+        assert_eq!(t.data()[1], 1.0); // (0,0,1)
+        assert_eq!(t.data()[3], 2.0); // (0,1,0)
+        assert_eq!(t.data()[6], 3.0); // (1,0,0)
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(Shape::new(1, 2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn argmax_and_max_abs() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 4), vec![-3.0, 7.0, 7.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+        assert_eq!(t.max_abs(), 7.0);
+    }
+
+    #[test]
+    fn round_trip_into_vec() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 2), vec![1.0, 2.0]);
+        assert_eq!(t.clone().into_vec(), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Additional network builders beyond the paper's ResNet-18.
+//!
+//! These exercise the mapping compiler on topologies the paper's related
+//! work targets: VGG-style networks (ISAAC, PUMA map VGG-like nets "nicely
+//! fitting pipelined data-flow architectures" — no residual edges at all)
+//! and the deeper ResNet-34 (more stages, same residual structure).
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::layer::ConvCfg;
+use crate::tensor::Shape;
+
+/// Builds a VGG-style network: `stage_convs[i]` 3×3 convolutions at width
+/// `widths[i]`, each stage followed by a 2×2 max-pool, then a small FC head.
+///
+/// # Panics
+/// Panics if the stage vectors are empty or of different lengths, or if the
+/// input resolution cannot support the pool depth.
+pub fn vgg(
+    h: usize,
+    w: usize,
+    stage_convs: &[usize],
+    widths: &[usize],
+    num_classes: usize,
+) -> Graph {
+    assert!(
+        !stage_convs.is_empty() && stage_convs.len() == widths.len(),
+        "stage descriptors must be non-empty and aligned"
+    );
+    assert!(
+        (h >> stage_convs.len()) >= 1 && (w >> stage_convs.len()) >= 1,
+        "input too small for {} pooling stages",
+        stage_convs.len()
+    );
+    let mut b = GraphBuilder::new(Shape::new(3, h, w));
+    let mut prev = None;
+    let mut prev_ch = 3usize;
+    let mut idx = 0usize;
+    for (stage, (&n_convs, &ch)) in stage_convs.iter().zip(widths).enumerate() {
+        for _ in 0..n_convs {
+            let id = b.conv(&format!("conv{idx}"), prev, ConvCfg::k3(prev_ch, ch, 1));
+            prev = Some(id);
+            prev_ch = ch;
+            idx += 1;
+        }
+        let p = b.maxpool(&format!("pool_s{stage}"), prev.expect("stage has convs"), 2, 2, 0);
+        prev = Some(p);
+    }
+    let gap = b.global_avgpool("gap", prev.expect("non-empty"));
+    b.linear("fc", gap, num_classes);
+    b.finish()
+}
+
+/// VGG-11 (configuration A) for `h × w` inputs.
+pub fn vgg11(h: usize, w: usize, num_classes: usize) -> Graph {
+    vgg(h, w, &[1, 1, 2, 2, 2], &[64, 128, 256, 512, 512], num_classes)
+}
+
+/// VGG-16 (configuration D) for `h × w` inputs.
+pub fn vgg16(h: usize, w: usize, num_classes: usize) -> Graph {
+    vgg(h, w, &[2, 2, 3, 3, 3], &[64, 128, 256, 512, 512], num_classes)
+}
+
+/// Builds a ResNet with basic blocks: `blocks[i]` two-conv blocks at width
+/// `widths[i]`, ImageNet-style 7×7 stem. `blocks = [2,2,2,2]` is ResNet-18,
+/// `[3,4,6,3]` is ResNet-34.
+pub fn resnet_basic(h: usize, w: usize, blocks: &[usize], num_classes: usize) -> Graph {
+    assert_eq!(blocks.len(), 4, "basic-block ResNets have four stages");
+    let widths = [64usize, 128, 256, 512];
+    let mut b = GraphBuilder::new(Shape::new(3, h, w));
+    let c0 = b.conv(
+        "conv0",
+        b.input(),
+        ConvCfg {
+            in_ch: 3,
+            out_ch: 64,
+            kh: 7,
+            kw: 7,
+            stride: 2,
+            pad: 3,
+            relu: true,
+        },
+    );
+    let mut prev = b.maxpool("pool1", c0, 3, 2, 1);
+    let mut idx = 2usize;
+    for (stage, (&n_blocks, &ch)) in blocks.iter().zip(&widths).enumerate() {
+        for block in 0..n_blocks {
+            let downsample = stage > 0 && block == 0;
+            let in_ch = if downsample { widths[stage - 1] } else { ch };
+            let stride = if downsample { 2 } else { 1 };
+            let ca = b.conv(&format!("conv{idx}"), Some(prev), ConvCfg::k3(in_ch, ch, stride));
+            let cb = b.conv(
+                &format!("conv{}", idx + 1),
+                Some(ca),
+                ConvCfg {
+                    relu: false,
+                    ..ConvCfg::k3(ch, ch, 1)
+                },
+            );
+            let projection = downsample.then(|| ConvCfg::k1(in_ch, ch, 2));
+            prev = b.residual(&format!("res{}", idx + 2), cb, prev, projection);
+            idx += 3;
+        }
+    }
+    let gap = b.global_avgpool("gap", prev);
+    b.linear("fc", gap, num_classes);
+    b.finish()
+}
+
+/// A MobileNetV1-style network: 3×3 stride-2 stem, then depthwise-separable
+/// blocks (3×3 depthwise + 1×1 pointwise). The depthwise layers execute
+/// digitally on the CORES; the pointwise layers are ideal crossbar
+/// workloads — the mix the paper's related work (Garofalo et al.,
+/// MobileNetV2) time-multiplexes on a single cluster and this platform
+/// pipelines across clusters.
+pub fn mobilenet_v1_lite(h: usize, w: usize, num_classes: usize) -> Graph {
+    assert!(h >= 32 && w >= 32, "input too small for the 5 downsamplings");
+    let mut b = GraphBuilder::new(Shape::new(3, h, w));
+    let stem = b.conv(
+        "conv0",
+        b.input(),
+        ConvCfg {
+            in_ch: 3,
+            out_ch: 32,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+            relu: true,
+        },
+    );
+    // (out channels, stride) of each depthwise-separable block.
+    let blocks = [
+        (64usize, 1usize),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (1024, 2),
+    ];
+    let mut prev = stem;
+    let mut ch = 32usize;
+    for (i, &(out_ch, stride)) in blocks.iter().enumerate() {
+        let dw = b.depthwise(
+            &format!("dw{i}"),
+            prev,
+            ConvCfg {
+                in_ch: ch,
+                out_ch: ch,
+                kh: 3,
+                kw: 3,
+                stride,
+                pad: 1,
+                relu: true,
+            },
+        );
+        prev = b.conv(&format!("pw{i}"), Some(dw), ConvCfg::k1(ch, out_ch, 1));
+        ch = out_ch;
+    }
+    let gap = b.global_avgpool("gap", prev);
+    b.linear("fc", gap, num_classes);
+    b.finish()
+}
+
+/// ResNet-34 for `h × w` inputs.
+pub fn resnet34(h: usize, w: usize, num_classes: usize) -> Graph {
+    resnet_basic(h, w, &[3, 4, 6, 3], num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+    use crate::resnet::resnet18;
+
+    #[test]
+    fn vgg11_structure() {
+        let g = vgg11(224, 224, 1000);
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Conv(_)))
+            .count();
+        assert_eq!(convs, 8, "VGG-11 has 8 conv layers");
+        // No residual edges anywhere.
+        assert!(!g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, LayerKind::Residual { .. })));
+        assert_eq!(g.output().out_shape, Shape::new(1000, 1, 1));
+        // Feature map halves per stage: 224 → 7 after five pools.
+        let gap_in = g.node(g.len() - 2).ifm_shape(&g);
+        assert_eq!((gap_in.h, gap_in.w), (7, 7));
+    }
+
+    #[test]
+    fn vgg16_macs_match_reference_scale() {
+        // Canonical VGG-16 @224: ≈15.3 GMAC (convs) + 0.5M (our GAP head
+        // replaces the 124M-param FC stack, so total is conv-dominated).
+        let g = vgg16(224, 224, 1000);
+        let gm = g.total_macs() as f64 / 1e9;
+        assert!((14.0..16.0).contains(&gm), "VGG-16 {gm} GMAC");
+    }
+
+    #[test]
+    fn resnet_basic_recovers_resnet18() {
+        let a = resnet_basic(256, 256, &[2, 2, 2, 2], 1000);
+        let b = resnet18(256, 256, 1000);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.total_macs(), b.total_macs());
+        assert_eq!(a.total_params(), b.total_params());
+    }
+
+    #[test]
+    fn resnet34_is_deeper_and_heavier() {
+        let g34 = resnet34(224, 224, 1000);
+        let g18 = resnet18(224, 224, 1000);
+        assert!(g34.len() > g18.len());
+        // Canonical ResNet-34 @224 ≈ 3.6 GMAC vs 1.8 for ResNet-18.
+        let ratio = g34.total_macs() as f64 / g18.total_macs() as f64;
+        assert!((1.8..2.2).contains(&ratio), "MAC ratio {ratio}");
+        // 16 residual blocks.
+        let res = g34
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Residual { .. }))
+            .count();
+        assert_eq!(res, 16);
+    }
+
+    #[test]
+    fn mobilenet_lite_structure() {
+        let g = mobilenet_v1_lite(224, 224, 1000);
+        let dw = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::DepthwiseConv(_)))
+            .count();
+        assert_eq!(dw, 8, "eight depthwise-separable blocks");
+        // Depthwise params are tiny relative to pointwise.
+        let dw_params: usize = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::DepthwiseConv(_)))
+            .map(|n| n.kind.params())
+            .sum();
+        assert!(dw_params < g.total_params() as usize / 20, "{dw_params}");
+        assert_eq!(g.output().out_shape, Shape::new(1000, 1, 1));
+        // Depthwise layers are not analog-amenable.
+        assert!(g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::DepthwiseConv(_)))
+            .all(|n| !n.kind.is_analog()));
+    }
+
+    #[test]
+    fn mobilenet_golden_executes() {
+        use crate::exec::infer_golden;
+        use crate::weights::he_init;
+        let g = mobilenet_v1_lite(32, 32, 10);
+        let w = he_init(&g, 1);
+        let x = crate::tensor::Tensor::zeros(g.input_shape());
+        let y = infer_golden(&g, &w, &x);
+        assert_eq!(y.shape(), Shape::new(10, 1, 1));
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn vgg_rejects_undersized_inputs() {
+        vgg(16, 16, &[1, 1, 1, 1, 1], &[8, 8, 8, 8, 8], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn vgg_rejects_mismatched_stages() {
+        vgg(224, 224, &[1, 1], &[64], 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! # aimc-noc — hierarchical AXI interconnect and HBM model
+//!
+//! Implements the scalable quadrant-tree network of the paper (Sec. II-3,
+//! Fig. 1B/D): parametric routers with configurable data width, latency and
+//! fan-out, arranged in levels by *quadrant factors* — Table I uses
+//! `(HBM, wrapper, L3, L2, L1) = (1, 8, 4, 4, 4)` for 512 clusters — plus a
+//! wrapper bridging to the off-chip HBM controller.
+//!
+//! Transactions (DMA bursts) are modeled with a reservation discipline that
+//! captures per-hop latency and FIFO bandwidth contention on every directed
+//! link; see [`Noc`] for the details and fidelity argument.
+//!
+//! ## Example
+//! ```
+//! use aimc_noc::{Endpoint, Noc, NocConfig, TxnKind};
+//! use aimc_sim::SimTime;
+//!
+//! let mut noc = Noc::new(NocConfig::paper_512());
+//! // Stream a 4 KiB tile from cluster 3 to cluster 200 (different L3 quads).
+//! let done = noc.transfer(
+//!     SimTime::ZERO,
+//!     TxnKind::Write,
+//!     Endpoint::Cluster(3),
+//!     Endpoint::Cluster(200),
+//!     4096,
+//! );
+//! assert!(done > SimTime::from_ns(64)); // 64 beats + 8 router hops
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod network;
+
+pub use config::{HbmConfig, NocConfig};
+pub use network::{Endpoint, LinkId, LinkStats, Noc, TxnKind};

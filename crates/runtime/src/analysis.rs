@@ -1,0 +1,340 @@
+//! Derived analyses: the Fig. 6 inefficiency waterfall, the Fig. 7 per-group
+//! area efficiency, and the Sec. VI headline metrics.
+
+use crate::pipeline::RunReport;
+use crate::power::{AreaModel, EnergyBreakdown, EnergyModel};
+use aimc_core::{bottleneck_per_image, ArchConfig, SystemMapping};
+use aimc_dnn::{group_label, Graph};
+
+/// The five levels of Fig. 6, in TOPS (nominal-ops convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waterfall {
+    /// Every IMA fully occupied and busy (≈516 TOPS for Table I).
+    pub ideal: f64,
+    /// Only mapped clusters contribute ("global mapping").
+    pub global_mapping: f64,
+    /// Crossbar cells actually occupied ("local mapping").
+    pub local_mapping: f64,
+    /// Pipeline bound by its slowest stage, communication-free
+    /// ("intra-layer unbalance").
+    pub intra_layer_unbalance: f64,
+    /// Measured steady-state throughput with communication and
+    /// synchronization ("communication").
+    pub communication: f64,
+}
+
+impl Waterfall {
+    /// Computes the waterfall for a mapped network and its simulation run.
+    pub fn compute(
+        graph: &Graph,
+        mapping: &SystemMapping,
+        arch: &ArchConfig,
+        report: &RunReport,
+    ) -> Self {
+        let ideal = arch.ideal_tops();
+        let global = ideal * mapping.global_mapping_factor();
+        let util = mapping
+            .local_mapping_utilization(arch.cluster.ima.xbar.rows, arch.cluster.ima.xbar.cols);
+        // `util` is the mean over used clusters, so the achievable rate is
+        // the global-mapping level scaled by it.
+        let local = global * util;
+        let ops_per_image = graph.total_ops() as f64;
+        let bottleneck = bottleneck_per_image(&mapping.stages, arch);
+        let unbalance = ops_per_image / bottleneck.as_s_f64() / 1e12;
+        // The last bar is the *measured* end-to-end throughput over the
+        // batch makespan: communication, synchronization, and pipeline
+        // fill/drain all land here (the paper's 20.2 TOPS is likewise the
+        // delivered end-to-end number).
+        let communication = report.tops();
+        Waterfall {
+            ideal,
+            global_mapping: global,
+            local_mapping: local,
+            intra_layer_unbalance: unbalance,
+            communication: communication.min(unbalance),
+        }
+    }
+
+    /// The five levels in order, with labels.
+    pub fn levels(&self) -> [(&'static str, f64); 5] {
+        [
+            ("ideal", self.ideal),
+            ("global mapping", self.global_mapping),
+            ("local mapping", self.local_mapping),
+            ("intra-layer unbalance", self.intra_layer_unbalance),
+            ("communication", self.communication),
+        ]
+    }
+
+    /// Cumulative degradation factor of each level vs ideal.
+    pub fn cumulative_factors(&self) -> [f64; 4] {
+        [
+            self.ideal / self.global_mapping,
+            self.ideal / self.local_mapping,
+            self.ideal / self.intra_layer_unbalance,
+            self.ideal / self.communication,
+        ]
+    }
+
+    /// Renders the Fig. 6 table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<24} {:>10} {:>8}", "level", "TOPS", "vs ideal");
+        let mut prev = self.ideal;
+        for (name, tops) in self.levels() {
+            let step = prev / tops;
+            let _ = writeln!(
+                out,
+                "{:<24} {:>10.1} {:>7.1}x (step {:.1}x)",
+                name,
+                tops,
+                self.ideal / tops,
+                step
+            );
+            prev = tops;
+        }
+        out
+    }
+}
+
+/// One bar of Fig. 7: area efficiency of a layer group's clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupEfficiency {
+    /// Group index (0..=5).
+    pub group: usize,
+    /// IFM-shape label ("64x64x64", …).
+    pub label: &'static str,
+    /// Clusters mapped to the group (replicas included).
+    pub clusters: usize,
+    /// Nominal operations per image in this group.
+    pub ops_per_image: u64,
+    /// Area efficiency in GOPS/mm², communication excluded (the pipeline
+    /// period is the compute-only bottleneck, as in Fig. 7's caption).
+    pub gops_per_mm2: f64,
+}
+
+/// Computes Fig. 7: per-group GOPS/mm² at the communication-free pipeline
+/// period.
+pub fn group_area_efficiency(
+    graph: &Graph,
+    mapping: &SystemMapping,
+    arch: &ArchConfig,
+    area: &AreaModel,
+) -> Vec<GroupEfficiency> {
+    let n_groups = 6;
+    let mut clusters = vec![0usize; n_groups];
+    for s in mapping.stages() {
+        if s.group < n_groups {
+            clusters[s.group] += s.total_clusters();
+        }
+    }
+    let mut ops = vec![0u64; n_groups];
+    for node in graph.nodes() {
+        let g = aimc_dnn::layer_group(graph, node.id);
+        if g < n_groups {
+            // MAC ops plus the digital element ops of pooling/residual
+            // layers (a group consisting only of digital work — group 1,
+            // the stem max-pool — still performs operations).
+            ops[g] += 2 * node.macs(graph) + node.digital_elem_ops(graph);
+        }
+    }
+    let period = bottleneck_per_image(&mapping.stages, arch).as_s_f64();
+    (0..n_groups)
+        .map(|g| {
+            let area_mm2 = clusters[g] as f64 * area.cluster_mm2();
+            let gops = if period > 0.0 {
+                ops[g] as f64 / period / 1e9
+            } else {
+                0.0
+            };
+            GroupEfficiency {
+                group: g,
+                label: group_label(g),
+                clusters: clusters[g],
+                ops_per_image: ops[g],
+                gops_per_mm2: if area_mm2 > 0.0 { gops / area_mm2 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// The Sec. VI headline metrics of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Headline {
+    /// Nominal TOPS over the batch makespan.
+    pub tops: f64,
+    /// Steady-state images per second.
+    pub images_per_s: f64,
+    /// Batch makespan (fill + steady + drain) in ms.
+    pub makespan_ms: f64,
+    /// Median steady-state batch interval in ms (16 × per-image interval).
+    pub steady_batch_ms: f64,
+    /// Batch energy in mJ.
+    pub energy_mj: f64,
+    /// Energy efficiency in TOPS/W.
+    pub tops_per_w: f64,
+    /// Area efficiency in GOPS/mm² over the full 512-cluster platform.
+    pub gops_per_mm2: f64,
+    /// Platform area in mm².
+    pub area_mm2: f64,
+    /// Clusters used of clusters available.
+    pub clusters_used: (usize, usize),
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl Headline {
+    /// Computes the headline metrics from a run.
+    pub fn compute(
+        mapping: &SystemMapping,
+        arch: &ArchConfig,
+        report: &RunReport,
+        energy_model: &EnergyModel,
+        area_model: &AreaModel,
+    ) -> Self {
+        let energy = energy_model.breakdown(&report.tallies);
+        let total_mj = energy.total_mj();
+        let avg_w = total_mj * 1e-3 / report.makespan.as_s_f64();
+        let tops = report.tops();
+        let area = area_model.platform_mm2(arch.n_clusters());
+        Headline {
+            tops,
+            images_per_s: report.images_per_s(),
+            makespan_ms: report.makespan.as_ms_f64(),
+            steady_batch_ms: report.steady_interval.as_ms_f64() * report.batch as f64,
+            energy_mj: total_mj,
+            tops_per_w: if avg_w > 0.0 { tops / avg_w } else { 0.0 },
+            gops_per_mm2: tops * 1000.0 / area,
+            area_mm2: area,
+            clusters_used: (mapping.n_clusters_used, mapping.n_clusters_available),
+            energy,
+        }
+    }
+
+    /// Renders a report table with the paper's reference values alongside.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<28} {:>12} {:>12}", "metric", "measured", "paper");
+        let rows = [
+            ("throughput [TOPS]", format!("{:.1}", self.tops), "20.2"),
+            ("throughput [images/s]", format!("{:.0}", self.images_per_s), "3303"),
+            ("batch latency [ms]", format!("{:.2}", self.makespan_ms), "9.2"),
+            ("steady batch interval [ms]", format!("{:.2}", self.steady_batch_ms), "4.8"),
+            ("batch energy [mJ]", format!("{:.1}", self.energy_mj), "15"),
+            ("energy efficiency [TOPS/W]", format!("{:.2}", self.tops_per_w), "6.5"),
+            ("area efficiency [GOPS/mm2]", format!("{:.1}", self.gops_per_mm2), "42"),
+            ("platform area [mm2]", format!("{:.0}", self.area_mm2), "480"),
+            (
+                "clusters used",
+                format!("{}/{}", self.clusters_used.0, self.clusters_used.1),
+                "322/512",
+            ),
+        ];
+        for (name, val, paper) in rows {
+            let _ = writeln!(out, "{:<28} {:>12} {:>12}", name, val, paper);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::simulate;
+    use aimc_core::{map_network, MappingStrategy};
+    use aimc_dnn::resnet18;
+
+    fn setup() -> (Graph, SystemMapping, ArchConfig, RunReport) {
+        let g = resnet18(256, 256, 1000);
+        let arch = ArchConfig::paper();
+        let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
+        let r = simulate(&g, &m, &arch, 4);
+        (g, m, arch, r)
+    }
+
+    #[test]
+    fn waterfall_levels_decrease_monotonically() {
+        let (g, m, arch, r) = setup();
+        let w = Waterfall::compute(&g, &m, &arch, &r);
+        assert!(w.ideal > w.global_mapping);
+        assert!(w.global_mapping > w.local_mapping);
+        assert!(w.local_mapping > w.intra_layer_unbalance);
+        assert!(w.intra_layer_unbalance >= w.communication);
+        assert!(w.communication > 1.0, "final {}", w.communication);
+    }
+
+    #[test]
+    fn waterfall_ideal_matches_fig6() {
+        let (g, m, arch, r) = setup();
+        let w = Waterfall::compute(&g, &m, &arch, &r);
+        assert!((w.ideal - 516.1).abs() < 1.0);
+        // Paper cumulative factors: 1.6x, 4.7x, 23.8x, 28.4x. Ours must be
+        // in the same regime (same monotone structure, same order).
+        let f = w.cumulative_factors();
+        assert!((1.2..2.2).contains(&f[0]), "global {:?}", f);
+        assert!((2.0..9.0).contains(&f[1]), "local {:?}", f);
+        assert!(f[2] > f[1], "unbalance must add degradation: {:?}", f);
+        assert!(f[3] >= f[2], "communication must not help: {:?}", f);
+    }
+
+    #[test]
+    fn waterfall_render_has_five_levels() {
+        let (g, m, arch, r) = setup();
+        let w = Waterfall::compute(&g, &m, &arch, &r);
+        let s = w.render();
+        assert_eq!(s.lines().count(), 6); // header + 5 levels
+        assert!(s.contains("ideal"));
+        assert!(s.contains("communication"));
+    }
+
+    #[test]
+    fn group_efficiency_covers_six_groups() {
+        let (g, m, arch, _) = setup();
+        let eff = group_area_efficiency(&g, &m, &arch, &AreaModel::default());
+        assert_eq!(eff.len(), 6);
+        let digital: u64 = g.nodes().iter().map(|n| n.digital_elem_ops(&g)).sum();
+        let total_ops: u64 = eff.iter().map(|e| e.ops_per_image).sum();
+        assert_eq!(total_ops, g.total_ops() + digital);
+        // Every group has clusters and positive efficiency.
+        for e in &eff {
+            assert!(e.clusters > 0, "group {} empty", e.group);
+            assert!(e.gops_per_mm2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn deep_group_is_least_efficient_of_the_conv_groups() {
+        // Fig. 7: group 5 (8x8x512) has poor reuse ⇒ lowest GOPS/mm² among
+        // the residual-stage groups.
+        let (g, m, arch, _) = setup();
+        let eff = group_area_efficiency(&g, &m, &arch, &AreaModel::default());
+        assert!(eff[5].gops_per_mm2 < eff[2].gops_per_mm2);
+        assert!(eff[5].gops_per_mm2 < eff[3].gops_per_mm2);
+        assert!(eff[5].gops_per_mm2 < eff[4].gops_per_mm2);
+    }
+
+    #[test]
+    fn headline_is_self_consistent() {
+        let (g, m, arch, r) = setup();
+        let _ = g;
+        let h = Headline::compute(
+            &m,
+            &arch,
+            &r,
+            &EnergyModel::default(),
+            &AreaModel::default(),
+        );
+        assert!(h.tops > 1.0);
+        assert!(h.images_per_s > 100.0);
+        assert!((h.area_mm2 - 480.0).abs() < 0.1);
+        assert!(h.energy_mj > 0.0);
+        assert!(h.tops_per_w > 0.0);
+        // GOPS/mm² consistent with TOPS and area.
+        assert!((h.gops_per_mm2 - h.tops * 1000.0 / h.area_mm2).abs() < 1e-9);
+        let s = h.render();
+        assert!(s.contains("TOPS"));
+        assert!(s.contains("20.2")); // paper reference column
+    }
+}

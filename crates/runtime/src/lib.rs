@@ -1,0 +1,39 @@
+//! # aimc-runtime — pipelined platform execution and analyses
+//!
+//! Executes a compiled [`aimc_core::SystemMapping`] on the event-driven
+//! platform simulator: per-lane self-timed actors (Sec. IV-5), DMA traffic
+//! through the contention-modeled NoC, residual staging (Sec. V-4), and the
+//! measurement machinery behind every figure of the paper —
+//! per-cluster activity breakdowns (Fig. 5B/C/D), the inefficiency
+//! waterfall (Fig. 6), per-group area efficiency (Fig. 7), and the headline
+//! TOPS / TOPS/W / GOPS/mm² numbers (Sec. VI).
+//!
+//! ## Example
+//! ```no_run
+//! use aimc_core::{map_network, ArchConfig, MappingStrategy};
+//! use aimc_dnn::resnet18;
+//! use aimc_runtime::{simulate, AreaModel, EnergyModel, Headline};
+//!
+//! let graph = resnet18(256, 256, 1000);
+//! let arch = ArchConfig::paper();
+//! let mapping = map_network(&graph, &arch, MappingStrategy::OnChipResiduals).unwrap();
+//! let report = simulate(&graph, &mapping, &arch, 16);
+//! let headline = Headline::compute(
+//!     &mapping, &arch, &report,
+//!     &EnergyModel::default(), &AreaModel::default(),
+//! );
+//! println!("{}", headline.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod pipeline;
+mod power;
+pub mod report;
+pub mod trace;
+
+pub use analysis::{group_area_efficiency, GroupEfficiency, Headline, Waterfall};
+pub use pipeline::{simulate, ClusterBreakdown, FireRecord, RunReport};
+pub use power::{AreaModel, ClusterVariant, EnergyBreakdown, EnergyModel, EnergyTallies};

@@ -1,0 +1,128 @@
+//! Text/CSV rendering of run results (the figure-regeneration binaries in
+//! `aimc-bench` print these).
+
+use crate::pipeline::{ClusterBreakdown, RunReport};
+use aimc_sim::SimTime;
+
+/// Renders the per-cluster breakdown (Fig. 5B/C/D) as CSV:
+/// `cluster,stage,group,bound,compute_us,communication_us,synchronization_us,sleep_us`.
+pub fn breakdown_csv(rows: &[ClusterBreakdown]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "cluster,stage,group,bound,compute_us,communication_us,synchronization_us,sleep_us\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.3},{:.3},{:.3},{:.3}",
+            r.cluster,
+            r.stage_name,
+            r.group,
+            if r.analog_bound { "analog" } else { "digital" },
+            r.compute.as_us_f64(),
+            r.communication.as_us_f64(),
+            r.synchronization.as_us_f64(),
+            r.sleep.as_us_f64(),
+        );
+    }
+    out
+}
+
+/// Renders a coarse ASCII view of the per-cluster execution-time bars
+/// (Fig. 5B/C/D): one row per cluster bucket, `#` = compute, `~` = comm,
+/// `.` = sleep. `buckets` compresses the cluster axis.
+pub fn breakdown_ascii(rows: &[ClusterBreakdown], buckets: usize, width: usize) -> String {
+    use std::fmt::Write as _;
+    if rows.is_empty() {
+        return String::from("(no clusters)\n");
+    }
+    let buckets = buckets.max(1).min(rows.len());
+    let per = rows.len().div_ceil(buckets);
+    let total = rows
+        .iter()
+        .map(|r| (r.compute + r.communication + r.synchronization + r.sleep).as_ps())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = String::new();
+    for b in 0..buckets {
+        let chunk = &rows[b * per..((b + 1) * per).min(rows.len())];
+        if chunk.is_empty() {
+            break;
+        }
+        let n = chunk.len() as u64;
+        let avg =
+            |f: fn(&ClusterBreakdown) -> SimTime| chunk.iter().map(|r| f(r).as_ps()).sum::<u64>() / n;
+        let comp = avg(|r| r.compute);
+        let comm = avg(|r| r.communication + r.synchronization);
+        let sleep = avg(|r| r.sleep);
+        let scale = |x: u64| (x as usize * width) / total as usize;
+        let _ = writeln!(
+            out,
+            "{:>4}..{:<4} |{}{}{}|",
+            chunk[0].cluster,
+            chunk.last().unwrap().cluster,
+            "#".repeat(scale(comp)),
+            "~".repeat(scale(comm)),
+            ".".repeat(scale(sleep)),
+        );
+    }
+    out
+}
+
+/// Renders a one-line summary of a run.
+pub fn run_summary(r: &RunReport) -> String {
+    format!(
+        "batch {} in {} ({} img/s steady, {:.1} TOPS nominal, {:.1} TOPS crossbar-executed, {} events)",
+        r.batch,
+        r.makespan,
+        r.images_per_s().round(),
+        r.tops(),
+        r.tops_executed(),
+        r.events
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cluster: usize, comp_us: u64, sleep_us: u64) -> ClusterBreakdown {
+        ClusterBreakdown {
+            cluster,
+            stage_name: format!("s{cluster}"),
+            group: 0,
+            compute: SimTime::from_us(comp_us),
+            communication: SimTime::from_us(1),
+            synchronization: SimTime::from_us(1),
+            sleep: SimTime::from_us(sleep_us),
+            analog_bound: cluster % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = vec![row(0, 10, 5), row(1, 3, 12)];
+        let csv = breakdown_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("cluster,stage,group,bound"));
+        assert!(lines[1].starts_with("0,s0,0,analog"));
+        assert!(lines[2].starts_with("1,s1,0,digital"));
+    }
+
+    #[test]
+    fn ascii_renders_one_line_per_bucket() {
+        let rows: Vec<ClusterBreakdown> = (0..16).map(|i| row(i, 10, 5)).collect();
+        let art = breakdown_ascii(&rows, 4, 40);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn ascii_handles_empty_and_degenerate() {
+        assert!(breakdown_ascii(&[], 4, 40).contains("no clusters"));
+        let one = vec![row(0, 1, 1)];
+        assert_eq!(breakdown_ascii(&one, 10, 20).lines().count(), 1);
+    }
+}

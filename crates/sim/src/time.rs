@@ -1,0 +1,352 @@
+//! Simulated time, clock frequencies and cycle arithmetic.
+//!
+//! All platform components share one absolute time base with **picosecond**
+//! resolution ([`SimTime`]). Picoseconds give headroom for multi-GHz clocks
+//! while still covering > 100 days of simulated time in a `u64`.
+//!
+//! Components that are naturally cycle-based (routers, cores) convert via
+//! [`Frequency`], which provides exact ps-per-cycle arithmetic for the
+//! frequencies used in this project (integer divisors of 1 THz; the platform
+//! default is 1 GHz ⇒ 1000 ps per cycle).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant (or a duration) of simulated time, in picoseconds.
+///
+/// `SimTime` is a transparent newtype over `u64` ([C-NEWTYPE]): it cannot be
+/// confused with cycle counts or byte counts at API boundaries.
+///
+/// # Examples
+/// ```
+/// use aimc_sim::SimTime;
+/// let t = SimTime::from_ns(130); // one analog MVM
+/// assert_eq!(t.as_ps(), 130_000);
+/// assert_eq!(t + SimTime::from_ps(500), SimTime::from_ps(130_500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant. Used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Creates a time from a floating-point nanosecond count, rounding to the
+    /// nearest picosecond. Values below zero clamp to zero.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        SimTime((ns.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// Returns the raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in nanoseconds as a float.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the time in microseconds as a float.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the time in milliseconds as a float.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns the time in seconds as a float.
+    #[inline]
+    pub fn as_s_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other > self`.
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, other: SimTime) -> Option<SimTime> {
+        self.0.checked_add(other.0).map(SimTime)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    /// Panics in debug builds if `rhs > self` (duration underflow).
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000 {
+            write!(f, "{:.3} ms", self.as_ms_f64())
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3} us", self.as_us_f64())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        } else {
+            write!(f, "{} ps", ps)
+        }
+    }
+}
+
+/// A count of clock cycles in some clock domain.
+///
+/// Cycle counts are only meaningful together with a [`Frequency`]; keeping
+/// them as a distinct type prevents accidentally mixing cycles of different
+/// clock domains with absolute time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Returns the raw count.
+    #[inline]
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// A clock frequency with exact picosecond-period arithmetic.
+///
+/// # Examples
+/// ```
+/// use aimc_sim::{Cycles, Frequency, SimTime};
+/// let f = Frequency::from_mhz(1000); // 1 GHz
+/// assert_eq!(f.period(), SimTime::from_ps(1000));
+/// assert_eq!(f.cycles_to_time(Cycles(130)), SimTime::from_ns(130));
+/// assert_eq!(f.time_to_cycles_ceil(SimTime::from_ps(1500)), Cycles(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frequency {
+    /// Clock period in picoseconds.
+    period_ps: u64,
+}
+
+impl Frequency {
+    /// Creates a frequency from megahertz.
+    ///
+    /// # Panics
+    /// Panics if `mhz` is zero or does not divide 1 THz exactly (periods must
+    /// be an integral number of picoseconds to keep the simulation exact).
+    pub fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "frequency must be positive");
+        let thz_ps = 1_000_000_u64; // 1 / 1 MHz in ps
+        assert!(
+            thz_ps.is_multiple_of(mhz),
+            "frequency {mhz} MHz does not have an integral picosecond period"
+        );
+        Frequency {
+            period_ps: thz_ps / mhz,
+        }
+    }
+
+    /// Creates a frequency from gigahertz.
+    pub fn from_ghz(ghz: u64) -> Self {
+        Self::from_mhz(ghz * 1000)
+    }
+
+    /// The clock period.
+    #[inline]
+    pub const fn period(self) -> SimTime {
+        SimTime(self.period_ps)
+    }
+
+    /// The frequency in Hz, as a float.
+    #[inline]
+    pub fn as_hz_f64(self) -> f64 {
+        1e12 / self.period_ps as f64
+    }
+
+    /// Converts a cycle count of this clock into a duration.
+    #[inline]
+    pub fn cycles_to_time(self, c: Cycles) -> SimTime {
+        SimTime(c.0 * self.period_ps)
+    }
+
+    /// Converts a duration into cycles, rounding up (an operation that takes
+    /// any fraction of a cycle occupies the whole cycle).
+    #[inline]
+    pub fn time_to_cycles_ceil(self, t: SimTime) -> Cycles {
+        Cycles(t.0.div_ceil(self.period_ps))
+    }
+
+    /// Converts a duration into whole elapsed cycles, rounding down.
+    #[inline]
+    pub fn time_to_cycles_floor(self, t: SimTime) -> Cycles {
+        Cycles(t.0 / self.period_ps)
+    }
+}
+
+impl Default for Frequency {
+    /// The platform default clock: 1 GHz (Table I of the paper).
+    fn default() -> Self {
+        Frequency::from_ghz(1)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mhz = 1_000_000.0 / self.period_ps as f64;
+        if mhz >= 1000.0 {
+            write!(f, "{:.3} GHz", mhz / 1000.0)
+        } else {
+            write!(f, "{:.1} MHz", mhz)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(SimTime::from_ns(1), SimTime::from_ps(1000));
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1000));
+        assert_eq!(SimTime::from_ns_f64(1.5), SimTime::from_ps(1500));
+        assert_eq!(SimTime::from_ns_f64(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = SimTime::from_ps(100);
+        let b = SimTime::from_ps(40);
+        assert_eq!(a + b, SimTime::from_ps(140));
+        assert_eq!(a - b, SimTime::from_ps(60));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_ps(140));
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_ps(1)), None);
+    }
+
+    #[test]
+    fn time_unit_views() {
+        let t = SimTime::from_us(2);
+        assert!((t.as_ns_f64() - 2000.0).abs() < 1e-9);
+        assert!((t.as_us_f64() - 2.0).abs() < 1e-12);
+        assert!((t.as_ms_f64() - 0.002).abs() < 1e-12);
+        assert!((t.as_s_f64() - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn time_display_scales() {
+        assert_eq!(SimTime::from_ps(5).to_string(), "5 ps");
+        assert_eq!(SimTime::from_ps(1500).to_string(), "1.500 ns");
+        assert_eq!(SimTime::from_us(3).to_string(), "3.000 us");
+        assert_eq!(SimTime::from_us(4500).to_string(), "4.500 ms");
+    }
+
+    #[test]
+    fn frequency_round_trips() {
+        let f = Frequency::from_ghz(1);
+        assert_eq!(f.period(), SimTime::from_ps(1000));
+        assert_eq!(f.cycles_to_time(Cycles(100)), SimTime::from_ns(100));
+        assert_eq!(f.time_to_cycles_ceil(SimTime::from_ps(999)), Cycles(1));
+        assert_eq!(f.time_to_cycles_ceil(SimTime::from_ps(1000)), Cycles(1));
+        assert_eq!(f.time_to_cycles_ceil(SimTime::from_ps(1001)), Cycles(2));
+        assert_eq!(f.time_to_cycles_floor(SimTime::from_ps(1999)), Cycles(1));
+    }
+
+    #[test]
+    fn frequency_display_and_hz() {
+        assert_eq!(Frequency::from_ghz(1).to_string(), "1.000 GHz");
+        assert_eq!(Frequency::from_mhz(500).to_string(), "500.0 MHz");
+        assert!((Frequency::from_ghz(1).as_hz_f64() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "integral picosecond period")]
+    fn frequency_rejects_non_integral_period() {
+        let _ = Frequency::from_mhz(3); // 333.33.. ps period
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles(10) + Cycles(5);
+        assert_eq!(a, Cycles(15));
+        assert_eq!(a.saturating_sub(Cycles(20)), Cycles::ZERO);
+        assert_eq!(Cycles(7).to_string(), "7 cyc");
+    }
+}

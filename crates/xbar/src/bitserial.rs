@@ -1,0 +1,226 @@
+//! Bit-serial input evaluation (ISAAC/PUMA style).
+//!
+//! Instead of converting each activation once through a multi-bit DAC, the
+//! input vector is applied one *bit plane* at a time: `n_bits` binary
+//! word-line pulses, each producing a partial bit-line sum that is ADC-read
+//! and shift-accumulated digitally. The paper's platform uses the parallel
+//! 8-bit-DAC scheme of HERMES (Table I), but its related work (ISAAC,
+//! Shafiee et al.; PUMA, Ankit et al.) is bit-serial — this module lets the
+//! benches compare the two regimes on identical arrays:
+//!
+//! * per-MVM latency multiplies by the bit count;
+//! * DAC nonlinearity disappears (pulses are binary);
+//! * read noise is drawn once per bit plane and accumulates through the
+//!   shift-add, weighted by each plane's significance.
+
+use crate::crossbar::{Crossbar, XbarError};
+use crate::noise::gaussian;
+use rand::Rng;
+
+impl Crossbar {
+    /// Evaluates `y = Wᵀx` bit-serially with `n_bits` input bit planes.
+    ///
+    /// The input is normalized to the vector's max-abs (like the parallel
+    /// path), quantized to a *signed* `n_bits`-bit integer, and applied as
+    /// binary pulses from MSB-1 planes down; negative values use two-phase
+    /// (subtractive) evaluation, as memristive designs do.
+    ///
+    /// # Errors
+    /// Returns [`XbarError::InputLength`] on dimension mismatch, or
+    /// [`XbarError::BadConfig`] if `n_bits` is not in `1..=16`.
+    pub fn mvm_bit_serial<R: Rng>(
+        &self,
+        x: &[f32],
+        n_bits: u32,
+        rng: &mut R,
+    ) -> Result<Vec<f32>, XbarError> {
+        if !(1..=16).contains(&n_bits) {
+            return Err(XbarError::BadConfig(format!(
+                "bit-serial input bits {n_bits} out of range 1..=16"
+            )));
+        }
+        if x.len() != self.rows_used() {
+            return Err(XbarError::InputLength {
+                got: x.len(),
+                expected: self.rows_used(),
+            });
+        }
+        let cols = self.cols_used();
+        let rows = self.rows_used();
+        let cfg = self.config();
+
+        // Normalize and quantize to signed n-bit magnitude.
+        let x_scale = x.iter().fold(0.0f64, |m, &v| m.max(v.abs() as f64)).max(1e-30);
+        let levels = (1i64 << (n_bits - 1)) - 1;
+        let xq: Vec<i64> = x
+            .iter()
+            .map(|&v| {
+                ((v as f64 / x_scale).clamp(-1.0, 1.0) * levels as f64).round() as i64
+            })
+            .collect();
+
+        // Shift-accumulate bit planes (positive and negative phases).
+        let mut acc = vec![0.0f64; cols];
+        let sigma = cfg.read_noise_sigma * (rows as f64).sqrt();
+        for bit in 0..(n_bits - 1) {
+            let weight = (1i64 << bit) as f64;
+            for phase in [1i64, -1] {
+                // Skip silent planes entirely (no pulse, no noise).
+                let any = xq.iter().any(|&q| q.signum() == phase && (q.abs() >> bit) & 1 == 1);
+                if !any {
+                    continue;
+                }
+                let mut plane = vec![0.0f64; cols];
+                for (r, &q) in xq.iter().enumerate() {
+                    if q.signum() == phase && (q.abs() >> bit) & 1 == 1 {
+                        let row = self.effective_row(r);
+                        for (c, g) in row.iter().enumerate() {
+                            plane[c] += g;
+                        }
+                    }
+                }
+                for (c, p) in plane.iter().enumerate() {
+                    let noisy = p + gaussian(rng, sigma);
+                    acc[c] += phase as f64 * weight * noisy;
+                }
+            }
+        }
+
+        // Fold scales back: weights (w_scale) × activations (x_scale/levels).
+        let back = self.weight_scale() * x_scale / levels as f64;
+        Ok(acc.iter().map(|&a| (a * back) as f32).collect())
+    }
+
+    /// Latency of a bit-serial MVM: one array evaluation per bit plane (two
+    /// phases share a plane's evaluation slot in pipelined designs).
+    pub fn bit_serial_latency_ns(&self, n_bits: u32) -> f64 {
+        self.config().mvm_latency_ns / 8.0 * n_bits.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XbarConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn ref_mvm(w: &[f32], rows: usize, cols: usize, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                y[c] += w[r * cols + c] * x[r];
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn bit_serial_matches_reference_on_ideal_array() {
+        let mut rng = rng();
+        let rows = 24;
+        let cols = 6;
+        let w: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 31 % 97) as f32 - 48.0) / 48.0)
+            .collect();
+        let x: Vec<f32> = (0..rows).map(|i| ((i * 7 % 15) as f32 - 7.0) / 7.0).collect();
+        let xb = Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
+        let y = xb.mvm_bit_serial(&x, 12, &mut rng).unwrap();
+        let yref = ref_mvm(&w, rows, cols, &x);
+        for (a, b) in y.iter().zip(&yref) {
+            // 11 magnitude bits over sums of 24 terms.
+            assert!((a - b).abs() < 0.02 * rows as f32 / 24.0 + 0.02, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bit_serial_agrees_with_parallel_path() {
+        let mut rng = rng();
+        let rows = 16;
+        let cols = 4;
+        let w: Vec<f32> = (0..rows * cols).map(|i| ((i % 9) as f32 - 4.0) / 4.0).collect();
+        let x: Vec<f32> = (0..rows).map(|i| ((i % 5) as f32 - 2.0) / 2.0).collect();
+        let xb = Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
+        let par = xb.mvm(&x, &mut rng).unwrap();
+        let ser = xb.mvm_bit_serial(&x, 16, &mut rng).unwrap();
+        for (a, b) in par.iter().zip(&ser) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn read_noise_propagates_through_planes() {
+        // Per-plane read noise reaches the output through the shift-add, but
+        // each plane's contribution is scaled by its significance over the
+        // quantization levels, so the net noise is *comparable* to the
+        // single-evaluation parallel path (dominated by the MSB planes),
+        // not n_bits times larger.
+        let mut cfg = XbarConfig::ideal(32, 2);
+        cfg.read_noise_sigma = 0.02;
+        let mut rng = rng();
+        let w = vec![0.3f32; 64];
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 % 7.0) / 7.0).collect();
+        let xb = Crossbar::program(&cfg, &w, 32, 2, &mut rng).unwrap();
+        let spread = |f: &mut dyn FnMut(&mut StdRng) -> f32| {
+            let mut vals = Vec::new();
+            for s in 0..60 {
+                let mut r = StdRng::seed_from_u64(1000 + s);
+                vals.push(f(&mut r));
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32
+        };
+        let var_par = spread(&mut |r| xb.mvm(&x, r).unwrap()[0]);
+        let var_ser = spread(&mut |r| xb.mvm_bit_serial(&x, 8, r).unwrap()[0]);
+        assert!(var_ser > 0.0, "bit-serial output must be noisy");
+        assert!(var_par > 0.0, "parallel output must be noisy");
+        let ratio = var_ser / var_par;
+        assert!(
+            (0.05..20.0).contains(&ratio),
+            "noise regimes should be comparable: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn latency_scales_with_bits() {
+        let mut rng = rng();
+        let xb =
+            Crossbar::program(&XbarConfig::hermes_256(), &[0.1; 16], 4, 4, &mut rng).unwrap();
+        let l8 = xb.bit_serial_latency_ns(8);
+        let l16 = xb.bit_serial_latency_ns(16);
+        assert!((l8 - 130.0).abs() < 1e-9, "8-bit serial ≈ parallel: {l8}");
+        assert!((l16 - 260.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_bit_counts_and_lengths() {
+        let mut rng = rng();
+        let xb = Crossbar::program(&XbarConfig::ideal(4, 4), &[0.1; 16], 4, 4, &mut rng).unwrap();
+        assert!(matches!(
+            xb.mvm_bit_serial(&[0.0; 4], 0, &mut rng),
+            Err(XbarError::BadConfig(_))
+        ));
+        assert!(matches!(
+            xb.mvm_bit_serial(&[0.0; 4], 17, &mut rng),
+            Err(XbarError::BadConfig(_))
+        ));
+        assert!(matches!(
+            xb.mvm_bit_serial(&[0.0; 3], 8, &mut rng),
+            Err(XbarError::InputLength { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_input_is_silent() {
+        let mut cfg = XbarConfig::ideal(8, 2);
+        cfg.read_noise_sigma = 0.1; // would be loud if planes fired
+        let mut rng = rng();
+        let xb = Crossbar::program(&cfg, &[0.5; 16], 8, 2, &mut rng).unwrap();
+        let y = xb.mvm_bit_serial(&[0.0; 8], 8, &mut rng).unwrap();
+        assert!(y.iter().all(|&v| v == 0.0), "{y:?}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Crossbar configuration: geometry, converter resolutions, device
+//! non-idealities, and the timing/energy figures of Table I.
+
+use core::fmt;
+
+/// Static configuration of an analog in-memory-computing crossbar.
+///
+/// The defaults ([`XbarConfig::hermes_256`]) model the 256×256 PCM array the
+/// paper assumes (HERMES-class device, 130 ns per matrix-vector product,
+/// 8-bit-equivalent cells).
+///
+/// # Examples
+/// ```
+/// use aimc_xbar::XbarConfig;
+/// let cfg = XbarConfig::hermes_256();
+/// assert_eq!((cfg.rows, cfg.cols), (256, 256));
+/// assert_eq!(cfg.capacity_weights(), 65_536);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct XbarConfig {
+    /// Number of word lines (input dimension).
+    pub rows: usize,
+    /// Number of bit lines (output dimension).
+    pub cols: usize,
+    /// Equivalent bits per stored weight (differential pair), ≤ 8 for PCM.
+    pub weight_bits: u32,
+    /// Input DAC resolution in bits.
+    pub dac_bits: u32,
+    /// Output ADC resolution in bits.
+    pub adc_bits: u32,
+    /// Relative (multiplicative) programming-noise sigma per device.
+    /// Typical iterative-program-and-verify PCM: ~2–4 % of `g_max`.
+    pub prog_noise_sigma: f64,
+    /// Relative read-noise sigma per device per MVM (1/f + telegraph noise).
+    pub read_noise_sigma: f64,
+    /// Conductance-drift exponent ν in `g(t) = g₀ (t/t₀)^(−ν)`; PCM ≈ 0.05.
+    pub drift_nu: f64,
+    /// Input clipping range: activations are clipped to `[-x_clip, x_clip]`
+    /// before DAC conversion (in normalized activation units).
+    pub x_clip: f64,
+    /// ADC full-scale expressed as a fraction of the worst-case bit-line sum
+    /// (`rows · x_clip · 1.0`). Real arrays never see the worst case, so the
+    /// full-scale is provisioned for a small multiple of the typical column
+    /// sum; 0.1 means FS = 10 % of worst case.
+    pub adc_headroom: f64,
+    /// Latency of one complete MVM (DAC + analog evaluation + ADC), in ns.
+    /// Table I / Khaddam-Aljameh et al.: 130 ns.
+    pub mvm_latency_ns: f64,
+    /// Energy of one complete MVM in nJ (array + converters). The default is
+    /// calibrated so the full ResNet-18 batch lands at ≈15 mJ (Sec. VI).
+    pub mvm_energy_nj: f64,
+}
+
+impl XbarConfig {
+    /// The paper's baseline device: 256×256, 8-bit cells, 130 ns MVM.
+    pub fn hermes_256() -> Self {
+        XbarConfig {
+            rows: 256,
+            cols: 256,
+            weight_bits: 8,
+            dac_bits: 8,
+            adc_bits: 8,
+            prog_noise_sigma: 0.03,
+            read_noise_sigma: 0.01,
+            drift_nu: 0.05,
+            x_clip: 1.0,
+            adc_headroom: 0.125,
+            mvm_latency_ns: 130.0,
+            mvm_energy_nj: 3.8,
+        }
+    }
+
+    /// A noiseless, high-resolution configuration for numerical testing:
+    /// the MVM must match an exact floating-point mat-vec to tight tolerance.
+    pub fn ideal(rows: usize, cols: usize) -> Self {
+        XbarConfig {
+            rows,
+            cols,
+            weight_bits: 16,
+            dac_bits: 16,
+            adc_bits: 24,
+            prog_noise_sigma: 0.0,
+            read_noise_sigma: 0.0,
+            drift_nu: 0.0,
+            x_clip: 1.0,
+            adc_headroom: 1.0,
+            mvm_latency_ns: 130.0,
+            mvm_energy_nj: 3.8,
+        }
+    }
+
+    /// Returns a copy with a different geometry (used by the architecture
+    /// ablation benches that sweep crossbar sizes).
+    pub fn with_size(mut self, rows: usize, cols: usize) -> Self {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Number of weights the array can store (one weight per cross point;
+    /// the differential pair shares the cross point in our accounting, as in
+    /// the paper's "64 K parameters per 256×256 IMA").
+    pub fn capacity_weights(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Peak throughput in operations/second: 2 ops (MAC) per cell per MVM.
+    ///
+    /// For the default device: 2·256·256 / 130 ns ≈ 1.008 TOPS, which times
+    /// 512 clusters gives the ≈516 TOPS "ideal" bar of Fig. 6.
+    pub fn peak_ops_per_s(&self) -> f64 {
+        (2 * self.rows * self.cols) as f64 / (self.mvm_latency_ns * 1e-9)
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err("crossbar must have non-zero rows and cols".into());
+        }
+        if self.weight_bits == 0 || self.weight_bits > 16 {
+            return Err(format!("weight_bits {} out of range 1..=16", self.weight_bits));
+        }
+        if self.dac_bits == 0 || self.dac_bits > 24 || self.adc_bits == 0 || self.adc_bits > 32 {
+            return Err("converter resolution out of range".into());
+        }
+        let noise_ok = |x: f64| x.is_finite() && x >= 0.0;
+        if !noise_ok(self.prog_noise_sigma) || !noise_ok(self.read_noise_sigma) {
+            return Err("noise sigmas must be non-negative".into());
+        }
+        let range_ok = |x: f64| x.is_finite() && x > 0.0;
+        if !range_ok(self.x_clip) || !range_ok(self.adc_headroom) {
+            return Err("clipping ranges must be positive".into());
+        }
+        if !(self.mvm_latency_ns.is_finite()) || self.mvm_latency_ns <= 0.0 {
+            return Err("mvm latency must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for XbarConfig {
+    fn default() -> Self {
+        Self::hermes_256()
+    }
+}
+
+impl fmt::Display for XbarConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} xbar, {}b cells, DAC {}b / ADC {}b, {} ns/MVM",
+            self.rows, self.cols, self.weight_bits, self.dac_bits, self.adc_bits, self.mvm_latency_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hermes_defaults_match_table1() {
+        let c = XbarConfig::hermes_256();
+        assert_eq!(c.rows, 256);
+        assert_eq!(c.cols, 256);
+        assert_eq!(c.mvm_latency_ns, 130.0);
+        assert_eq!(c.capacity_weights(), 64 * 1024);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn peak_throughput_matches_paper_ideal() {
+        let per_ima = XbarConfig::hermes_256().peak_ops_per_s();
+        let ideal_512 = 512.0 * per_ima / 1e12;
+        // Fig. 6 "ideal" bar is ≈516 TOPS.
+        assert!((ideal_512 - 516.0).abs() < 1.0, "got {ideal_512} TOPS");
+    }
+
+    #[test]
+    fn ideal_config_is_noiseless() {
+        let c = XbarConfig::ideal(64, 32);
+        assert_eq!(c.prog_noise_sigma, 0.0);
+        assert_eq!(c.read_noise_sigma, 0.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut c = XbarConfig::hermes_256();
+        c.rows = 0;
+        assert!(c.validate().is_err());
+        let mut c = XbarConfig::hermes_256();
+        c.weight_bits = 0;
+        assert!(c.validate().is_err());
+        let mut c = XbarConfig::hermes_256();
+        c.prog_noise_sigma = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = XbarConfig::hermes_256();
+        c.adc_headroom = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_size_changes_geometry_only() {
+        let c = XbarConfig::hermes_256().with_size(512, 512);
+        assert_eq!(c.rows, 512);
+        assert_eq!(c.weight_bits, 8);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = XbarConfig::hermes_256().to_string();
+        assert!(s.contains("256x256"));
+        assert!(s.contains("130"));
+    }
+}

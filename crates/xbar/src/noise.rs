@@ -1,0 +1,82 @@
+//! Minimal Gaussian sampling (Box–Muller), so the device models need only the
+//! base `rand` crate from the offline allowlist.
+
+use rand::Rng;
+
+/// Draws one sample from `N(0, sigma²)` using the Box–Muller transform.
+///
+/// Returns exactly `0.0` when `sigma == 0`, so noiseless configurations are
+/// bit-exact and consume no randomness.
+///
+/// # Examples
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = aimc_xbar::noise::gaussian(&mut rng, 1.0);
+/// assert!(x.is_finite());
+/// assert_eq!(aimc_xbar::noise::gaussian(&mut rng, 0.0), 0.0);
+/// ```
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    // u1 ∈ (0, 1] to keep ln(u1) finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    sigma * mag * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_exactly_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(gaussian(&mut rng, 0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let sigma = 2.5;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = gaussian(&mut rng, sigma);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(gaussian(&mut rng, 10.0).is_finite());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(5);
+            (0..16).map(|_| gaussian(&mut r, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(5);
+            (0..16).map(|_| gaussian(&mut r, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Weight-programming (deployment) cost model.
+//!
+//! The paper's entire computational model rests on *static* mapping because
+//! non-volatile memories write slowly (Sec. I: "the limited writing access
+//! speed of nvIMC devices introduces the need for a static mapping
+//! strategy"). This module quantifies that one-time cost: PCM cells are
+//! written by iterative program-and-verify — a few SET/RESET pulses of
+//! ~100 ns each plus a verify read per iteration — and only
+//! `cells_in_parallel` cells (one word-line slice) program at once.
+
+/// Programming-cost parameters for one array.
+///
+/// Defaults follow published PCM program-and-verify schemes (≈8 iterations
+/// average to hit 8-bit-equivalent precision, ~500 ns per
+/// program+verify iteration, one 256-cell row slice at a time, ~50 pJ per
+/// programming pulse).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgrammingModel {
+    /// Average program-and-verify iterations per cell.
+    pub avg_iterations: f64,
+    /// Time per iteration (pulse + verify read) in ns.
+    pub iteration_ns: f64,
+    /// Cells programmed in parallel (one row slice).
+    pub cells_in_parallel: usize,
+    /// Energy per programming pulse in pJ.
+    pub pulse_energy_pj: f64,
+}
+
+impl Default for ProgrammingModel {
+    fn default() -> Self {
+        ProgrammingModel {
+            avg_iterations: 8.0,
+            iteration_ns: 500.0,
+            cells_in_parallel: 256,
+            pulse_energy_pj: 50.0,
+        }
+    }
+}
+
+/// Deployment cost summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgrammingCost {
+    /// Cells written.
+    pub cells: u64,
+    /// Total wall-clock programming time in milliseconds (arrays program in
+    /// parallel across clusters; this is the slowest array's time when
+    /// `parallel_arrays` > 1).
+    pub time_ms: f64,
+    /// Total programming energy in millijoules.
+    pub energy_mj: f64,
+}
+
+impl ProgrammingModel {
+    /// Cost of programming `cells` weights into one array.
+    pub fn array_cost(&self, cells: u64) -> ProgrammingCost {
+        let slices = (cells as f64 / self.cells_in_parallel as f64).ceil();
+        let time_ns = slices * self.avg_iterations * self.iteration_ns;
+        let energy_pj = cells as f64 * self.avg_iterations * self.pulse_energy_pj;
+        ProgrammingCost {
+            cells,
+            time_ms: time_ns / 1e6,
+            energy_mj: energy_pj / 1e9,
+        }
+    }
+
+    /// Cost of deploying a whole network: `per_array_cells` lists the
+    /// occupied cells of every programmed array. Arrays program in parallel
+    /// (each cluster drives its own IMA), so wall-clock time is the slowest
+    /// array; energy sums.
+    ///
+    /// # Examples
+    /// ```
+    /// use aimc_xbar::ProgrammingModel;
+    /// let m = ProgrammingModel::default();
+    /// let cost = m.deployment_cost(&[65_536, 12_288]);
+    /// assert!(cost.time_ms > 0.9); // full array: 256 slices × 8 × 500 ns
+    /// assert_eq!(cost.cells, 77_824);
+    /// ```
+    pub fn deployment_cost(&self, per_array_cells: &[u64]) -> ProgrammingCost {
+        let mut total_cells = 0u64;
+        let mut max_time = 0.0f64;
+        let mut energy = 0.0f64;
+        for &cells in per_array_cells {
+            let c = self.array_cost(cells);
+            total_cells += cells;
+            max_time = max_time.max(c.time_ms);
+            energy += c.energy_mj;
+        }
+        ProgrammingCost {
+            cells: total_cells,
+            time_ms: max_time,
+            energy_mj: energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_array_takes_about_a_millisecond() {
+        let m = ProgrammingModel::default();
+        let c = m.array_cost(65_536);
+        // 256 slices × 8 iterations × 500 ns = 1.024 ms.
+        assert!((c.time_ms - 1.024).abs() < 1e-9, "{}", c.time_ms);
+        // 65536 cells × 8 × 50 pJ ≈ 26 µJ.
+        assert!((c.energy_mj - 0.0262).abs() < 0.001);
+    }
+
+    #[test]
+    fn programming_dwarfs_inference_time() {
+        // The static-mapping motivation: writing one array (~1 ms) costs as
+        // much time as ~7900 MVMs (130 ns each) — reprogramming per layer
+        // at runtime would be absurd.
+        let m = ProgrammingModel::default();
+        let c = m.array_cost(65_536);
+        let mvms_equiv = c.time_ms * 1e6 / 130.0;
+        assert!(mvms_equiv > 5000.0, "{mvms_equiv}");
+    }
+
+    #[test]
+    fn deployment_parallelism_takes_the_max() {
+        let m = ProgrammingModel::default();
+        let d = m.deployment_cost(&[65_536, 1_000, 100]);
+        let solo = m.array_cost(65_536);
+        assert_eq!(d.time_ms, solo.time_ms);
+        assert_eq!(d.cells, 66_636);
+        assert!(d.energy_mj > solo.energy_mj);
+    }
+
+    #[test]
+    fn empty_deployment_is_free() {
+        let m = ProgrammingModel::default();
+        let d = m.deployment_cost(&[]);
+        assert_eq!(d.cells, 0);
+        assert_eq!(d.time_ms, 0.0);
+        assert_eq!(d.energy_mj, 0.0);
+        let z = m.array_cost(0);
+        assert_eq!(z.time_ms, 0.0);
+    }
+
+    #[test]
+    fn cost_scales_with_iterations() {
+        let mut m = ProgrammingModel::default();
+        let base = m.array_cost(1000);
+        m.avg_iterations *= 2.0;
+        let double = m.array_cost(1000);
+        assert!((double.time_ms - 2.0 * base.time_ms).abs() < 1e-12);
+        assert!((double.energy_mj - 2.0 * base.energy_mj).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the crossbar model's core invariants.
+
+use aimc_xbar::{Crossbar, XbarConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ref_mvm(w: &[f32], rows: usize, cols: usize, x: &[f32]) -> Vec<f32> {
+    let mut y = vec![0.0f32; cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            y[c] += w[r * cols + c] * x[r];
+        }
+    }
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An ideal (noiseless, high-resolution) crossbar matches the exact
+    /// mat-vec within converter quantization tolerance.
+    #[test]
+    fn ideal_mvm_matches_reference(
+        rows in 1usize..40,
+        cols in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let w: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let x: Vec<f32> = (0..rows).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let xb = Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
+        let y = xb.mvm(&x, &mut rng).unwrap();
+        let yref = ref_mvm(&w, rows, cols, &x);
+        // Tolerance: DAC 16b + weight 16b quantization on sums of `rows` terms.
+        let tol = 1e-3 * rows as f32 + 1e-3;
+        for (a, b) in y.iter().zip(&yref) {
+            prop_assert!((a - b).abs() <= tol, "{} vs {} (tol {})", a, b, tol);
+        }
+    }
+
+    /// MVM output is linear in the input for an ideal array: f(ax) = a f(x)
+    /// for positive scalars that stay inside the clipping range.
+    #[test]
+    fn ideal_mvm_is_scale_invariant_in_normalization(
+        rows in 2usize..24,
+        cols in 1usize..12,
+        scale in 0.1f32..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let w: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let x: Vec<f32> = (0..rows).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let xb = Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
+        let y1 = xb.mvm(&x, &mut rng).unwrap();
+        let xs: Vec<f32> = x.iter().map(|v| v * scale).collect();
+        let y2 = xb.mvm(&xs, &mut rng).unwrap();
+        let tol = 2e-3 * rows as f32 + 1e-3;
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a * scale - b).abs() <= tol, "{} vs {}", a * scale, b);
+        }
+    }
+
+    /// Stored weights always stay within the programmable range
+    /// [-w_scale, +w_scale], even with noise.
+    #[test]
+    fn stored_weights_respect_conductance_bounds(
+        rows in 1usize..16,
+        cols in 1usize..16,
+        sigma in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let w: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let mut cfg = XbarConfig::hermes_256();
+        cfg.prog_noise_sigma = sigma;
+        let xb = Crossbar::program(&cfg, &w, rows, cols, &mut rng).unwrap();
+        let bound = xb.weight_scale() as f32 * 1.000_1;
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert!(xb.stored_weight(r, c).abs() <= bound);
+            }
+        }
+    }
+
+    /// ADC output never exceeds the full-scale range.
+    #[test]
+    fn adc_output_is_bounded_by_full_scale(
+        rows in 1usize..64,
+        headroom in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = XbarConfig::ideal(rows, 1);
+        cfg.adc_headroom = headroom;
+        let w = vec![1.0f32; rows];
+        let xb = Crossbar::program(&cfg, &w, rows, 1, &mut rng).unwrap();
+        let x = vec![1.0f32; rows];
+        let y = xb.mvm(&x, &mut rng).unwrap();
+        let fs = (headroom * rows as f64 * cfg.x_clip) as f32 * 1.001;
+        prop_assert!(y[0].abs() <= fs, "|{}| > fs {}", y[0], fs);
+    }
+
+    /// Utilization is exactly the occupied fraction and lies in (0, 1].
+    #[test]
+    fn utilization_is_occupied_fraction(
+        rows in 1usize..=256,
+        cols in 1usize..=256,
+    ) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = XbarConfig::hermes_256();
+        let w = vec![0.1f32; rows * cols];
+        let xb = Crossbar::program(&cfg, &w, rows, cols, &mut rng).unwrap();
+        let expect = (rows * cols) as f64 / (256.0 * 256.0);
+        prop_assert!((xb.utilization() - expect).abs() < 1e-12);
+        prop_assert!(xb.utilization() > 0.0 && xb.utilization() <= 1.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Architecture exploration: the "guidelines for next-generation many-core
+//! architectures" angle of the paper. Sweeps the cluster count and the
+//! crossbar geometry, reporting mapping feasibility, utilization and
+//! throughput for ResNet-18.
+//!
+//! ```text
+//! cargo run --release --example mapping_explorer
+//! ```
+
+use aimc_platform::core::{map_network, ArchConfig, MappingStrategy};
+use aimc_platform::prelude::*;
+
+fn main() {
+    let graph = resnet18(256, 256, 1000);
+
+    println!("== platform size sweep (256x256 arrays, batch 8) ==\n");
+    println!(
+        "{:<10} {:>9} {:>10} {:>10} {:>12}",
+        "clusters", "used", "TOPS", "img/s", "ideal TOPS"
+    );
+    for (per_l1, l1s, wrappers) in [(4, 4, 4), (4, 4, 8), (4, 4, 16)] {
+        let mut arch = ArchConfig::paper();
+        arch.noc.quadrant_factors = vec![per_l1, l1s, 4, wrappers];
+        arch.noc.link_width_bytes = vec![64; 4];
+        arch.noc.router_latency_cycles = vec![4; 4];
+        let n = arch.n_clusters();
+        match map_network(&graph, &arch, MappingStrategy::OnChipResiduals) {
+            Ok(m) => {
+                let r = simulate(&graph, &m, &arch, 8);
+                println!(
+                    "{:<10} {:>9} {:>10.1} {:>10.0} {:>12.1}",
+                    n,
+                    m.n_clusters_used,
+                    r.tops(),
+                    r.images_per_s(),
+                    arch.ideal_tops()
+                );
+            }
+            Err(e) => println!("{:<10} does not fit: {e}", n),
+        }
+    }
+
+    println!("\n== interconnect latency sweep (512 clusters, batch 8) ==\n");
+    println!("{:<22} {:>10} {:>10}", "router latency [cyc]", "TOPS", "img/s");
+    for lat in [1u64, 4, 16, 64] {
+        let mut arch = ArchConfig::paper();
+        arch.noc.router_latency_cycles = vec![lat; 4];
+        let m = map_network(&graph, &arch, MappingStrategy::OnChipResiduals).unwrap();
+        let r = simulate(&graph, &m, &arch, 8);
+        println!("{:<22} {:>10.1} {:>10.0}", lat, r.tops(), r.images_per_s());
+    }
+
+    println!("\n== HBM latency sweep with residuals forced to HBM (batch 8) ==\n");
+    println!("{:<22} {:>10} {:>10}", "HBM latency [cyc]", "TOPS", "img/s");
+    for lat in [50u64, 100, 200, 400] {
+        let mut arch = ArchConfig::paper();
+        arch.noc.hbm.latency_cycles = lat;
+        let m = map_network(&graph, &arch, MappingStrategy::Balanced).unwrap();
+        let r = simulate(&graph, &m, &arch, 8);
+        println!("{:<22} {:>10.1} {:>10.0}", lat, r.tops(), r.images_per_s());
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a small CNN, compile it onto a 32-cluster AIMC
+//! platform, and run a pipelined batch through the timing simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aimc_platform::prelude::*;
+
+fn main() {
+    // 1. Describe a workload as a DAG (a little 3-layer CNN with a residual).
+    let mut b = GraphBuilder::new(Shape::new(3, 32, 32));
+    let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 16, 1));
+    let c1 = b.conv("c1", Some(c0), ConvCfg::k3(16, 16, 1));
+    let r = b.residual("res", c1, c0, None);
+    let gap = b.global_avgpool("gap", r);
+    b.linear("fc", gap, 10);
+    let graph = b.finish();
+    println!("workload:\n{graph}");
+
+    // 2. Describe a platform: 32 clusters (4 per L1 quadrant, 8 quadrants),
+    //    each with 16 RISC-V cores + one 256x256 PCM crossbar.
+    let arch = ArchConfig::small(4, 8);
+    println!(
+        "platform: {} clusters, ideal {:.1} TOPS",
+        arch.n_clusters(),
+        arch.ideal_tops()
+    );
+
+    // 3. Compile: multi-cluster splits, reduction trees, tiling, replication.
+    let mapping = map_network(&graph, &arch, MappingStrategy::OnChipResiduals)
+        .expect("this workload fits the platform");
+    println!("\nmapping:\n{}", mapping.summary());
+
+    // 4. Simulate a pipelined batch of 8 images.
+    let report = simulate(&graph, &mapping, &arch, 8);
+    println!(
+        "batch 8: makespan {}, {:.2} TOPS nominal, {:.0} images/s steady",
+        report.makespan,
+        report.tops(),
+        report.images_per_s()
+    );
+
+    // 5. Inspect where time goes on each cluster.
+    println!("\nper-cluster breakdown:");
+    for c in report.clusters.iter().take(8) {
+        println!(
+            "  cluster {:>2} ({:<8}): compute {:>10}, comm {:>10}, sync {:>10}, sleep {:>10}",
+            c.cluster, c.stage_name, c.compute, c.communication, c.synchronization, c.sleep
+        );
+    }
+}

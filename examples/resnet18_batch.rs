@@ -1,0 +1,47 @@
+//! The paper's flagship experiment: ResNet-18 on 256×256 inputs, batch 16,
+//! on the 512-cluster platform — the full Sec. VI evaluation in one run.
+//!
+//! ```text
+//! cargo run --release --example resnet18_batch
+//! ```
+
+use aimc_platform::prelude::*;
+
+fn main() {
+    let graph = resnet18(256, 256, 1000);
+    let arch = ArchConfig::paper();
+    println!(
+        "ResNet-18 @256x256: {:.2} GMAC/image, {:.1} M parameters",
+        graph.total_macs() as f64 / 1e9,
+        graph.total_params() as f64 / 1e6
+    );
+
+    for strategy in [
+        MappingStrategy::Naive,
+        MappingStrategy::Balanced,
+        MappingStrategy::OnChipResiduals,
+    ] {
+        let mapping = map_network(&graph, &arch, strategy).expect("mapping fits");
+        let report = simulate(&graph, &mapping, &arch, 16);
+        println!(
+            "\n=== {} ===\n  clusters {}, makespan {}, {:.1} TOPS, {:.0} img/s",
+            mapping.strategy.label(),
+            mapping.n_clusters_used,
+            report.makespan,
+            report.tops(),
+            report.images_per_s()
+        );
+        if strategy == MappingStrategy::OnChipResiduals {
+            let headline = Headline::compute(
+                &mapping,
+                &arch,
+                &report,
+                &EnergyModel::default(),
+                &AreaModel::default(),
+            );
+            println!("\n{}", headline.render());
+            let waterfall = Waterfall::compute(&graph, &mapping, &arch, &report);
+            println!("{}", waterfall.render());
+        }
+    }
+}

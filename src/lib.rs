@@ -1,0 +1,57 @@
+//! # aimc-platform — end-to-end DNN inference on a massively parallel
+//! analog in-memory computing architecture
+//!
+//! Facade crate re-exporting the whole stack, reproduced from the DATE 2023
+//! paper *"End-to-End DNN Inference on a Massively Parallel Analog In
+//! Memory Computing Architecture"* (Bruschi et al.):
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | simulation kernel | [`sim`] | event queue, simulated time, activity stats |
+//! | analog device | [`xbar`] | PCM crossbar: noise, converters, MVM timing/energy |
+//! | workloads | [`dnn`] | tensors, graphs, ResNet-18, golden + analog executors |
+//! | interconnect | [`noc`] | quadrant-tree AXI network + HBM controller |
+//! | cluster | [`cluster`] | IMA subsystem, digital kernels, L1, DMA |
+//! | **mapping compiler** | [`core`] | splits, reduction trees, tiling, replication, residual placement |
+//! | runtime | [`runtime`] | self-timed pipelined simulation + analyses |
+//!
+//! ## Quickstart
+//! ```no_run
+//! use aimc_platform::prelude::*;
+//!
+//! let graph = resnet18(256, 256, 1000);
+//! let arch = ArchConfig::paper();
+//! let mapping = map_network(&graph, &arch, MappingStrategy::OnChipResiduals).unwrap();
+//! let report = simulate(&graph, &mapping, &arch, 16);
+//! println!("{:.1} TOPS, {:.0} images/s", report.tops(), report.images_per_s());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aimc_cluster as cluster;
+pub use aimc_core as core;
+pub use aimc_dnn as dnn;
+pub use aimc_noc as noc;
+pub use aimc_runtime as runtime;
+pub use aimc_sim as sim;
+pub use aimc_xbar as xbar;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use aimc_core::{
+        map_network, ArchConfig, MapError, MappingStrategy, SystemMapping,
+    };
+    pub use aimc_dnn::{
+        execute_golden, he_init, infer_golden, resnet18, resnet18_cifar, AimcExecutor, ConvCfg,
+        Graph, GraphBuilder, Shape, Tensor, Weights,
+    };
+    pub use aimc_runtime::{
+        group_area_efficiency, simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall,
+    };
+    pub use aimc_sim::SimTime;
+    pub use aimc_xbar::{Crossbar, XbarConfig};
+}

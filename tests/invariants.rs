@@ -1,0 +1,117 @@
+//! Property-based integration tests: randomly generated CNNs must map and
+//! simulate while preserving the pipeline's conservation invariants.
+
+use aimc_platform::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a random plain CNN from a compact genome.
+fn build_graph(widths: &[usize], with_residual: bool, classes: usize) -> Graph {
+    let mut b = GraphBuilder::new(Shape::new(3, 16, 16));
+    let mut prev = b.conv("c0", b.input(), ConvCfg::k3(3, widths[0], 1));
+    let mut prev_width = widths[0];
+    for (i, &w) in widths.iter().enumerate().skip(1) {
+        let stride = if i % 2 == 0 { 2 } else { 1 };
+        let id = b.conv(&format!("c{i}"), Some(prev), ConvCfg::k3(prev_width, w, stride));
+        prev = if with_residual && stride == 1 && w == prev_width {
+            b.residual(&format!("r{i}"), id, prev, None)
+        } else {
+            id
+        };
+        prev_width = w;
+    }
+    let gap = b.global_avgpool("gap", prev);
+    b.linear("fc", gap, classes);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every mappable random network simulates to completion with conserved
+    /// accounting: all images finish, in order, and every cluster's activity
+    /// breakdown tiles the makespan exactly.
+    #[test]
+    fn random_networks_map_and_simulate_conservatively(
+        n_layers in 1usize..5,
+        width_sel in 0usize..3,
+        with_residual in any::<bool>(),
+        batch in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let widths: Vec<usize> = (0..n_layers)
+            .map(|i| [8, 16, 32][ (width_sel + i) % 3 ])
+            .collect();
+        let g = build_graph(&widths, with_residual, 4 + (seed % 7) as usize);
+        let arch = ArchConfig::small(4, 8);
+        let Ok(m) = map_network(&g, &arch, MappingStrategy::OnChipResiduals) else {
+            // Too big for the 32-cluster test platform — not a failure.
+            return Ok(());
+        };
+        let r = simulate(&g, &m, &arch, batch);
+
+        // All images complete, monotonically.
+        prop_assert_eq!(r.image_completions.len(), batch);
+        for w in r.image_completions.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert!(*r.image_completions.last().unwrap() <= r.makespan);
+
+        // Per-cluster activity tiles the makespan.
+        for c in &r.clusters {
+            let sum = c.compute + c.communication + c.synchronization + c.sleep;
+            prop_assert_eq!(sum, r.makespan);
+        }
+
+        // Ops accounting is positive and ordered.
+        prop_assert_eq!(r.nominal_ops, g.total_ops() * batch as u64);
+        prop_assert!(r.useful_ops > 0);
+        prop_assert!(r.executed_ops >= r.useful_ops);
+    }
+
+    /// Mapping is deterministic and placement never over-commits clusters.
+    #[test]
+    fn mapping_respects_cluster_budget(
+        n_layers in 1usize..6,
+        with_residual in any::<bool>(),
+    ) {
+        let widths: Vec<usize> = (0..n_layers).map(|i| [16, 32, 64][i % 3]).collect();
+        let g = build_graph(&widths, with_residual, 10);
+        let arch = ArchConfig::paper();
+        let m1 = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
+        let m2 = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
+        prop_assert_eq!(&m1, &m2);
+        prop_assert!(m1.n_clusters_used <= arch.n_clusters());
+        // Every cluster id is unique.
+        let mut ids: Vec<usize> = m1
+            .stages
+            .iter()
+            .flat_map(|s| s.clusters.iter().copied())
+            .chain(m1.residuals.storage_clusters.iter().copied())
+            .collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before);
+    }
+
+    /// Throughput never decreases when the platform gets more clusters.
+    #[test]
+    fn bigger_platforms_never_hurt(batch in 1usize..4) {
+        let g = build_graph(&[16, 32], false, 8);
+        let small = ArchConfig::small(4, 8);
+        let big = ArchConfig::small(4, 16);
+        let (Ok(ms), Ok(mb)) = (
+            map_network(&g, &small, MappingStrategy::OnChipResiduals),
+            map_network(&g, &big, MappingStrategy::OnChipResiduals),
+        ) else {
+            return Ok(());
+        };
+        let rs = simulate(&g, &ms, &small, batch);
+        let rb = simulate(&g, &mb, &big, batch);
+        // Allow 2% tolerance: placement shifts can move DMA routes slightly.
+        prop_assert!(
+            rb.makespan.as_ps() as f64 <= rs.makespan.as_ps() as f64 * 1.02,
+            "big {} vs small {}", rb.makespan, rs.makespan
+        );
+    }
+}

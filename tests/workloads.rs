@@ -1,0 +1,97 @@
+//! Workload generality: the mapper and runtime must handle the network
+//! families the paper's related work targets (VGG-like, deeper ResNets),
+//! not just the flagship ResNet-18.
+
+use aimc_platform::dnn::{mobilenet_v1_lite, resnet34, vgg11, vgg16};
+use aimc_platform::prelude::*;
+
+#[test]
+fn vgg11_maps_without_residual_machinery() {
+    // VGG has no skip edges: no residual storage should be allocated even
+    // under the OnChipResiduals strategy.
+    let g = vgg11(224, 224, 1000);
+    let arch = ArchConfig::paper();
+    let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
+    assert!(m.residuals.storage_clusters.is_empty());
+    assert_eq!(m.residuals.total_bytes, 0);
+    let r = simulate(&g, &m, &arch, 4);
+    assert!(r.image_completions.iter().all(|&t| t > SimTime::ZERO));
+    assert!(r.tops() > 1.0, "VGG-11 TOPS {}", r.tops());
+}
+
+#[test]
+fn vgg16_fits_and_outweighs_resnet18_in_compute() {
+    let g = vgg16(224, 224, 1000);
+    let r18 = resnet18(224, 224, 1000);
+    assert!(g.total_macs() > 5 * r18.total_macs());
+    let arch = ArchConfig::paper();
+    let m = map_network(&g, &arch, MappingStrategy::Balanced).unwrap();
+    assert!(m.n_clusters_used <= 512);
+    let r = simulate(&g, &m, &arch, 2);
+    assert_eq!(r.image_completions.len(), 2);
+}
+
+#[test]
+fn resnet34_maps_with_more_stages_than_resnet18() {
+    let g34 = resnet34(256, 256, 1000);
+    let g18 = resnet18(256, 256, 1000);
+    let arch = ArchConfig::paper();
+    let m34 = map_network(&g34, &arch, MappingStrategy::OnChipResiduals).unwrap();
+    let m18 = map_network(&g18, &arch, MappingStrategy::OnChipResiduals).unwrap();
+    assert!(m34.stages.len() > m18.stages.len());
+    assert!(m34.n_clusters_used <= 512, "used {}", m34.n_clusters_used);
+    // 16 skip edges → bigger residual footprint than ResNet-18's 8.
+    assert!(m34.residuals.total_bytes > m18.residuals.total_bytes);
+    let r = simulate(&g34, &m34, &arch, 4);
+    assert!(r.tops() > 1.0, "ResNet-34 TOPS {}", r.tops());
+}
+
+#[test]
+fn mobilenet_mixes_digital_depthwise_and_analog_pointwise() {
+    use aimc_platform::core::StageRole;
+    let g = mobilenet_v1_lite(224, 224, 1000);
+    let arch = ArchConfig::paper();
+    let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
+    let digital_dw = m
+        .stages
+        .iter()
+        .filter(|s| s.name.starts_with("dw"))
+        .count();
+    assert_eq!(digital_dw, 8);
+    for s in m.stages.iter().filter(|s| s.name.starts_with("dw")) {
+        assert!(matches!(s.role, StageRole::Digital), "{} must be digital", s.name);
+        assert!(s.analog.is_none());
+    }
+    for s in m
+        .stages
+        .iter()
+        .filter(|s| s.name.starts_with("pw") && !s.name.contains("/red"))
+    {
+        assert!(s.analog.is_some(), "{} must be analog", s.name);
+    }
+    let r = simulate(&g, &m, &arch, 4);
+    assert_eq!(r.image_completions.len(), 4);
+    assert!(r.images_per_s() > 1000.0);
+}
+
+#[test]
+fn deeper_network_sustains_similar_steady_throughput() {
+    // Pipelining argument (Sec. IV-3): depth adds latency, not much
+    // throughput loss, as long as the platform has clusters to hold it.
+    let g34 = resnet34(256, 256, 1000);
+    let g18 = resnet18(256, 256, 1000);
+    let arch = ArchConfig::paper();
+    let m34 = map_network(&g34, &arch, MappingStrategy::OnChipResiduals).unwrap();
+    let m18 = map_network(&g18, &arch, MappingStrategy::OnChipResiduals).unwrap();
+    let r34 = simulate(&g34, &m34, &arch, 8);
+    let r18 = simulate(&g18, &m18, &arch, 8);
+    // Single-image latency grows with depth…
+    assert!(r34.image_completions[0] > r18.image_completions[0]);
+    // …but steady images/s stays within 4x (budget pressure allowed).
+    assert!(
+        r34.images_per_s() > r18.images_per_s() / 4.0,
+        "34: {} vs 18: {}",
+        r34.images_per_s(),
+        r18.images_per_s()
+    );
+}
