@@ -14,7 +14,9 @@ fn bench_dnn(c: &mut Criterion) {
     let shape = Shape::new(3, 32, 32);
     let x = Tensor::from_vec(
         shape,
-        (0..shape.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        (0..shape.numel())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
     );
     let mut group = c.benchmark_group("dnn");
     group.sample_size(10);

@@ -13,9 +13,14 @@ fn bench_mvm(c: &mut Criterion) {
         let x: Vec<f32> = (0..size).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let ideal =
             Crossbar::program(&XbarConfig::ideal(size, size), &w, size, size, &mut rng).unwrap();
-        let noisy =
-            Crossbar::program(&XbarConfig::hermes_256().with_size(size, size), &w, size, size, &mut rng)
-                .unwrap();
+        let noisy = Crossbar::program(
+            &XbarConfig::hermes_256().with_size(size, size),
+            &w,
+            size,
+            size,
+            &mut rng,
+        )
+        .unwrap();
         let mut out = vec![0.0f32; size];
         group.bench_with_input(BenchmarkId::new("ideal", size), &size, |b, _| {
             b.iter(|| ideal.mvm_into(&x, &mut out, &mut rng).unwrap())

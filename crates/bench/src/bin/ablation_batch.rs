@@ -7,20 +7,19 @@
 //! cargo run --release -p aimc-bench --bin ablation_batch
 //! ```
 
-use aimc_core::{map_network, MappingStrategy};
-use aimc_runtime::simulate;
+use aimc_core::MappingStrategy;
+use aimc_platform::{Error, RunSpec};
 
-fn main() {
-    let g = aimc_bench::paper_graph();
-    let arch = aimc_bench::paper_arch();
-    let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).expect("mapping");
+fn main() -> Result<(), Error> {
+    // One compiled platform; the session re-simulates per batch size only.
+    let mut session = aimc_bench::paper_session(MappingStrategy::OnChipResiduals)?;
     println!("Ablation — batch size on the final mapping\n");
     println!(
         "{:<7} {:>12} {:>10} {:>10} {:>14}",
         "batch", "makespan", "TOPS", "img/s", "ms per image"
     );
     for batch in [1usize, 2, 4, 8, 16, 32] {
-        let r = simulate(&g, &m, &arch, batch);
+        let r = session.run(RunSpec::batch(batch))?;
         println!(
             "{:<7} {:>12} {:>10.2} {:>10.0} {:>14.3}",
             batch,
@@ -32,4 +31,5 @@ fn main() {
     }
     println!("\nexpected shape: throughput rises with batch and saturates once the");
     println!("pipeline fill/drain is amortized (the paper evaluates batch 16).");
+    Ok(())
 }

@@ -10,25 +10,28 @@
 //! ```
 
 use aimc_core::{MappingStrategy, StageRole};
+use aimc_platform::Error;
 use aimc_runtime::{AreaModel, ClusterVariant};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let batch = aimc_bench::batch_from_args();
-    let (_, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, batch);
+    let (_, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, batch)?;
     let area = AreaModel::default();
 
-    let mut counts = [(ClusterVariant::Full, 0usize),
+    let mut counts = [
+        (ClusterVariant::Full, 0usize),
         (ClusterVariant::Analog, 0),
         (ClusterVariant::Digital, 0),
-        (ClusterVariant::Memory, 0)];
+        (ClusterVariant::Memory, 0),
+    ];
     let mut hetero_mm2 = 0.0;
     for s in m.stages() {
         let n = s.total_clusters();
         // Analog stages with absorbed reduction levels still need the full
         // core complex; pure-MVM stages can drop to a single control core.
         let variant = match (&s.role, &s.analog) {
-            (StageRole::Analog, Some(a)) if a.reduction.absorbed_levels == 0
-                && s.digital_per_chunk.len() <= 1 =>
+            (StageRole::Analog, Some(a))
+                if a.reduction.absorbed_levels == 0 && s.digital_per_chunk.len() <= 1 =>
             {
                 ClusterVariant::Analog
             }
@@ -57,7 +60,12 @@ fn main() {
     println!("Ablation — heterogeneous cluster provisioning (batch {batch})\n");
     println!("{:<10} {:>9} {:>12}", "variant", "clusters", "mm2 each");
     for (v, n) in counts {
-        println!("{:<10} {:>9} {:>12.3}", format!("{v:?}"), n, area.variant_mm2(v));
+        println!(
+            "{:<10} {:>9} {:>12.3}",
+            format!("{v:?}"),
+            n,
+            area.variant_mm2(v)
+        );
     }
     println!(
         "\nhomogeneous mapped area:   {homo_mm2:>8.1} mm2 -> {:.1} GOPS/mm2",
@@ -69,4 +77,5 @@ fn main() {
         100.0 * (1.0 - hetero_mm2 / homo_mm2)
     );
     println!("\n(the paper proposes exactly this split — Sec. VI, 'local mapping' discussion)");
+    Ok(())
 }

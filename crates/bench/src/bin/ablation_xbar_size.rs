@@ -9,12 +9,11 @@
 //! cargo run --release -p aimc-bench --bin ablation_xbar_size [batch]
 //! ```
 
-use aimc_core::{map_network, MappingStrategy};
-use aimc_runtime::simulate;
+use aimc_core::MappingStrategy;
+use aimc_platform::{Error, Platform, RunSpec};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let batch = aimc_bench::batch_from_args().min(8);
-    let g = aimc_bench::paper_graph();
     println!("Ablation — IMA crossbar size (batch {batch})\n");
     println!(
         "{:<10} {:>9} {:>12} {:>10} {:>10}",
@@ -24,14 +23,24 @@ fn main() {
         let mut arch = aimc_bench::paper_arch();
         arch.cluster.ima.xbar.rows = size;
         arch.cluster.ima.xbar.cols = size;
-        match map_network(&g, &arch, MappingStrategy::OnChipResiduals) {
-            Ok(m) => {
-                let r = simulate(&g, &m, &arch, batch);
+        // Each geometry is its own compiled platform; infeasible mappings
+        // surface as build errors rather than panics.
+        match Platform::builder()
+            .graph(aimc_bench::paper_graph())
+            .arch(arch)
+            .strategy(MappingStrategy::OnChipResiduals)
+            .build()
+        {
+            Ok(platform) => {
+                let n_clusters = platform.mapping().n_clusters_used;
+                let utilization = platform.mapping().local_mapping_utilization(size, size);
+                let mut session = platform.session();
+                let r = session.run(RunSpec::batch(batch))?;
                 println!(
                     "{:<10} {:>9} {:>11.1}% {:>10.2} {:>10.0}",
                     format!("{size}x{size}"),
-                    m.n_clusters_used,
-                    100.0 * m.local_mapping_utilization(size, size),
+                    n_clusters,
+                    100.0 * utilization,
                     r.tops(),
                     r.images_per_s()
                 );
@@ -39,6 +48,9 @@ fn main() {
             Err(e) => println!("{:<10} mapping failed: {e}", format!("{size}x{size}")),
         }
     }
-    println!("\nexpected shape: larger arrays need fewer clusters but waste cells (lower utilization);");
+    println!(
+        "\nexpected shape: larger arrays need fewer clusters but waste cells (lower utilization);"
+    );
     println!("smaller arrays multiply row splits and reduction stages.");
+    Ok(())
 }

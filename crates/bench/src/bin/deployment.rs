@@ -7,10 +7,11 @@
 //! ```
 
 use aimc_core::MappingStrategy;
+use aimc_platform::Error;
 use aimc_xbar::ProgrammingModel;
 
-fn main() {
-    let (g, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, 16);
+fn main() -> Result<(), Error> {
+    let (g, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, 16)?;
     let model = ProgrammingModel::default();
 
     // Occupied cells per programmed array: every split of every lane of
@@ -30,13 +31,25 @@ fn main() {
     let cost = model.deployment_cost(&arrays);
 
     println!("Deployment (weight programming) vs inference — final mapping\n");
-    println!("network parameters:        {:>12.2} M", g.total_params() as f64 / 1e6);
-    println!("programmed cells:          {:>12.2} M (replicas included)", cost.cells as f64 / 1e6);
+    println!(
+        "network parameters:        {:>12.2} M",
+        g.total_params() as f64 / 1e6
+    );
+    println!(
+        "programmed cells:          {:>12.2} M (replicas included)",
+        cost.cells as f64 / 1e6
+    );
     println!("programmed arrays:         {:>12}", arrays.len());
-    println!("deployment time:           {:>12.2} ms (arrays program in parallel)", cost.time_ms);
+    println!(
+        "deployment time:           {:>12.2} ms (arrays program in parallel)",
+        cost.time_ms
+    );
     println!("deployment energy:         {:>12.2} mJ", cost.energy_mj);
     println!();
-    println!("batch-16 inference:        {:>12.2} ms", r.makespan.as_ms_f64());
+    println!(
+        "batch-16 inference:        {:>12.2} ms",
+        r.makespan.as_ms_f64()
+    );
     println!(
         "deployment amortized after {:>12.0} images",
         cost.time_ms / (r.makespan.as_ms_f64() / 16.0)
@@ -44,4 +57,5 @@ fn main() {
     println!("\nthe write/read asymmetry (ms-scale programming vs 130 ns MVMs) is why");
     println!("the paper maps layers statically and replicates rather than re-programs");
     println!("(Sec. I / Sec. IV-1).");
+    Ok(())
 }

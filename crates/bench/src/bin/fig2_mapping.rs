@@ -5,11 +5,12 @@
 //! cargo run -p aimc-bench --bin fig2_mapping
 //! ```
 
-use aimc_core::{map_network, MappingStrategy};
+use aimc_core::MappingStrategy;
+use aimc_platform::Error;
 
-fn main() {
-    let g = aimc_bench::paper_graph();
-    let arch = aimc_bench::paper_arch();
+fn main() -> Result<(), Error> {
+    let platform = aimc_bench::paper_platform(MappingStrategy::OnChipResiduals)?;
+    let g = platform.graph();
 
     println!("Fig. 2A — ResNet-18 DAG (node id, op, output shape, params):\n");
     println!("{g}");
@@ -20,11 +21,12 @@ fn main() {
     );
 
     println!("Fig. 2B — mapping on the 512-cluster system (final strategy):\n");
-    let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).expect("mapping");
+    let m = platform.mapping();
     println!("{}", m.summary());
     println!(
         "residual storage: {:.2} MB staged on clusters {:?} (paper: ~1.6 MB, +2 clusters)",
         m.residuals.total_bytes as f64 / (1024.0 * 1024.0),
         m.residuals.storage_clusters,
     );
+    Ok(())
 }

@@ -10,8 +10,9 @@
 //! ```
 
 use aimc_core::MappingStrategy;
+use aimc_platform::Error;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let batch = aimc_bench::batch_from_args();
     println!("Fig. 5A — ResNet-18 throughput by mapping optimization (batch {batch})\n");
     println!(
@@ -21,7 +22,7 @@ fn main() {
     let mut prev: Option<f64> = None;
     let mut first: Option<f64> = None;
     for strategy in MappingStrategy::ALL {
-        let (_, m, r) = aimc_bench::run_paper(strategy, batch);
+        let (_, m, r) = aimc_bench::run_paper(strategy, batch)?;
         let tops = r.tops();
         let gain = prev.map_or(1.0, |p| tops / p);
         let cum = first.map_or(1.0, |f| tops / f);
@@ -38,4 +39,5 @@ fn main() {
         first = first.or(Some(tops));
     }
     println!("\npaper gains: replication+parallelization 1.6x (+61 clusters), on-chip residuals 1.9x (+2 clusters)");
+    Ok(())
 }

@@ -8,16 +8,17 @@
 //! ```
 
 use aimc_core::MappingStrategy;
+use aimc_platform::Error;
 use aimc_runtime::report::{breakdown_ascii, breakdown_csv, run_summary};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let batch = aimc_bench::batch_from_args();
     for (fig, strategy) in [
         ("5B", MappingStrategy::Naive),
         ("5C", MappingStrategy::Balanced),
         ("5D", MappingStrategy::OnChipResiduals),
     ] {
-        let (_, m, r) = aimc_bench::run_paper(strategy, batch);
+        let (_, m, r) = aimc_bench::run_paper(strategy, batch)?;
         let csv = breakdown_csv(&r.clusters);
         let path = format!("fig{fig}_breakdown.csv");
         std::fs::write(&path, &csv).expect("write CSV");
@@ -38,4 +39,5 @@ fn main() {
             r.clusters.len()
         );
     }
+    Ok(())
 }

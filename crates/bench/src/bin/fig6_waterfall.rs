@@ -7,12 +7,13 @@
 //! ```
 
 use aimc_core::MappingStrategy;
-use aimc_runtime::Waterfall;
+use aimc_platform::{Error, RunSpec};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let batch = aimc_bench::batch_from_args();
-    let (g, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, batch);
-    let w = Waterfall::compute(&g, &m, &aimc_bench::paper_arch(), &r);
+    let mut session = aimc_bench::paper_session(MappingStrategy::OnChipResiduals)?;
+    session.run(RunSpec::batch(batch))?;
+    let w = session.waterfall()?;
     println!("Fig. 6 — performance degradation by non-ideality (batch {batch})\n");
     println!("{}", w.render());
     let f = w.cumulative_factors();
@@ -21,4 +22,5 @@ fn main() {
         f[0], f[1], f[2], f[3]
     );
     println!("paper:              global 1.6x, local 4.7x, unbalance 23.8x, communication 28.4x");
+    Ok(())
 }

@@ -6,11 +6,18 @@
 //! ```
 
 use aimc_core::MappingStrategy;
+use aimc_platform::Error;
 use aimc_runtime::{group_area_efficiency, AreaModel};
 
-fn main() {
-    let (g, m, _r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, 2);
-    let eff = group_area_efficiency(&g, &m, &aimc_bench::paper_arch(), &AreaModel::default());
+fn main() -> Result<(), Error> {
+    // A static analysis of the compiled mapping — no timing run needed.
+    let platform = aimc_bench::paper_platform(MappingStrategy::OnChipResiduals)?;
+    let eff = group_area_efficiency(
+        platform.graph(),
+        platform.mapping(),
+        platform.arch(),
+        &AreaModel::default(),
+    );
     println!("Fig. 7 — area efficiency per layer group (no communication)\n");
     println!(
         "{:<6} {:<12} {:>9} {:>12} {:>14}",
@@ -29,4 +36,5 @@ fn main() {
         );
     }
     println!("\npaper: group 3 peaks (Layer 12 at 600 GOPS/mm2); group 5 lowest (~50 GOPS/mm2)");
+    Ok(())
 }

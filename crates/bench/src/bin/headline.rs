@@ -7,24 +7,26 @@
 //! ```
 
 use aimc_core::MappingStrategy;
-use aimc_runtime::{AreaModel, EnergyModel, Headline};
+use aimc_platform::{Error, RunSpec};
+use aimc_runtime::{AreaModel, EnergyModel};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let batch = aimc_bench::batch_from_args();
-    let (_, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, batch);
-    let h = Headline::compute(
-        &m,
-        &aimc_bench::paper_arch(),
-        &r,
-        &EnergyModel::default(),
-        &AreaModel::default(),
-    );
+    let mut session = aimc_bench::paper_session(MappingStrategy::OnChipResiduals)?;
+    let tops_executed = session.run(RunSpec::batch(batch))?.tops_executed();
+    let h = session.headline(&EnergyModel::default(), &AreaModel::default())?;
     println!("Headline — end-to-end ResNet-18 inference, batch {batch}\n");
     println!("{}", h.render());
-    println!("energy breakdown [mJ]: analog {:.2}, digital {:.2}, noc {:.2}, hbm {:.2}, static {:.2}",
-        h.energy.analog_mj, h.energy.digital_mj, h.energy.noc_mj, h.energy.hbm_mj, h.energy.static_mj);
     println!(
-        "\ncrossbar-executed throughput: {:.1} TOPS (full-array ops; nominal-op convention above)",
-        r.tops_executed()
+        "energy breakdown [mJ]: analog {:.2}, digital {:.2}, noc {:.2}, hbm {:.2}, static {:.2}",
+        h.energy.analog_mj,
+        h.energy.digital_mj,
+        h.energy.noc_mj,
+        h.energy.hbm_mj,
+        h.energy.static_mj
     );
+    println!(
+        "\ncrossbar-executed throughput: {tops_executed:.1} TOPS (full-array ops; nominal-op convention above)"
+    );
+    Ok(())
 }

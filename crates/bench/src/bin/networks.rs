@@ -6,13 +6,12 @@
 //! cargo run --release -p aimc-bench --bin networks [batch]
 //! ```
 
-use aimc_core::{map_network, MappingStrategy};
+use aimc_core::MappingStrategy;
 use aimc_dnn::{mobilenet_v1_lite, resnet18, resnet34, vgg11, vgg16, Graph};
-use aimc_runtime::simulate;
+use aimc_platform::{Error, Platform, RunSpec};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let batch = aimc_bench::batch_from_args().min(8);
-    let arch = aimc_bench::paper_arch();
     let nets: Vec<(&str, Graph)> = vec![
         ("resnet18@256", resnet18(256, 256, 1000)),
         ("resnet34@256", resnet34(256, 256, 1000)),
@@ -26,16 +25,26 @@ fn main() {
         "network", "GMAC/img", "params M", "clusters", "resid KB", "TOPS", "img/s"
     );
     for (name, g) in nets {
-        match map_network(&g, &arch, MappingStrategy::OnChipResiduals) {
-            Ok(m) => {
-                let r = simulate(&g, &m, &arch, batch);
+        let macs = g.total_macs();
+        let params = g.total_params();
+        match Platform::builder()
+            .graph(g)
+            .arch(aimc_bench::paper_arch())
+            .strategy(MappingStrategy::OnChipResiduals)
+            .build()
+        {
+            Ok(platform) => {
+                let clusters = platform.mapping().n_clusters_used;
+                let resid_kb = platform.mapping().residuals.total_bytes as f64 / 1024.0;
+                let mut session = platform.session();
+                let r = session.run(RunSpec::batch(batch))?;
                 println!(
                     "{:<14} {:>9.2} {:>9.2} {:>9} {:>10.0} {:>9.2} {:>10.0}",
                     name,
-                    g.total_macs() as f64 / 1e9,
-                    g.total_params() as f64 / 1e6,
-                    m.n_clusters_used,
-                    m.residuals.total_bytes as f64 / 1024.0,
+                    macs as f64 / 1e9,
+                    params as f64 / 1e6,
+                    clusters,
+                    resid_kb,
                     r.tops(),
                     r.images_per_s()
                 );
@@ -46,4 +55,5 @@ fn main() {
     println!("\nVGG nets carry zero residual storage; ResNets pay for their skip edges —");
     println!("the dataflow-loop handling that distinguishes this architecture from");
     println!("pipelined VGG-only designs (Sec. I).");
+    Ok(())
 }

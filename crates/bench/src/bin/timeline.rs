@@ -8,11 +8,12 @@
 //! ```
 
 use aimc_core::MappingStrategy;
+use aimc_platform::Error;
 use aimc_runtime::trace::{gantt_ascii, stage_traces};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let batch = aimc_bench::batch_from_args().min(4);
-    let (_, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, batch);
+    let (_, m, r) = aimc_bench::run_paper(MappingStrategy::OnChipResiduals, batch)?;
     println!(
         "Pipeline timeline — final mapping, batch {batch} (makespan {})\n",
         r.makespan
@@ -22,7 +23,10 @@ fn main() {
     let traces = stage_traces(&m, &r);
     let mut sorted: Vec<_> = traces.iter().filter(|t| t.chunks > 0).collect();
     sorted.sort_by(|a, b| b.utilization.partial_cmp(&a.utilization).unwrap());
-    println!("{:<16} {:>8} {:>10} {:>12}", "stage", "chunks", "busy", "utilization");
+    println!(
+        "{:<16} {:>8} {:>10} {:>12}",
+        "stage", "chunks", "busy", "utilization"
+    );
     for t in sorted.iter().take(12) {
         println!(
             "{:<16} {:>8} {:>10} {:>11.1}%",
@@ -33,4 +37,5 @@ fn main() {
         );
     }
     println!("\nthe most-utilized stage is the pipeline bottleneck (Sec. V-2).");
+    Ok(())
 }

@@ -117,10 +117,7 @@ impl ImaModel {
 
         let setup = self.freq.cycles_to_time(Cycles(self.cfg.job_setup_cycles));
         // Fill (first stream-in) + steady issue + drain (last compute+out).
-        let pipeline = t_in
-            + SimTime::from_ps(interval.as_ps() * (job.n_mvm - 1))
-            + t_cmp
-            + t_out;
+        let pipeline = t_in + SimTime::from_ps(interval.as_ps() * (job.n_mvm - 1)) + t_cmp + t_out;
         let duration = setup + pipeline;
 
         let full_cells = (self.cfg.xbar.rows * self.cfg.xbar.cols) as u64;

@@ -105,7 +105,11 @@ impl L1Allocator {
     ///
     /// # Errors
     /// Returns [`L1Overflow`] if either half does not fit.
-    pub fn alloc_double(&mut self, name: &str, bytes: usize) -> Result<(L1Buffer, L1Buffer), L1Overflow> {
+    pub fn alloc_double(
+        &mut self,
+        name: &str,
+        bytes: usize,
+    ) -> Result<(L1Buffer, L1Buffer), L1Overflow> {
         let a = self.alloc(&format!("{name}/0"), bytes)?;
         let b = self.alloc(&format!("{name}/1"), bytes)?;
         Ok((a, b))

@@ -99,7 +99,11 @@ impl fmt::Display for ArchConfig {
             .collect();
         writeln!(f, "Number of clusters                {}", self.n_clusters())?;
         writeln!(f, "Number of IMA per cluster         1")?;
-        writeln!(f, "Number of CORES per cluster       {}", self.cluster.n_cores)?;
+        writeln!(
+            f,
+            "Number of CORES per cluster       {}",
+            self.cluster.n_cores
+        )?;
         writeln!(
             f,
             "L1 memory size                    {} MB",
@@ -126,17 +130,17 @@ impl fmt::Display for ArchConfig {
             "Analog latency (MVM operation)    {} ns",
             self.cluster.ima.xbar.mvm_latency_ns
         )?;
-        writeln!(
-            f,
-            "Quadrant factor (HBM,wr,L3,L2,L1) (1,{})",
-            qf.join(",")
-        )?;
+        writeln!(f, "Quadrant factor (HBM,wr,L3,L2,L1) (1,{})", qf.join(","))?;
         writeln!(
             f,
             "Data width (HBM,wr,L3,L2,L1)      ({}) Bytes",
             wid.join(",")
         )?;
-        writeln!(f, "Latency (HBM,wr,L3,L2,L1)         ({}) cycles", lat.join(","))
+        writeln!(
+            f,
+            "Latency (HBM,wr,L3,L2,L1)         ({}) cycles",
+            lat.join(",")
+        )
     }
 }
 

@@ -62,7 +62,10 @@ impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapError::OutOfClusters { needed, available } => {
-                write!(f, "mapping needs {needed} clusters, platform has {available}")
+                write!(
+                    f,
+                    "mapping needs {needed} clusters, platform has {available}"
+                )
             }
             MapError::L1 { stage, overflow } => write!(f, "stage {stage}: {overflow}"),
             MapError::Unsupported(s) => write!(f, "unsupported operator: {s}"),
@@ -214,7 +217,10 @@ pub fn map_network(
                 );
                 node_final_stage[node.id] = last;
             }
-            LayerKind::Linear { in_features, out_features } => {
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => {
                 let tiling = Tiling::plan(
                     Shape::new(*in_features, 1, 1),
                     Shape::new(*out_features, 1, 1),
@@ -246,8 +252,15 @@ pub fn map_network(
                 // paper's related work time-multiplexes MobileNet for the
                 // same reason.
                 let tiling = fit_tiling(
-                    ifm, ofm, cfg.kw, cfg.stride,
-                    arch.cluster.l1_bytes, 1, 1, 1, &node.name,
+                    ifm,
+                    ofm,
+                    cfg.kw,
+                    cfg.stride,
+                    arch.cluster.l1_bytes,
+                    1,
+                    1,
+                    1,
+                    &node.name,
                 )?;
                 let out_elems = tiling.mvms_per_chunk() * ofm.c as u64;
                 let macs = out_elems * (cfg.kh * cfg.kw) as u64;
@@ -279,8 +292,15 @@ pub fn map_network(
             }
             LayerKind::MaxPool { k, stride, .. } => {
                 let tiling = fit_tiling(
-                    ifm, ofm, *k, *stride,
-                    arch.cluster.l1_bytes, 1, 1, 1, &node.name,
+                    ifm,
+                    ofm,
+                    *k,
+                    *stride,
+                    arch.cluster.l1_bytes,
+                    1,
+                    1,
+                    1,
+                    &node.name,
                 )?;
                 let id = stages.len();
                 stages.push(Stage {
@@ -336,16 +356,13 @@ pub fn map_network(
                 node_final_stage[node.id] = id;
             }
             LayerKind::Residual { projection } => {
-                let tiling = fit_tiling(
-                    ofm, ofm, 1, 1,
-                    arch.cluster.l1_bytes, 1, 1, 2, &node.name,
-                )?;
+                let tiling =
+                    fit_tiling(ofm, ofm, 1, 1, arch.cluster.l1_bytes, 1, 1, 2, &node.name)?;
                 let main_from = producer_stage(0);
                 let skip_from = producer_stage(1);
                 let skip_bytes_per_chunk = stages[skip_from].tiling.out_tile_bytes()
                     * (stages[skip_from].tiling.chunks_per_image / tiling.chunks_per_image).max(1);
-                let skip_ofm_bytes_per_image =
-                    graph.node(node.inputs[1]).out_shape.numel();
+                let skip_ofm_bytes_per_image = graph.node(node.inputs[1]).out_shape.numel();
 
                 let analog = projection.map(|p| {
                     let split = SplitPlan::for_matrix(p.xbar_rows(), p.xbar_cols(), xr, xc);
@@ -362,9 +379,7 @@ pub fn map_network(
                 let lane_clusters = analog.as_ref().map_or(1, |a| a.split.imas());
                 let out_elems = tiling.mvms_per_chunk() * ofm.c as u64;
                 let id = stages.len();
-                let skip_transfers = analog
-                    .as_ref()
-                    .map_or(1, |a| a.split.col_splits);
+                let skip_transfers = analog.as_ref().map_or(1, |a| a.split.col_splits);
                 let mut producers = vec![EdgeSpec {
                     from: main_from,
                     bytes_per_chunk: tiling.out_tile_bytes(),
@@ -410,10 +425,7 @@ pub fn map_network(
     }
 
     // ---- Residual sizing (before balancing: affects the budget) -------------
-    let residual_bytes: usize = (skip_edges
-        .iter()
-        .map(|&(_, _, b)| b)
-        .sum::<usize>() as f64
+    let residual_bytes: usize = (skip_edges.iter().map(|&(_, _, b)| b).sum::<usize>() as f64
         * RESIDUAL_INFLIGHT_FACTOR) as usize;
     let n_storage = if strategy.residuals_on_chip() {
         residual_bytes.div_ceil(arch.cluster.l1_bytes)
@@ -535,9 +547,8 @@ fn push_analog_chain(
 ) -> StageId {
     let split = SplitPlan::for_matrix(chain.rows, chain.cols, xr, xc);
     let reduction = ReductionPlan::new(split.row_splits, 4);
-    let out_elems_per_group =
-        (chain.tiling.mvms_per_chunk() as usize * chain.tiling.ofm.c).div_ceil(split.col_splits)
-            as u64;
+    let out_elems_per_group = (chain.tiling.mvms_per_chunk() as usize * chain.tiling.ofm.c)
+        .div_ceil(split.col_splits) as u64;
 
     let mut digital = chain.extra_digital;
     for _ in 0..reduction.absorbed_levels {
@@ -582,10 +593,7 @@ fn push_analog_chain(
     // Dedicated reduction levels.
     let mut last = id;
     let mut inputs = reduction.after_absorption;
-    let tile_bytes_per_group = chain
-        .tiling
-        .out_tile_bytes()
-        .div_ceil(split.col_splits);
+    let tile_bytes_per_group = chain.tiling.out_tile_bytes().div_ceil(split.col_splits);
     for (li, &adds) in reduction.dedicated_adds_per_level.iter().enumerate() {
         let rid = stages.len();
         stages.push(Stage {
@@ -716,9 +724,12 @@ mod tests {
             assert!(s.lanes <= s.tiling.chunks_per_image.max(1), "{}", s.name);
         }
         assert!(m.n_clusters_used <= 512);
-        assert!(m.n_clusters_used > map_network(&g, &arch(), MappingStrategy::Naive)
-            .unwrap()
-            .n_clusters_used);
+        assert!(
+            m.n_clusters_used
+                > map_network(&g, &arch(), MappingStrategy::Naive)
+                    .unwrap()
+                    .n_clusters_used
+        );
     }
 
     #[test]

@@ -125,8 +125,8 @@ mod tests {
         let p = ReductionPlan::new(18, 4);
         assert_eq!(p.absorbed_levels, 3); // 18→9→5→3
         assert_eq!(p.dedicated_clusters(), 2); // per column group
-        // Two column groups (512 cols / 256): 36 + 2*2 = 40. Checked in the
-        // mapping tests; here verify the per-group arithmetic.
+                                               // Two column groups (512 cols / 256): 36 + 2*2 = 40. Checked in the
+                                               // mapping tests; here verify the per-group arithmetic.
         assert_eq!(36 + 2 * p.dedicated_clusters(), 40);
     }
 

@@ -39,31 +39,29 @@ pub struct SplitPlan {
     pub cols_per_split: Vec<usize>,
 }
 
-/// Balanced split of `total` into `n` chunks (sizes differ by at most 1).
-fn balanced(total: usize, n: usize) -> Vec<usize> {
-    let base = total / n;
-    let rem = total % n;
-    (0..n).map(|i| base + usize::from(i < rem)).collect()
-}
-
 impl SplitPlan {
     /// Plans the split of a `rows × cols` matrix onto `xbar_rows × xbar_cols`
     /// arrays.
+    ///
+    /// Chunk sizes come from [`aimc_dnn::ceil_split`] — the same canonical
+    /// rule the functional [`AimcExecutor`](aimc_dnn::AimcExecutor) uses to
+    /// tile layers onto crossbars, so the mapper's IMA counts always agree
+    /// with the programmed tile geometry.
     ///
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn for_matrix(rows: usize, cols: usize, xbar_rows: usize, xbar_cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "degenerate weight matrix");
         assert!(xbar_rows > 0 && xbar_cols > 0, "degenerate crossbar");
-        let row_splits = rows.div_ceil(xbar_rows);
-        let col_splits = cols.div_ceil(xbar_cols);
+        let row_chunks = aimc_dnn::ceil_split(rows, xbar_rows);
+        let col_chunks = aimc_dnn::ceil_split(cols, xbar_cols);
         SplitPlan {
             rows_total: rows,
             cols_total: cols,
-            row_splits,
-            col_splits,
-            rows_per_split: balanced(rows, row_splits),
-            cols_per_split: balanced(cols, col_splits),
+            row_splits: row_chunks.len(),
+            col_splits: col_chunks.len(),
+            rows_per_split: row_chunks.into_iter().map(|(_, len)| len).collect(),
+            cols_per_split: col_chunks.into_iter().map(|(_, len)| len).collect(),
         }
     }
 
@@ -89,12 +87,7 @@ impl SplitPlan {
         let used: usize = self
             .rows_per_split
             .iter()
-            .map(|&r| {
-                self.cols_per_split
-                    .iter()
-                    .map(|&c| r * c)
-                    .sum::<usize>()
-            })
+            .map(|&r| self.cols_per_split.iter().map(|&c| r * c).sum::<usize>())
             .sum();
         used as f64 / (self.imas() * xbar_rows * xbar_cols) as f64
     }

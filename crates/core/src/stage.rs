@@ -226,8 +226,8 @@ impl SystemMapping {
         for s in &self.stages {
             clusters += s.total_clusters();
             if let Some(a) = &s.analog {
-                used_cells += a.split.utilization(xbar_rows, xbar_cols)
-                    * (a.split.imas() * s.lanes) as f64;
+                used_cells +=
+                    a.split.utilization(xbar_rows, xbar_cols) * (a.split.imas() * s.lanes) as f64;
                 // Non-IMA clusters of the lane (none today: lane == splits)
             }
         }

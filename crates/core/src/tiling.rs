@@ -129,7 +129,10 @@ impl Tiling {
 /// Largest divisor of `n` that is ≤ `cap` (1 divides everything).
 fn largest_divisor_at_most(n: usize, cap: usize) -> usize {
     debug_assert!(n > 0);
-    (1..=cap.min(n)).rev().find(|d| n.is_multiple_of(*d)).unwrap_or(1)
+    (1..=cap.min(n))
+        .rev()
+        .find(|d| n.is_multiple_of(*d))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -15,15 +15,17 @@
 //! *does the network still classify correctly through quantized, noisy analog
 //! arrays?* (See the `analog_accuracy` example.)
 
+use crate::executor::{check_weights, ExecError, Executor};
 use crate::graph::Graph;
 use crate::layer::{ConvCfg, LayerKind};
-use crate::ops;
+use crate::ops::{self, ceil_split};
 use crate::tensor::{Shape, Tensor};
 use crate::weights::Weights;
 use aimc_xbar::{Crossbar, XbarConfig, XbarError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One analog layer deployed across one or more crossbar tiles.
 #[derive(Debug)]
@@ -35,21 +37,6 @@ struct AnalogLayer {
     col_chunks: Vec<(usize, usize)>, // (start, len) in output-channel space
 }
 
-/// Splits `total` into chunks of at most `max` (the paper's ceil-split).
-fn split_dim(total: usize, max: usize) -> Vec<(usize, usize)> {
-    let n = total.div_ceil(max);
-    let base = total / n;
-    let rem = total % n;
-    let mut out = Vec::with_capacity(n);
-    let mut start = 0;
-    for i in 0..n {
-        let len = base + usize::from(i < rem);
-        out.push((start, len));
-        start += len;
-    }
-    out
-}
-
 impl AnalogLayer {
     fn program(
         cfg: ConvCfg,
@@ -59,8 +46,8 @@ impl AnalogLayer {
     ) -> Result<Self, XbarError> {
         let rows = cfg.xbar_rows();
         let cols = cfg.xbar_cols();
-        let row_chunks = split_dim(rows, xbar_cfg.rows);
-        let col_chunks = split_dim(cols, xbar_cfg.cols);
+        let row_chunks = ceil_split(rows, xbar_cfg.rows);
+        let col_chunks = ceil_split(cols, xbar_cfg.cols);
         let mut tiles = Vec::with_capacity(row_chunks.len());
         for &(r0, rl) in &row_chunks {
             let mut row_tiles = Vec::with_capacity(col_chunks.len());
@@ -119,11 +106,7 @@ impl AnalogLayer {
     }
 
     fn total_mvms(&self) -> u64 {
-        self.tiles
-            .iter()
-            .flatten()
-            .map(|t| t.mvm_count())
-            .sum()
+        self.tiles.iter().flatten().map(|t| t.mvm_count()).sum()
     }
 }
 
@@ -139,9 +122,10 @@ impl AnalogLayer {
 /// let y = exec.infer(&Tensor::zeros(Shape::new(3, 32, 32)));
 /// assert_eq!(y.shape(), Shape::new(10, 1, 1));
 /// ```
+#[derive(Debug)]
 pub struct AimcExecutor {
-    graph: Graph,
-    weights: Weights,
+    graph: Arc<Graph>,
+    weights: Arc<Weights>,
     analog: HashMap<usize, AnalogLayer>,
     /// FC head deployed as crossbar tiles (reuses conv machinery with a
     /// 1×1 "image").
@@ -153,16 +137,35 @@ impl AimcExecutor {
     /// Programs all analog layers of `graph` onto crossbars.
     ///
     /// # Errors
-    /// Propagates [`XbarError`] from programming (e.g. invalid config).
-    ///
-    /// # Panics
-    /// Panics if a parametric node lacks weights.
-    pub fn program(
+    /// [`ExecError::MissingWeights`] if a parametric node lacks weights;
+    /// [`ExecError::Xbar`] on programming failures (e.g. invalid config).
+    pub fn try_program(
         graph: &Graph,
         weights: &Weights,
         xbar_cfg: &XbarConfig,
         seed: u64,
-    ) -> Result<Self, XbarError> {
+    ) -> Result<Self, ExecError> {
+        Self::try_program_shared(
+            Arc::new(graph.clone()),
+            Arc::new(weights.clone()),
+            xbar_cfg,
+            seed,
+        )
+    }
+
+    /// Programs all analog layers onto crossbars, sharing already-owned
+    /// graph/weights handles (no deep copy — used by the `aimc-platform`
+    /// session, which keeps both behind `Arc`).
+    ///
+    /// # Errors
+    /// Same conditions as [`AimcExecutor::try_program`].
+    pub fn try_program_shared(
+        graph: Arc<Graph>,
+        weights: Arc<Weights>,
+        xbar_cfg: &XbarConfig,
+        seed: u64,
+    ) -> Result<Self, ExecError> {
+        check_weights(&graph, &weights)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut analog = HashMap::new();
         for node in graph.nodes() {
@@ -186,20 +189,39 @@ impl AimcExecutor {
                 _ => None,
             };
             if let Some(cfg) = conv_cfg {
-                let w = weights
-                    .get(node.id)
-                    .unwrap_or_else(|| panic!("missing weights for node {}", node.id));
+                let w = weights.get(node.id).expect("checked by check_weights");
                 let wx = ops::weights_to_xbar_layout(w, &cfg);
                 analog.insert(node.id, AnalogLayer::program(cfg, &wx, xbar_cfg, &mut rng)?);
             }
         }
         Ok(AimcExecutor {
-            graph: graph.clone(),
-            weights: weights.clone(),
+            graph,
+            weights,
             analog,
             rng,
             xbar_cfg: xbar_cfg.clone(),
         })
+    }
+
+    /// Programs all analog layers of `graph` onto crossbars (legacy
+    /// signature over [`AimcExecutor::try_program`]).
+    ///
+    /// # Errors
+    /// Propagates [`XbarError`] from programming (e.g. invalid config).
+    ///
+    /// # Panics
+    /// Panics if a parametric node lacks weights.
+    pub fn program(
+        graph: &Graph,
+        weights: &Weights,
+        xbar_cfg: &XbarConfig,
+        seed: u64,
+    ) -> Result<Self, XbarError> {
+        match Self::try_program(graph, weights, xbar_cfg, seed) {
+            Ok(exec) => Ok(exec),
+            Err(ExecError::Xbar(e)) => Err(e),
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of crossbar tiles programmed (row splits × col splits summed
@@ -237,10 +259,16 @@ impl AimcExecutor {
 
     /// Runs one image through the network.
     ///
-    /// # Panics
-    /// Panics if the input shape does not match the graph.
-    pub fn infer(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.shape(), self.graph.input_shape(), "input shape mismatch");
+    /// # Errors
+    /// [`ExecError::ShapeMismatch`] if the input does not match the graph's
+    /// input shape.
+    pub fn try_infer(&mut self, input: &Tensor) -> Result<Tensor, ExecError> {
+        if input.shape() != self.graph.input_shape() {
+            return Err(ExecError::ShapeMismatch {
+                expected: self.graph.input_shape(),
+                got: input.shape(),
+            });
+        }
         let mut outs: Vec<Tensor> = Vec::with_capacity(self.graph.len());
         // Iterate by id to placate the borrow checker (graph is immutable,
         // rng is mutable).
@@ -276,10 +304,7 @@ impl AimcExecutor {
                 LayerKind::GlobalAvgPool => ops::global_avgpool(&fetch(0, &outs)),
                 LayerKind::Linear { out_features, .. } => {
                     let x = fetch(0, &outs);
-                    let flat = Tensor::from_vec(
-                        Shape::new(x.shape().numel(), 1, 1),
-                        x.into_vec(),
-                    );
+                    let flat = Tensor::from_vec(Shape::new(x.shape().numel(), 1, 1), x.into_vec());
                     let y = self
                         .analog
                         .get(&id)
@@ -303,8 +328,39 @@ impl AimcExecutor {
             };
             outs.push(y);
         }
-        let _ = &self.weights; // retained for future re-programming APIs
-        outs.pop().expect("non-empty graph")
+        Ok(outs.pop().expect("non-empty graph"))
+    }
+
+    /// Runs one image through the network (panicking convenience over
+    /// [`AimcExecutor::try_infer`]).
+    ///
+    /// # Panics
+    /// Panics if the input shape does not match the graph.
+    pub fn infer(&mut self, input: &Tensor) -> Tensor {
+        self.try_infer(input).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl Executor for AimcExecutor {
+    fn infer(&mut self, input: &Tensor) -> Result<Tensor, ExecError> {
+        self.try_infer(input)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "analog"
+    }
+
+    fn tile_count(&self) -> usize {
+        AimcExecutor::tile_count(self)
+    }
+
+    fn total_mvms(&self) -> u64 {
+        AimcExecutor::total_mvms(self)
+    }
+
+    fn apply_drift(&mut self, t_hours: f64) -> bool {
+        AimcExecutor::apply_drift(self, t_hours);
+        true
     }
 }
 
@@ -330,19 +386,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         Tensor::from_vec(
             shape,
-            (0..shape.numel()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            (0..shape.numel())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
         )
     }
 
     #[test]
-    fn split_dim_covers_exactly() {
-        assert_eq!(split_dim(576, 256), vec![(0, 192), (192, 192), (384, 192)]);
-        assert_eq!(split_dim(256, 256), vec![(0, 256)]);
-        assert_eq!(split_dim(512, 256), vec![(0, 256), (256, 256)]);
-        assert_eq!(split_dim(5, 2), vec![(0, 2), (2, 2), (4, 1)]);
+    fn ceil_split_covers_exactly() {
+        // The canonical helper shared with `aimc_core::SplitPlan`.
+        assert_eq!(ceil_split(576, 256), vec![(0, 192), (192, 192), (384, 192)]);
+        assert_eq!(ceil_split(256, 256), vec![(0, 256)]);
+        assert_eq!(ceil_split(512, 256), vec![(0, 256), (256, 256)]);
+        assert_eq!(ceil_split(5, 2), vec![(0, 2), (2, 2), (4, 1)]);
         // Chunks tile the range with no gaps.
         for (total, max) in [(1000, 256), (77, 10), (1, 5)] {
-            let chunks = split_dim(total, max);
+            let chunks = ceil_split(total, max);
             let mut pos = 0;
             for (s, l) in chunks {
                 assert_eq!(s, pos);
@@ -354,13 +413,31 @@ mod tests {
     }
 
     #[test]
+    fn try_program_reports_missing_weights() {
+        let g = small_cnn();
+        let err = AimcExecutor::try_program(&g, &Weights::new(), &XbarConfig::ideal(32, 32), 1)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::MissingWeights { .. }));
+    }
+
+    #[test]
+    fn try_infer_reports_shape_mismatch() {
+        let g = small_cnn();
+        let w = he_init(&g, 0);
+        let mut e = AimcExecutor::try_program(&g, &w, &XbarConfig::ideal(64, 64), 1).unwrap();
+        let err = e
+            .try_infer(&Tensor::zeros(Shape::new(3, 4, 4)))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::ShapeMismatch { .. }));
+    }
+
+    #[test]
     fn ideal_analog_matches_golden() {
         let g = small_cnn();
         let w = he_init(&g, 3);
         let x = random_image(g.input_shape(), 7);
         let golden = infer_golden(&g, &w, &x);
-        let mut exec =
-            AimcExecutor::program(&g, &w, &XbarConfig::ideal(256, 256), 1).unwrap();
+        let mut exec = AimcExecutor::program(&g, &w, &XbarConfig::ideal(256, 256), 1).unwrap();
         let analog = exec.infer(&x);
         for (a, b) in analog.data().iter().zip(golden.data()) {
             let tol = 0.05 * b.abs().max(1.0);
@@ -391,8 +468,7 @@ mod tests {
     fn noisy_arrays_still_classify_like_golden() {
         let g = small_cnn();
         let w = he_init(&g, 5);
-        let mut exec =
-            AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 2).unwrap();
+        let mut exec = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 2).unwrap();
         let mut agree = 0;
         let n = 10;
         for i in 0..n {

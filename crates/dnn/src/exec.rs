@@ -1,5 +1,6 @@
 //! The golden (digital f32) graph executor — the functional ground truth.
 
+use crate::executor::ExecError;
 use crate::graph::{Graph, NodeId};
 use crate::layer::LayerKind;
 use crate::ops;
@@ -9,7 +10,79 @@ use crate::weights::Weights;
 /// Executes `graph` on one input image, returning every node's output.
 ///
 /// The returned vector is indexed by node id; the network result is the last
-/// entry.
+/// entry. This is the fallible core behind [`execute_golden`] and the
+/// [`GoldenExecutor`](crate::GoldenExecutor) backend.
+///
+/// # Errors
+/// [`ExecError::ShapeMismatch`] if the input does not match
+/// `graph.input_shape()`; [`ExecError::MissingWeights`] if a parametric node
+/// has no weights.
+pub fn try_execute_golden(
+    graph: &Graph,
+    weights: &Weights,
+    input: &Tensor,
+) -> Result<Vec<Tensor>, ExecError> {
+    if input.shape() != graph.input_shape() {
+        return Err(ExecError::ShapeMismatch {
+            expected: graph.input_shape(),
+            got: input.shape(),
+        });
+    }
+    let mut outs: Vec<Tensor> = Vec::with_capacity(graph.len());
+    for node in graph.nodes() {
+        let fetch = |slot: usize, outs: &[Tensor]| -> Tensor {
+            match node.inputs.get(slot) {
+                Some(&p) => outs[p].clone(),
+                None => input.clone(),
+            }
+        };
+        let get_w = || -> Result<&[f32], ExecError> {
+            weights
+                .get(node.id)
+                .ok_or_else(|| ExecError::MissingWeights {
+                    node: node.id,
+                    name: node.name.clone(),
+                })
+        };
+        let y = match &node.kind {
+            LayerKind::Input => input.clone(),
+            LayerKind::Conv(cfg) => {
+                let x = fetch(0, &outs);
+                ops::conv2d(&x, get_w()?, cfg)
+            }
+            LayerKind::DepthwiseConv(cfg) => {
+                let x = fetch(0, &outs);
+                ops::depthwise_conv2d(&x, get_w()?, cfg)
+            }
+            LayerKind::MaxPool { k, stride, pad } => {
+                let x = fetch(0, &outs);
+                ops::maxpool2d(&x, *k, *stride, *pad)
+            }
+            LayerKind::GlobalAvgPool => {
+                let x = fetch(0, &outs);
+                ops::global_avgpool(&x)
+            }
+            LayerKind::Linear { out_features, .. } => {
+                let x = fetch(0, &outs);
+                ops::linear(&x, get_w()?, *out_features)
+            }
+            LayerKind::Residual { projection } => {
+                let main = fetch(0, &outs);
+                let skip = fetch(1, &outs);
+                let skip = match projection {
+                    Some(p) => ops::conv2d(&skip, get_w()?, p),
+                    None => skip,
+                };
+                ops::add(&main, &skip, true)
+            }
+        };
+        outs.push(y);
+    }
+    Ok(outs)
+}
+
+/// Executes `graph` on one input image, returning every node's output
+/// (panicking convenience over [`try_execute_golden`]).
 ///
 /// # Panics
 /// Panics if a parametric node has no weights, or if the input shape does
@@ -25,68 +98,7 @@ use crate::weights::Weights;
 /// assert_eq!(outs.last().unwrap().shape(), Shape::new(10, 1, 1));
 /// ```
 pub fn execute_golden(graph: &Graph, weights: &Weights, input: &Tensor) -> Vec<Tensor> {
-    assert_eq!(
-        input.shape(),
-        graph.input_shape(),
-        "input shape mismatch"
-    );
-    let mut outs: Vec<Tensor> = Vec::with_capacity(graph.len());
-    for node in graph.nodes() {
-        let fetch = |slot: usize, outs: &[Tensor]| -> Tensor {
-            match node.inputs.get(slot) {
-                Some(&p) => outs[p].clone(),
-                None => input.clone(),
-            }
-        };
-        let y = match &node.kind {
-            LayerKind::Input => input.clone(),
-            LayerKind::Conv(cfg) => {
-                let x = fetch(0, &outs);
-                let w = weights
-                    .get(node.id)
-                    .unwrap_or_else(|| panic!("missing weights for node {}", node.id));
-                ops::conv2d(&x, w, cfg)
-            }
-            LayerKind::DepthwiseConv(cfg) => {
-                let x = fetch(0, &outs);
-                let w = weights
-                    .get(node.id)
-                    .unwrap_or_else(|| panic!("missing weights for node {}", node.id));
-                ops::depthwise_conv2d(&x, w, cfg)
-            }
-            LayerKind::MaxPool { k, stride, pad } => {
-                let x = fetch(0, &outs);
-                ops::maxpool2d(&x, *k, *stride, *pad)
-            }
-            LayerKind::GlobalAvgPool => {
-                let x = fetch(0, &outs);
-                ops::global_avgpool(&x)
-            }
-            LayerKind::Linear { out_features, .. } => {
-                let x = fetch(0, &outs);
-                let w = weights
-                    .get(node.id)
-                    .unwrap_or_else(|| panic!("missing weights for node {}", node.id));
-                ops::linear(&x, w, *out_features)
-            }
-            LayerKind::Residual { projection } => {
-                let main = fetch(0, &outs);
-                let skip = fetch(1, &outs);
-                let skip = match projection {
-                    Some(p) => {
-                        let w = weights
-                            .get(node.id)
-                            .unwrap_or_else(|| panic!("missing projection weights for node {}", node.id));
-                        ops::conv2d(&skip, w, p)
-                    }
-                    None => skip,
-                };
-                ops::add(&main, &skip, true)
-            }
-        };
-        outs.push(y);
-    }
-    outs
+    try_execute_golden(graph, weights, input).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Convenience wrapper returning only the network output (logits).
@@ -121,7 +133,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         Tensor::from_vec(
             shape,
-            (0..shape.numel()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            (0..shape.numel())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
         )
     }
 

@@ -1,0 +1,230 @@
+//! The unified functional-executor interface.
+//!
+//! Both functional backends — the digital f32 ground truth
+//! ([`GoldenExecutor`]) and the analog crossbar model
+//! ([`AimcExecutor`](crate::AimcExecutor)) — implement [`Executor`], so the
+//! platform facade can program a backend once and feed it an arbitrary
+//! stream of images ("configure once, evaluate many"). All failure modes
+//! are surfaced as [`ExecError`] values instead of panics.
+
+use crate::exec::try_execute_golden;
+use crate::graph::{Graph, NodeId};
+use crate::tensor::{Shape, Tensor};
+use crate::weights::Weights;
+use aimc_xbar::XbarError;
+use core::fmt;
+use std::sync::Arc;
+
+/// Errors from the functional executors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The input tensor does not match the graph's input shape.
+    ShapeMismatch {
+        /// Shape the graph expects.
+        expected: Shape,
+        /// Shape that was provided.
+        got: Shape,
+    },
+    /// A parametric node has no weights.
+    MissingWeights {
+        /// The node lacking weights.
+        node: NodeId,
+        /// Its human-readable name.
+        name: String,
+    },
+    /// Crossbar programming or evaluation failed.
+    Xbar(XbarError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input shape mismatch: graph expects {expected}, got {got}"
+                )
+            }
+            ExecError::MissingWeights { node, name } => {
+                write!(f, "missing weights for node {node} ({name})")
+            }
+            ExecError::Xbar(e) => write!(f, "crossbar: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<XbarError> for ExecError {
+    fn from(e: XbarError) -> Self {
+        ExecError::Xbar(e)
+    }
+}
+
+/// A programmed functional backend: consumes images, produces logits.
+///
+/// Implementations hold whatever state the backend needs (programmed
+/// crossbar tiles, weight tables) so that repeated [`Executor::infer`]
+/// calls do **not** re-program anything.
+pub trait Executor {
+    /// Runs one image through the network, returning the output tensor.
+    fn infer(&mut self, input: &Tensor) -> Result<Tensor, ExecError>;
+
+    /// Short label of the backend ("golden", "analog").
+    fn backend_name(&self) -> &'static str;
+
+    /// Number of crossbar tiles held by this backend (0 for digital).
+    fn tile_count(&self) -> usize {
+        0
+    }
+
+    /// Total analog MVMs evaluated since programming (0 for digital).
+    fn total_mvms(&self) -> u64 {
+        0
+    }
+
+    /// Applies conductance drift for `t_hours` since programming; returns
+    /// whether the backend models drift (`false` for digital backends,
+    /// which ignore the call).
+    fn apply_drift(&mut self, _t_hours: f64) -> bool {
+        false
+    }
+}
+
+/// The digital f32 ground-truth backend behind [`Executor`].
+///
+/// Validates that every parametric node has weights at construction, so
+/// [`Executor::infer`] can only fail on input-shape mismatches.
+///
+/// # Examples
+/// ```
+/// use aimc_dnn::{he_init, resnet18_cifar, Executor, GoldenExecutor, Shape, Tensor};
+/// let g = resnet18_cifar(10);
+/// let w = he_init(&g, 0);
+/// let mut exec = GoldenExecutor::new(&g, &w).unwrap();
+/// let y = exec.infer(&Tensor::zeros(Shape::new(3, 32, 32))).unwrap();
+/// assert_eq!(y.shape(), Shape::new(10, 1, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoldenExecutor {
+    graph: Arc<Graph>,
+    weights: Arc<Weights>,
+}
+
+impl GoldenExecutor {
+    /// Builds a golden backend over `graph` and `weights`.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::MissingWeights`] if any parametric node lacks
+    /// weights.
+    pub fn new(graph: &Graph, weights: &Weights) -> Result<Self, ExecError> {
+        Self::from_shared(Arc::new(graph.clone()), Arc::new(weights.clone()))
+    }
+
+    /// Builds a golden backend sharing already-owned graph/weights handles
+    /// (no deep copy — used by the `aimc-platform` session, which keeps
+    /// both behind `Arc`).
+    ///
+    /// # Errors
+    /// Returns [`ExecError::MissingWeights`] if any parametric node lacks
+    /// weights.
+    pub fn from_shared(graph: Arc<Graph>, weights: Arc<Weights>) -> Result<Self, ExecError> {
+        check_weights(&graph, &weights)?;
+        Ok(GoldenExecutor { graph, weights })
+    }
+}
+
+impl Executor for GoldenExecutor {
+    fn infer(&mut self, input: &Tensor) -> Result<Tensor, ExecError> {
+        let mut outs = try_execute_golden(&self.graph, &self.weights, input)?;
+        Ok(outs.pop().expect("graph is non-empty"))
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "golden"
+    }
+}
+
+/// Verifies that every parametric node of `graph` has weights.
+pub(crate) fn check_weights(graph: &Graph, weights: &Weights) -> Result<(), ExecError> {
+    use crate::layer::LayerKind;
+    for node in graph.nodes() {
+        let parametric = matches!(
+            node.kind,
+            LayerKind::Conv(_)
+                | LayerKind::DepthwiseConv(_)
+                | LayerKind::Linear { .. }
+                | LayerKind::Residual {
+                    projection: Some(_)
+                }
+        );
+        if parametric && weights.get(node.id).is_none() {
+            return Err(ExecError::MissingWeights {
+                node: node.id,
+                name: node.name.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::infer_golden;
+    use crate::graph::GraphBuilder;
+    use crate::layer::ConvCfg;
+    use crate::weights::he_init;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new(Shape::new(3, 8, 8));
+        let c = b.conv("c", b.input(), ConvCfg::k3(3, 4, 1));
+        let gap = b.global_avgpool("gap", c);
+        b.linear("fc", gap, 2);
+        b.finish()
+    }
+
+    #[test]
+    fn golden_executor_matches_free_function() {
+        let g = tiny();
+        let w = he_init(&g, 1);
+        let x = Tensor::zeros(g.input_shape());
+        let mut exec = GoldenExecutor::new(&g, &w).unwrap();
+        assert_eq!(exec.infer(&x).unwrap(), infer_golden(&g, &w, &x));
+        assert_eq!(exec.backend_name(), "golden");
+        assert_eq!(exec.tile_count(), 0);
+    }
+
+    #[test]
+    fn missing_weights_error_at_construction() {
+        let g = tiny();
+        let err = GoldenExecutor::new(&g, &Weights::new()).unwrap_err();
+        assert!(err.to_string().contains("missing weights"));
+        match err {
+            ExecError::MissingWeights { node, name } => {
+                assert_eq!(node, 0);
+                assert_eq!(name, "c");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error_not_a_panic() {
+        let g = tiny();
+        let w = he_init(&g, 1);
+        let mut exec = GoldenExecutor::new(&g, &w).unwrap();
+        let err = exec.infer(&Tensor::zeros(Shape::new(3, 4, 4))).unwrap_err();
+        assert!(matches!(err, ExecError::ShapeMismatch { .. }));
+        assert!(err.to_string().contains("input shape mismatch"));
+    }
+
+    #[test]
+    fn works_as_trait_object() {
+        let g = tiny();
+        let w = he_init(&g, 1);
+        let mut exec: Box<dyn Executor> = Box::new(GoldenExecutor::new(&g, &w).unwrap());
+        let y = exec.infer(&Tensor::zeros(g.input_shape())).unwrap();
+        assert_eq!(y.shape(), Shape::new(2, 1, 1));
+    }
+}

@@ -41,9 +41,7 @@ impl Node {
         match &self.kind {
             LayerKind::Conv(c) => c.macs(self.ifm_shape(graph)),
             // Depthwise: one K×K MAC window per output element.
-            LayerKind::DepthwiseConv(c) => {
-                self.out_shape.numel() as u64 * (c.kh * c.kw) as u64
-            }
+            LayerKind::DepthwiseConv(c) => self.out_shape.numel() as u64 * (c.kh * c.kw) as u64,
             LayerKind::Linear {
                 in_features,
                 out_features,
@@ -204,7 +202,13 @@ impl GraphBuilder {
         }
     }
 
-    fn push(&mut self, name: &str, kind: LayerKind, inputs: Vec<NodeId>, out_shape: Shape) -> NodeId {
+    fn push(
+        &mut self,
+        name: &str,
+        kind: LayerKind,
+        inputs: Vec<NodeId>,
+        out_shape: Shape,
+    ) -> NodeId {
         let id = self.nodes.len();
         for &p in &inputs {
             assert!(p < id, "edges must point forward (topological ids)");
@@ -223,12 +227,7 @@ impl GraphBuilder {
     pub fn conv(&mut self, name: &str, src: Option<NodeId>, cfg: ConvCfg) -> NodeId {
         let in_shape = self.shape_of(src);
         let out = cfg.out_shape(in_shape);
-        self.push(
-            name,
-            LayerKind::Conv(cfg),
-            src.into_iter().collect(),
-            out,
-        )
+        self.push(name, LayerKind::Conv(cfg), src.into_iter().collect(), out)
     }
 
     /// Adds a depthwise convolution (`cfg.in_ch` must equal `cfg.out_ch`).
@@ -243,7 +242,14 @@ impl GraphBuilder {
     }
 
     /// Adds a max-pool layer.
-    pub fn maxpool(&mut self, name: &str, src: NodeId, k: usize, stride: usize, pad: usize) -> NodeId {
+    pub fn maxpool(
+        &mut self,
+        name: &str,
+        src: NodeId,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> NodeId {
         let s = self.nodes[src].out_shape;
         let h = (s.h + 2 * pad - k) / stride + 1;
         let w = (s.w + 2 * pad - k) / stride + 1;

@@ -222,7 +222,10 @@ mod tests {
         let c = ConvCfg::k3(64, 64, 1);
         assert_eq!(c.out_shape(Shape::new(64, 64, 64)), Shape::new(64, 64, 64));
         let s2 = ConvCfg::k3(64, 128, 2);
-        assert_eq!(s2.out_shape(Shape::new(64, 64, 64)), Shape::new(128, 32, 32));
+        assert_eq!(
+            s2.out_shape(Shape::new(64, 64, 64)),
+            Shape::new(128, 32, 32)
+        );
         let first = ConvCfg {
             in_ch: 3,
             out_ch: 64,

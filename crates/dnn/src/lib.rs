@@ -6,10 +6,14 @@
 //! layer numbering, deterministic synthetic weights, int8 quantization, and
 //! two functional executors:
 //!
-//! * [`execute_golden`] — digital f32 ground truth;
+//! * [`GoldenExecutor`] / [`execute_golden`] — digital f32 ground truth;
 //! * [`AimcExecutor`] — the same graph with convolutions/FC evaluated on the
 //!   modeled PCM crossbars of `aimc-xbar`, split across arrays exactly like
-//!   the multi-cluster mapping of Sec. V-1.
+//!   the multi-cluster mapping of Sec. V-1 (via the shared [`ceil_split`]).
+//!
+//! Both implement the [`Executor`] trait — program once, then stream
+//! images — with failures surfaced as [`ExecError`] values; the
+//! `aimc-platform` facade selects between them via its `Backend` enum.
 //!
 //! The *timing* of execution is not modeled here — that is `aimc-core`
 //! (mapping) plus `aimc-runtime` (pipelined simulation); this crate answers
@@ -30,6 +34,7 @@
 
 mod aimc_exec;
 mod exec;
+mod executor;
 mod graph;
 mod layer;
 pub mod ops;
@@ -40,9 +45,11 @@ mod weights;
 mod zoo;
 
 pub use aimc_exec::AimcExecutor;
-pub use exec::{execute_golden, infer_golden, skip_producer};
+pub use exec::{execute_golden, infer_golden, skip_producer, try_execute_golden};
+pub use executor::{ExecError, Executor, GoldenExecutor};
 pub use graph::{Graph, GraphBuilder, Node, NodeId};
 pub use layer::{ConvCfg, LayerKind};
+pub use ops::ceil_split;
 pub use resnet::{group_label, is_digital_layer, layer_group, resnet18, resnet18_cifar};
 pub use tensor::{Shape, Tensor};
 pub use weights::{he_init, Weights};

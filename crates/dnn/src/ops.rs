@@ -14,11 +14,7 @@ use crate::tensor::{Shape, Tensor};
 pub fn conv2d(x: &Tensor, weights: &[f32], cfg: &ConvCfg) -> Tensor {
     let ins = x.shape();
     assert_eq!(ins.c, cfg.in_ch, "input channel mismatch");
-    assert_eq!(
-        weights.len(),
-        cfg.params(),
-        "weight buffer length mismatch"
-    );
+    assert_eq!(weights.len(), cfg.params(), "weight buffer length mismatch");
     let outs = cfg.out_shape(ins);
     let mut y = Tensor::zeros(outs);
 
@@ -28,7 +24,8 @@ pub fn conv2d(x: &Tensor, weights: &[f32], cfg: &ConvCfg) -> Tensor {
     let stride = cfg.stride as isize;
 
     for oc in 0..outs.c {
-        let w_oc = &weights[oc * cfg.in_ch * cfg.kh * cfg.kw..(oc + 1) * cfg.in_ch * cfg.kh * cfg.kw];
+        let w_oc =
+            &weights[oc * cfg.in_ch * cfg.kh * cfg.kw..(oc + 1) * cfg.in_ch * cfg.kh * cfg.kw];
         for oh in 0..outs.h {
             for ow in 0..outs.w {
                 let mut acc = 0.0f32;
@@ -46,8 +43,8 @@ pub fn conv2d(x: &Tensor, weights: &[f32], cfg: &ConvCfg) -> Tensor {
                             if iw < 0 || iw >= ins.w as isize {
                                 continue;
                             }
-                            acc += w_ic[(r * kw + s) as usize]
-                                * x.get(ic, ih as usize, iw as usize);
+                            acc +=
+                                w_ic[(r * kw + s) as usize] * x.get(ic, ih as usize, iw as usize);
                         }
                     }
                 }
@@ -218,6 +215,40 @@ pub fn im2col_patch(x: &Tensor, cfg: &ConvCfg, oh: usize, ow: usize, out: &mut [
     }
 }
 
+/// The paper's balanced ceil-split: divides `total` into
+/// `ceil(total / max)` contiguous chunks whose sizes differ by at most one,
+/// returned as `(start, len)` pairs (Sec. V-1).
+///
+/// This is the one canonical splitting rule shared by the functional
+/// analog executor ([`crate::AimcExecutor`], tile geometry) and the mapping
+/// compiler (`aimc_core::SplitPlan`, cluster counts) — the two must agree
+/// or the mapper's IMA counts would diverge from the programmed tiles.
+///
+/// # Panics
+/// Panics if `total` or `max` is zero.
+///
+/// # Examples
+/// ```
+/// use aimc_dnn::ceil_split;
+/// assert_eq!(ceil_split(576, 256), vec![(0, 192), (192, 192), (384, 192)]);
+/// assert_eq!(ceil_split(256, 256), vec![(0, 256)]);
+/// ```
+pub fn ceil_split(total: usize, max: usize) -> Vec<(usize, usize)> {
+    assert!(total > 0, "cannot split an empty dimension");
+    assert!(max > 0, "cannot split onto zero-size chunks");
+    let n = total.div_ceil(max);
+    let base = total / n;
+    let rem = total % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < rem);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
 /// Reorders conv weights `[oc][ic][kh][kw]` into the crossbar layout
 /// `[rows = ic·kh·kw][cols = oc]` (row-major).
 pub fn weights_to_xbar_layout(weights: &[f32], cfg: &ConvCfg) -> Vec<f32> {
@@ -272,18 +303,12 @@ mod tests {
             relu: false,
         };
         let y = conv2d(&x, &[1.0; 9], &cfg);
-        assert_eq!(
-            y.data(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(y.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]
     fn conv_stride_subsamples() {
-        let x = Tensor::from_vec(
-            Shape::new(1, 4, 4),
-            (0..16).map(|i| i as f32).collect(),
-        );
+        let x = Tensor::from_vec(Shape::new(1, 4, 4), (0..16).map(|i| i as f32).collect());
         let cfg = ConvCfg {
             in_ch: 1,
             out_ch: 1,
@@ -349,10 +374,7 @@ mod tests {
 
     #[test]
     fn maxpool_takes_window_max() {
-        let x = Tensor::from_vec(
-            Shape::new(1, 4, 4),
-            (0..16).map(|i| i as f32).collect(),
-        );
+        let x = Tensor::from_vec(Shape::new(1, 4, 4), (0..16).map(|i| i as f32).collect());
         let y = maxpool2d(&x, 2, 2, 0);
         assert_eq!(y.shape(), Shape::new(1, 2, 2));
         assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
@@ -404,7 +426,9 @@ mod tests {
             Shape::new(2, 4, 4),
             (0..32).map(|i| (i as f32) * 0.1 - 1.5).collect(),
         );
-        let w: Vec<f32> = (0..cfg.params()).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect();
+        let w: Vec<f32> = (0..cfg.params())
+            .map(|i| ((i % 7) as f32 - 3.0) * 0.2)
+            .collect();
         let direct = conv2d(&x, &w, &ConvCfg { relu: false, ..cfg });
         let wx = weights_to_xbar_layout(&w, &cfg);
         let rows = cfg.xbar_rows();

@@ -42,7 +42,13 @@ pub fn vgg(
             prev_ch = ch;
             idx += 1;
         }
-        let p = b.maxpool(&format!("pool_s{stage}"), prev.expect("stage has convs"), 2, 2, 0);
+        let p = b.maxpool(
+            &format!("pool_s{stage}"),
+            prev.expect("stage has convs"),
+            2,
+            2,
+            0,
+        );
         prev = Some(p);
     }
     let gap = b.global_avgpool("gap", prev.expect("non-empty"));
@@ -52,12 +58,24 @@ pub fn vgg(
 
 /// VGG-11 (configuration A) for `h × w` inputs.
 pub fn vgg11(h: usize, w: usize, num_classes: usize) -> Graph {
-    vgg(h, w, &[1, 1, 2, 2, 2], &[64, 128, 256, 512, 512], num_classes)
+    vgg(
+        h,
+        w,
+        &[1, 1, 2, 2, 2],
+        &[64, 128, 256, 512, 512],
+        num_classes,
+    )
 }
 
 /// VGG-16 (configuration D) for `h × w` inputs.
 pub fn vgg16(h: usize, w: usize, num_classes: usize) -> Graph {
-    vgg(h, w, &[2, 2, 3, 3, 3], &[64, 128, 256, 512, 512], num_classes)
+    vgg(
+        h,
+        w,
+        &[2, 2, 3, 3, 3],
+        &[64, 128, 256, 512, 512],
+        num_classes,
+    )
 }
 
 /// Builds a ResNet with basic blocks: `blocks[i]` two-conv blocks at width
@@ -87,7 +105,11 @@ pub fn resnet_basic(h: usize, w: usize, blocks: &[usize], num_classes: usize) ->
             let downsample = stage > 0 && block == 0;
             let in_ch = if downsample { widths[stage - 1] } else { ch };
             let stride = if downsample { 2 } else { 1 };
-            let ca = b.conv(&format!("conv{idx}"), Some(prev), ConvCfg::k3(in_ch, ch, stride));
+            let ca = b.conv(
+                &format!("conv{idx}"),
+                Some(prev),
+                ConvCfg::k3(in_ch, ch, stride),
+            );
             let cb = b.conv(
                 &format!("conv{}", idx + 1),
                 Some(ca),
@@ -113,7 +135,10 @@ pub fn resnet_basic(h: usize, w: usize, blocks: &[usize], num_classes: usize) ->
 /// MobileNetV2) time-multiplexes on a single cluster and this platform
 /// pipelines across clusters.
 pub fn mobilenet_v1_lite(h: usize, w: usize, num_classes: usize) -> Graph {
-    assert!(h >= 32 && w >= 32, "input too small for the 5 downsamplings");
+    assert!(
+        h >= 32 && w >= 32,
+        "input too small for the 5 downsamplings"
+    );
     let mut b = GraphBuilder::new(Shape::new(3, h, w));
     let stem = b.conv(
         "conv0",

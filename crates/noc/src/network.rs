@@ -183,7 +183,13 @@ impl Noc {
 
     /// Walks the payload route from `from` to `to`, reserving bandwidth.
     /// Returns `(head_arrival, tail_arrival)` at the destination.
-    fn route_payload(&mut self, t0: SimTime, from: Endpoint, to: Endpoint, bytes: usize) -> (SimTime, SimTime) {
+    fn route_payload(
+        &mut self,
+        t0: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        bytes: usize,
+    ) -> (SimTime, SimTime) {
         let n_levels = self.cfg.n_levels();
         let mut t = t0;
         let mut last_occ = SimTime::ZERO;
@@ -213,19 +219,17 @@ impl Noc {
         // HBM channel crossing (wrapper <-> controller).
         match (from, to) {
             (_, Endpoint::Hbm) => {
-                let occ = self
-                    .cfg
-                    .frequency
-                    .cycles_to_time(Cycles(bytes.max(1).div_ceil(self.cfg.hbm.width_bytes) as u64));
+                let occ = self.cfg.frequency.cycles_to_time(Cycles(
+                    bytes.max(1).div_ceil(self.cfg.hbm.width_bytes) as u64,
+                ));
                 let lat = self.cycles(self.cfg.hbm.latency_cycles);
                 t = Self::reserve(&mut self.hbm_up, t, occ, lat, bytes);
                 last_occ = occ;
             }
             (Endpoint::Hbm, _) => {
-                let occ = self
-                    .cfg
-                    .frequency
-                    .cycles_to_time(Cycles(bytes.max(1).div_ceil(self.cfg.hbm.width_bytes) as u64));
+                let occ = self.cfg.frequency.cycles_to_time(Cycles(
+                    bytes.max(1).div_ceil(self.cfg.hbm.width_bytes) as u64,
+                ));
                 let lat = self.cycles(self.cfg.hbm.latency_cycles);
                 t = Self::reserve(&mut self.hbm_down, t, occ, lat, bytes);
                 last_occ = occ;
@@ -238,7 +242,13 @@ impl Noc {
                 let child = self.cfg.ancestor(b, level - 1);
                 let occ = self.occupancy(level, bytes);
                 let lat = self.cycles(self.cfg.router_latency_cycles[level - 1]);
-                t = Self::reserve(&mut self.links[level - 1][child * 2 + 1], t, occ, lat, bytes);
+                t = Self::reserve(
+                    &mut self.links[level - 1][child * 2 + 1],
+                    t,
+                    occ,
+                    lat,
+                    bytes,
+                );
                 last_occ = occ;
             }
         }
@@ -249,8 +259,8 @@ impl Noc {
     /// Reserves the HBM controller for a burst whose head arrives at `t`.
     /// Returns the time the data is available (read) / absorbed (write).
     fn hbm_service(&mut self, t: SimTime, bytes: usize) -> SimTime {
-        let occ_cycles =
-            self.cfg.hbm.row_overhead_cycles + bytes.max(1).div_ceil(self.cfg.hbm.width_bytes) as u64;
+        let occ_cycles = self.cfg.hbm.row_overhead_cycles
+            + bytes.max(1).div_ceil(self.cfg.hbm.width_bytes) as u64;
         let occ = self.cycles(occ_cycles);
         Self::reserve(&mut self.hbm_ctrl, t, occ, occ, bytes)
     }
@@ -276,7 +286,10 @@ impl Noc {
             assert!(i < self.cfg.n_clusters(), "source cluster out of range");
         }
         if let Endpoint::Cluster(i) = dst {
-            assert!(i < self.cfg.n_clusters(), "destination cluster out of range");
+            assert!(
+                i < self.cfg.n_clusters(),
+                "destination cluster out of range"
+            );
         }
         self.total_transactions += 1;
 
@@ -334,7 +347,11 @@ impl Noc {
         // throwaway clone. Topologies are small (≤ ~1300 links).
         let mut scratch = Noc {
             cfg: self.cfg.clone(),
-            links: self.links.iter().map(|v| vec![LinkState::default(); v.len()]).collect(),
+            links: self
+                .links
+                .iter()
+                .map(|v| vec![LinkState::default(); v.len()])
+                .collect(),
             hbm_up: LinkState::default(),
             hbm_down: LinkState::default(),
             hbm_ctrl: LinkState::default(),
@@ -392,7 +409,12 @@ mod tests {
         let noc = paper();
         // cluster0 -> cluster1: up through L1 router, down. 64 B = 1 beat.
         // up: latency 4 cyc; down: latency 4 cyc; +1 beat tail; +response.
-        let t = noc.zero_load_latency(TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(1), 64);
+        let t = noc.zero_load_latency(
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(1),
+            64,
+        );
         // Payload head: 4+4 = 8 cycles, tail +1; response 1 beat: +8+1.
         assert_eq!(t, SimTime::from_ns(18));
     }
@@ -400,9 +422,24 @@ mod tests {
     #[test]
     fn latency_grows_with_tree_distance() {
         let noc = paper();
-        let near = noc.zero_load_latency(TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(1), 256);
-        let mid = noc.zero_load_latency(TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(5), 256);
-        let far = noc.zero_load_latency(TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(400), 256);
+        let near = noc.zero_load_latency(
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(1),
+            256,
+        );
+        let mid = noc.zero_load_latency(
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(5),
+            256,
+        );
+        let far = noc.zero_load_latency(
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(400),
+            256,
+        );
         assert!(near < mid, "{near} !< {mid}");
         assert!(mid < far, "{mid} !< {far}");
     }
@@ -420,9 +457,21 @@ mod tests {
     fn contention_serializes_same_link() {
         let mut noc = paper();
         let bytes = 64 * 100; // 100 beats => 100 cycles occupancy per link
-        let t1 = noc.transfer(SimTime::ZERO, TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(1), bytes);
+        let t1 = noc.transfer(
+            SimTime::ZERO,
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(1),
+            bytes,
+        );
         // Same source link, injected at the same instant: must queue.
-        let t2 = noc.transfer(SimTime::ZERO, TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(1), bytes);
+        let t2 = noc.transfer(
+            SimTime::ZERO,
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(1),
+            bytes,
+        );
         assert!(t2 >= t1 + SimTime::from_ns(100), "t1={t1} t2={t2}");
     }
 
@@ -430,8 +479,20 @@ mod tests {
     fn disjoint_paths_do_not_interfere() {
         let mut noc = paper();
         let bytes = 64 * 50;
-        let t1 = noc.transfer(SimTime::ZERO, TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(1), bytes);
-        let t2 = noc.transfer(SimTime::ZERO, TxnKind::Write, Endpoint::Cluster(8), Endpoint::Cluster(9), bytes);
+        let t1 = noc.transfer(
+            SimTime::ZERO,
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(1),
+            bytes,
+        );
+        let t2 = noc.transfer(
+            SimTime::ZERO,
+            TxnKind::Write,
+            Endpoint::Cluster(8),
+            Endpoint::Cluster(9),
+            bytes,
+        );
         assert_eq!(t1, t2, "independent subtrees must not contend");
     }
 
@@ -447,7 +508,10 @@ mod tests {
                 Endpoint::Hbm,
                 256,
             );
-            assert!(t >= last, "HBM completions must be nondecreasing under contention");
+            assert!(
+                t >= last,
+                "HBM completions must be nondecreasing under contention"
+            );
             last = t;
         }
         // 32 bursts × (24 + 4) cycles occupancy = 896 cycles of controller busy.
@@ -471,7 +535,13 @@ mod tests {
     #[test]
     fn link_stats_track_traffic() {
         let mut noc = paper();
-        noc.transfer(SimTime::ZERO, TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(1), 640);
+        noc.transfer(
+            SimTime::ZERO,
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(1),
+            640,
+        );
         let up = noc.link_stats(LinkId::Up { level: 1, child: 0 });
         assert_eq!(up.transactions, 1);
         assert_eq!(up.bytes, 640);
@@ -487,16 +557,35 @@ mod tests {
     #[test]
     fn reads_round_trip() {
         let noc = paper();
-        let w = noc.zero_load_latency(TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(100), 256);
-        let r = noc.zero_load_latency(TxnKind::Read, Endpoint::Cluster(0), Endpoint::Cluster(100), 256);
-        assert!(r > w, "read {r} must exceed write {w} (request + data return)");
+        let w = noc.zero_load_latency(
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(100),
+            256,
+        );
+        let r = noc.zero_load_latency(
+            TxnKind::Read,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(100),
+            256,
+        );
+        assert!(
+            r > w,
+            "read {r} must exceed write {w} (request + data return)"
+        );
     }
 
     #[test]
     fn small_topology_works() {
         let mut noc = Noc::new(NocConfig::small(2, 2));
         assert_eq!(noc.config().n_clusters(), 4);
-        let t = noc.transfer(SimTime::ZERO, TxnKind::Write, Endpoint::Cluster(0), Endpoint::Cluster(3), 64);
+        let t = noc.transfer(
+            SimTime::ZERO,
+            TxnKind::Write,
+            Endpoint::Cluster(0),
+            Endpoint::Cluster(3),
+            64,
+        );
         assert!(t > SimTime::ZERO);
     }
 
@@ -504,7 +593,13 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bad_cluster_index() {
         let mut noc = Noc::new(NocConfig::small(2, 2));
-        noc.transfer(SimTime::ZERO, TxnKind::Write, Endpoint::Cluster(4), Endpoint::Cluster(0), 64);
+        noc.transfer(
+            SimTime::ZERO,
+            TxnKind::Write,
+            Endpoint::Cluster(4),
+            Endpoint::Cluster(0),
+            64,
+        );
     }
 
     #[test]

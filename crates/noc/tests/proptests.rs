@@ -75,7 +75,7 @@ proptest! {
         let ab = cfg.common_ancestor_level(a, b);
         let ba = cfg.common_ancestor_level(b, a);
         prop_assert_eq!(ab, ba);
-        prop_assert!(ab >= 1 && ab <= 4);
+        prop_assert!((1..=4).contains(&ab));
         if a / 4 == b / 4 {
             prop_assert_eq!(ab, 1);
         }

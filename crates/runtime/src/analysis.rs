@@ -219,13 +219,37 @@ impl Headline {
         let _ = writeln!(out, "{:<28} {:>12} {:>12}", "metric", "measured", "paper");
         let rows = [
             ("throughput [TOPS]", format!("{:.1}", self.tops), "20.2"),
-            ("throughput [images/s]", format!("{:.0}", self.images_per_s), "3303"),
-            ("batch latency [ms]", format!("{:.2}", self.makespan_ms), "9.2"),
-            ("steady batch interval [ms]", format!("{:.2}", self.steady_batch_ms), "4.8"),
+            (
+                "throughput [images/s]",
+                format!("{:.0}", self.images_per_s),
+                "3303",
+            ),
+            (
+                "batch latency [ms]",
+                format!("{:.2}", self.makespan_ms),
+                "9.2",
+            ),
+            (
+                "steady batch interval [ms]",
+                format!("{:.2}", self.steady_batch_ms),
+                "4.8",
+            ),
             ("batch energy [mJ]", format!("{:.1}", self.energy_mj), "15"),
-            ("energy efficiency [TOPS/W]", format!("{:.2}", self.tops_per_w), "6.5"),
-            ("area efficiency [GOPS/mm2]", format!("{:.1}", self.gops_per_mm2), "42"),
-            ("platform area [mm2]", format!("{:.0}", self.area_mm2), "480"),
+            (
+                "energy efficiency [TOPS/W]",
+                format!("{:.2}", self.tops_per_w),
+                "6.5",
+            ),
+            (
+                "area efficiency [GOPS/mm2]",
+                format!("{:.1}", self.gops_per_mm2),
+                "42",
+            ),
+            (
+                "platform area [mm2]",
+                format!("{:.0}", self.area_mm2),
+                "480",
+            ),
             (
                 "clusters used",
                 format!("{}/{}", self.clusters_used.0, self.clusters_used.1),

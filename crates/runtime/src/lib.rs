@@ -8,7 +8,14 @@
 //! waterfall (Fig. 6), per-group area efficiency (Fig. 7), and the headline
 //! TOPS / TOPS/W / GOPS/mm² numbers (Sec. VI).
 //!
-//! ## Example
+//! This crate is the *timing layer*: most users should drive it through
+//! the `aimc-platform` facade — `Platform::builder()...build()?.session()`
+//! compiles the mapping once and `Session::run`/`Session::headline` wrap
+//! [`simulate`] and [`Headline::compute`] with per-batch caching and the
+//! unified error type. The free functions below remain the layer API the
+//! facade (and anything embedding just this layer) is built on.
+//!
+//! ## Example (layer-level API)
 //! ```no_run
 //! use aimc_core::{map_network, ArchConfig, MappingStrategy};
 //! use aimc_dnn::resnet18;

@@ -244,9 +244,8 @@ pub fn simulate(
                 let cc = s.tiling.chunks_per_image as u64;
                 let total_p = (cp * batch as u64) as usize;
                 let is_skip = matches!(e.kind, EdgeKind::Skip { .. });
-                let hbm_amp = (ptiling.ofm.w.min(arch.noc.hbm.width_bytes)
-                    / ptiling.out_tile_w)
-                    .max(1);
+                let hbm_amp =
+                    (ptiling.ofm.w.min(arch.noc.hbm.width_bytes) / ptiling.out_tile_w).max(1);
                 EdgeRt {
                     from: e.from,
                     bytes_per_cchunk: e.bytes_per_chunk,
@@ -259,7 +258,11 @@ pub fn simulate(
                     hbm_amp,
                     delivered: vec![false; total_p],
                     watermark: -1,
-                    stored: if is_skip { vec![false; total_p] } else { vec![] },
+                    stored: if is_skip {
+                        vec![false; total_p]
+                    } else {
+                        vec![]
+                    },
                     stored_watermark: -1,
                     skip_delivered: if is_skip {
                         vec![false; total_chunks as usize]
@@ -325,14 +328,12 @@ pub fn simulate(
 
     // Activity trackers per physical cluster.
     let n_clusters = mapping.n_clusters_used;
-    let mut trackers: Vec<ActivityTracker> =
-        (0..n_clusters).map(|_| ActivityTracker::new(SimTime::ZERO)).collect();
+    let mut trackers: Vec<ActivityTracker> = (0..n_clusters)
+        .map(|_| ActivityTracker::new(SimTime::ZERO))
+        .collect();
 
     let mut tallies = EnergyTallies::default();
-    let final_stage = *mapping
-        .node_final_stage
-        .last()
-        .expect("mapping has nodes");
+    let final_stage = *mapping.node_final_stage.last().expect("mapping has nodes");
     let final_chunks_per_image = mapping.stages[final_stage].tiling.chunks_per_image as u64;
     let mut final_done_per_image = vec![0u64; batch];
     let mut image_completions = vec![SimTime::ZERO; batch];
@@ -370,6 +371,9 @@ pub fn simulate(
             Ev::TryFire { stage, lane } => {
                 let sid = stage as usize;
                 let l = lane as usize;
+                // Structured as a breakable block: every arm exits after one
+                // pass; continuation is always via a re-queued TryFire.
+                #[allow(clippy::never_loop)]
                 loop {
                     let k = stages[sid].lanes[l].next_chunk;
                     if k >= stages[sid].total_chunks {
@@ -462,8 +466,7 @@ pub fn simulate(
                         for &c in mstage.lane(l) {
                             let tr = &mut trackers[c];
                             if !first_fire && start > prev_end {
-                                let comm_start =
-                                    start.saturating_sub(comm_cap).max(prev_end);
+                                let comm_start = start.saturating_sub(comm_cap).max(prev_end);
                                 tr.set_state(comm_start, Activity::Communication);
                             }
                             tr.set_state(start, Activity::Synchronization);
@@ -534,9 +537,7 @@ pub fn simulate(
                                 let dst = if cstage.lane_clusters == 0 {
                                     Endpoint::Hbm
                                 } else {
-                                    Endpoint::Cluster(
-                                        cstage.lane(clane)[i % cstage.lane_clusters],
-                                    )
+                                    Endpoint::Cluster(cstage.lane(clane)[i % cstage.lane_clusters])
                                 };
                                 let t = noc.transfer(now, TxnKind::Write, src, dst, per);
                                 done = done.max(t);
@@ -559,8 +560,7 @@ pub fn simulate(
                                 }
                                 ResidualRoute::StorageCluster(c) => (Endpoint::Cluster(c), 1),
                             };
-                            let done =
-                                noc.transfer(now, TxnKind::Write, src, dst, bytes_pp * amp);
+                            let done = noc.transfer(now, TxnKind::Write, src, dst, bytes_pp * amp);
                             queue.push(
                                 done,
                                 Ev::SkipStored {
@@ -574,16 +574,18 @@ pub fn simulate(
                 }
             }
 
-            Ev::Delivered { stage, edge, pchunk } => {
+            Ev::Delivered {
+                stage,
+                edge,
+                pchunk,
+            } => {
                 let sid = stage as usize;
                 {
                     let e = &mut stages[sid].edges[edge as usize];
                     let (marks, wm) = (&mut e.delivered, &mut e.watermark);
                     EdgeRt::advance(marks, wm, pchunk);
                 }
-                request_skip_reads(
-                    sid, &mut stages, mapping, &mut noc, &mut queue, now,
-                );
+                request_skip_reads(sid, &mut stages, mapping, &mut noc, &mut queue, now);
                 for l in 0..stages[sid].lanes.len() {
                     queue.push(
                         now,
@@ -595,19 +597,25 @@ pub fn simulate(
                 }
             }
 
-            Ev::SkipStored { stage, edge, pchunk } => {
+            Ev::SkipStored {
+                stage,
+                edge,
+                pchunk,
+            } => {
                 let sid = stage as usize;
                 {
                     let e = &mut stages[sid].edges[edge as usize];
                     let (marks, wm) = (&mut e.stored, &mut e.stored_watermark);
                     EdgeRt::advance(marks, wm, pchunk);
                 }
-                request_skip_reads(
-                    sid, &mut stages, mapping, &mut noc, &mut queue, now,
-                );
+                request_skip_reads(sid, &mut stages, mapping, &mut noc, &mut queue, now);
             }
 
-            Ev::SkipReadDone { stage, edge, cchunk } => {
+            Ev::SkipReadDone {
+                stage,
+                edge,
+                cchunk,
+            } => {
                 let sid = stage as usize;
                 stages[sid].edges[edge as usize].skip_delivered[cchunk as usize] = true;
                 let lanes = stages[sid].lanes.len() as u64;
@@ -651,7 +659,8 @@ pub fn simulate(
             if s.lane_clusters == 0 {
                 continue;
             }
-            let analog_bound = stages[sid].lanes[l].analog_busy >= stages[sid].lanes[l].digital_busy
+            let analog_bound = stages[sid].lanes[l].analog_busy
+                >= stages[sid].lanes[l].digital_busy
                 && stages[sid].lanes[l].analog_busy > SimTime::ZERO;
             for &c in s.lane(l) {
                 let mut tr = trackers[c].clone();
@@ -755,7 +764,9 @@ fn noc_level_bytes(noc: &Noc, arch: &ArchConfig, level: usize) -> u64 {
     let mut total = 0;
     for child in 0..entities {
         total += noc.link_stats(aimc_noc::LinkId::Up { level, child }).bytes;
-        total += noc.link_stats(aimc_noc::LinkId::Down { level, child }).bytes;
+        total += noc
+            .link_stats(aimc_noc::LinkId::Down { level, child })
+            .bytes;
     }
     total
 }
@@ -772,7 +783,10 @@ fn request_skip_reads(
     now: SimTime,
 ) {
     let n_edges = stages[sid].edges.len();
-    let has_skip = (0..n_edges).any(|e| !stages[sid].edges[e].stored.is_empty() || matches!(stages[sid].edges[e].kind, EdgeKind::Skip { .. }));
+    let has_skip = (0..n_edges).any(|e| {
+        !stages[sid].edges[e].stored.is_empty()
+            || matches!(stages[sid].edges[e].kind, EdgeKind::Skip { .. })
+    });
     if !has_skip {
         return;
     }
@@ -870,7 +884,11 @@ mod tests {
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
         let r = simulate(&g, &m, &arch, 6);
         for w in r.image_completions.windows(2) {
-            assert!(w[1] >= w[0], "completions must be ordered: {:?}", r.image_completions);
+            assert!(
+                w[1] >= w[0],
+                "completions must be ordered: {:?}",
+                r.image_completions
+            );
         }
     }
 
@@ -956,7 +974,11 @@ mod tests {
         assert_eq!(r.image_completions.len(), 2);
         assert!(r.image_completions[1] > SimTime::ZERO);
         // Two images through a balanced pipeline: single-digit milliseconds.
-        assert!(r.makespan < SimTime::from_us(20_000), "makespan {}", r.makespan);
+        assert!(
+            r.makespan < SimTime::from_us(20_000),
+            "makespan {}",
+            r.makespan
+        );
         assert!(r.tops() > 1.0, "tops {}", r.tops());
     }
 

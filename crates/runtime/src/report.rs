@@ -51,8 +51,9 @@ pub fn breakdown_ascii(rows: &[ClusterBreakdown], buckets: usize, width: usize) 
             break;
         }
         let n = chunk.len() as u64;
-        let avg =
-            |f: fn(&ClusterBreakdown) -> SimTime| chunk.iter().map(|r| f(r).as_ps()).sum::<u64>() / n;
+        let avg = |f: fn(&ClusterBreakdown) -> SimTime| {
+            chunk.iter().map(|r| f(r).as_ps()).sum::<u64>() / n
+        };
         let comp = avg(|r| r.compute);
         let comm = avg(|r| r.communication + r.synchronization);
         let sleep = avg(|r| r.sleep);
@@ -96,7 +97,7 @@ mod tests {
             communication: SimTime::from_us(1),
             synchronization: SimTime::from_us(1),
             sleep: SimTime::from_us(sleep_us),
-            analog_bound: cluster % 2 == 0,
+            analog_bound: cluster.is_multiple_of(2),
         }
     }
 

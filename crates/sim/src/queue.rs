@@ -217,7 +217,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime::from_ns(10), "a");
         q.push(SimTime::from_ns(20), "b");
-        assert_eq!(q.pop_until(SimTime::from_ns(15)), Some((SimTime::from_ns(10), "a")));
+        assert_eq!(
+            q.pop_until(SimTime::from_ns(15)),
+            Some((SimTime::from_ns(10), "a"))
+        );
         assert_eq!(q.pop_until(SimTime::from_ns(15)), None);
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(SimTime::from_ns(20)));

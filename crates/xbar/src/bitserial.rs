@@ -50,13 +50,14 @@ impl Crossbar {
         let cfg = self.config();
 
         // Normalize and quantize to signed n-bit magnitude.
-        let x_scale = x.iter().fold(0.0f64, |m, &v| m.max(v.abs() as f64)).max(1e-30);
+        let x_scale = x
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs() as f64))
+            .max(1e-30);
         let levels = (1i64 << (n_bits - 1)) - 1;
         let xq: Vec<i64> = x
             .iter()
-            .map(|&v| {
-                ((v as f64 / x_scale).clamp(-1.0, 1.0) * levels as f64).round() as i64
-            })
+            .map(|&v| ((v as f64 / x_scale).clamp(-1.0, 1.0) * levels as f64).round() as i64)
             .collect();
 
         // Shift-accumulate bit planes (positive and negative phases).
@@ -66,7 +67,9 @@ impl Crossbar {
             let weight = (1i64 << bit) as f64;
             for phase in [1i64, -1] {
                 // Skip silent planes entirely (no pulse, no noise).
-                let any = xq.iter().any(|&q| q.signum() == phase && (q.abs() >> bit) & 1 == 1);
+                let any = xq
+                    .iter()
+                    .any(|&q| q.signum() == phase && (q.abs() >> bit) & 1 == 1);
                 if !any {
                     continue;
                 }
@@ -127,13 +130,19 @@ mod tests {
         let w: Vec<f32> = (0..rows * cols)
             .map(|i| ((i * 31 % 97) as f32 - 48.0) / 48.0)
             .collect();
-        let x: Vec<f32> = (0..rows).map(|i| ((i * 7 % 15) as f32 - 7.0) / 7.0).collect();
-        let xb = Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
+        let x: Vec<f32> = (0..rows)
+            .map(|i| ((i * 7 % 15) as f32 - 7.0) / 7.0)
+            .collect();
+        let xb =
+            Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
         let y = xb.mvm_bit_serial(&x, 12, &mut rng).unwrap();
         let yref = ref_mvm(&w, rows, cols, &x);
         for (a, b) in y.iter().zip(&yref) {
             // 11 magnitude bits over sums of 24 terms.
-            assert!((a - b).abs() < 0.02 * rows as f32 / 24.0 + 0.02, "{a} vs {b}");
+            assert!(
+                (a - b).abs() < 0.02 * rows as f32 / 24.0 + 0.02,
+                "{a} vs {b}"
+            );
         }
     }
 
@@ -142,9 +151,12 @@ mod tests {
         let mut rng = rng();
         let rows = 16;
         let cols = 4;
-        let w: Vec<f32> = (0..rows * cols).map(|i| ((i % 9) as f32 - 4.0) / 4.0).collect();
+        let w: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i % 9) as f32 - 4.0) / 4.0)
+            .collect();
         let x: Vec<f32> = (0..rows).map(|i| ((i % 5) as f32 - 2.0) / 2.0).collect();
-        let xb = Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
+        let xb =
+            Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
         let par = xb.mvm(&x, &mut rng).unwrap();
         let ser = xb.mvm_bit_serial(&x, 16, &mut rng).unwrap();
         for (a, b) in par.iter().zip(&ser) {
@@ -188,8 +200,7 @@ mod tests {
     #[test]
     fn latency_scales_with_bits() {
         let mut rng = rng();
-        let xb =
-            Crossbar::program(&XbarConfig::hermes_256(), &[0.1; 16], 4, 4, &mut rng).unwrap();
+        let xb = Crossbar::program(&XbarConfig::hermes_256(), &[0.1; 16], 4, 4, &mut rng).unwrap();
         let l8 = xb.bit_serial_latency_ns(8);
         let l16 = xb.bit_serial_latency_ns(16);
         assert!((l8 - 130.0).abs() < 1e-9, "8-bit serial ≈ parallel: {l8}");

@@ -119,7 +119,10 @@ impl XbarConfig {
             return Err("crossbar must have non-zero rows and cols".into());
         }
         if self.weight_bits == 0 || self.weight_bits > 16 {
-            return Err(format!("weight_bits {} out of range 1..=16", self.weight_bits));
+            return Err(format!(
+                "weight_bits {} out of range 1..=16",
+                self.weight_bits
+            ));
         }
         if self.dac_bits == 0 || self.dac_bits > 24 || self.adc_bits == 0 || self.adc_bits > 32 {
             return Err("converter resolution out of range".into());
@@ -150,7 +153,12 @@ impl fmt::Display for XbarConfig {
         write!(
             f,
             "{}x{} xbar, {}b cells, DAC {}b / ADC {}b, {} ns/MVM",
-            self.rows, self.cols, self.weight_bits, self.dac_bits, self.adc_bits, self.mvm_latency_ns
+            self.rows,
+            self.cols,
+            self.weight_bits,
+            self.dac_bits,
+            self.adc_bits,
+            self.mvm_latency_ns
         )
     }
 }

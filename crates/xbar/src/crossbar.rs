@@ -318,7 +318,10 @@ impl Crossbar {
     /// # Panics
     /// Panics if the indices are out of the programmed block.
     pub fn stored_weight(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows_used && col < self.cols_used, "index out of programmed block");
+        assert!(
+            row < self.rows_used && col < self.cols_used,
+            "index out of programmed block"
+        );
         (self.g_eff[row * self.cols_used + col] * self.w_scale) as f32
     }
 }
@@ -352,7 +355,8 @@ mod tests {
         let w: Vec<f32> = (0..rows * cols)
             .map(|i| ((i * 37 % 64) as f32 - 32.0) / 32.0)
             .collect();
-        let xb = Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
+        let xb =
+            Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
         let x: Vec<f32> = (0..rows).map(|i| ((i % 8) as f32 - 4.0) / 4.0).collect();
         let y = xb.mvm(&x, &mut rng).unwrap();
         let yref = ref_mvm(&w, rows, cols, &x);
@@ -370,7 +374,7 @@ mod tests {
         assert_eq!(xb.rows_used(), 10);
         assert_eq!(xb.cols_used(), 3);
         assert!((xb.utilization() - 30.0 / 65536.0).abs() < 1e-12);
-        let y = xb.mvm(&vec![1.0; 10], &mut rng).unwrap();
+        let y = xb.mvm(&[1.0; 10], &mut rng).unwrap();
         assert_eq!(y.len(), 3);
         for v in y {
             assert!((v - 5.0).abs() < 1e-2);
@@ -447,7 +451,7 @@ mod tests {
         cfg.read_noise_sigma = 0.02;
         cfg.adc_bits = 16; // fine quantization so noise is not rounded away
         cfg.adc_headroom = 1.0; // stay far from full-scale clipping
-        // Alternating-sign weights keep column sums near zero (no clipping).
+                                // Alternating-sign weights keep column sums near zero (no clipping).
         let w: Vec<f32> = (0..32 * 4)
             .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
             .collect();

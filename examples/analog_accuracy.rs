@@ -4,6 +4,10 @@
 //! f32 golden executor — the end-to-end numerical story the timing
 //! simulator abstracts away.
 //!
+//! Both backends run through the same `Session`; switching `Backend`
+//! re-programs the arrays, while consecutive images on one backend reuse
+//! them.
+//!
 //! ```text
 //! cargo run --release --example analog_accuracy
 //! ```
@@ -15,21 +19,31 @@ use rand::{Rng, SeedableRng};
 fn random_image(shape: Shape, rng: &mut StdRng) -> Tensor {
     Tensor::from_vec(
         shape,
-        (0..shape.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        (0..shape.numel())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
     )
 }
 
-fn main() {
+fn main() -> Result<(), Error> {
     let graph = resnet18_cifar(10);
-    let weights = he_init(&graph, 42);
+    let input_shape = graph.input_shape();
+    let mut session = Platform::builder()
+        .graph(graph)
+        .arch(ArchConfig::small(8, 8))
+        .he_weights(42)
+        .build()?
+        .session();
+
     let mut rng = StdRng::seed_from_u64(7);
     let n_images = 20;
     let images: Vec<Tensor> = (0..n_images)
-        .map(|_| random_image(graph.input_shape(), &mut rng))
+        .map(|_| random_image(input_shape, &mut rng))
         .collect();
-    let golden: Vec<usize> = images
+    let golden: Vec<usize> = session
+        .infer(&images, Backend::Golden)?
         .iter()
-        .map(|x| infer_golden(&graph, &weights, x).argmax())
+        .map(|y| y.argmax())
         .collect();
 
     println!("analog vs digital classification agreement, {n_images} inputs\n");
@@ -47,25 +61,22 @@ fn main() {
             c
         }),
     ] {
-        let mut exec =
-            AimcExecutor::program(&graph, &weights, &cfg, 1).expect("programming succeeds");
-        let agree = images
+        let outputs = session.infer(&images, Backend::analog(1, cfg))?;
+        let agree = outputs
             .iter()
             .zip(&golden)
-            .filter(|(x, &g)| {
-                let x = (*x).clone();
-                exec.infer(&x).argmax() == g
-            })
+            .filter(|(y, &g)| y.argmax() == g)
             .count();
         println!(
             "{:<34} {:>7}/{:<2} {:>12}",
             label,
             agree,
             n_images,
-            exec.tile_count()
+            session.tile_count()
         );
     }
     println!("\nexpected shape: ideal arrays agree fully; realistic noise loses a few");
     println!("borderline inputs; heavy noise degrades further (cf. the paper's");
     println!("references on noise-aware training).");
+    Ok(())
 }

@@ -3,14 +3,34 @@
 //! crossbar geometry, reporting mapping feasibility, utilization and
 //! throughput for ResNet-18.
 //!
+//! Each candidate architecture is one `Platform::builder()` call —
+//! infeasible configurations surface as `Error::Map` values from `build()`
+//! instead of panics.
+//!
 //! ```text
 //! cargo run --release --example mapping_explorer
 //! ```
 
-use aimc_platform::core::{map_network, ArchConfig, MappingStrategy};
 use aimc_platform::prelude::*;
 
-fn main() {
+fn run_point(
+    graph: &Graph,
+    arch: ArchConfig,
+    strategy: MappingStrategy,
+    batch: usize,
+) -> Result<(usize, f64, f64), Error> {
+    let platform = Platform::builder()
+        .graph(graph.clone())
+        .arch(arch)
+        .strategy(strategy)
+        .build()?;
+    let used = platform.mapping().n_clusters_used;
+    let mut session = platform.session();
+    let r = session.run(RunSpec::batch(batch))?;
+    Ok((used, r.tops(), r.images_per_s()))
+}
+
+fn main() -> Result<(), Error> {
     let graph = resnet18(256, 256, 1000);
 
     println!("== platform size sweep (256x256 arrays, batch 8) ==\n");
@@ -24,30 +44,25 @@ fn main() {
         arch.noc.link_width_bytes = vec![64; 4];
         arch.noc.router_latency_cycles = vec![4; 4];
         let n = arch.n_clusters();
-        match map_network(&graph, &arch, MappingStrategy::OnChipResiduals) {
-            Ok(m) => {
-                let r = simulate(&graph, &m, &arch, 8);
-                println!(
-                    "{:<10} {:>9} {:>10.1} {:>10.0} {:>12.1}",
-                    n,
-                    m.n_clusters_used,
-                    r.tops(),
-                    r.images_per_s(),
-                    arch.ideal_tops()
-                );
+        let ideal = arch.ideal_tops();
+        match run_point(&graph, arch, MappingStrategy::OnChipResiduals, 8) {
+            Ok((used, tops, imgs)) => {
+                println!("{n:<10} {used:>9} {tops:>10.1} {imgs:>10.0} {ideal:>12.1}")
             }
-            Err(e) => println!("{:<10} does not fit: {e}", n),
+            Err(e) => println!("{n:<10} does not fit: {e}"),
         }
     }
 
     println!("\n== interconnect latency sweep (512 clusters, batch 8) ==\n");
-    println!("{:<22} {:>10} {:>10}", "router latency [cyc]", "TOPS", "img/s");
+    println!(
+        "{:<22} {:>10} {:>10}",
+        "router latency [cyc]", "TOPS", "img/s"
+    );
     for lat in [1u64, 4, 16, 64] {
         let mut arch = ArchConfig::paper();
         arch.noc.router_latency_cycles = vec![lat; 4];
-        let m = map_network(&graph, &arch, MappingStrategy::OnChipResiduals).unwrap();
-        let r = simulate(&graph, &m, &arch, 8);
-        println!("{:<22} {:>10.1} {:>10.0}", lat, r.tops(), r.images_per_s());
+        let (_, tops, imgs) = run_point(&graph, arch, MappingStrategy::OnChipResiduals, 8)?;
+        println!("{lat:<22} {tops:>10.1} {imgs:>10.0}");
     }
 
     println!("\n== HBM latency sweep with residuals forced to HBM (batch 8) ==\n");
@@ -55,8 +70,8 @@ fn main() {
     for lat in [50u64, 100, 200, 400] {
         let mut arch = ArchConfig::paper();
         arch.noc.hbm.latency_cycles = lat;
-        let m = map_network(&graph, &arch, MappingStrategy::Balanced).unwrap();
-        let r = simulate(&graph, &m, &arch, 8);
-        println!("{:<22} {:>10.1} {:>10.0}", lat, r.tops(), r.images_per_s());
+        let (_, tops, imgs) = run_point(&graph, arch, MappingStrategy::Balanced, 8)?;
+        println!("{lat:<22} {tops:>10.1} {imgs:>10.0}");
     }
+    Ok(())
 }

@@ -1,5 +1,6 @@
 //! Quickstart: build a small CNN, compile it onto a 32-cluster AIMC
-//! platform, and run a pipelined batch through the timing simulator.
+//! platform with the `Platform` builder, and drive a pipelined batch
+//! through the timing simulator with a `Session`.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,7 +8,7 @@
 
 use aimc_platform::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // 1. Describe a workload as a DAG (a little 3-layer CNN with a residual).
     let mut b = GraphBuilder::new(Shape::new(3, 32, 32));
     let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 16, 1));
@@ -27,13 +28,18 @@ fn main() {
         arch.ideal_tops()
     );
 
-    // 3. Compile: multi-cluster splits, reduction trees, tiling, replication.
-    let mapping = map_network(&graph, &arch, MappingStrategy::OnChipResiduals)
-        .expect("this workload fits the platform");
-    println!("\nmapping:\n{}", mapping.summary());
+    // 3. Compile: multi-cluster splits, reduction trees, tiling, replication
+    //    all happen once, inside build().
+    let platform = Platform::builder()
+        .graph(graph)
+        .arch(arch)
+        .strategy(MappingStrategy::OnChipResiduals)
+        .build()?;
+    println!("\nmapping:\n{}", platform.mapping().summary());
 
     // 4. Simulate a pipelined batch of 8 images.
-    let report = simulate(&graph, &mapping, &arch, 8);
+    let mut session = platform.session();
+    let report = session.run(RunSpec::batch(8))?;
     println!(
         "batch 8: makespan {}, {:.2} TOPS nominal, {:.0} images/s steady",
         report.makespan,
@@ -49,4 +55,5 @@ fn main() {
             c.cluster, c.stage_name, c.compute, c.communication, c.synchronization, c.sleep
         );
     }
+    Ok(())
 }

@@ -7,7 +7,7 @@
 
 use aimc_platform::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let graph = resnet18(256, 256, 1000);
     let arch = ArchConfig::paper();
     println!(
@@ -21,27 +21,28 @@ fn main() {
         MappingStrategy::Balanced,
         MappingStrategy::OnChipResiduals,
     ] {
-        let mapping = map_network(&graph, &arch, strategy).expect("mapping fits");
-        let report = simulate(&graph, &mapping, &arch, 16);
+        // One compiled platform per strategy; the session runs + analyses.
+        let platform = Platform::builder()
+            .graph(graph.clone())
+            .arch(arch.clone())
+            .strategy(strategy)
+            .build()?;
+        let mut session = platform.session();
+        let report = session.run(RunSpec::batch(16))?;
         println!(
             "\n=== {} ===\n  clusters {}, makespan {}, {:.1} TOPS, {:.0} img/s",
-            mapping.strategy.label(),
-            mapping.n_clusters_used,
+            platform.mapping().strategy.label(),
+            platform.mapping().n_clusters_used,
             report.makespan,
             report.tops(),
             report.images_per_s()
         );
         if strategy == MappingStrategy::OnChipResiduals {
-            let headline = Headline::compute(
-                &mapping,
-                &arch,
-                &report,
-                &EnergyModel::default(),
-                &AreaModel::default(),
-            );
+            let headline = session.headline(&EnergyModel::default(), &AreaModel::default())?;
             println!("\n{}", headline.render());
-            let waterfall = Waterfall::compute(&graph, &mapping, &arch, &report);
+            let waterfall = session.waterfall()?;
             println!("{}", waterfall.render());
         }
     }
+    Ok(())
 }

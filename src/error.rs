@@ -1,0 +1,103 @@
+//! The unified platform error type.
+//!
+//! Every fallible path of the [`Platform`](crate::Platform) /
+//! [`Session`](crate::Session) API funnels into [`Error`], so callers write
+//! one `?` chain across compilation (mapping), programming (crossbars) and
+//! execution (functional backends) instead of juggling per-crate error
+//! enums or catching panics.
+
+use aimc_core::MapError;
+use aimc_dnn::ExecError;
+use aimc_xbar::XbarError;
+use core::fmt;
+
+/// Any failure raised by the `aimc-platform` facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The platform builder was missing a required ingredient.
+    Builder(BuildError),
+    /// The mapping compiler rejected the workload/platform pair.
+    Map(MapError),
+    /// Crossbar programming or evaluation failed.
+    Xbar(XbarError),
+    /// A functional executor rejected its inputs (shape/weight errors).
+    Exec(ExecError),
+    /// The run specification is invalid (e.g. a zero batch).
+    InvalidRunSpec(String),
+    /// An operation needed functional weights, but the platform has none.
+    NoWeights,
+    /// An operation needed a programmed analog backend, but none is
+    /// programmed.
+    NoAnalogBackend,
+}
+
+/// What was missing from a [`PlatformBuilder`](crate::PlatformBuilder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// No workload graph was supplied.
+    MissingGraph,
+    /// No architecture configuration was supplied.
+    MissingArch,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Builder(e) => write!(f, "platform build: {e}"),
+            Error::Map(e) => write!(f, "mapping: {e}"),
+            Error::Xbar(e) => write!(f, "crossbar: {e}"),
+            Error::Exec(e) => write!(f, "execution: {e}"),
+            Error::InvalidRunSpec(s) => write!(f, "invalid run spec: {s}"),
+            Error::NoWeights => write!(
+                f,
+                "no weights on this platform: supply .weights(...) or .he_weights(seed) \
+                 to Platform::builder() before calling Session::infer"
+            ),
+            Error::NoAnalogBackend => write!(
+                f,
+                "no analog backend programmed: run Session::infer or Session::program \
+                 with Backend::Analog first"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingGraph => write!(f, "Platform::builder() needs .graph(...)"),
+            BuildError::MissingArch => write!(f, "Platform::builder() needs .arch(...)"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<MapError> for Error {
+    fn from(e: MapError) -> Self {
+        Error::Map(e)
+    }
+}
+
+impl From<XbarError> for Error {
+    fn from(e: XbarError) -> Self {
+        Error::Xbar(e)
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        // Lift nested crossbar failures to the top-level variant so callers
+        // can match one place regardless of which layer raised them.
+        match e {
+            ExecError::Xbar(x) => Error::Xbar(x),
+            other => Error::Exec(other),
+        }
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        Error::Builder(e)
+    }
+}

@@ -1,9 +1,9 @@
 //! # aimc-platform — end-to-end DNN inference on a massively parallel
 //! analog in-memory computing architecture
 //!
-//! Facade crate re-exporting the whole stack, reproduced from the DATE 2023
-//! paper *"End-to-End DNN Inference on a Massively Parallel Analog In
-//! Memory Computing Architecture"* (Bruschi et al.):
+//! Facade crate over the whole stack, reproduced from the DATE 2023 paper
+//! *"End-to-End DNN Inference on a Massively Parallel Analog In Memory
+//! Computing Architecture"* (Bruschi et al.):
 //!
 //! | layer | crate | contents |
 //! |-------|-------|----------|
@@ -14,17 +14,52 @@
 //! | cluster | [`cluster`] | IMA subsystem, digital kernels, L1, DMA |
 //! | **mapping compiler** | [`core`] | splits, reduction trees, tiling, replication, residual placement |
 //! | runtime | [`runtime`] | self-timed pipelined simulation + analyses |
+//! | **facade** | this crate | [`Platform`] builder, [`Session`], unified [`Error`] |
 //!
 //! ## Quickstart
+//!
+//! The user-facing API is the [`Platform`] builder plus the [`Session`]
+//! object: the builder compiles the workload onto the platform **once**
+//! (caching the [`core::SystemMapping`]); the session then evaluates it
+//! many times — timing runs, functional inference on either backend, and
+//! the paper's headline metrics — without re-compiling or re-programming
+//! anything:
+//!
 //! ```no_run
 //! use aimc_platform::prelude::*;
 //!
-//! let graph = resnet18(256, 256, 1000);
-//! let arch = ArchConfig::paper();
-//! let mapping = map_network(&graph, &arch, MappingStrategy::OnChipResiduals).unwrap();
-//! let report = simulate(&graph, &mapping, &arch, 16);
+//! # fn main() -> Result<(), aimc_platform::Error> {
+//! let mut session = Platform::builder()
+//!     .graph(resnet18(256, 256, 1000))           // the paper's workload
+//!     .arch(ArchConfig::paper())                 // the Table I platform
+//!     .strategy(MappingStrategy::OnChipResiduals)
+//!     .he_weights(42)                            // weights for functional inference
+//!     .build()?                                  // mapping compiled here, once
+//!     .session();
+//!
+//! // Timing: the event-driven pipeline simulator (cached per batch size).
+//! let report = session.run(RunSpec::batch(16))?;
 //! println!("{:.1} TOPS, {:.0} images/s", report.tops(), report.images_per_s());
+//!
+//! // Sec. VI headline metrics from the same run.
+//! let headline = session.headline(&EnergyModel::default(), &AreaModel::default())?;
+//! println!("{}", headline.render());
+//!
+//! // Functional inference: programmed crossbars are retained across calls.
+//! let image = Tensor::zeros(Shape::new(3, 256, 256));
+//! let golden = session.infer_one(&image, Backend::Golden)?;
+//! let analog = session.infer_one(
+//!     &image,
+//!     Backend::analog(7, XbarConfig::hermes_256()),
+//! )?;
+//! assert_eq!(golden.shape(), analog.shape());
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! Every fallible step returns the unified [`Error`] — mapping failures,
+//! crossbar programming failures, missing weights, and shape mismatches
+//! are values, not panics.
 //!
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! binaries regenerating every table and figure of the paper.
@@ -40,18 +75,24 @@ pub use aimc_runtime as runtime;
 pub use aimc_sim as sim;
 pub use aimc_xbar as xbar;
 
+mod error;
+mod session;
+
+pub use error::{BuildError, Error};
+pub use session::{Backend, Platform, PlatformBuilder, RunSpec, Session};
+
 /// One-stop imports for the common workflow.
 pub mod prelude {
-    pub use aimc_core::{
-        map_network, ArchConfig, MapError, MappingStrategy, SystemMapping,
-    };
+    pub use crate::{Backend, BuildError, Error, Platform, PlatformBuilder, RunSpec, Session};
+    pub use aimc_core::{map_network, ArchConfig, MapError, MappingStrategy, SystemMapping};
     pub use aimc_dnn::{
-        execute_golden, he_init, infer_golden, resnet18, resnet18_cifar, AimcExecutor, ConvCfg,
-        Graph, GraphBuilder, Shape, Tensor, Weights,
+        execute_golden, he_init, infer_golden, resnet18, resnet18_cifar, try_execute_golden,
+        AimcExecutor, ConvCfg, ExecError, Executor, GoldenExecutor, Graph, GraphBuilder, Shape,
+        Tensor, Weights,
     };
     pub use aimc_runtime::{
         group_area_efficiency, simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall,
     };
     pub use aimc_sim::SimTime;
-    pub use aimc_xbar::{Crossbar, XbarConfig};
+    pub use aimc_xbar::{Crossbar, XbarConfig, XbarError};
 }

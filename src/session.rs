@@ -1,0 +1,589 @@
+//! The `Platform` / `Session` API — the single entry point over the
+//! mapping compiler, the timing simulator, and the functional executors.
+//!
+//! The paper's workflow is *configure once, evaluate many*: describe a DNN,
+//! compile it onto the heterogeneous AIMC platform, then evaluate it — for
+//! timing through the event-driven pipeline simulator, or functionally
+//! through the golden / noisy-analog executors. [`Platform`] owns the
+//! *configure once* half (the graph, the architecture, and the compiled
+//! [`SystemMapping`], built exactly once); [`Session`] owns the *evaluate
+//! many* half, caching timing runs per batch size and retaining programmed
+//! crossbars across [`Session::infer`] calls so repeated inference never
+//! re-programs the arrays — the deployment model non-volatile AIMC exists
+//! for.
+//!
+//! ```
+//! use aimc_platform::prelude::*;
+//!
+//! # fn main() -> Result<(), aimc_platform::Error> {
+//! let mut session = Platform::builder()
+//!     .graph(resnet18_cifar(10))
+//!     .arch(ArchConfig::small(8, 8))
+//!     .strategy(MappingStrategy::OnChipResiduals)
+//!     .he_weights(42)
+//!     .build()?          // compiles the SystemMapping once
+//!     .session();
+//!
+//! let report = session.run(RunSpec::batch(4))?;   // timing simulator
+//! assert_eq!(report.batch, 4);
+//!
+//! let image = Tensor::zeros(Shape::new(3, 32, 32));
+//! let logits = session.infer_one(&image, Backend::Golden)?;
+//! assert_eq!(logits.shape(), Shape::new(10, 1, 1));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{BuildError, Error};
+use aimc_core::{map_network, ArchConfig, MappingStrategy, SystemMapping};
+use aimc_dnn::{he_init, AimcExecutor, Executor, GoldenExecutor, Graph, Tensor, Weights};
+use aimc_runtime::{simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall};
+use aimc_xbar::XbarConfig;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A DNN workload compiled onto an AIMC platform description.
+///
+/// Built through [`Platform::builder`]; the mapping compiler runs exactly
+/// once, in [`PlatformBuilder::build`], and the resulting [`SystemMapping`]
+/// is shared (not copied) by every session derived from this platform —
+/// `Platform` is a cheap `Arc` handle, so cloning it or opening many
+/// sessions never duplicates the graph, weights, or mapping.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    inner: Arc<PlatformInner>,
+}
+
+#[derive(Debug)]
+struct PlatformInner {
+    graph: Arc<Graph>,
+    arch: ArchConfig,
+    strategy: MappingStrategy,
+    weights: Option<Arc<Weights>>,
+    mapping: SystemMapping,
+}
+
+impl Platform {
+    /// Starts describing a platform: `.graph(...)` and `.arch(...)` are
+    /// required, `.strategy(...)` defaults to
+    /// [`MappingStrategy::OnChipResiduals`] (the paper's final strategy).
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder {
+            graph: None,
+            arch: None,
+            strategy: MappingStrategy::OnChipResiduals,
+            weights: WeightsSpec::None,
+        }
+    }
+
+    /// Opens a session for evaluating this platform.
+    pub fn session(&self) -> Session {
+        Session {
+            platform: self.clone(),
+            runs: HashMap::new(),
+            last_batch: None,
+            active: None,
+            golden: None,
+            analog: None,
+            programs: 0,
+        }
+    }
+
+    /// The workload graph.
+    pub fn graph(&self) -> &Graph {
+        self.inner.graph.as_ref()
+    }
+
+    /// The architecture description.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.inner.arch
+    }
+
+    /// The mapping strategy the workload was compiled with.
+    pub fn strategy(&self) -> MappingStrategy {
+        self.inner.strategy
+    }
+
+    /// The compiled mapping (computed once at build time).
+    pub fn mapping(&self) -> &SystemMapping {
+        &self.inner.mapping
+    }
+
+    /// The functional weights, if any were supplied.
+    pub fn weights(&self) -> Option<&Weights> {
+        self.inner.weights.as_deref()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum WeightsSpec {
+    None,
+    Explicit(Weights),
+    He(u64),
+}
+
+/// Builder for [`Platform`] (see [`Platform::builder`]).
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    graph: Option<Graph>,
+    arch: Option<ArchConfig>,
+    strategy: MappingStrategy,
+    weights: WeightsSpec,
+}
+
+impl PlatformBuilder {
+    /// Sets the workload graph (required).
+    pub fn graph(mut self, graph: Graph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Sets the architecture description (required).
+    pub fn arch(mut self, arch: ArchConfig) -> Self {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// Sets the mapping strategy (default:
+    /// [`MappingStrategy::OnChipResiduals`]).
+    pub fn strategy(mut self, strategy: MappingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Supplies functional weights for [`Session::infer`].
+    pub fn weights(mut self, weights: Weights) -> Self {
+        self.weights = WeightsSpec::Explicit(weights);
+        self
+    }
+
+    /// Generates deterministic He-initialized weights at build time
+    /// (convenience over [`PlatformBuilder::weights`]).
+    pub fn he_weights(mut self, seed: u64) -> Self {
+        self.weights = WeightsSpec::He(seed);
+        self
+    }
+
+    /// Compiles the workload onto the platform, caching the
+    /// [`SystemMapping`].
+    ///
+    /// # Errors
+    /// [`Error::Builder`] if the graph or architecture is missing;
+    /// [`Error::Map`] if the mapping compiler rejects the pair.
+    pub fn build(self) -> Result<Platform, Error> {
+        let graph = self.graph.ok_or(BuildError::MissingGraph)?;
+        let arch = self.arch.ok_or(BuildError::MissingArch)?;
+        let mapping = map_network(&graph, &arch, self.strategy)?;
+        let weights = match self.weights {
+            WeightsSpec::None => None,
+            WeightsSpec::Explicit(w) => Some(Arc::new(w)),
+            WeightsSpec::He(seed) => Some(Arc::new(he_init(&graph, seed))),
+        };
+        Ok(Platform {
+            inner: Arc::new(PlatformInner {
+                graph: Arc::new(graph),
+                arch,
+                strategy: self.strategy,
+                weights,
+                mapping,
+            }),
+        })
+    }
+}
+
+/// What to simulate in one [`Session::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Images in the pipelined batch.
+    pub batch: usize,
+}
+
+impl RunSpec {
+    /// A run of `batch` pipelined images.
+    pub fn batch(batch: usize) -> Self {
+        RunSpec { batch }
+    }
+}
+
+impl Default for RunSpec {
+    /// The paper's batch of 16 images.
+    fn default() -> Self {
+        RunSpec { batch: 16 }
+    }
+}
+
+/// Which functional executor evaluates [`Session::infer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// Digital f32 ground truth (the golden executor).
+    Golden,
+    /// Modeled PCM crossbars: programming noise, read noise, DAC/ADC
+    /// quantization, layers split across arrays like the Sec. V-1 mapping.
+    Analog {
+        /// Seed for programming and read noise (deterministic streams).
+        seed: u64,
+        /// The crossbar device configuration.
+        xbar_cfg: XbarConfig,
+    },
+}
+
+impl Backend {
+    /// Analog backend with the given seed and device configuration.
+    pub fn analog(seed: u64, xbar_cfg: XbarConfig) -> Self {
+        Backend::Analog { seed, xbar_cfg }
+    }
+}
+
+/// An evaluation session over a compiled [`Platform`].
+///
+/// Caches timing-simulator results per batch size, and keeps the
+/// functional backends *programmed*: the analog crossbars and the golden
+/// executor live in separate slots, so consecutive [`Session::infer`]
+/// calls with the same [`Backend`] reuse the same crossbar tiles (weights
+/// stay in the arrays, as on the non-volatile hardware) — and interleaved
+/// golden reference checks do **not** discard the programmed (possibly
+/// drifted) conductances. Crossbars are re-written only when a *different*
+/// analog backend is requested or [`Session::reprogram`] forces it.
+pub struct Session {
+    platform: Platform,
+    runs: HashMap<usize, RunReport>,
+    last_batch: Option<usize>,
+    /// Most recently used backend (dispatch target for `infer`).
+    active: Option<Backend>,
+    golden: Option<GoldenExecutor>,
+    analog: Option<(Backend, AimcExecutor)>,
+    programs: usize,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("strategy", &self.platform.inner.strategy)
+            .field("cached_runs", &self.runs.len())
+            .field("active", &self.active)
+            .field("programs", &self.programs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// The platform this session evaluates.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Drives the timing simulator for `spec`, returning the pipelined
+    /// batch report. Results are cached per batch size — repeated calls
+    /// with the same spec are free.
+    ///
+    /// # Errors
+    /// [`Error::InvalidRunSpec`] if the batch is zero.
+    pub fn run(&mut self, spec: RunSpec) -> Result<&RunReport, Error> {
+        if spec.batch == 0 {
+            return Err(Error::InvalidRunSpec("batch must be positive".into()));
+        }
+        self.last_batch = Some(spec.batch);
+        let p = &self.platform.inner;
+        Ok(self
+            .runs
+            .entry(spec.batch)
+            .or_insert_with(|| simulate(&p.graph, &p.mapping, &p.arch, spec.batch)))
+    }
+
+    /// The most recent [`Session::run`] report, if any.
+    pub fn last_run(&self) -> Option<&RunReport> {
+        self.runs.get(&self.last_batch?)
+    }
+
+    /// The platform's shared graph/weights handles, for executor
+    /// construction without deep copies.
+    fn shared_graph_weights(&self) -> Result<(Arc<Graph>, Arc<Weights>), Error> {
+        let inner = &self.platform.inner;
+        let weights = inner.weights.clone().ok_or(Error::NoWeights)?;
+        Ok((inner.graph.clone(), weights))
+    }
+
+    /// Ensures `backend` is ready and makes it the dispatch target for
+    /// [`Session::infer`], reusing the existing executor when one is
+    /// already programmed (no crossbar re-writing). The golden and analog
+    /// slots are independent: requesting [`Backend::Golden`] never touches
+    /// programmed crossbars.
+    ///
+    /// # Errors
+    /// [`Error::NoWeights`] if the platform has no functional weights;
+    /// [`Error::Exec`] / [`Error::Xbar`] on programming failures.
+    pub fn program(&mut self, backend: &Backend) -> Result<(), Error> {
+        match backend {
+            Backend::Golden => {
+                if self.golden.is_none() {
+                    let (graph, weights) = self.shared_graph_weights()?;
+                    self.golden = Some(GoldenExecutor::from_shared(graph, weights)?);
+                }
+            }
+            Backend::Analog { .. } => {
+                let already = self.analog.as_ref().is_some_and(|(b, _)| b == backend);
+                if !already {
+                    self.write_crossbars(backend)?;
+                }
+            }
+        }
+        self.active = Some(backend.clone());
+        Ok(())
+    }
+
+    /// Programs `backend` from scratch, discarding the slot's existing
+    /// executor — e.g. to model freshly-written conductances after
+    /// [`Session::apply_drift`].
+    ///
+    /// # Errors
+    /// Same conditions as [`Session::program`].
+    pub fn reprogram(&mut self, backend: &Backend) -> Result<(), Error> {
+        match backend {
+            Backend::Golden => {
+                let (graph, weights) = self.shared_graph_weights()?;
+                self.golden = Some(GoldenExecutor::from_shared(graph, weights)?);
+            }
+            Backend::Analog { .. } => self.write_crossbars(backend)?,
+        }
+        self.active = Some(backend.clone());
+        Ok(())
+    }
+
+    /// Writes `backend`'s weights into fresh crossbars (counts as one
+    /// programming event).
+    fn write_crossbars(&mut self, backend: &Backend) -> Result<(), Error> {
+        let Backend::Analog { seed, xbar_cfg } = backend else {
+            unreachable!("caller matched Backend::Analog");
+        };
+        let (graph, weights) = self.shared_graph_weights()?;
+        let exec = AimcExecutor::try_program_shared(graph, weights, xbar_cfg, *seed)?;
+        self.analog = Some((backend.clone(), exec));
+        self.programs += 1;
+        Ok(())
+    }
+
+    /// The executor for the active backend (set by [`Session::program`]).
+    fn active_executor(&mut self) -> &mut dyn Executor {
+        match self.active.as_ref().expect("program() ran first") {
+            Backend::Golden => self.golden.as_mut().expect("programmed golden"),
+            Backend::Analog { .. } => &mut self.analog.as_mut().expect("programmed analog").1,
+        }
+    }
+
+    /// Runs a batch of images through the functional `backend`, returning
+    /// one output tensor (logits) per image.
+    ///
+    /// The backend is programmed on first use and *retained*: a second
+    /// `infer` with the same backend reuses the already-programmed
+    /// crossbars.
+    ///
+    /// # Errors
+    /// Programming errors as in [`Session::program`], plus
+    /// [`Error::Exec`] on input-shape mismatches.
+    pub fn infer(&mut self, images: &[Tensor], backend: Backend) -> Result<Vec<Tensor>, Error> {
+        self.program(&backend)?;
+        let exec = self.active_executor();
+        images
+            .iter()
+            .map(|x| exec.infer(x).map_err(Error::from))
+            .collect()
+    }
+
+    /// Runs one image through the functional `backend` (see
+    /// [`Session::infer`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`Session::infer`].
+    pub fn infer_one(&mut self, image: &Tensor, backend: Backend) -> Result<Tensor, Error> {
+        self.program(&backend)?;
+        self.active_executor().infer(image).map_err(Error::from)
+    }
+
+    /// Applies PCM conductance drift (`t_hours` since programming) to the
+    /// retained analog crossbars — regardless of which backend is active,
+    /// since golden reference checks do not disturb the arrays.
+    ///
+    /// # Errors
+    /// [`Error::NoAnalogBackend`] if no analog backend is programmed.
+    pub fn apply_drift(&mut self, t_hours: f64) -> Result<(), Error> {
+        match self.analog.as_mut() {
+            Some((_, exec)) => {
+                exec.apply_drift(t_hours);
+                Ok(())
+            }
+            None => Err(Error::NoAnalogBackend),
+        }
+    }
+
+    /// The most recently used functional backend, if any.
+    pub fn programmed_backend(&self) -> Option<&Backend> {
+        self.active.as_ref()
+    }
+
+    /// How many times crossbars have been written in this session — stays
+    /// at 1 across repeated same-backend [`Session::infer`] calls *and*
+    /// across interleaved golden checks (the golden slot is independent).
+    pub fn programming_count(&self) -> usize {
+        self.programs
+    }
+
+    /// Crossbar tiles held by the retained analog backend (0 if none is
+    /// programmed).
+    pub fn tile_count(&self) -> usize {
+        self.analog
+            .as_ref()
+            .map_or(0, |(_, e)| Executor::tile_count(e))
+    }
+
+    /// Analog MVMs evaluated since the crossbars were written (0 if no
+    /// analog backend is programmed).
+    pub fn total_mvms(&self) -> u64 {
+        self.analog
+            .as_ref()
+            .map_or(0, |(_, e)| Executor::total_mvms(e))
+    }
+
+    /// Computes the Sec. VI headline metrics (TOPS, images/s, energy,
+    /// TOPS/W, GOPS/mm², …) from the most recent [`Session::run`] — or
+    /// from a fresh default run ([`RunSpec::default`], the paper's batch
+    /// 16) if none has happened yet.
+    ///
+    /// # Errors
+    /// Propagates [`Session::run`] errors for the implicit default run.
+    pub fn headline(
+        &mut self,
+        energy_model: &EnergyModel,
+        area_model: &AreaModel,
+    ) -> Result<Headline, Error> {
+        if self.last_run().is_none() {
+            self.run(RunSpec::default())?;
+        }
+        let report = self.last_run().expect("run above");
+        Ok(Headline::compute(
+            &self.platform.inner.mapping,
+            &self.platform.inner.arch,
+            report,
+            energy_model,
+            area_model,
+        ))
+    }
+
+    /// Computes the Fig. 6 inefficiency waterfall from the most recent
+    /// [`Session::run`] (or a fresh default run, as in
+    /// [`Session::headline`]).
+    ///
+    /// # Errors
+    /// Propagates [`Session::run`] errors for the implicit default run.
+    pub fn waterfall(&mut self) -> Result<Waterfall, Error> {
+        if self.last_run().is_none() {
+            self.run(RunSpec::default())?;
+        }
+        let report = self.last_run().expect("run above");
+        Ok(Waterfall::compute(
+            &self.platform.inner.graph,
+            &self.platform.inner.mapping,
+            &self.platform.inner.arch,
+            report,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimc_dnn::{ConvCfg, GraphBuilder, Shape};
+
+    fn small_cnn() -> Graph {
+        let mut b = GraphBuilder::new(Shape::new(3, 8, 8));
+        let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 8, 1));
+        let gap = b.global_avgpool("gap", c0);
+        b.linear("fc", gap, 4);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_requires_graph_and_arch() {
+        assert_eq!(
+            Platform::builder()
+                .arch(ArchConfig::small(2, 2))
+                .build()
+                .unwrap_err(),
+            Error::Builder(BuildError::MissingGraph)
+        );
+        assert_eq!(
+            Platform::builder().graph(small_cnn()).build().unwrap_err(),
+            Error::Builder(BuildError::MissingArch)
+        );
+    }
+
+    #[test]
+    fn build_compiles_mapping_once_and_sessions_share_it() {
+        let p = Platform::builder()
+            .graph(small_cnn())
+            .arch(ArchConfig::small(4, 4))
+            .build()
+            .unwrap();
+        assert!(p.mapping().n_clusters_used > 0);
+        let s1 = p.session();
+        let s2 = p.session();
+        assert_eq!(s1.platform().mapping(), s2.platform().mapping());
+    }
+
+    #[test]
+    fn run_caches_per_batch() {
+        let p = Platform::builder()
+            .graph(small_cnn())
+            .arch(ArchConfig::small(4, 4))
+            .build()
+            .unwrap();
+        let mut s = p.session();
+        let makespan = s.run(RunSpec::batch(2)).unwrap().makespan;
+        // Cached: identical object, no re-simulation.
+        assert_eq!(s.run(RunSpec::batch(2)).unwrap().makespan, makespan);
+        assert_eq!(s.last_run().unwrap().batch, 2);
+    }
+
+    #[test]
+    fn zero_batch_is_rejected() {
+        let p = Platform::builder()
+            .graph(small_cnn())
+            .arch(ArchConfig::small(4, 4))
+            .build()
+            .unwrap();
+        let mut s = p.session();
+        assert!(matches!(
+            s.run(RunSpec::batch(0)),
+            Err(Error::InvalidRunSpec(_))
+        ));
+    }
+
+    #[test]
+    fn infer_without_weights_is_an_error() {
+        let p = Platform::builder()
+            .graph(small_cnn())
+            .arch(ArchConfig::small(4, 4))
+            .build()
+            .unwrap();
+        let mut s = p.session();
+        let x = Tensor::zeros(Shape::new(3, 8, 8));
+        assert_eq!(s.infer_one(&x, Backend::Golden), Err(Error::NoWeights));
+    }
+
+    #[test]
+    fn drift_requires_analog_backend() {
+        let p = Platform::builder()
+            .graph(small_cnn())
+            .arch(ArchConfig::small(4, 4))
+            .he_weights(1)
+            .build()
+            .unwrap();
+        let mut s = p.session();
+        assert_eq!(s.apply_drift(24.0), Err(Error::NoAnalogBackend));
+        let x = Tensor::zeros(Shape::new(3, 8, 8));
+        s.infer_one(&x, Backend::Golden).unwrap();
+        assert_eq!(s.apply_drift(24.0), Err(Error::NoAnalogBackend));
+        s.infer_one(&x, Backend::analog(1, XbarConfig::hermes_256()))
+            .unwrap();
+        assert_eq!(s.apply_drift(24.0), Ok(()));
+    }
+}

@@ -1,7 +1,7 @@
 //! Edge cases and failure injection across the stack.
 
-use aimc_platform::prelude::*;
 use aimc_platform::core::{EdgeKind, StageRole};
+use aimc_platform::prelude::*;
 
 #[test]
 fn minimal_head_network() {
@@ -44,7 +44,11 @@ fn batch_one_still_pipelines_chunks() {
     assert_eq!(r.image_completions.len(), 1);
     // A single image cannot saturate replicated lanes, but must still finish
     // well under the naive serial time (sum of all stage times ≈ several ms).
-    assert!(r.makespan < SimTime::from_us(2000), "makespan {}", r.makespan);
+    assert!(
+        r.makespan < SimTime::from_us(2000),
+        "makespan {}",
+        r.makespan
+    );
 }
 
 #[test]

@@ -9,7 +9,9 @@ fn random_image(shape: Shape, seed: u64) -> Tensor {
     let mut rng = StdRng::seed_from_u64(seed);
     Tensor::from_vec(
         shape,
-        (0..shape.numel()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        (0..shape.numel())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
     )
 }
 
@@ -87,7 +89,12 @@ fn whole_stack_is_deterministic() {
     let run = || {
         let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
         let r = simulate(&g, &m, &arch, 4);
-        (r.makespan, r.events, r.hbm_bytes, r.image_completions.clone())
+        (
+            r.makespan,
+            r.events,
+            r.hbm_bytes,
+            r.image_completions.clone(),
+        )
     };
     assert_eq!(run(), run());
 }

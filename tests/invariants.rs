@@ -11,7 +11,11 @@ fn build_graph(widths: &[usize], with_residual: bool, classes: usize) -> Graph {
     let mut prev_width = widths[0];
     for (i, &w) in widths.iter().enumerate().skip(1) {
         let stride = if i % 2 == 0 { 2 } else { 1 };
-        let id = b.conv(&format!("c{i}"), Some(prev), ConvCfg::k3(prev_width, w, stride));
+        let id = b.conv(
+            &format!("c{i}"),
+            Some(prev),
+            ConvCfg::k3(prev_width, w, stride),
+        );
         prev = if with_residual && stride == 1 && w == prev_width {
             b.residual(&format!("r{i}"), id, prev, None)
         } else {

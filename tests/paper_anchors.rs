@@ -98,13 +98,31 @@ fn headline_metrics_land_in_the_papers_regime() {
     // 480 mm². Our model is within small factors (see EXPERIMENTS.md).
     let (g, arch, m) = paper_setup(MappingStrategy::OnChipResiduals);
     let r = simulate(&g, &m, &arch, 16);
-    let h = Headline::compute(&m, &arch, &r, &EnergyModel::default(), &AreaModel::default());
+    let h = Headline::compute(
+        &m,
+        &arch,
+        &r,
+        &EnergyModel::default(),
+        &AreaModel::default(),
+    );
     assert!((10.0..60.0).contains(&h.tops), "TOPS {}", h.tops);
-    assert!((2000.0..16000.0).contains(&h.images_per_s), "img/s {}", h.images_per_s);
+    assert!(
+        (2000.0..16000.0).contains(&h.images_per_s),
+        "img/s {}",
+        h.images_per_s
+    );
     assert!((8.0..30.0).contains(&h.energy_mj), "energy {}", h.energy_mj);
-    assert!((2.0..12.0).contains(&h.tops_per_w), "TOPS/W {}", h.tops_per_w);
+    assert!(
+        (2.0..12.0).contains(&h.tops_per_w),
+        "TOPS/W {}",
+        h.tops_per_w
+    );
     assert!((h.area_mm2 - 480.0).abs() < 0.5, "area {}", h.area_mm2);
-    assert!((1.0..6.0).contains(&(r.makespan.as_ms_f64())), "makespan {}", r.makespan);
+    assert!(
+        (1.0..6.0).contains(&(r.makespan.as_ms_f64())),
+        "makespan {}",
+        r.makespan
+    );
 }
 
 #[test]

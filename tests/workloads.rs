@@ -52,14 +52,14 @@ fn mobilenet_mixes_digital_depthwise_and_analog_pointwise() {
     let g = mobilenet_v1_lite(224, 224, 1000);
     let arch = ArchConfig::paper();
     let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-    let digital_dw = m
-        .stages
-        .iter()
-        .filter(|s| s.name.starts_with("dw"))
-        .count();
+    let digital_dw = m.stages.iter().filter(|s| s.name.starts_with("dw")).count();
     assert_eq!(digital_dw, 8);
     for s in m.stages.iter().filter(|s| s.name.starts_with("dw")) {
-        assert!(matches!(s.role, StageRole::Digital), "{} must be digital", s.name);
+        assert!(
+            matches!(s.role, StageRole::Digital),
+            "{} must be digital",
+            s.name
+        );
         assert!(s.analog.is_none());
     }
     for s in m
