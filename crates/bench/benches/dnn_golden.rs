@@ -23,7 +23,7 @@ fn bench_dnn(c: &mut Criterion) {
     group.bench_function("golden_resnet18_cifar", |b| {
         b.iter(|| infer_golden(&g, &w, &x))
     });
-    let mut exec = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 1).unwrap();
+    let exec = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 1).unwrap();
     group.bench_function("analog_resnet18_cifar", |b| b.iter(|| exec.infer(&x)));
     group.finish();
 }

@@ -23,10 +23,10 @@ fn bench_mvm(c: &mut Criterion) {
         .unwrap();
         let mut out = vec![0.0f32; size];
         group.bench_with_input(BenchmarkId::new("ideal", size), &size, |b, _| {
-            b.iter(|| ideal.mvm_into(&x, &mut out, &mut rng).unwrap())
+            b.iter(|| ideal.mvm_into(&x, &mut out).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("noisy", size), &size, |b, _| {
-            b.iter(|| noisy.mvm_into(&x, &mut out, &mut rng).unwrap())
+            b.iter(|| noisy.mvm_into(&x, &mut out).unwrap())
         });
     }
     group.finish();

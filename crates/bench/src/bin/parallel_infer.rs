@@ -1,0 +1,129 @@
+//! Throughput benchmark for the parallel execution engine: functional
+//! analog inference (ResNet-18/CIFAR on modeled PCM crossbars) through
+//! `Session::infer`, serial vs N worker threads, with a built-in
+//! bit-identity cross-check.
+//!
+//! Emits `BENCH_parallel_infer.json` in the working directory:
+//! images/s per thread count, speedups over serial, the host's available
+//! parallelism (speedups are bounded by it — on a 1-core CI runner every
+//! ratio is ≈1 by construction), and whether the determinism check passed.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin parallel_infer [images] [--smoke]
+//! ```
+//!
+//! `--smoke` (or `AIMC_BENCH_SMOKE=1`) shrinks the run for CI: fewer
+//! images, one threaded point — it still exercises programming, batching,
+//! and the determinism check end to end.
+
+use aimc_core::ArchConfig;
+use aimc_dnn::{resnet18_cifar, Shape, Tensor};
+use aimc_platform::{Backend, Error, Parallelism, Platform, Session};
+use aimc_xbar::XbarConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn session_with(par: Parallelism) -> Result<Session, Error> {
+    Ok(Platform::builder()
+        .graph(resnet18_cifar(10))
+        .arch(ArchConfig::small(8, 8))
+        .he_weights(42)
+        .parallelism(par)
+        .build()?
+        .session())
+}
+
+fn backend() -> Backend {
+    Backend::analog(7, XbarConfig::hermes_256())
+}
+
+/// Programs the backend, then times one batched infer (programming excluded
+/// — it is a one-off deployment cost). Returns (images/s, logits).
+fn timed_infer(par: Parallelism, images: &[Tensor]) -> Result<(f64, Vec<Tensor>), Error> {
+    let mut session = session_with(par)?;
+    session.program(&backend())?;
+    let t0 = Instant::now();
+    let logits = session.infer(images, backend())?;
+    let dt = t0.elapsed().as_secs_f64();
+    Ok((images.len() as f64 / dt, logits))
+}
+
+fn main() -> Result<(), Error> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("AIMC_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let images_n = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(if smoke { 2 } else { 8 });
+    let thread_counts: &[usize] = if smoke { &[2] } else { &[2, 4] };
+
+    let shape = Shape::new(3, 32, 32);
+    let mut rng = StdRng::seed_from_u64(9);
+    let images: Vec<Tensor> = (0..images_n)
+        .map(|_| {
+            Tensor::from_vec(
+                shape,
+                (0..shape.numel())
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Parallel inference throughput — ResNet-18/CIFAR, analog backend, \
+         {images_n} images, host parallelism {host_cpus}{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:<12} {:>12} {:>10} {:>14}",
+        "mode", "img/s", "speedup", "bit-identical"
+    );
+
+    let (serial_ips, serial_logits) = timed_infer(Parallelism::Serial, &images)?;
+    println!(
+        "{:<12} {:>12.3} {:>9.2}x {:>14}",
+        "serial", serial_ips, 1.0, "-"
+    );
+
+    let mut rows = String::new();
+    let mut all_identical = true;
+    for &n in thread_counts {
+        let (ips, logits) = timed_infer(Parallelism::Threads(n), &images)?;
+        let identical = logits == serial_logits;
+        all_identical &= identical;
+        let speedup = ips / serial_ips;
+        println!(
+            "{:<12} {:>12.3} {:>9.2}x {:>14}",
+            format!("threads({n})"),
+            ips,
+            speedup,
+            identical
+        );
+        let _ = write!(
+            rows,
+            "{}{{\"threads\": {n}, \"images_per_s\": {ips:.4}, \
+             \"speedup_vs_serial\": {speedup:.4}, \"bit_identical\": {identical}}}",
+            if rows.is_empty() { "" } else { ", " },
+        );
+    }
+    assert!(
+        all_identical,
+        "determinism violation: threaded logits diverged from serial"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_infer\",\n  \"workload\": \"resnet18_cifar10_analog\",\n  \
+         \"xbar\": \"hermes_256\",\n  \"images\": {images_n},\n  \"smoke\": {smoke},\n  \
+         \"host_cpus\": {host_cpus},\n  \"serial_images_per_s\": {serial_ips:.4},\n  \
+         \"threaded\": [{rows}],\n  \"deterministic\": {all_identical}\n}}\n"
+    );
+    let path = "BENCH_parallel_infer.json";
+    std::fs::write(path, &json).expect("write bench json");
+    println!("\nwrote {path}");
+    Ok(())
+}

@@ -14,6 +14,24 @@
 //! This executor answers the functional question the timing simulator cannot:
 //! *does the network still classify correctly through quantized, noisy analog
 //! arrays?* (See the `analog_accuracy` example.)
+//!
+//! ## Determinism under parallel execution
+//!
+//! The paper's 512 AIMC cores evaluate tile-MVMs concurrently; this executor
+//! mirrors that with the `aimc-parallel` engine while keeping one hard
+//! invariant: **for a fixed seed, the logits are bit-identical no matter how
+//! many threads run**. Three mechanisms carry the invariant:
+//!
+//! 1. every tile is programmed from its own RNG stream, seeded by
+//!    `stream_seed(seed, layer_id, tile_index)` — no shared programming RNG
+//!    to serialize on;
+//! 2. every MVM's read noise comes from the stream of its *invocation
+//!    coordinate* `image_index · patches_per_layer + patch_index`
+//!    ([`Crossbar::mvm_into_at`]) — noise depends on where the MVM sits in
+//!    the workload, never on scheduling order;
+//! 3. digital reduction of row-split partials is merged in fixed
+//!    `(row_split, col_split)` order, so f32 addition order matches the
+//!    serial loop exactly.
 
 use crate::executor::{check_weights, ExecError, Executor};
 use crate::graph::Graph;
@@ -21,11 +39,40 @@ use crate::layer::{ConvCfg, LayerKind};
 use crate::ops::{self, ceil_split};
 use crate::tensor::{Shape, Tensor};
 use crate::weights::Weights;
+use aimc_parallel::{map_with, try_map_indexed, try_map_with, Parallelism};
+use aimc_xbar::stream::stream_seed;
 use aimc_xbar::{Crossbar, XbarConfig, XbarError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Reusable per-worker buffers for the MVM hot loop: the im2col patch and
+/// the per-tile output slice. One scratch lives per worker thread (or one
+/// per executor call in serial mode) and is recycled across every patch,
+/// tile, layer, and image that worker touches — the hot loop allocates
+/// nothing.
+#[derive(Debug, Default)]
+struct InferScratch {
+    /// im2col patch, sized to the largest `xbar_rows()` among analog layers.
+    patch: Vec<f32>,
+    /// Per-tile MVM output, sized to the largest column chunk.
+    col: Vec<f32>,
+}
+
+impl InferScratch {
+    /// Grows the buffers to cover a layer with `rows` patch elements and
+    /// `max_cols` output columns (no-op once warm).
+    fn reserve(&mut self, rows: usize, max_cols: usize) {
+        if self.patch.len() < rows {
+            self.patch.resize(rows, 0.0);
+        }
+        if self.col.len() < max_cols {
+            self.col.resize(max_cols, 0.0);
+        }
+    }
+}
 
 /// One analog layer deployed across one or more crossbar tiles.
 #[derive(Debug)]
@@ -38,27 +85,43 @@ struct AnalogLayer {
 }
 
 impl AnalogLayer {
+    /// Programs the layer's tiles, each from its own
+    /// `stream_seed(seed, layer_id, tile)` RNG stream — tiles are
+    /// independent, so programming parallelizes without changing a single
+    /// conductance.
     fn program(
         cfg: ConvCfg,
         xbar_weights: &[f32], // [rows][cols] row-major
         xbar_cfg: &XbarConfig,
-        rng: &mut StdRng,
+        seed: u64,
+        layer_id: usize,
+        par: Parallelism,
     ) -> Result<Self, XbarError> {
         let rows = cfg.xbar_rows();
         let cols = cfg.xbar_cols();
         let row_chunks = ceil_split(rows, xbar_cfg.rows);
         let col_chunks = ceil_split(cols, xbar_cfg.cols);
-        let mut tiles = Vec::with_capacity(row_chunks.len());
-        for &(r0, rl) in &row_chunks {
-            let mut row_tiles = Vec::with_capacity(col_chunks.len());
-            for &(c0, cl) in &col_chunks {
-                let mut block = Vec::with_capacity(rl * cl);
-                for r in r0..r0 + rl {
-                    block.extend_from_slice(&xbar_weights[r * cols + c0..r * cols + c0 + cl]);
-                }
-                row_tiles.push(Crossbar::program(xbar_cfg, &block, rl, cl, rng)?);
+        let n_cols = col_chunks.len();
+
+        // Flat tile descriptors in (row_split, col_split) order.
+        let descs: Vec<(usize, usize)> = (0..row_chunks.len())
+            .flat_map(|ri| (0..n_cols).map(move |ci| (ri, ci)))
+            .collect();
+        let flat: Vec<Crossbar> = try_map_indexed(par, &descs, |t, &(ri, ci)| {
+            let (r0, rl) = row_chunks[ri];
+            let (c0, cl) = col_chunks[ci];
+            let mut block = Vec::with_capacity(rl * cl);
+            for r in r0..r0 + rl {
+                block.extend_from_slice(&xbar_weights[r * cols + c0..r * cols + c0 + cl]);
             }
-            tiles.push(row_tiles);
+            let mut rng = StdRng::seed_from_u64(stream_seed(seed, layer_id as u64, t as u64));
+            Crossbar::program(xbar_cfg, &block, rl, cl, &mut rng)
+        })?;
+
+        let mut tiles = Vec::with_capacity(row_chunks.len());
+        let mut it = flat.into_iter();
+        for _ in 0..row_chunks.len() {
+            tiles.push(it.by_ref().take(n_cols).collect());
         }
         Ok(AnalogLayer {
             cfg,
@@ -68,22 +131,50 @@ impl AnalogLayer {
         })
     }
 
+    /// Widest column chunk (scratch sizing).
+    fn max_col_chunk(&self) -> usize {
+        self.col_chunks.iter().map(|c| c.1).max().unwrap_or(0)
+    }
+
     /// Full conv via per-pixel im2col MVMs with digital partial reduction.
-    fn conv(&self, x: &Tensor, rng: &mut StdRng) -> Tensor {
+    ///
+    /// `img` is the image's global invocation base coordinate; the MVM for
+    /// output pixel `p` of this image uses invocation `img · n_pixels + p`
+    /// on every tile, making the noise independent of evaluation order.
+    /// With a parallel setting and more than one tile, tiles are evaluated
+    /// concurrently and merged in the serial reduction order.
+    fn conv(&self, x: &Tensor, img: u64, scratch: &mut InferScratch, par: Parallelism) -> Tensor {
         let outs = self.cfg.out_shape(x.shape());
+        let n_tiles = self.row_chunks.len() * self.col_chunks.len();
+        let mut y = if par.is_parallel() && n_tiles > 1 {
+            self.conv_tiles_parallel(x, img, outs, par)
+        } else {
+            self.conv_serial(x, img, outs, scratch)
+        };
+        if self.cfg.relu {
+            ops::relu_inplace(&mut y);
+        }
+        y
+    }
+
+    /// The reference single-thread evaluation (also the per-image body under
+    /// image-level parallelism).
+    fn conv_serial(&self, x: &Tensor, img: u64, outs: Shape, scratch: &mut InferScratch) -> Tensor {
         let mut y = Tensor::zeros(outs);
         let rows = self.cfg.xbar_rows();
-        let mut patch = vec![0.0f32; rows];
-        let mut col_buf = vec![0.0f32; self.col_chunks.iter().map(|c| c.1).max().unwrap_or(0)];
+        scratch.reserve(rows, self.max_col_chunk());
+        let n_pix = (outs.h * outs.w) as u64;
         for oh in 0..outs.h {
             for ow in 0..outs.w {
-                ops::im2col_patch(x, &self.cfg, oh, ow, &mut patch);
+                let invocation = img * n_pix + (oh * outs.w + ow) as u64;
+                let patch = &mut scratch.patch[..rows];
+                ops::im2col_patch(x, &self.cfg, oh, ow, patch);
                 for (ri, &(r0, rl)) in self.row_chunks.iter().enumerate() {
                     let xin = &patch[r0..r0 + rl];
                     for (ci, &(c0, cl)) in self.col_chunks.iter().enumerate() {
-                        let out = &mut col_buf[..cl];
+                        let out = &mut scratch.col[..cl];
                         self.tiles[ri][ci]
-                            .mvm_into(xin, out, rng)
+                            .mvm_into_at(xin, out, invocation)
                             .expect("programmed dimensions are consistent");
                         for (k, &v) in out.iter().enumerate() {
                             let oc = c0 + k;
@@ -93,11 +184,61 @@ impl AnalogLayer {
                         }
                     }
                 }
-                if self.cfg.relu {
-                    for oc in 0..outs.c {
-                        if y.get(oc, oh, ow) < 0.0 {
-                            y.set(oc, oh, ow, 0.0);
-                        }
+            }
+        }
+        y
+    }
+
+    /// Tile-level parallel evaluation: each tile sweeps all output pixels
+    /// into a private partial plane; planes are then merged in
+    /// `(row_split, col_split)` order — the exact f32 addition order of
+    /// [`AnalogLayer::conv_serial`] — so the result is bit-identical.
+    fn conv_tiles_parallel(&self, x: &Tensor, img: u64, outs: Shape, par: Parallelism) -> Tensor {
+        let max_rl = self.row_chunks.iter().map(|c| c.1).max().unwrap_or(0);
+        let n_pix = outs.h * outs.w;
+        let descs: Vec<(usize, usize)> = (0..self.row_chunks.len())
+            .flat_map(|ri| (0..self.col_chunks.len()).map(move |ci| (ri, ci)))
+            .collect();
+
+        let planes: Vec<Vec<f32>> = map_with(
+            par,
+            &descs,
+            || vec![0.0f32; max_rl],
+            |patch, _, &(ri, ci)| {
+                let (r0, rl) = self.row_chunks[ri];
+                let (_, cl) = self.col_chunks[ci];
+                let tile = &self.tiles[ri][ci];
+                let mut plane = vec![0.0f32; cl * n_pix];
+                for oh in 0..outs.h {
+                    for ow in 0..outs.w {
+                        let p = oh * outs.w + ow;
+                        let invocation = img * n_pix as u64 + p as u64;
+                        // Each tile extracts only its own row slice of the
+                        // im2col patch (the broadcast input it would receive
+                        // in hardware), not the full patch.
+                        ops::im2col_patch_range(x, &self.cfg, oh, ow, r0, &mut patch[..rl]);
+                        tile.mvm_into_at(
+                            &patch[..rl],
+                            &mut plane[p * cl..(p + 1) * cl],
+                            invocation,
+                        )
+                        .expect("programmed dimensions are consistent");
+                    }
+                }
+                plane
+            },
+        );
+
+        let mut y = Tensor::zeros(outs);
+        for (&(_, ci), plane) in descs.iter().zip(&planes) {
+            let (c0, cl) = self.col_chunks[ci];
+            for oh in 0..outs.h {
+                for ow in 0..outs.w {
+                    let p = oh * outs.w + ow;
+                    for k in 0..cl {
+                        let oc = c0 + k;
+                        let cur = y.get(oc, oh, ow);
+                        y.set(oc, oh, ow, cur + plane[p * cl + k]);
                     }
                 }
             }
@@ -112,13 +253,19 @@ impl AnalogLayer {
 
 /// Graph executor with analog layers on modeled crossbars.
 ///
+/// Inference takes `&self` and the executor is `Sync`: programmed state is
+/// immutable between [`AimcExecutor::apply_drift`] calls and all evaluation
+/// randomness comes from per-tile, per-invocation streams, so any number of
+/// threads may infer concurrently — and produce exactly the logits a serial
+/// run would (see the module docs).
+///
 /// # Examples
 /// ```no_run
 /// use aimc_dnn::{AimcExecutor, he_init, resnet18_cifar, Shape, Tensor};
 /// use aimc_xbar::XbarConfig;
 /// let g = resnet18_cifar(10);
 /// let w = he_init(&g, 0);
-/// let mut exec = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 1).unwrap();
+/// let exec = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 1).unwrap();
 /// let y = exec.infer(&Tensor::zeros(Shape::new(3, 32, 32)));
 /// assert_eq!(y.shape(), Shape::new(10, 1, 1));
 /// ```
@@ -127,10 +274,15 @@ pub struct AimcExecutor {
     graph: Arc<Graph>,
     weights: Arc<Weights>,
     analog: HashMap<usize, AnalogLayer>,
-    /// FC head deployed as crossbar tiles (reuses conv machinery with a
-    /// 1×1 "image").
-    rng: StdRng,
     xbar_cfg: XbarConfig,
+    /// Images started so far — the base of each image's invocation
+    /// coordinates. Atomic so batches and concurrent callers claim disjoint
+    /// coordinate ranges; a serial sequence of `infer` calls and one
+    /// `infer_batch` over the same images see identical coordinates.
+    images_seen: AtomicU64,
+    /// Default thread budget for single-image `infer` (tile-level
+    /// parallelism). Batch calls take an explicit setting instead.
+    parallelism: Parallelism,
 }
 
 impl AimcExecutor {
@@ -165,8 +317,25 @@ impl AimcExecutor {
         xbar_cfg: &XbarConfig,
         seed: u64,
     ) -> Result<Self, ExecError> {
+        Self::try_program_shared_with(graph, weights, xbar_cfg, seed, Parallelism::Serial)
+    }
+
+    /// [`AimcExecutor::try_program_shared`] with a thread budget: tiles are
+    /// programmed concurrently (each from its own deterministic stream, so
+    /// the conductance image is identical to a serial deployment), and the
+    /// setting is retained as the executor's default for single-image
+    /// inference.
+    ///
+    /// # Errors
+    /// Same conditions as [`AimcExecutor::try_program`].
+    pub fn try_program_shared_with(
+        graph: Arc<Graph>,
+        weights: Arc<Weights>,
+        xbar_cfg: &XbarConfig,
+        seed: u64,
+        par: Parallelism,
+    ) -> Result<Self, ExecError> {
         check_weights(&graph, &weights)?;
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut analog = HashMap::new();
         for node in graph.nodes() {
             let conv_cfg = match &node.kind {
@@ -191,15 +360,19 @@ impl AimcExecutor {
             if let Some(cfg) = conv_cfg {
                 let w = weights.get(node.id).expect("checked by check_weights");
                 let wx = ops::weights_to_xbar_layout(w, &cfg);
-                analog.insert(node.id, AnalogLayer::program(cfg, &wx, xbar_cfg, &mut rng)?);
+                analog.insert(
+                    node.id,
+                    AnalogLayer::program(cfg, &wx, xbar_cfg, seed, node.id, par)?,
+                );
             }
         }
         Ok(AimcExecutor {
             graph,
             weights,
             analog,
-            rng,
             xbar_cfg: xbar_cfg.clone(),
+            images_seen: AtomicU64::new(0),
+            parallelism: par,
         })
     }
 
@@ -222,6 +395,18 @@ impl AimcExecutor {
             Err(ExecError::Xbar(e)) => Err(e),
             Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Sets the default thread budget used by single-image
+    /// [`AimcExecutor::infer`] calls (tile-level parallelism within each
+    /// layer). Never changes results — only wall-clock.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.parallelism = par;
+    }
+
+    /// The executor's default thread budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Number of crossbar tiles programmed (row splits × col splits summed
@@ -259,10 +444,55 @@ impl AimcExecutor {
 
     /// Runs one image through the network.
     ///
+    /// Claims the next image coordinate from the internal counter, so a
+    /// sequence of `try_infer` calls replays exactly as the equivalent
+    /// [`AimcExecutor::try_infer_batch`] would.
+    ///
     /// # Errors
     /// [`ExecError::ShapeMismatch`] if the input does not match the graph's
     /// input shape.
-    pub fn try_infer(&mut self, input: &Tensor) -> Result<Tensor, ExecError> {
+    pub fn try_infer(&self, input: &Tensor) -> Result<Tensor, ExecError> {
+        let img = self.images_seen.fetch_add(1, Ordering::Relaxed);
+        let mut scratch = InferScratch::default();
+        self.run_image(input, img, &mut scratch, self.parallelism)
+    }
+
+    /// Runs a batch of images, parallelizing across images when `par`
+    /// allows (each worker keeps one reusable scratch). Bit-identical to
+    /// the serial loop for any thread count; a single-image batch falls
+    /// back to tile-level parallelism inside each layer.
+    ///
+    /// # Errors
+    /// [`ExecError::ShapeMismatch`] on the first (lowest-index) mismatched
+    /// input.
+    pub fn try_infer_batch(
+        &self,
+        inputs: &[Tensor],
+        par: Parallelism,
+    ) -> Result<Vec<Tensor>, ExecError> {
+        let base = self
+            .images_seen
+            .fetch_add(inputs.len() as u64, Ordering::Relaxed);
+        if inputs.len() == 1 {
+            let mut scratch = InferScratch::default();
+            return Ok(vec![self.run_image(&inputs[0], base, &mut scratch, par)?]);
+        }
+        // Image-level parallelism: each image runs serially inside (one
+        // scratch per worker), images spread across workers.
+        try_map_with(par, inputs, InferScratch::default, |scratch, i, x| {
+            self.run_image(x, base + i as u64, scratch, Parallelism::Serial)
+        })
+    }
+
+    /// One image at an explicit image coordinate (shared by the serial and
+    /// batch paths).
+    fn run_image(
+        &self,
+        input: &Tensor,
+        img: u64,
+        scratch: &mut InferScratch,
+        par: Parallelism,
+    ) -> Result<Tensor, ExecError> {
         if input.shape() != self.graph.input_shape() {
             return Err(ExecError::ShapeMismatch {
                 expected: self.graph.input_shape(),
@@ -270,16 +500,14 @@ impl AimcExecutor {
             });
         }
         let mut outs: Vec<Tensor> = Vec::with_capacity(self.graph.len());
-        // Iterate by id to placate the borrow checker (graph is immutable,
-        // rng is mutable).
-        for id in 0..self.graph.len() {
-            let node = self.graph.node(id).clone();
+        for node in self.graph.nodes() {
             let fetch = |slot: usize, outs: &[Tensor]| -> Tensor {
                 match node.inputs.get(slot) {
                     Some(&p) => outs[p].clone(),
                     None => input.clone(),
                 }
             };
+            let id = node.id;
             let y = match &node.kind {
                 LayerKind::Input => input.clone(),
                 LayerKind::Conv(_) => {
@@ -287,7 +515,7 @@ impl AimcExecutor {
                     self.analog
                         .get(&id)
                         .expect("analog layer programmed")
-                        .conv(&x, &mut self.rng)
+                        .conv(&x, img, scratch, par)
                 }
                 LayerKind::DepthwiseConv(cfg) => {
                     // Depthwise runs digitally on the CORES (block-diagonal
@@ -309,7 +537,7 @@ impl AimcExecutor {
                         .analog
                         .get(&id)
                         .expect("analog layer programmed")
-                        .conv(&flat, &mut self.rng);
+                        .conv(&flat, img, scratch, par);
                     Tensor::from_vec(Shape::new(*out_features, 1, 1), y.into_vec())
                 }
                 LayerKind::Residual { projection } => {
@@ -320,7 +548,7 @@ impl AimcExecutor {
                             .analog
                             .get(&id)
                             .expect("projection programmed")
-                            .conv(&skip, &mut self.rng),
+                            .conv(&skip, img, scratch, par),
                         None => skip,
                     };
                     ops::add(&main, &skip, true)
@@ -336,14 +564,18 @@ impl AimcExecutor {
     ///
     /// # Panics
     /// Panics if the input shape does not match the graph.
-    pub fn infer(&mut self, input: &Tensor) -> Tensor {
+    pub fn infer(&self, input: &Tensor) -> Tensor {
         self.try_infer(input).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 impl Executor for AimcExecutor {
-    fn infer(&mut self, input: &Tensor) -> Result<Tensor, ExecError> {
+    fn infer(&self, input: &Tensor) -> Result<Tensor, ExecError> {
         self.try_infer(input)
+    }
+
+    fn infer_batch(&self, inputs: &[Tensor], par: Parallelism) -> Result<Vec<Tensor>, ExecError> {
+        self.try_infer_batch(inputs, par)
     }
 
     fn backend_name(&self) -> &'static str {
@@ -424,7 +656,7 @@ mod tests {
     fn try_infer_reports_shape_mismatch() {
         let g = small_cnn();
         let w = he_init(&g, 0);
-        let mut e = AimcExecutor::try_program(&g, &w, &XbarConfig::ideal(64, 64), 1).unwrap();
+        let e = AimcExecutor::try_program(&g, &w, &XbarConfig::ideal(64, 64), 1).unwrap();
         let err = e
             .try_infer(&Tensor::zeros(Shape::new(3, 4, 4)))
             .unwrap_err();
@@ -437,7 +669,7 @@ mod tests {
         let w = he_init(&g, 3);
         let x = random_image(g.input_shape(), 7);
         let golden = infer_golden(&g, &w, &x);
-        let mut exec = AimcExecutor::program(&g, &w, &XbarConfig::ideal(256, 256), 1).unwrap();
+        let exec = AimcExecutor::program(&g, &w, &XbarConfig::ideal(256, 256), 1).unwrap();
         let analog = exec.infer(&x);
         for (a, b) in analog.data().iter().zip(golden.data()) {
             let tol = 0.05 * b.abs().max(1.0);
@@ -452,7 +684,7 @@ mod tests {
         // 8-channel 3x3 conv ⇒ 72 rows; a 32-row array forces 3 row splits.
         // c0: 27 rows→1 tile; c1: 72 rows→3 tiles; fc: 1 tile ⇒ 5 tiles.
         let cfg = XbarConfig::ideal(32, 16);
-        let mut exec = AimcExecutor::program(&g, &w, &cfg, 1).unwrap();
+        let exec = AimcExecutor::program(&g, &w, &cfg, 1).unwrap();
         assert_eq!(exec.tile_count(), 5);
         let x = random_image(g.input_shape(), 7);
         let golden = infer_golden(&g, &w, &x);
@@ -468,7 +700,7 @@ mod tests {
     fn noisy_arrays_still_classify_like_golden() {
         let g = small_cnn();
         let w = he_init(&g, 5);
-        let mut exec = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 2).unwrap();
+        let exec = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 2).unwrap();
         let mut agree = 0;
         let n = 10;
         for i in 0..n {
@@ -489,7 +721,7 @@ mod tests {
         let w = he_init(&g, 5);
         let x = random_image(g.input_shape(), 3);
         let run = || {
-            let mut e = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 9).unwrap();
+            let e = AimcExecutor::program(&g, &w, &XbarConfig::hermes_256(), 9).unwrap();
             e.infer(&x)
         };
         assert_eq!(run(), run());
@@ -504,5 +736,82 @@ mod tests {
         // c0: rows 27→1 split, cols 8→2; c1: rows 72→3, cols 8→2;
         // fc: rows 8→1, cols 4→1. Total tiles = 2 + 6 + 1 = 9.
         assert_eq!(exec.tile_count(), 9);
+    }
+
+    /// The tentpole invariant at the executor level: thread count never
+    /// changes a bit of the output, for programming, tile-level, and
+    /// image-level parallelism alike.
+    #[test]
+    fn parallel_inference_is_bit_identical_to_serial() {
+        let g = small_cnn();
+        let w = he_init(&g, 5);
+        // Small arrays force multiple tiles per layer (tile parallelism).
+        let cfg = XbarConfig::hermes_256().with_size(32, 4);
+        let images: Vec<Tensor> = (0..6)
+            .map(|i| random_image(g.input_shape(), 40 + i))
+            .collect();
+
+        let serial_exec = AimcExecutor::try_program(&g, &w, &cfg, 9).unwrap();
+        let serial = serial_exec
+            .try_infer_batch(&images, Parallelism::Serial)
+            .unwrap();
+
+        for n in [2, 4] {
+            let par = Parallelism::Threads(n);
+            let exec = AimcExecutor::try_program_shared_with(
+                Arc::new(g.clone()),
+                Arc::new(w.clone()),
+                &cfg,
+                9,
+                par,
+            )
+            .unwrap();
+            let threaded = exec.try_infer_batch(&images, par).unwrap();
+            assert_eq!(serial, threaded, "Threads({n}) diverged from serial");
+            // Same MVMs evaluated, none lost or duplicated.
+            assert_eq!(serial_exec.total_mvms(), exec.total_mvms());
+        }
+    }
+
+    /// Single-image batches take the tile-parallel path; it must match the
+    /// serial path bit-for-bit too.
+    #[test]
+    fn tile_parallel_single_image_matches_serial() {
+        let g = small_cnn();
+        let w = he_init(&g, 5);
+        let cfg = XbarConfig::hermes_256().with_size(32, 4);
+        let x = random_image(g.input_shape(), 3);
+        let a = AimcExecutor::try_program(&g, &w, &cfg, 7).unwrap();
+        let serial = a
+            .try_infer_batch(std::slice::from_ref(&x), Parallelism::Serial)
+            .unwrap();
+        let b = AimcExecutor::try_program(&g, &w, &cfg, 7).unwrap();
+        let tiled = b
+            .try_infer_batch(std::slice::from_ref(&x), Parallelism::Threads(4))
+            .unwrap();
+        assert_eq!(serial, tiled);
+    }
+
+    /// Repeated single-image calls and one batch claim the same image
+    /// coordinates — the counter semantics behind retained crossbars.
+    #[test]
+    fn sequential_infers_match_one_batch() {
+        let g = small_cnn();
+        let w = he_init(&g, 2);
+        let cfg = XbarConfig::hermes_256();
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| random_image(g.input_shape(), 60 + i))
+            .collect();
+        let a = AimcExecutor::try_program(&g, &w, &cfg, 5).unwrap();
+        let one_by_one: Vec<Tensor> = images.iter().map(|x| a.try_infer(x).unwrap()).collect();
+        let b = AimcExecutor::try_program(&g, &w, &cfg, 5).unwrap();
+        let batched = b.try_infer_batch(&images, Parallelism::Threads(3)).unwrap();
+        assert_eq!(one_by_one, batched);
+    }
+
+    #[test]
+    fn executor_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<AimcExecutor>();
     }
 }

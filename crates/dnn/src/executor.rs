@@ -11,6 +11,7 @@ use crate::exec::try_execute_golden;
 use crate::graph::{Graph, NodeId};
 use crate::tensor::{Shape, Tensor};
 use crate::weights::Weights;
+use aimc_parallel::{try_map_indexed, Parallelism};
 use aimc_xbar::XbarError;
 use core::fmt;
 use std::sync::Arc;
@@ -66,9 +67,27 @@ impl From<XbarError> for ExecError {
 /// Implementations hold whatever state the backend needs (programmed
 /// crossbar tiles, weight tables) so that repeated [`Executor::infer`]
 /// calls do **not** re-program anything.
-pub trait Executor {
+///
+/// Inference is `&self` and every implementation is `Sync`: backends must
+/// be safe to drive from the parallel execution engine, and — the hard
+/// invariant of the platform — [`Executor::infer_batch`] must return
+/// bit-identical outputs for every [`Parallelism`] setting.
+pub trait Executor: Sync {
     /// Runs one image through the network, returning the output tensor.
-    fn infer(&mut self, input: &Tensor) -> Result<Tensor, ExecError>;
+    fn infer(&self, input: &Tensor) -> Result<Tensor, ExecError>;
+
+    /// Runs a batch of images, parallelizing across images up to `par`.
+    ///
+    /// The default implementation fans independent [`Executor::infer`]
+    /// calls across the worker pool; backends with internal order-sensitive
+    /// state override it (the analog executor assigns invocation
+    /// coordinates per image).
+    ///
+    /// # Errors
+    /// The error of the lowest-indexed failing image, if any.
+    fn infer_batch(&self, inputs: &[Tensor], par: Parallelism) -> Result<Vec<Tensor>, ExecError> {
+        try_map_indexed(par, inputs, |_, x| self.infer(x))
+    }
 
     /// Short label of the backend ("golden", "analog").
     fn backend_name(&self) -> &'static str;
@@ -101,7 +120,7 @@ pub trait Executor {
 /// use aimc_dnn::{he_init, resnet18_cifar, Executor, GoldenExecutor, Shape, Tensor};
 /// let g = resnet18_cifar(10);
 /// let w = he_init(&g, 0);
-/// let mut exec = GoldenExecutor::new(&g, &w).unwrap();
+/// let exec = GoldenExecutor::new(&g, &w).unwrap();
 /// let y = exec.infer(&Tensor::zeros(Shape::new(3, 32, 32))).unwrap();
 /// assert_eq!(y.shape(), Shape::new(10, 1, 1));
 /// ```
@@ -135,7 +154,7 @@ impl GoldenExecutor {
 }
 
 impl Executor for GoldenExecutor {
-    fn infer(&mut self, input: &Tensor) -> Result<Tensor, ExecError> {
+    fn infer(&self, input: &Tensor) -> Result<Tensor, ExecError> {
         let mut outs = try_execute_golden(&self.graph, &self.weights, input)?;
         Ok(outs.pop().expect("graph is non-empty"))
     }
@@ -189,7 +208,7 @@ mod tests {
         let g = tiny();
         let w = he_init(&g, 1);
         let x = Tensor::zeros(g.input_shape());
-        let mut exec = GoldenExecutor::new(&g, &w).unwrap();
+        let exec = GoldenExecutor::new(&g, &w).unwrap();
         assert_eq!(exec.infer(&x).unwrap(), infer_golden(&g, &w, &x));
         assert_eq!(exec.backend_name(), "golden");
         assert_eq!(exec.tile_count(), 0);
@@ -213,7 +232,7 @@ mod tests {
     fn shape_mismatch_is_an_error_not_a_panic() {
         let g = tiny();
         let w = he_init(&g, 1);
-        let mut exec = GoldenExecutor::new(&g, &w).unwrap();
+        let exec = GoldenExecutor::new(&g, &w).unwrap();
         let err = exec.infer(&Tensor::zeros(Shape::new(3, 4, 4))).unwrap_err();
         assert!(matches!(err, ExecError::ShapeMismatch { .. }));
         assert!(err.to_string().contains("input shape mismatch"));
@@ -223,8 +242,33 @@ mod tests {
     fn works_as_trait_object() {
         let g = tiny();
         let w = he_init(&g, 1);
-        let mut exec: Box<dyn Executor> = Box::new(GoldenExecutor::new(&g, &w).unwrap());
+        let exec: Box<dyn Executor> = Box::new(GoldenExecutor::new(&g, &w).unwrap());
         let y = exec.infer(&Tensor::zeros(g.input_shape())).unwrap();
         assert_eq!(y.shape(), Shape::new(2, 1, 1));
+    }
+
+    #[test]
+    fn golden_infer_batch_is_parallelism_invariant() {
+        let g = tiny();
+        let w = he_init(&g, 1);
+        let images: Vec<Tensor> = (0..5)
+            .map(|i| {
+                let mut v = vec![0.0f32; g.input_shape().numel()];
+                v.iter_mut().enumerate().for_each(|(j, x)| {
+                    *x = ((i * 31 + j) % 17) as f32 / 17.0 - 0.5;
+                });
+                Tensor::from_vec(g.input_shape(), v)
+            })
+            .collect();
+        let exec = GoldenExecutor::new(&g, &w).unwrap();
+        let serial = exec.infer_batch(&images, Parallelism::Serial).unwrap();
+        let par = exec.infer_batch(&images, Parallelism::Threads(4)).unwrap();
+        assert_eq!(serial, par);
+        // Default trait implementation reports shape errors by lowest index.
+        let mut bad = images.clone();
+        bad[2] = Tensor::zeros(Shape::new(1, 1, 1));
+        bad[4] = Tensor::zeros(Shape::new(2, 2, 2));
+        let err = exec.infer_batch(&bad, Parallelism::Threads(4)).unwrap_err();
+        assert!(matches!(err, ExecError::ShapeMismatch { got, .. } if got == Shape::new(1, 1, 1)));
     }
 }

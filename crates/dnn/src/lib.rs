@@ -45,6 +45,7 @@ mod weights;
 mod zoo;
 
 pub use aimc_exec::AimcExecutor;
+pub use aimc_parallel::Parallelism;
 pub use exec::{execute_golden, infer_golden, skip_producer, try_execute_golden};
 pub use executor::{ExecError, Executor, GoldenExecutor};
 pub use graph::{Graph, GraphBuilder, Node, NodeId};

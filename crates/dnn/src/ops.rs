@@ -215,6 +215,46 @@ pub fn im2col_patch(x: &Tensor, cfg: &ConvCfg, oh: usize, ow: usize, out: &mut [
     }
 }
 
+/// Like [`im2col_patch`] but extracting only crossbar rows
+/// `r0 .. r0 + out.len()` — exactly the slice a row-split tile consumes, so
+/// the tile-parallel executor never builds patch elements it will not read.
+pub fn im2col_patch_range(
+    x: &Tensor,
+    cfg: &ConvCfg,
+    oh: usize,
+    ow: usize,
+    r0: usize,
+    out: &mut [f32],
+) {
+    let ins = x.shape();
+    debug_assert!(r0 + out.len() <= cfg.xbar_rows());
+    let ih0 = (oh * cfg.stride) as isize - cfg.pad as isize;
+    let iw0 = (ow * cfg.stride) as isize - cfg.pad as isize;
+    // Decompose the first row index once, then step through (ic, r, s).
+    let k = cfg.kh * cfg.kw;
+    let mut ic = r0 / k;
+    let mut r = (r0 % k) / cfg.kw;
+    let mut s = r0 % cfg.kw;
+    for o in out.iter_mut() {
+        let ih = ih0 + r as isize;
+        let iw = iw0 + s as isize;
+        *o = if ih < 0 || iw < 0 || ih >= ins.h as isize || iw >= ins.w as isize {
+            0.0
+        } else {
+            x.get(ic, ih as usize, iw as usize)
+        };
+        s += 1;
+        if s == cfg.kw {
+            s = 0;
+            r += 1;
+            if r == cfg.kh {
+                r = 0;
+                ic += 1;
+            }
+        }
+    }
+}
+
 /// The paper's balanced ceil-split: divides `total` into
 /// `ceil(total / max)` contiguous chunks whose sizes differ by at most one,
 /// returned as `(start, len)` pairs (Sec. V-1).
@@ -444,6 +484,30 @@ mod tests {
                     }
                     let d = direct.get(oc, oh, ow);
                     assert!((acc - d).abs() < 1e-4, "{acc} vs {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_range_matches_full_patch() {
+        // Every (start, len) slice of the range extractor must agree with
+        // the corresponding window of the full patch, including padding.
+        let cfg = ConvCfg::k3(3, 4, 2); // stride 2 exercises pad offsets
+        let x = Tensor::from_vec(
+            Shape::new(3, 5, 5),
+            (0..75).map(|i| (i as f32) * 0.07 - 2.0).collect(),
+        );
+        let rows = cfg.xbar_rows();
+        let mut full = vec![0.0f32; rows];
+        let outs = cfg.out_shape(x.shape());
+        for oh in 0..outs.h {
+            for ow in 0..outs.w {
+                im2col_patch(&x, &cfg, oh, ow, &mut full);
+                for (r0, rl) in [(0, rows), (5, 13), (9, 9), (rows - 1, 1)] {
+                    let mut part = vec![0.0f32; rl];
+                    im2col_patch_range(&x, &cfg, oh, ow, r0, &mut part);
+                    assert_eq!(&part[..], &full[r0..r0 + rl], "slice ({r0}, {rl})");
                 }
             }
         }

@@ -15,7 +15,9 @@
 
 use crate::crossbar::{Crossbar, XbarError};
 use crate::noise::gaussian;
-use rand::Rng;
+use crate::stream;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 impl Crossbar {
     /// Evaluates `y = Wᵀx` bit-serially with `n_bits` input bit planes.
@@ -25,15 +27,40 @@ impl Crossbar {
     /// binary pulses from MSB-1 planes down; negative values use two-phase
     /// (subtractive) evaluation, as memristive designs do.
     ///
+    /// Read noise follows the same per-call stream model as
+    /// [`Crossbar::mvm`]: this convenience draws the next internal
+    /// invocation index (one bit-serial evaluation counts as one MVM for
+    /// accounting); [`Crossbar::mvm_bit_serial_at`] takes the index
+    /// explicitly for order-independent parallel execution.
+    ///
     /// # Errors
     /// Returns [`XbarError::InputLength`] on dimension mismatch, or
     /// [`XbarError::BadConfig`] if `n_bits` is not in `1..=16`.
-    pub fn mvm_bit_serial<R: Rng>(
+    pub fn mvm_bit_serial(&self, x: &[f32], n_bits: u32) -> Result<Vec<f32>, XbarError> {
+        // Validate before claiming an invocation: rejected calls must not
+        // count as evaluations nor shift later calls' noise streams.
+        self.check_bit_serial_args(x, n_bits)?;
+        let invocation = self.next_invocation();
+        Ok(self.bit_serial_core(x, n_bits, invocation))
+    }
+
+    /// [`Crossbar::mvm_bit_serial`] with a caller-chosen invocation index
+    /// selecting the read-noise stream.
+    ///
+    /// # Errors
+    /// Same conditions as [`Crossbar::mvm_bit_serial`].
+    pub fn mvm_bit_serial_at(
         &self,
         x: &[f32],
         n_bits: u32,
-        rng: &mut R,
+        invocation: u64,
     ) -> Result<Vec<f32>, XbarError> {
+        self.check_bit_serial_args(x, n_bits)?;
+        self.next_invocation();
+        Ok(self.bit_serial_core(x, n_bits, invocation))
+    }
+
+    fn check_bit_serial_args(&self, x: &[f32], n_bits: u32) -> Result<(), XbarError> {
         if !(1..=16).contains(&n_bits) {
             return Err(XbarError::BadConfig(format!(
                 "bit-serial input bits {n_bits} out of range 1..=16"
@@ -45,6 +72,10 @@ impl Crossbar {
                 expected: self.rows_used(),
             });
         }
+        Ok(())
+    }
+
+    fn bit_serial_core(&self, x: &[f32], n_bits: u32, invocation: u64) -> Vec<f32> {
         let cols = self.cols_used();
         let rows = self.rows_used();
         let cfg = self.config();
@@ -60,7 +91,9 @@ impl Crossbar {
             .map(|&v| ((v as f64 / x_scale).clamp(-1.0, 1.0) * levels as f64).round() as i64)
             .collect();
 
-        // Shift-accumulate bit planes (positive and negative phases).
+        // Shift-accumulate bit planes (positive and negative phases); all
+        // noise for this evaluation comes from its invocation's stream.
+        let mut rng = StdRng::seed_from_u64(stream::derive(self.noise_seed(), invocation));
         let mut acc = vec![0.0f64; cols];
         let sigma = cfg.read_noise_sigma * (rows as f64).sqrt();
         for bit in 0..(n_bits - 1) {
@@ -83,7 +116,7 @@ impl Crossbar {
                     }
                 }
                 for (c, p) in plane.iter().enumerate() {
-                    let noisy = p + gaussian(rng, sigma);
+                    let noisy = p + gaussian(&mut rng, sigma);
                     acc[c] += phase as f64 * weight * noisy;
                 }
             }
@@ -91,7 +124,7 @@ impl Crossbar {
 
         // Fold scales back: weights (w_scale) × activations (x_scale/levels).
         let back = self.weight_scale() * x_scale / levels as f64;
-        Ok(acc.iter().map(|&a| (a * back) as f32).collect())
+        acc.iter().map(|&a| (a * back) as f32).collect()
     }
 
     /// Latency of a bit-serial MVM: one array evaluation per bit plane (two
@@ -135,7 +168,7 @@ mod tests {
             .collect();
         let xb =
             Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
-        let y = xb.mvm_bit_serial(&x, 12, &mut rng).unwrap();
+        let y = xb.mvm_bit_serial(&x, 12).unwrap();
         let yref = ref_mvm(&w, rows, cols, &x);
         for (a, b) in y.iter().zip(&yref) {
             // 11 magnitude bits over sums of 24 terms.
@@ -157,8 +190,8 @@ mod tests {
         let x: Vec<f32> = (0..rows).map(|i| ((i % 5) as f32 - 2.0) / 2.0).collect();
         let xb =
             Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
-        let par = xb.mvm(&x, &mut rng).unwrap();
-        let ser = xb.mvm_bit_serial(&x, 16, &mut rng).unwrap();
+        let par = xb.mvm(&x).unwrap();
+        let ser = xb.mvm_bit_serial(&x, 16).unwrap();
         for (a, b) in par.iter().zip(&ser) {
             assert!((a - b).abs() < 0.05, "{a} vs {b}");
         }
@@ -177,17 +210,15 @@ mod tests {
         let w = vec![0.3f32; 64];
         let x: Vec<f32> = (0..32).map(|i| (i as f32 % 7.0) / 7.0).collect();
         let xb = Crossbar::program(&cfg, &w, 32, 2, &mut rng).unwrap();
-        let spread = |f: &mut dyn FnMut(&mut StdRng) -> f32| {
-            let mut vals = Vec::new();
-            for s in 0..60 {
-                let mut r = StdRng::seed_from_u64(1000 + s);
-                vals.push(f(&mut r));
-            }
+        // Each evaluation draws a fresh invocation stream, so variance
+        // across repeated calls measures the read-noise magnitude.
+        let spread = |f: &mut dyn FnMut() -> f32| {
+            let vals: Vec<f32> = (0..60).map(|_| f()).collect();
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
             vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32
         };
-        let var_par = spread(&mut |r| xb.mvm(&x, r).unwrap()[0]);
-        let var_ser = spread(&mut |r| xb.mvm_bit_serial(&x, 8, r).unwrap()[0]);
+        let var_par = spread(&mut || xb.mvm(&x).unwrap()[0]);
+        let var_ser = spread(&mut || xb.mvm_bit_serial(&x, 8).unwrap()[0]);
         assert!(var_ser > 0.0, "bit-serial output must be noisy");
         assert!(var_par > 0.0, "parallel output must be noisy");
         let ratio = var_ser / var_par;
@@ -212,15 +243,15 @@ mod tests {
         let mut rng = rng();
         let xb = Crossbar::program(&XbarConfig::ideal(4, 4), &[0.1; 16], 4, 4, &mut rng).unwrap();
         assert!(matches!(
-            xb.mvm_bit_serial(&[0.0; 4], 0, &mut rng),
+            xb.mvm_bit_serial(&[0.0; 4], 0),
             Err(XbarError::BadConfig(_))
         ));
         assert!(matches!(
-            xb.mvm_bit_serial(&[0.0; 4], 17, &mut rng),
+            xb.mvm_bit_serial(&[0.0; 4], 17),
             Err(XbarError::BadConfig(_))
         ));
         assert!(matches!(
-            xb.mvm_bit_serial(&[0.0; 3], 8, &mut rng),
+            xb.mvm_bit_serial(&[0.0; 3], 8),
             Err(XbarError::InputLength { .. })
         ));
     }
@@ -231,7 +262,7 @@ mod tests {
         cfg.read_noise_sigma = 0.1; // would be loud if planes fired
         let mut rng = rng();
         let xb = Crossbar::program(&cfg, &[0.5; 16], 8, 2, &mut rng).unwrap();
-        let y = xb.mvm_bit_serial(&[0.0; 8], 8, &mut rng).unwrap();
+        let y = xb.mvm_bit_serial(&[0.0; 8], 8).unwrap();
         assert!(y.iter().all(|&v| v == 0.0), "{y:?}");
     }
 }

@@ -18,8 +18,11 @@
 
 use crate::config::XbarConfig;
 use crate::noise::gaussian;
+use crate::stream;
 use core::fmt;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors returned by crossbar programming and evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +87,18 @@ impl std::error::Error for XbarError {}
 /// The stored state is the *noisy, quantized* conductance image — exactly
 /// what a real array would hold after program-and-verify.
 ///
+/// ## Read-noise streams and thread safety
+///
+/// Evaluation takes `&self` and is `Sync`: read noise is *not* drawn from a
+/// caller-threaded RNG but from a per-call stream derived as
+/// `derive(noise_seed, invocation)` (see [`crate::stream`]), where
+/// `noise_seed` is fixed at programming time and `invocation` is either an
+/// explicit index ([`Crossbar::mvm_into_at`] — what the parallel executors
+/// use) or an internal atomic counter ([`Crossbar::mvm`]). Noise therefore
+/// depends only on *which* evaluation this is, never on what other tiles or
+/// threads did first — concurrent tile evaluation is bit-identical to
+/// serial.
+///
 /// # Examples
 /// ```
 /// use aimc_xbar::{Crossbar, XbarConfig};
@@ -91,12 +106,12 @@ impl std::error::Error for XbarError {}
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 /// let w = vec![1.0, -0.5, 0.25, 0.125]; // 2x2 row-major
 /// let xb = Crossbar::program(&XbarConfig::ideal(2, 2), &w, 2, 2, &mut rng)?;
-/// let y = xb.mvm(&[1.0, 1.0], &mut rng)?;
+/// let y = xb.mvm(&[1.0, 1.0])?;
 /// assert!((y[0] - 1.25).abs() < 1e-3);
 /// assert!((y[1] - (-0.375)).abs() < 1e-3);
 /// # Ok::<(), aimc_xbar::XbarError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Crossbar {
     cfg: XbarConfig,
     /// Effective conductances `g⁺ − g⁻`, row-major `rows_used × cols_used`,
@@ -106,7 +121,25 @@ pub struct Crossbar {
     cols_used: usize,
     /// Weight scale: `w = g_eff * w_scale`.
     w_scale: f64,
-    mvm_count: std::cell::Cell<u64>,
+    /// Root of this array's read-noise streams (fixed at program time).
+    noise_seed: u64,
+    /// Evaluations so far — atomic so `mvm` is `&self` and tiles can be
+    /// evaluated concurrently without losing energy-accounting counts.
+    mvm_count: AtomicU64,
+}
+
+impl Clone for Crossbar {
+    fn clone(&self) -> Self {
+        Crossbar {
+            cfg: self.cfg.clone(),
+            g_eff: self.g_eff.clone(),
+            rows_used: self.rows_used,
+            cols_used: self.cols_used,
+            w_scale: self.w_scale,
+            noise_seed: self.noise_seed,
+            mvm_count: AtomicU64::new(self.mvm_count.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Crossbar {
@@ -142,6 +175,11 @@ impl Crossbar {
             });
         }
 
+        // The read-noise stream root is drawn from the programming RNG, so a
+        // tile's entire noise behaviour — programming *and* read — derives
+        // from the one seed its programming RNG was built from.
+        let noise_seed = rng.next_u64();
+
         let w_max = weights.iter().fold(0.0f64, |m, &w| m.max(w.abs() as f64));
         let w_scale = if w_max > 0.0 { w_max } else { 1.0 };
 
@@ -168,7 +206,8 @@ impl Crossbar {
             rows_used: rows,
             cols_used: cols,
             w_scale,
-            mvm_count: std::cell::Cell::new(0),
+            noise_seed,
+            mvm_count: AtomicU64::new(0),
         })
     }
 
@@ -200,7 +239,13 @@ impl Crossbar {
 
     /// Number of MVMs evaluated so far (for energy accounting).
     pub fn mvm_count(&self) -> u64 {
-        self.mvm_count.get()
+        self.mvm_count.load(Ordering::Relaxed)
+    }
+
+    /// The root seed of this array's read-noise streams (fixed at program
+    /// time; exposed for diagnostics and replay tooling).
+    pub fn noise_seed(&self) -> u64 {
+        self.noise_seed
     }
 
     /// Performs one analog matrix-vector multiplication `y = Wᵀ·x`.
@@ -210,11 +255,27 @@ impl Crossbar {
     /// units (the scales are folded back in, as the digital requantization
     /// step after the ADC would).
     ///
+    /// Read noise comes from the stream of the *next* invocation index (an
+    /// internal atomic counter) — repeated calls decorrelate exactly as
+    /// repeated reads of a physical array would. For explicit, replayable
+    /// indices use [`Crossbar::mvm_at`].
+    ///
     /// # Errors
     /// Returns [`XbarError::InputLength`] on a dimension mismatch.
-    pub fn mvm<R: Rng>(&self, x: &[f32], rng: &mut R) -> Result<Vec<f32>, XbarError> {
+    pub fn mvm(&self, x: &[f32]) -> Result<Vec<f32>, XbarError> {
         let mut y = vec![0.0f32; self.cols_used];
-        self.mvm_into(x, &mut y, rng)?;
+        self.mvm_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// [`Crossbar::mvm`] with an explicit invocation index (see
+    /// [`Crossbar::mvm_into_at`]).
+    ///
+    /// # Errors
+    /// Returns [`XbarError::InputLength`] on a dimension mismatch.
+    pub fn mvm_at(&self, x: &[f32], invocation: u64) -> Result<Vec<f32>, XbarError> {
+        let mut y = vec![0.0f32; self.cols_used];
+        self.mvm_into_at(x, &mut y, invocation)?;
         Ok(y)
     }
 
@@ -223,24 +284,63 @@ impl Crossbar {
     ///
     /// # Errors
     /// Returns [`XbarError::InputLength`] if `x` or `out` have wrong lengths.
-    pub fn mvm_into<R: Rng>(
+    pub fn mvm_into(&self, x: &[f32], out: &mut [f32]) -> Result<(), XbarError> {
+        // Validate before claiming an invocation: a rejected call must not
+        // count as an evaluation nor shift later calls' noise streams.
+        self.check_dims(x.len(), out.len())?;
+        let invocation = self.mvm_count.fetch_add(1, Ordering::Relaxed);
+        self.mvm_core(x, out, invocation);
+        Ok(())
+    }
+
+    /// Like [`Crossbar::mvm_into`] but with a caller-chosen invocation
+    /// index selecting the read-noise stream.
+    ///
+    /// This is the parallel executors' entry point: they pass
+    /// `image_index · patches_per_image + patch_index`, so the noise of
+    /// every single MVM is pinned to its place in the workload and the
+    /// schedule (thread count, tile interleaving, batch splits) cannot
+    /// change any result. The internal counter still advances — it counts
+    /// evaluations for energy accounting, it does not select noise here.
+    ///
+    /// # Errors
+    /// Returns [`XbarError::InputLength`] if `x` or `out` have wrong lengths.
+    pub fn mvm_into_at(
         &self,
         x: &[f32],
         out: &mut [f32],
-        rng: &mut R,
+        invocation: u64,
     ) -> Result<(), XbarError> {
-        if x.len() != self.rows_used {
+        self.check_dims(x.len(), out.len())?;
+        self.mvm_count.fetch_add(1, Ordering::Relaxed);
+        self.mvm_core(x, out, invocation);
+        Ok(())
+    }
+
+    /// Rejects mismatched input/output lengths (before any counter or
+    /// stream state is touched).
+    fn check_dims(&self, x_len: usize, out_len: usize) -> Result<(), XbarError> {
+        if x_len != self.rows_used {
             return Err(XbarError::InputLength {
-                got: x.len(),
+                got: x_len,
                 expected: self.rows_used,
             });
         }
-        if out.len() != self.cols_used {
+        if out_len != self.cols_used {
             return Err(XbarError::InputLength {
-                got: out.len(),
+                got: out_len,
                 expected: self.cols_used,
             });
         }
+        Ok(())
+    }
+
+    /// The full DAC → analog → ADC signal chain for one pre-validated
+    /// evaluation, with read noise drawn from
+    /// `derive(noise_seed, invocation)`.
+    fn mvm_core(&self, x: &[f32], out: &mut [f32], invocation: u64) {
+        debug_assert_eq!(x.len(), self.rows_used);
+        debug_assert_eq!(out.len(), self.cols_used);
 
         // --- DAC stage: clip + quantize inputs ------------------------------
         let dac_levels = ((1u64 << self.cfg.dac_bits) - 1) as f64 / 2.0; // per polarity
@@ -272,9 +372,10 @@ impl Crossbar {
 
         // --- Read noise (per bit line, scales with sqrt(active rows)) -------
         if self.cfg.read_noise_sigma > 0.0 {
+            let mut rng = StdRng::seed_from_u64(stream::derive(self.noise_seed, invocation));
             let sigma = self.cfg.read_noise_sigma * (self.rows_used as f64).sqrt();
             for a in acc.iter_mut() {
-                *a += gaussian(rng, sigma);
+                *a += gaussian(&mut rng, sigma);
             }
         }
 
@@ -287,9 +388,6 @@ impl Crossbar {
             let q = (clipped / fs * adc_levels).round() / adc_levels * fs;
             out[c] = (q * back_scale) as f32;
         }
-
-        self.mvm_count.set(self.mvm_count.get() + 1);
-        Ok(())
     }
 
     /// Applies conductance drift for `t_hours` of elapsed time since
@@ -305,6 +403,12 @@ impl Crossbar {
         for g in self.g_eff.iter_mut() {
             *g *= factor;
         }
+    }
+
+    /// Claims the next internal invocation index (counter-based evaluation
+    /// paths; also keeps the energy-accounting count).
+    pub(crate) fn next_invocation(&self) -> u64 {
+        self.mvm_count.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Row slice of the effective conductance image (bit-serial path).
@@ -358,7 +462,7 @@ mod tests {
         let xb =
             Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
         let x: Vec<f32> = (0..rows).map(|i| ((i % 8) as f32 - 4.0) / 4.0).collect();
-        let y = xb.mvm(&x, &mut rng).unwrap();
+        let y = xb.mvm(&x).unwrap();
         let yref = ref_mvm(&w, rows, cols, &x);
         for (a, b) in y.iter().zip(&yref) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
@@ -374,7 +478,7 @@ mod tests {
         assert_eq!(xb.rows_used(), 10);
         assert_eq!(xb.cols_used(), 3);
         assert!((xb.utilization() - 30.0 / 65536.0).abs() < 1e-12);
-        let y = xb.mvm(&[1.0; 10], &mut rng).unwrap();
+        let y = xb.mvm(&[1.0; 10]).unwrap();
         assert_eq!(y.len(), 3);
         for v in y {
             assert!((v - 5.0).abs() < 1e-2);
@@ -409,7 +513,7 @@ mod tests {
         let mut rng = rng();
         let cfg = XbarConfig::ideal(4, 2);
         let xb = Crossbar::program(&cfg, &[0.1; 8], 4, 2, &mut rng).unwrap();
-        let err = xb.mvm(&[0.0; 3], &mut rng).unwrap_err();
+        let err = xb.mvm(&[0.0; 3]).unwrap_err();
         assert_eq!(
             err,
             XbarError::InputLength {
@@ -457,8 +561,8 @@ mod tests {
             .collect();
         let xb = Crossbar::program(&cfg, &w, 32, 4, &mut rng).unwrap();
         let x = vec![0.8f32; 32];
-        let y1 = xb.mvm(&x, &mut rng).unwrap();
-        let y2 = xb.mvm(&x, &mut rng).unwrap();
+        let y1 = xb.mvm(&x).unwrap();
+        let y2 = xb.mvm(&x).unwrap();
         assert_ne!(y1, y2, "read noise should decorrelate repeated MVMs");
         assert_eq!(xb.mvm_count(), 2);
     }
@@ -470,7 +574,7 @@ mod tests {
         let run = || {
             let mut r = StdRng::seed_from_u64(123);
             let xb = Crossbar::program(&cfg, &w, 8, 8, &mut r).unwrap();
-            xb.mvm(&[0.5; 8], &mut r).unwrap()
+            xb.mvm(&[0.5; 8]).unwrap()
         };
         assert_eq!(run(), run());
     }
@@ -481,7 +585,7 @@ mod tests {
         let mut cfg = XbarConfig::ideal(64, 1);
         cfg.adc_headroom = 0.05; // FS = 0.05 * 64 = 3.2 normalized units
         let xb = Crossbar::program(&cfg, &[1.0; 64], 64, 1, &mut rng).unwrap();
-        let y = xb.mvm(&[1.0; 64], &mut rng).unwrap();
+        let y = xb.mvm(&[1.0; 64]).unwrap();
         // True sum is 64, but the ADC full-scale clamps it to 3.2.
         assert!(y[0] < 4.0, "ADC clipping not applied: {}", y[0]);
     }
@@ -510,11 +614,121 @@ mod tests {
     }
 
     #[test]
+    fn crossbar_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Crossbar>();
+    }
+
+    #[test]
+    fn explicit_invocation_replays_exact_stream() {
+        let mut rng = rng();
+        let mut cfg = XbarConfig::hermes_256();
+        cfg.read_noise_sigma = 0.02;
+        cfg.adc_bits = 16; // fine quantization so noise is not rounded away
+        cfg.adc_headroom = 1.0; // stay far from full-scale clipping
+        let w: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let xb = Crossbar::program(&cfg, &w, 8, 8, &mut rng).unwrap();
+        let x = [0.7f32; 8];
+        let a = xb.mvm_at(&x, 5).unwrap();
+        let b = xb.mvm_at(&x, 5).unwrap();
+        assert_eq!(a, b, "same invocation must replay the same noise");
+        let c = xb.mvm_at(&x, 6).unwrap();
+        assert_ne!(a, c, "different invocations must decorrelate");
+        // Explicit indices still count evaluations for energy accounting.
+        assert_eq!(xb.mvm_count(), 3);
+    }
+
+    #[test]
+    fn rejected_calls_consume_no_count_and_no_stream() {
+        let mut cfg = XbarConfig::hermes_256();
+        cfg.read_noise_sigma = 0.02;
+        cfg.adc_bits = 16;
+        cfg.adc_headroom = 1.0;
+        let w: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let program = || {
+            let mut r = StdRng::seed_from_u64(77);
+            Crossbar::program(&cfg, &w, 8, 8, &mut r).unwrap()
+        };
+        let x = [0.7f32; 8];
+        let clean = program();
+        let want = clean.mvm(&x).unwrap();
+        let tainted = program();
+        assert!(tainted.mvm(&[0.0; 3]).is_err());
+        assert!(tainted.mvm_at(&[0.0; 5], 9).is_err());
+        assert!(tainted.mvm_bit_serial(&x, 0).is_err());
+        // Failed calls neither count as evaluations nor shift the streams.
+        assert_eq!(tainted.mvm_count(), 0);
+        assert_eq!(tainted.mvm(&x).unwrap(), want);
+    }
+
+    #[test]
+    fn counter_calls_match_explicit_indices() {
+        // The internal counter and explicit indices address the same
+        // streams: call k of a fresh array == invocation index k.
+        let mut cfg = XbarConfig::hermes_256();
+        cfg.read_noise_sigma = 0.02;
+        cfg.adc_bits = 16;
+        cfg.adc_headroom = 1.0;
+        let w: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let program = || {
+            let mut r = StdRng::seed_from_u64(77);
+            Crossbar::program(&cfg, &w, 8, 8, &mut r).unwrap()
+        };
+        let x = [0.7f32; 8];
+        let a = program();
+        let counted: Vec<Vec<f32>> = (0..4).map(|_| a.mvm(&x).unwrap()).collect();
+        let b = program();
+        let explicit: Vec<Vec<f32>> = (0..4).map(|i| b.mvm_at(&x, i).unwrap()).collect();
+        assert_eq!(counted, explicit);
+    }
+
+    #[test]
+    fn concurrent_evaluations_are_counted_and_order_independent() {
+        let mut rng = rng();
+        let mut cfg = XbarConfig::hermes_256();
+        cfg.read_noise_sigma = 0.02;
+        cfg.adc_bits = 16;
+        cfg.adc_headroom = 1.0;
+        let w: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let xb = Crossbar::program(&cfg, &w, 8, 8, &mut rng).unwrap();
+        let x = [0.7f32; 8];
+        let reference: Vec<Vec<f32>> = (0..16).map(|i| xb.mvm_at(&x, i).unwrap()).collect();
+        let threaded: Vec<Vec<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let xb = &xb;
+                    let x = &x;
+                    s.spawn(move || {
+                        (0..4)
+                            .map(|i| xb.mvm_at(x, (t * 4 + i) as u64).unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(reference, threaded);
+        // 16 serial + 16 threaded evaluations, none lost to races.
+        assert_eq!(xb.mvm_count(), 32);
+    }
+
+    #[test]
     fn zero_weights_program_cleanly() {
         let mut rng = rng();
         let cfg = XbarConfig::ideal(8, 8);
         let xb = Crossbar::program(&cfg, &[0.0; 64], 8, 8, &mut rng).unwrap();
-        let y = xb.mvm(&[1.0; 8], &mut rng).unwrap();
+        let y = xb.mvm(&[1.0; 8]).unwrap();
         assert!(y.iter().all(|&v| v.abs() < 1e-6));
     }
 }

@@ -18,6 +18,15 @@
 //! 3. **Energy** — a per-MVM energy ([`XbarConfig::mvm_energy_nj`]), consumed
 //!    by the platform power model in `aimc-runtime`.
 //!
+//! ## Determinism and concurrency
+//!
+//! Evaluation is `&self` and thread-safe: read noise is drawn from
+//! counter-based per-call streams ([`stream`]) derived from a noise seed
+//! fixed at programming time plus an invocation index, and the MVM counter
+//! is atomic. The same seed therefore produces bit-identical results
+//! whether tiles are evaluated serially or concurrently — the invariant the
+//! `aimc-parallel` execution engine is built on.
+//!
 //! ## Example
 //! ```
 //! use aimc_xbar::{Crossbar, XbarConfig};
@@ -29,7 +38,7 @@
 //! // it is the "local mapping" inefficiency of Fig. 6).
 //! let weights = vec![0.2, -0.4, 0.6, 0.1, -0.3, 0.5];
 //! let xbar = Crossbar::program(&XbarConfig::hermes_256(), &weights, 3, 2, &mut rng)?;
-//! let y = xbar.mvm(&[1.0, 0.5, -0.25], &mut rng)?;
+//! let y = xbar.mvm(&[1.0, 0.5, -0.25])?;
 //! assert_eq!(y.len(), 2);
 //! # Ok(())
 //! # }
@@ -43,6 +52,7 @@ mod config;
 mod crossbar;
 pub mod noise;
 mod programming;
+pub mod stream;
 
 pub use config::XbarConfig;
 pub use crossbar::{Crossbar, XbarError};

@@ -31,7 +31,7 @@ proptest! {
         let w: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let x: Vec<f32> = (0..rows).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let xb = Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
-        let y = xb.mvm(&x, &mut rng).unwrap();
+        let y = xb.mvm(&x).unwrap();
         let yref = ref_mvm(&w, rows, cols, &x);
         // Tolerance: DAC 16b + weight 16b quantization on sums of `rows` terms.
         let tol = 1e-3 * rows as f32 + 1e-3;
@@ -54,9 +54,9 @@ proptest! {
         let w: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let x: Vec<f32> = (0..rows).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let xb = Crossbar::program(&XbarConfig::ideal(rows, cols), &w, rows, cols, &mut rng).unwrap();
-        let y1 = xb.mvm(&x, &mut rng).unwrap();
+        let y1 = xb.mvm(&x).unwrap();
         let xs: Vec<f32> = x.iter().map(|v| v * scale).collect();
-        let y2 = xb.mvm(&xs, &mut rng).unwrap();
+        let y2 = xb.mvm(&xs).unwrap();
         let tol = 2e-3 * rows as f32 + 1e-3;
         for (a, b) in y1.iter().zip(&y2) {
             prop_assert!((a * scale - b).abs() <= tol, "{} vs {}", a * scale, b);
@@ -99,7 +99,7 @@ proptest! {
         let w = vec![1.0f32; rows];
         let xb = Crossbar::program(&cfg, &w, rows, 1, &mut rng).unwrap();
         let x = vec![1.0f32; rows];
-        let y = xb.mvm(&x, &mut rng).unwrap();
+        let y = xb.mvm(&x).unwrap();
         let fs = (headroom * rows as f64 * cfg.x_clip) as f32 * 1.001;
         prop_assert!(y[0].abs() <= fs, "|{}| > fs {}", y[0], fs);
     }

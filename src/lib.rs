@@ -71,6 +71,7 @@ pub use aimc_cluster as cluster;
 pub use aimc_core as core;
 pub use aimc_dnn as dnn;
 pub use aimc_noc as noc;
+pub use aimc_parallel as parallel;
 pub use aimc_runtime as runtime;
 pub use aimc_sim as sim;
 pub use aimc_xbar as xbar;
@@ -78,6 +79,7 @@ pub use aimc_xbar as xbar;
 mod error;
 mod session;
 
+pub use aimc_parallel::Parallelism;
 pub use error::{BuildError, Error};
 pub use session::{Backend, Platform, PlatformBuilder, RunSpec, Session};
 
@@ -90,6 +92,7 @@ pub mod prelude {
         AimcExecutor, ConvCfg, ExecError, Executor, GoldenExecutor, Graph, GraphBuilder, Shape,
         Tensor, Weights,
     };
+    pub use aimc_parallel::Parallelism;
     pub use aimc_runtime::{
         group_area_efficiency, simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall,
     };

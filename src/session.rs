@@ -37,6 +37,7 @@
 use crate::error::{BuildError, Error};
 use aimc_core::{map_network, ArchConfig, MappingStrategy, SystemMapping};
 use aimc_dnn::{he_init, AimcExecutor, Executor, GoldenExecutor, Graph, Tensor, Weights};
+use aimc_parallel::Parallelism;
 use aimc_runtime::{simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall};
 use aimc_xbar::XbarConfig;
 use std::collections::HashMap;
@@ -61,6 +62,7 @@ struct PlatformInner {
     strategy: MappingStrategy,
     weights: Option<Arc<Weights>>,
     mapping: SystemMapping,
+    parallelism: Parallelism,
 }
 
 impl Platform {
@@ -73,6 +75,7 @@ impl Platform {
             arch: None,
             strategy: MappingStrategy::OnChipResiduals,
             weights: WeightsSpec::None,
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -86,6 +89,7 @@ impl Platform {
             golden: None,
             analog: None,
             programs: 0,
+            parallelism: self.inner.parallelism,
         }
     }
 
@@ -113,6 +117,12 @@ impl Platform {
     pub fn weights(&self) -> Option<&Weights> {
         self.inner.weights.as_deref()
     }
+
+    /// The thread budget sessions inherit (see
+    /// [`PlatformBuilder::parallelism`]).
+    pub fn parallelism(&self) -> Parallelism {
+        self.inner.parallelism
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -129,6 +139,7 @@ pub struct PlatformBuilder {
     arch: Option<ArchConfig>,
     strategy: MappingStrategy,
     weights: WeightsSpec,
+    parallelism: Parallelism,
 }
 
 impl PlatformBuilder {
@@ -164,6 +175,20 @@ impl PlatformBuilder {
         self
     }
 
+    /// Sets the thread budget of the parallel execution engine (default:
+    /// [`Parallelism::Serial`]).
+    ///
+    /// The knob trades wall-clock only, never results: crossbar programming
+    /// fans out across tiles, `Session::infer` fans out across the batch
+    /// (or across tiles for a single image), and every setting produces
+    /// logits bit-identical to serial execution for the same seed —
+    /// randomness is keyed to stable `(seed, layer, tile, invocation)`
+    /// coordinates, not to scheduling order.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// Compiles the workload onto the platform, caching the
     /// [`SystemMapping`].
     ///
@@ -186,6 +211,7 @@ impl PlatformBuilder {
                 strategy: self.strategy,
                 weights,
                 mapping,
+                parallelism: self.parallelism,
             }),
         })
     }
@@ -253,6 +279,8 @@ pub struct Session {
     golden: Option<GoldenExecutor>,
     analog: Option<(Backend, AimcExecutor)>,
     programs: usize,
+    /// Thread budget for programming and functional inference.
+    parallelism: Parallelism,
 }
 
 impl std::fmt::Debug for Session {
@@ -350,24 +378,46 @@ impl Session {
     }
 
     /// Writes `backend`'s weights into fresh crossbars (counts as one
-    /// programming event).
+    /// programming event). Tiles are programmed in parallel up to the
+    /// session's thread budget — bit-identical to a serial deployment,
+    /// since every tile programs from its own derived RNG stream.
     fn write_crossbars(&mut self, backend: &Backend) -> Result<(), Error> {
         let Backend::Analog { seed, xbar_cfg } = backend else {
             unreachable!("caller matched Backend::Analog");
         };
         let (graph, weights) = self.shared_graph_weights()?;
-        let exec = AimcExecutor::try_program_shared(graph, weights, xbar_cfg, *seed)?;
+        let exec = AimcExecutor::try_program_shared_with(
+            graph,
+            weights,
+            xbar_cfg,
+            *seed,
+            self.parallelism,
+        )?;
         self.analog = Some((backend.clone(), exec));
         self.programs += 1;
         Ok(())
     }
 
     /// The executor for the active backend (set by [`Session::program`]).
-    fn active_executor(&mut self) -> &mut dyn Executor {
+    fn active_executor(&self) -> &dyn Executor {
         match self.active.as_ref().expect("program() ran first") {
-            Backend::Golden => self.golden.as_mut().expect("programmed golden"),
-            Backend::Analog { .. } => &mut self.analog.as_mut().expect("programmed analog").1,
+            Backend::Golden => self.golden.as_ref().expect("programmed golden"),
+            Backend::Analog { .. } => &self.analog.as_ref().expect("programmed analog").1,
         }
+    }
+
+    /// Overrides the thread budget inherited from the platform (applies to
+    /// subsequent programming and inference; never changes results).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+        if let Some((_, exec)) = self.analog.as_mut() {
+            exec.set_parallelism(parallelism);
+        }
+    }
+
+    /// The session's current thread budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Runs a batch of images through the functional `backend`, returning
@@ -377,16 +427,21 @@ impl Session {
     /// `infer` with the same backend reuses the already-programmed
     /// crossbars.
     ///
+    /// With a parallel thread budget ([`PlatformBuilder::parallelism`] /
+    /// [`Session::set_parallelism`]) the batch fans out across worker
+    /// threads — and still returns exactly the logits the serial loop
+    /// would, image for image, bit for bit.
+    ///
     /// # Errors
     /// Programming errors as in [`Session::program`], plus
-    /// [`Error::Exec`] on input-shape mismatches.
+    /// [`Error::Exec`] on input-shape mismatches (lowest failing image
+    /// wins, as in serial order).
     pub fn infer(&mut self, images: &[Tensor], backend: Backend) -> Result<Vec<Tensor>, Error> {
         self.program(&backend)?;
-        let exec = self.active_executor();
-        images
-            .iter()
-            .map(|x| exec.infer(x).map_err(Error::from))
-            .collect()
+        let par = self.parallelism;
+        self.active_executor()
+            .infer_batch(images, par)
+            .map_err(Error::from)
     }
 
     /// Runs one image through the functional `backend` (see

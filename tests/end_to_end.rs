@@ -35,7 +35,7 @@ fn analog_executor_tracks_golden_on_the_mapped_split_structure() {
     let w = he_init(&g, 3);
     let x = random_image(g.input_shape(), 11);
     let golden = infer_golden(&g, &w, &x);
-    let mut analog = AimcExecutor::program(&g, &w, &XbarConfig::ideal(256, 256), 5).unwrap();
+    let analog = AimcExecutor::program(&g, &w, &XbarConfig::ideal(256, 256), 5).unwrap();
     let y = analog.infer(&x);
     for (a, b) in y.data().iter().zip(golden.data()) {
         assert!((a - b).abs() < 0.05 * b.abs().max(1.0), "{a} vs {b}");

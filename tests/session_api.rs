@@ -102,7 +102,7 @@ fn session_infer_analog_matches_legacy_executor() {
         .infer_one(&x, Backend::analog(9, cfg.clone()))
         .unwrap();
     // Legacy path with the same seed sees the identical noise stream.
-    let mut legacy = AimcExecutor::program(&g, &w, &cfg, 9).unwrap();
+    let legacy = AimcExecutor::program(&g, &w, &cfg, 9).unwrap();
     assert_eq!(new, legacy.infer(&x));
 }
 
