@@ -462,6 +462,9 @@ impl AimcExecutor {
     /// the serial loop for any thread count; a single-image batch falls
     /// back to tile-level parallelism inside each layer.
     ///
+    /// An empty batch is a no-op: it returns `Ok(vec![])` without claiming
+    /// image coordinates or touching any stream state.
+    ///
     /// # Errors
     /// [`ExecError::ShapeMismatch`] on the first (lowest-index) mismatched
     /// input.
@@ -470,9 +473,54 @@ impl AimcExecutor {
         inputs: &[Tensor],
         par: Parallelism,
     ) -> Result<Vec<Tensor>, ExecError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
         let base = self
             .images_seen
             .fetch_add(inputs.len() as u64, Ordering::Relaxed);
+        self.run_batch_at(inputs, base, par)
+    }
+
+    /// Runs a batch of images at an **explicit** base image coordinate:
+    /// image `i` of the batch evaluates at global invocation coordinate
+    /// `base_image_index + i`, regardless of what the internal counter
+    /// says. This is the entry point behind batch-composition invariance:
+    /// a request stream numbered `0..n` produces bit-identical logits no
+    /// matter how it is chopped into micro-batches, because every image
+    /// carries its own stream index instead of its position within a batch.
+    ///
+    /// The internal counter is advanced to at least `base_image_index +
+    /// inputs.len()` so subsequent counter-claiming calls
+    /// ([`AimcExecutor::try_infer`] / [`AimcExecutor::try_infer_batch`])
+    /// never reuse the coordinates evaluated here. An empty batch is a
+    /// no-op and does not touch the counter.
+    ///
+    /// # Errors
+    /// [`ExecError::ShapeMismatch`] on the first (lowest-index) mismatched
+    /// input.
+    pub fn try_infer_batch_at(
+        &self,
+        inputs: &[Tensor],
+        base_image_index: u64,
+        par: Parallelism,
+    ) -> Result<Vec<Tensor>, ExecError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.images_seen
+            .fetch_max(base_image_index + inputs.len() as u64, Ordering::Relaxed);
+        self.run_batch_at(inputs, base_image_index, par)
+    }
+
+    /// Batch evaluation body shared by the counter-claiming and
+    /// explicit-coordinate entry points.
+    fn run_batch_at(
+        &self,
+        inputs: &[Tensor],
+        base: u64,
+        par: Parallelism,
+    ) -> Result<Vec<Tensor>, ExecError> {
         if inputs.len() == 1 {
             let mut scratch = InferScratch::default();
             return Ok(vec![self.run_image(&inputs[0], base, &mut scratch, par)?]);
@@ -482,6 +530,22 @@ impl AimcExecutor {
         try_map_with(par, inputs, InferScratch::default, |scratch, i, x| {
             self.run_image(x, base + i as u64, scratch, Parallelism::Serial)
         })
+    }
+
+    /// Images started so far — equivalently, the next image coordinate a
+    /// counter-claiming call would receive.
+    pub fn images_seen(&self) -> u64 {
+        self.images_seen.load(Ordering::Relaxed)
+    }
+
+    /// Atomically claims the next `n` image coordinates, returning the
+    /// base of the claimed range. Serving layers claim here and evaluate
+    /// via [`AimcExecutor::try_infer_batch_at`]; because the claim is a
+    /// single `fetch_add`, concurrent claimers (another handle, an
+    /// interleaved counter-claiming infer) can never alias a coordinate —
+    /// unlike a read-then-run of [`AimcExecutor::images_seen`].
+    pub fn claim_images(&self, n: u64) -> u64 {
+        self.images_seen.fetch_add(n, Ordering::Relaxed)
     }
 
     /// One image at an explicit image coordinate (shared by the serial and
@@ -576,6 +640,19 @@ impl Executor for AimcExecutor {
 
     fn infer_batch(&self, inputs: &[Tensor], par: Parallelism) -> Result<Vec<Tensor>, ExecError> {
         self.try_infer_batch(inputs, par)
+    }
+
+    fn infer_batch_at(
+        &self,
+        inputs: &[Tensor],
+        base_image_index: u64,
+        par: Parallelism,
+    ) -> Result<Vec<Tensor>, ExecError> {
+        self.try_infer_batch_at(inputs, base_image_index, par)
+    }
+
+    fn images_seen(&self) -> u64 {
+        AimcExecutor::images_seen(self)
     }
 
     fn backend_name(&self) -> &'static str {
@@ -813,5 +890,98 @@ mod tests {
     fn executor_is_sync_and_send() {
         fn assert_sync_send<T: Sync + Send>() {}
         assert_sync_send::<AimcExecutor>();
+    }
+
+    /// Regression for the empty-batch edge: no coordinates may be claimed
+    /// and no stream state touched, so the surrounding stream replays
+    /// exactly as if the empty call never happened.
+    #[test]
+    fn empty_batch_is_a_stream_no_op() {
+        let g = small_cnn();
+        let w = he_init(&g, 2);
+        let cfg = XbarConfig::hermes_256();
+        let images: Vec<Tensor> = (0..2)
+            .map(|i| random_image(g.input_shape(), 80 + i))
+            .collect();
+
+        let a = AimcExecutor::try_program(&g, &w, &cfg, 5).unwrap();
+        let first = a.try_infer(&images[0]).unwrap();
+        assert_eq!(a.images_seen(), 1);
+        assert_eq!(a.try_infer_batch(&[], Parallelism::Threads(4)).unwrap(), []);
+        assert_eq!(
+            a.try_infer_batch_at(&[], 99, Parallelism::Serial).unwrap(),
+            []
+        );
+        assert_eq!(a.images_seen(), 1, "empty batch must not claim coordinates");
+        let second = a.try_infer(&images[1]).unwrap();
+
+        // Reference stream without the interleaved empty calls.
+        let b = AimcExecutor::try_program(&g, &w, &cfg, 5).unwrap();
+        assert_eq!(b.try_infer(&images[0]).unwrap(), first);
+        assert_eq!(b.try_infer(&images[1]).unwrap(), second);
+        let mvms = a.total_mvms();
+        assert_eq!(mvms, b.total_mvms(), "empty batches must not evaluate MVMs");
+    }
+
+    /// The tentpole invariant at the executor level: chopping a request
+    /// stream into arbitrary micro-batches via `try_infer_batch_at` yields
+    /// bit-identical logits to solo inference of the same stream.
+    #[test]
+    fn explicit_coordinates_are_chop_invariant() {
+        let g = small_cnn();
+        let w = he_init(&g, 5);
+        let cfg = XbarConfig::hermes_256().with_size(32, 4);
+        let images: Vec<Tensor> = (0..6)
+            .map(|i| random_image(g.input_shape(), 90 + i))
+            .collect();
+
+        let solo_exec = AimcExecutor::try_program(&g, &w, &cfg, 11).unwrap();
+        let solo: Vec<Tensor> = images
+            .iter()
+            .map(|x| solo_exec.try_infer(x).unwrap())
+            .collect();
+
+        for chop in [
+            vec![1, 1, 1, 1, 1, 1],
+            vec![2, 2, 2],
+            vec![3, 3],
+            vec![6],
+            vec![1, 4, 1],
+        ] {
+            let exec = AimcExecutor::try_program(&g, &w, &cfg, 11).unwrap();
+            let mut got = Vec::new();
+            let mut base = 0u64;
+            for len in chop.iter().copied() {
+                let batch = &images[base as usize..base as usize + len];
+                got.extend(
+                    exec.try_infer_batch_at(batch, base, Parallelism::Threads(2))
+                        .unwrap(),
+                );
+                base += len as u64;
+            }
+            assert_eq!(solo, got, "chopping {chop:?} diverged from solo");
+            assert_eq!(exec.images_seen(), images.len() as u64);
+        }
+    }
+
+    /// `infer_batch_at` advances the counter past the batch, so later
+    /// counter-claiming calls never reuse coordinates.
+    #[test]
+    fn explicit_base_advances_the_counter() {
+        let g = small_cnn();
+        let w = he_init(&g, 1);
+        let cfg = XbarConfig::hermes_256();
+        let x = random_image(g.input_shape(), 70);
+        let exec = AimcExecutor::try_program(&g, &w, &cfg, 3).unwrap();
+        exec.try_infer_batch_at(std::slice::from_ref(&x), 4, Parallelism::Serial)
+            .unwrap();
+        assert_eq!(exec.images_seen(), 5);
+        // A lower explicit base never winds the counter back.
+        exec.try_infer_batch_at(std::slice::from_ref(&x), 0, Parallelism::Serial)
+            .unwrap();
+        assert_eq!(exec.images_seen(), 5);
+        let claimed = exec.try_infer(&x);
+        assert!(claimed.is_ok());
+        assert_eq!(exec.images_seen(), 6);
     }
 }

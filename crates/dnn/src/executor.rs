@@ -89,6 +89,42 @@ pub trait Executor: Sync {
         try_map_indexed(par, inputs, |_, x| self.infer(x))
     }
 
+    /// Runs a batch whose first image sits at the **explicit** global
+    /// stream coordinate `base_image_index` (image `i` of the batch is
+    /// image `base_image_index + i` of the request stream).
+    ///
+    /// This is the serving-layer entry point: a micro-batch scheduler that
+    /// numbers requests in arrival order and carries the number here gets
+    /// *batch-composition invariance* — for a fixed seed, the logits of
+    /// request `k` are bit-identical no matter how the stream was chopped
+    /// into batches, because evaluation randomness is keyed to the stream
+    /// index, never to the position within a batch.
+    ///
+    /// The default implementation ignores the coordinate (stateless
+    /// backends are trivially composition-invariant) and delegates to
+    /// [`Executor::infer_batch`]; backends with per-image stream state
+    /// override it (the analog executor keys its read-noise streams by the
+    /// coordinate and advances its image counter past the batch).
+    ///
+    /// # Errors
+    /// The error of the lowest-indexed failing image, if any.
+    fn infer_batch_at(
+        &self,
+        inputs: &[Tensor],
+        base_image_index: u64,
+        par: Parallelism,
+    ) -> Result<Vec<Tensor>, ExecError> {
+        let _ = base_image_index;
+        self.infer_batch(inputs, par)
+    }
+
+    /// Images consumed from the backend's request stream so far — the next
+    /// coordinate a counter-claiming call would use (0 for stateless
+    /// backends, which have no stream state).
+    fn images_seen(&self) -> u64 {
+        0
+    }
+
     /// Short label of the backend ("golden", "analog").
     fn backend_name(&self) -> &'static str;
 

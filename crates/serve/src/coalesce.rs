@@ -1,0 +1,188 @@
+//! The pure micro-batching state machine.
+//!
+//! [`Coalescer`] decides *when a batch is ready* — it owns no threads, no
+//! channels, and no wall clock. Callers feed it requests tagged with an
+//! explicit `now` timestamp (any monotonic [`Duration`] since an arbitrary
+//! epoch), and it reports fullness and deadlines. The worker thread wires
+//! it to `Instant::elapsed`; the unit tests drive it with a fake clock,
+//! which is the only way to test a latency budget deterministically.
+
+use std::time::Duration;
+
+/// Accumulates items into a batch bounded by a size limit and a latency
+/// budget (see [`BatchPolicy`](crate::BatchPolicy)).
+///
+/// State machine: the batch is *ready* when either
+/// [`Coalescer::push`] returns `true` (size trigger) or
+/// [`Coalescer::is_due`] returns `true` (deadline trigger — `max_wait`
+/// after the **first** item of the partial batch arrived). [`Coalescer::take`]
+/// removes the batch and resets the deadline.
+///
+/// ```
+/// use aimc_serve::Coalescer;
+/// use std::time::Duration;
+///
+/// let mut c: Coalescer<&str> = Coalescer::new(2, Duration::from_millis(10));
+/// let t0 = Duration::from_millis(100); // fake clock
+/// assert!(!c.push("a", t0)); // not full yet
+/// assert!(!c.is_due(t0 + Duration::from_millis(9))); // budget not exhausted
+/// assert!(c.is_due(t0 + Duration::from_millis(10))); // budget exhausted
+/// assert_eq!(c.take(), vec!["a"]);
+/// ```
+#[derive(Debug)]
+pub struct Coalescer<T> {
+    max_batch: usize,
+    max_wait: Duration,
+    items: Vec<T>,
+    /// Flush deadline of the current partial batch (set when its first
+    /// item arrives), in the caller's clock domain.
+    deadline: Option<Duration>,
+}
+
+impl<T> Coalescer<T> {
+    /// A coalescer dispatching at `max_batch` items (clamped to ≥ 1) or
+    /// `max_wait` after the first queued item, whichever comes first.
+    pub fn new(max_batch: usize, max_wait: Duration) -> Self {
+        Coalescer {
+            max_batch: max_batch.max(1),
+            max_wait,
+            items: Vec::new(),
+            deadline: None,
+        }
+    }
+
+    /// Adds one item at time `now`; returns `true` when the batch has
+    /// reached `max_batch` and must be dispatched.
+    ///
+    /// The first item of a partial batch starts the latency budget:
+    /// the deadline becomes `now + max_wait` and does **not** move when
+    /// later items join (the budget bounds the *oldest* request's wait).
+    pub fn push(&mut self, item: T, now: Duration) -> bool {
+        if self.items.is_empty() {
+            self.deadline = Some(now + self.max_wait);
+        }
+        self.items.push(item);
+        self.items.len() >= self.max_batch
+    }
+
+    /// The instant the current partial batch must be dispatched, if one is
+    /// pending.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Whether the latency budget of the pending partial batch has expired
+    /// at time `now` (always `false` when empty).
+    pub fn is_due(&self, now: Duration) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Removes and returns the queued batch (possibly empty), clearing the
+    /// deadline.
+    pub fn take(&mut self) -> Vec<T> {
+        self.deadline = None;
+        std::mem::take(&mut self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn size_trigger_fires_exactly_at_max_batch() {
+        let mut c = Coalescer::new(3, ms(50));
+        assert!(!c.push(1, ms(0)));
+        assert!(!c.push(2, ms(1)));
+        assert!(c.push(3, ms(2)), "third item fills a max_batch=3 batch");
+        assert_eq!(c.take(), vec![1, 2, 3]);
+        assert!(c.is_empty());
+        assert_eq!(c.deadline(), None);
+    }
+
+    #[test]
+    fn deadline_is_keyed_to_the_first_item_under_a_fake_clock() {
+        let mut c = Coalescer::new(100, ms(10));
+        assert!(!c.is_due(ms(1_000_000)), "empty coalescer is never due");
+        c.push("first", ms(100));
+        assert_eq!(c.deadline(), Some(ms(110)));
+        // Later arrivals do not extend the oldest request's budget.
+        c.push("second", ms(105));
+        c.push("third", ms(109));
+        assert_eq!(c.deadline(), Some(ms(110)));
+        assert!(!c.is_due(ms(109)));
+        assert!(c.is_due(ms(110)));
+        assert!(c.is_due(ms(500)));
+        assert_eq!(c.take().len(), 3);
+        // The next batch restarts the budget from its own first item.
+        c.push("fourth", ms(200));
+        assert_eq!(c.deadline(), Some(ms(210)));
+    }
+
+    #[test]
+    fn zero_wait_makes_every_partial_batch_immediately_due() {
+        let mut c = Coalescer::new(8, Duration::ZERO);
+        c.push(7, ms(3));
+        assert!(c.is_due(ms(3)));
+    }
+
+    #[test]
+    fn max_batch_zero_degrades_to_one() {
+        let mut c = Coalescer::new(0, ms(1));
+        assert!(c.push(1, ms(0)), "max_batch 0 clamps to 1: always full");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// For any arrival pattern, a batch handed out by the size trigger
+        /// never exceeds `max_batch`, and taking on every trigger (size or
+        /// deadline) loses no items and reorders nothing.
+        #[test]
+        fn batches_never_exceed_max_batch_and_preserve_fifo(
+            max_batch in 1usize..10,
+            max_wait_ms in 0u64..20,
+            gaps in prop::collection::vec(0u64..30, 1..60),
+        ) {
+            let mut c = Coalescer::new(max_batch, ms(max_wait_ms));
+            let mut now = ms(0);
+            let mut batches: Vec<Vec<usize>> = Vec::new();
+            for (i, gap) in gaps.iter().enumerate() {
+                now += ms(*gap);
+                // Deadline trigger: flush anything overdue before admitting.
+                if c.is_due(now) {
+                    batches.push(c.take());
+                }
+                if c.push(i, now) {
+                    batches.push(c.take());
+                }
+            }
+            let tail = c.take();
+            if !tail.is_empty() {
+                batches.push(tail);
+            }
+            for b in &batches {
+                prop_assert!(!b.is_empty());
+                prop_assert!(b.len() <= max_batch, "batch of {} exceeds {}", b.len(), max_batch);
+            }
+            let flat: Vec<usize> = batches.into_iter().flatten().collect();
+            let want: Vec<usize> = (0..gaps.len()).collect();
+            prop_assert_eq!(flat, want);
+        }
+    }
+}

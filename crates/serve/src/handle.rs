@@ -1,0 +1,472 @@
+//! Request/completion plumbing: the clone-able [`ServeHandle`] submitter,
+//! per-request [`Pending`] completion handles, and [`ServeStats`].
+//!
+//! Every accepted request is guaranteed a terminal outcome: the worker
+//! fulfills it with logits or an execution error, and if a request is ever
+//! dropped unfulfilled (worker panic, teardown race) its [`Ticket`]'s
+//! `Drop` posts [`ServeError::Canceled`] — so [`Pending::wait`] and
+//! [`ServeHandle::drain`] can never hang on a lost request.
+
+use aimc_dnn::{ExecError, Tensor};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A serving-layer failure attached to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The handle is shut down; the request was not accepted.
+    ShutDown,
+    /// The request was accepted but dropped before execution (worker died
+    /// or the batch runner broke its contract).
+    Canceled,
+    /// The batch containing this request failed in the executor.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShutDown => write!(f, "serve handle is shut down"),
+            ServeError::Canceled => write!(f, "request canceled before execution"),
+            ServeError::Exec(e) => write!(f, "batch execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+/// One-shot completion cell shared between a [`Pending`] and its
+/// [`Ticket`].
+#[derive(Debug, Default)]
+struct CompletionSlot {
+    cell: Mutex<Option<Result<Tensor, ServeError>>>,
+    cv: Condvar,
+}
+
+impl CompletionSlot {
+    /// First writer wins; later fulfillments are ignored.
+    fn fulfill(&self, outcome: Result<Tensor, ServeError>) {
+        let mut cell = self.cell.lock().unwrap();
+        if cell.is_none() {
+            *cell = Some(outcome);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The caller's side of one submitted request (returned by
+/// [`ServeHandle::submit`]).
+#[derive(Debug)]
+pub struct Pending {
+    slot: Arc<CompletionSlot>,
+}
+
+impl Pending {
+    /// Blocks until the request completes, returning its logits (or the
+    /// error that terminated it).
+    ///
+    /// # Errors
+    /// [`ServeError::Exec`] if the batch failed in the executor;
+    /// [`ServeError::Canceled`] if the request was dropped unexecuted.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        let mut cell = self.slot.cell.lock().unwrap();
+        loop {
+            if let Some(outcome) = cell.take() {
+                return outcome;
+            }
+            cell = self.slot.cv.wait(cell).unwrap();
+        }
+    }
+
+    /// Whether the request has completed (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.slot.cell.lock().unwrap().is_some()
+    }
+}
+
+/// Worker-side completion obligation for one request. Fulfilling consumes
+/// it; dropping it unfulfilled posts [`ServeError::Canceled`] and still
+/// counts the request as completed, so drains never deadlock.
+#[derive(Debug)]
+pub(crate) struct Ticket {
+    slot: Arc<CompletionSlot>,
+    shared: Arc<SharedState>,
+    done: bool,
+}
+
+impl Ticket {
+    pub(crate) fn fulfill(mut self, outcome: Result<Tensor, ServeError>) {
+        self.slot.fulfill(outcome);
+        self.done = true;
+        self.shared.note_completed();
+    }
+
+    /// Discards the obligation without any completion bookkeeping — only
+    /// for requests whose submission bookkeeping was already rolled back.
+    fn defuse(mut self) {
+        self.done = true;
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if !self.done {
+            self.slot.fulfill(Err(ServeError::Canceled));
+            self.shared.note_completed();
+        }
+    }
+}
+
+/// One queued request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub(crate) image: Tensor,
+    pub(crate) ticket: Ticket,
+    pub(crate) submitted_at: Instant,
+}
+
+/// Messages on the bounded request channel.
+#[derive(Debug)]
+pub(crate) enum Msg {
+    Request(Request),
+    /// Wake-up sentinel: drain what is queued, then exit.
+    Shutdown,
+}
+
+/// Counters and latency samples shared between submitters and the worker.
+#[derive(Debug, Default)]
+pub(crate) struct SharedState {
+    inner: Mutex<StateInner>,
+    cv: Condvar,
+}
+
+/// How many per-request queue-wait samples are retained for the latency
+/// percentiles — a bounded window of the most recent dispatches, so a
+/// long-lived server's stats stay O(1) in memory.
+const WAIT_SAMPLE_CAP: usize = 4096;
+
+#[derive(Debug, Default)]
+struct StateInner {
+    closed: bool,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    batches: u64,
+    /// Total images dispatched to the runner (unlike the bounded wait
+    /// ring, this never saturates).
+    dispatched: u64,
+    max_batch_observed: usize,
+    /// Queue waits (submission → batch dispatch) of the most recent
+    /// dispatched requests — a ring of [`WAIT_SAMPLE_CAP`] samples.
+    queue_waits: Vec<Duration>,
+    /// Overwrite position once the ring is full.
+    wait_cursor: usize,
+}
+
+impl SharedState {
+    fn note_completed(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.completed += 1;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn note_batch(&self, size: usize, waits: &[Duration]) {
+        let mut st = self.inner.lock().unwrap();
+        st.batches += 1;
+        st.dispatched += size as u64;
+        st.max_batch_observed = st.max_batch_observed.max(size);
+        for &w in waits {
+            if st.queue_waits.len() < WAIT_SAMPLE_CAP {
+                st.queue_waits.push(w);
+            } else {
+                let cursor = st.wait_cursor;
+                st.queue_waits[cursor] = w;
+                st.wait_cursor = (cursor + 1) % WAIT_SAMPLE_CAP;
+            }
+        }
+    }
+}
+
+/// Point-in-time serving statistics (see [`ServeHandle::stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests accepted by [`ServeHandle::submit`].
+    pub submitted: u64,
+    /// Requests that reached a terminal outcome (logits, error, or cancel).
+    pub completed: u64,
+    /// Requests refused because the handle was shut down.
+    pub rejected: u64,
+    /// Micro-batches dispatched to the runner.
+    pub batches: u64,
+    /// Total images dispatched to the runner across all batches.
+    pub dispatched: u64,
+    /// Largest batch dispatched so far.
+    pub max_batch_observed: usize,
+    /// Queue waits (submission → batch dispatch) of the most recently
+    /// dispatched requests — a bounded sample window (4096 entries), so
+    /// long-lived servers report recent latency without unbounded growth.
+    pub queue_waits: Vec<Duration>,
+}
+
+impl ServeStats {
+    /// The `p`-th percentile (0.0–1.0) of the recorded queue waits, or
+    /// `None` before the first dispatch.
+    pub fn queue_wait_percentile(&self, p: f64) -> Option<Duration> {
+        if self.queue_waits.is_empty() {
+            return None;
+        }
+        let mut sorted = self.queue_waits.clone();
+        sorted.sort_unstable();
+        let rank = (p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Mean images per dispatched batch (0.0 before the first dispatch).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.dispatched as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Clone-able submitter for a running micro-batch scheduler (see
+/// [`spawn`](crate::spawn)).
+///
+/// All clones feed the same bounded queue and the same worker; any clone
+/// may [`ServeHandle::drain`] or [`ServeHandle::shutdown`]. Completion
+/// order is FIFO in arrival order: the worker dispatches batches in queue
+/// order and fulfills each batch front-to-back.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    tx: SyncSender<Msg>,
+    shared: Arc<SharedState>,
+    worker: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl ServeHandle {
+    pub(crate) fn new(
+        tx: SyncSender<Msg>,
+        shared: Arc<SharedState>,
+        worker: JoinHandle<()>,
+    ) -> Self {
+        ServeHandle {
+            tx,
+            shared,
+            worker: Arc::new(Mutex::new(Some(worker))),
+        }
+    }
+
+    /// Submits one image for inference, returning its completion handle.
+    ///
+    /// Blocks only when the bounded queue is full (backpressure); the
+    /// actual inference is asynchronous — claim the result later via
+    /// [`Pending::wait`].
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] if [`ServeHandle::shutdown`] ran first.
+    pub fn submit(&self, image: Tensor) -> Result<Pending, ServeError> {
+        {
+            let mut st = self.shared.inner.lock().unwrap();
+            if st.closed {
+                st.rejected += 1;
+                return Err(ServeError::ShutDown);
+            }
+            st.submitted += 1;
+        }
+        let slot = Arc::new(CompletionSlot::default());
+        let request = Request {
+            image,
+            ticket: Ticket {
+                slot: Arc::clone(&slot),
+                shared: Arc::clone(&self.shared),
+                done: false,
+            },
+            submitted_at: Instant::now(),
+        };
+        if let Err(e) = self.tx.send(Msg::Request(request)) {
+            // The worker is gone (shutdown raced ahead): roll the
+            // submission back and refuse.
+            if let Msg::Request(req) = e.0 {
+                req.ticket.defuse();
+            }
+            {
+                let mut st = self.shared.inner.lock().unwrap();
+                st.submitted -= 1;
+                st.rejected += 1;
+            }
+            // The rollback can be what lets `completed == submitted`: a
+            // drain blocked on the old count must re-check.
+            self.shared.cv.notify_all();
+            return Err(ServeError::ShutDown);
+        }
+        Ok(Pending { slot })
+    }
+
+    /// Blocks until every accepted request has reached a terminal outcome
+    /// (the queue is empty and no batch is in flight).
+    pub fn drain(&self) {
+        let mut st = self.shared.inner.lock().unwrap();
+        while st.completed < st.submitted {
+            st = self.shared.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Stops accepting new requests, drains everything already accepted,
+    /// and joins the worker thread. Idempotent; safe to call from any
+    /// clone.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.inner.lock().unwrap();
+            if st.closed {
+                // Another clone already initiated shutdown; just wait for
+                // completions below.
+                drop(st);
+                self.drain();
+                return;
+            }
+            st.closed = true;
+        }
+        // Wake the worker; if it already exited, the queue is being torn
+        // down and pending tickets cancel themselves.
+        let _ = self.tx.send(Msg::Shutdown);
+        let worker = self.worker.lock().unwrap().take();
+        if let Some(h) = worker {
+            let _ = h.join();
+        }
+        self.drain();
+    }
+
+    /// Whether [`ServeHandle::shutdown`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.shared.inner.lock().unwrap().closed
+    }
+
+    /// A snapshot of the serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        let st = self.shared.inner.lock().unwrap();
+        ServeStats {
+            submitted: st.submitted,
+            completed: st.completed,
+            rejected: st.rejected,
+            batches: st.batches,
+            dispatched: st.dispatched,
+            max_batch_observed: st.max_batch_observed,
+            queue_waits: st.queue_waits.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimc_dnn::Shape;
+
+    fn tensor(v: f32) -> Tensor {
+        Tensor::from_vec(Shape::new(1, 1, 1), vec![v])
+    }
+
+    #[test]
+    fn pending_wait_returns_the_fulfilled_value() {
+        let slot = Arc::new(CompletionSlot::default());
+        let p = Pending {
+            slot: Arc::clone(&slot),
+        };
+        assert!(!p.is_ready());
+        slot.fulfill(Ok(tensor(1.0)));
+        assert!(p.is_ready());
+        assert_eq!(p.wait().unwrap().data(), &[1.0]);
+    }
+
+    #[test]
+    fn first_fulfillment_wins() {
+        let slot = Arc::new(CompletionSlot::default());
+        let p = Pending {
+            slot: Arc::clone(&slot),
+        };
+        slot.fulfill(Err(ServeError::Canceled));
+        slot.fulfill(Ok(tensor(2.0)));
+        assert_eq!(p.wait(), Err(ServeError::Canceled));
+    }
+
+    #[test]
+    fn dropped_ticket_cancels_and_counts_completion() {
+        let shared = Arc::new(SharedState::default());
+        shared.inner.lock().unwrap().submitted = 1;
+        let slot = Arc::new(CompletionSlot::default());
+        let p = Pending {
+            slot: Arc::clone(&slot),
+        };
+        let ticket = Ticket {
+            slot,
+            shared: Arc::clone(&shared),
+            done: false,
+        };
+        drop(ticket);
+        assert_eq!(p.wait(), Err(ServeError::Canceled));
+        assert_eq!(shared.inner.lock().unwrap().completed, 1);
+    }
+
+    #[test]
+    fn stats_percentiles_and_mean_batch() {
+        let mut s = ServeStats::default();
+        assert_eq!(s.queue_wait_percentile(0.5), None);
+        assert_eq!(s.mean_batch(), 0.0);
+        s.queue_waits = (1..=100).map(Duration::from_millis).collect();
+        s.batches = 25;
+        s.dispatched = 100;
+        assert_eq!(s.queue_wait_percentile(0.0), Some(Duration::from_millis(1)));
+        assert_eq!(
+            s.queue_wait_percentile(0.5),
+            Some(Duration::from_millis(51))
+        );
+        assert_eq!(
+            s.queue_wait_percentile(1.0),
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(s.mean_batch(), 4.0);
+    }
+
+    /// Past the wait-sample cap the ring overwrites oldest samples, while
+    /// `dispatched` keeps exact count — so `mean_batch` stays correct on
+    /// long-lived servers.
+    #[test]
+    fn wait_ring_saturates_but_mean_batch_stays_exact() {
+        let shared = SharedState::default();
+        let waits = [Duration::from_millis(1); 10];
+        for _ in 0..600 {
+            shared.note_batch(10, &waits);
+        }
+        let st = shared.inner.lock().unwrap();
+        assert_eq!(st.queue_waits.len(), WAIT_SAMPLE_CAP);
+        assert_eq!(st.dispatched, 6000);
+        assert_eq!(st.batches, 600);
+        drop(st);
+        let stats = ServeStats {
+            batches: 600,
+            dispatched: 6000,
+            ..ServeStats::default()
+        };
+        assert_eq!(stats.mean_batch(), 10.0);
+    }
+
+    #[test]
+    fn serve_error_displays() {
+        assert!(ServeError::ShutDown.to_string().contains("shut down"));
+        assert!(ServeError::Canceled.to_string().contains("canceled"));
+        let e = ServeError::from(ExecError::ShapeMismatch {
+            expected: Shape::new(1, 2, 3),
+            got: Shape::new(3, 2, 1),
+        });
+        assert!(e.to_string().contains("batch execution failed"));
+    }
+}

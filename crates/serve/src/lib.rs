@@ -1,0 +1,150 @@
+//! # aimc-serve — async micro-batching serving layer
+//!
+//! The paper reaches its headline throughput by driving the AIMC fabric
+//! with batch-16 streams: programming cost is paid once and the peripheral
+//! pipeline is amortized over many images. This crate is the host-side
+//! counterpart for *serving*: it accepts **single-image requests** on a
+//! bounded MPSC queue, coalesces them into micro-batches under a
+//! [`BatchPolicy`] latency budget, and drives a [`BatchRunner`] (typically
+//! `Executor::infer_batch_at` behind the `aimc-platform` session) — with
+//! one hard guarantee on top of PR 2's thread-count invariance:
+//!
+//! > **Batch-composition invariance.** Requests are numbered in arrival
+//! > order and each batch carries the stream index of its first image, so
+//! > for a fixed seed the logits of request *k* are bit-identical no
+//! > matter how the stream was chopped into micro-batches — max_batch 1,
+//! > 16, or anything the wait budget produced under load.
+//!
+//! ## Anatomy
+//!
+//! * [`BatchPolicy`] — the two serving knobs (`max_batch`, `max_wait`)
+//!   plus the queue bound.
+//! * [`Coalescer`] — the pure batching state machine (size *or* deadline
+//!   triggers a flush). It takes explicit `now` timestamps, so the latency
+//!   budget is unit-testable under a fake clock.
+//! * [`spawn`] — wires a bounded channel, the coalescer, and a worker
+//!   thread around a [`BatchRunner`]; returns a clone-able [`ServeHandle`].
+//! * [`ServeHandle::submit`] — enqueues one image, returning a [`Pending`]
+//!   completion handle; [`ServeHandle::drain`] / [`ServeHandle::shutdown`]
+//!   flush and stop the worker.
+//!
+//! ## Example
+//!
+//! ```
+//! use aimc_serve::{spawn, BatchPolicy};
+//! use aimc_dnn::{Shape, Tensor};
+//! use std::time::Duration;
+//!
+//! // A toy runner: doubles the first element of every image.
+//! let runner = |_base: u64, inputs: &[Tensor]| {
+//!     Ok(inputs
+//!         .iter()
+//!         .map(|t| Tensor::from_vec(t.shape(), t.data().iter().map(|v| v * 2.0).collect()))
+//!         .collect())
+//! };
+//! let handle = spawn(BatchPolicy::new(4, Duration::from_millis(1)), runner);
+//! let pending = handle
+//!     .submit(Tensor::from_vec(Shape::new(1, 1, 1), vec![21.0]))
+//!     .unwrap();
+//! assert_eq!(pending.wait().unwrap().data(), &[42.0]);
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coalesce;
+mod handle;
+mod scheduler;
+
+pub use coalesce::Coalescer;
+pub use handle::{Pending, ServeError, ServeHandle, ServeStats};
+pub use scheduler::{spawn, BatchRunner};
+
+use aimc_dnn::{ExecError, Tensor};
+use std::time::Duration;
+
+/// Object-safe runner type for adapters that pick the execution path at
+/// runtime (e.g. the platform session choosing a backend slot): a
+/// `Box<DynRunner>` is itself a [`BatchRunner`].
+pub type DynRunner = dyn FnMut(u64, &[Tensor]) -> Result<Vec<Tensor>, ExecError> + Send;
+
+/// The micro-batch scheduling policy: how many requests to coalesce and
+/// how long the oldest queued request may wait for company.
+///
+/// A batch is dispatched as soon as **either** trigger fires:
+/// `max_batch` requests are pending, or `max_wait` has elapsed since the
+/// first request of the partial batch arrived. `max_batch = 1` degrades to
+/// solo serving (every request is its own batch); a large `max_batch` with
+/// a small `max_wait` keeps tail latency bounded under light load while
+/// still filling batches under heavy load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Upper bound on images per dispatched batch (≥ 1; 0 is treated as 1).
+    pub max_batch: usize,
+    /// Latency budget: the longest the first request of a partial batch
+    /// waits before the batch is dispatched anyway.
+    pub max_wait: Duration,
+    /// Bound of the request queue: once this many requests are in flight
+    /// between submitters and the worker, [`ServeHandle::submit`] blocks
+    /// (backpressure, never unbounded growth).
+    pub queue_depth: usize,
+}
+
+impl BatchPolicy {
+    /// A policy with the given batch bound and latency budget, and a
+    /// default queue depth of `max(4 · max_batch, 64)`.
+    pub fn new(max_batch: usize, max_wait: Duration) -> Self {
+        BatchPolicy {
+            max_batch,
+            max_wait,
+            queue_depth: (max_batch * 4).max(64),
+        }
+    }
+
+    /// Overrides the queue bound (clamped to at least 1).
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// The policy with degenerate settings clamped to usable values.
+    pub(crate) fn normalized(mut self) -> Self {
+        self.max_batch = self.max_batch.max(1);
+        self.queue_depth = self.queue_depth.max(1);
+        self
+    }
+}
+
+impl Default for BatchPolicy {
+    /// The paper's batch of 16 with a 2 ms latency budget.
+    fn default() -> Self {
+        BatchPolicy::new(16, Duration::from_millis(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_defaults_and_normalization() {
+        let p = BatchPolicy::default();
+        assert_eq!(p.max_batch, 16);
+        assert_eq!(p.max_wait, Duration::from_millis(2));
+        assert_eq!(p.queue_depth, 64);
+
+        let p = BatchPolicy::new(32, Duration::from_millis(1));
+        assert_eq!(p.queue_depth, 128);
+        assert_eq!(p.with_queue_depth(7).queue_depth, 7);
+
+        let degenerate = BatchPolicy {
+            max_batch: 0,
+            max_wait: Duration::ZERO,
+            queue_depth: 0,
+        }
+        .normalized();
+        assert_eq!(degenerate.max_batch, 1);
+        assert_eq!(degenerate.queue_depth, 1);
+    }
+}

@@ -29,6 +29,15 @@
 //! The hash is **stable**: it is part of the reproducibility contract (a
 //! stored seed must replay the same noise forever), so it must not change
 //! across versions.
+//!
+//! Invocation tags are full-width `u64`s with no internal structure
+//! assumed: the executors pass `image_index · patches_per_layer + patch`,
+//! where `image_index` is a *global stream coordinate* assigned by the
+//! serving layer. A long-lived server can push that product far beyond
+//! 2^40 — [`derive`] is a bijective mix composed with XOR, so distinct
+//! tags can only collide through the XOR of two finalized values, which
+//! the neighbourhood audits in `tests/proptests.rs` check at
+//! serving-scale bases.
 
 /// SplitMix64 finalizer: a bijective avalanche mix of a 64-bit value
 /// (Steele et al., the seed expander `rand` itself uses in

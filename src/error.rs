@@ -29,6 +29,9 @@ pub enum Error {
     /// An operation needed a programmed analog backend, but none is
     /// programmed.
     NoAnalogBackend,
+    /// An operation needed *some* programmed functional backend (golden or
+    /// analog), but none is programmed yet.
+    NoBackend,
 }
 
 /// What was missing from a [`PlatformBuilder`](crate::PlatformBuilder).
@@ -57,6 +60,11 @@ impl fmt::Display for Error {
                 f,
                 "no analog backend programmed: run Session::infer or Session::program \
                  with Backend::Analog first"
+            ),
+            Error::NoBackend => write!(
+                f,
+                "no functional backend programmed: run Session::program (or an infer) \
+                 with the backend to serve before calling Session::serve"
             ),
         }
     }

@@ -14,6 +14,7 @@
 //! | cluster | [`cluster`] | IMA subsystem, digital kernels, L1, DMA |
 //! | **mapping compiler** | [`core`] | splits, reduction trees, tiling, replication, residual placement |
 //! | runtime | [`runtime`] | self-timed pipelined simulation + analyses |
+//! | serving layer | [`serve`] | async micro-batch scheduler, batch-composition-invariant |
 //! | **facade** | this crate | [`Platform`] builder, [`Session`], unified [`Error`] |
 //!
 //! ## Quickstart
@@ -73,6 +74,7 @@ pub use aimc_dnn as dnn;
 pub use aimc_noc as noc;
 pub use aimc_parallel as parallel;
 pub use aimc_runtime as runtime;
+pub use aimc_serve as serve;
 pub use aimc_sim as sim;
 pub use aimc_xbar as xbar;
 
@@ -96,6 +98,7 @@ pub mod prelude {
     pub use aimc_runtime::{
         group_area_efficiency, simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall,
     };
+    pub use aimc_serve::{BatchPolicy, Pending, ServeError, ServeHandle, ServeStats};
     pub use aimc_sim::SimTime;
     pub use aimc_xbar::{Crossbar, XbarConfig, XbarError};
 }

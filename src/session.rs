@@ -39,9 +39,10 @@ use aimc_core::{map_network, ArchConfig, MappingStrategy, SystemMapping};
 use aimc_dnn::{he_init, AimcExecutor, Executor, GoldenExecutor, Graph, Tensor, Weights};
 use aimc_parallel::Parallelism;
 use aimc_runtime::{simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall};
+use aimc_serve::{BatchPolicy, ServeHandle};
 use aimc_xbar::XbarConfig;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A DNN workload compiled onto an AIMC platform description.
 ///
@@ -89,7 +90,7 @@ impl Platform {
             golden: None,
             analog: None,
             programs: 0,
-            parallelism: self.inner.parallelism,
+            parallelism: Arc::new(ParCell(Mutex::new(self.inner.parallelism))),
         }
     }
 
@@ -260,6 +261,23 @@ impl Backend {
     }
 }
 
+/// Shared parallelism knob: the session and every live [`ServeHandle`]
+/// runner read the same cell, so [`Session::set_parallelism`] takes effect
+/// for in-flight serving — snapshotted once per dispatched batch, never
+/// mid-batch.
+#[derive(Debug)]
+struct ParCell(Mutex<Parallelism>);
+
+impl ParCell {
+    fn get(&self) -> Parallelism {
+        *self.0.lock().unwrap()
+    }
+
+    fn set(&self, par: Parallelism) {
+        *self.0.lock().unwrap() = par;
+    }
+}
+
 /// An evaluation session over a compiled [`Platform`].
 ///
 /// Caches timing-simulator results per batch size, and keeps the
@@ -270,17 +288,24 @@ impl Backend {
 /// golden reference checks do **not** discard the programmed (possibly
 /// drifted) conductances. Crossbars are re-written only when a *different*
 /// analog backend is requested or [`Session::reprogram`] forces it.
+///
+/// The backend slots are shared (`Arc`) with any [`ServeHandle`] created
+/// by [`Session::serve`], so serving, [`Session::apply_drift`], and
+/// [`Session::reprogram`] all act on the *same* crossbars.
 pub struct Session {
     platform: Platform,
     runs: HashMap<usize, RunReport>,
     last_batch: Option<usize>,
     /// Most recently used backend (dispatch target for `infer`).
     active: Option<Backend>,
-    golden: Option<GoldenExecutor>,
-    analog: Option<(Backend, AimcExecutor)>,
+    golden: Option<Arc<GoldenExecutor>>,
+    /// The analog slot: `RwLock` so serve workers infer through shared
+    /// read access while drift/reprogram take exclusive write access.
+    analog: Option<(Backend, Arc<RwLock<AimcExecutor>>)>,
     programs: usize,
-    /// Thread budget for programming and functional inference.
-    parallelism: Parallelism,
+    /// Thread budget for programming and functional inference (shared
+    /// with serve runners).
+    parallelism: Arc<ParCell>,
 }
 
 impl std::fmt::Debug for Session {
@@ -345,7 +370,7 @@ impl Session {
             Backend::Golden => {
                 if self.golden.is_none() {
                     let (graph, weights) = self.shared_graph_weights()?;
-                    self.golden = Some(GoldenExecutor::from_shared(graph, weights)?);
+                    self.golden = Some(Arc::new(GoldenExecutor::from_shared(graph, weights)?));
                 }
             }
             Backend::Analog { .. } => {
@@ -369,7 +394,7 @@ impl Session {
         match backend {
             Backend::Golden => {
                 let (graph, weights) = self.shared_graph_weights()?;
-                self.golden = Some(GoldenExecutor::from_shared(graph, weights)?);
+                self.golden = Some(Arc::new(GoldenExecutor::from_shared(graph, weights)?));
             }
             Backend::Analog { .. } => self.write_crossbars(backend)?,
         }
@@ -381,6 +406,10 @@ impl Session {
     /// programming event). Tiles are programmed in parallel up to the
     /// session's thread budget — bit-identical to a serial deployment,
     /// since every tile programs from its own derived RNG stream.
+    ///
+    /// The analog slot's `Arc` is reused when one exists, so live
+    /// [`ServeHandle`]s transparently serve the freshly written crossbars
+    /// (and their reset image-coordinate counter).
     fn write_crossbars(&mut self, backend: &Backend) -> Result<(), Error> {
         let Backend::Analog { seed, xbar_cfg } = backend else {
             unreachable!("caller matched Backend::Analog");
@@ -391,33 +420,56 @@ impl Session {
             weights,
             xbar_cfg,
             *seed,
-            self.parallelism,
+            self.parallelism.get(),
         )?;
-        self.analog = Some((backend.clone(), exec));
+        match &mut self.analog {
+            Some((slot_backend, slot)) => {
+                *slot_backend = backend.clone();
+                *slot.write().unwrap() = exec;
+            }
+            None => self.analog = Some((backend.clone(), Arc::new(RwLock::new(exec)))),
+        }
         self.programs += 1;
         Ok(())
     }
 
-    /// The executor for the active backend (set by [`Session::program`]).
-    fn active_executor(&self) -> &dyn Executor {
+    /// Runs `f` against the active backend's executor (set by
+    /// [`Session::program`]), holding the analog slot's read lock for the
+    /// duration when the analog backend is active.
+    fn with_active<R>(&self, f: impl FnOnce(&dyn Executor) -> R) -> R {
         match self.active.as_ref().expect("program() ran first") {
-            Backend::Golden => self.golden.as_ref().expect("programmed golden"),
-            Backend::Analog { .. } => &self.analog.as_ref().expect("programmed analog").1,
+            Backend::Golden => f(self.golden.as_ref().expect("programmed golden").as_ref()),
+            Backend::Analog { .. } => {
+                let guard = self
+                    .analog
+                    .as_ref()
+                    .expect("programmed analog")
+                    .1
+                    .read()
+                    .unwrap();
+                f(&*guard)
+            }
         }
     }
 
     /// Overrides the thread budget inherited from the platform (applies to
     /// subsequent programming and inference; never changes results).
+    ///
+    /// The knob is shared with every [`ServeHandle`] spawned from this
+    /// session: in-flight serving picks the new setting up **per batch**
+    /// (a batch snapshots the budget once at dispatch, so no batch ever
+    /// mixes thread budgets mid-flight — and results are bit-identical
+    /// either way).
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
-        self.parallelism = parallelism;
-        if let Some((_, exec)) = self.analog.as_mut() {
-            exec.set_parallelism(parallelism);
+        self.parallelism.set(parallelism);
+        if let Some((_, slot)) = self.analog.as_ref() {
+            slot.write().unwrap().set_parallelism(parallelism);
         }
     }
 
     /// The session's current thread budget.
     pub fn parallelism(&self) -> Parallelism {
-        self.parallelism
+        self.parallelism.get()
     }
 
     /// Runs a batch of images through the functional `backend`, returning
@@ -438,9 +490,8 @@ impl Session {
     /// wins, as in serial order).
     pub fn infer(&mut self, images: &[Tensor], backend: Backend) -> Result<Vec<Tensor>, Error> {
         self.program(&backend)?;
-        let par = self.parallelism;
-        self.active_executor()
-            .infer_batch(images, par)
+        let par = self.parallelism.get();
+        self.with_active(|e| e.infer_batch(images, par))
             .map_err(Error::from)
     }
 
@@ -451,7 +502,67 @@ impl Session {
     /// Same conditions as [`Session::infer`].
     pub fn infer_one(&mut self, image: &Tensor, backend: Backend) -> Result<Tensor, Error> {
         self.program(&backend)?;
-        self.active_executor().infer(image).map_err(Error::from)
+        self.with_active(|e| e.infer(image)).map_err(Error::from)
+    }
+
+    /// Starts an asynchronous micro-batch server over the **active**
+    /// backend (program one first via [`Session::program`] or any infer
+    /// call): single-image requests submitted through the returned
+    /// [`ServeHandle`] are coalesced under `policy` and driven through the
+    /// batched executor path.
+    ///
+    /// **Batch-composition invariance.** Requests are numbered in arrival
+    /// order and evaluated at that stable global image coordinate
+    /// ([`Executor::infer_batch_at`]), so for a fixed seed the logits of
+    /// request *k* are bit-identical to a solo [`Session::infer_one`]
+    /// stream of the same images — no matter how the scheduler chopped the
+    /// stream into batches (`max_batch` 1, 16, or whatever the latency
+    /// budget produced).
+    ///
+    /// The handle shares this session's state rather than snapshotting it:
+    ///
+    /// * the analog slot — [`Session::apply_drift`] and
+    ///   [`Session::reprogram`] act on the crossbars the handle serves
+    ///   (drain the handle first for a deterministic transition point);
+    /// * the thread budget — [`Session::set_parallelism`] applies to
+    ///   in-flight serving, snapshotted once per dispatched batch.
+    ///
+    /// Call [`ServeHandle::shutdown`] when done. Interleaving direct
+    /// [`Session::infer`] calls with live serving is safe (coordinate
+    /// ranges are claimed atomically, never aliased) but the interleaving
+    /// order is scheduling-dependent — drain first for reproducible
+    /// streams.
+    ///
+    /// # Errors
+    /// [`Error::NoBackend`] if no functional backend is programmed yet.
+    pub fn serve(&mut self, policy: BatchPolicy) -> Result<ServeHandle, Error> {
+        let active = self.active.clone().ok_or(Error::NoBackend)?;
+        let par = Arc::clone(&self.parallelism);
+        let runner: Box<aimc_serve::DynRunner> = match active {
+            Backend::Golden => {
+                let exec = Arc::clone(self.golden.as_ref().expect("programmed golden"));
+                Box::new(move |base: u64, inputs: &[Tensor]| {
+                    exec.infer_batch_at(inputs, base, par.get())
+                })
+            }
+            Backend::Analog { .. } => {
+                let slot = Arc::clone(&self.analog.as_ref().expect("programmed analog").1);
+                Box::new(move |_base: u64, inputs: &[Tensor]| {
+                    // Snapshot the thread budget once per batch.
+                    let par = par.get();
+                    let exec = slot.read().unwrap();
+                    // The executor's own image counter is the stream
+                    // authority: it survives drift untouched and resets
+                    // with reprogramming, exactly like a solo-infer
+                    // stream through the same transitions. The claim is
+                    // atomic, so even a concurrent counter-claiming infer
+                    // can never alias a coordinate.
+                    let base = exec.claim_images(inputs.len() as u64);
+                    exec.try_infer_batch_at(inputs, base, par)
+                })
+            }
+        };
+        Ok(aimc_serve::spawn(policy, runner))
     }
 
     /// Applies PCM conductance drift (`t_hours` since programming) to the
@@ -461,9 +572,11 @@ impl Session {
     /// # Errors
     /// [`Error::NoAnalogBackend`] if no analog backend is programmed.
     pub fn apply_drift(&mut self, t_hours: f64) -> Result<(), Error> {
-        match self.analog.as_mut() {
-            Some((_, exec)) => {
-                exec.apply_drift(t_hours);
+        match self.analog.as_ref() {
+            Some((_, slot)) => {
+                // Exclusive access: any serving batch in flight finishes
+                // first, then the conductances drift atomically.
+                slot.write().unwrap().apply_drift(t_hours);
                 Ok(())
             }
             None => Err(Error::NoAnalogBackend),
@@ -487,7 +600,7 @@ impl Session {
     pub fn tile_count(&self) -> usize {
         self.analog
             .as_ref()
-            .map_or(0, |(_, e)| Executor::tile_count(e))
+            .map_or(0, |(_, slot)| Executor::tile_count(&*slot.read().unwrap()))
     }
 
     /// Analog MVMs evaluated since the crossbars were written (0 if no
@@ -495,7 +608,16 @@ impl Session {
     pub fn total_mvms(&self) -> u64 {
         self.analog
             .as_ref()
-            .map_or(0, |(_, e)| Executor::total_mvms(e))
+            .map_or(0, |(_, slot)| Executor::total_mvms(&*slot.read().unwrap()))
+    }
+
+    /// Images consumed from the analog backend's request stream so far —
+    /// solo infers, batches, and served requests all advance it (0 if no
+    /// analog backend is programmed; resets on [`Session::reprogram`]).
+    pub fn images_seen(&self) -> u64 {
+        self.analog
+            .as_ref()
+            .map_or(0, |(_, slot)| slot.read().unwrap().images_seen())
     }
 
     /// Computes the Sec. VI headline metrics (TOPS, images/s, energy,
