@@ -1,0 +1,216 @@
+//! Scaling benchmark for the sharded serving fleet: single-image requests
+//! through `Platform::serve_fleet` (ResNet-18/CIFAR on modeled PCM
+//! crossbars) at 1, 2, and 4 shards, with a built-in **fleet invariance**
+//! check against direct solo `Session::infer_one` calls — same seed ⇒
+//! bit-identical logits at every shard count and routing policy.
+//!
+//! Emits `BENCH_shard_scaling.json` in the working directory: images/s per
+//! shard count, the scaling ratios, aggregated queue-wait percentiles, and
+//! whether every fleet logit was bit-identical to the solo reference
+//! (`fleet_invariance_ok` — the binary also exits non-zero on a violation,
+//! so CI can gate on either signal).
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin shard_scaling [images] [--smoke]
+//! ```
+//!
+//! `--smoke` (or `AIMC_BENCH_SMOKE=1`) shrinks the run for CI: fewer
+//! images and reps — it still programs replica fleets at all three sizes
+//! and exercises both routing policies plus the invariance check.
+
+use aimc_core::ArchConfig;
+use aimc_dnn::{resnet18_cifar, Shape, Tensor};
+use aimc_platform::serve::{BatchPolicy, Pending, RoutePolicy, ServeStats};
+use aimc_platform::{Backend, Error, Parallelism, Platform};
+use aimc_xbar::XbarConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+fn backend() -> Backend {
+    Backend::analog(7, XbarConfig::hermes_256())
+}
+
+/// Direct solo reference: sequential `infer_one` calls on one session, no
+/// serving layer — the stream every fleet must reproduce bit for bit.
+fn run_direct(platform: &Platform, images: &[Tensor]) -> Result<(f64, Vec<Tensor>), Error> {
+    let mut session = platform.session();
+    session.program(&backend())?;
+    let t0 = Instant::now();
+    let logits = images
+        .iter()
+        .map(|x| session.infer_one(x, backend()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let dt = t0.elapsed().as_secs_f64();
+    Ok((images.len() as f64 / dt, logits))
+}
+
+/// One fleet measurement: program `n_shards` replicas, submit every image
+/// in order through the router, wait for all completions. Programming is
+/// excluded from the timing (a one-off deployment cost on non-volatile
+/// hardware). Returns images/s, the logits in stream order, and the
+/// aggregated stats.
+fn run_fleet(
+    platform: &Platform,
+    images: &[Tensor],
+    n_shards: usize,
+    route: RoutePolicy,
+    par: Parallelism,
+) -> Result<(f64, Vec<Tensor>, ServeStats), Error> {
+    let policy =
+        BatchPolicy::new(4, Duration::from_millis(5)).with_queue_depth(images.len().max(1));
+    let fleet = platform.serve_fleet(n_shards, policy, route, &backend())?;
+    fleet.set_parallelism(par);
+    let t0 = Instant::now();
+    let pendings: Vec<Pending> = images
+        .iter()
+        .map(|x| fleet.submit(x.clone()).expect("fleet is open"))
+        .collect();
+    let logits: Vec<Tensor> = pendings
+        .into_iter()
+        .map(|p| p.wait().expect("request completes"))
+        .collect();
+    let dt = t0.elapsed().as_secs_f64();
+    fleet.shutdown();
+    let stats = fleet.stats().aggregate();
+    Ok((images.len() as f64 / dt, logits, stats))
+}
+
+fn percentile_us(stats: &ServeStats, p: f64) -> f64 {
+    stats
+        .queue_wait_percentile(p)
+        .map_or(0.0, |d| d.as_secs_f64() * 1e6)
+}
+
+fn main() -> Result<(), Error> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("AIMC_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let images_n = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(if smoke { 8 } else { 32 });
+    let reps = if smoke { 1 } else { 3 };
+    let shard_counts = [1usize, 2, 4];
+
+    let shape = Shape::new(3, 32, 32);
+    let mut rng = StdRng::seed_from_u64(9);
+    let images: Vec<Tensor> = (0..images_n)
+        .map(|_| {
+            Tensor::from_vec(
+                shape,
+                (0..shape.numel())
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Sharded-fleet scaling — ResNet-18/CIFAR, analog backend, \
+         {images_n} images, {reps} rep(s), host parallelism {host_cpus}{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let platform = Platform::builder()
+        .graph(resnet18_cifar(10))
+        .arch(ArchConfig::small(8, 8))
+        .he_weights(42)
+        .build()?;
+
+    // Reference logits and direct (no serving layer) throughput.
+    let (direct_ips, reference) = run_direct(&platform, &images)?;
+    let mut invariance_ok = true;
+
+    // Shards run concurrently (one worker thread each); per-shard batches
+    // additionally fan out across images where the host allows. Neither
+    // changes a logit (checked below), only wall-clock.
+    let par = if host_cpus > 1 {
+        Parallelism::Threads((host_cpus / shard_counts[shard_counts.len() - 1]).max(1))
+    } else {
+        Parallelism::Serial
+    };
+
+    // Both routing policies must agree bit-for-bit; round-robin is the
+    // throughput-reported configuration.
+    let (_, lqd_logits, _) = run_fleet(
+        &platform,
+        &images,
+        2,
+        RoutePolicy::LeastQueueDepth,
+        Parallelism::Serial,
+    )?;
+    invariance_ok &= lqd_logits == reference;
+
+    let mut best: Vec<(usize, f64, ServeStats)> = Vec::new();
+    for &n_shards in &shard_counts {
+        let mut best_ips = 0.0f64;
+        let mut best_stats = ServeStats::default();
+        for _ in 0..reps {
+            let (ips, logits, stats) =
+                run_fleet(&platform, &images, n_shards, RoutePolicy::RoundRobin, par)?;
+            invariance_ok &= logits == reference;
+            if ips > best_ips {
+                best_ips = ips;
+                best_stats = stats;
+            }
+        }
+        best.push((n_shards, best_ips, best_stats));
+    }
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>12}",
+        "mode", "img/s", "scaling", "p50 wait", "p95 wait"
+    );
+    println!(
+        "{:<16} {:>10.3} {:>10} {:>12} {:>12}",
+        "direct", direct_ips, "-", "-", "-"
+    );
+    let base_ips = best[0].1;
+    for (n_shards, ips, stats) in &best {
+        println!(
+            "{:<16} {:>10.3} {:>9.2}x {:>10.0}us {:>10.0}us",
+            format!("fleet x{n_shards}"),
+            ips,
+            ips / base_ips,
+            percentile_us(stats, 0.5),
+            percentile_us(stats, 0.95),
+        );
+    }
+    println!("fleet-invariance (any shard count, any policy): {invariance_ok}");
+
+    let shard_json: Vec<String> = best
+        .iter()
+        .map(|(n_shards, ips, stats)| {
+            format!(
+                "{{\"shards\": {n_shards}, \"images_per_s\": {ips:.4}, \
+                 \"scaling_vs_1\": {:.4}, \"queue_wait_p50_us\": {:.1}, \
+                 \"queue_wait_p95_us\": {:.1}, \"mean_batch\": {:.3}}}",
+                ips / base_ips,
+                percentile_us(stats, 0.5),
+                percentile_us(stats, 0.95),
+                stats.mean_batch(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"workload\": \"resnet18_cifar10_analog\",\n  \
+         \"xbar\": \"hermes_256\",\n  \"images\": {images_n},\n  \"reps\": {reps},\n  \
+         \"smoke\": {smoke},\n  \"host_cpus\": {host_cpus},\n  \
+         \"route_policies_checked\": [\"round_robin\", \"least_queue_depth\"],\n  \
+         \"direct_images_per_s\": {direct_ips:.4},\n  \
+         \"fleet\": [\n    {}\n  ],\n  \
+         \"fleet_invariance_ok\": {invariance_ok}\n}}\n",
+        shard_json.join(",\n    "),
+    );
+    let path = "BENCH_shard_scaling.json";
+    std::fs::write(path, &json).expect("write bench json");
+    println!("\nwrote {path}");
+
+    assert!(
+        invariance_ok,
+        "fleet invariance violation: sharded logits diverged from solo reference"
+    );
+    Ok(())
+}

@@ -479,22 +479,14 @@ impl AimcExecutor {
         let base = self
             .images_seen
             .fetch_add(inputs.len() as u64, Ordering::Relaxed);
-        self.run_batch_at(inputs, base, par)
+        self.try_infer_batch_at(inputs, base, par)
     }
 
     /// Runs a batch of images at an **explicit** base image coordinate:
     /// image `i` of the batch evaluates at global invocation coordinate
     /// `base_image_index + i`, regardless of what the internal counter
-    /// says. This is the entry point behind batch-composition invariance:
-    /// a request stream numbered `0..n` produces bit-identical logits no
-    /// matter how it is chopped into micro-batches, because every image
-    /// carries its own stream index instead of its position within a batch.
-    ///
-    /// The internal counter is advanced to at least `base_image_index +
-    /// inputs.len()` so subsequent counter-claiming calls
-    /// ([`AimcExecutor::try_infer`] / [`AimcExecutor::try_infer_batch`])
-    /// never reuse the coordinates evaluated here. An empty batch is a
-    /// no-op and does not touch the counter.
+    /// says — the contiguous convenience over
+    /// [`AimcExecutor::try_infer_batch_indexed`].
     ///
     /// # Errors
     /// [`ExecError::ShapeMismatch`] on the first (lowest-index) mismatched
@@ -505,31 +497,54 @@ impl AimcExecutor {
         base_image_index: u64,
         par: Parallelism,
     ) -> Result<Vec<Tensor>, ExecError> {
-        if inputs.is_empty() {
-            return Ok(Vec::new());
-        }
-        self.images_seen
-            .fetch_max(base_image_index + inputs.len() as u64, Ordering::Relaxed);
-        self.run_batch_at(inputs, base_image_index, par)
+        let items: Vec<(u64, &Tensor)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (base_image_index + i as u64, x))
+            .collect();
+        self.try_infer_batch_indexed(&items, par)
     }
 
-    /// Batch evaluation body shared by the counter-claiming and
-    /// explicit-coordinate entry points.
-    fn run_batch_at(
+    /// Runs a batch where **every image carries its own explicit global
+    /// stream coordinate** — contiguity is not required. This is the entry
+    /// point behind the serving fleet's invariance: a router that stamps
+    /// each request with its global arrival index can hand any shard any
+    /// non-contiguous slice of the stream, and each image still evaluates
+    /// at exactly the invocation coordinates a solo single-session run
+    /// would use, so the logits are bit-identical replica for replica
+    /// (same programming seed ⇒ same conductances ⇒ same noise streams).
+    ///
+    /// The internal counter is advanced to at least `max(k) + 1` over the
+    /// batch's coordinates `k`, so subsequent counter-claiming calls
+    /// ([`AimcExecutor::try_infer`] / [`AimcExecutor::try_infer_batch`])
+    /// never reuse a coordinate evaluated here. An empty batch is a no-op
+    /// and does not touch the counter.
+    ///
+    /// # Errors
+    /// [`ExecError::ShapeMismatch`] on the first (lowest-index) mismatched
+    /// item.
+    pub fn try_infer_batch_indexed(
         &self,
-        inputs: &[Tensor],
-        base: u64,
+        items: &[(u64, &Tensor)],
         par: Parallelism,
     ) -> Result<Vec<Tensor>, ExecError> {
-        if inputs.len() == 1 {
+        let Some(max_coord) = items.iter().map(|&(k, _)| k).max() else {
+            return Ok(Vec::new());
+        };
+        self.images_seen.fetch_max(max_coord + 1, Ordering::Relaxed);
+        if items.len() == 1 {
+            let (img, x) = items[0];
             let mut scratch = InferScratch::default();
-            return Ok(vec![self.run_image(&inputs[0], base, &mut scratch, par)?]);
+            return Ok(vec![self.run_image(x, img, &mut scratch, par)?]);
         }
         // Image-level parallelism: each image runs serially inside (one
         // scratch per worker), images spread across workers.
-        try_map_with(par, inputs, InferScratch::default, |scratch, i, x| {
-            self.run_image(x, base + i as u64, scratch, Parallelism::Serial)
-        })
+        try_map_with(
+            par,
+            items,
+            InferScratch::default,
+            |scratch, _, &(img, x)| self.run_image(x, img, scratch, Parallelism::Serial),
+        )
     }
 
     /// Images started so far — equivalently, the next image coordinate a
@@ -640,6 +655,14 @@ impl Executor for AimcExecutor {
 
     fn infer_batch(&self, inputs: &[Tensor], par: Parallelism) -> Result<Vec<Tensor>, ExecError> {
         self.try_infer_batch(inputs, par)
+    }
+
+    fn infer_batch_indexed(
+        &self,
+        items: &[(u64, &Tensor)],
+        par: Parallelism,
+    ) -> Result<Vec<Tensor>, ExecError> {
+        self.try_infer_batch_indexed(items, par)
     }
 
     fn infer_batch_at(
@@ -962,6 +985,71 @@ mod tests {
             assert_eq!(solo, got, "chopping {chop:?} diverged from solo");
             assert_eq!(exec.images_seen(), images.len() as u64);
         }
+    }
+
+    /// The generalized invariant behind the serving fleet: a batch of
+    /// **non-contiguous, arbitrarily ordered** explicit coordinates yields,
+    /// image for image, exactly the logits a solo stream produces at those
+    /// coordinates — on a separately programmed replica with the same seed.
+    #[test]
+    fn non_contiguous_indexed_batches_match_solo_coordinates() {
+        let g = small_cnn();
+        let w = he_init(&g, 5);
+        let cfg = XbarConfig::hermes_256().with_size(32, 4);
+        let images: Vec<Tensor> = (0..6)
+            .map(|i| random_image(g.input_shape(), 120 + i))
+            .collect();
+
+        // Solo reference: image i evaluated at coordinate i.
+        let solo_exec = AimcExecutor::try_program(&g, &w, &cfg, 13).unwrap();
+        let solo: Vec<Tensor> = images
+            .iter()
+            .map(|x| solo_exec.try_infer(x).unwrap())
+            .collect();
+
+        // A replica (same seed) evaluates interleaved non-contiguous slices
+        // of the stream, out of order within each batch.
+        let replica = AimcExecutor::try_program(&g, &w, &cfg, 13).unwrap();
+        let slice_a: Vec<(u64, &Tensor)> = vec![(4, &images[4]), (0, &images[0]), (2, &images[2])];
+        let slice_b: Vec<(u64, &Tensor)> = vec![(5, &images[5]), (1, &images[1]), (3, &images[3])];
+        let got_a = replica
+            .try_infer_batch_indexed(&slice_a, Parallelism::Threads(2))
+            .unwrap();
+        let got_b = replica
+            .try_infer_batch_indexed(&slice_b, Parallelism::Serial)
+            .unwrap();
+        assert_eq!(got_a[0], solo[4]);
+        assert_eq!(got_a[1], solo[0]);
+        assert_eq!(got_a[2], solo[2]);
+        assert_eq!(got_b[0], solo[5]);
+        assert_eq!(got_b[1], solo[1]);
+        assert_eq!(got_b[2], solo[3]);
+        // Counter advanced past the highest coordinate seen, not the count.
+        assert_eq!(replica.images_seen(), 6);
+    }
+
+    /// Indexed batches advance the counter by max coordinate, and an empty
+    /// indexed batch is a stream no-op.
+    #[test]
+    fn indexed_counter_tracks_max_coordinate() {
+        let g = small_cnn();
+        let w = he_init(&g, 1);
+        let cfg = XbarConfig::hermes_256();
+        let x = random_image(g.input_shape(), 71);
+        let exec = AimcExecutor::try_program(&g, &w, &cfg, 3).unwrap();
+        assert_eq!(
+            exec.try_infer_batch_indexed(&[], Parallelism::Serial)
+                .unwrap(),
+            []
+        );
+        assert_eq!(exec.images_seen(), 0);
+        exec.try_infer_batch_indexed(&[(7, &x), (2, &x)], Parallelism::Serial)
+            .unwrap();
+        assert_eq!(exec.images_seen(), 8);
+        // A later batch of lower coordinates never winds the counter back.
+        exec.try_infer_batch_indexed(&[(0, &x)], Parallelism::Serial)
+            .unwrap();
+        assert_eq!(exec.images_seen(), 8);
     }
 
     /// `infer_batch_at` advances the counter past the batch, so later

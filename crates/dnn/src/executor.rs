@@ -89,22 +89,43 @@ pub trait Executor: Sync {
         try_map_indexed(par, inputs, |_, x| self.infer(x))
     }
 
+    /// Runs a batch where **every image carries its own explicit global
+    /// stream coordinate**: item `(k, x)` evaluates image `x` at stream
+    /// coordinate `k`. The coordinates need not be contiguous, ordered, or
+    /// related in any way — this is the router-facing entry point of the
+    /// sharded serving fleet, where one shard evaluates whatever
+    /// non-contiguous slice of the global request stream the router handed
+    /// it.
+    ///
+    /// *Batch-composition invariance*, generalized: for a fixed seed, the
+    /// logits produced for coordinate `k` are bit-identical no matter which
+    /// batch (or which replica programmed from the same seed) evaluated it,
+    /// because evaluation randomness is keyed to the coordinate, never to
+    /// the position within a batch or the identity of the executor.
+    ///
+    /// The default implementation ignores the coordinates (stateless
+    /// backends are trivially composition-invariant) and maps
+    /// [`Executor::infer`] over the images; backends with per-image stream
+    /// state override it (the analog executor keys its read-noise streams
+    /// by the coordinate and advances its image counter past the batch's
+    /// highest coordinate).
+    ///
+    /// # Errors
+    /// The error of the lowest-indexed failing item, if any.
+    fn infer_batch_indexed(
+        &self,
+        items: &[(u64, &Tensor)],
+        par: Parallelism,
+    ) -> Result<Vec<Tensor>, ExecError> {
+        try_map_indexed(par, items, |_, (_, x)| self.infer(x))
+    }
+
     /// Runs a batch whose first image sits at the **explicit** global
     /// stream coordinate `base_image_index` (image `i` of the batch is
-    /// image `base_image_index + i` of the request stream).
-    ///
-    /// This is the serving-layer entry point: a micro-batch scheduler that
-    /// numbers requests in arrival order and carries the number here gets
-    /// *batch-composition invariance* — for a fixed seed, the logits of
-    /// request `k` are bit-identical no matter how the stream was chopped
-    /// into batches, because evaluation randomness is keyed to the stream
-    /// index, never to the position within a batch.
-    ///
-    /// The default implementation ignores the coordinate (stateless
-    /// backends are trivially composition-invariant) and delegates to
-    /// [`Executor::infer_batch`]; backends with per-image stream state
-    /// override it (the analog executor keys its read-noise streams by the
-    /// coordinate and advances its image counter past the batch).
+    /// image `base_image_index + i` of the request stream) — the contiguous
+    /// convenience over [`Executor::infer_batch_indexed`]: a single-session
+    /// micro-batch scheduler numbers requests in arrival order and
+    /// dispatches them in stream order, so its batches are contiguous runs.
     ///
     /// # Errors
     /// The error of the lowest-indexed failing image, if any.
@@ -114,8 +135,12 @@ pub trait Executor: Sync {
         base_image_index: u64,
         par: Parallelism,
     ) -> Result<Vec<Tensor>, ExecError> {
-        let _ = base_image_index;
-        self.infer_batch(inputs, par)
+        let items: Vec<(u64, &Tensor)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (base_image_index + i as u64, x))
+            .collect();
+        self.infer_batch_indexed(&items, par)
     }
 
     /// Images consumed from the backend's request stream so far — the next
@@ -281,6 +306,35 @@ mod tests {
         let exec: Box<dyn Executor> = Box::new(GoldenExecutor::new(&g, &w).unwrap());
         let y = exec.infer(&Tensor::zeros(g.input_shape())).unwrap();
         assert_eq!(y.shape(), Shape::new(2, 1, 1));
+    }
+
+    /// The stateless default: explicit coordinates (contiguous, shuffled,
+    /// or duplicated) never change a golden result — only the images do.
+    #[test]
+    fn golden_infer_batch_indexed_ignores_coordinates() {
+        let g = tiny();
+        let w = he_init(&g, 1);
+        let exec = GoldenExecutor::new(&g, &w).unwrap();
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| {
+                let mut v = vec![0.0f32; g.input_shape().numel()];
+                v.iter_mut()
+                    .enumerate()
+                    .for_each(|(j, x)| *x = ((i * 7 + j) % 13) as f32 / 13.0);
+                Tensor::from_vec(g.input_shape(), v)
+            })
+            .collect();
+        let solo: Vec<Tensor> = images.iter().map(|x| exec.infer(x).unwrap()).collect();
+        let shuffled: Vec<(u64, &Tensor)> = vec![(9, &images[0]), (2, &images[1]), (2, &images[2])];
+        let got = exec
+            .infer_batch_indexed(&shuffled, Parallelism::Threads(2))
+            .unwrap();
+        assert_eq!(solo, got);
+        // The contiguous wrapper routes through the indexed entry point.
+        let at = exec
+            .infer_batch_at(&images, 5, Parallelism::Serial)
+            .unwrap();
+        assert_eq!(solo, at);
     }
 
     #[test]

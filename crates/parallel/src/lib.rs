@@ -130,14 +130,17 @@ enum Never {}
 /// Fallible [`map_with`] — the core primitive every other entry point
 /// delegates to.
 ///
-/// Workers claim item indices from a shared atomic cursor (dynamic
-/// load-balancing: a slow item does not stall the other workers), stash
-/// `(index, result)` pairs locally, and the pairs are merged back in index
-/// order after the scope joins. On error the remaining workers stop
-/// claiming new items promptly, the partial results are discarded, and the
-/// reported error is still exactly the serial loop's first failure: claimed
-/// items form a contiguous prefix and always run to completion, so the
-/// lowest-indexed recorded error precedes every unevaluated item.
+/// Workers claim **chunks** of item indices from a shared atomic cursor
+/// (chunk ≈ `len / (workers · 4)`, at least 1): dynamic load-balancing
+/// without one cursor bump per item, which matters when the per-item work
+/// is tiny (a small tile's MVM sweep) and the fetch-add itself becomes the
+/// contention point. Each worker stashes `(index, result)` pairs locally,
+/// and the pairs are merged back in index order after the scope joins. On
+/// error the remaining workers stop claiming new chunks, the partial
+/// results are discarded, and the reported error is still exactly the
+/// serial loop's first failure: claimed chunks form a contiguous prefix
+/// and always run to completion, so the lowest-indexed recorded error
+/// precedes every unevaluated item.
 ///
 /// # Errors
 /// The lowest-indexed `Err` produced by `f`, if any.
@@ -168,6 +171,10 @@ where
         return Ok(out);
     }
 
+    // Chunked claiming: ~4 chunks per worker balances load (a slow chunk
+    // does not stall the others) against cursor contention (one fetch-add
+    // per chunk, not per item).
+    let chunk = (items.len() / (workers * 4)).max(1);
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     // Each worker returns its locally collected (index, result) pairs; the
@@ -181,19 +188,26 @@ where
                     loop {
                         // Once any worker errors, stop claiming promptly —
                         // results are discarded on error anyway, so draining
-                        // the remaining items would be pure waste.
+                        // the remaining items would be pure waste. A claimed
+                        // chunk always runs to completion, though: that is
+                        // what keeps the lowest-indexed-error guarantee
+                        // (the chunk holding the serial-first failure was
+                        // claimed before any later chunk could fail).
                         if failed.load(Ordering::Relaxed) {
                             break;
                         }
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
                             break;
                         }
-                        let r = f(&mut scratch, i, &items[i]);
-                        if r.is_err() {
-                            failed.store(true, Ordering::Relaxed);
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            let r = f(&mut scratch, i, item);
+                            if r.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            local.push((i, r));
                         }
-                        local.push((i, r));
                     }
                     local
                 })
@@ -328,6 +342,35 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Chunked claiming must cover every index exactly once for lengths
+    /// that don't divide evenly into chunks (and for fewer items than
+    /// workers, where the chunk degrades to 1).
+    #[test]
+    fn chunked_claiming_covers_ragged_lengths() {
+        for len in [1usize, 2, 3, 5, 7, 15, 16, 17, 63, 64, 65, 1001] {
+            let xs: Vec<usize> = (0..len).collect();
+            let out = map_indexed(Parallelism::Threads(4), &xs, |i, &x| {
+                assert_eq!(i, x);
+                x
+            });
+            assert_eq!(out, xs, "len {len} lost or reordered items");
+        }
+    }
+
+    /// The lowest-index-error guarantee survives chunked claiming even when
+    /// failures land in different chunks: the chunk holding the serial-first
+    /// failure is always claimed (chunks are claimed in index order) and
+    /// always runs to completion.
+    #[test]
+    fn lowest_error_wins_across_chunks() {
+        let xs: Vec<u32> = (0..997).collect();
+        for par in [Parallelism::Serial, Parallelism::Threads(7)] {
+            let r: Result<Vec<u32>, usize> =
+                try_map_indexed(par, &xs, |i, &x| if x % 13 == 4 { Err(i) } else { Ok(x) });
+            assert_eq!(r.unwrap_err(), 4, "{par:?}");
+        }
     }
 
     #[test]

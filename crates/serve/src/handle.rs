@@ -125,10 +125,14 @@ impl Drop for Ticket {
     }
 }
 
-/// One queued request.
+/// One queued request, stamped with its global stream index at submission
+/// time — either from the handle's own arrival counter
+/// ([`ServeHandle::submit`]) or by an external router that owns a
+/// fleet-wide numbering ([`ServeHandle::submit_at`]).
 #[derive(Debug)]
 pub(crate) struct Request {
     pub(crate) image: Tensor,
+    pub(crate) index: u64,
     pub(crate) ticket: Ticket,
     pub(crate) submitted_at: Instant,
 }
@@ -159,6 +163,9 @@ struct StateInner {
     submitted: u64,
     completed: u64,
     rejected: u64,
+    /// Next stream index [`ServeHandle::submit`] will stamp — requests are
+    /// numbered in submission order, under the same lock as `submitted`.
+    next_index: u64,
     batches: u64,
     /// Total images dispatched to the runner (unlike the bounded wait
     /// ring, this never saturates).
@@ -267,6 +274,8 @@ impl ServeHandle {
     }
 
     /// Submits one image for inference, returning its completion handle.
+    /// The request is stamped with the handle's next stream index (arrival
+    /// order), so batches evaluate it at a stable global coordinate.
     ///
     /// Blocks only when the bounded queue is full (backpressure); the
     /// actual inference is asynchronous — claim the result later via
@@ -275,17 +284,57 @@ impl ServeHandle {
     /// # Errors
     /// [`ServeError::ShutDown`] if [`ServeHandle::shutdown`] ran first.
     pub fn submit(&self, image: Tensor) -> Result<Pending, ServeError> {
-        {
+        self.submit_inner(image, None)
+    }
+
+    /// Submits one image stamped with an **externally owned** stream index
+    /// instead of the handle's own counter — the entry point a fleet
+    /// router uses after claiming `index` from its global arrival counter
+    /// (see [`FleetHandle::submit`](crate::FleetHandle)).
+    ///
+    /// The handle's internal counter is not consulted or advanced: a shard
+    /// fed through `submit_at` carries whatever (possibly non-contiguous)
+    /// slice of the global stream the router handed it. Do not mix
+    /// `submit_at` with [`ServeHandle::submit`] on the same handle unless
+    /// the external numbering is kept disjoint from the internal one — and
+    /// only use it on handles whose runner honors stamped indices (a
+    /// runner wrapping a counter-claiming backend, like the platform
+    /// session's solo analog handle, ignores them by design).
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] if [`ServeHandle::shutdown`] ran first.
+    pub fn submit_at(&self, index: u64, image: Tensor) -> Result<Pending, ServeError> {
+        self.submit_inner(image, Some(index))
+    }
+
+    fn submit_inner(&self, image: Tensor, index: Option<u64>) -> Result<Pending, ServeError> {
+        let index = {
             let mut st = self.shared.inner.lock().unwrap();
             if st.closed {
                 st.rejected += 1;
                 return Err(ServeError::ShutDown);
             }
             st.submitted += 1;
-        }
+            match index {
+                Some(i) => i,
+                None => {
+                    let i = st.next_index;
+                    st.next_index += 1;
+                    i
+                }
+            }
+        };
+        let (request, pending) = self.make_request(image, index);
+        self.send_or_roll_back(request, 1)?;
+        Ok(pending)
+    }
+
+    /// Builds one stamped request plus its caller-side completion handle.
+    fn make_request(&self, image: Tensor, index: u64) -> (Request, Pending) {
         let slot = Arc::new(CompletionSlot::default());
         let request = Request {
             image,
+            index,
             ticket: Ticket {
                 slot: Arc::clone(&slot),
                 shared: Arc::clone(&self.shared),
@@ -293,23 +342,83 @@ impl ServeHandle {
             },
             submitted_at: Instant::now(),
         };
+        (request, Pending { slot })
+    }
+
+    /// Sends one request; on failure (the worker is gone — shutdown raced
+    /// ahead) rolls `unsent` submissions back and refuses. Stamped indices
+    /// are not rolled back — once the worker is gone every later
+    /// submission fails too, so the hole sits strictly after the last
+    /// evaluated coordinate and never shifts the stream.
+    fn send_or_roll_back(&self, request: Request, unsent: u64) -> Result<(), ServeError> {
         if let Err(e) = self.tx.send(Msg::Request(request)) {
-            // The worker is gone (shutdown raced ahead): roll the
-            // submission back and refuse.
             if let Msg::Request(req) = e.0 {
                 req.ticket.defuse();
             }
             {
                 let mut st = self.shared.inner.lock().unwrap();
-                st.submitted -= 1;
-                st.rejected += 1;
+                st.submitted -= unsent;
+                st.rejected += unsent;
             }
             // The rollback can be what lets `completed == submitted`: a
             // drain blocked on the old count must re-check.
             self.shared.cv.notify_all();
             return Err(ServeError::ShutDown);
         }
-        Ok(Pending { slot })
+        Ok(())
+    }
+
+    /// Submits a whole run of images in one call, taking the queue lock
+    /// **once** for the entire run: the images are stamped with contiguous
+    /// stream indices as a block, exactly as the equivalent loop of
+    /// [`ServeHandle::submit`] calls would stamp them from a single thread
+    /// — but without per-image lock traffic, and atomically with respect
+    /// to concurrent submitters (no interleaving inside the block).
+    ///
+    /// Blocks on the bounded queue like `submit` does (backpressure is per
+    /// image, so a run larger than `queue_depth` is fine — the worker
+    /// drains while this call feeds).
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] if the handle is shut down at entry, or if
+    /// shutdown races the run mid-way (already-enqueued images of the run
+    /// still complete, but their completion handles are discarded with the
+    /// error).
+    pub fn submit_many(
+        &self,
+        images: impl IntoIterator<Item = Tensor>,
+    ) -> Result<Vec<Pending>, ServeError> {
+        let images: Vec<Tensor> = images.into_iter().collect();
+        let n = images.len() as u64;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let base = {
+            let mut st = self.shared.inner.lock().unwrap();
+            if st.closed {
+                st.rejected += n;
+                return Err(ServeError::ShutDown);
+            }
+            st.submitted += n;
+            let base = st.next_index;
+            st.next_index += n;
+            base
+        };
+        let mut pendings = Vec::with_capacity(images.len());
+        for (i, image) in images.into_iter().enumerate() {
+            let (request, pending) = self.make_request(image, base + i as u64);
+            // Shutdown racing the run rolls back the whole unsent tail.
+            self.send_or_roll_back(request, n - i as u64)?;
+            pendings.push(pending);
+        }
+        Ok(pendings)
+    }
+
+    /// Requests accepted but not yet completed — the router's load signal
+    /// for least-queue-depth shard selection.
+    pub fn in_flight(&self) -> u64 {
+        let st = self.shared.inner.lock().unwrap();
+        st.submitted - st.completed
     }
 
     /// Blocks until every accepted request has reached a terminal outcome

@@ -26,7 +26,12 @@
 //!   thread around a [`BatchRunner`]; returns a clone-able [`ServeHandle`].
 //! * [`ServeHandle::submit`] — enqueues one image, returning a [`Pending`]
 //!   completion handle; [`ServeHandle::drain`] / [`ServeHandle::shutdown`]
-//!   flush and stop the worker.
+//!   flush and stop the worker. [`ServeHandle::submit_many`] stamps a
+//!   whole run under one lock acquisition.
+//! * [`FleetHandle`] — the two-tier *sharded* ingress: a router that owns
+//!   the global arrival counter, stamps every request with its global
+//!   stream index, and routes it ([`RoutePolicy`]) to one of N replica
+//!   shards — with the invariance generalized to any shard count.
 //!
 //! ## Example
 //!
@@ -36,7 +41,7 @@
 //! use std::time::Duration;
 //!
 //! // A toy runner: doubles the first element of every image.
-//! let runner = |_base: u64, inputs: &[Tensor]| {
+//! let runner = |_indices: &[u64], inputs: &[Tensor]| {
 //!     Ok(inputs
 //!         .iter()
 //!         .map(|t| Tensor::from_vec(t.shape(), t.data().iter().map(|v| v * 2.0).collect()))
@@ -55,10 +60,12 @@
 
 mod coalesce;
 mod handle;
+mod router;
 mod scheduler;
 
 pub use coalesce::Coalescer;
 pub use handle::{Pending, ServeError, ServeHandle, ServeStats};
+pub use router::{FleetHandle, FleetStats, RoutePolicy, ShardControl};
 pub use scheduler::{spawn, BatchRunner};
 
 use aimc_dnn::{ExecError, Tensor};
@@ -66,8 +73,9 @@ use std::time::Duration;
 
 /// Object-safe runner type for adapters that pick the execution path at
 /// runtime (e.g. the platform session choosing a backend slot): a
-/// `Box<DynRunner>` is itself a [`BatchRunner`].
-pub type DynRunner = dyn FnMut(u64, &[Tensor]) -> Result<Vec<Tensor>, ExecError> + Send;
+/// `Box<DynRunner>` is itself a [`BatchRunner`]. The first slice holds the
+/// global stream index of each input (same length as the input slice).
+pub type DynRunner = dyn FnMut(&[u64], &[Tensor]) -> Result<Vec<Tensor>, ExecError> + Send;
 
 /// The micro-batch scheduling policy: how many requests to coalesce and
 /// how long the oldest queued request may wait for company.

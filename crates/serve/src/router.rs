@@ -1,0 +1,499 @@
+//! The fleet router: one global request stream over N replica shards.
+//!
+//! The paper's architecture scales by *replicating compute* — many
+//! identically-configured AIMC clusters behind a NoC, all serving one
+//! workload. [`FleetHandle`] is the host-side counterpart for serving: a
+//! two-tier ingress where the router owns the **global arrival counter**,
+//! stamps every request with its global stream index, and routes it to one
+//! of N per-shard micro-batch schedulers ([`ServeHandle`]s), each backed by
+//! a replica executor programmed from the same seed.
+//!
+//! > **Fleet invariance.** Because every request carries its global
+//! > coordinate and every replica holds bit-identical conductances, the
+//! > logits of request *k* are bit-identical to a solo single-session
+//! > stream of the same images — for ANY shard count and ANY routing
+//! > policy, no matter which shard evaluated which request.
+//!
+//! The router never inspects tensors and never blocks on inference: it is
+//! a stamp-and-forward layer. Shard-side coalescing, backpressure, and
+//! completion plumbing are exactly the single-session scheduler's.
+
+use crate::handle::{Pending, ServeError, ServeHandle, ServeStats};
+use aimc_dnn::{ExecError, Tensor};
+use aimc_parallel::Parallelism;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How the router picks a shard for each stamped request.
+///
+/// Routing **never** affects results — that is the fleet invariance — so
+/// the policy is purely a load/latency trade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Cycle through shards in submission order: perfectly even request
+    /// counts, oblivious to per-shard backlog.
+    #[default]
+    RoundRobin,
+    /// Send each request to the shard with the fewest requests in flight
+    /// (ties break toward the lowest shard id): adapts to stragglers at
+    /// the cost of one load probe per submission.
+    LeastQueueDepth,
+}
+
+/// Backend-side control surface of one shard, supplied by the layer that
+/// built the fleet (the `aimc-platform` facade): the router can quiesce
+/// shards itself, but mutating replica state — conductance drift,
+/// reprogramming, the thread budget — needs the executor types this crate
+/// does not know.
+///
+/// Implementations must apply each operation to **their own shard only**;
+/// [`FleetHandle`] fans the calls across all shards after draining, so
+/// every replica transitions at the same global stream position.
+pub trait ShardControl: Send + Sync {
+    /// Applies conductance drift to this shard's replica (write-locked
+    /// against in-flight batches). Returns whether the backend models
+    /// drift (`false` for digital replicas).
+    fn apply_drift(&self, t_hours: f64) -> bool;
+
+    /// Rewrites this shard's replica from scratch with the original seed —
+    /// fresh conductances, image counter rewound to zero.
+    ///
+    /// # Errors
+    /// Any [`ExecError`] from re-programming.
+    fn reprogram(&self) -> Result<(), ExecError>;
+
+    /// Updates the thread budget this shard's batches snapshot at
+    /// dispatch. Never changes results.
+    fn set_parallelism(&self, par: Parallelism);
+}
+
+/// Per-shard plus aggregated statistics of a fleet (see
+/// [`FleetHandle::stats`]).
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// One [`ServeStats`] snapshot per shard, in shard-id order.
+    pub shards: Vec<ServeStats>,
+}
+
+impl FleetStats {
+    /// The fleet-wide view: counters summed across shards, the largest
+    /// batch observed anywhere, and every shard's queue-wait samples
+    /// pooled (so percentiles describe the whole fleet's recent traffic).
+    pub fn aggregate(&self) -> ServeStats {
+        let mut agg = ServeStats::default();
+        for s in &self.shards {
+            agg.submitted += s.submitted;
+            agg.completed += s.completed;
+            agg.rejected += s.rejected;
+            agg.batches += s.batches;
+            agg.dispatched += s.dispatched;
+            agg.max_batch_observed = agg.max_batch_observed.max(s.max_batch_observed);
+            agg.queue_waits.extend_from_slice(&s.queue_waits);
+        }
+        agg
+    }
+}
+
+struct FleetInner {
+    shards: Vec<ServeHandle>,
+    controls: Vec<Box<dyn ShardControl>>,
+    route: RoutePolicy,
+    /// The global arrival counter — the single stream authority of the
+    /// whole fleet. Claimed with one `fetch_add` per request, so
+    /// concurrent submitters can never alias a coordinate.
+    next_global: AtomicU64,
+    /// Round-robin cursor (wraps modulo the shard count).
+    rr: AtomicUsize,
+}
+
+impl std::fmt::Debug for FleetInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetInner")
+            .field("shards", &self.shards.len())
+            .field("route", &self.route)
+            .field("next_global", &self.next_global)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Clone-able ingress of a serving fleet: N replica shards behind one
+/// router-owned global request stream (see the module docs and
+/// `Platform::serve_fleet` in the `aimc-platform` facade).
+///
+/// All clones share the same shards, counter, and routing cursor. Requests
+/// submitted through any clone receive globally unique stream indices.
+#[derive(Debug, Clone)]
+pub struct FleetHandle {
+    inner: Arc<FleetInner>,
+}
+
+impl FleetHandle {
+    /// Assembles a fleet from per-shard schedulers and their backend
+    /// controls (one control per shard, same order).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or the lengths differ — fleet assembly
+    /// is a construction-time contract, not a runtime condition.
+    pub fn new(
+        shards: Vec<ServeHandle>,
+        controls: Vec<Box<dyn ShardControl>>,
+        route: RoutePolicy,
+    ) -> Self {
+        assert!(!shards.is_empty(), "a fleet needs at least one shard");
+        assert_eq!(
+            shards.len(),
+            controls.len(),
+            "one ShardControl per shard, in shard order"
+        );
+        FleetHandle {
+            inner: Arc::new(FleetInner {
+                shards,
+                controls,
+                route,
+                next_global: AtomicU64::new(0),
+                rr: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Picks the target shard for one request under the routing policy.
+    fn pick_shard(&self) -> usize {
+        let inner = &self.inner;
+        match inner.route {
+            RoutePolicy::RoundRobin => {
+                inner.rr.fetch_add(1, Ordering::Relaxed) % inner.shards.len()
+            }
+            RoutePolicy::LeastQueueDepth => {
+                let mut best = 0usize;
+                let mut best_depth = u64::MAX;
+                for (i, s) in inner.shards.iter().enumerate() {
+                    let depth = s.in_flight();
+                    if depth < best_depth {
+                        best = i;
+                        best_depth = depth;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Submits one image to the fleet: claims the next global stream index,
+    /// picks a shard under the routing policy, and forwards the stamped
+    /// request ([`ServeHandle::submit_at`]). Blocks only on the chosen
+    /// shard's bounded queue.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`].
+    pub fn submit(&self, image: Tensor) -> Result<Pending, ServeError> {
+        let shard = self.pick_shard();
+        let index = self.inner.next_global.fetch_add(1, Ordering::Relaxed);
+        self.inner.shards[shard].submit_at(index, image)
+    }
+
+    /// Submits a run of images stamped with one **contiguous** block of
+    /// global indices (claimed atomically) and routed as a block to a
+    /// single shard picked under the policy — the fleet counterpart of
+    /// [`ServeHandle::submit_many`]: one routing decision and one shard
+    /// -queue lock for the whole run.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`].
+    pub fn submit_block(
+        &self,
+        images: impl IntoIterator<Item = Tensor>,
+    ) -> Result<Vec<Pending>, ServeError> {
+        let images: Vec<Tensor> = images.into_iter().collect();
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        let shard = self.pick_shard();
+        let base = self
+            .inner
+            .next_global
+            .fetch_add(images.len() as u64, Ordering::Relaxed);
+        images
+            .into_iter()
+            .enumerate()
+            .map(|(i, image)| self.inner.shards[shard].submit_at(base + i as u64, image))
+            .collect()
+    }
+
+    /// Blocks until every accepted request on every shard has reached a
+    /// terminal outcome.
+    pub fn drain(&self) {
+        for s in &self.inner.shards {
+            s.drain();
+        }
+    }
+
+    /// Stops accepting requests fleet-wide, drains everything accepted,
+    /// and joins every shard worker. Idempotent; safe from any clone.
+    pub fn shutdown(&self) {
+        for s in &self.inner.shards {
+            s.shutdown();
+        }
+    }
+
+    /// Whether [`FleetHandle::shutdown`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.inner.shards.iter().all(ServeHandle::is_closed)
+    }
+
+    /// Applies conductance drift to **every** replica at the same stream
+    /// position: the fleet is drained first (all accepted requests finish
+    /// on pre-drift conductances), then each shard drifts under its write
+    /// lock. Returns whether the replicas model drift (`false` for a
+    /// golden fleet, which ignores the call).
+    ///
+    /// Identical replicas drifted identically stay identical — so the
+    /// fleet keeps matching a solo session taken through the same
+    /// transition at the same stream position.
+    pub fn apply_drift(&self, t_hours: f64) -> bool {
+        self.drain();
+        let mut modeled = false;
+        for c in &self.inner.controls {
+            modeled |= c.apply_drift(t_hours);
+        }
+        modeled
+    }
+
+    /// Reprograms **every** replica from the original seed and rewinds the
+    /// global stream to zero, after draining the fleet — the exact
+    /// semantics of a solo `Session::reprogram`: freshly written
+    /// conductances, coordinates replayed from the start.
+    ///
+    /// # Errors
+    /// [`ServeError::Exec`] if any shard fails to re-program (shards
+    /// already re-programmed keep their fresh state; the stream counter is
+    /// only rewound on full success).
+    pub fn reprogram(&self) -> Result<(), ServeError> {
+        self.drain();
+        for c in &self.inner.controls {
+            c.reprogram()?;
+        }
+        self.inner.next_global.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Updates the thread budget fleet-wide; in-flight shards pick it up
+    /// per dispatched batch. Never changes a logit.
+    pub fn set_parallelism(&self, par: Parallelism) {
+        for c in &self.inner.controls {
+            c.set_parallelism(par);
+        }
+    }
+
+    /// Number of shards behind the router.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Global stream indices claimed so far (= requests routed, counting
+    /// any trailing shutdown-race holes).
+    pub fn images_routed(&self) -> u64 {
+        self.inner.next_global.load(Ordering::Relaxed)
+    }
+
+    /// The routing policy this fleet was assembled with.
+    pub fn route_policy(&self) -> RoutePolicy {
+        self.inner.route
+    }
+
+    /// Point-in-time statistics, per shard and aggregatable.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            shards: self.inner.shards.iter().map(ServeHandle::stats).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spawn, BatchPolicy};
+    use aimc_dnn::Shape;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    fn tensor(v: f32) -> Tensor {
+        Tensor::from_vec(Shape::new(1, 1, 1), vec![v])
+    }
+
+    /// Records (index, tag) pairs a shard's runner saw; echoes index+tag so
+    /// results encode the evaluating coordinate.
+    type ShardLog = Arc<Mutex<Vec<(u64, f32)>>>;
+
+    fn shard(log: ShardLog, policy: BatchPolicy) -> ServeHandle {
+        spawn(policy, move |indices: &[u64], inputs: &[Tensor]| {
+            let mut l = log.lock().unwrap();
+            for (&idx, t) in indices.iter().zip(inputs) {
+                l.push((idx, t.data()[0]));
+            }
+            Ok(indices
+                .iter()
+                .zip(inputs)
+                .map(|(&idx, t)| tensor(idx as f32 * 1000.0 + t.data()[0]))
+                .collect())
+        })
+    }
+
+    /// A control that records calls instead of owning an executor.
+    #[derive(Default)]
+    struct RecordingControl {
+        drifts: Mutex<Vec<f64>>,
+        reprograms: Mutex<u32>,
+        pars: Mutex<Vec<Parallelism>>,
+    }
+
+    struct ControlHandle(Arc<RecordingControl>);
+
+    impl ShardControl for ControlHandle {
+        fn apply_drift(&self, t_hours: f64) -> bool {
+            self.0.drifts.lock().unwrap().push(t_hours);
+            true
+        }
+        fn reprogram(&self) -> Result<(), ExecError> {
+            *self.0.reprograms.lock().unwrap() += 1;
+            Ok(())
+        }
+        fn set_parallelism(&self, par: Parallelism) {
+            self.0.pars.lock().unwrap().push(par);
+        }
+    }
+
+    fn fleet(n: usize, route: RoutePolicy) -> (FleetHandle, Vec<ShardLog>, Arc<RecordingControl>) {
+        let control = Arc::new(RecordingControl::default());
+        let logs: Vec<ShardLog> = (0..n).map(|_| Arc::default()).collect();
+        let shards = logs
+            .iter()
+            .map(|l| shard(Arc::clone(l), BatchPolicy::new(2, Duration::from_millis(1))))
+            .collect();
+        let controls: Vec<Box<dyn ShardControl>> = (0..n)
+            .map(|_| Box::new(ControlHandle(Arc::clone(&control))) as Box<dyn ShardControl>)
+            .collect();
+        (FleetHandle::new(shards, controls, route), logs, control)
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly_and_indices_are_global() {
+        let (f, logs, _) = fleet(3, RoutePolicy::RoundRobin);
+        let pendings: Vec<Pending> = (0..9)
+            .map(|i| f.submit(tensor(i as f32)).unwrap())
+            .collect();
+        // Result of request k encodes the coordinate it ran at: must be k.
+        for (k, p) in pendings.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
+        }
+        f.drain();
+        assert_eq!(f.images_routed(), 9);
+        // Even spread: single-threaded round-robin gives each shard 3.
+        let mut all: Vec<(u64, f32)> = Vec::new();
+        for (s, log) in logs.iter().enumerate() {
+            let l = log.lock().unwrap();
+            assert_eq!(l.len(), 3, "shard {s} request count");
+            // Shard s saw exactly global indices s, s+3, s+6.
+            for (j, &(idx, tag)) in l.iter().enumerate() {
+                assert_eq!(idx as usize, s + 3 * j);
+                assert_eq!(tag, idx as f32);
+            }
+            all.extend_from_slice(&l);
+        }
+        // Every global index routed exactly once.
+        let mut seen: Vec<u64> = all.iter().map(|&(i, _)| i).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..9).collect::<Vec<u64>>());
+        f.shutdown();
+        assert!(f.is_closed());
+    }
+
+    #[test]
+    fn least_queue_depth_prefers_idle_shards() {
+        let (f, logs, _) = fleet(2, RoutePolicy::LeastQueueDepth);
+        // Submit and drain one at a time: both shards idle at each pick, so
+        // ties route everything to shard 0 — and shard 1 stays empty.
+        for i in 0..4 {
+            let p = f.submit(tensor(i as f32)).unwrap();
+            p.wait().unwrap();
+            f.drain();
+        }
+        assert_eq!(logs[0].lock().unwrap().len(), 4);
+        assert_eq!(logs[1].lock().unwrap().len(), 0);
+        f.shutdown();
+    }
+
+    #[test]
+    fn submit_block_routes_one_contiguous_block_to_one_shard() {
+        let (f, logs, _) = fleet(2, RoutePolicy::RoundRobin);
+        let a = f.submit_block((0..3).map(|i| tensor(i as f32))).unwrap();
+        let b = f.submit_block((3..5).map(|i| tensor(i as f32))).unwrap();
+        assert_eq!(f.submit_block(std::iter::empty()).unwrap().len(), 0);
+        for (k, p) in a.into_iter().chain(b).enumerate() {
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
+        }
+        f.drain();
+        // Each block landed whole on one shard, in block order.
+        let l0 = logs[0].lock().unwrap().clone();
+        let l1 = logs[1].lock().unwrap().clone();
+        assert_eq!(l0, vec![(0, 0.0), (1, 1.0), (2, 2.0)]);
+        assert_eq!(l1, vec![(3, 3.0), (4, 4.0)]);
+        f.shutdown();
+    }
+
+    #[test]
+    fn stats_aggregate_sums_the_fleet() {
+        let (f, _, _) = fleet(3, RoutePolicy::RoundRobin);
+        let pendings: Vec<Pending> = (0..7)
+            .map(|i| f.submit(tensor(i as f32)).unwrap())
+            .collect();
+        for p in pendings {
+            p.wait().unwrap();
+        }
+        f.drain();
+        let stats = f.stats();
+        assert_eq!(stats.shards.len(), 3);
+        let agg = stats.aggregate();
+        assert_eq!(agg.submitted, 7);
+        assert_eq!(agg.completed, 7);
+        assert_eq!(agg.dispatched, 7);
+        assert_eq!(agg.queue_waits.len(), 7);
+        assert!(
+            agg.batches >= 4,
+            "7 requests at max_batch 2 need ≥4 batches"
+        );
+        assert!(agg.max_batch_observed <= 2);
+        f.shutdown();
+        // Post-shutdown submissions are refused and show up aggregated.
+        assert!(matches!(f.submit(tensor(0.0)), Err(ServeError::ShutDown)));
+        assert_eq!(f.stats().aggregate().rejected, 1);
+    }
+
+    #[test]
+    fn drift_and_reprogram_fan_across_all_shards() {
+        let (f, _, control) = fleet(3, RoutePolicy::RoundRobin);
+        let p = f.submit(tensor(1.0)).unwrap();
+        assert!(f.apply_drift(24.0));
+        // Drain-before-drift: the in-flight request completed first.
+        assert!(p.is_ready());
+        assert_eq!(*control.drifts.lock().unwrap(), vec![24.0, 24.0, 24.0]);
+
+        let _ = f.submit(tensor(2.0)).unwrap();
+        assert_eq!(f.images_routed(), 2);
+        f.reprogram().unwrap();
+        assert_eq!(*control.reprograms.lock().unwrap(), 3);
+        assert_eq!(f.images_routed(), 0, "reprogram rewinds the global stream");
+        // The next request replays coordinate 0.
+        let p = f.submit(tensor(5.0)).unwrap();
+        assert_eq!(p.wait().unwrap().data(), &[5.0]);
+
+        f.set_parallelism(Parallelism::Threads(2));
+        assert_eq!(control.pars.lock().unwrap().len(), 3);
+        f.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_fleet_is_a_construction_error() {
+        let _ = FleetHandle::new(Vec::new(), Vec::new(), RoutePolicy::RoundRobin);
+    }
+}

@@ -1,11 +1,14 @@
 //! The worker thread: bounded channel → [`Coalescer`] → [`BatchRunner`].
 //!
-//! One worker drains the queue in FIFO order, so batches are contiguous
-//! runs of the request stream and the stream index of a batch's first
-//! image is simply the number of requests dispatched before it. That
-//! index is handed to the runner, which keys evaluation randomness to it
-//! (`Executor::infer_batch_at`) — the mechanism behind batch-composition
-//! invariance.
+//! One worker drains the queue in FIFO order. Every request already
+//! carries its global stream index (stamped at submission — by the
+//! handle's own counter, or by a fleet router through
+//! `ServeHandle::submit_at`), and the worker hands the per-request
+//! indices to the runner alongside the images. The runner keys evaluation
+//! randomness to those indices (`Executor::infer_batch_indexed`) — the
+//! mechanism behind batch-composition invariance, and its fleet
+//! generalization: a shard's batches need not be contiguous in the global
+//! stream.
 
 use crate::coalesce::Coalescer;
 use crate::handle::{Msg, Request, ServeError, ServeHandle, SharedState};
@@ -17,37 +20,29 @@ use std::time::Instant;
 
 /// Executes one coalesced micro-batch.
 ///
-/// `base_image_index` is the stream index of `inputs[0]`: requests are
-/// numbered from 0 in arrival order, and batches arrive here in stream
-/// order, so `inputs[i]` is request `base_image_index + i`. Runners that
-/// wrap a stateful backend must key per-image randomness to that global
-/// index (not the position within the batch) to preserve
-/// batch-composition invariance.
+/// `indices[i]` is the global stream index of `inputs[i]` (the slices have
+/// equal length). With a solo handle the indices of a batch are contiguous
+/// and ascending; a fleet shard receives whatever slice of the global
+/// stream the router handed it. Runners that wrap a stateful backend must
+/// key per-image randomness to the global index (not the position within
+/// the batch) to preserve batch-composition invariance.
 ///
-/// Implemented for any `FnMut(u64, &[Tensor]) -> Result<Vec<Tensor>,
+/// Implemented for any `FnMut(&[u64], &[Tensor]) -> Result<Vec<Tensor>,
 /// ExecError>` closure.
 pub trait BatchRunner: Send + 'static {
     /// Runs the batch, returning one output per input (same order).
     ///
     /// # Errors
     /// Any [`ExecError`]; it is broadcast to every request of the batch.
-    fn run_batch(
-        &mut self,
-        base_image_index: u64,
-        inputs: &[Tensor],
-    ) -> Result<Vec<Tensor>, ExecError>;
+    fn run_batch(&mut self, indices: &[u64], inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError>;
 }
 
 impl<F> BatchRunner for F
 where
-    F: FnMut(u64, &[Tensor]) -> Result<Vec<Tensor>, ExecError> + Send + 'static,
+    F: FnMut(&[u64], &[Tensor]) -> Result<Vec<Tensor>, ExecError> + Send + 'static,
 {
-    fn run_batch(
-        &mut self,
-        base_image_index: u64,
-        inputs: &[Tensor],
-    ) -> Result<Vec<Tensor>, ExecError> {
-        self(base_image_index, inputs)
+    fn run_batch(&mut self, indices: &[u64], inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        self(indices, inputs)
     }
 }
 
@@ -79,22 +74,19 @@ fn worker_loop<R: BatchRunner>(
 ) {
     let epoch = Instant::now();
     let mut coal: Coalescer<Request> = Coalescer::new(policy.max_batch, policy.max_wait);
-    // Requests dispatched so far == the stream index of the next batch's
-    // first image.
-    let mut next_index: u64 = 0;
     loop {
         let msg = match coal.deadline() {
             // A partial batch is pending: wait only until its deadline.
             Some(deadline) => {
                 let now = epoch.elapsed();
                 if now >= deadline {
-                    flush(&mut coal, &mut next_index, &mut runner, &shared);
+                    flush(&mut coal, &mut runner, &shared);
                     continue;
                 }
                 match rx.recv_timeout(deadline - now) {
                     Ok(m) => m,
                     Err(RecvTimeoutError::Timeout) => {
-                        flush(&mut coal, &mut next_index, &mut runner, &shared);
+                        flush(&mut coal, &mut runner, &shared);
                         continue;
                     }
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -109,7 +101,7 @@ fn worker_loop<R: BatchRunner>(
         match msg {
             Msg::Request(req) => {
                 if coal.push(req, epoch.elapsed()) {
-                    flush(&mut coal, &mut next_index, &mut runner, &shared);
+                    flush(&mut coal, &mut runner, &shared);
                 }
             }
             Msg::Shutdown => {
@@ -119,7 +111,7 @@ fn worker_loop<R: BatchRunner>(
                 while let Ok(m) = rx.try_recv() {
                     if let Msg::Request(req) = m {
                         if coal.push(req, epoch.elapsed()) {
-                            flush(&mut coal, &mut next_index, &mut runner, &shared);
+                            flush(&mut coal, &mut runner, &shared);
                         }
                     }
                 }
@@ -127,33 +119,28 @@ fn worker_loop<R: BatchRunner>(
             }
         }
     }
-    flush(&mut coal, &mut next_index, &mut runner, &shared);
+    flush(&mut coal, &mut runner, &shared);
 }
 
 /// Dispatches the coalesced batch (if any) and fulfills its tickets.
-fn flush<R: BatchRunner>(
-    coal: &mut Coalescer<Request>,
-    next_index: &mut u64,
-    runner: &mut R,
-    shared: &SharedState,
-) {
+fn flush<R: BatchRunner>(coal: &mut Coalescer<Request>, runner: &mut R, shared: &SharedState) {
     let reqs = coal.take();
     if reqs.is_empty() {
         return;
     }
-    let base = *next_index;
-    *next_index += reqs.len() as u64;
     let n = reqs.len();
+    let mut indices = Vec::with_capacity(n);
     let mut images = Vec::with_capacity(n);
     let mut tickets = Vec::with_capacity(n);
     let mut waits = Vec::with_capacity(n);
     for r in reqs {
         waits.push(r.submitted_at.elapsed());
+        indices.push(r.index);
         images.push(r.image);
         tickets.push(r.ticket);
     }
     shared.note_batch(n, &waits);
-    match runner.run_batch(base, &images) {
+    match runner.run_batch(&indices, &images) {
         Ok(outs) if outs.len() == n => {
             for (ticket, y) in tickets.into_iter().zip(outs) {
                 ticket.fulfill(Ok(y));
@@ -187,17 +174,17 @@ mod tests {
         Tensor::from_vec(Shape::new(1, 1, 1), vec![v])
     }
 
-    /// Dispatched batches as seen by a recording runner: (base, tags).
-    type BatchLog = Arc<Mutex<Vec<(u64, Vec<f32>)>>>;
+    /// Dispatched batches as seen by a recording runner: (indices, tags).
+    type BatchLog = Arc<Mutex<Vec<(Vec<u64>, Vec<f32>)>>>;
 
-    /// A runner that records every dispatched batch (base + tags) and
-    /// echoes each input with +0.5.
+    /// A runner that records every dispatched batch (per-request stream
+    /// indices + tags) and echoes each input with +0.5.
     fn recording_runner(
         log: BatchLog,
-    ) -> impl FnMut(u64, &[Tensor]) -> Result<Vec<Tensor>, ExecError> + Send + 'static {
-        move |base, inputs| {
+    ) -> impl FnMut(&[u64], &[Tensor]) -> Result<Vec<Tensor>, ExecError> + Send + 'static {
+        move |indices, inputs| {
             let tags: Vec<f32> = inputs.iter().map(|t| t.data()[0]).collect();
-            log.lock().unwrap().push((base, tags));
+            log.lock().unwrap().push((indices.to_vec(), tags));
             Ok(inputs.iter().map(|t| tensor(t.data()[0] + 0.5)).collect())
         }
     }
@@ -219,18 +206,99 @@ mod tests {
 
         let log = log.lock().unwrap();
         // Batches cover the stream in order: concatenating them yields the
-        // submission sequence, and each base equals the count dispatched
-        // before it.
-        let mut expect_base = 0u64;
+        // submission sequence, and single-threaded submission stamps each
+        // request with exactly the count submitted before it.
+        let mut expect = 0u64;
         let mut flat = Vec::new();
-        for (base, tags) in log.iter() {
-            assert_eq!(*base, expect_base, "non-contiguous batch base");
+        for (indices, tags) in log.iter() {
             assert!(tags.len() <= 3, "batch exceeded max_batch");
-            expect_base += tags.len() as u64;
+            for &idx in indices {
+                assert_eq!(idx, expect, "stream index out of order");
+                expect += 1;
+            }
             flat.extend_from_slice(tags);
         }
         let want: Vec<f32> = (0..10).map(|i| i as f32).collect();
         assert_eq!(flat, want);
+    }
+
+    /// `submit_many` stamps exactly the indices a loop of `submit` calls
+    /// would, interleaves correctly with surrounding single submissions,
+    /// and completes every request.
+    #[test]
+    fn submit_many_numbering_matches_a_submit_loop() {
+        // Reference: a loop of submit calls on one handle.
+        let ref_log = Arc::new(Mutex::new(Vec::new()));
+        let reference = spawn(
+            BatchPolicy::new(4, Duration::from_millis(2)),
+            recording_runner(Arc::clone(&ref_log)),
+        );
+        let ref_pendings: Vec<Pending> = (0..6)
+            .map(|i| reference.submit(tensor(i as f32)).unwrap())
+            .collect();
+        reference.shutdown();
+
+        // Same stream via submit → submit_many → submit.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let handle = spawn(
+            BatchPolicy::new(4, Duration::from_millis(2)),
+            recording_runner(Arc::clone(&log)),
+        );
+        let mut pendings = vec![handle.submit(tensor(0.0)).unwrap()];
+        pendings.extend(
+            handle
+                .submit_many((1..5).map(|i| tensor(i as f32)))
+                .unwrap(),
+        );
+        assert_eq!(handle.submit_many(std::iter::empty()).unwrap().len(), 0);
+        pendings.push(handle.submit(tensor(5.0)).unwrap());
+        handle.shutdown();
+
+        for (i, (a, b)) in ref_pendings.into_iter().zip(pendings).enumerate() {
+            assert_eq!(
+                a.wait().unwrap().data(),
+                b.wait().unwrap().data(),
+                "request {i} diverged"
+            );
+        }
+        // Flattened (index, tag) pairs are identical streams: 0..6 in order.
+        let flatten = |l: &BatchLog| -> Vec<(u64, f32)> {
+            l.lock()
+                .unwrap()
+                .iter()
+                .flat_map(|(idx, tags)| idx.iter().copied().zip(tags.iter().copied()))
+                .collect::<Vec<_>>()
+        };
+        let want: Vec<(u64, f32)> = (0..6).map(|i| (i as u64, i as f32)).collect();
+        assert_eq!(flatten(&ref_log), want);
+        assert_eq!(flatten(&log), want);
+        assert_eq!(handle.stats().submitted, 6);
+        assert_eq!(handle.stats().completed, 6);
+        // Post-shutdown runs are refused and counted.
+        assert!(matches!(
+            handle.submit_many([tensor(9.0), tensor(10.0)]),
+            Err(ServeError::ShutDown)
+        ));
+        assert_eq!(handle.stats().rejected, 2);
+    }
+
+    /// `submit_many` larger than the queue bound must not deadlock: the
+    /// worker drains while the call feeds (backpressure per image).
+    #[test]
+    fn submit_many_survives_queue_backpressure() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let handle = spawn(
+            BatchPolicy::new(8, Duration::from_millis(1)).with_queue_depth(4),
+            recording_runner(Arc::clone(&log)),
+        );
+        let pendings = handle
+            .submit_many((0..64).map(|i| tensor(i as f32)))
+            .unwrap();
+        for (i, p) in pendings.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap().data(), &[i as f32 + 0.5]);
+        }
+        handle.shutdown();
+        assert_eq!(handle.in_flight(), 0);
     }
 
     #[test]
@@ -299,7 +367,7 @@ mod tests {
         let e = bad.clone();
         let handle = spawn(
             BatchPolicy::new(2, Duration::from_millis(1)),
-            move |_base: u64, _inputs: &[Tensor]| Err(e.clone()),
+            move |_idx: &[u64], _inputs: &[Tensor]| Err(e.clone()),
         );
         let a = handle.submit(tensor(0.0)).unwrap();
         let b = handle.submit(tensor(1.0)).unwrap();
@@ -315,7 +383,7 @@ mod tests {
     fn wrong_cardinality_runner_cancels_the_batch() {
         let handle = spawn(
             BatchPolicy::new(1, Duration::from_millis(1)),
-            move |_base: u64, _inputs: &[Tensor]| Ok(Vec::new()),
+            move |_idx: &[u64], _inputs: &[Tensor]| Ok(Vec::new()),
         );
         let p = handle.submit(tensor(3.0)).unwrap();
         // debug_assert fires only in the worker thread's debug builds; the
@@ -333,15 +401,16 @@ mod tests {
         let seen = Arc::clone(&images_seen);
         let handle = spawn(
             BatchPolicy::new(16, Duration::from_millis(1)).with_queue_depth(8),
-            move |base: u64, inputs: &[Tensor]| {
+            move |indices: &[u64], inputs: &[Tensor]| {
                 let mut count = seen.lock().unwrap();
-                // Parity: the batch base equals the images dispatched so
-                // far, and every input carries its own stream index.
-                assert_eq!(base, *count);
-                for (i, t) in inputs.iter().enumerate() {
-                    assert_eq!(t.data()[0], (base + i as u64) as f32);
+                // Parity: single-threaded submission stamps in order, so
+                // the batch continues exactly where the stream left off,
+                // and every input carries its own stream index.
+                for (&idx, t) in indices.iter().zip(inputs) {
+                    assert_eq!(idx, *count);
+                    assert_eq!(t.data()[0], idx as f32);
+                    *count += 1;
                 }
-                *count += inputs.len() as u64;
                 Ok(inputs.iter().map(|t| tensor(-t.data()[0])).collect())
             },
         );

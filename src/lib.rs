@@ -14,7 +14,7 @@
 //! | cluster | [`cluster`] | IMA subsystem, digital kernels, L1, DMA |
 //! | **mapping compiler** | [`core`] | splits, reduction trees, tiling, replication, residual placement |
 //! | runtime | [`runtime`] | self-timed pipelined simulation + analyses |
-//! | serving layer | [`serve`] | async micro-batch scheduler, batch-composition-invariant |
+//! | serving layer | [`serve`] | async micro-batch scheduler + sharded fleet router, batch-composition-invariant |
 //! | **facade** | this crate | [`Platform`] builder, [`Session`], unified [`Error`] |
 //!
 //! ## Quickstart
@@ -98,7 +98,10 @@ pub mod prelude {
     pub use aimc_runtime::{
         group_area_efficiency, simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall,
     };
-    pub use aimc_serve::{BatchPolicy, Pending, ServeError, ServeHandle, ServeStats};
+    pub use aimc_serve::{
+        BatchPolicy, FleetHandle, FleetStats, Pending, RoutePolicy, ServeError, ServeHandle,
+        ServeStats,
+    };
     pub use aimc_sim::SimTime;
     pub use aimc_xbar::{Crossbar, XbarConfig, XbarError};
 }

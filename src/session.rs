@@ -36,10 +36,12 @@
 
 use crate::error::{BuildError, Error};
 use aimc_core::{map_network, ArchConfig, MappingStrategy, SystemMapping};
-use aimc_dnn::{he_init, AimcExecutor, Executor, GoldenExecutor, Graph, Tensor, Weights};
+use aimc_dnn::{
+    he_init, AimcExecutor, ExecError, Executor, GoldenExecutor, Graph, Tensor, Weights,
+};
 use aimc_parallel::Parallelism;
 use aimc_runtime::{simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall};
-use aimc_serve::{BatchPolicy, ServeHandle};
+use aimc_serve::{BatchPolicy, FleetHandle, RoutePolicy, ServeHandle, ShardControl};
 use aimc_xbar::XbarConfig;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
@@ -124,6 +126,177 @@ impl Platform {
     pub fn parallelism(&self) -> Parallelism {
         self.inner.parallelism
     }
+
+    /// Starts a **sharded serving fleet** over `backend`: `n_shards`
+    /// replica executors (each programmed from the same seed, so their
+    /// conductances are bit-identical), each behind its own micro-batch
+    /// scheduler under `policy`, all fed by a router that owns the global
+    /// arrival counter and routes stamped requests under `route`.
+    ///
+    /// This is how the paper's architecture scales — replicate compute,
+    /// keep one coherent result. The hard invariant, generalizing the
+    /// single-session batch-composition invariance: for a fixed seed the
+    /// logits of request *k* are bit-identical to a solo
+    /// [`Session::infer_one`] stream of the same images, for **any** shard
+    /// count and **any** routing policy, because every request carries its
+    /// global stream coordinate ([`aimc_dnn::Executor::infer_batch_indexed`])
+    /// and every replica holds the same conductances.
+    ///
+    /// Fleet-wide transitions go through the returned handle:
+    /// [`FleetHandle::apply_drift`] / [`FleetHandle::reprogram`] drain the
+    /// fleet and transition every replica at the same stream position
+    /// (reprogram also rewinds the global stream to zero, like a solo
+    /// session's); [`FleetHandle::set_parallelism`] retunes the shared
+    /// thread budget mid-serve without changing a logit.
+    ///
+    /// The fleet is self-contained: it shares the platform's graph,
+    /// weights, and mapping (cheap `Arc`s), but its replicas are
+    /// independent of any [`Session`]'s backend slots. `n_shards == 0` is
+    /// clamped to 1. Call [`FleetHandle::shutdown`] when done.
+    ///
+    /// # Errors
+    /// [`Error::NoWeights`] without functional weights; programming errors
+    /// as in [`Session::program`], per shard.
+    pub fn serve_fleet(
+        &self,
+        n_shards: usize,
+        policy: BatchPolicy,
+        route: RoutePolicy,
+        backend: &Backend,
+    ) -> Result<FleetHandle, Error> {
+        let n = n_shards.max(1);
+        let inner = &self.inner;
+        let weights = inner.weights.clone().ok_or(Error::NoWeights)?;
+        let graph = Arc::clone(&inner.graph);
+        // One fleet-wide thread-budget cell, snapshotted per batch by every
+        // shard — FleetHandle::set_parallelism retunes all shards at once.
+        let par = Arc::new(ParCell(Mutex::new(inner.parallelism)));
+        let mut shards = Vec::with_capacity(n);
+        let mut controls: Vec<Box<dyn ShardControl>> = Vec::with_capacity(n);
+        match backend {
+            Backend::Golden => {
+                // Golden replicas are stateless: one shared executor serves
+                // every shard without any cross-shard coupling.
+                let exec = Arc::new(GoldenExecutor::from_shared(graph, weights)?);
+                for _ in 0..n {
+                    let e = Arc::clone(&exec);
+                    let p = Arc::clone(&par);
+                    let runner: Box<aimc_serve::DynRunner> =
+                        Box::new(move |indices: &[u64], inputs: &[Tensor]| {
+                            e.infer_batch_indexed(&zip_indexed(indices, inputs), p.get())
+                        });
+                    shards.push(aimc_serve::spawn(policy, runner));
+                    controls.push(Box::new(GoldenShardControl {
+                        par: Arc::clone(&par),
+                    }));
+                }
+            }
+            Backend::Analog { seed, xbar_cfg } => {
+                for _ in 0..n {
+                    // Same seed ⇒ every tile of every replica programs from
+                    // the same derived stream ⇒ identical conductances.
+                    let exec = AimcExecutor::try_program_shared_with(
+                        Arc::clone(&graph),
+                        Arc::clone(&weights),
+                        xbar_cfg,
+                        *seed,
+                        par.get(),
+                    )?;
+                    let slot = Arc::new(RwLock::new(exec));
+                    let s = Arc::clone(&slot);
+                    let p = Arc::clone(&par);
+                    let runner: Box<aimc_serve::DynRunner> =
+                        Box::new(move |indices: &[u64], inputs: &[Tensor]| {
+                            // Snapshot the thread budget once per batch;
+                            // read-lock the replica so fleet drift/reprogram
+                            // wait for in-flight batches.
+                            let par = p.get();
+                            let exec = s.read().unwrap();
+                            exec.try_infer_batch_indexed(&zip_indexed(indices, inputs), par)
+                        });
+                    shards.push(aimc_serve::spawn(policy, runner));
+                    controls.push(Box::new(AnalogShardControl {
+                        slot,
+                        graph: Arc::clone(&graph),
+                        weights: Arc::clone(&weights),
+                        xbar_cfg: xbar_cfg.clone(),
+                        seed: *seed,
+                        par: Arc::clone(&par),
+                    }));
+                }
+            }
+        }
+        Ok(FleetHandle::new(shards, controls, route))
+    }
+}
+
+/// Fleet control surface of one golden shard: stateless, so drift is a
+/// no-op and "reprogramming" needs no work.
+struct GoldenShardControl {
+    par: Arc<ParCell>,
+}
+
+impl ShardControl for GoldenShardControl {
+    fn apply_drift(&self, _t_hours: f64) -> bool {
+        false
+    }
+
+    fn reprogram(&self) -> Result<(), ExecError> {
+        Ok(())
+    }
+
+    fn set_parallelism(&self, par: Parallelism) {
+        self.par.set(par);
+    }
+}
+
+/// Fleet control surface of one analog shard: owns the replica slot plus
+/// everything needed to rewrite it from scratch with the original seed.
+struct AnalogShardControl {
+    slot: Arc<RwLock<AimcExecutor>>,
+    graph: Arc<Graph>,
+    weights: Arc<Weights>,
+    xbar_cfg: XbarConfig,
+    seed: u64,
+    par: Arc<ParCell>,
+}
+
+impl ShardControl for AnalogShardControl {
+    fn apply_drift(&self, t_hours: f64) -> bool {
+        // Exclusive access: any in-flight batch finishes first, then the
+        // replica's conductances drift atomically.
+        self.slot.write().unwrap().apply_drift(t_hours);
+        true
+    }
+
+    fn reprogram(&self) -> Result<(), ExecError> {
+        let exec = AimcExecutor::try_program_shared_with(
+            Arc::clone(&self.graph),
+            Arc::clone(&self.weights),
+            &self.xbar_cfg,
+            self.seed,
+            self.par.get(),
+        )?;
+        // Swap into the same slot, so the shard's runner transparently
+        // serves the freshly written replica (and its rewound counter).
+        *self.slot.write().unwrap() = exec;
+        Ok(())
+    }
+
+    fn set_parallelism(&self, par: Parallelism) {
+        // The shared cell is all the fleet runner reads (snapshotted per
+        // batch) — no slot write-lock, so mid-serve retunes never stall
+        // behind in-flight batches.
+        self.par.set(par);
+    }
+}
+
+/// Pairs each input with its global stream index for
+/// [`Executor::infer_batch_indexed`] — the adapter between the serving
+/// layer's parallel slices and the executors' indexed items.
+fn zip_indexed<'a>(indices: &[u64], inputs: &'a [Tensor]) -> Vec<(u64, &'a Tensor)> {
+    debug_assert_eq!(indices.len(), inputs.len());
+    indices.iter().copied().zip(inputs.iter()).collect()
 }
 
 #[derive(Debug, Clone)]
@@ -533,6 +706,14 @@ impl Session {
     /// order is scheduling-dependent — drain first for reproducible
     /// streams.
     ///
+    /// **Not a fleet shard.** On a handle returned here, the *backend's
+    /// own counter* is the stream authority (that is what makes drift /
+    /// reprogram transitions match a solo stream), so the analog runner
+    /// ignores externally stamped indices: do not use
+    /// [`ServeHandle::submit_at`] on this handle — route through
+    /// [`Platform::serve_fleet`] when an external router should own the
+    /// numbering.
+    ///
     /// # Errors
     /// [`Error::NoBackend`] if no functional backend is programmed yet.
     pub fn serve(&mut self, policy: BatchPolicy) -> Result<ServeHandle, Error> {
@@ -541,22 +722,24 @@ impl Session {
         let runner: Box<aimc_serve::DynRunner> = match active {
             Backend::Golden => {
                 let exec = Arc::clone(self.golden.as_ref().expect("programmed golden"));
-                Box::new(move |base: u64, inputs: &[Tensor]| {
-                    exec.infer_batch_at(inputs, base, par.get())
+                Box::new(move |indices: &[u64], inputs: &[Tensor]| {
+                    exec.infer_batch_indexed(&zip_indexed(indices, inputs), par.get())
                 })
             }
             Backend::Analog { .. } => {
                 let slot = Arc::clone(&self.analog.as_ref().expect("programmed analog").1);
-                Box::new(move |_base: u64, inputs: &[Tensor]| {
+                Box::new(move |_indices: &[u64], inputs: &[Tensor]| {
                     // Snapshot the thread budget once per batch.
                     let par = par.get();
                     let exec = slot.read().unwrap();
-                    // The executor's own image counter is the stream
-                    // authority: it survives drift untouched and resets
-                    // with reprogramming, exactly like a solo-infer
-                    // stream through the same transitions. The claim is
-                    // atomic, so even a concurrent counter-claiming infer
-                    // can never alias a coordinate.
+                    // The executor's own image counter — not the handle's
+                    // stamped indices — is the stream authority here: it
+                    // survives drift untouched and resets with
+                    // reprogramming, exactly like a solo-infer stream
+                    // through the same transitions (fleet shards are the
+                    // opposite: the router owns the numbering). The claim
+                    // is atomic, so even a concurrent counter-claiming
+                    // infer can never alias a coordinate.
                     let base = exec.claim_images(inputs.len() as u64);
                     exec.try_infer_batch_at(inputs, base, par)
                 })
