@@ -4,11 +4,17 @@
 //! check against direct solo `Session::infer_one` calls — same seed ⇒
 //! bit-identical logits at every shard count and routing policy.
 //!
+//! Also runs a **remote** leg: a mixed fleet of one local shard and one
+//! wire-protocol shard behind a real `ShardServer` on loopback TCP
+//! (`Platform::serve_fleet_with` + `TcpTransport`, lease length 4), with
+//! the same bit-identity bar — placement must be invisible in the logits.
+//!
 //! Emits `BENCH_shard_scaling.json` in the working directory: images/s per
-//! shard count, the scaling ratios, aggregated queue-wait percentiles, and
-//! whether every fleet logit was bit-identical to the solo reference
-//! (`fleet_invariance_ok` — the binary also exits non-zero on a violation,
-//! so CI can gate on either signal).
+//! shard count, the scaling ratios, aggregated queue-wait percentiles, the
+//! remote-leg throughput, and whether every fleet logit was bit-identical
+//! to the solo reference (`fleet_invariance_ok` and `remote_invariance_ok`
+//! — the binary also exits non-zero on a violation, so CI can gate on
+//! either signal).
 //!
 //! ```text
 //! cargo run --release -p aimc-bench --bin shard_scaling [images] [--smoke]
@@ -20,11 +26,14 @@
 
 use aimc_core::ArchConfig;
 use aimc_dnn::{resnet18_cifar, Shape, Tensor};
-use aimc_platform::serve::{BatchPolicy, Pending, RoutePolicy, ServeStats};
+use aimc_platform::serve::{
+    BatchPolicy, FleetPolicy, Pending, RoutePolicy, ServeStats, ShardTransport, TcpTransport,
+};
 use aimc_platform::{Backend, Error, Parallelism, Platform};
 use aimc_xbar::XbarConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::net::TcpListener;
 use std::time::{Duration, Instant};
 
 fn backend() -> Backend {
@@ -73,6 +82,47 @@ fn run_fleet(
     let dt = t0.elapsed().as_secs_f64();
     fleet.shutdown();
     let stats = fleet.stats().aggregate();
+    Ok((images.len() as f64 / dt, logits, stats))
+}
+
+/// The remote leg: one local shard plus one wire-protocol shard behind a
+/// `ShardServer` on loopback TCP, assembled through `serve_fleet_with`
+/// with lease length 4 — requests stream over a real socket and the
+/// logits must still be bit-identical to the solo reference.
+fn run_remote_fleet(
+    platform: &Platform,
+    images: &[Tensor],
+) -> Result<(f64, Vec<Tensor>, ServeStats), Error> {
+    let policy =
+        BatchPolicy::new(4, Duration::from_millis(5)).with_queue_depth(images.len().max(1));
+    let server = platform.shard_server(policy, &backend())?;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("loopback addr");
+    let server_thread = std::thread::spawn(move || {
+        server
+            .serve_next(&listener)
+            .expect("serve shard connection");
+    });
+    let remote = TcpTransport::connect(addr).expect("connect to shard server");
+    let local = platform.local_shard(policy, &backend())?;
+    let transports: Vec<Box<dyn ShardTransport>> = vec![Box::new(local), Box::new(remote)];
+    let fleet = platform.serve_fleet_with(
+        transports,
+        FleetPolicy::new(RoutePolicy::RoundRobin).with_lease_len(4),
+    )?;
+    let t0 = Instant::now();
+    let pendings: Vec<Pending> = images
+        .iter()
+        .map(|x| fleet.submit(x.clone()).expect("fleet is open"))
+        .collect();
+    let logits: Vec<Tensor> = pendings
+        .into_iter()
+        .map(|p| p.wait().expect("request completes"))
+        .collect();
+    let dt = t0.elapsed().as_secs_f64();
+    let stats = fleet.stats().aggregate();
+    fleet.shutdown();
+    server_thread.join().expect("shard server settles");
     Ok((images.len() as f64 / dt, logits, stats))
 }
 
@@ -143,6 +193,10 @@ fn main() -> Result<(), Error> {
     )?;
     invariance_ok &= lqd_logits == reference;
 
+    // Remote leg: mixed local + loopback-TCP fleet, same bit-identity bar.
+    let (remote_ips, remote_logits, remote_stats) = run_remote_fleet(&platform, &images)?;
+    let remote_invariance_ok = remote_logits == reference;
+
     let mut best: Vec<(usize, f64, ServeStats)> = Vec::new();
     for &n_shards in &shard_counts {
         let mut best_ips = 0.0f64;
@@ -178,7 +232,16 @@ fn main() -> Result<(), Error> {
             percentile_us(stats, 0.95),
         );
     }
+    println!(
+        "{:<16} {:>10.3} {:>10} {:>10.0}us {:>10.0}us",
+        "remote 1L+1T",
+        remote_ips,
+        "-",
+        percentile_us(&remote_stats, 0.5),
+        percentile_us(&remote_stats, 0.95),
+    );
     println!("fleet-invariance (any shard count, any policy): {invariance_ok}");
+    println!("remote-invariance (mixed local + loopback TCP): {remote_invariance_ok}");
 
     let shard_json: Vec<String> = best
         .iter()
@@ -201,8 +264,12 @@ fn main() -> Result<(), Error> {
          \"route_policies_checked\": [\"round_robin\", \"least_queue_depth\"],\n  \
          \"direct_images_per_s\": {direct_ips:.4},\n  \
          \"fleet\": [\n    {}\n  ],\n  \
-         \"fleet_invariance_ok\": {invariance_ok}\n}}\n",
+         \"remote\": {{\"transports\": \"1 local + 1 tcp-loopback\", \"lease_len\": 4, \
+         \"images_per_s\": {remote_ips:.4}, \"queue_wait_p95_us\": {:.1}}},\n  \
+         \"fleet_invariance_ok\": {invariance_ok},\n  \
+         \"remote_invariance_ok\": {remote_invariance_ok}\n}}\n",
         shard_json.join(",\n    "),
+        percentile_us(&remote_stats, 0.95),
     );
     let path = "BENCH_shard_scaling.json";
     std::fs::write(path, &json).expect("write bench json");
@@ -211,6 +278,10 @@ fn main() -> Result<(), Error> {
     assert!(
         invariance_ok,
         "fleet invariance violation: sharded logits diverged from solo reference"
+    );
+    assert!(
+        remote_invariance_ok,
+        "remote invariance violation: wire-transported logits diverged from solo reference"
     );
     Ok(())
 }

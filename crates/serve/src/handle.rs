@@ -13,7 +13,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A serving-layer failure attached to one request.
+/// A serving-layer failure attached to one request (or, for the fleet
+/// variants, to the fleet itself).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// The handle is shut down; the request was not accepted.
@@ -23,6 +24,12 @@ pub enum ServeError {
     Canceled,
     /// The batch containing this request failed in the executor.
     Exec(ExecError),
+    /// A remote shard reported a failure over the wire; the message is the
+    /// rendered error (typed errors do not cross hosts).
+    Remote(String),
+    /// A fleet was assembled with zero transports — there is nowhere to
+    /// route.
+    NoShards,
 }
 
 impl std::fmt::Display for ServeError {
@@ -31,6 +38,8 @@ impl std::fmt::Display for ServeError {
             ServeError::ShutDown => write!(f, "serve handle is shut down"),
             ServeError::Canceled => write!(f, "request canceled before execution"),
             ServeError::Exec(e) => write!(f, "batch execution failed: {e}"),
+            ServeError::Remote(msg) => write!(f, "remote shard failed: {msg}"),
+            ServeError::NoShards => write!(f, "a fleet needs at least one shard transport"),
         }
     }
 }
@@ -44,22 +53,37 @@ impl From<ExecError> for ServeError {
 }
 
 /// One-shot completion cell shared between a [`Pending`] and its
-/// [`Ticket`].
+/// fulfiller — a worker-side [`Ticket`], or a remote transport's reply
+/// reader.
 #[derive(Debug, Default)]
-struct CompletionSlot {
+pub(crate) struct CompletionSlot {
     cell: Mutex<Option<Result<Tensor, ServeError>>>,
     cv: Condvar,
 }
 
 impl CompletionSlot {
     /// First writer wins; later fulfillments are ignored.
-    fn fulfill(&self, outcome: Result<Tensor, ServeError>) {
+    pub(crate) fn fulfill(&self, outcome: Result<Tensor, ServeError>) {
         let mut cell = self.cell.lock().unwrap();
         if cell.is_none() {
             *cell = Some(outcome);
             self.cv.notify_all();
         }
     }
+}
+
+/// Builds a detached completion pair: the caller-facing [`Pending`] plus
+/// the slot its fulfiller writes — for submitters that complete requests
+/// outside the worker/ticket machinery (the remote transport fulfills from
+/// wire replies).
+pub(crate) fn pending_pair() -> (Pending, Arc<CompletionSlot>) {
+    let slot = Arc::new(CompletionSlot::default());
+    (
+        Pending {
+            slot: Arc::clone(&slot),
+        },
+        slot,
+    )
 }
 
 /// The caller's side of one submitted request (returned by
@@ -165,7 +189,14 @@ struct StateInner {
     rejected: u64,
     /// Next stream index [`ServeHandle::submit`] will stamp — requests are
     /// numbered in submission order, under the same lock as `submitted`.
+    /// External stamps ([`ServeHandle::submit_at`]) push it forward so a
+    /// later internal submission never re-stamps an externally used index.
     next_index: u64,
+    /// One past the highest index stamped by the handle's **own** counter
+    /// (`submit`/`submit_many`). External indices below this watermark
+    /// collide with internally stamped requests — `submit_at` rejects them
+    /// with a debug assertion.
+    internal_watermark: u64,
     batches: u64,
     /// Total images dispatched to the runner (unlike the bounded wait
     /// ring, this never saturates).
@@ -292,17 +323,32 @@ impl ServeHandle {
     /// router uses after claiming `index` from its global arrival counter
     /// (see [`FleetHandle::submit`](crate::FleetHandle)).
     ///
-    /// The handle's internal counter is not consulted or advanced: a shard
-    /// fed through `submit_at` carries whatever (possibly non-contiguous)
-    /// slice of the global stream the router handed it. Do not mix
-    /// `submit_at` with [`ServeHandle::submit`] on the same handle unless
-    /// the external numbering is kept disjoint from the internal one — and
-    /// only use it on handles whose runner honors stamped indices (a
+    /// A shard fed through `submit_at` carries whatever (possibly
+    /// non-contiguous) slice of the global stream the router handed it.
+    /// Only use it on handles whose runner honors stamped indices (a
     /// runner wrapping a counter-claiming backend, like the platform
     /// session's solo analog handle, ignores them by design).
     ///
+    /// # Mixing with the handle-owned counter
+    ///
+    /// [`ServeHandle::submit`] stamps from the handle's own counter, so a
+    /// caller that mixes `submit` and `submit_at` on one handle is merging
+    /// two numbering authorities — a coordinate-aliasing race unless they
+    /// are kept disjoint. The contract: **an external index must be at or
+    /// above the internal watermark** (one past the highest index the
+    /// handle's own counter has stamped). `submit_at` enforces it with a
+    /// debug assertion, and pushes the internal counter past the external
+    /// index so later `submit` calls stay disjoint in the other direction.
+    /// Externally stamped indices may otherwise arrive in any order
+    /// (concurrent routers reorder); the handle never compares them to
+    /// each other.
+    ///
     /// # Errors
     /// [`ServeError::ShutDown`] if [`ServeHandle::shutdown`] ran first.
+    ///
+    /// # Panics
+    /// In debug builds, if `index` is below the internal watermark (see
+    /// above).
     pub fn submit_at(&self, index: u64, image: Tensor) -> Result<Pending, ServeError> {
         self.submit_inner(image, Some(index))
     }
@@ -316,10 +362,32 @@ impl ServeHandle {
             }
             st.submitted += 1;
             match index {
-                Some(i) => i,
+                Some(i) => {
+                    #[cfg(debug_assertions)]
+                    if i < st.internal_watermark {
+                        // Coordinate-aliasing bug in the caller. Leave the
+                        // state coherent (and the lock unpoisoned — a live
+                        // worker shares it) before surfacing it.
+                        let watermark = st.internal_watermark;
+                        st.submitted -= 1;
+                        st.rejected += 1;
+                        drop(st);
+                        panic!(
+                            "submit_at({i}) collides with the handle-owned counter: indices \
+                             below {watermark} were already stamped by submit/submit_many on \
+                             this handle — external numbering must stay at or above the \
+                             internal watermark"
+                        );
+                    }
+                    // Future internal stamps skip past the external index,
+                    // so the two numbering sources stay disjoint.
+                    st.next_index = st.next_index.max(i + 1);
+                    i
+                }
                 None => {
                     let i = st.next_index;
                     st.next_index += 1;
+                    st.internal_watermark = st.next_index;
                     i
                 }
             }
@@ -402,6 +470,7 @@ impl ServeHandle {
             st.submitted += n;
             let base = st.next_index;
             st.next_index += n;
+            st.internal_watermark = st.next_index;
             base
         };
         let mut pendings = Vec::with_capacity(images.len());
@@ -577,5 +646,49 @@ mod tests {
             got: Shape::new(3, 2, 1),
         });
         assert!(e.to_string().contains("batch execution failed"));
+        assert!(ServeError::Remote("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(ServeError::NoShards.to_string().contains("at least one"));
+    }
+
+    fn echo_handle() -> ServeHandle {
+        crate::spawn(
+            crate::BatchPolicy::new(1, Duration::from_millis(1)),
+            |_idx: &[u64], inputs: &[Tensor]| Ok(inputs.to_vec()),
+        )
+    }
+
+    /// The mixing contract: external indices below the handle-owned
+    /// counter's watermark are a coordinate-aliasing bug, caught by the
+    /// debug assertion.
+    #[test]
+    #[should_panic(expected = "collides with the handle-owned counter")]
+    fn submit_at_below_internal_watermark_is_rejected() {
+        let handle = echo_handle();
+        let _ = handle.submit(tensor(0.0)).unwrap(); // stamps index 0
+        let _ = handle.submit_at(0, tensor(1.0)); // aliases coordinate 0
+    }
+
+    /// The legal mixed pattern: external stamps at/above the watermark are
+    /// accepted and push the internal counter past themselves, so a later
+    /// `submit` never re-stamps an externally used index.
+    #[test]
+    fn submit_at_above_watermark_keeps_numbering_disjoint() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        let handle = crate::spawn(
+            crate::BatchPolicy::new(1, Duration::from_millis(1)),
+            move |idx: &[u64], inputs: &[Tensor]| {
+                log.lock().unwrap().extend_from_slice(idx);
+                Ok(inputs.to_vec())
+            },
+        );
+        handle.submit(tensor(0.0)).unwrap().wait().unwrap(); // index 0
+        handle.submit_at(5, tensor(1.0)).unwrap().wait().unwrap();
+        // Internal counter resumes past the external stamp.
+        handle.submit(tensor(2.0)).unwrap().wait().unwrap(); // index 6
+        handle.shutdown();
+        assert_eq!(*seen.lock().unwrap(), vec![0, 5, 6]);
     }
 }

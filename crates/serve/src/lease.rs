@@ -1,0 +1,223 @@
+//! The lease-based global index-range allocator.
+//!
+//! The fleet router used to claim stream indices with one `fetch_add` per
+//! request — fine in-process, a round-trip per request once shards live
+//! behind a wire. [`LeaseAllocator`] replaces the counter: the router
+//! claims an [`IndexLease`] block once, routes the whole block to one
+//! transport, and stamps requests from it locally.
+//!
+//! The allocator preserves the property the fleet invariance rests on:
+//! **indices are issued lowest-first**. Reclaimed blocks (the unused tail
+//! of a partially consumed lease, returned on drain) are re-issued before
+//! any fresh index, so the stamped stream is exactly `0, 1, 2, …` in
+//! submission order — request *k* always evaluates at coordinate *k*,
+//! which is what keeps any fleet bit-identical to a solo session.
+
+use aimc_wire::IndexLease;
+
+/// Issues [`IndexLease`] blocks of global stream indices, lowest-first,
+/// with reclaim and rewind (see the module docs).
+#[derive(Debug, Default, Clone)]
+pub struct LeaseAllocator {
+    /// First index never yet issued as part of any lease.
+    watermark: u64,
+    /// Reclaimed, currently unissued ranges **below** the watermark:
+    /// sorted by start, non-overlapping, non-adjacent (adjacent ranges
+    /// merge on reclaim).
+    free: Vec<IndexLease>,
+}
+
+impl LeaseAllocator {
+    /// A fresh allocator: next lease starts at index 0.
+    pub fn new() -> Self {
+        LeaseAllocator::default()
+    }
+
+    /// Claims the lowest available block of **up to** `len` indices
+    /// (`len` is clamped to ≥ 1). The returned lease is shorter than
+    /// `len` only when a reclaimed fragment is re-issued — never empty.
+    ///
+    /// Allocations are lowest-first: a reclaimed range is always handed
+    /// out before fresh indices above the watermark.
+    pub fn alloc(&mut self, len: u64) -> IndexLease {
+        let len = len.max(1);
+        if let Some(first) = self.free.first_mut() {
+            if first.len <= len {
+                return self.free.remove(0);
+            }
+            let lease = IndexLease::new(first.start, len);
+            first.start += len;
+            first.len -= len;
+            return lease;
+        }
+        let lease = IndexLease::new(self.watermark, len);
+        self.watermark += len;
+        lease
+    }
+
+    /// Returns an unused block so it is re-issued before any fresh index
+    /// (typically the tail of a partially consumed lease, on drain).
+    /// Empty blocks are ignored. Ranges adjacent to the watermark lower
+    /// it; others merge into the sorted free list.
+    pub fn reclaim(&mut self, lease: IndexLease) {
+        if lease.len == 0 {
+            return;
+        }
+        debug_assert!(
+            lease.end() <= self.watermark,
+            "reclaimed lease {lease:?} was never issued (watermark {})",
+            self.watermark
+        );
+        if lease.end() == self.watermark {
+            self.watermark = lease.start;
+            // Free ranges that now touch the lowered watermark fold in too.
+            while let Some(last) = self.free.last() {
+                if last.end() == self.watermark {
+                    self.watermark = last.start;
+                    self.free.pop();
+                } else {
+                    break;
+                }
+            }
+            return;
+        }
+        let at = self
+            .free
+            .partition_point(|existing| existing.start < lease.start);
+        debug_assert!(
+            self.free
+                .iter()
+                .all(|f| f.end() <= lease.start || f.start >= lease.end()),
+            "reclaimed lease {lease:?} overlaps the free list"
+        );
+        self.free.insert(at, lease);
+        // Merge the neighbors the insertion made adjacent.
+        let mut i = at.saturating_sub(1);
+        while i + 1 < self.free.len() {
+            if self.free[i].end() == self.free[i + 1].start {
+                self.free[i].len += self.free[i + 1].len;
+                self.free.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Forgets every issued and reclaimed index: the next lease starts at
+    /// 0 again (the reprogram rewind — callers must have quiesced all
+    /// outstanding leases first).
+    pub fn rewind(&mut self) {
+        self.watermark = 0;
+        self.free.clear();
+    }
+
+    /// The lowest index the next [`LeaseAllocator::alloc`] will issue.
+    pub fn next_index(&self) -> u64 {
+        self.free.first().map_or(self.watermark, |l| l.start)
+    }
+
+    /// Indices currently issued and not reclaimed (the stamped-or-in-lease
+    /// span of the stream).
+    pub fn outstanding(&self) -> u64 {
+        self.watermark - self.free.iter().map(|l| l.len).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_allocations_are_contiguous_from_zero() {
+        let mut a = LeaseAllocator::new();
+        assert_eq!(a.alloc(4), IndexLease::new(0, 4));
+        assert_eq!(a.alloc(4), IndexLease::new(4, 4));
+        assert_eq!(a.alloc(1), IndexLease::new(8, 1));
+        assert_eq!(a.next_index(), 9);
+        assert_eq!(a.outstanding(), 9);
+    }
+
+    #[test]
+    fn zero_len_requests_clamp_to_one() {
+        let mut a = LeaseAllocator::new();
+        assert_eq!(a.alloc(0), IndexLease::new(0, 1));
+        assert_eq!(a.alloc(0), IndexLease::new(1, 1));
+    }
+
+    /// The drain path: the partial tail of the most recent lease lowers
+    /// the watermark, so the next lease continues exactly where the
+    /// stamped stream stopped.
+    #[test]
+    fn reclaiming_the_tail_lowers_the_watermark() {
+        let mut a = LeaseAllocator::new();
+        let l = a.alloc(8);
+        // 3 of 8 indices stamped; drain returns the tail.
+        a.reclaim(IndexLease::new(l.start + 3, l.len - 3));
+        assert_eq!(a.next_index(), 3);
+        assert_eq!(a.outstanding(), 3);
+        assert_eq!(a.alloc(8), IndexLease::new(3, 8));
+    }
+
+    /// Reclaimed interior fragments are re-issued lowest-first and split
+    /// on demand, before any fresh index.
+    #[test]
+    fn interior_reclaims_are_reissued_lowest_first() {
+        let mut a = LeaseAllocator::new();
+        let l0 = a.alloc(4); // [0, 4)
+        let _second = a.alloc(4); // [4, 8)
+        a.reclaim(IndexLease::new(l0.start + 1, 3)); // [1, 4) free, below watermark
+        assert_eq!(a.next_index(), 1);
+        // Split: a request for 1 takes the head of the fragment.
+        assert_eq!(a.alloc(1), IndexLease::new(1, 1));
+        // A request larger than the fragment gets the whole fragment
+        // (short lease) rather than skipping ahead.
+        assert_eq!(a.alloc(64), IndexLease::new(2, 2));
+        // Only then do fresh indices resume.
+        assert_eq!(a.alloc(2), IndexLease::new(8, 2));
+    }
+
+    #[test]
+    fn adjacent_reclaims_merge() {
+        let mut a = LeaseAllocator::new();
+        let _ = a.alloc(10); // [0, 10)
+        a.reclaim(IndexLease::new(2, 2)); // [2, 4)
+        a.reclaim(IndexLease::new(6, 2)); // [2,4) ∪ [6,8)
+        a.reclaim(IndexLease::new(4, 2)); // merges into [2, 8)
+        assert_eq!(a.alloc(100), IndexLease::new(2, 6), "merged fragment");
+        // Reclaiming the global tail folds free ranges into the watermark.
+        a.reclaim(IndexLease::new(2, 6));
+        a.reclaim(IndexLease::new(8, 2));
+        assert_eq!(a.next_index(), 2);
+        assert_eq!(a.outstanding(), 2);
+    }
+
+    #[test]
+    fn empty_reclaims_are_ignored() {
+        let mut a = LeaseAllocator::new();
+        let _ = a.alloc(4);
+        a.reclaim(IndexLease::new(4, 0));
+        assert_eq!(a.next_index(), 4);
+        assert_eq!(a.outstanding(), 4);
+    }
+
+    #[test]
+    fn rewind_restarts_the_stream_at_zero() {
+        let mut a = LeaseAllocator::new();
+        let _ = a.alloc(16);
+        a.reclaim(IndexLease::new(10, 6));
+        a.rewind();
+        assert_eq!(a.next_index(), 0);
+        assert_eq!(a.outstanding(), 0);
+        assert_eq!(a.alloc(4), IndexLease::new(0, 4));
+    }
+
+    /// Lease size 1 is the PR 4 counter: every alloc issues exactly the
+    /// next index.
+    #[test]
+    fn lease_size_one_degenerates_to_a_counter() {
+        let mut a = LeaseAllocator::new();
+        for k in 0..100u64 {
+            assert_eq!(a.alloc(1), IndexLease::new(k, 1));
+        }
+    }
+}

@@ -29,9 +29,16 @@
 //!   flush and stop the worker. [`ServeHandle::submit_many`] stamps a
 //!   whole run under one lock acquisition.
 //! * [`FleetHandle`] — the two-tier *sharded* ingress: a router that owns
-//!   the global arrival counter, stamps every request with its global
-//!   stream index, and routes it ([`RoutePolicy`]) to one of N replica
-//!   shards — with the invariance generalized to any shard count.
+//!   the global stream numbering (a lease-based range allocator,
+//!   [`LeaseAllocator`]), stamps every request with its global index, and
+//!   routes lease blocks ([`FleetPolicy`]) to N shards — with the
+//!   invariance generalized to any shard count.
+//! * [`ShardTransport`] — the only interface the router speaks: submit an
+//!   indexed request, probe load, drain/shutdown, fan shard control.
+//!   [`LocalTransport`] is the in-process zero-copy path;
+//!   [`TcpTransport`] + [`ShardServer`] speak the `aimc-wire` protocol so
+//!   shards can live on other hosts — with the invariance extended
+//!   verbatim to any transport mix.
 //!
 //! ## Example
 //!
@@ -60,13 +67,20 @@
 
 mod coalesce;
 mod handle;
+mod lease;
+mod remote;
 mod router;
 mod scheduler;
+mod transport;
 
+pub use aimc_wire::IndexLease;
 pub use coalesce::Coalescer;
 pub use handle::{Pending, ServeError, ServeHandle, ServeStats};
-pub use router::{FleetHandle, FleetStats, RoutePolicy, ShardControl};
+pub use lease::LeaseAllocator;
+pub use remote::{ShardServer, TcpTransport};
+pub use router::{FleetHandle, FleetPolicy, FleetStats, RoutePolicy};
 pub use scheduler::{spawn, BatchRunner};
+pub use transport::{LocalTransport, ShardControl, ShardTransport};
 
 use aimc_dnn::{ExecError, Tensor};
 use std::time::Duration;

@@ -1,0 +1,703 @@
+//! The remote transport: the `aimc-wire` shard protocol over a byte
+//! stream.
+//!
+//! [`ShardServer`] is the host side — it owns a shard (any
+//! [`ShardTransport`], typically a [`LocalTransport`](crate::LocalTransport)
+//! whose replica was programmed from the fleet's seed) and serves the
+//! protocol on a connection. [`TcpTransport`] is the router side — it
+//! implements [`ShardTransport`] by encoding every operation as wire
+//! frames, so the router cannot tell a remote shard from a local one.
+//!
+//! Both ends are stream-agnostic: a real `TcpStream`, or an in-memory
+//! [`aimc_wire::duplex`] pipe in tests — the protocol bytes are identical.
+//!
+//! ## Flow control and correlation
+//!
+//! Requests and replies correlate by **global stream index** (unique per
+//! request by construction — the router's lease allocator never issues an
+//! index twice between reprogram rewinds), so replies may arrive
+//! interleaved with control replies on one connection. Control commands
+//! are strictly one-outstanding-at-a-time (serialized client-side), so
+//! control replies need no id at all. Backpressure is the shard's own
+//! bounded queue: when it fills, the server stops reading frames, the
+//! byte stream fills, and the client's `submit_indexed` blocks in `write`
+//! — the same push-back a local submitter feels, propagated through the
+//! pipe.
+
+use crate::handle::{pending_pair, CompletionSlot, Pending, ServeError, ServeStats};
+use crate::transport::ShardTransport;
+use aimc_dnn::Tensor;
+use aimc_parallel::Parallelism;
+use aimc_wire::{
+    read_frame, write_frame, Frame, IndexLease, ReplyError, ShardReply, ShardRequest, WireStats,
+};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------- server
+
+/// Channel from the server's decode loop to its replier thread: one
+/// `(global_index, completion)` entry per accepted request.
+type ReplySender = Sender<(u64, Pending)>;
+type ReplyReceiver = Receiver<(u64, Pending)>;
+
+/// Serves one shard over the wire protocol (see the module docs).
+///
+/// The server is connection-oriented: [`ShardServer::serve_stream`] runs
+/// the protocol loop for one client until it disconnects or sends
+/// `Shutdown`. The shard itself outlives connections, so a dropped client
+/// can reconnect to a still-programmed replica.
+pub struct ShardServer {
+    shard: Arc<dyn ShardTransport>,
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardServer").finish_non_exhaustive()
+    }
+}
+
+impl ShardServer {
+    /// Wraps a shard for serving. The shard's replica should already be
+    /// programmed from the fleet's seed (the facade's
+    /// `Platform::shard_server` does both).
+    pub fn new(shard: Box<dyn ShardTransport>) -> Self {
+        ShardServer {
+            shard: Arc::from(shard),
+        }
+    }
+
+    /// Accepts one connection on `listener` and serves it to completion
+    /// (client disconnect or `Shutdown`).
+    ///
+    /// # Errors
+    /// Accept or protocol-level I/O errors.
+    pub fn serve_next(&self, listener: &TcpListener) -> io::Result<()> {
+        let (stream, _peer) = listener.accept()?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        self.serve_stream(stream, writer)
+    }
+
+    /// Runs the protocol loop on an established connection: decodes frames
+    /// from `reader`, drives the shard, and writes replies to `writer`.
+    /// Returns on clean disconnect (EOF between frames) or after answering
+    /// `Shutdown`; all replies for accepted requests are written before
+    /// either return.
+    ///
+    /// # Errors
+    /// Protocol violations (`InvalidData`) or underlying I/O failures.
+    pub fn serve_stream(
+        &self,
+        mut reader: impl Read,
+        writer: impl Write + Send + 'static,
+    ) -> io::Result<()> {
+        let writer = Arc::new(Mutex::new(writer));
+        // Completed requests flow back on their own thread: the shard
+        // fulfills tickets in FIFO dispatch order, so one replier waiting
+        // each Pending in turn streams replies without head-of-line cost.
+        let (tx, rx): (ReplySender, ReplyReceiver) = mpsc::channel();
+        let replier = {
+            let writer = Arc::clone(&writer);
+            std::thread::Builder::new()
+                .name("aimc-shard-replier".into())
+                .spawn(move || {
+                    for (global_index, pending) in rx {
+                        let outcome = match pending.wait() {
+                            Ok(t) => Ok(t),
+                            Err(e) => Err(reply_error(e)),
+                        };
+                        let frame = Frame::Reply(ShardReply {
+                            global_index,
+                            outcome,
+                        });
+                        if write_frame(&mut *writer.lock().unwrap(), &frame).is_err() {
+                            // Writer gone: the client vanished; draining
+                            // the channel keeps shard tickets settling.
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn shard replier")
+        };
+
+        let result = self.frame_loop(&mut reader, &writer, &tx);
+        // Settle the replier before returning so every accepted request's
+        // reply is on the wire (or the link is known dead).
+        drop(tx);
+        let _ = replier.join();
+        // `Shutdown` acks only after all replies above were written.
+        if let Ok(true) = result {
+            let _ = write_frame(&mut *writer.lock().unwrap(), &Frame::ShutdownDone);
+        }
+        result.map(|_| ())
+    }
+
+    /// The decode/dispatch loop. Returns `Ok(true)` when the client asked
+    /// for shutdown, `Ok(false)` on clean disconnect.
+    fn frame_loop(
+        &self,
+        reader: &mut impl Read,
+        writer: &Arc<Mutex<impl Write + Send + 'static>>,
+        tx: &Sender<(u64, Pending)>,
+    ) -> io::Result<bool> {
+        let reply = |frame: &Frame| write_frame(&mut *writer.lock().unwrap(), frame);
+        loop {
+            let frame = match read_frame(reader) {
+                Ok(f) => f,
+                // EOF between frames: the client hung up without Shutdown.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(false),
+                Err(e) => return Err(e),
+            };
+            match frame {
+                Frame::Request(ShardRequest {
+                    global_index,
+                    image,
+                }) => match self.shard.submit_indexed(global_index, image) {
+                    Ok(pending) => {
+                        let _ = tx.send((global_index, pending));
+                    }
+                    Err(e) => reply(&Frame::Reply(ShardReply {
+                        global_index,
+                        outcome: Err(reply_error(e)),
+                    }))?,
+                },
+                Frame::Lease(lease) => self.shard.grant_lease(lease),
+                Frame::Drain => {
+                    self.shard.drain();
+                    reply(&Frame::DrainDone)?;
+                }
+                Frame::Shutdown => {
+                    self.shard.shutdown();
+                    // ShutdownDone is written by serve_stream after the
+                    // replier settles, so it orders after every reply.
+                    return Ok(true);
+                }
+                Frame::ApplyDrift(t_hours) => {
+                    let modeled = self.shard.apply_drift(t_hours);
+                    reply(&Frame::DriftDone(modeled))?;
+                }
+                Frame::Reprogram => {
+                    let outcome = self.shard.reprogram().map_err(|e| e.to_string());
+                    reply(&Frame::ReprogramDone(outcome))?;
+                }
+                Frame::SetParallelism(par) => {
+                    self.shard.set_parallelism(par);
+                    reply(&Frame::ParallelismSet)?;
+                }
+                Frame::StatsProbe => {
+                    let stats = to_wire_stats(&self.shard.stats());
+                    reply(&Frame::Stats(stats))?;
+                }
+                // Server-to-client frames arriving at the server are a
+                // protocol violation.
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected client frame: {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+fn reply_error(e: ServeError) -> ReplyError {
+    match e {
+        ServeError::ShutDown | ServeError::NoShards => ReplyError::ShutDown,
+        ServeError::Canceled => ReplyError::Canceled,
+        ServeError::Exec(err) => ReplyError::Exec(err.to_string()),
+        ServeError::Remote(msg) => ReplyError::Exec(msg),
+    }
+}
+
+fn serve_error(e: ReplyError) -> ServeError {
+    match e {
+        ReplyError::ShutDown => ServeError::ShutDown,
+        ReplyError::Canceled => ServeError::Canceled,
+        ReplyError::Exec(msg) => ServeError::Remote(msg),
+    }
+}
+
+fn to_wire_stats(s: &ServeStats) -> WireStats {
+    WireStats {
+        submitted: s.submitted,
+        completed: s.completed,
+        rejected: s.rejected,
+        batches: s.batches,
+        dispatched: s.dispatched,
+        max_batch_observed: s.max_batch_observed as u64,
+        queue_waits_ns: s
+            .queue_waits
+            .iter()
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .collect(),
+    }
+}
+
+fn from_wire_stats(s: WireStats) -> ServeStats {
+    ServeStats {
+        submitted: s.submitted,
+        completed: s.completed,
+        rejected: s.rejected,
+        batches: s.batches,
+        dispatched: s.dispatched,
+        max_batch_observed: s.max_batch_observed as usize,
+        queue_waits: s
+            .queue_waits_ns
+            .into_iter()
+            .map(Duration::from_nanos)
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------- client
+
+struct RemoteState {
+    /// Requests submitted and not yet answered, by global index.
+    pending: HashMap<u64, Arc<CompletionSlot>>,
+    /// Client-side refusals (the link was already closed) — the server
+    /// never saw these, so they are merged into [`TcpTransport::stats`].
+    rejected: u64,
+    /// Last statistics snapshot fetched from the server; served after the
+    /// link closes.
+    last_stats: ServeStats,
+}
+
+struct RemoteInner {
+    writer: Mutex<Box<dyn Write + Send>>,
+    state: Mutex<RemoteState>,
+    /// Signals `pending` transitions (drain waits on it).
+    state_cv: Condvar,
+    /// One-deep mailbox for control replies; the control lock serializes
+    /// users, so depth one suffices.
+    mailbox: Mutex<Option<Frame>>,
+    mailbox_cv: Condvar,
+    /// Serializes control commands (one outstanding per connection).
+    control: Mutex<()>,
+    /// Set on shutdown or link death; checked lock-free on every path.
+    closed: AtomicBool,
+}
+
+impl RemoteInner {
+    /// Marks the link dead and cancels everything outstanding.
+    fn close_link(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let mut st = self.state.lock().unwrap();
+        for (_, slot) in st.pending.drain() {
+            slot.fulfill(Err(ServeError::Canceled));
+        }
+        drop(st);
+        self.state_cv.notify_all();
+        self.mailbox_cv.notify_all();
+    }
+}
+
+/// The router's side of a remote shard: implements [`ShardTransport`] by
+/// speaking the wire protocol to a [`ShardServer`] (see the module docs).
+///
+/// Despite the name, the transport runs over **any** byte stream:
+/// [`TcpTransport::connect`] for sockets, [`TcpTransport::over`] for
+/// anything `Read + Write` — e.g. an [`aimc_wire::duplex`] pipe in tests.
+/// Clone-able; clones share the connection.
+#[derive(Clone)]
+pub struct TcpTransport {
+    inner: Arc<RemoteInner>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("closed", &self.inner.closed.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpTransport {
+    /// Connects to a [`ShardServer`] listening at `addr`.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        Ok(Self::over(reader, stream))
+    }
+
+    /// Wraps an established duplex byte stream (reader half + writer
+    /// half). A background thread consumes `reader` for the connection's
+    /// lifetime.
+    pub fn over(reader: impl Read + Send + 'static, writer: impl Write + Send + 'static) -> Self {
+        let inner = Arc::new(RemoteInner {
+            writer: Mutex::new(Box::new(writer)),
+            state: Mutex::new(RemoteState {
+                pending: HashMap::new(),
+                rejected: 0,
+                last_stats: ServeStats::default(),
+            }),
+            state_cv: Condvar::new(),
+            mailbox: Mutex::new(None),
+            mailbox_cv: Condvar::new(),
+            control: Mutex::new(()),
+            closed: AtomicBool::new(false),
+        });
+        let thread_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("aimc-remote-reader".into())
+            .spawn(move || reader_loop(reader, &thread_inner))
+            .expect("spawn remote reader");
+        TcpTransport { inner }
+    }
+
+    fn is_link_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::SeqCst)
+    }
+
+    /// Sends one control frame and blocks for its reply (control traffic
+    /// is strictly one-outstanding, enforced by the control lock).
+    fn control(&self, frame: &Frame) -> Result<Frame, ServeError> {
+        let _serial = self.inner.control.lock().unwrap();
+        if self.is_link_closed() {
+            return Err(ServeError::ShutDown);
+        }
+        {
+            let mut w = self.inner.writer.lock().unwrap();
+            if write_frame(&mut *w, frame).is_err() {
+                drop(w);
+                self.inner.close_link();
+                return Err(ServeError::ShutDown);
+            }
+        }
+        let mut mail = self.inner.mailbox.lock().unwrap();
+        loop {
+            if let Some(reply) = mail.take() {
+                return Ok(reply);
+            }
+            if self.is_link_closed() {
+                return Err(ServeError::ShutDown);
+            }
+            mail = self.inner.mailbox_cv.wait(mail).unwrap();
+        }
+    }
+
+    /// Waits until no submitted request is outstanding on this transport.
+    fn wait_pending_empty(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        while !st.pending.is_empty() {
+            st = self.inner.state_cv.wait(st).unwrap();
+        }
+    }
+}
+
+fn reader_loop(mut reader: impl Read, inner: &RemoteInner) {
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Frame::Reply(ShardReply {
+                global_index,
+                outcome,
+            })) => {
+                let mut st = inner.state.lock().unwrap();
+                if let Some(slot) = st.pending.remove(&global_index) {
+                    slot.fulfill(outcome.map_err(serve_error));
+                }
+                drop(st);
+                inner.state_cv.notify_all();
+            }
+            Ok(
+                reply @ (Frame::DrainDone
+                | Frame::ShutdownDone
+                | Frame::DriftDone(_)
+                | Frame::ReprogramDone(_)
+                | Frame::ParallelismSet
+                | Frame::Stats(_)),
+            ) => {
+                *inner.mailbox.lock().unwrap() = Some(reply);
+                inner.mailbox_cv.notify_all();
+            }
+            // Client-to-server frames echoed back, or decode/link errors:
+            // the connection is unusable either way.
+            Ok(_) | Err(_) => break,
+        }
+    }
+    inner.close_link();
+}
+
+impl ShardTransport for TcpTransport {
+    fn submit_indexed(&self, index: u64, image: Tensor) -> Result<Pending, ServeError> {
+        let (pending, slot) = pending_pair();
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            if self.is_link_closed() {
+                st.rejected += 1;
+                return Err(ServeError::ShutDown);
+            }
+            // Registered before the frame is written, so a reply can never
+            // race past its slot.
+            st.pending.insert(index, slot);
+        }
+        let frame = Frame::Request(ShardRequest {
+            global_index: index,
+            image,
+        });
+        let write_ok = write_frame(&mut *self.inner.writer.lock().unwrap(), &frame).is_ok();
+        if !write_ok {
+            // Link died mid-submit: roll the registration back and refuse.
+            let mut st = self.inner.state.lock().unwrap();
+            st.pending.remove(&index);
+            st.rejected += 1;
+            drop(st);
+            self.inner.close_link();
+            return Err(ServeError::ShutDown);
+        }
+        Ok(pending)
+    }
+
+    fn grant_lease(&self, lease: IndexLease) {
+        if self.is_link_closed() {
+            return;
+        }
+        // Advisory fire-and-forget; a failed write surfaces on the next
+        // submission.
+        let _ = write_frame(
+            &mut *self.inner.writer.lock().unwrap(),
+            &Frame::Lease(lease),
+        );
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.inner.state.lock().unwrap().pending.len() as u64
+    }
+
+    fn drain(&self) {
+        if !self.is_link_closed() {
+            let _ = self.control(&Frame::Drain); // DrainDone or closed link
+        }
+        // Either way every outstanding request settles: replies were
+        // flushed before DrainDone, and a dead link cancels its pendings.
+        self.wait_pending_empty();
+    }
+
+    fn shutdown(&self) {
+        if !self.is_link_closed() {
+            self.drain();
+            // Cache the final server statistics while the link still
+            // works; stats() serves this snapshot after close.
+            if let Ok(Frame::Stats(ws)) = self.control(&Frame::StatsProbe) {
+                self.inner.state.lock().unwrap().last_stats = from_wire_stats(ws);
+            }
+            // ShutdownDone orders after every reply, so nothing is lost.
+            let _ = self.control(&Frame::Shutdown);
+            self.inner.close_link();
+        }
+        self.wait_pending_empty();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.is_link_closed()
+    }
+
+    fn stats(&self) -> ServeStats {
+        if !self.is_link_closed() {
+            if let Ok(Frame::Stats(ws)) = self.control(&Frame::StatsProbe) {
+                self.inner.state.lock().unwrap().last_stats = from_wire_stats(ws);
+            }
+        }
+        let st = self.inner.state.lock().unwrap();
+        let mut stats = st.last_stats.clone();
+        // Client-side refusals the server never saw.
+        stats.rejected += st.rejected;
+        stats
+    }
+
+    fn apply_drift(&self, t_hours: f64) -> bool {
+        matches!(
+            self.control(&Frame::ApplyDrift(t_hours)),
+            Ok(Frame::DriftDone(true))
+        )
+    }
+
+    fn reprogram(&self) -> Result<(), ServeError> {
+        match self.control(&Frame::Reprogram)? {
+            Frame::ReprogramDone(Ok(())) => Ok(()),
+            Frame::ReprogramDone(Err(msg)) => Err(ServeError::Remote(msg)),
+            other => Err(ServeError::Remote(format!(
+                "protocol violation: expected ReprogramDone, got {other:?}"
+            ))),
+        }
+    }
+
+    fn set_parallelism(&self, par: Parallelism) {
+        let _ = self.control(&Frame::SetParallelism(par));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{LocalTransport, ShardControl};
+    use crate::{spawn, BatchPolicy};
+    use aimc_dnn::{ExecError, Shape};
+    use aimc_wire::duplex;
+
+    fn tensor(v: f32) -> Tensor {
+        Tensor::from_vec(Shape::new(1, 1, 1), vec![v])
+    }
+
+    #[derive(Default)]
+    struct RecordingControl {
+        drifts: Mutex<Vec<f64>>,
+        reprograms: Mutex<u32>,
+        pars: Mutex<Vec<Parallelism>>,
+        fail_reprogram: bool,
+    }
+
+    impl ShardControl for Arc<RecordingControl> {
+        fn apply_drift(&self, t_hours: f64) -> bool {
+            self.drifts.lock().unwrap().push(t_hours);
+            true
+        }
+        fn reprogram(&self) -> Result<(), ExecError> {
+            if self.fail_reprogram {
+                return Err(ExecError::MissingWeights {
+                    node: Default::default(),
+                    name: "fc".into(),
+                });
+            }
+            *self.reprograms.lock().unwrap() += 1;
+            Ok(())
+        }
+        fn set_parallelism(&self, par: Parallelism) {
+            self.pars.lock().unwrap().push(par);
+        }
+    }
+
+    /// An echo shard over a duplex pipe: results encode (index, value) so
+    /// tests can verify the coordinate each request ran at.
+    fn piped_shard(control: Arc<RecordingControl>) -> (TcpTransport, std::thread::JoinHandle<()>) {
+        let handle = spawn(
+            BatchPolicy::new(2, Duration::from_millis(1)),
+            |indices: &[u64], inputs: &[Tensor]| {
+                Ok(indices
+                    .iter()
+                    .zip(inputs)
+                    .map(|(&i, t)| tensor(i as f32 * 1000.0 + t.data()[0]))
+                    .collect())
+            },
+        );
+        let server = ShardServer::new(Box::new(LocalTransport::new(handle, Box::new(control))));
+        let (client_end, server_end) = duplex();
+        let server_thread = std::thread::spawn({
+            let reader = server_end.clone();
+            let writer = server_end;
+            move || {
+                server.serve_stream(reader, writer).unwrap();
+            }
+        });
+        let reader = client_end.clone();
+        (TcpTransport::over(reader, client_end), server_thread)
+    }
+
+    #[test]
+    fn requests_round_trip_with_their_coordinates() {
+        let (t, server) = piped_shard(Arc::default());
+        let pendings: Vec<Pending> = (0..6)
+            .map(|i| t.submit_indexed(10 + i, tensor(i as f32)).unwrap())
+            .collect();
+        for (i, p) in pendings.into_iter().enumerate() {
+            assert_eq!(
+                p.wait().unwrap().data(),
+                &[(10 + i) as f32 * 1000.0 + i as f32],
+                "request {i} evaluated at the wrong coordinate"
+            );
+        }
+        t.drain();
+        assert_eq!(t.in_flight(), 0);
+        let stats = t.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        t.shutdown();
+        assert!(t.is_closed());
+        server.join().unwrap();
+        // Post-shutdown submissions are refused client-side and merged
+        // into the cached statistics.
+        assert!(matches!(
+            t.submit_indexed(99, tensor(0.0)),
+            Err(ServeError::ShutDown)
+        ));
+        let stats = t.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn control_surface_reaches_the_remote_shard() {
+        let control = Arc::new(RecordingControl::default());
+        let (t, server) = piped_shard(Arc::clone(&control));
+        assert!(t.apply_drift(24.0));
+        assert_eq!(*control.drifts.lock().unwrap(), vec![24.0]);
+        t.reprogram().unwrap();
+        assert_eq!(*control.reprograms.lock().unwrap(), 1);
+        t.set_parallelism(Parallelism::Threads(3));
+        assert_eq!(*control.pars.lock().unwrap(), vec![Parallelism::Threads(3)]);
+        t.grant_lease(IndexLease::new(0, 8));
+        let p = t.submit_indexed(0, tensor(5.0)).unwrap();
+        assert_eq!(p.wait().unwrap().data(), &[5.0]);
+        t.shutdown();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn remote_reprogram_failure_carries_the_rendered_error() {
+        let control = Arc::new(RecordingControl {
+            fail_reprogram: true,
+            ..Default::default()
+        });
+        let (t, server) = piped_shard(control);
+        match t.reprogram() {
+            Err(ServeError::Remote(msg)) => assert!(msg.contains("missing weights")),
+            other => panic!("expected remote error, got {other:?}"),
+        }
+        t.shutdown();
+        server.join().unwrap();
+    }
+
+    /// A vanished server cancels outstanding requests instead of hanging
+    /// the client, and later operations fail cleanly.
+    #[test]
+    fn dead_link_cancels_outstanding_requests() {
+        let handle = spawn(
+            BatchPolicy::new(1, Duration::from_secs(3600)), // never flushes
+            |_idx: &[u64], inputs: &[Tensor]| Ok(inputs.to_vec()),
+        );
+        let server = ShardServer::new(Box::new(LocalTransport::new(
+            handle.clone(),
+            Box::new(Arc::new(RecordingControl::default())),
+        )));
+        let (client_end, server_end) = duplex();
+        let server_thread = std::thread::spawn({
+            let reader = server_end.clone();
+            let writer = server_end.clone();
+            move || {
+                let _ = server.serve_stream(reader, writer);
+            }
+        });
+        let t = TcpTransport::over(client_end.clone(), client_end.clone());
+        let p = t.submit_indexed(0, tensor(1.0)).unwrap();
+        assert_eq!(t.in_flight(), 1);
+        // Sever the connection while the request sits in the coalescer.
+        client_end.close();
+        assert!(matches!(p.wait(), Err(ServeError::Canceled)));
+        t.drain(); // returns immediately: nothing outstanding
+        assert!(t.is_closed());
+        assert!(!t.apply_drift(1.0));
+        assert!(t.reprogram().is_err());
+        handle.shutdown();
+        server_thread.join().unwrap();
+    }
+}

@@ -1,70 +1,98 @@
-//! The fleet router: one global request stream over N replica shards.
+//! The fleet router: one global request stream over N shard transports.
 //!
 //! The paper's architecture scales by *replicating compute* — many
-//! identically-configured AIMC clusters behind a NoC, all serving one
-//! workload. [`FleetHandle`] is the host-side counterpart for serving: a
-//! two-tier ingress where the router owns the **global arrival counter**,
-//! stamps every request with its global stream index, and routes it to one
-//! of N per-shard micro-batch schedulers ([`ServeHandle`]s), each backed by
-//! a replica executor programmed from the same seed.
+//! identically-configured AIMC clusters behind an interconnect, all
+//! serving one workload. [`FleetHandle`] is the host-side counterpart for
+//! serving: a two-tier ingress where the router owns the **global stream
+//! numbering**, stamps every request with its global index, and forwards
+//! it to one of N shards — each a [`ShardTransport`], so whether the
+//! replica lives in-process ([`LocalTransport`](crate::LocalTransport)) or
+//! behind a wire ([`TcpTransport`](crate::TcpTransport)) is invisible
+//! here.
 //!
 //! > **Fleet invariance.** Because every request carries its global
 //! > coordinate and every replica holds bit-identical conductances, the
 //! > logits of request *k* are bit-identical to a solo single-session
-//! > stream of the same images — for ANY shard count and ANY routing
-//! > policy, no matter which shard evaluated which request.
+//! > stream of the same images — for ANY shard count, ANY transport mix,
+//! > ANY lease size, and ANY routing policy, no matter which shard
+//! > evaluated which request.
+//!
+//! Indices come from a lease-based range allocator instead of a per-
+//! request counter: the router claims an [`IndexLease`] block, picks the
+//! shard for the **whole block** under the routing policy, and stamps
+//! requests from the block locally — so a remote shard receives a run of
+//! requests without any per-request index traffic, and the routing
+//! decision is amortized over the lease. Lease length 1 degenerates to
+//! exactly the per-request `fetch_add` routing of the in-process fleet.
+//! Unused indices of a partially consumed lease are reclaimed on drain and
+//! re-issued before any fresh index, so the stamped stream is always
+//! `0, 1, 2, …` in submission order — the invariance's foundation.
 //!
 //! The router never inspects tensors and never blocks on inference: it is
 //! a stamp-and-forward layer. Shard-side coalescing, backpressure, and
-//! completion plumbing are exactly the single-session scheduler's.
+//! completion plumbing belong to the transports.
 
-use crate::handle::{Pending, ServeError, ServeHandle, ServeStats};
-use aimc_dnn::{ExecError, Tensor};
+use crate::handle::{Pending, ServeError, ServeStats};
+use crate::lease::LeaseAllocator;
+use crate::transport::ShardTransport;
+use aimc_dnn::Tensor;
 use aimc_parallel::Parallelism;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use aimc_wire::IndexLease;
+use std::sync::{Arc, Mutex};
 
-/// How the router picks a shard for each stamped request.
+/// How the router picks the shard that receives each claimed lease block
+/// (with lease length 1: each request).
 ///
 /// Routing **never** affects results — that is the fleet invariance — so
 /// the policy is purely a load/latency trade.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RoutePolicy {
-    /// Cycle through shards in submission order: perfectly even request
-    /// counts, oblivious to per-shard backlog.
+    /// Cycle through shards in lease order: perfectly even request counts,
+    /// oblivious to per-shard backlog.
     #[default]
     RoundRobin,
-    /// Send each request to the shard with the fewest requests in flight
+    /// Send each lease to the shard with the fewest requests in flight
     /// (ties break toward the lowest shard id): adapts to stragglers at
-    /// the cost of one load probe per submission.
+    /// the cost of one load probe per lease.
     LeastQueueDepth,
 }
 
-/// Backend-side control surface of one shard, supplied by the layer that
-/// built the fleet (the `aimc-platform` facade): the router can quiesce
-/// shards itself, but mutating replica state — conductance drift,
-/// reprogramming, the thread budget — needs the executor types this crate
-/// does not know.
+/// How a fleet routes and allocates its global stream: the routing policy
+/// plus the lease length (indices claimed — and routed — per block).
 ///
-/// Implementations must apply each operation to **their own shard only**;
-/// [`FleetHandle`] fans the calls across all shards after draining, so
-/// every replica transitions at the same global stream position.
-pub trait ShardControl: Send + Sync {
-    /// Applies conductance drift to this shard's replica (write-locked
-    /// against in-flight batches). Returns whether the backend models
-    /// drift (`false` for digital replicas).
-    fn apply_drift(&self, t_hours: f64) -> bool;
+/// The default (`RoundRobin`, lease 1) reproduces the in-process fleet's
+/// per-request routing exactly. Longer leases amortize routing decisions
+/// and index traffic for remote shards; **no setting changes a logit**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetPolicy {
+    /// Shard selection per lease block.
+    pub route: RoutePolicy,
+    /// Global indices claimed per lease (clamped to ≥ 1). Consecutive
+    /// requests share a lease, hence a shard — lease 1 routes every
+    /// request independently.
+    pub lease_len: u64,
+}
 
-    /// Rewrites this shard's replica from scratch with the original seed —
-    /// fresh conductances, image counter rewound to zero.
-    ///
-    /// # Errors
-    /// Any [`ExecError`] from re-programming.
-    fn reprogram(&self) -> Result<(), ExecError>;
+impl FleetPolicy {
+    /// Per-request routing (lease length 1) under `route`.
+    pub fn new(route: RoutePolicy) -> Self {
+        FleetPolicy {
+            route,
+            lease_len: 1,
+        }
+    }
 
-    /// Updates the thread budget this shard's batches snapshot at
-    /// dispatch. Never changes results.
-    fn set_parallelism(&self, par: Parallelism);
+    /// Overrides the lease length (clamped to ≥ 1 at use).
+    pub fn with_lease_len(mut self, lease_len: u64) -> Self {
+        self.lease_len = lease_len;
+        self
+    }
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy::new(RoutePolicy::RoundRobin)
+    }
 }
 
 /// Per-shard plus aggregated statistics of a fleet (see
@@ -77,8 +105,15 @@ pub struct FleetStats {
 
 impl FleetStats {
     /// The fleet-wide view: counters summed across shards, the largest
-    /// batch observed anywhere, and every shard's queue-wait samples
-    /// pooled (so percentiles describe the whole fleet's recent traffic).
+    /// batch observed anywhere, and every shard's queue-wait **samples
+    /// pooled** before any percentile is taken.
+    ///
+    /// Pooling is deliberate: averaging per-shard percentiles would let a
+    /// lightly loaded shard's fast p95 mask a congested shard's slow one.
+    /// Percentiles over the merged samples weight every request equally,
+    /// so `aggregate().queue_wait_percentile(0.95)` answers "what did the
+    /// 95th-percentile *request* wait", not "what is the average shard
+    /// like".
     pub fn aggregate(&self) -> ServeStats {
         let mut agg = ServeStats::default();
         for s in &self.shards {
@@ -94,74 +129,93 @@ impl FleetStats {
     }
 }
 
+/// The lease currently being consumed: its block, how much is stamped,
+/// and the shard the whole block routes to.
+#[derive(Debug, Clone, Copy)]
+struct ActiveLease {
+    lease: IndexLease,
+    used: u64,
+    shard: usize,
+}
+
+/// Mutable routing state, under one lock: the allocator, the active
+/// lease, the round-robin cursor, and the stamped count.
+#[derive(Debug)]
+struct RouterState {
+    alloc: LeaseAllocator,
+    active: Option<ActiveLease>,
+    rr: usize,
+    /// Requests stamped since the last reprogram rewind (the observable
+    /// stream length).
+    stamped: u64,
+}
+
 struct FleetInner {
-    shards: Vec<ServeHandle>,
-    controls: Vec<Box<dyn ShardControl>>,
-    route: RoutePolicy,
-    /// The global arrival counter — the single stream authority of the
-    /// whole fleet. Claimed with one `fetch_add` per request, so
-    /// concurrent submitters can never alias a coordinate.
-    next_global: AtomicU64,
-    /// Round-robin cursor (wraps modulo the shard count).
-    rr: AtomicUsize,
+    shards: Vec<Box<dyn ShardTransport>>,
+    policy: FleetPolicy,
+    state: Mutex<RouterState>,
 }
 
 impl std::fmt::Debug for FleetInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetInner")
             .field("shards", &self.shards.len())
-            .field("route", &self.route)
-            .field("next_global", &self.next_global)
+            .field("policy", &self.policy)
             .finish_non_exhaustive()
     }
 }
 
-/// Clone-able ingress of a serving fleet: N replica shards behind one
+/// Clone-able ingress of a serving fleet: N shard transports behind one
 /// router-owned global request stream (see the module docs and
-/// `Platform::serve_fleet` in the `aimc-platform` facade).
+/// `Platform::serve_fleet` / `Platform::serve_fleet_with` in the
+/// `aimc-platform` facade).
 ///
-/// All clones share the same shards, counter, and routing cursor. Requests
-/// submitted through any clone receive globally unique stream indices.
+/// All clones share the same shards, allocator, and routing cursor.
+/// Requests submitted through any clone receive globally unique stream
+/// indices.
 #[derive(Debug, Clone)]
 pub struct FleetHandle {
     inner: Arc<FleetInner>,
 }
 
 impl FleetHandle {
-    /// Assembles a fleet from per-shard schedulers and their backend
-    /// controls (one control per shard, same order).
+    /// Assembles a fleet from shard transports under `policy`.
     ///
-    /// # Panics
-    /// Panics if `shards` is empty or the lengths differ — fleet assembly
-    /// is a construction-time contract, not a runtime condition.
+    /// # Errors
+    /// [`ServeError::NoShards`] if `shards` is empty — an empty fleet has
+    /// nowhere to route, and the error is centralized here so every
+    /// assembly path (`serve_fleet`, `serve_fleet_with`, direct
+    /// construction) reports it identically instead of panicking.
     pub fn new(
-        shards: Vec<ServeHandle>,
-        controls: Vec<Box<dyn ShardControl>>,
-        route: RoutePolicy,
-    ) -> Self {
-        assert!(!shards.is_empty(), "a fleet needs at least one shard");
-        assert_eq!(
-            shards.len(),
-            controls.len(),
-            "one ShardControl per shard, in shard order"
-        );
-        FleetHandle {
+        shards: Vec<Box<dyn ShardTransport>>,
+        policy: FleetPolicy,
+    ) -> Result<Self, ServeError> {
+        if shards.is_empty() {
+            return Err(ServeError::NoShards);
+        }
+        Ok(FleetHandle {
             inner: Arc::new(FleetInner {
                 shards,
-                controls,
-                route,
-                next_global: AtomicU64::new(0),
-                rr: AtomicUsize::new(0),
+                policy,
+                state: Mutex::new(RouterState {
+                    alloc: LeaseAllocator::new(),
+                    active: None,
+                    rr: 0,
+                    stamped: 0,
+                }),
             }),
-        }
+        })
     }
 
-    /// Picks the target shard for one request under the routing policy.
-    fn pick_shard(&self) -> usize {
+    /// Picks the target shard for one lease block under the routing
+    /// policy.
+    fn pick_shard(&self, rr: &mut usize) -> usize {
         let inner = &self.inner;
-        match inner.route {
+        match inner.policy.route {
             RoutePolicy::RoundRobin => {
-                inner.rr.fetch_add(1, Ordering::Relaxed) % inner.shards.len()
+                let s = *rr % inner.shards.len();
+                *rr = (*rr + 1) % inner.shards.len();
+                s
             }
             RoutePolicy::LeastQueueDepth => {
                 let mut best = 0usize;
@@ -178,27 +232,101 @@ impl FleetHandle {
         }
     }
 
-    /// Submits one image to the fleet: claims the next global stream index,
-    /// picks a shard under the routing policy, and forwards the stamped
-    /// request ([`ServeHandle::submit_at`]). Blocks only on the chosen
-    /// shard's bounded queue.
-    ///
-    /// # Errors
-    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`].
-    pub fn submit(&self, image: Tensor) -> Result<Pending, ServeError> {
-        let shard = self.pick_shard();
-        let index = self.inner.next_global.fetch_add(1, Ordering::Relaxed);
-        self.inner.shards[shard].submit_at(index, image)
+    /// Claims the next global stream index (and the shard its lease routes
+    /// to), allocating a fresh lease when the active one is exhausted.
+    /// When a fresh lease was allocated it is also returned, so the caller
+    /// can grant it to the transport **outside** the router lock — a
+    /// remote grant is a socket write, and a backpressured shard must
+    /// never stall ingress to the others.
+    fn claim(&self, st: &mut RouterState) -> (usize, u64, Option<IndexLease>) {
+        let mut granted = None;
+        loop {
+            if let Some(active) = st.active.as_mut() {
+                if active.used < active.lease.len {
+                    let index = active.lease.start + active.used;
+                    active.used += 1;
+                    st.stamped += 1;
+                    return (active.shard, index, granted);
+                }
+                st.active = None;
+            }
+            let lease = st.alloc.alloc(self.inner.policy.lease_len);
+            let mut rr = st.rr;
+            let shard = self.pick_shard(&mut rr);
+            st.rr = rr;
+            granted = Some(lease);
+            st.active = Some(ActiveLease {
+                lease,
+                used: 0,
+                shard,
+            });
+        }
     }
 
-    /// Submits a run of images stamped with one **contiguous** block of
-    /// global indices (claimed atomically) and routed as a block to a
-    /// single shard picked under the policy — the fleet counterpart of
-    /// [`ServeHandle::submit_many`]: one routing decision and one shard
-    /// -queue lock for the whole run.
+    /// Returns a claimed-but-unsubmitted index (the shard refused the
+    /// request) so the stream has no hole — the next claim re-issues it
+    /// and subsequent successful requests keep their solo-identical
+    /// coordinates. In the common case the index is the active lease's
+    /// most recent stamp: the whole lease remainder is retired back to the
+    /// allocator, so the re-issue also **re-routes** under the policy
+    /// instead of re-hitting the refusing shard. Otherwise (a concurrent
+    /// submitter advanced the stream past it) the single index re-enters
+    /// the free list.
+    fn unclaim(&self, shard: usize, index: u64) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.stamped -= 1;
+        let newest_of_active = matches!(
+            st.active,
+            Some(a) if a.shard == shard && a.used > 0 && a.lease.start + a.used - 1 == index
+        );
+        if newest_of_active {
+            let mut active = st.active.take().expect("matched Some above");
+            active.used -= 1;
+            st.alloc.reclaim(IndexLease::new(
+                active.lease.start + active.used,
+                active.lease.len - active.used,
+            ));
+        } else {
+            st.alloc.reclaim(IndexLease::new(index, 1));
+        }
+    }
+
+    /// Submits one image to the fleet: claims the next global stream index
+    /// from the active lease (allocating and routing a fresh lease if
+    /// needed) and forwards the stamped request to the lease's shard.
+    /// Blocks only on that shard's backpressure.
     ///
     /// # Errors
-    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`].
+    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`] — or if
+    /// the chosen shard refuses (e.g. a died remote link). A refused
+    /// request's index is released back to the allocator, so the stream
+    /// keeps no hole and later requests stay solo-identical.
+    pub fn submit(&self, image: Tensor) -> Result<Pending, ServeError> {
+        let (shard, index, granted) = {
+            let mut st = self.inner.state.lock().unwrap();
+            self.claim(&mut st)
+        };
+        if let Some(lease) = granted {
+            self.inner.shards[shard].grant_lease(lease);
+        }
+        self.inner.shards[shard]
+            .submit_indexed(index, image)
+            .inspect_err(|_| self.unclaim(shard, index))
+    }
+
+    /// Submits a run of images stamped with **contiguous** global indices,
+    /// claimed atomically — the fleet counterpart of
+    /// `ServeHandle::submit_many`. Routing still happens at lease
+    /// granularity: a run longer than the remaining lease spans leases
+    /// (and possibly shards), but its indices — and therefore its results
+    /// — are exactly the ones a loop of [`FleetHandle::submit`] calls
+    /// would produce.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`], or if a
+    /// shard refuses mid-run (images already forwarded still complete, but
+    /// their completion handles are discarded with the error); the failed
+    /// and unsent images' indices are released back to the allocator.
     pub fn submit_block(
         &self,
         images: impl IntoIterator<Item = Tensor>,
@@ -207,28 +335,49 @@ impl FleetHandle {
         if images.is_empty() {
             return Ok(Vec::new());
         }
-        let shard = self.pick_shard();
-        let base = self
-            .inner
-            .next_global
-            .fetch_add(images.len() as u64, Ordering::Relaxed);
-        images
-            .into_iter()
-            .enumerate()
-            .map(|(i, image)| self.inner.shards[shard].submit_at(base + i as u64, image))
-            .collect()
+        let routes: Vec<(usize, u64, Option<IndexLease>)> = {
+            let mut st = self.inner.state.lock().unwrap();
+            images.iter().map(|_| self.claim(&mut st)).collect()
+        };
+        let mut pendings = Vec::with_capacity(images.len());
+        for (i, image) in images.into_iter().enumerate() {
+            let (shard, index, granted) = routes[i];
+            if let Some(lease) = granted {
+                self.inner.shards[shard].grant_lease(lease);
+            }
+            match self.inner.shards[shard].submit_indexed(index, image) {
+                Ok(p) => pendings.push(p),
+                Err(e) => {
+                    // Release the failed index and the whole unsent tail,
+                    // newest first so lease-cursor rollbacks compose.
+                    for &(shard, index, _) in routes[i..].iter().rev() {
+                        self.unclaim(shard, index);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(pendings)
     }
 
     /// Blocks until every accepted request on every shard has reached a
-    /// terminal outcome.
+    /// terminal outcome, then reclaims the active lease's unused indices
+    /// so they are re-issued (and re-routed) before any fresh index.
     pub fn drain(&self) {
         for s in &self.inner.shards {
             s.drain();
         }
+        let mut st = self.inner.state.lock().unwrap();
+        if let Some(active) = st.active.take() {
+            st.alloc.reclaim(IndexLease::new(
+                active.lease.start + active.used,
+                active.lease.len - active.used,
+            ));
+        }
     }
 
     /// Stops accepting requests fleet-wide, drains everything accepted,
-    /// and joins every shard worker. Idempotent; safe from any clone.
+    /// and releases every shard. Idempotent; safe from any clone.
     pub fn shutdown(&self) {
         for s in &self.inner.shards {
             s.shutdown();
@@ -237,14 +386,14 @@ impl FleetHandle {
 
     /// Whether [`FleetHandle::shutdown`] has run.
     pub fn is_closed(&self) -> bool {
-        self.inner.shards.iter().all(ServeHandle::is_closed)
+        self.inner.shards.iter().all(|s| s.is_closed())
     }
 
     /// Applies conductance drift to **every** replica at the same stream
     /// position: the fleet is drained first (all accepted requests finish
-    /// on pre-drift conductances), then each shard drifts under its write
-    /// lock. Returns whether the replicas model drift (`false` for a
-    /// golden fleet, which ignores the call).
+    /// on pre-drift conductances), then each shard drifts. Returns whether
+    /// the replicas model drift (`false` for a golden fleet, which ignores
+    /// the call).
     ///
     /// Identical replicas drifted identically stay identical — so the
     /// fleet keeps matching a solo session taken through the same
@@ -252,8 +401,8 @@ impl FleetHandle {
     pub fn apply_drift(&self, t_hours: f64) -> bool {
         self.drain();
         let mut modeled = false;
-        for c in &self.inner.controls {
-            modeled |= c.apply_drift(t_hours);
+        for s in &self.inner.shards {
+            modeled |= s.apply_drift(t_hours);
         }
         modeled
     }
@@ -263,24 +412,31 @@ impl FleetHandle {
     /// semantics of a solo `Session::reprogram`: freshly written
     /// conductances, coordinates replayed from the start.
     ///
+    /// The drain also reclaims the active lease, so no outstanding lease
+    /// survives the rewind: the next submission claims a fresh lease
+    /// starting at index 0.
+    ///
     /// # Errors
-    /// [`ServeError::Exec`] if any shard fails to re-program (shards
-    /// already re-programmed keep their fresh state; the stream counter is
-    /// only rewound on full success).
+    /// [`ServeError::Exec`] / [`ServeError::Remote`] if any shard fails to
+    /// re-program (shards already re-programmed keep their fresh state;
+    /// the stream is only rewound on full success).
     pub fn reprogram(&self) -> Result<(), ServeError> {
         self.drain();
-        for c in &self.inner.controls {
-            c.reprogram()?;
+        for s in &self.inner.shards {
+            s.reprogram()?;
         }
-        self.inner.next_global.store(0, Ordering::Relaxed);
+        let mut st = self.inner.state.lock().unwrap();
+        st.alloc.rewind();
+        st.active = None;
+        st.stamped = 0;
         Ok(())
     }
 
     /// Updates the thread budget fleet-wide; in-flight shards pick it up
     /// per dispatched batch. Never changes a logit.
     pub fn set_parallelism(&self, par: Parallelism) {
-        for c in &self.inner.controls {
-            c.set_parallelism(par);
+        for s in &self.inner.shards {
+            s.set_parallelism(par);
         }
     }
 
@@ -289,21 +445,27 @@ impl FleetHandle {
         self.inner.shards.len()
     }
 
-    /// Global stream indices claimed so far (= requests routed, counting
-    /// any trailing shutdown-race holes).
+    /// Requests stamped with global stream indices since the last
+    /// reprogram rewind.
     pub fn images_routed(&self) -> u64 {
-        self.inner.next_global.load(Ordering::Relaxed)
+        self.inner.state.lock().unwrap().stamped
     }
 
     /// The routing policy this fleet was assembled with.
     pub fn route_policy(&self) -> RoutePolicy {
-        self.inner.route
+        self.inner.policy.route
+    }
+
+    /// The fleet's lease length (global indices claimed and routed per
+    /// block).
+    pub fn lease_len(&self) -> u64 {
+        self.inner.policy.lease_len.max(1)
     }
 
     /// Point-in-time statistics, per shard and aggregatable.
     pub fn stats(&self) -> FleetStats {
         FleetStats {
-            shards: self.inner.shards.iter().map(ServeHandle::stats).collect(),
+            shards: self.inner.shards.iter().map(|s| s.stats()).collect(),
         }
     }
 }
@@ -311,9 +473,9 @@ impl FleetHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::{LocalTransport, ShardControl};
     use crate::{spawn, BatchPolicy};
-    use aimc_dnn::Shape;
-    use std::sync::Mutex;
+    use aimc_dnn::{ExecError, Shape};
     use std::time::Duration;
 
     fn tensor(v: f32) -> Tensor {
@@ -324,7 +486,7 @@ mod tests {
     /// results encode the evaluating coordinate.
     type ShardLog = Arc<Mutex<Vec<(u64, f32)>>>;
 
-    fn shard(log: ShardLog, policy: BatchPolicy) -> ServeHandle {
+    fn shard_handle(log: ShardLog, policy: BatchPolicy) -> crate::ServeHandle {
         spawn(policy, move |indices: &[u64], inputs: &[Tensor]| {
             let mut l = log.lock().unwrap();
             for (&idx, t) in indices.iter().zip(inputs) {
@@ -362,22 +524,24 @@ mod tests {
         }
     }
 
-    fn fleet(n: usize, route: RoutePolicy) -> (FleetHandle, Vec<ShardLog>, Arc<RecordingControl>) {
+    fn fleet(n: usize, policy: FleetPolicy) -> (FleetHandle, Vec<ShardLog>, Arc<RecordingControl>) {
         let control = Arc::new(RecordingControl::default());
         let logs: Vec<ShardLog> = (0..n).map(|_| Arc::default()).collect();
-        let shards = logs
+        let shards: Vec<Box<dyn ShardTransport>> = logs
             .iter()
-            .map(|l| shard(Arc::clone(l), BatchPolicy::new(2, Duration::from_millis(1))))
+            .map(|l| {
+                Box::new(LocalTransport::new(
+                    shard_handle(Arc::clone(l), BatchPolicy::new(2, Duration::from_millis(1))),
+                    Box::new(ControlHandle(Arc::clone(&control))),
+                )) as Box<dyn ShardTransport>
+            })
             .collect();
-        let controls: Vec<Box<dyn ShardControl>> = (0..n)
-            .map(|_| Box::new(ControlHandle(Arc::clone(&control))) as Box<dyn ShardControl>)
-            .collect();
-        (FleetHandle::new(shards, controls, route), logs, control)
+        (FleetHandle::new(shards, policy).unwrap(), logs, control)
     }
 
     #[test]
     fn round_robin_spreads_evenly_and_indices_are_global() {
-        let (f, logs, _) = fleet(3, RoutePolicy::RoundRobin);
+        let (f, logs, _) = fleet(3, FleetPolicy::new(RoutePolicy::RoundRobin));
         let pendings: Vec<Pending> = (0..9)
             .map(|i| f.submit(tensor(i as f32)).unwrap())
             .collect();
@@ -387,7 +551,9 @@ mod tests {
         }
         f.drain();
         assert_eq!(f.images_routed(), 9);
-        // Even spread: single-threaded round-robin gives each shard 3.
+        assert_eq!(f.lease_len(), 1);
+        // Even spread: single-threaded round-robin at lease 1 gives each
+        // shard 3.
         let mut all: Vec<(u64, f32)> = Vec::new();
         for (s, log) in logs.iter().enumerate() {
             let l = log.lock().unwrap();
@@ -407,9 +573,62 @@ mod tests {
         assert!(f.is_closed());
     }
 
+    /// Lease blocks route whole: consecutive requests share the lease's
+    /// shard, and the next lease moves on round-robin.
+    #[test]
+    fn leases_route_in_blocks() {
+        let (f, logs, _) = fleet(
+            2,
+            FleetPolicy::new(RoutePolicy::RoundRobin).with_lease_len(3),
+        );
+        let pendings: Vec<Pending> = (0..8)
+            .map(|i| f.submit(tensor(i as f32)).unwrap())
+            .collect();
+        for (k, p) in pendings.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
+        }
+        f.drain();
+        // Blocks of 3: [0,3) → shard 0, [3,6) → shard 1, [6,8) → shard 0.
+        let l0: Vec<u64> = logs[0].lock().unwrap().iter().map(|&(i, _)| i).collect();
+        let l1: Vec<u64> = logs[1].lock().unwrap().iter().map(|&(i, _)| i).collect();
+        assert_eq!(l0, vec![0, 1, 2, 6, 7]);
+        assert_eq!(l1, vec![3, 4, 5]);
+        f.shutdown();
+    }
+
+    /// Drain reclaims the active lease's tail: the stream continues
+    /// contiguously (no holes) and the reclaimed block is re-routed.
+    #[test]
+    fn drain_reclaims_partial_leases() {
+        let (f, logs, _) = fleet(
+            2,
+            FleetPolicy::new(RoutePolicy::RoundRobin).with_lease_len(4),
+        );
+        // One request consumes index 0 of lease [0,4) on shard 0.
+        f.submit(tensor(0.0)).unwrap().wait().unwrap();
+        f.drain(); // reclaims [1,4)
+        assert_eq!(f.images_routed(), 1);
+        // The next requests re-issue the reclaimed block — on the *next*
+        // round-robin shard — keeping the stream contiguous at 1, 2, …
+        let pendings: Vec<Pending> = (1..5)
+            .map(|i| f.submit(tensor(i as f32)).unwrap())
+            .collect();
+        for (k, p) in pendings.into_iter().enumerate() {
+            let k = (k + 1) as f32;
+            assert_eq!(p.wait().unwrap().data(), &[k * 1000.0 + k]);
+        }
+        f.drain();
+        assert_eq!(f.images_routed(), 5);
+        let l0: Vec<u64> = logs[0].lock().unwrap().iter().map(|&(i, _)| i).collect();
+        let l1: Vec<u64> = logs[1].lock().unwrap().iter().map(|&(i, _)| i).collect();
+        assert_eq!(l0, vec![0], "shard 0 stamped only the pre-drain request");
+        assert_eq!(l1, vec![1, 2, 3, 4], "reclaimed block re-routed to shard 1");
+        f.shutdown();
+    }
+
     #[test]
     fn least_queue_depth_prefers_idle_shards() {
-        let (f, logs, _) = fleet(2, RoutePolicy::LeastQueueDepth);
+        let (f, logs, _) = fleet(2, FleetPolicy::new(RoutePolicy::LeastQueueDepth));
         // Submit and drain one at a time: both shards idle at each pick, so
         // ties route everything to shard 0 — and shard 1 stays empty.
         for i in 0..4 {
@@ -423,8 +642,11 @@ mod tests {
     }
 
     #[test]
-    fn submit_block_routes_one_contiguous_block_to_one_shard() {
-        let (f, logs, _) = fleet(2, RoutePolicy::RoundRobin);
+    fn submit_block_spans_leases_with_contiguous_indices() {
+        let (f, logs, _) = fleet(
+            2,
+            FleetPolicy::new(RoutePolicy::RoundRobin).with_lease_len(3),
+        );
         let a = f.submit_block((0..3).map(|i| tensor(i as f32))).unwrap();
         let b = f.submit_block((3..5).map(|i| tensor(i as f32))).unwrap();
         assert_eq!(f.submit_block(std::iter::empty()).unwrap().len(), 0);
@@ -432,7 +654,8 @@ mod tests {
             assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
         }
         f.drain();
-        // Each block landed whole on one shard, in block order.
+        // Lease-granular routing: [0,3) on shard 0, [3,6) on shard 1 — the
+        // second block landed whole on the second lease.
         let l0 = logs[0].lock().unwrap().clone();
         let l1 = logs[1].lock().unwrap().clone();
         assert_eq!(l0, vec![(0, 0.0), (1, 1.0), (2, 2.0)]);
@@ -442,7 +665,7 @@ mod tests {
 
     #[test]
     fn stats_aggregate_sums_the_fleet() {
-        let (f, _, _) = fleet(3, RoutePolicy::RoundRobin);
+        let (f, _, _) = fleet(3, FleetPolicy::default());
         let pendings: Vec<Pending> = (0..7)
             .map(|i| f.submit(tensor(i as f32)).unwrap())
             .collect();
@@ -468,9 +691,51 @@ mod tests {
         assert_eq!(f.stats().aggregate().rejected, 1);
     }
 
+    /// Pins the aggregation semantics: fleet percentiles come from the
+    /// **pooled samples**, not from averaging per-shard percentiles — a
+    /// congested shard must dominate the fleet p95 in proportion to its
+    /// traffic, not be averaged away by idle shards.
+    #[test]
+    fn aggregate_pools_samples_rather_than_averaging_percentiles() {
+        let fast = ServeStats {
+            submitted: 9,
+            completed: 9,
+            dispatched: 9,
+            batches: 9,
+            queue_waits: vec![Duration::from_millis(1); 9],
+            ..ServeStats::default()
+        };
+        let slow = ServeStats {
+            submitted: 91,
+            completed: 91,
+            dispatched: 91,
+            batches: 91,
+            queue_waits: vec![Duration::from_millis(100); 91],
+            ..ServeStats::default()
+        };
+        let stats = FleetStats {
+            shards: vec![fast.clone(), slow.clone()],
+        };
+        let agg = stats.aggregate();
+        assert_eq!(agg.queue_waits.len(), 100, "every sample is pooled");
+        // 91% of requests waited 100 ms: the pooled p95 must say 100 ms.
+        let p95 = agg.queue_wait_percentile(0.95).unwrap();
+        assert_eq!(p95, Duration::from_millis(100));
+        // The rejected alternative: averaging the per-shard p95s would
+        // report ~50 ms and hide the congestion.
+        let averaged = (fast.queue_wait_percentile(0.95).unwrap()
+            + slow.queue_wait_percentile(0.95).unwrap())
+            / 2;
+        assert!(averaged < p95, "averaging would understate the fleet p95");
+        // Counters sum exactly.
+        assert_eq!(agg.submitted, 100);
+        assert_eq!(agg.dispatched, 100);
+        assert_eq!(agg.mean_batch(), 1.0);
+    }
+
     #[test]
     fn drift_and_reprogram_fan_across_all_shards() {
-        let (f, _, control) = fleet(3, RoutePolicy::RoundRobin);
+        let (f, _, control) = fleet(3, FleetPolicy::default());
         let p = f.submit(tensor(1.0)).unwrap();
         assert!(f.apply_drift(24.0));
         // Drain-before-drift: the in-flight request completed first.
@@ -491,9 +756,178 @@ mod tests {
         f.shutdown();
     }
 
+    /// Reprogram with an outstanding (partially consumed) lease: the
+    /// drain-reclaim quiesces it, the rewind restarts at 0, and the next
+    /// lease is a fresh block from the start of the stream.
     #[test]
-    #[should_panic(expected = "at least one shard")]
-    fn empty_fleet_is_a_construction_error() {
-        let _ = FleetHandle::new(Vec::new(), Vec::new(), RoutePolicy::RoundRobin);
+    fn reprogram_rewinds_with_outstanding_leases() {
+        let (f, logs, _) = fleet(
+            2,
+            FleetPolicy::new(RoutePolicy::RoundRobin).with_lease_len(64),
+        );
+        // Consume 2 of the 64-index lease.
+        for i in 0..2 {
+            f.submit(tensor(i as f32)).unwrap().wait().unwrap();
+        }
+        assert_eq!(f.images_routed(), 2);
+        f.reprogram().unwrap();
+        assert_eq!(f.images_routed(), 0);
+        // Replay: indices restart at 0 (fresh lease, next shard in the
+        // rotation).
+        let p = f.submit(tensor(9.0)).unwrap();
+        assert_eq!(p.wait().unwrap().data(), &[9.0]);
+        f.drain();
+        let all: Vec<u64> = logs
+            .iter()
+            .flat_map(|l| {
+                l.lock()
+                    .unwrap()
+                    .iter()
+                    .map(|&(i, _)| i)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Index 0 was stamped twice: once before, once after the rewind.
+        assert_eq!(all.iter().filter(|&&i| i == 0).count(), 2);
+        f.shutdown();
+    }
+
+    /// A transport that refuses every submission — a died remote link.
+    struct RefusingTransport;
+
+    impl ShardTransport for RefusingTransport {
+        fn submit_indexed(&self, _index: u64, _image: Tensor) -> Result<Pending, ServeError> {
+            Err(ServeError::ShutDown)
+        }
+        fn in_flight(&self) -> u64 {
+            0
+        }
+        fn drain(&self) {}
+        fn shutdown(&self) {}
+        fn is_closed(&self) -> bool {
+            true
+        }
+        fn stats(&self) -> ServeStats {
+            ServeStats::default()
+        }
+        fn apply_drift(&self, _t_hours: f64) -> bool {
+            false
+        }
+        fn reprogram(&self) -> Result<(), ServeError> {
+            Ok(())
+        }
+        fn set_parallelism(&self, _par: Parallelism) {}
+    }
+
+    /// A refused submission must release its claimed index: the stream
+    /// keeps no hole, so surviving shards' coordinates stay exactly
+    /// `0, 1, 2, …` — the invariance outlives a dead shard.
+    #[test]
+    fn refused_submission_releases_its_index() {
+        let log: ShardLog = Arc::default();
+        let shards: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(LocalTransport::new(
+                shard_handle(
+                    Arc::clone(&log),
+                    BatchPolicy::new(2, Duration::from_millis(1)),
+                ),
+                Box::new(ControlHandle(Arc::default())),
+            )),
+            Box::new(RefusingTransport),
+        ];
+        let f = FleetHandle::new(shards, FleetPolicy::new(RoutePolicy::RoundRobin)).unwrap();
+        let mut pendings = Vec::new();
+        let mut refused = 0;
+        for i in 0..6 {
+            match f.submit(tensor(i as f32)) {
+                Ok(p) => pendings.push(p),
+                Err(ServeError::ShutDown) => refused += 1,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert_eq!(refused, 3, "round-robin hit the dead shard every other");
+        // Successful request k ran at coordinate k — no holes.
+        for (k, p) in pendings.into_iter().enumerate() {
+            let tag = 2.0 * k as f32; // images 0, 2, 4 survived
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + tag]);
+        }
+        f.drain();
+        assert_eq!(f.images_routed(), 3, "refused stamps were released");
+        let seen: Vec<u64> = log.lock().unwrap().iter().map(|&(i, _)| i).collect();
+        assert_eq!(seen, vec![0, 1, 2]);
+        f.shutdown();
+    }
+
+    /// A refusal mid-`submit_block` releases the failed index and the
+    /// whole unsent tail — a follow-up block re-claims from exactly where
+    /// the stream stopped.
+    #[test]
+    fn refused_block_tail_is_released() {
+        let log: ShardLog = Arc::default();
+        let shards: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(LocalTransport::new(
+                shard_handle(
+                    Arc::clone(&log),
+                    BatchPolicy::new(2, Duration::from_millis(1)),
+                ),
+                Box::new(ControlHandle(Arc::default())),
+            )),
+            Box::new(RefusingTransport),
+        ];
+        let f = FleetHandle::new(
+            shards,
+            FleetPolicy::new(RoutePolicy::RoundRobin).with_lease_len(3),
+        )
+        .unwrap();
+        // Indices 0–2 land on shard 0; index 3 starts the refusing shard's
+        // lease and fails, releasing 3 and 4.
+        assert!(matches!(
+            f.submit_block((0..5).map(|i| tensor(i as f32))),
+            Err(ServeError::ShutDown)
+        ));
+        assert_eq!(f.images_routed(), 3);
+        // The released block re-claims at 3 — re-routed to the live shard.
+        let p = f.submit(tensor(9.0)).unwrap();
+        assert_eq!(p.wait().unwrap().data(), &[3.0 * 1000.0 + 9.0]);
+        f.drain();
+        let seen: Vec<u64> = log.lock().unwrap().iter().map(|&(i, _)| i).collect();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        f.shutdown();
+    }
+
+    #[test]
+    fn empty_fleet_is_a_typed_error_not_a_panic() {
+        match FleetHandle::new(Vec::new(), FleetPolicy::default()) {
+            Err(ServeError::NoShards) => {}
+            other => panic!("expected NoShards, got {other:?}"),
+        }
+    }
+
+    /// Lease exhaustion mid-`submit_block`: a block bigger than the lease
+    /// spans fresh leases without gaps or duplicates.
+    #[test]
+    fn lease_exhaustion_mid_block_keeps_indices_contiguous() {
+        let (f, logs, _) = fleet(
+            3,
+            FleetPolicy::new(RoutePolicy::RoundRobin).with_lease_len(2),
+        );
+        let pendings = f.submit_block((0..7).map(|i| tensor(i as f32))).unwrap();
+        for (k, p) in pendings.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
+        }
+        f.drain();
+        let mut all: Vec<u64> = logs
+            .iter()
+            .flat_map(|l| {
+                l.lock()
+                    .unwrap()
+                    .iter()
+                    .map(|&(i, _)| i)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<u64>>());
+        f.shutdown();
     }
 }

@@ -1,0 +1,179 @@
+//! The transport boundary between the fleet router and its shards.
+//!
+//! The router never touches a concrete scheduler or executor: it speaks
+//! only to [`ShardTransport`] — submit an indexed request, probe load,
+//! drain/shutdown, and fan the [`ShardControl`] operations (drift,
+//! reprogram, thread budget). Where a shard *lives* is a transport
+//! implementation detail:
+//!
+//! * [`LocalTransport`] wraps an in-process [`ServeHandle`] — the
+//!   zero-copy fast path (tensors move, nothing is serialized);
+//! * [`TcpTransport`](crate::TcpTransport) speaks the `aimc-wire` protocol
+//!   to a [`ShardServer`](crate::ShardServer) on another host (or an
+//!   in-memory pipe in tests).
+//!
+//! Because every request carries its global stream coordinate and every
+//! replica is programmed from the same seed, *placement is invisible in
+//! the results*: any mix of transports produces logits bit-identical to a
+//! solo session.
+
+use crate::handle::{Pending, ServeError, ServeHandle, ServeStats};
+use aimc_dnn::{ExecError, Tensor};
+use aimc_parallel::Parallelism;
+use aimc_wire::IndexLease;
+
+/// Backend-side control surface of one shard, supplied by the layer that
+/// owns the executor types (the `aimc-platform` facade): the serving layer
+/// can quiesce shards itself, but mutating replica state — conductance
+/// drift, reprogramming, the thread budget — needs the backend.
+///
+/// Implementations must apply each operation to **their own shard only**;
+/// [`FleetHandle`](crate::FleetHandle) fans the calls across all shards
+/// after draining, so every replica transitions at the same global stream
+/// position.
+pub trait ShardControl: Send + Sync {
+    /// Applies conductance drift to this shard's replica (write-locked
+    /// against in-flight batches). Returns whether the backend models
+    /// drift (`false` for digital replicas).
+    fn apply_drift(&self, t_hours: f64) -> bool;
+
+    /// Rewrites this shard's replica from scratch with the original seed —
+    /// fresh conductances, image counter rewound to zero.
+    ///
+    /// # Errors
+    /// Any [`ExecError`] from re-programming.
+    fn reprogram(&self) -> Result<(), ExecError>;
+
+    /// Updates the thread budget this shard's batches snapshot at
+    /// dispatch. Never changes results.
+    fn set_parallelism(&self, par: Parallelism);
+}
+
+/// One shard of a serving fleet, wherever it lives: the only interface the
+/// router speaks (see the module docs).
+///
+/// The contract every implementation must honor, because the fleet
+/// invariance rests on it: a request submitted with global index `k` is
+/// evaluated **at coordinate `k`** on a replica programmed from the
+/// fleet's seed, and every accepted request reaches a terminal outcome
+/// (logits, error, or cancellation) — so [`ShardTransport::drain`] never
+/// hangs.
+pub trait ShardTransport: Send + Sync {
+    /// Submits one image stamped with its global stream index, returning
+    /// the completion handle.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] once the shard no longer accepts requests.
+    fn submit_indexed(&self, index: u64, image: Tensor) -> Result<Pending, ServeError>;
+
+    /// Advises the shard that subsequent requests draw their indices from
+    /// `lease`. Advisory: transports may batch, forward, or ignore it
+    /// (remote transports forward it so a host can account for its block
+    /// without a round-trip per request). The default does nothing.
+    fn grant_lease(&self, lease: IndexLease) {
+        let _ = lease;
+    }
+
+    /// Requests accepted but not yet completed — the router's load signal
+    /// for least-queue-depth routing. Must be cheap (no network round
+    /// trip: remote transports count locally).
+    fn in_flight(&self) -> u64;
+
+    /// Blocks until every accepted request has reached a terminal outcome.
+    fn drain(&self);
+
+    /// Stops accepting requests, drains everything accepted, and releases
+    /// the shard's resources. Idempotent.
+    fn shutdown(&self);
+
+    /// Whether [`ShardTransport::shutdown`] has run (or the link died).
+    fn is_closed(&self) -> bool;
+
+    /// Point-in-time serving statistics of this shard.
+    fn stats(&self) -> ServeStats;
+
+    /// Applies conductance drift to the shard's replica, after the caller
+    /// drained. Returns whether the backend models drift.
+    fn apply_drift(&self, t_hours: f64) -> bool;
+
+    /// Rewrites the shard's replica from its original seed and rewinds its
+    /// stream, after the caller drained.
+    ///
+    /// # Errors
+    /// [`ServeError::Exec`] for local programming failures,
+    /// [`ServeError::Remote`] for failures reported over a wire.
+    fn reprogram(&self) -> Result<(), ServeError>;
+
+    /// Updates the thread budget the shard's batches snapshot at dispatch.
+    fn set_parallelism(&self, par: Parallelism);
+}
+
+/// The in-process transport: a micro-batch scheduler ([`ServeHandle`])
+/// plus its backend control, behind the [`ShardTransport`] boundary.
+///
+/// This is the zero-copy fast path — `submit_indexed` moves the tensor
+/// straight into the shard's bounded queue; nothing touches the wire
+/// codec.
+pub struct LocalTransport {
+    handle: ServeHandle,
+    control: Box<dyn ShardControl>,
+}
+
+impl std::fmt::Debug for LocalTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalTransport")
+            .field("handle", &self.handle)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LocalTransport {
+    /// Wraps a running scheduler and its backend control as one shard.
+    pub fn new(handle: ServeHandle, control: Box<dyn ShardControl>) -> Self {
+        LocalTransport { handle, control }
+    }
+
+    /// The wrapped scheduler handle (e.g. to share it with non-fleet
+    /// submitters).
+    pub fn handle(&self) -> &ServeHandle {
+        &self.handle
+    }
+}
+
+impl ShardTransport for LocalTransport {
+    fn submit_indexed(&self, index: u64, image: Tensor) -> Result<Pending, ServeError> {
+        self.handle.submit_at(index, image)
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.handle.in_flight()
+    }
+
+    fn drain(&self) {
+        self.handle.drain();
+    }
+
+    fn shutdown(&self) {
+        self.handle.shutdown();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.handle.is_closed()
+    }
+
+    fn stats(&self) -> ServeStats {
+        self.handle.stats()
+    }
+
+    fn apply_drift(&self, t_hours: f64) -> bool {
+        self.control.apply_drift(t_hours)
+    }
+
+    fn reprogram(&self) -> Result<(), ServeError> {
+        self.control.reprogram().map_err(ServeError::Exec)
+    }
+
+    fn set_parallelism(&self, par: Parallelism) {
+        self.control.set_parallelism(par);
+    }
+}

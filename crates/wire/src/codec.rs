@@ -1,0 +1,501 @@
+//! The hand-rolled byte codec.
+//!
+//! Layout: every frame is `u32 LE payload length` followed by the payload,
+//! and every payload starts with a one-byte tag. All integers are
+//! little-endian; `f32`/`f64` travel as their IEEE-754 bit patterns, so
+//! tensor data survives the wire **bit for bit** (NaN payloads included).
+//! Decoding is total: malformed input yields `io::ErrorKind::InvalidData`,
+//! never a panic — the length prefix is also bounded, so a corrupt stream
+//! cannot trigger an absurd allocation.
+
+use crate::{Frame, IndexLease, ReplyError, ShardReply, ShardRequest, WireStats};
+use aimc_dnn::{Shape, Tensor};
+use aimc_parallel::Parallelism;
+use std::io::{self, Read, Write};
+
+/// Upper bound on an encoded frame, as a corruption guard: the largest
+/// legitimate payload is one image/logits tensor (a few MB for the paper's
+/// 3×256×256 inputs), far below this.
+const MAX_FRAME_LEN: u32 = 1 << 28;
+
+// Frame tags. Stable protocol constants — append, never renumber.
+const TAG_REQUEST: u8 = 0;
+const TAG_REPLY: u8 = 1;
+const TAG_LEASE: u8 = 2;
+const TAG_DRAIN: u8 = 3;
+const TAG_DRAIN_DONE: u8 = 4;
+const TAG_SHUTDOWN: u8 = 5;
+const TAG_SHUTDOWN_DONE: u8 = 6;
+const TAG_APPLY_DRIFT: u8 = 7;
+const TAG_DRIFT_DONE: u8 = 8;
+const TAG_REPROGRAM: u8 = 9;
+const TAG_REPROGRAM_DONE: u8 = 10;
+const TAG_SET_PARALLELISM: u8 = 11;
+const TAG_PARALLELISM_SET: u8 = 12;
+const TAG_STATS_PROBE: u8 = 13;
+const TAG_STATS: u8 = 14;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+    let shape = t.shape();
+    put_u32(buf, shape.c as u32);
+    put_u32(buf, shape.h as u32);
+    put_u32(buf, shape.w as u32);
+    for &v in t.data() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_parallelism(buf: &mut Vec<u8>, par: Parallelism) {
+    match par {
+        Parallelism::Serial => buf.push(0),
+        Parallelism::Threads(n) => {
+            buf.push(1);
+            put_u64(buf, n as u64);
+        }
+    }
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &WireStats) {
+    put_u64(buf, s.submitted);
+    put_u64(buf, s.completed);
+    put_u64(buf, s.rejected);
+    put_u64(buf, s.batches);
+    put_u64(buf, s.dispatched);
+    put_u64(buf, s.max_batch_observed);
+    put_u32(buf, s.queue_waits_ns.len() as u32);
+    for &w in &s.queue_waits_ns {
+        put_u64(buf, w);
+    }
+}
+
+/// Encodes one frame to its payload bytes (tag + body, **without** the
+/// length prefix — [`write_frame`] adds it).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match frame {
+        Frame::Request(req) => {
+            buf.push(TAG_REQUEST);
+            put_u64(&mut buf, req.global_index);
+            put_tensor(&mut buf, &req.image);
+        }
+        Frame::Reply(rep) => {
+            buf.push(TAG_REPLY);
+            put_u64(&mut buf, rep.global_index);
+            match &rep.outcome {
+                Ok(t) => {
+                    buf.push(0);
+                    put_tensor(&mut buf, t);
+                }
+                Err(ReplyError::ShutDown) => buf.push(1),
+                Err(ReplyError::Canceled) => buf.push(2),
+                Err(ReplyError::Exec(msg)) => {
+                    buf.push(3);
+                    put_str(&mut buf, msg);
+                }
+            }
+        }
+        Frame::Lease(lease) => {
+            buf.push(TAG_LEASE);
+            put_u64(&mut buf, lease.start);
+            put_u64(&mut buf, lease.len);
+        }
+        Frame::Drain => buf.push(TAG_DRAIN),
+        Frame::DrainDone => buf.push(TAG_DRAIN_DONE),
+        Frame::Shutdown => buf.push(TAG_SHUTDOWN),
+        Frame::ShutdownDone => buf.push(TAG_SHUTDOWN_DONE),
+        Frame::ApplyDrift(t) => {
+            buf.push(TAG_APPLY_DRIFT);
+            put_f64(&mut buf, *t);
+        }
+        Frame::DriftDone(modeled) => {
+            buf.push(TAG_DRIFT_DONE);
+            buf.push(u8::from(*modeled));
+        }
+        Frame::Reprogram => buf.push(TAG_REPROGRAM),
+        Frame::ReprogramDone(result) => {
+            buf.push(TAG_REPROGRAM_DONE);
+            match result {
+                Ok(()) => buf.push(0),
+                Err(msg) => {
+                    buf.push(1);
+                    put_str(&mut buf, msg);
+                }
+            }
+        }
+        Frame::SetParallelism(par) => {
+            buf.push(TAG_SET_PARALLELISM);
+            put_parallelism(&mut buf, *par);
+        }
+        Frame::ParallelismSet => buf.push(TAG_PARALLELISM_SET),
+        Frame::StatsProbe => buf.push(TAG_STATS_PROBE),
+        Frame::Stats(s) => {
+            buf.push(TAG_STATS);
+            put_stats(&mut buf, s);
+        }
+    }
+    buf
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// A cursor over a decoded payload with bounds-checked readers.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("frame payload truncated"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid UTF-8 in string field"))
+    }
+
+    fn tensor(&mut self) -> io::Result<Tensor> {
+        let c = self.u32()? as usize;
+        let h = self.u32()? as usize;
+        let w = self.u32()? as usize;
+        let shape = Shape::new(c, h, w);
+        let numel = c
+            .checked_mul(h)
+            .and_then(|ch| ch.checked_mul(w))
+            .ok_or_else(|| bad("tensor shape overflows"))?;
+        let bytes = self.take(
+            numel
+                .checked_mul(4)
+                .ok_or_else(|| bad("tensor too large"))?,
+        )?;
+        let data = bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        Ok(Tensor::from_vec(shape, data))
+    }
+
+    fn parallelism(&mut self) -> io::Result<Parallelism> {
+        match self.u8()? {
+            0 => Ok(Parallelism::Serial),
+            1 => Ok(Parallelism::Threads(self.u64()? as usize)),
+            t => Err(bad(format!("unknown parallelism tag {t}"))),
+        }
+    }
+
+    fn stats(&mut self) -> io::Result<WireStats> {
+        let submitted = self.u64()?;
+        let completed = self.u64()?;
+        let rejected = self.u64()?;
+        let batches = self.u64()?;
+        let dispatched = self.u64()?;
+        let max_batch_observed = self.u64()?;
+        let n = self.u32()? as usize;
+        let mut queue_waits_ns = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            queue_waits_ns.push(self.u64()?);
+        }
+        Ok(WireStats {
+            submitted,
+            completed,
+            rejected,
+            batches,
+            dispatched,
+            max_batch_observed,
+            queue_waits_ns,
+        })
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes after frame payload"))
+        }
+    }
+}
+
+/// Decodes one frame from its payload bytes (the inverse of
+/// [`encode_frame`]); rejects truncated, trailing, or unknown-tag input
+/// with `InvalidData`.
+pub fn decode_frame(payload: &[u8]) -> io::Result<Frame> {
+    let mut cur = Cur {
+        buf: payload,
+        pos: 0,
+    };
+    let frame = match cur.u8()? {
+        TAG_REQUEST => Frame::Request(ShardRequest {
+            global_index: cur.u64()?,
+            image: cur.tensor()?,
+        }),
+        TAG_REPLY => {
+            let global_index = cur.u64()?;
+            let outcome = match cur.u8()? {
+                0 => Ok(cur.tensor()?),
+                1 => Err(ReplyError::ShutDown),
+                2 => Err(ReplyError::Canceled),
+                3 => Err(ReplyError::Exec(cur.str()?)),
+                t => return Err(bad(format!("unknown reply outcome tag {t}"))),
+            };
+            Frame::Reply(ShardReply {
+                global_index,
+                outcome,
+            })
+        }
+        TAG_LEASE => Frame::Lease(IndexLease {
+            start: cur.u64()?,
+            len: cur.u64()?,
+        }),
+        TAG_DRAIN => Frame::Drain,
+        TAG_DRAIN_DONE => Frame::DrainDone,
+        TAG_SHUTDOWN => Frame::Shutdown,
+        TAG_SHUTDOWN_DONE => Frame::ShutdownDone,
+        TAG_APPLY_DRIFT => Frame::ApplyDrift(cur.f64()?),
+        TAG_DRIFT_DONE => Frame::DriftDone(cur.u8()? != 0),
+        TAG_REPROGRAM => Frame::Reprogram,
+        TAG_REPROGRAM_DONE => match cur.u8()? {
+            0 => Frame::ReprogramDone(Ok(())),
+            1 => Frame::ReprogramDone(Err(cur.str()?)),
+            t => return Err(bad(format!("unknown reprogram outcome tag {t}"))),
+        },
+        TAG_SET_PARALLELISM => Frame::SetParallelism(cur.parallelism()?),
+        TAG_PARALLELISM_SET => Frame::ParallelismSet,
+        TAG_STATS_PROBE => Frame::StatsProbe,
+        TAG_STATS => Frame::Stats(cur.stats()?),
+        t => return Err(bad(format!("unknown frame tag {t}"))),
+    };
+    cur.finish()?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------- framing
+
+/// Writes one length-prefixed frame and flushes the writer (a frame is a
+/// complete protocol action; latency beats buffering here).
+///
+/// # Errors
+/// Any I/O error from the underlying writer.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let payload = encode_frame(frame);
+    let len = u32::try_from(payload.len()).map_err(|_| bad("frame exceeds u32 length"))?;
+    if len > MAX_FRAME_LEN {
+        return Err(bad("frame exceeds protocol maximum"));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+/// `UnexpectedEof` on a cleanly closed stream (no partial frame pending),
+/// `InvalidData` on a malformed frame, or any underlying I/O error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(bad("frame length exceeds protocol maximum"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_frame(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor(vals: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::new(1, 1, vals.len()), vals.to_vec())
+    }
+
+    #[test]
+    fn request_reply_round_trip_is_bit_exact() {
+        // NaN and negative zero: equality of the re-decoded tensor is
+        // checked on raw bits, the same bar the fleet invariance sets.
+        let image = tensor(&[1.5, -0.0, f32::NAN, f32::MIN_POSITIVE]);
+        let frames = [
+            Frame::Request(ShardRequest {
+                global_index: u64::MAX,
+                image: image.clone(),
+            }),
+            Frame::Reply(ShardReply {
+                global_index: 7,
+                outcome: Ok(image),
+            }),
+            Frame::Reply(ShardReply {
+                global_index: 8,
+                outcome: Err(ReplyError::Exec("shape mismatch".into())),
+            }),
+        ];
+        for f in &frames {
+            let decoded = decode_frame(&encode_frame(f)).unwrap();
+            match (f, &decoded) {
+                (Frame::Request(a), Frame::Request(b)) => {
+                    assert_eq!(a.global_index, b.global_index);
+                    let bits =
+                        |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&a.image), bits(&b.image));
+                    assert_eq!(a.image.shape(), b.image.shape());
+                }
+                (Frame::Reply(a), Frame::Reply(b)) => {
+                    assert_eq!(a.global_index, b.global_index);
+                    match (&a.outcome, &b.outcome) {
+                        (Ok(x), Ok(y)) => {
+                            let bits = |t: &Tensor| {
+                                t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                            };
+                            assert_eq!(bits(x), bits(y));
+                        }
+                        (Err(x), Err(y)) => assert_eq!(x, y),
+                        _ => panic!("outcome kind changed over the wire"),
+                    }
+                }
+                _ => panic!("frame kind changed over the wire"),
+            }
+        }
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let frames = [
+            Frame::Lease(IndexLease::new(64, 16)),
+            Frame::Drain,
+            Frame::DrainDone,
+            Frame::Shutdown,
+            Frame::ShutdownDone,
+            Frame::ApplyDrift(1e4),
+            Frame::DriftDone(true),
+            Frame::DriftDone(false),
+            Frame::Reprogram,
+            Frame::ReprogramDone(Ok(())),
+            Frame::ReprogramDone(Err("weights missing".into())),
+            Frame::SetParallelism(Parallelism::Serial),
+            Frame::SetParallelism(Parallelism::Threads(8)),
+            Frame::ParallelismSet,
+            Frame::StatsProbe,
+            Frame::Stats(WireStats {
+                submitted: 10,
+                completed: 9,
+                rejected: 1,
+                batches: 4,
+                dispatched: 9,
+                max_batch_observed: 3,
+                queue_waits_ns: vec![0, 1_000, u64::MAX],
+            }),
+        ];
+        for f in &frames {
+            assert_eq!(&decode_frame(&encode_frame(f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_over_a_byte_stream() {
+        let frames = [
+            Frame::Drain,
+            Frame::Request(ShardRequest {
+                global_index: 3,
+                image: tensor(&[1.0, 2.0]),
+            }),
+            Frame::StatsProbe,
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        let mut r = stream.as_slice();
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_invalid_data_not_a_panic() {
+        // Unknown tag.
+        assert_eq!(
+            decode_frame(&[200]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Truncated payloads at every prefix of a valid frame.
+        let good = encode_frame(&Frame::Request(ShardRequest {
+            global_index: 1,
+            image: tensor(&[1.0, 2.0, 3.0]),
+        }));
+        for cut in 0..good.len() {
+            assert!(
+                decode_frame(&good[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_frame(&long).is_err());
+        // Oversized declared length never allocates absurdly.
+        let mut stream: &[u8] = &u32::MAX.to_le_bytes();
+        assert_eq!(
+            read_frame(&mut stream).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Tensor whose declared shape overflows usize.
+        let mut evil = vec![TAG_REQUEST];
+        evil.extend_from_slice(&0u64.to_le_bytes());
+        for _ in 0..3 {
+            evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        }
+        assert!(decode_frame(&evil).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! # aimc-wire — the shard wire protocol
+//!
+//! The serving fleet spreads replica shards across hosts by replacing the
+//! in-process `ServeHandle` hop with a thin command interface — the same
+//! shape the 64-core PCM chip and the heterogeneous IMC cluster papers use
+//! for their compute fabrics: replicas behind a small set of serializable
+//! commands. This crate defines that interface's *wire form*: the
+//! [`Frame`] enum (requests, replies, and control frames), the
+//! [`IndexLease`] blocks the router hands to transports, and a hand-rolled
+//! little-endian byte codec ([`write_frame`] / [`read_frame`]) — no serde,
+//! consistent with the workspace's shims-only dependency policy.
+//!
+//! The protocol is deliberately tiny. A client (the router's remote
+//! transport) sends [`Frame::Request`] frames carrying `(global_index,
+//! image)` and control frames; the server (a host wrapping its local
+//! shard) answers with [`Frame::Reply`] frames keyed by the same global
+//! index — replies correlate by stream coordinate, so they may interleave
+//! freely with control traffic on one duplex byte stream. Control
+//! commands are strictly request/reply (one outstanding at a time per
+//! connection side), so no other correlation id is needed:
+//!
+//! | client frame | server frame | meaning |
+//! |---|---|---|
+//! | `Request { global_index, image }` | `Reply { global_index, outcome }` | evaluate one image at its global stream coordinate |
+//! | `Lease { start, len }` | *(none)* | advisory: subsequent requests draw indices from this block |
+//! | `Drain` | `DrainDone` | finish every accepted request |
+//! | `Shutdown` | `ShutdownDone` | stop accepting, drain, stop the shard |
+//! | `ApplyDrift(t_hours)` | `DriftDone(modeled)` | conductance drift on the replica |
+//! | `Reprogram` | `ReprogramDone(result)` | rewrite the replica from its seed, rewind its stream |
+//! | `SetParallelism(par)` | `ParallelismSet` | retune the shard's thread budget |
+//! | `StatsProbe` | `Stats(stats)` | point-in-time serving statistics |
+//!
+//! Every frame is length-prefixed (`u32` LE) so a reader can never
+//! misframe a stream; tensors travel as shape + raw `f32` LE bits, so the
+//! fleet invariance survives the wire **bit for bit** — a remote shard's
+//! logits are exactly the bytes the local executor produced.
+//!
+//! For tests (and single-process demos) the crate also ships
+//! [`duplex`] — an in-memory, blocking, bidirectional byte pipe with the
+//! same `Read`/`Write` surface as a `TcpStream` pair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod pipe;
+
+pub use codec::{decode_frame, encode_frame, read_frame, write_frame};
+pub use pipe::{duplex, PipeEnd, PIPE_CAPACITY};
+
+use aimc_dnn::Tensor;
+use aimc_parallel::Parallelism;
+
+/// A contiguous block of global stream indices `[start, start + len)`,
+/// handed by the router's lease allocator to one transport.
+///
+/// Leases are the unit of routing *and* of index allocation: the router
+/// claims a lease once, then stamps requests from it without any shared
+/// counter traffic — a remote shard never pays a round-trip per request.
+/// Unused indices of a partially consumed lease are reclaimed on drain and
+/// re-issued (lowest first) before any fresh indices, so the global stream
+/// stays exactly `0, 1, 2, …` in submission order — the property the
+/// fleet invariance rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexLease {
+    /// First index of the block.
+    pub start: u64,
+    /// Number of indices in the block.
+    pub len: u64,
+}
+
+impl IndexLease {
+    /// The block `[start, start + len)`.
+    pub const fn new(start: u64, len: u64) -> Self {
+        IndexLease { start, len }
+    }
+
+    /// One past the last index of the block.
+    pub const fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether the block contains `index`.
+    pub const fn contains(&self, index: u64) -> bool {
+        index >= self.start && index < self.end()
+    }
+}
+
+/// One inference request on the wire: an image plus the global stream
+/// coordinate it must be evaluated at.
+///
+/// The coordinate — not the receiving shard, not the batch position — keys
+/// all evaluation randomness, which is what makes placement irrelevant to
+/// results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRequest {
+    /// Global stream index of this request.
+    pub global_index: u64,
+    /// The image to evaluate.
+    pub image: Tensor,
+}
+
+/// A failure outcome carried in a [`ShardReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyError {
+    /// The shard was shut down before accepting the request.
+    ShutDown,
+    /// The request was accepted but dropped before execution.
+    Canceled,
+    /// The executor rejected the batch; the message is the rendered
+    /// execution error.
+    Exec(String),
+}
+
+/// One completed request on the wire, keyed by the same global index the
+/// request carried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReply {
+    /// Global stream index of the request this reply answers.
+    pub global_index: u64,
+    /// The logits, or the failure that terminated the request.
+    pub outcome: Result<Tensor, ReplyError>,
+}
+
+/// Point-in-time serving statistics in wire form (durations as
+/// nanoseconds, so the encoding is exact and platform-free).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Requests accepted.
+    pub submitted: u64,
+    /// Requests that reached a terminal outcome.
+    pub completed: u64,
+    /// Requests refused.
+    pub rejected: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Images dispatched across all batches.
+    pub dispatched: u64,
+    /// Largest batch dispatched.
+    pub max_batch_observed: u64,
+    /// Recent queue waits, in nanoseconds.
+    pub queue_waits_ns: Vec<u64>,
+}
+
+/// Every message of the shard protocol (see the module docs for the
+/// client/server pairing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: evaluate one image at its global coordinate.
+    Request(ShardRequest),
+    /// Server → client: one completed request.
+    Reply(ShardReply),
+    /// Client → server (advisory, no reply): subsequent requests draw
+    /// their indices from this lease block.
+    Lease(IndexLease),
+    /// Client → server: finish every accepted request.
+    Drain,
+    /// Server → client: drain completed.
+    DrainDone,
+    /// Client → server: stop accepting, drain, stop the shard.
+    Shutdown,
+    /// Server → client: shutdown completed (all replies already sent).
+    ShutdownDone,
+    /// Client → server: apply conductance drift (`t_hours`).
+    ApplyDrift(f64),
+    /// Server → client: whether the replica models drift.
+    DriftDone(bool),
+    /// Client → server: rewrite the replica from its seed and rewind its
+    /// stream.
+    Reprogram,
+    /// Server → client: reprogram outcome (`Err` carries the rendered
+    /// execution error).
+    ReprogramDone(Result<(), String>),
+    /// Client → server: retune the shard's thread budget.
+    SetParallelism(Parallelism),
+    /// Server → client: thread budget updated.
+    ParallelismSet,
+    /// Client → server: request a statistics snapshot.
+    StatsProbe,
+    /// Server → client: the statistics snapshot.
+    Stats(WireStats),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_accessors() {
+        let l = IndexLease::new(4, 3);
+        assert_eq!(l.end(), 7);
+        assert!(l.contains(4) && l.contains(6));
+        assert!(!l.contains(3) && !l.contains(7));
+        assert_eq!(IndexLease::new(9, 0).end(), 9);
+        assert!(!IndexLease::new(9, 0).contains(9));
+    }
+}

@@ -1,0 +1,214 @@
+//! An in-memory, blocking, bidirectional byte pipe.
+//!
+//! [`duplex`] returns two connected [`PipeEnd`]s with the same
+//! `Read`/`Write` surface a `TcpStream` pair has, so the shard protocol
+//! can be tested (and demoed) without sockets: bytes written to one end
+//! become readable at the other, reads block until data or close, and a
+//! closed end EOFs its peer after the buffered bytes are consumed.
+//!
+//! Each direction is **bounded** ([`PIPE_CAPACITY`] bytes, like a
+//! socket's send buffer): a writer blocks once the peer stops reading, so
+//! backpressure propagates through the pipe exactly as it would through
+//! TCP — a fast submitter cannot buffer an unbounded backlog in memory.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Bytes one direction of the pipe buffers before writers block — the
+/// stand-in for a socket's send/receive buffers.
+pub const PIPE_CAPACITY: usize = 1 << 20;
+
+/// One direction of the pipe: a byte buffer plus its closed flag.
+#[derive(Debug, Default)]
+struct Half {
+    inner: Mutex<HalfState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct HalfState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+/// One end of an in-memory duplex pipe (see [`duplex`]).
+///
+/// Clone-able: clones share the same underlying channels, like a
+/// `TcpStream::try_clone` pair — hand one clone to a reader thread and
+/// keep another for writing. Ends do **not** close on drop (clones make
+/// that ambiguous); call [`PipeEnd::close`] for a deterministic EOF.
+#[derive(Debug, Clone)]
+pub struct PipeEnd {
+    /// The direction this end reads from.
+    rx: Arc<Half>,
+    /// The direction this end writes to.
+    tx: Arc<Half>,
+}
+
+/// Creates a connected pair of pipe ends: bytes written to either end are
+/// read from the other, in order.
+pub fn duplex() -> (PipeEnd, PipeEnd) {
+    let a = Arc::new(Half::default());
+    let b = Arc::new(Half::default());
+    (
+        PipeEnd {
+            rx: Arc::clone(&a),
+            tx: Arc::clone(&b),
+        },
+        PipeEnd { rx: b, tx: a },
+    )
+}
+
+impl PipeEnd {
+    /// Closes both directions of the connection: the peer's reads EOF once
+    /// buffered bytes are consumed, and writes from either side fail with
+    /// `BrokenPipe`. Idempotent.
+    pub fn close(&self) {
+        for half in [&self.rx, &self.tx] {
+            let mut st = half.inner.lock().unwrap();
+            st.closed = true;
+            half.cv.notify_all();
+        }
+    }
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.rx.inner.lock().unwrap();
+        // Drain buffered bytes even after close — EOF only once empty.
+        while st.buf.is_empty() {
+            if st.closed {
+                return Ok(0);
+            }
+            st = self.rx.cv.wait(st).unwrap();
+        }
+        let n = st.buf.len().min(buf.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = st.buf.pop_front().expect("n bounded by len");
+        }
+        // Freed capacity: wake writers blocked on the bound.
+        self.rx.cv.notify_all();
+        Ok(n)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.tx.inner.lock().unwrap();
+        loop {
+            if st.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "pipe peer is closed",
+                ));
+            }
+            let free = PIPE_CAPACITY.saturating_sub(st.buf.len());
+            if free > 0 {
+                let n = free.min(buf.len());
+                st.buf.extend(&buf[..n]);
+                self.tx.cv.notify_all();
+                return Ok(n);
+            }
+            // Full: block until the reader frees capacity (or close).
+            st = self.tx.cv.wait(st).unwrap();
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_frame, write_frame, Frame};
+
+    #[test]
+    fn bytes_cross_the_pipe_in_order() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"hello").unwrap();
+        a.write_all(b" world").unwrap();
+        let mut got = [0u8; 11];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello world");
+
+        b.write_all(b"pong").unwrap();
+        let mut got = [0u8; 4];
+        a.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"pong");
+    }
+
+    #[test]
+    fn close_eofs_after_buffered_bytes() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"tail").unwrap();
+        a.close();
+        let mut got = [0u8; 4];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"tail");
+        assert_eq!(b.read(&mut got).unwrap(), 0, "EOF after the buffer");
+        assert!(b.write_all(b"x").is_err(), "peer-closed write fails");
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_cross_thread_write() {
+        let (mut a, mut b) = duplex();
+        let t = std::thread::spawn(move || {
+            let mut got = [0u8; 3];
+            b.read_exact(&mut got).unwrap();
+            got
+        });
+        a.write_all(b"abc").unwrap();
+        assert_eq!(&t.join().unwrap(), b"abc");
+    }
+
+    /// The bound is real: a writer racing ahead of the reader blocks at
+    /// capacity and resumes as the reader drains — socket-like
+    /// backpressure, not unbounded buffering.
+    #[test]
+    fn writer_blocks_at_capacity_until_reader_drains() {
+        let (mut a, mut b) = duplex();
+        let writer = std::thread::spawn(move || {
+            // Two capacities' worth: cannot fit without the reader.
+            let chunk = vec![7u8; PIPE_CAPACITY / 4];
+            for _ in 0..8 {
+                a.write_all(&chunk).unwrap();
+            }
+            a.close();
+        });
+        let mut total = 0usize;
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let n = b.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(buf[..n].iter().all(|&x| x == 7));
+            total += n;
+        }
+        assert_eq!(total, 2 * PIPE_CAPACITY);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn frames_cross_the_pipe() {
+        let (mut a, mut b) = duplex();
+        write_frame(&mut a, &Frame::Drain).unwrap();
+        write_frame(&mut a, &Frame::DrainDone).unwrap();
+        assert_eq!(read_frame(&mut b).unwrap(), Frame::Drain);
+        assert_eq!(read_frame(&mut b).unwrap(), Frame::DrainDone);
+        a.close();
+        assert_eq!(
+            read_frame(&mut b).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

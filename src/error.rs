@@ -32,6 +32,9 @@ pub enum Error {
     /// An operation needed *some* programmed functional backend (golden or
     /// analog), but none is programmed yet.
     NoBackend,
+    /// A serving fleet was assembled with zero shard transports — there is
+    /// nowhere to route.
+    NoShards,
 }
 
 /// What was missing from a [`PlatformBuilder`](crate::PlatformBuilder).
@@ -65,6 +68,12 @@ impl fmt::Display for Error {
                 f,
                 "no functional backend programmed: run Session::program (or an infer) \
                  with the backend to serve before calling Session::serve"
+            ),
+            Error::NoShards => write!(
+                f,
+                "a serving fleet needs at least one shard transport: pass a non-empty \
+                 transport vector to Platform::serve_fleet_with (or n_shards >= 1 to \
+                 Platform::serve_fleet)"
             ),
         }
     }

@@ -14,7 +14,8 @@
 //! | cluster | [`cluster`] | IMA subsystem, digital kernels, L1, DMA |
 //! | **mapping compiler** | [`core`] | splits, reduction trees, tiling, replication, residual placement |
 //! | runtime | [`runtime`] | self-timed pipelined simulation + analyses |
-//! | serving layer | [`serve`] | async micro-batch scheduler + sharded fleet router, batch-composition-invariant |
+//! | serving layer | [`serve`] | async micro-batch scheduler + transport-agnostic fleet router, batch-composition-invariant |
+//! | wire protocol | [`wire`] | serializable shard command frames, hand-rolled codec, duplex test pipe |
 //! | **facade** | this crate | [`Platform`] builder, [`Session`], unified [`Error`] |
 //!
 //! ## Quickstart
@@ -76,6 +77,7 @@ pub use aimc_parallel as parallel;
 pub use aimc_runtime as runtime;
 pub use aimc_serve as serve;
 pub use aimc_sim as sim;
+pub use aimc_wire as wire;
 pub use aimc_xbar as xbar;
 
 mod error;
@@ -99,8 +101,9 @@ pub mod prelude {
         group_area_efficiency, simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall,
     };
     pub use aimc_serve::{
-        BatchPolicy, FleetHandle, FleetStats, Pending, RoutePolicy, ServeError, ServeHandle,
-        ServeStats,
+        BatchPolicy, FleetHandle, FleetPolicy, FleetStats, IndexLease, LocalTransport, Pending,
+        RoutePolicy, ServeError, ServeHandle, ServeStats, ShardServer, ShardTransport,
+        TcpTransport,
     };
     pub use aimc_sim::SimTime;
     pub use aimc_xbar::{Crossbar, XbarConfig, XbarError};

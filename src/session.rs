@@ -41,7 +41,10 @@ use aimc_dnn::{
 };
 use aimc_parallel::Parallelism;
 use aimc_runtime::{simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall};
-use aimc_serve::{BatchPolicy, FleetHandle, RoutePolicy, ServeHandle, ShardControl};
+use aimc_serve::{
+    BatchPolicy, FleetHandle, FleetPolicy, LocalTransport, RoutePolicy, ServeError, ServeHandle,
+    ShardControl, ShardServer, ShardTransport,
+};
 use aimc_xbar::XbarConfig;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
@@ -154,6 +157,11 @@ impl Platform {
     /// independent of any [`Session`]'s backend slots. `n_shards == 0` is
     /// clamped to 1. Call [`FleetHandle::shutdown`] when done.
     ///
+    /// This is the all-local convenience path; to mix transports (local
+    /// shards, remote [`aimc_serve::TcpTransport`]s) or tune the lease
+    /// length, assemble the transports yourself and use
+    /// [`Platform::serve_fleet_with`].
+    ///
     /// # Errors
     /// [`Error::NoWeights`] without functional weights; programming errors
     /// as in [`Session::program`], per shard.
@@ -165,68 +173,130 @@ impl Platform {
         backend: &Backend,
     ) -> Result<FleetHandle, Error> {
         let n = n_shards.max(1);
+        let transports = (0..n)
+            .map(|_| {
+                self.local_shard(policy, backend)
+                    .map(|t| Box::new(t) as Box<dyn ShardTransport>)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.serve_fleet_with(transports, FleetPolicy::new(route))
+    }
+
+    /// Assembles a serving fleet from caller-supplied shard transports —
+    /// the transport-agnostic twin of [`Platform::serve_fleet`]: the
+    /// router speaks only [`ShardTransport`], so the vector may mix
+    /// in-process shards ([`Platform::local_shard`]) with remote ones
+    /// ([`aimc_serve::TcpTransport`] connected to a
+    /// [`Platform::shard_server`] on another host) in any proportion.
+    ///
+    /// The fleet invariance carries over verbatim: provided every shard's
+    /// replica is programmed from the same seed, the logits of request *k*
+    /// are bit-identical to a solo [`Session::infer_one`] stream — for any
+    /// transport mix, any lease length, and any routing policy.
+    ///
+    /// # Errors
+    /// [`Error::NoShards`] if `transports` is empty.
+    pub fn serve_fleet_with(
+        &self,
+        transports: Vec<Box<dyn ShardTransport>>,
+        policy: FleetPolicy,
+    ) -> Result<FleetHandle, Error> {
+        // NoShards is the router constructor's only failure mode.
+        FleetHandle::new(transports, policy).map_err(|e| {
+            debug_assert!(matches!(e, ServeError::NoShards));
+            Error::NoShards
+        })
+    }
+
+    /// Builds one in-process replica shard for `backend`: a micro-batch
+    /// scheduler (under `policy`) over a replica programmed from the
+    /// backend's seed, plus its control surface, behind the
+    /// [`ShardTransport`] boundary — the building block of
+    /// [`Platform::serve_fleet_with`] and of [`Platform::shard_server`].
+    ///
+    /// # Errors
+    /// [`Error::NoWeights`] without functional weights; programming errors
+    /// as in [`Session::program`].
+    pub fn local_shard(
+        &self,
+        policy: BatchPolicy,
+        backend: &Backend,
+    ) -> Result<LocalTransport, Error> {
         let inner = &self.inner;
         let weights = inner.weights.clone().ok_or(Error::NoWeights)?;
         let graph = Arc::clone(&inner.graph);
-        // One fleet-wide thread-budget cell, snapshotted per batch by every
-        // shard — FleetHandle::set_parallelism retunes all shards at once.
+        // Per-shard thread-budget cell, snapshotted per batch; fleet-wide
+        // retunes fan through each shard's control.
         let par = Arc::new(ParCell(Mutex::new(inner.parallelism)));
-        let mut shards = Vec::with_capacity(n);
-        let mut controls: Vec<Box<dyn ShardControl>> = Vec::with_capacity(n);
         match backend {
             Backend::Golden => {
-                // Golden replicas are stateless: one shared executor serves
-                // every shard without any cross-shard coupling.
+                // Golden replicas are stateless; the executor is a cheap
+                // wrapper over the shared graph/weight Arcs.
                 let exec = Arc::new(GoldenExecutor::from_shared(graph, weights)?);
-                for _ in 0..n {
-                    let e = Arc::clone(&exec);
-                    let p = Arc::clone(&par);
-                    let runner: Box<aimc_serve::DynRunner> =
-                        Box::new(move |indices: &[u64], inputs: &[Tensor]| {
-                            e.infer_batch_indexed(&zip_indexed(indices, inputs), p.get())
-                        });
-                    shards.push(aimc_serve::spawn(policy, runner));
-                    controls.push(Box::new(GoldenShardControl {
-                        par: Arc::clone(&par),
-                    }));
-                }
+                let p = Arc::clone(&par);
+                let runner: Box<aimc_serve::DynRunner> =
+                    Box::new(move |indices: &[u64], inputs: &[Tensor]| {
+                        exec.infer_batch_indexed(&zip_indexed(indices, inputs), p.get())
+                    });
+                Ok(LocalTransport::new(
+                    aimc_serve::spawn(policy, runner),
+                    Box::new(GoldenShardControl { par }),
+                ))
             }
             Backend::Analog { seed, xbar_cfg } => {
-                for _ in 0..n {
-                    // Same seed ⇒ every tile of every replica programs from
-                    // the same derived stream ⇒ identical conductances.
-                    let exec = AimcExecutor::try_program_shared_with(
-                        Arc::clone(&graph),
-                        Arc::clone(&weights),
-                        xbar_cfg,
-                        *seed,
-                        par.get(),
-                    )?;
-                    let slot = Arc::new(RwLock::new(exec));
-                    let s = Arc::clone(&slot);
-                    let p = Arc::clone(&par);
-                    let runner: Box<aimc_serve::DynRunner> =
-                        Box::new(move |indices: &[u64], inputs: &[Tensor]| {
-                            // Snapshot the thread budget once per batch;
-                            // read-lock the replica so fleet drift/reprogram
-                            // wait for in-flight batches.
-                            let par = p.get();
-                            let exec = s.read().unwrap();
-                            exec.try_infer_batch_indexed(&zip_indexed(indices, inputs), par)
-                        });
-                    shards.push(aimc_serve::spawn(policy, runner));
-                    controls.push(Box::new(AnalogShardControl {
+                // Same seed ⇒ every tile of every replica programs from
+                // the same derived stream ⇒ identical conductances.
+                let exec = AimcExecutor::try_program_shared_with(
+                    Arc::clone(&graph),
+                    Arc::clone(&weights),
+                    xbar_cfg,
+                    *seed,
+                    par.get(),
+                )?;
+                let slot = Arc::new(RwLock::new(exec));
+                let s = Arc::clone(&slot);
+                let p = Arc::clone(&par);
+                let runner: Box<aimc_serve::DynRunner> =
+                    Box::new(move |indices: &[u64], inputs: &[Tensor]| {
+                        // Snapshot the thread budget once per batch;
+                        // read-lock the replica so fleet drift/reprogram
+                        // wait for in-flight batches.
+                        let par = p.get();
+                        let exec = s.read().unwrap();
+                        exec.try_infer_batch_indexed(&zip_indexed(indices, inputs), par)
+                    });
+                Ok(LocalTransport::new(
+                    aimc_serve::spawn(policy, runner),
+                    Box::new(AnalogShardControl {
                         slot,
-                        graph: Arc::clone(&graph),
-                        weights: Arc::clone(&weights),
+                        graph,
+                        weights,
                         xbar_cfg: xbar_cfg.clone(),
                         seed: *seed,
-                        par: Arc::clone(&par),
-                    }));
-                }
+                        par,
+                    }),
+                ))
             }
         }
-        Ok(FleetHandle::new(shards, controls, route))
+    }
+
+    /// Builds a wire-protocol server around one freshly programmed replica
+    /// shard: the host side of a distributed fleet. Serve connections with
+    /// [`ShardServer::serve_next`] / [`ShardServer::serve_stream`]; a
+    /// router on another host reaches it through
+    /// [`aimc_serve::TcpTransport`].
+    ///
+    /// # Errors
+    /// [`Error::NoWeights`] without functional weights; programming errors
+    /// as in [`Session::program`].
+    pub fn shard_server(
+        &self,
+        policy: BatchPolicy,
+        backend: &Backend,
+    ) -> Result<ShardServer, Error> {
+        Ok(ShardServer::new(Box::new(
+            self.local_shard(policy, backend)?,
+        )))
     }
 }
 
