@@ -7,6 +7,8 @@
 //! `Drop` posts [`ServeError::Canceled`] — so [`Pending::wait`] and
 //! [`ServeHandle::drain`] can never hang on a lost request.
 
+use crate::qos::{Admission, Priority, QosClass, QosStats, ShardLoad, ShedReason};
+use crate::BatchPolicy;
 use aimc_dnn::{ExecError, Tensor};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Condvar, Mutex};
@@ -124,13 +126,21 @@ pub(crate) struct Ticket {
     slot: Arc<CompletionSlot>,
     shared: Arc<SharedState>,
     done: bool,
+    /// Class annotations for completion accounting: the priority band's
+    /// in-flight counter is decremented at the terminal outcome, and the
+    /// relative deadline (if any) is checked against the completion
+    /// latency — a miss is *counted*, never culled.
+    class: QosClass,
+    /// Submission instant; `None` for tickets whose submission
+    /// bookkeeping was never recorded (test fixtures).
+    submitted_at: Option<Instant>,
 }
 
 impl Ticket {
     pub(crate) fn fulfill(mut self, outcome: Result<Tensor, ServeError>) {
         self.slot.fulfill(outcome);
         self.done = true;
-        self.shared.note_completed();
+        self.shared.note_completed(self.class, self.submitted_at);
     }
 
     /// Discards the obligation without any completion bookkeeping — only
@@ -144,7 +154,9 @@ impl Drop for Ticket {
     fn drop(&mut self) {
         if !self.done {
             self.slot.fulfill(Err(ServeError::Canceled));
-            self.shared.note_completed();
+            // A canceled request never ran: count the completion (and
+            // free its class slot) but record no latency sample.
+            self.shared.note_completed(self.class, None);
         }
     }
 }
@@ -157,6 +169,7 @@ impl Drop for Ticket {
 pub(crate) struct Request {
     pub(crate) image: Tensor,
     pub(crate) index: u64,
+    pub(crate) class: QosClass,
     pub(crate) ticket: Ticket,
     pub(crate) submitted_at: Instant,
 }
@@ -181,7 +194,11 @@ pub(crate) struct SharedState {
 /// long-lived server's stats stay O(1) in memory.
 const WAIT_SAMPLE_CAP: usize = 4096;
 
-#[derive(Debug, Default)]
+/// Per-class completion-latency samples retained (same bounded-ring
+/// discipline as the queue-wait samples).
+const LATENCY_SAMPLE_CAP: usize = 2048;
+
+#[derive(Debug)]
 struct StateInner {
     closed: bool,
     submitted: u64,
@@ -207,13 +224,101 @@ struct StateInner {
     queue_waits: Vec<Duration>,
     /// Overwrite position once the ring is full.
     wait_cursor: usize,
+    /// In-flight occupancy per priority class (admitted, not yet at a
+    /// terminal outcome).
+    class_in_flight: [u64; Priority::COUNT],
+    /// Per-class admission/shed/deadline-miss ledger.
+    qos: QosStats,
+    /// Overwrite positions of the per-class latency sample rings.
+    latency_cursors: [usize; Priority::COUNT],
+    /// EWMA of per-image execution time in nanoseconds (0 until the
+    /// first batch completes); feeds deadline-feasibility estimates.
+    est_image_ns: u64,
+    /// Admission limits, copied from the policy at spawn. The defaults
+    /// are fully permissive so state built outside [`spawn`]
+    /// (tests, remote completion tracking) never sheds.
+    queue_depth: u64,
+    class_budgets: [usize; Priority::COUNT],
+    /// Absolute in-flight count at which the queue reports ECN pressure.
+    ecn_threshold: u64,
+}
+
+impl Default for StateInner {
+    fn default() -> Self {
+        StateInner {
+            closed: false,
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            next_index: 0,
+            internal_watermark: 0,
+            batches: 0,
+            dispatched: 0,
+            max_batch_observed: 0,
+            queue_waits: Vec::new(),
+            wait_cursor: 0,
+            class_in_flight: [0; Priority::COUNT],
+            qos: QosStats::default(),
+            latency_cursors: [0; Priority::COUNT],
+            est_image_ns: 0,
+            queue_depth: u64::MAX,
+            class_budgets: [usize::MAX; Priority::COUNT],
+            ecn_threshold: u64::MAX,
+        }
+    }
 }
 
 impl SharedState {
-    fn note_completed(&self) {
+    /// State wired to a policy's admission limits (used by
+    /// [`spawn`](crate::spawn); the `Default` state is fully permissive).
+    pub(crate) fn for_policy(policy: &BatchPolicy) -> Self {
+        let mut inner = StateInner {
+            queue_depth: policy.queue_depth as u64,
+            class_budgets: policy.qos.class_budgets,
+            ..StateInner::default()
+        };
+        inner.ecn_threshold =
+            ((policy.queue_depth as u64) * u64::from(policy.qos.ecn_threshold_pct) / 100).max(1);
+        SharedState {
+            inner: Mutex::new(inner),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn note_completed(&self, class: QosClass, submitted_at: Option<Instant>) {
         let mut st = self.inner.lock().unwrap();
         st.completed += 1;
+        let rank = class.priority.rank();
+        st.class_in_flight[rank] = st.class_in_flight[rank].saturating_sub(1);
+        if let Some(t0) = submitted_at {
+            let elapsed = t0.elapsed();
+            if class.deadline.is_some_and(|d| elapsed > d) {
+                st.qos.classes[rank].deadline_misses += 1;
+            }
+            if st.qos.classes[rank].latencies.len() < LATENCY_SAMPLE_CAP {
+                st.qos.classes[rank].latencies.push(elapsed);
+            } else {
+                let cursor = st.latency_cursors[rank];
+                st.qos.classes[rank].latencies[cursor] = elapsed;
+                st.latency_cursors[rank] = (cursor + 1) % LATENCY_SAMPLE_CAP;
+            }
+        }
         self.cv.notify_all();
+    }
+
+    /// Folds one batch execution into the per-image service-time EWMA
+    /// (integer arithmetic: `ewma ← (3·ewma + sample) / 4`).
+    pub(crate) fn note_exec(&self, images: usize, elapsed: Duration) {
+        if images == 0 {
+            return;
+        }
+        let per_image = u64::try_from(elapsed.as_nanos() / images as u128).unwrap_or(u64::MAX);
+        let mut st = self.inner.lock().unwrap();
+        st.est_image_ns = if st.est_image_ns == 0 {
+            per_image
+        } else {
+            (3 * (st.est_image_ns as u128) + per_image as u128).div_euclid(4) as u64
+        };
     }
 
     pub(crate) fn note_batch(&self, size: usize, waits: &[Duration]) {
@@ -252,6 +357,9 @@ pub struct ServeStats {
     /// dispatched requests — a bounded sample window (4096 entries), so
     /// long-lived servers report recent latency without unbounded growth.
     pub queue_waits: Vec<Duration>,
+    /// Per-class admission/shed/deadline accounting plus completion
+    /// latencies (see [`QosStats`]).
+    pub qos: QosStats,
 }
 
 impl ServeStats {
@@ -315,7 +423,41 @@ impl ServeHandle {
     /// # Errors
     /// [`ServeError::ShutDown`] if [`ServeHandle::shutdown`] ran first.
     pub fn submit(&self, image: Tensor) -> Result<Pending, ServeError> {
-        self.submit_inner(image, None)
+        self.submit_inner(image, None, QosClass::default())
+    }
+
+    /// Submits one image with explicit QoS annotations, returning a typed
+    /// [`Admission`] instead of blocking semantics: the request is either
+    /// admitted (with its completion handle), shed with a
+    /// [`ShedReason`], or rejected as
+    /// [`Admission::DeadlineInfeasible`] when the estimated queue wait
+    /// already exceeds its deadline.
+    ///
+    /// Admission happens **before** a stream index is stamped, so a shed
+    /// request never occupies a coordinate — the admitted subset of the
+    /// stream is contiguous and bit-identical to a solo run.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] if [`ServeHandle::shutdown`] ran first.
+    pub fn submit_qos(&self, image: Tensor, class: QosClass) -> Result<Admission, ServeError> {
+        self.submit_gated(image, None, class, true)
+    }
+
+    /// The fleet-router variant of [`ServeHandle::submit_qos`]: QoS-gated
+    /// admission at an externally owned stream index (see
+    /// [`ServeHandle::submit_at`] for the index contract). The router
+    /// must claim the index only *after* a successful admission (or roll
+    /// it back), so shed requests never hole the global numbering.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] if [`ServeHandle::shutdown`] ran first.
+    pub fn submit_at_qos(
+        &self,
+        index: u64,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Admission, ServeError> {
+        self.submit_gated(image, Some(index), class, true)
     }
 
     /// Submits one image stamped with an **externally owned** stream index
@@ -350,17 +492,74 @@ impl ServeHandle {
     /// In debug builds, if `index` is below the internal watermark (see
     /// above).
     pub fn submit_at(&self, index: u64, image: Tensor) -> Result<Pending, ServeError> {
-        self.submit_inner(image, Some(index))
+        self.submit_inner(image, Some(index), QosClass::default())
     }
 
-    fn submit_inner(&self, image: Tensor, index: Option<u64>) -> Result<Pending, ServeError> {
+    /// Ungated, class-annotated submission at an external index: used for
+    /// requests that were already admitted at a fleet ingress (protocol
+    /// servers), where a local shed would hole the global numbering. The
+    /// class still drives EDF composition and deadline accounting.
+    pub(crate) fn submit_at_admitted(
+        &self,
+        index: u64,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Pending, ServeError> {
+        self.submit_inner(image, Some(index), class)
+    }
+
+    /// Ungated admission: preserves the pre-QoS blocking contract.
+    fn submit_inner(
+        &self,
+        image: Tensor,
+        index: Option<u64>,
+        class: QosClass,
+    ) -> Result<Pending, ServeError> {
+        match self.submit_gated(image, index, class, false)? {
+            Admission::Admitted(p) => Ok(p),
+            _ => unreachable!("ungated submission never sheds"),
+        }
+    }
+
+    fn submit_gated(
+        &self,
+        image: Tensor,
+        index: Option<u64>,
+        class: QosClass,
+        gated: bool,
+    ) -> Result<Admission, ServeError> {
+        let rank = class.priority.rank();
         let index = {
             let mut st = self.shared.inner.lock().unwrap();
             if st.closed {
                 st.rejected += 1;
                 return Err(ServeError::ShutDown);
             }
+            if gated {
+                let in_flight = st.submitted - st.completed;
+                if in_flight >= st.queue_depth {
+                    st.qos.classes[rank].note_shed(ShedReason::QueueFull);
+                    return Ok(Admission::Shed(ShedReason::QueueFull));
+                }
+                if st.class_in_flight[rank] >= st.class_budgets[rank] as u64 {
+                    st.qos.classes[rank].note_shed(ShedReason::ClassBudget);
+                    return Ok(Admission::Shed(ShedReason::ClassBudget));
+                }
+                if let (Some(deadline), true) = (class.deadline, st.est_image_ns > 0) {
+                    let estimated_wait =
+                        Duration::from_nanos(in_flight.saturating_mul(st.est_image_ns));
+                    if estimated_wait > deadline {
+                        st.qos.classes[rank].infeasible += 1;
+                        return Ok(Admission::DeadlineInfeasible { estimated_wait });
+                    }
+                }
+            }
             st.submitted += 1;
+            st.class_in_flight[rank] += 1;
+            st.qos.classes[rank].admitted += 1;
+            if st.submitted - st.completed >= st.ecn_threshold {
+                st.qos.ecn_marks += 1;
+            }
             match index {
                 Some(i) => {
                     #[cfg(debug_assertions)]
@@ -371,6 +570,8 @@ impl ServeHandle {
                         let watermark = st.internal_watermark;
                         st.submitted -= 1;
                         st.rejected += 1;
+                        st.class_in_flight[rank] -= 1;
+                        st.qos.classes[rank].admitted -= 1;
                         drop(st);
                         panic!(
                             "submit_at({i}) collides with the handle-owned counter: indices \
@@ -392,23 +593,27 @@ impl ServeHandle {
                 }
             }
         };
-        let (request, pending) = self.make_request(image, index);
-        self.send_or_roll_back(request, 1)?;
-        Ok(pending)
+        let (request, pending) = self.make_request(image, index, class);
+        self.send_or_roll_back(request, 1, class)?;
+        Ok(Admission::Admitted(pending))
     }
 
     /// Builds one stamped request plus its caller-side completion handle.
-    fn make_request(&self, image: Tensor, index: u64) -> (Request, Pending) {
+    fn make_request(&self, image: Tensor, index: u64, class: QosClass) -> (Request, Pending) {
         let slot = Arc::new(CompletionSlot::default());
+        let now = Instant::now();
         let request = Request {
             image,
             index,
+            class,
             ticket: Ticket {
                 slot: Arc::clone(&slot),
                 shared: Arc::clone(&self.shared),
                 done: false,
+                class,
+                submitted_at: Some(now),
             },
-            submitted_at: Instant::now(),
+            submitted_at: now,
         };
         (request, Pending { slot })
     }
@@ -418,7 +623,12 @@ impl ServeHandle {
     /// are not rolled back — once the worker is gone every later
     /// submission fails too, so the hole sits strictly after the last
     /// evaluated coordinate and never shifts the stream.
-    fn send_or_roll_back(&self, request: Request, unsent: u64) -> Result<(), ServeError> {
+    fn send_or_roll_back(
+        &self,
+        request: Request,
+        unsent: u64,
+        class: QosClass,
+    ) -> Result<(), ServeError> {
         if let Err(e) = self.tx.send(Msg::Request(request)) {
             if let Msg::Request(req) = e.0 {
                 req.ticket.defuse();
@@ -427,6 +637,10 @@ impl ServeHandle {
                 let mut st = self.shared.inner.lock().unwrap();
                 st.submitted -= unsent;
                 st.rejected += unsent;
+                let rank = class.priority.rank();
+                st.class_in_flight[rank] = st.class_in_flight[rank].saturating_sub(unsent);
+                st.qos.classes[rank].admitted =
+                    st.qos.classes[rank].admitted.saturating_sub(unsent);
             }
             // The rollback can be what lets `completed == submitted`: a
             // drain blocked on the old count must re-check.
@@ -468,6 +682,9 @@ impl ServeHandle {
                 return Err(ServeError::ShutDown);
             }
             st.submitted += n;
+            let rank = QosClass::default().priority.rank();
+            st.class_in_flight[rank] += n;
+            st.qos.classes[rank].admitted += n;
             let base = st.next_index;
             st.next_index += n;
             st.internal_watermark = st.next_index;
@@ -475,9 +692,9 @@ impl ServeHandle {
         };
         let mut pendings = Vec::with_capacity(images.len());
         for (i, image) in images.into_iter().enumerate() {
-            let (request, pending) = self.make_request(image, base + i as u64);
+            let (request, pending) = self.make_request(image, base + i as u64, QosClass::default());
             // Shutdown racing the run rolls back the whole unsent tail.
-            self.send_or_roll_back(request, n - i as u64)?;
+            self.send_or_roll_back(request, n - i as u64, QosClass::default())?;
             pendings.push(pending);
         }
         Ok(pendings)
@@ -488,6 +705,20 @@ impl ServeHandle {
     pub fn in_flight(&self) -> u64 {
         let st = self.shared.inner.lock().unwrap();
         st.submitted - st.completed
+    }
+
+    /// The congestion signal this queue exports: occupancy (total and
+    /// per class), the ECN-style pressure bit, and the per-image
+    /// service-time estimate.
+    pub fn load(&self) -> ShardLoad {
+        let st = self.shared.inner.lock().unwrap();
+        let in_flight = st.submitted - st.completed;
+        ShardLoad {
+            in_flight,
+            per_class: st.class_in_flight,
+            pressure: in_flight >= st.ecn_threshold,
+            est_image_ns: st.est_image_ns,
+        }
     }
 
     /// Blocks until every accepted request has reached a terminal outcome
@@ -540,6 +771,7 @@ impl ServeHandle {
             dispatched: st.dispatched,
             max_batch_observed: st.max_batch_observed,
             queue_waits: st.queue_waits.clone(),
+            qos: st.qos.clone(),
         }
     }
 }
@@ -588,6 +820,8 @@ mod tests {
             slot,
             shared: Arc::clone(&shared),
             done: false,
+            class: QosClass::default(),
+            submitted_at: None,
         };
         drop(ticket);
         assert_eq!(p.wait(), Err(ServeError::Canceled));

@@ -68,6 +68,7 @@
 mod coalesce;
 mod handle;
 mod lease;
+pub mod qos;
 mod remote;
 mod router;
 mod scheduler;
@@ -77,6 +78,10 @@ pub use aimc_wire::IndexLease;
 pub use coalesce::Coalescer;
 pub use handle::{Pending, ServeError, ServeHandle, ServeStats};
 pub use lease::LeaseAllocator;
+pub use qos::{
+    Admission, AimdPacer, ClassStats, PacerConfig, Priority, QosClass, QosCoalescer, QosOrdering,
+    QosPolicy, QosStats, ShardLoad, ShedReason,
+};
 pub use remote::{ShardServer, TcpTransport};
 pub use router::{FleetHandle, FleetPolicy, FleetStats, RoutePolicy};
 pub use scheduler::{spawn, BatchRunner};
@@ -109,8 +114,14 @@ pub struct BatchPolicy {
     pub max_wait: Duration,
     /// Bound of the request queue: once this many requests are in flight
     /// between submitters and the worker, [`ServeHandle::submit`] blocks
-    /// (backpressure, never unbounded growth).
+    /// (backpressure, never unbounded growth) and
+    /// [`ServeHandle::submit_qos`] sheds with
+    /// [`ShedReason::QueueFull`](qos::ShedReason::QueueFull).
     pub queue_depth: usize,
+    /// Admission-control knobs: per-class budgets, coalescer ordering,
+    /// ECN threshold. The default is fully permissive FIFO, preserving
+    /// pre-QoS behavior exactly.
+    pub qos: QosPolicy,
 }
 
 impl BatchPolicy {
@@ -121,12 +132,19 @@ impl BatchPolicy {
             max_batch,
             max_wait,
             queue_depth: (max_batch * 4).max(64),
+            qos: QosPolicy::default(),
         }
     }
 
     /// Overrides the queue bound (clamped to at least 1).
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Overrides the admission-control policy.
+    pub fn with_qos(mut self, qos: QosPolicy) -> Self {
+        self.qos = qos;
         self
     }
 
@@ -164,6 +182,7 @@ mod tests {
             max_batch: 0,
             max_wait: Duration::ZERO,
             queue_depth: 0,
+            qos: QosPolicy::default(),
         }
         .normalized();
         assert_eq!(degenerate.max_batch, 1);

@@ -25,11 +25,13 @@
 //! pipe.
 
 use crate::handle::{pending_pair, CompletionSlot, Pending, ServeError, ServeStats};
+use crate::qos::{Admission, Priority, QosClass, ShardLoad};
 use crate::transport::ShardTransport;
 use aimc_dnn::Tensor;
 use aimc_parallel::Parallelism;
 use aimc_wire::{
-    read_frame, write_frame, Frame, IndexLease, ReplyError, ShardReply, ShardRequest, WireStats,
+    read_frame, write_frame, Frame, IndexLease, ReplyError, ShardReply, ShardRequest,
+    WireClassStats, WireStats,
 };
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -37,7 +39,7 @@ use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------- server
 
@@ -104,6 +106,7 @@ impl ShardServer {
         let (tx, rx): (ReplySender, ReplyReceiver) = mpsc::channel();
         let replier = {
             let writer = Arc::clone(&writer);
+            let shard = Arc::clone(&self.shard);
             std::thread::Builder::new()
                 .name("aimc-shard-replier".into())
                 .spawn(move || {
@@ -112,8 +115,13 @@ impl ShardServer {
                             Ok(t) => Ok(t),
                             Err(e) => Err(reply_error(e)),
                         };
+                        // ECN-style marking: each reply carries the
+                        // shard's pressure bit at write time (level-
+                        // triggered, like a switch marking packets while
+                        // its queue is past the threshold).
                         let frame = Frame::Reply(ShardReply {
                             global_index,
+                            marked: shard.load().pressure,
                             outcome,
                         });
                         if write_frame(&mut *writer.lock().unwrap(), &frame).is_err() {
@@ -157,13 +165,15 @@ impl ShardServer {
             match frame {
                 Frame::Request(ShardRequest {
                     global_index,
+                    class,
                     image,
-                }) => match self.shard.submit_indexed(global_index, image) {
+                }) => match self.shard.submit_admitted(global_index, image, class) {
                     Ok(pending) => {
                         let _ = tx.send((global_index, pending));
                     }
                     Err(e) => reply(&Frame::Reply(ShardReply {
                         global_index,
+                        marked: false,
                         outcome: Err(reply_error(e)),
                     }))?,
                 },
@@ -224,7 +234,23 @@ fn serve_error(e: ReplyError) -> ServeError {
     }
 }
 
+fn ns(d: &Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 fn to_wire_stats(s: &ServeStats) -> WireStats {
+    let mut classes: [WireClassStats; Priority::COUNT] = Default::default();
+    for (wire, local) in classes.iter_mut().zip(&s.qos.classes) {
+        *wire = WireClassStats {
+            admitted: local.admitted,
+            shed_queue_full: local.shed_queue_full,
+            shed_class_budget: local.shed_class_budget,
+            shed_overload: local.shed_overload,
+            infeasible: local.infeasible,
+            deadline_misses: local.deadline_misses,
+            latencies_ns: local.latencies.iter().map(ns).collect(),
+        };
+    }
     WireStats {
         submitted: s.submitted,
         completed: s.completed,
@@ -232,16 +258,14 @@ fn to_wire_stats(s: &ServeStats) -> WireStats {
         batches: s.batches,
         dispatched: s.dispatched,
         max_batch_observed: s.max_batch_observed as u64,
-        queue_waits_ns: s
-            .queue_waits
-            .iter()
-            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
-            .collect(),
+        ecn_marks: s.qos.ecn_marks,
+        classes,
+        queue_waits_ns: s.queue_waits.iter().map(ns).collect(),
     }
 }
 
 fn from_wire_stats(s: WireStats) -> ServeStats {
-    ServeStats {
+    let mut stats = ServeStats {
         submitted: s.submitted,
         completed: s.completed,
         rejected: s.rejected,
@@ -253,20 +277,55 @@ fn from_wire_stats(s: WireStats) -> ServeStats {
             .into_iter()
             .map(Duration::from_nanos)
             .collect(),
+        ..ServeStats::default()
+    };
+    stats.qos.ecn_marks = s.ecn_marks;
+    for (local, wire) in stats.qos.classes.iter_mut().zip(s.classes) {
+        local.admitted = wire.admitted;
+        local.shed_queue_full = wire.shed_queue_full;
+        local.shed_class_budget = wire.shed_class_budget;
+        local.shed_overload = wire.shed_overload;
+        local.infeasible = wire.infeasible;
+        local.deadline_misses = wire.deadline_misses;
+        local.latencies = wire
+            .latencies_ns
+            .into_iter()
+            .map(Duration::from_nanos)
+            .collect();
     }
+    stats
 }
 
 // ---------------------------------------------------------------- client
 
 struct RemoteState {
-    /// Requests submitted and not yet answered, by global index.
-    pending: HashMap<u64, Arc<CompletionSlot>>,
+    /// Requests submitted and not yet answered, by global index, with the
+    /// priority band each occupies (for per-class load reporting).
+    pending: HashMap<u64, (Arc<CompletionSlot>, Priority)>,
     /// Client-side refusals (the link was already closed) — the server
     /// never saw these, so they are merged into [`TcpTransport::stats`].
     rejected: u64,
     /// Last statistics snapshot fetched from the server; served after the
     /// link closes.
     last_stats: ServeStats,
+    /// In-flight occupancy per priority class (client-side count).
+    class_in_flight: [u64; Priority::COUNT],
+    /// Latched congestion state: the `marked` bit of the most recent
+    /// reply. Level-triggered like the server's marking — the router's
+    /// pacer does its own edge detection.
+    pressure: bool,
+    /// Per-image service-time estimate from inter-reply gaps during busy
+    /// periods (0 until two consecutive replies arrive with more work
+    /// still outstanding).
+    est_image_ns: u64,
+    /// Arrival instant of the previous reply within the current busy
+    /// period; `None` once the pipeline empties (so idle gaps never
+    /// pollute the estimate).
+    last_reply_at: Option<Instant>,
+    /// Client-side deadline-infeasibility rejections per class — decided
+    /// here before any frame is written, so the server never sees them;
+    /// folded into [`ShardTransport::stats`] alongside the server ledger.
+    infeasible: [u64; Priority::COUNT],
 }
 
 struct RemoteInner {
@@ -289,9 +348,10 @@ impl RemoteInner {
     fn close_link(&self) {
         self.closed.store(true, Ordering::SeqCst);
         let mut st = self.state.lock().unwrap();
-        for (_, slot) in st.pending.drain() {
+        for (_, (slot, _)) in st.pending.drain() {
             slot.fulfill(Err(ServeError::Canceled));
         }
+        st.class_in_flight = [0; Priority::COUNT];
         drop(st);
         self.state_cv.notify_all();
         self.mailbox_cv.notify_all();
@@ -340,6 +400,11 @@ impl TcpTransport {
                 pending: HashMap::new(),
                 rejected: 0,
                 last_stats: ServeStats::default(),
+                class_in_flight: [0; Priority::COUNT],
+                pressure: false,
+                est_image_ns: 0,
+                last_reply_at: None,
+                infeasible: [0; Priority::COUNT],
             }),
             state_cv: Condvar::new(),
             mailbox: Mutex::new(None),
@@ -400,10 +465,30 @@ fn reader_loop(mut reader: impl Read, inner: &RemoteInner) {
         match read_frame(&mut reader) {
             Ok(Frame::Reply(ShardReply {
                 global_index,
+                marked,
                 outcome,
             })) => {
+                let now = Instant::now();
                 let mut st = inner.state.lock().unwrap();
-                if let Some(slot) = st.pending.remove(&global_index) {
+                if let Some((slot, priority)) = st.pending.remove(&global_index) {
+                    let rank = priority.rank();
+                    st.class_in_flight[rank] = st.class_in_flight[rank].saturating_sub(1);
+                    // Level-triggered latch of the shard's pressure bit.
+                    st.pressure = marked;
+                    // Service-time estimate from inter-reply gaps, but only
+                    // while more work is outstanding (a gap that includes
+                    // pipeline idle time is not a service time).
+                    if let Some(prev) = st.last_reply_at {
+                        if !st.pending.is_empty() {
+                            let gap = ns(&now.saturating_duration_since(prev));
+                            st.est_image_ns = if st.est_image_ns == 0 {
+                                gap
+                            } else {
+                                (3 * (st.est_image_ns as u128) + gap as u128).div_euclid(4) as u64
+                            };
+                        }
+                    }
+                    st.last_reply_at = (!st.pending.is_empty()).then_some(now);
                     slot.fulfill(outcome.map_err(serve_error));
                 }
                 drop(st);
@@ -430,7 +515,17 @@ fn reader_loop(mut reader: impl Read, inner: &RemoteInner) {
 
 impl ShardTransport for TcpTransport {
     fn submit_indexed(&self, index: u64, image: Tensor) -> Result<Pending, ServeError> {
+        self.submit_admitted(index, image, QosClass::default())
+    }
+
+    fn submit_admitted(
+        &self,
+        index: u64,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Pending, ServeError> {
         let (pending, slot) = pending_pair();
+        let rank = class.priority.rank();
         {
             let mut st = self.inner.state.lock().unwrap();
             if self.is_link_closed() {
@@ -439,10 +534,12 @@ impl ShardTransport for TcpTransport {
             }
             // Registered before the frame is written, so a reply can never
             // race past its slot.
-            st.pending.insert(index, slot);
+            st.pending.insert(index, (slot, class.priority));
+            st.class_in_flight[rank] += 1;
         }
         let frame = Frame::Request(ShardRequest {
             global_index: index,
+            class,
             image,
         });
         let write_ok = write_frame(&mut *self.inner.writer.lock().unwrap(), &frame).is_ok();
@@ -450,12 +547,50 @@ impl ShardTransport for TcpTransport {
             // Link died mid-submit: roll the registration back and refuse.
             let mut st = self.inner.state.lock().unwrap();
             st.pending.remove(&index);
+            st.class_in_flight[rank] = st.class_in_flight[rank].saturating_sub(1);
             st.rejected += 1;
             drop(st);
             self.inner.close_link();
             return Err(ServeError::ShutDown);
         }
         Ok(pending)
+    }
+
+    fn submit_qos(
+        &self,
+        index: u64,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Admission, ServeError> {
+        // Client-side deadline feasibility from the local occupancy count
+        // and the inter-reply service estimate — no round trip, and the
+        // refusal happens before any frame is written, so the router can
+        // roll the index back synchronously. Queue/budget shedding for
+        // remote shards is the router's job (it owns the fleet budgets
+        // and the AIMD pacer); the server never sheds admitted work.
+        if let Some(deadline) = class.deadline {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.est_image_ns > 0 {
+                let estimated_wait =
+                    Duration::from_nanos((st.pending.len() as u64).saturating_mul(st.est_image_ns));
+                if estimated_wait > deadline {
+                    st.infeasible[class.priority.rank()] += 1;
+                    return Ok(Admission::DeadlineInfeasible { estimated_wait });
+                }
+            }
+        }
+        self.submit_admitted(index, image, class)
+            .map(Admission::Admitted)
+    }
+
+    fn load(&self) -> ShardLoad {
+        let st = self.inner.state.lock().unwrap();
+        ShardLoad {
+            in_flight: st.pending.len() as u64,
+            per_class: st.class_in_flight,
+            pressure: st.pressure,
+            est_image_ns: st.est_image_ns,
+        }
     }
 
     fn grant_lease(&self, lease: IndexLease) {
@@ -510,8 +645,12 @@ impl ShardTransport for TcpTransport {
         }
         let st = self.inner.state.lock().unwrap();
         let mut stats = st.last_stats.clone();
-        // Client-side refusals the server never saw.
+        // Client-side refusals and infeasibility rejections the server
+        // never saw.
         stats.rejected += st.rejected;
+        for (class, &n) in stats.qos.classes.iter_mut().zip(&st.infeasible) {
+            class.infeasible += n;
+        }
         stats
     }
 

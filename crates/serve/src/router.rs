@@ -34,11 +34,13 @@
 
 use crate::handle::{Pending, ServeError, ServeStats};
 use crate::lease::LeaseAllocator;
+use crate::qos::{Admission, AimdPacer, PacerConfig, Priority, QosClass, QosStats, ShedReason};
 use crate::transport::ShardTransport;
 use aimc_dnn::Tensor;
 use aimc_parallel::Parallelism;
 use aimc_wire::IndexLease;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// How the router picks the shard that receives each claimed lease block
 /// (with lease length 1: each request).
@@ -71,6 +73,15 @@ pub struct FleetPolicy {
     /// requests share a lease, hence a shard — lease 1 routes every
     /// request independently.
     pub lease_len: u64,
+    /// Fleet-wide in-flight budgets per priority class, indexed by
+    /// [`Priority::rank`]; `usize::MAX` means unbounded. A class at its
+    /// budget sheds at the router with [`ShedReason::ClassBudget`] —
+    /// before any stream index survives, so the numbering keeps no hole.
+    pub class_budgets: [usize; Priority::COUNT],
+    /// The router's AIMD congestion pacer over per-shard occupancy,
+    /// driven by the shards' ECN-style pressure marks. Disabled by
+    /// default; see [`PacerConfig`].
+    pub pacer: PacerConfig,
 }
 
 impl FleetPolicy {
@@ -79,12 +90,26 @@ impl FleetPolicy {
         FleetPolicy {
             route,
             lease_len: 1,
+            class_budgets: [usize::MAX; Priority::COUNT],
+            pacer: PacerConfig::default(),
         }
     }
 
     /// Overrides the lease length (clamped to ≥ 1 at use).
     pub fn with_lease_len(mut self, lease_len: u64) -> Self {
         self.lease_len = lease_len;
+        self
+    }
+
+    /// Bounds the fleet-wide in-flight budget of one priority class.
+    pub fn with_class_budget(mut self, priority: Priority, budget: usize) -> Self {
+        self.class_budgets[priority.rank()] = budget;
+        self
+    }
+
+    /// Overrides the congestion-pacer configuration.
+    pub fn with_pacer(mut self, pacer: PacerConfig) -> Self {
+        self.pacer = pacer;
         self
     }
 }
@@ -101,6 +126,11 @@ impl Default for FleetPolicy {
 pub struct FleetStats {
     /// One [`ServeStats`] snapshot per shard, in shard-id order.
     pub shards: Vec<ServeStats>,
+    /// The router's own QoS ledger: sheds decided at the fleet ingress
+    /// (pacer overload, fleet class budgets) plus congestion marks the
+    /// router observed. Disjoint from the shard ledgers — every admission
+    /// outcome is counted exactly once, by the component that decided it.
+    pub router: QosStats,
 }
 
 impl FleetStats {
@@ -124,7 +154,9 @@ impl FleetStats {
             agg.dispatched += s.dispatched;
             agg.max_batch_observed = agg.max_batch_observed.max(s.max_batch_observed);
             agg.queue_waits.extend_from_slice(&s.queue_waits);
+            agg.qos.merge(&s.qos);
         }
+        agg.qos.merge(&self.router);
         agg
     }
 }
@@ -154,6 +186,17 @@ struct FleetInner {
     shards: Vec<Box<dyn ShardTransport>>,
     policy: FleetPolicy,
     state: Mutex<RouterState>,
+    /// One AIMD congestion window per shard, fed by that shard's pressure
+    /// marks on every QoS-gated submission. Per-shard (not global) so one
+    /// backpressured remote link closes only its own window.
+    pacers: Vec<Mutex<AimdPacer>>,
+    /// Epoch of the pacers' fake-clock timestamps (cooldown bookkeeping).
+    epoch: Instant,
+    /// Router-side QoS ledger: only decisions made *here* (pacer
+    /// overload, fleet class budgets) — shard-decided outcomes live in
+    /// the shard ledgers, so [`FleetStats::aggregate`] never double
+    /// counts.
+    qos: Mutex<QosStats>,
 }
 
 impl std::fmt::Debug for FleetInner {
@@ -193,6 +236,10 @@ impl FleetHandle {
         if shards.is_empty() {
             return Err(ServeError::NoShards);
         }
+        let pacers = shards
+            .iter()
+            .map(|_| Mutex::new(AimdPacer::new(policy.pacer)))
+            .collect();
         Ok(FleetHandle {
             inner: Arc::new(FleetInner {
                 shards,
@@ -203,6 +250,9 @@ impl FleetHandle {
                     rr: 0,
                     stamped: 0,
                 }),
+                pacers,
+                epoch: Instant::now(),
+                qos: Mutex::new(QosStats::default()),
             }),
         })
     }
@@ -312,6 +362,99 @@ impl FleetHandle {
         self.inner.shards[shard]
             .submit_indexed(index, image)
             .inspect_err(|_| self.unclaim(shard, index))
+    }
+
+    /// Records one router-decided shed in the fleet-ingress ledger.
+    fn note_shed(&self, class: QosClass, reason: ShedReason) {
+        self.inner
+            .qos
+            .lock()
+            .unwrap()
+            .class_mut(class.priority)
+            .note_shed(reason);
+    }
+
+    /// QoS-aware submission: the typed replacement for [`FleetHandle::submit`]
+    /// under load. The request claims the next global stream index, then
+    /// passes the fleet-ingress admission checks in order:
+    ///
+    /// 1. **Pacer** — the chosen shard's congestion window
+    ///    ([`AimdPacer`], fed by the shard's pressure mark on every probe).
+    ///    A closed window sheds with [`ShedReason::Overload`] —
+    ///    [`Priority::High`] requests bypass the window (but never the
+    ///    hard in-flight cap), so pacing throttles best-effort traffic
+    ///    first.
+    /// 2. **Fleet class budget** — the class's fleet-wide in-flight count
+    ///    against [`FleetPolicy::class_budgets`]; over budget sheds with
+    ///    [`ShedReason::ClassBudget`].
+    /// 3. **Shard admission** — [`ShardTransport::submit_qos`]: the
+    ///    shard's own queue bound, class budgets, and deadline
+    ///    feasibility.
+    ///
+    /// Every shed synchronously releases the claimed index back to the
+    /// allocator (the PR 5 refused-submission discipline), so admitted
+    /// requests always occupy the contiguous prefix `0, 1, 2, …` and stay
+    /// bit-identical to a solo run — shedding changes **which** requests
+    /// run, never **what** an admitted request computes.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`] or if the
+    /// chosen shard's link died (the index is released, as for `submit`).
+    pub fn submit_qos(&self, image: Tensor, class: QosClass) -> Result<Admission, ServeError> {
+        let (shard, index, granted) = {
+            let mut st = self.inner.state.lock().unwrap();
+            self.claim(&mut st)
+        };
+        if let Some(lease) = granted {
+            self.inner.shards[shard].grant_lease(lease);
+        }
+        // Probe the shard's congestion signal and drive its pacer before
+        // committing the request.
+        let load = self.inner.shards[shard].load();
+        let in_flight = usize::try_from(load.in_flight).unwrap_or(usize::MAX);
+        let pacer_cfg = self.inner.policy.pacer;
+        let window = {
+            let mut pacer = self.inner.pacers[shard].lock().unwrap();
+            pacer.observe(load.pressure, self.inner.epoch.elapsed());
+            pacer.window()
+        };
+        if load.pressure {
+            self.inner.qos.lock().unwrap().ecn_marks += 1;
+        }
+        let over_hard_limit = in_flight >= pacer_cfg.hard_limit;
+        let over_window = pacer_cfg.enabled && in_flight >= window;
+        if over_hard_limit || (over_window && class.priority != Priority::High) {
+            self.unclaim(shard, index);
+            self.note_shed(class, ShedReason::Overload);
+            return Ok(Admission::Shed(ShedReason::Overload));
+        }
+        let budget = self.inner.policy.class_budgets[class.priority.rank()];
+        if budget != usize::MAX {
+            let mut class_in_flight = load.per_class[class.priority.rank()];
+            for (i, s) in self.inner.shards.iter().enumerate() {
+                if i != shard {
+                    class_in_flight += s.load().per_class[class.priority.rank()];
+                }
+            }
+            if class_in_flight >= budget as u64 {
+                self.unclaim(shard, index);
+                self.note_shed(class, ShedReason::ClassBudget);
+                return Ok(Admission::Shed(ShedReason::ClassBudget));
+            }
+        }
+        match self.inner.shards[shard].submit_qos(index, image, class) {
+            Ok(Admission::Admitted(p)) => Ok(Admission::Admitted(p)),
+            Ok(refused) => {
+                // The shard shed (and counted it in its own ledger):
+                // release the index so the stream keeps no hole.
+                self.unclaim(shard, index);
+                Ok(refused)
+            }
+            Err(e) => {
+                self.unclaim(shard, index);
+                Err(e)
+            }
+        }
     }
 
     /// Submits a run of images stamped with **contiguous** global indices,
@@ -466,6 +609,7 @@ impl FleetHandle {
     pub fn stats(&self) -> FleetStats {
         FleetStats {
             shards: self.inner.shards.iter().map(|s| s.stats()).collect(),
+            router: self.inner.qos.lock().unwrap().clone(),
         }
     }
 }
@@ -715,6 +859,7 @@ mod tests {
         };
         let stats = FleetStats {
             shards: vec![fast.clone(), slow.clone()],
+            router: QosStats::default(),
         };
         let agg = stats.aggregate();
         assert_eq!(agg.queue_waits.len(), 100, "every sample is pooled");
@@ -901,6 +1046,167 @@ mod tests {
             Err(ServeError::NoShards) => {}
             other => panic!("expected NoShards, got {other:?}"),
         }
+    }
+
+    /// A fleet class budget of zero deterministically sheds the class at
+    /// the router — and the released index is re-issued to the next
+    /// admitted request, so survivors keep solo-identical coordinates.
+    #[test]
+    fn fleet_class_budget_sheds_and_releases_the_index() {
+        let log: ShardLog = Arc::default();
+        let shards: Vec<Box<dyn ShardTransport>> = vec![Box::new(LocalTransport::new(
+            shard_handle(
+                Arc::clone(&log),
+                BatchPolicy::new(2, Duration::from_millis(1)),
+            ),
+            Box::new(ControlHandle(Arc::default())),
+        ))];
+        let policy = FleetPolicy::default().with_class_budget(Priority::Low, 0);
+        let f = FleetHandle::new(shards, policy).unwrap();
+
+        let shed = f.submit_qos(tensor(7.0), QosClass::low()).unwrap();
+        assert_eq!(shed.shed_reason(), Some(ShedReason::ClassBudget));
+        assert_eq!(f.images_routed(), 0, "shed before any index survived");
+
+        // The next admitted request claims the released coordinate 0.
+        let p = f
+            .submit_qos(tensor(9.0), QosClass::default())
+            .unwrap()
+            .admitted()
+            .expect("normal class is unbudgeted");
+        assert_eq!(p.wait().unwrap().data(), &[9.0]);
+
+        let stats = f.stats();
+        assert_eq!(stats.router.class(Priority::Low).shed_class_budget, 1);
+        assert_eq!(stats.router.class(Priority::Low).admitted, 0);
+        // The shard counted the admission; the router counted the shed —
+        // the aggregate sees each outcome exactly once.
+        let agg = stats.aggregate();
+        assert_eq!(agg.qos.admitted_total(), 1);
+        assert_eq!(agg.qos.shed_total(), 1);
+        f.shutdown();
+    }
+
+    /// The pacer's window throttles best-effort traffic while High
+    /// bypasses it — but nothing bypasses the hard in-flight cap. Every
+    /// shed releases its index, so admitted requests stay contiguous.
+    #[test]
+    fn pacer_sheds_normal_but_high_bypasses_the_window() {
+        use std::sync::Condvar;
+
+        // A runner that parks every batch until the test releases it, so
+        // in-flight occupancy is deterministic at each admission check.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let runner_gate = Arc::clone(&gate);
+        let handle = spawn(
+            BatchPolicy::new(4, Duration::from_micros(100)),
+            move |indices: &[u64], inputs: &[Tensor]| {
+                let (lock, cv) = &*runner_gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                Ok(indices
+                    .iter()
+                    .zip(inputs)
+                    .map(|(&idx, t)| tensor(idx as f32 * 1000.0 + t.data()[0]))
+                    .collect())
+            },
+        );
+        let shards: Vec<Box<dyn ShardTransport>> = vec![Box::new(LocalTransport::new(
+            handle,
+            Box::new(ControlHandle(Arc::default())),
+        ))];
+        let pacer = PacerConfig {
+            enabled: true,
+            min_window: 1,
+            max_window: 1,
+            hard_limit: 2,
+            decrease_cooldown: Duration::ZERO,
+        };
+        let f = FleetHandle::new(shards, FleetPolicy::default().with_pacer(pacer)).unwrap();
+
+        // Empty shard: window 1 admits the first request (index 0).
+        let p0 = f
+            .submit_qos(tensor(0.0), QosClass::default())
+            .unwrap()
+            .admitted()
+            .expect("idle shard admits");
+        // One in flight ≥ window 1: Normal sheds with Overload.
+        let shed = f.submit_qos(tensor(1.0), QosClass::default()).unwrap();
+        assert_eq!(shed.shed_reason(), Some(ShedReason::Overload));
+        // High bypasses the window (1 < hard limit 2): admitted at the
+        // released coordinate 1.
+        let p1 = f
+            .submit_qos(tensor(2.0), QosClass::high())
+            .unwrap()
+            .admitted()
+            .expect("high priority bypasses the pacer window");
+        // Two in flight = hard limit: even High sheds.
+        let shed = f.submit_qos(tensor(3.0), QosClass::high()).unwrap();
+        assert_eq!(shed.shed_reason(), Some(ShedReason::Overload));
+
+        // Release the runner: survivors ran at contiguous coordinates.
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        assert_eq!(p0.wait().unwrap().data(), &[0.0]);
+        assert_eq!(p1.wait().unwrap().data(), &[1.0 * 1000.0 + 2.0]);
+        f.drain();
+        assert_eq!(f.images_routed(), 2, "both sheds released their stamps");
+
+        let router = f.stats().router;
+        assert_eq!(router.class(Priority::Normal).shed_overload, 1);
+        assert_eq!(router.class(Priority::High).shed_overload, 1);
+        f.shutdown();
+    }
+
+    /// Pins the QoS merge semantics of [`FleetStats::aggregate`]: per-class
+    /// counters sum across shard ledgers *and* the router's own ledger,
+    /// latency samples pool (never averaged), and ECN marks add — so a
+    /// congested shard's deadline misses and the router's pacer sheds are
+    /// both visible in one fleet-wide ledger.
+    #[test]
+    fn aggregate_merges_class_ledgers_across_shards_and_router() {
+        let mut shard_a = ServeStats::default();
+        shard_a.qos.class_mut(Priority::High).admitted = 4;
+        shard_a.qos.class_mut(Priority::High).latencies = vec![Duration::from_millis(2); 4];
+        shard_a.qos.class_mut(Priority::Low).shed_queue_full = 3;
+        shard_a.qos.ecn_marks = 1;
+
+        let mut shard_b = ServeStats::default();
+        shard_b.qos.class_mut(Priority::High).admitted = 1;
+        shard_b.qos.class_mut(Priority::High).deadline_misses = 1;
+        shard_b.qos.class_mut(Priority::High).latencies = vec![Duration::from_millis(40)];
+        shard_b.qos.class_mut(Priority::Normal).infeasible = 2;
+
+        let mut router = QosStats::default();
+        router.class_mut(Priority::Low).shed_overload = 7;
+        router.ecn_marks = 5;
+
+        let agg = FleetStats {
+            shards: vec![shard_a, shard_b],
+            router,
+        }
+        .aggregate();
+
+        let high = agg.qos.class(Priority::High);
+        assert_eq!(high.admitted, 5);
+        assert_eq!(high.deadline_misses, 1);
+        assert_eq!(high.latencies.len(), 5, "samples pool across shards");
+        assert_eq!(
+            high.latency_percentile(1.0),
+            Some(Duration::from_millis(40)),
+            "the congested shard's tail survives pooling"
+        );
+        assert_eq!(agg.qos.class(Priority::Normal).infeasible, 2);
+        let low = agg.qos.class(Priority::Low);
+        assert_eq!(low.shed_queue_full, 3, "shard-decided sheds counted");
+        assert_eq!(low.shed_overload, 7, "router-decided sheds counted");
+        assert_eq!(low.shed_total(), 10);
+        assert_eq!(agg.qos.ecn_marks, 6);
+        assert_eq!(agg.qos.admitted_total(), 5);
+        assert_eq!(agg.qos.shed_total(), 10);
     }
 
     /// Lease exhaustion mid-`submit_block`: a block bigger than the lease

@@ -1,6 +1,8 @@
-//! The worker thread: bounded channel → [`Coalescer`] → [`BatchRunner`].
+//! The worker thread: bounded channel → [`QosCoalescer`] → [`BatchRunner`].
 //!
-//! One worker drains the queue in FIFO order. Every request already
+//! One worker drains the queue in FIFO order (or earliest-deadline-first
+//! within priority bands under
+//! [`QosOrdering::EdfWithinPriority`](crate::QosOrdering)). Every request already
 //! carries its global stream index (stamped at submission — by the
 //! handle's own counter, or by a fleet router through
 //! `ServeHandle::submit_at`), and the worker hands the per-request
@@ -10,8 +12,8 @@
 //! generalization: a shard's batches need not be contiguous in the global
 //! stream.
 
-use crate::coalesce::Coalescer;
 use crate::handle::{Msg, Request, ServeError, ServeHandle, SharedState};
+use crate::qos::QosCoalescer;
 use crate::BatchPolicy;
 use aimc_dnn::{ExecError, Tensor};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
@@ -57,7 +59,7 @@ where
 pub fn spawn<R: BatchRunner>(policy: BatchPolicy, runner: R) -> ServeHandle {
     let policy = policy.normalized();
     let (tx, rx) = mpsc::sync_channel(policy.queue_depth);
-    let shared = Arc::new(SharedState::default());
+    let shared = Arc::new(SharedState::for_policy(&policy));
     let worker_shared = Arc::clone(&shared);
     let worker = std::thread::Builder::new()
         .name("aimc-serve".into())
@@ -73,7 +75,19 @@ fn worker_loop<R: BatchRunner>(
     mut runner: R,
 ) {
     let epoch = Instant::now();
-    let mut coal: Coalescer<Request> = Coalescer::new(policy.max_batch, policy.max_wait);
+    let mut coal: QosCoalescer<Request> =
+        QosCoalescer::new(policy.max_batch, policy.max_wait, policy.qos.ordering);
+    // Queues a request with its EDF key: the absolute completion deadline
+    // in the epoch clock domain (relative deadlines are anchored to the
+    // *submission* instant, not the dequeue instant).
+    let push = |coal: &mut QosCoalescer<Request>, req: Request| {
+        let deadline = req
+            .class
+            .deadline
+            .map(|d| req.submitted_at.saturating_duration_since(epoch) + d);
+        let priority = req.class.priority;
+        coal.push(req, priority, deadline, epoch.elapsed())
+    };
     loop {
         let msg = match coal.deadline() {
             // A partial batch is pending: wait only until its deadline.
@@ -100,7 +114,7 @@ fn worker_loop<R: BatchRunner>(
         };
         match msg {
             Msg::Request(req) => {
-                if coal.push(req, epoch.elapsed()) {
+                if push(&mut coal, req) {
                     flush(&mut coal, &mut runner, &shared);
                 }
             }
@@ -110,7 +124,7 @@ fn worker_loop<R: BatchRunner>(
                 // are canceled by their tickets when the channel drops.
                 while let Ok(m) = rx.try_recv() {
                     if let Msg::Request(req) = m {
-                        if coal.push(req, epoch.elapsed()) {
+                        if push(&mut coal, req) {
                             flush(&mut coal, &mut runner, &shared);
                         }
                     }
@@ -119,12 +133,14 @@ fn worker_loop<R: BatchRunner>(
             }
         }
     }
-    flush(&mut coal, &mut runner, &shared);
+    while !coal.is_empty() {
+        flush(&mut coal, &mut runner, &shared);
+    }
 }
 
-/// Dispatches the coalesced batch (if any) and fulfills its tickets.
-fn flush<R: BatchRunner>(coal: &mut Coalescer<Request>, runner: &mut R, shared: &SharedState) {
-    let reqs = coal.take();
+/// Dispatches one coalesced batch (if any) and fulfills its tickets.
+fn flush<R: BatchRunner>(coal: &mut QosCoalescer<Request>, runner: &mut R, shared: &SharedState) {
+    let reqs = coal.take_batch();
     if reqs.is_empty() {
         return;
     }
@@ -140,7 +156,11 @@ fn flush<R: BatchRunner>(coal: &mut Coalescer<Request>, runner: &mut R, shared: 
         tickets.push(r.ticket);
     }
     shared.note_batch(n, &waits);
-    match runner.run_batch(&indices, &images) {
+    let exec_start = Instant::now();
+    let outcome = runner.run_batch(&indices, &images);
+    // Service-time EWMA feeds deadline-feasibility admission checks.
+    shared.note_exec(n, exec_start.elapsed());
+    match outcome {
         Ok(outs) if outs.len() == n => {
             for (ticket, y) in tickets.into_iter().zip(outs) {
                 ticket.fulfill(Ok(y));

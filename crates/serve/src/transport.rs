@@ -18,6 +18,7 @@
 //! solo session.
 
 use crate::handle::{Pending, ServeError, ServeHandle, ServeStats};
+use crate::qos::{Admission, QosClass, ShardLoad};
 use aimc_dnn::{ExecError, Tensor};
 use aimc_parallel::Parallelism;
 use aimc_wire::IndexLease;
@@ -65,6 +66,58 @@ pub trait ShardTransport: Send + Sync {
     /// # Errors
     /// [`ServeError::ShutDown`] once the shard no longer accepts requests.
     fn submit_indexed(&self, index: u64, image: Tensor) -> Result<Pending, ServeError>;
+
+    /// QoS-gated submission at a stamped index: the shard applies its
+    /// admission checks (queue bound, class budget, deadline feasibility)
+    /// and returns a typed [`Admission`] — so the router can roll the
+    /// index back when the shard sheds, keeping the global numbering
+    /// hole-free. The class annotations also drive EDF batch composition
+    /// and deadline-miss accounting on the shard.
+    ///
+    /// The default forwards to [`ShardTransport::submit_indexed`]
+    /// (always-admit), so pre-QoS transports keep working unchanged.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] once the shard no longer accepts requests.
+    fn submit_qos(
+        &self,
+        index: u64,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Admission, ServeError> {
+        let _ = class;
+        self.submit_indexed(index, image).map(Admission::Admitted)
+    }
+
+    /// Class-annotated submission of a request that was **already
+    /// admitted** at the fleet ingress: the shard must accept it (no
+    /// shedding — a post-admission drop would hole the global stream
+    /// numbering), but the class still drives EDF batch composition and
+    /// deadline-miss accounting. Protocol servers use this for requests
+    /// arriving over the wire. The default drops the annotations.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] once the shard no longer accepts requests.
+    fn submit_admitted(
+        &self,
+        index: u64,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Pending, ServeError> {
+        let _ = class;
+        self.submit_indexed(index, image)
+    }
+
+    /// The shard's congestion signal: occupancy, per-class counts, the
+    /// ECN-style pressure bit, and a service-time estimate. Must be cheap
+    /// (no network round trip: remote transports estimate locally). The
+    /// default reports occupancy only.
+    fn load(&self) -> ShardLoad {
+        ShardLoad {
+            in_flight: self.in_flight(),
+            ..ShardLoad::default()
+        }
+    }
 
     /// Advises the shard that subsequent requests draw their indices from
     /// `lease`. Advisory: transports may batch, forward, or ignore it
@@ -143,6 +196,28 @@ impl LocalTransport {
 impl ShardTransport for LocalTransport {
     fn submit_indexed(&self, index: u64, image: Tensor) -> Result<Pending, ServeError> {
         self.handle.submit_at(index, image)
+    }
+
+    fn submit_qos(
+        &self,
+        index: u64,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Admission, ServeError> {
+        self.handle.submit_at_qos(index, image, class)
+    }
+
+    fn submit_admitted(
+        &self,
+        index: u64,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Pending, ServeError> {
+        self.handle.submit_at_admitted(index, image, class)
+    }
+
+    fn load(&self) -> ShardLoad {
+        self.handle.load()
     }
 
     fn in_flight(&self) -> u64 {

@@ -8,10 +8,18 @@
 //! never a panic — the length prefix is also bounded, so a corrupt stream
 //! cannot trigger an absurd allocation.
 
-use crate::{Frame, IndexLease, ReplyError, ShardReply, ShardRequest, WireStats};
+use crate::{
+    Frame, IndexLease, Priority, QosClass, ReplyError, ShardReply, ShardRequest, WireClassStats,
+    WireStats,
+};
 use aimc_dnn::{Shape, Tensor};
 use aimc_parallel::Parallelism;
 use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Wire sentinel for "no deadline" in a [`QosClass`] field (no request
+/// legitimately waits 584 years).
+const NO_DEADLINE_NS: u64 = u64::MAX;
 
 /// Upper bound on an encoded frame, as a corruption guard: the largest
 /// legitimate payload is one image/logits tensor (a few MB for the paper's
@@ -68,6 +76,16 @@ fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
     }
 }
 
+fn put_class(buf: &mut Vec<u8>, class: QosClass) {
+    buf.push(class.priority.rank() as u8);
+    let deadline_ns = class
+        .deadline
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(NO_DEADLINE_NS - 1))
+        .map(|ns| ns.min(NO_DEADLINE_NS - 1))
+        .unwrap_or(NO_DEADLINE_NS);
+    put_u64(buf, deadline_ns);
+}
+
 fn put_parallelism(buf: &mut Vec<u8>, par: Parallelism) {
     match par {
         Parallelism::Serial => buf.push(0),
@@ -85,6 +103,19 @@ fn put_stats(buf: &mut Vec<u8>, s: &WireStats) {
     put_u64(buf, s.batches);
     put_u64(buf, s.dispatched);
     put_u64(buf, s.max_batch_observed);
+    put_u64(buf, s.ecn_marks);
+    for c in &s.classes {
+        put_u64(buf, c.admitted);
+        put_u64(buf, c.shed_queue_full);
+        put_u64(buf, c.shed_class_budget);
+        put_u64(buf, c.shed_overload);
+        put_u64(buf, c.infeasible);
+        put_u64(buf, c.deadline_misses);
+        put_u32(buf, c.latencies_ns.len() as u32);
+        for &l in &c.latencies_ns {
+            put_u64(buf, l);
+        }
+    }
     put_u32(buf, s.queue_waits_ns.len() as u32);
     for &w in &s.queue_waits_ns {
         put_u64(buf, w);
@@ -99,11 +130,13 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Request(req) => {
             buf.push(TAG_REQUEST);
             put_u64(&mut buf, req.global_index);
+            put_class(&mut buf, req.class);
             put_tensor(&mut buf, &req.image);
         }
         Frame::Reply(rep) => {
             buf.push(TAG_REPLY);
             put_u64(&mut buf, rep.global_index);
+            buf.push(u8::from(rep.marked));
             match &rep.outcome {
                 Ok(t) => {
                     buf.push(0);
@@ -222,12 +255,46 @@ impl<'a> Cur<'a> {
         Ok(Tensor::from_vec(shape, data))
     }
 
+    fn class(&mut self) -> io::Result<QosClass> {
+        let rank = self.u8()?;
+        let priority = Priority::from_rank(rank)
+            .ok_or_else(|| bad(format!("unknown priority rank {rank}")))?;
+        let deadline_ns = self.u64()?;
+        Ok(QosClass {
+            priority,
+            deadline: (deadline_ns != NO_DEADLINE_NS).then(|| Duration::from_nanos(deadline_ns)),
+        })
+    }
+
     fn parallelism(&mut self) -> io::Result<Parallelism> {
         match self.u8()? {
             0 => Ok(Parallelism::Serial),
             1 => Ok(Parallelism::Threads(self.u64()? as usize)),
             t => Err(bad(format!("unknown parallelism tag {t}"))),
         }
+    }
+
+    fn class_stats(&mut self) -> io::Result<WireClassStats> {
+        let admitted = self.u64()?;
+        let shed_queue_full = self.u64()?;
+        let shed_class_budget = self.u64()?;
+        let shed_overload = self.u64()?;
+        let infeasible = self.u64()?;
+        let deadline_misses = self.u64()?;
+        let n = self.u32()? as usize;
+        let mut latencies_ns = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            latencies_ns.push(self.u64()?);
+        }
+        Ok(WireClassStats {
+            admitted,
+            shed_queue_full,
+            shed_class_budget,
+            shed_overload,
+            infeasible,
+            deadline_misses,
+            latencies_ns,
+        })
     }
 
     fn stats(&mut self) -> io::Result<WireStats> {
@@ -237,6 +304,11 @@ impl<'a> Cur<'a> {
         let batches = self.u64()?;
         let dispatched = self.u64()?;
         let max_batch_observed = self.u64()?;
+        let ecn_marks = self.u64()?;
+        let mut classes: [WireClassStats; Priority::COUNT] = Default::default();
+        for c in classes.iter_mut() {
+            *c = self.class_stats()?;
+        }
         let n = self.u32()? as usize;
         let mut queue_waits_ns = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
@@ -249,6 +321,8 @@ impl<'a> Cur<'a> {
             batches,
             dispatched,
             max_batch_observed,
+            ecn_marks,
+            classes,
             queue_waits_ns,
         })
     }
@@ -273,10 +347,12 @@ pub fn decode_frame(payload: &[u8]) -> io::Result<Frame> {
     let frame = match cur.u8()? {
         TAG_REQUEST => Frame::Request(ShardRequest {
             global_index: cur.u64()?,
+            class: cur.class()?,
             image: cur.tensor()?,
         }),
         TAG_REPLY => {
             let global_index = cur.u64()?;
+            let marked = cur.u8()? != 0;
             let outcome = match cur.u8()? {
                 0 => Ok(cur.tensor()?),
                 1 => Err(ReplyError::ShutDown),
@@ -286,6 +362,7 @@ pub fn decode_frame(payload: &[u8]) -> io::Result<Frame> {
             };
             Frame::Reply(ShardReply {
                 global_index,
+                marked,
                 outcome,
             })
         }
@@ -366,14 +443,17 @@ mod tests {
         let frames = [
             Frame::Request(ShardRequest {
                 global_index: u64::MAX,
+                class: QosClass::high().with_deadline(Duration::from_micros(250)),
                 image: image.clone(),
             }),
             Frame::Reply(ShardReply {
                 global_index: 7,
+                marked: true,
                 outcome: Ok(image),
             }),
             Frame::Reply(ShardReply {
                 global_index: 8,
+                marked: false,
                 outcome: Err(ReplyError::Exec("shape mismatch".into())),
             }),
         ];
@@ -382,6 +462,7 @@ mod tests {
             match (f, &decoded) {
                 (Frame::Request(a), Frame::Request(b)) => {
                     assert_eq!(a.global_index, b.global_index);
+                    assert_eq!(a.class, b.class);
                     let bits =
                         |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
                     assert_eq!(bits(&a.image), bits(&b.image));
@@ -389,6 +470,7 @@ mod tests {
                 }
                 (Frame::Reply(a), Frame::Reply(b)) => {
                     assert_eq!(a.global_index, b.global_index);
+                    assert_eq!(a.marked, b.marked);
                     match (&a.outcome, &b.outcome) {
                         (Ok(x), Ok(y)) => {
                             let bits = |t: &Tensor| {
@@ -430,6 +512,36 @@ mod tests {
                 batches: 4,
                 dispatched: 9,
                 max_batch_observed: 3,
+                ecn_marks: 5,
+                classes: [
+                    WireClassStats {
+                        admitted: 4,
+                        shed_queue_full: 0,
+                        shed_class_budget: 0,
+                        shed_overload: 0,
+                        infeasible: 1,
+                        deadline_misses: 2,
+                        latencies_ns: vec![10, 20],
+                    },
+                    WireClassStats {
+                        admitted: 3,
+                        shed_queue_full: 1,
+                        shed_class_budget: 0,
+                        shed_overload: 2,
+                        infeasible: 0,
+                        deadline_misses: 0,
+                        latencies_ns: vec![u64::MAX],
+                    },
+                    WireClassStats {
+                        admitted: 2,
+                        shed_queue_full: 0,
+                        shed_class_budget: 7,
+                        shed_overload: 9,
+                        infeasible: 0,
+                        deadline_misses: 1,
+                        latencies_ns: Vec::new(),
+                    },
+                ],
                 queue_waits_ns: vec![0, 1_000, u64::MAX],
             }),
         ];
@@ -444,6 +556,7 @@ mod tests {
             Frame::Drain,
             Frame::Request(ShardRequest {
                 global_index: 3,
+                class: QosClass::low(),
                 image: tensor(&[1.0, 2.0]),
             }),
             Frame::StatsProbe,
@@ -472,6 +585,7 @@ mod tests {
         // Truncated payloads at every prefix of a valid frame.
         let good = encode_frame(&Frame::Request(ShardRequest {
             global_index: 1,
+            class: QosClass::default().with_deadline(Duration::from_millis(5)),
             image: tensor(&[1.0, 2.0, 3.0]),
         }));
         for cut in 0..good.len() {
@@ -493,9 +607,20 @@ mod tests {
         // Tensor whose declared shape overflows usize.
         let mut evil = vec![TAG_REQUEST];
         evil.extend_from_slice(&0u64.to_le_bytes());
+        evil.push(0); // valid priority rank
+        evil.extend_from_slice(&u64::MAX.to_le_bytes()); // no deadline
         for _ in 0..3 {
             evil.extend_from_slice(&u32::MAX.to_le_bytes());
         }
         assert!(decode_frame(&evil).is_err());
+        // Unknown priority rank is rejected, not wrapped around.
+        let mut bad_rank = vec![TAG_REQUEST];
+        bad_rank.extend_from_slice(&0u64.to_le_bytes());
+        bad_rank.push(17);
+        bad_rank.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bad_rank).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 }

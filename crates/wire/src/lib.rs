@@ -50,6 +50,101 @@ pub use pipe::{duplex, PipeEnd, PIPE_CAPACITY};
 
 use aimc_dnn::Tensor;
 use aimc_parallel::Parallelism;
+use std::time::Duration;
+
+/// Service priority of one request — the class a request is admitted,
+/// queued, and (under the EDF ordering) dispatched by.
+///
+/// Lower rank is more urgent: [`Priority::High`] jumps queues and bypasses
+/// the router's overload pacer; [`Priority::Low`] is the first traffic an
+/// overloaded fleet sheds. The numeric [`Priority::rank`] doubles as the
+/// index into every per-class counter array in the stack (and as the wire
+/// byte), so the three views — enum, array slot, protocol byte — can never
+/// disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-critical traffic: dispatched first, never shed by the
+    /// overload pacer (only by hard queue limits).
+    High,
+    /// The default class — what every legacy (class-less) submit carries.
+    #[default]
+    Normal,
+    /// Best-effort traffic: first to be shed under overload.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority classes (the length of every per-class array).
+    pub const COUNT: usize = 3;
+
+    /// All classes, most urgent first — `ALL[c].rank() == c`.
+    pub const ALL: [Priority; Priority::COUNT] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// The class's index into per-class arrays (0 = most urgent).
+    pub const fn rank(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// The inverse of [`Priority::rank`]; `None` for out-of-range bytes
+    /// (a decoder must not panic on corrupt input).
+    pub const fn from_rank(rank: u8) -> Option<Priority> {
+        match rank {
+            0 => Some(Priority::High),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
+/// The QoS contract attached to one request: its [`Priority`] plus an
+/// optional **relative** deadline (time from submission by which the
+/// caller wants the logits).
+///
+/// The default class (`Normal`, no deadline) is what every class-less
+/// submit path stamps, so pre-QoS callers keep their exact behavior.
+/// Deadlines are relative on the wire (hosts share no clock); each shard
+/// anchors them to its own arrival instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QosClass {
+    /// Service priority (queue ordering + shed order).
+    pub priority: Priority,
+    /// Relative completion deadline, if the caller has one. Admission
+    /// refuses requests whose deadline is already infeasible; admitted
+    /// requests that miss it anyway are still completed (dropping them
+    /// would shift stream coordinates) and counted as misses.
+    pub deadline: Option<Duration>,
+}
+
+impl QosClass {
+    /// A class with the given priority and no deadline.
+    pub const fn new(priority: Priority) -> Self {
+        QosClass {
+            priority,
+            deadline: None,
+        }
+    }
+
+    /// Shorthand for [`Priority::High`] with no deadline.
+    pub const fn high() -> Self {
+        QosClass::new(Priority::High)
+    }
+
+    /// Shorthand for [`Priority::Low`] with no deadline.
+    pub const fn low() -> Self {
+        QosClass::new(Priority::Low)
+    }
+
+    /// Attaches a relative deadline.
+    pub const fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
 
 /// A contiguous block of global stream indices `[start, start + len)`,
 /// handed by the router's lease allocator to one transport.
@@ -96,6 +191,11 @@ impl IndexLease {
 pub struct ShardRequest {
     /// Global stream index of this request.
     pub global_index: u64,
+    /// The request's QoS contract (priority + relative deadline). Carried
+    /// so a remote shard can order its queue (EDF within priority) and
+    /// count deadline misses exactly like a local one — it never affects
+    /// *what* the request computes, only when it is dispatched.
+    pub class: QosClass,
     /// The image to evaluate.
     pub image: Tensor,
 }
@@ -118,6 +218,11 @@ pub enum ReplyError {
 pub struct ShardReply {
     /// Global stream index of the request this reply answers.
     pub global_index: u64,
+    /// ECN-style congestion mark: `true` when the shard's queue stood at
+    /// or above its marking threshold when this reply was written. The
+    /// router's pacer treats marked replies the way an AIMD sender treats
+    /// ECN — slow ingress down *before* the queue hard-fills.
+    pub marked: bool,
     /// The logits, or the failure that terminated the request.
     pub outcome: Result<Tensor, ReplyError>,
 }
@@ -138,12 +243,42 @@ pub struct WireStats {
     pub dispatched: u64,
     /// Largest batch dispatched.
     pub max_batch_observed: u64,
+    /// Admissions that found the queue at or above the ECN threshold.
+    pub ecn_marks: u64,
+    /// Per-class admission/shed/deadline accounting, indexed by
+    /// [`Priority::rank`].
+    pub classes: [WireClassStats; Priority::COUNT],
     /// Recent queue waits, in nanoseconds.
     pub queue_waits_ns: Vec<u64>,
 }
 
+/// Per-priority-class serving statistics in wire form (see
+/// [`WireStats::classes`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireClassStats {
+    /// Requests of this class admitted.
+    pub admitted: u64,
+    /// Requests shed because the whole queue was full (drop-tail).
+    pub shed_queue_full: u64,
+    /// Requests shed because this class's in-flight budget was exhausted.
+    pub shed_class_budget: u64,
+    /// Requests shed by the congestion pacer (AIMD window exceeded).
+    pub shed_overload: u64,
+    /// Requests refused because their deadline was already infeasible at
+    /// admission.
+    pub infeasible: u64,
+    /// Admitted requests that completed after their deadline.
+    pub deadline_misses: u64,
+    /// Recent submission→completion latencies of this class, nanoseconds.
+    pub latencies_ns: Vec<u64>,
+}
+
 /// Every message of the shard protocol (see the module docs for the
 /// client/server pairing).
+// Frames are transient — decoded, dispatched, and dropped one at a time
+// per connection — so the size skew from the stats snapshot variant
+// never multiplies across a collection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Client → server: evaluate one image at its global coordinate.
@@ -184,6 +319,21 @@ pub enum Frame {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn priority_rank_is_a_bijection() {
+        for (c, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.rank(), c);
+            assert_eq!(Priority::from_rank(c as u8), Some(*p));
+        }
+        assert_eq!(Priority::from_rank(3), None);
+        assert_eq!(Priority::default(), Priority::Normal);
+        let class = QosClass::high().with_deadline(Duration::from_millis(5));
+        assert_eq!(class.priority, Priority::High);
+        assert_eq!(class.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(QosClass::default().deadline, None);
+        assert_eq!(QosClass::low().priority, Priority::Low);
+    }
 
     #[test]
     fn lease_accessors() {

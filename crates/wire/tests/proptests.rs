@@ -6,12 +6,13 @@
 use aimc_dnn::{Shape, Tensor};
 use aimc_parallel::Parallelism;
 use aimc_wire::{
-    decode_frame, encode_frame, read_frame, write_frame, Frame, IndexLease, ReplyError, ShardReply,
-    ShardRequest, WireStats,
+    decode_frame, encode_frame, read_frame, write_frame, Frame, IndexLease, Priority, QosClass,
+    ReplyError, ShardReply, ShardRequest, WireClassStats, WireStats,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// A random tensor with a small random shape; values include the full f32
 /// range via raw bit patterns (NaNs excluded so `PartialEq` can witness
@@ -40,19 +41,45 @@ fn random_string(rng: &mut StdRng) -> String {
         .collect()
 }
 
+/// A random QoS class: any priority rank, deadline present or absent.
+/// Deadlines stay below the codec's `u64::MAX` "no deadline" sentinel.
+fn random_class(rng: &mut StdRng) -> QosClass {
+    QosClass {
+        priority: Priority::from_rank(rng.gen_range(0u8..Priority::COUNT as u8)).unwrap(),
+        deadline: rng
+            .gen::<bool>()
+            .then(|| Duration::from_nanos(rng.gen_range(0..u64::MAX - 1))),
+    }
+}
+
+fn random_class_stats(rng: &mut StdRng) -> WireClassStats {
+    WireClassStats {
+        admitted: rng.gen(),
+        shed_queue_full: rng.gen(),
+        shed_class_budget: rng.gen(),
+        shed_overload: rng.gen(),
+        infeasible: rng.gen(),
+        deadline_misses: rng.gen(),
+        latencies_ns: (0..rng.gen_range(0usize..16)).map(|_| rng.gen()).collect(),
+    }
+}
+
 /// Draws one frame covering every variant and every nested outcome arm.
 fn random_frame(rng: &mut StdRng) -> Frame {
     match rng.gen_range(0u32..17) {
         0 => Frame::Request(ShardRequest {
             global_index: rng.gen(),
+            class: random_class(rng),
             image: random_tensor(rng),
         }),
         1 => Frame::Reply(ShardReply {
             global_index: rng.gen(),
+            marked: rng.gen(),
             outcome: Ok(random_tensor(rng)),
         }),
         2 => Frame::Reply(ShardReply {
             global_index: rng.gen(),
+            marked: rng.gen(),
             outcome: Err(match rng.gen_range(0u32..3) {
                 0 => ReplyError::ShutDown,
                 1 => ReplyError::Canceled,
@@ -86,10 +113,17 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             batches: rng.gen(),
             dispatched: rng.gen(),
             max_batch_observed: rng.gen(),
+            ecn_marks: rng.gen(),
+            classes: [
+                random_class_stats(rng),
+                random_class_stats(rng),
+                random_class_stats(rng),
+            ],
             queue_waits_ns: (0..rng.gen_range(0usize..64)).map(|_| rng.gen()).collect(),
         }),
         _ => Frame::Request(ShardRequest {
             global_index: 0,
+            class: QosClass::default(),
             image: Tensor::zeros(Shape::new(1, 1, 1)),
         }),
     }

@@ -42,8 +42,8 @@ use aimc_dnn::{
 use aimc_parallel::Parallelism;
 use aimc_runtime::{simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall};
 use aimc_serve::{
-    BatchPolicy, FleetHandle, FleetPolicy, LocalTransport, RoutePolicy, ServeError, ServeHandle,
-    ShardControl, ShardServer, ShardTransport,
+    BatchPolicy, FleetHandle, FleetPolicy, LocalTransport, QosOrdering, RoutePolicy, ServeError,
+    ServeHandle, ShardControl, ShardServer, ShardTransport,
 };
 use aimc_xbar::XbarConfig;
 use std::collections::HashMap;
@@ -782,11 +782,16 @@ impl Session {
     /// ignores externally stamped indices: do not use
     /// [`ServeHandle::submit_at`] on this handle — route through
     /// [`Platform::serve_fleet`] when an external router should own the
-    /// numbering.
+    /// numbering. For the same reason the analog path clamps the QoS
+    /// batch ordering to FIFO: the runner numbers requests in dispatch
+    /// order, so EDF reordering would move a request's stream coordinate
+    /// (and therefore its logits). Class annotations, admission gating,
+    /// and per-class stats still apply in full; fleet shards — which
+    /// honor stamped indices — keep EDF available.
     ///
     /// # Errors
     /// [`Error::NoBackend`] if no functional backend is programmed yet.
-    pub fn serve(&mut self, policy: BatchPolicy) -> Result<ServeHandle, Error> {
+    pub fn serve(&mut self, mut policy: BatchPolicy) -> Result<ServeHandle, Error> {
         let active = self.active.clone().ok_or(Error::NoBackend)?;
         let par = Arc::clone(&self.parallelism);
         let runner: Box<aimc_serve::DynRunner> = match active {
@@ -797,6 +802,9 @@ impl Session {
                 })
             }
             Backend::Analog { .. } => {
+                // The runner below numbers the stream itself, so only
+                // arrival-order dispatch keeps coordinates solo-identical.
+                policy.qos.ordering = QosOrdering::Fifo;
                 let slot = Arc::clone(&self.analog.as_ref().expect("programmed analog").1);
                 Box::new(move |_indices: &[u64], inputs: &[Tensor]| {
                     // Snapshot the thread budget once per batch.
