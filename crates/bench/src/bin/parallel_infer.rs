@@ -40,14 +40,15 @@ fn backend() -> Backend {
 }
 
 /// Programs the backend, then times one batched infer (programming excluded
-/// — it is a one-off deployment cost). Returns (images/s, logits).
-fn timed_infer(par: Parallelism, images: &[Tensor]) -> Result<(f64, Vec<Tensor>), Error> {
+/// — it is a one-off deployment cost). Returns (images/s, analog MVMs
+/// evaluated, logits).
+fn timed_infer(par: Parallelism, images: &[Tensor]) -> Result<(f64, u64, Vec<Tensor>), Error> {
     let mut session = session_with(par)?;
     session.program(&backend())?;
     let t0 = Instant::now();
     let logits = session.infer(images, backend())?;
     let dt = t0.elapsed().as_secs_f64();
-    Ok((images.len() as f64 / dt, logits))
+    Ok((images.len() as f64 / dt, session.total_mvms(), logits))
 }
 
 fn main() -> Result<(), Error> {
@@ -84,32 +85,36 @@ fn main() -> Result<(), Error> {
         "mode", "img/s", "speedup", "bit-identical"
     );
 
-    let (serial_ips, serial_logits) = timed_infer(Parallelism::Serial, &images)?;
+    let (serial_ips, serial_mvms, serial_logits) = timed_infer(Parallelism::Serial, &images)?;
+    // The single-core figure of merit alongside images/s: wall-clock per
+    // analog tile-MVM, the quantity the packed kernels attack directly
+    // (cross-check against BENCH_mvm_kernels.json, which times the kernels
+    // without the digital layers around them).
+    let serial_ns_per_mvm = 1e9 / (serial_ips * serial_mvms as f64 / images_n as f64);
     println!(
-        "{:<12} {:>12.3} {:>9.2}x {:>14}",
+        "{:<12} {:>12.3} {:>9.2}x {:>14}   ({serial_ns_per_mvm:.0} ns/MVM over {serial_mvms} MVMs)",
         "serial", serial_ips, 1.0, "-"
     );
 
     let mut rows = String::new();
     let mut all_identical = true;
     for &n in thread_counts {
-        let (ips, logits) = timed_infer(Parallelism::Threads(n), &images)?;
-        let identical = logits == serial_logits;
-        all_identical &= identical;
-        let speedup = ips / serial_ips;
-        println!(
-            "{:<12} {:>12.3} {:>9.2}x {:>14}",
-            format!("threads({n})"),
-            ips,
-            speedup,
-            identical
-        );
-        let _ = write!(
-            rows,
-            "{}{{\"threads\": {n}, \"images_per_s\": {ips:.4}, \
-             \"speedup_vs_serial\": {speedup:.4}, \"bit_identical\": {identical}}}",
-            if rows.is_empty() { "" } else { ", " },
-        );
+        for (label, par, pinned) in [
+            (format!("threads({n})"), Parallelism::Threads(n), false),
+            (format!("pinned({n})"), Parallelism::PinnedThreads(n), true),
+        ] {
+            let (ips, _, logits) = timed_infer(par, &images)?;
+            let identical = logits == serial_logits;
+            all_identical &= identical;
+            let speedup = ips / serial_ips;
+            println!("{label:<12} {ips:>12.3} {speedup:>9.2}x {identical:>14}");
+            let _ = write!(
+                rows,
+                "{}{{\"threads\": {n}, \"pinned\": {pinned}, \"images_per_s\": {ips:.4}, \
+                 \"speedup_vs_serial\": {speedup:.4}, \"bit_identical\": {identical}}}",
+                if rows.is_empty() { "" } else { ", " },
+            );
+        }
     }
     assert!(
         all_identical,
@@ -120,7 +125,10 @@ fn main() -> Result<(), Error> {
         "{{\n  \"bench\": \"parallel_infer\",\n  \"workload\": \"resnet18_cifar10_analog\",\n  \
          \"xbar\": \"hermes_256\",\n  \"images\": {images_n},\n  \"smoke\": {smoke},\n  \
          \"host_cpus\": {host_cpus},\n  \"serial_images_per_s\": {serial_ips:.4},\n  \
-         \"threaded\": [{rows}],\n  \"deterministic\": {all_identical}\n}}\n"
+         \"serial_ns_per_mvm\": {serial_ns_per_mvm:.1},\n  \
+         \"mvms_per_image\": {},\n  \
+         \"threaded\": [{rows}],\n  \"deterministic\": {all_identical}\n}}\n",
+        serial_mvms / images_n as u64
     );
     let path = "BENCH_parallel_infer.json";
     std::fs::write(path, &json).expect("write bench json");

@@ -41,35 +41,45 @@ use crate::tensor::{Shape, Tensor};
 use crate::weights::Weights;
 use aimc_parallel::{map_with, try_map_indexed, try_map_with, Parallelism};
 use aimc_xbar::stream::stream_seed;
-use aimc_xbar::{Crossbar, XbarConfig, XbarError};
+use aimc_xbar::{Crossbar, MvmScratch, XbarConfig, XbarError, DAC_BATCH};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Reusable per-worker buffers for the MVM hot loop: the im2col patch and
-/// the per-tile output slice. One scratch lives per worker thread (or one
-/// per executor call in serial mode) and is recycled across every patch,
-/// tile, layer, and image that worker touches — the hot loop allocates
-/// nothing.
+/// Reusable per-worker buffers for the MVM hot loop: up to [`DAC_BATCH`]
+/// im2col patches, their per-tile row slices, the per-tile output slab, and
+/// the crossbar kernels' own [`MvmScratch`]. One scratch lives per worker
+/// thread (or one per executor call in serial mode) and is recycled across
+/// every patch, tile, layer, and image that worker touches — the hot loop
+/// allocates nothing.
 #[derive(Debug, Default)]
 struct InferScratch {
-    /// im2col patch, sized to the largest `xbar_rows()` among analog layers.
+    /// Up to [`DAC_BATCH`] concatenated im2col patches, each sized to the
+    /// largest `xbar_rows()` among analog layers.
     patch: Vec<f32>,
-    /// Per-tile MVM output, sized to the largest column chunk.
+    /// Per-tile row slices of the batched patches (row-split layers only).
+    xs: Vec<f32>,
+    /// Per-tile MVM outputs for the batch, sized to the largest column
+    /// chunk × [`DAC_BATCH`].
     col: Vec<f32>,
+    /// Kernel-internal buffers (quantized inputs, row masks, accumulators).
+    mvm: MvmScratch,
 }
 
 impl InferScratch {
     /// Grows the buffers to cover a layer with `rows` patch elements and
     /// `max_cols` output columns (no-op once warm).
     fn reserve(&mut self, rows: usize, max_cols: usize) {
-        if self.patch.len() < rows {
-            self.patch.resize(rows, 0.0);
+        if self.patch.len() < DAC_BATCH * rows {
+            self.patch.resize(DAC_BATCH * rows, 0.0);
         }
-        if self.col.len() < max_cols {
-            self.col.resize(max_cols, 0.0);
+        if self.xs.len() < DAC_BATCH * rows {
+            self.xs.resize(DAC_BATCH * rows, 0.0);
+        }
+        if self.col.len() < DAC_BATCH * max_cols {
+            self.col.resize(DAC_BATCH * max_cols, 0.0);
         }
     }
 }
@@ -159,25 +169,57 @@ impl AnalogLayer {
 
     /// The reference single-thread evaluation (also the per-image body under
     /// image-level parallelism).
+    ///
+    /// Output pixels are evaluated in chunks of up to [`DAC_BATCH`] patches
+    /// per tile through [`Crossbar::mvm_batch_into_with`], which is
+    /// bit-identical to the equivalent sequence of single MVMs (each patch
+    /// carries its own explicit invocation coordinate). Per output element
+    /// the digital reduction still runs in ascending `(row_split,
+    /// col_split)` order, so the f32 sums match the unbatched loop exactly.
     fn conv_serial(&self, x: &Tensor, img: u64, outs: Shape, scratch: &mut InferScratch) -> Tensor {
         let mut y = Tensor::zeros(outs);
         let rows = self.cfg.xbar_rows();
         scratch.reserve(rows, self.max_col_chunk());
-        let n_pix = (outs.h * outs.w) as u64;
-        for oh in 0..outs.h {
-            for ow in 0..outs.w {
-                let invocation = img * n_pix + (oh * outs.w + ow) as u64;
-                let patch = &mut scratch.patch[..rows];
-                ops::im2col_patch(x, &self.cfg, oh, ow, patch);
-                for (ri, &(r0, rl)) in self.row_chunks.iter().enumerate() {
-                    let xin = &patch[r0..r0 + rl];
-                    for (ci, &(c0, cl)) in self.col_chunks.iter().enumerate() {
-                        let out = &mut scratch.col[..cl];
-                        self.tiles[ri][ci]
-                            .mvm_into_at(xin, out, invocation)
-                            .expect("programmed dimensions are consistent");
-                        for (k, &v) in out.iter().enumerate() {
-                            let oc = c0 + k;
+        let n_pix = outs.h * outs.w;
+        let single_row_chunk = self.row_chunks.len() == 1;
+        let mut invocations = [0u64; DAC_BATCH];
+        for p0 in (0..n_pix).step_by(DAC_BATCH) {
+            let k = DAC_BATCH.min(n_pix - p0);
+            for (p, inv) in invocations.iter_mut().enumerate().take(k) {
+                let pix = p0 + p;
+                let (oh, ow) = (pix / outs.w, pix % outs.w);
+                *inv = (img * n_pix as u64) + pix as u64;
+                ops::im2col_patch(
+                    x,
+                    &self.cfg,
+                    oh,
+                    ow,
+                    &mut scratch.patch[p * rows..(p + 1) * rows],
+                );
+            }
+            for (ri, &(r0, rl)) in self.row_chunks.iter().enumerate() {
+                // Row-split layers gather each tile's row slice of every
+                // patch; unsplit layers (the common case) feed the patch
+                // buffer straight to the kernel.
+                let xin: &[f32] = if single_row_chunk {
+                    &scratch.patch[..k * rows]
+                } else {
+                    for p in 0..k {
+                        scratch.xs[p * rl..(p + 1) * rl]
+                            .copy_from_slice(&scratch.patch[p * rows + r0..p * rows + r0 + rl]);
+                    }
+                    &scratch.xs[..k * rl]
+                };
+                for (ci, &(c0, cl)) in self.col_chunks.iter().enumerate() {
+                    let out = &mut scratch.col[..k * cl];
+                    self.tiles[ri][ci]
+                        .mvm_batch_into_with(xin, out, &invocations[..k], &mut scratch.mvm)
+                        .expect("programmed dimensions are consistent");
+                    for p in 0..k {
+                        let pix = p0 + p;
+                        let (oh, ow) = (pix / outs.w, pix % outs.w);
+                        for (c, &v) in out[p * cl..(p + 1) * cl].iter().enumerate() {
+                            let oc = c0 + c;
                             // Digital reduction of row-split partials.
                             let cur = y.get(oc, oh, ow);
                             y.set(oc, oh, ow, cur + v);
@@ -203,27 +245,41 @@ impl AnalogLayer {
         let planes: Vec<Vec<f32>> = map_with(
             par,
             &descs,
-            || vec![0.0f32; max_rl],
-            |patch, _, &(ri, ci)| {
+            || (vec![0.0f32; DAC_BATCH * max_rl], MvmScratch::new()),
+            |(patch, mvm), _, &(ri, ci)| {
                 let (r0, rl) = self.row_chunks[ri];
                 let (_, cl) = self.col_chunks[ci];
                 let tile = &self.tiles[ri][ci];
                 let mut plane = vec![0.0f32; cl * n_pix];
-                for oh in 0..outs.h {
-                    for ow in 0..outs.w {
-                        let p = oh * outs.w + ow;
-                        let invocation = img * n_pix as u64 + p as u64;
+                let mut invocations = [0u64; DAC_BATCH];
+                // Consecutive output pixels are batched through the tile:
+                // bit-identical to single MVMs, and the batch outputs land
+                // contiguously in the plane.
+                for p0 in (0..n_pix).step_by(DAC_BATCH) {
+                    let k = DAC_BATCH.min(n_pix - p0);
+                    for (p, inv) in invocations.iter_mut().enumerate().take(k) {
+                        let pix = p0 + p;
+                        let (oh, ow) = (pix / outs.w, pix % outs.w);
+                        *inv = img * n_pix as u64 + pix as u64;
                         // Each tile extracts only its own row slice of the
                         // im2col patch (the broadcast input it would receive
                         // in hardware), not the full patch.
-                        ops::im2col_patch_range(x, &self.cfg, oh, ow, r0, &mut patch[..rl]);
-                        tile.mvm_into_at(
-                            &patch[..rl],
-                            &mut plane[p * cl..(p + 1) * cl],
-                            invocation,
-                        )
-                        .expect("programmed dimensions are consistent");
+                        ops::im2col_patch_range(
+                            x,
+                            &self.cfg,
+                            oh,
+                            ow,
+                            r0,
+                            &mut patch[p * rl..(p + 1) * rl],
+                        );
                     }
+                    tile.mvm_batch_into_with(
+                        &patch[..k * rl],
+                        &mut plane[p0 * cl..(p0 + k) * cl],
+                        &invocations[..k],
+                        mvm,
+                    )
+                    .expect("programmed dimensions are consistent");
                 }
                 plane
             },

@@ -1,0 +1,122 @@
+//! Best-effort CPU affinity for worker threads.
+//!
+//! [`Parallelism::PinnedThreads`](crate::Parallelism::PinnedThreads) pins
+//! each worker to one core so the hot MVM loops keep their scratch in one
+//! core's private caches and first-touch their pages on the core that will
+//! use them. The build environment has no registry access, so `libc` is
+//! not an option; on Linux the `sched_setaffinity` syscall is issued
+//! directly. Everywhere else pinning is a documented no-op — the engine's
+//! results never depend on placement, only its wall-clock does.
+//!
+//! This is the only unsafe code in the workspace; it is confined to the
+//! two `#[allow(unsafe_code)]` syscall wrappers below, each of which
+//! passes the kernel a pointer to a live stack buffer and nothing else.
+
+/// Width of the CPU mask passed to the kernel: 1024 bits, the historical
+/// `CPU_SETSIZE` of glibc — comfortably above any core index the pool
+/// derives from `available_parallelism`.
+const MASK_WORDS: usize = 16;
+
+/// Pins the calling thread to `cpu` (taken modulo the 1024-bit mask
+/// width). Returns `true` if the kernel accepted the mask.
+///
+/// On non-Linux targets, or Linux targets other than x86-64/AArch64,
+/// this is a no-op returning `false`; callers treat pinning as a hint.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    let mut mask = [0u64; MASK_WORDS];
+    let bit = cpu % (MASK_WORDS * 64);
+    mask[bit / 64] |= 1u64 << (bit % 64);
+    // pid 0 = the calling thread.
+    sched_setaffinity_raw(0, core::mem::size_of_val(&mask), mask.as_ptr()) == 0
+}
+
+/// No-op fallback: placement stays with the OS scheduler.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+/// `sched_setaffinity(2)` — syscall 203 on x86-64.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+fn sched_setaffinity_raw(pid: usize, len: usize, mask: *const u64) -> isize {
+    let ret: isize;
+    // SAFETY: the kernel reads `len` bytes from `mask`, which points to a
+    // live, fully initialized `[u64; MASK_WORDS]` on the caller's stack;
+    // the syscall clobbers only rcx/r11 (declared) and writes nothing.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 203isize => ret,
+            in("rdi") pid,
+            in("rsi") len,
+            in("rdx") mask,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack, preserves_flags)
+        );
+    }
+    ret
+}
+
+/// `sched_setaffinity(2)` — syscall 122 on AArch64.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+#[allow(unsafe_code)]
+fn sched_setaffinity_raw(pid: usize, len: usize, mask: *const u64) -> isize {
+    let ret: isize;
+    // SAFETY: as in the x86-64 wrapper — the kernel only reads `len`
+    // bytes from the live stack buffer behind `mask`.
+    unsafe {
+        core::arch::asm!(
+            "svc #0",
+            in("x8") 122usize,
+            inlateout("x0") pid as isize => ret,
+            in("x1") len,
+            in("x2") mask,
+            options(nostack)
+        );
+    }
+    ret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// On Linux the kernel must accept a mask naming core 0 (which always
+    /// exists); pinning is exercised from a scoped thread so the test
+    /// runner's own thread keeps its placement.
+    #[test]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fn kernel_accepts_a_core_zero_mask() {
+        let ok = std::thread::scope(|s| s.spawn(|| pin_current_thread(0)).join().unwrap());
+        assert!(ok, "sched_setaffinity rejected {{core 0}}");
+    }
+
+    /// Out-of-range indices wrap into the mask instead of producing an
+    /// empty set (which the kernel would reject with EINVAL).
+    #[test]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fn large_indices_wrap_into_the_mask() {
+        // 3 × the mask width wraps back to core 0, which always exists.
+        let ok = std::thread::scope(|s| {
+            s.spawn(|| pin_current_thread(MASK_WORDS * 64 * 3))
+                .join()
+                .unwrap()
+        });
+        assert!(ok);
+    }
+}

@@ -93,6 +93,10 @@ fn put_parallelism(buf: &mut Vec<u8>, par: Parallelism) {
             buf.push(1);
             put_u64(buf, n as u64);
         }
+        Parallelism::PinnedThreads(n) => {
+            buf.push(2);
+            put_u64(buf, n as u64);
+        }
     }
 }
 
@@ -270,6 +274,7 @@ impl<'a> Cur<'a> {
         match self.u8()? {
             0 => Ok(Parallelism::Serial),
             1 => Ok(Parallelism::Threads(self.u64()? as usize)),
+            2 => Ok(Parallelism::PinnedThreads(self.u64()? as usize)),
             t => Err(bad(format!("unknown parallelism tag {t}"))),
         }
     }
@@ -503,6 +508,7 @@ mod tests {
             Frame::ReprogramDone(Err("weights missing".into())),
             Frame::SetParallelism(Parallelism::Serial),
             Frame::SetParallelism(Parallelism::Threads(8)),
+            Frame::SetParallelism(Parallelism::PinnedThreads(6)),
             Frame::ParallelismSet,
             Frame::StatsProbe,
             Frame::Stats(WireStats {

@@ -14,10 +14,7 @@
 //!   shift-add, weighted by each plane's significance.
 
 use crate::crossbar::{Crossbar, XbarError};
-use crate::noise::gaussian;
-use crate::stream;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::kernel::{self, MvmScratch};
 
 impl Crossbar {
     /// Evaluates `y = Wᵀx` bit-serially with `n_bits` input bit planes.
@@ -75,56 +72,65 @@ impl Crossbar {
         Ok(())
     }
 
+    /// Pre-validated bit-serial evaluation through the packed kernel with
+    /// this thread's fallback scratch (see [`crate::kernel`]).
     fn bit_serial_core(&self, x: &[f32], n_bits: u32, invocation: u64) -> Vec<f32> {
-        let cols = self.cols_used();
-        let rows = self.rows_used();
-        let cfg = self.config();
+        let mut y = vec![0.0f32; self.cols_used()];
+        kernel::with_thread_scratch(|s| {
+            kernel::bit_serial_packed(self, x, n_bits, &mut y, invocation, s)
+        });
+        y
+    }
 
-        // Normalize and quantize to signed n-bit magnitude.
-        let x_scale = x
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(v.abs() as f64))
-            .max(1e-30);
-        let levels = (1i64 << (n_bits - 1)) - 1;
-        let xq: Vec<i64> = x
-            .iter()
-            .map(|&v| ((v as f64 / x_scale).clamp(-1.0, 1.0) * levels as f64).round() as i64)
-            .collect();
-
-        // Shift-accumulate bit planes (positive and negative phases); all
-        // noise for this evaluation comes from its invocation's stream.
-        let mut rng = StdRng::seed_from_u64(stream::derive(self.noise_seed(), invocation));
-        let mut acc = vec![0.0f64; cols];
-        let sigma = cfg.read_noise_sigma * (rows as f64).sqrt();
-        for bit in 0..(n_bits - 1) {
-            let weight = (1i64 << bit) as f64;
-            for phase in [1i64, -1] {
-                // Skip silent planes entirely (no pulse, no noise).
-                let any = xq
-                    .iter()
-                    .any(|&q| q.signum() == phase && (q.abs() >> bit) & 1 == 1);
-                if !any {
-                    continue;
-                }
-                let mut plane = vec![0.0f64; cols];
-                for (r, &q) in xq.iter().enumerate() {
-                    if q.signum() == phase && (q.abs() >> bit) & 1 == 1 {
-                        let row = self.effective_row(r);
-                        for (c, g) in row.iter().enumerate() {
-                            plane[c] += g;
-                        }
-                    }
-                }
-                for (c, p) in plane.iter().enumerate() {
-                    let noisy = p + gaussian(&mut rng, sigma);
-                    acc[c] += phase as f64 * weight * noisy;
-                }
-            }
+    /// Like [`Crossbar::mvm_bit_serial_at`] but writing into a caller
+    /// buffer and reusing a caller-owned [`MvmScratch`] — the
+    /// zero-allocation bit-serial hot path.
+    ///
+    /// Results are bit-identical to the other bit-serial entry points for
+    /// the same invocation index.
+    ///
+    /// # Errors
+    /// Same conditions as [`Crossbar::mvm_bit_serial`], plus
+    /// [`XbarError::InputLength`] if `out` is not `cols_used` long.
+    pub fn mvm_bit_serial_into_with(
+        &self,
+        x: &[f32],
+        n_bits: u32,
+        out: &mut [f32],
+        invocation: u64,
+        scratch: &mut MvmScratch,
+    ) -> Result<(), XbarError> {
+        self.check_bit_serial_args(x, n_bits)?;
+        if out.len() != self.cols_used() {
+            return Err(XbarError::InputLength {
+                got: out.len(),
+                expected: self.cols_used(),
+            });
         }
+        self.next_invocation();
+        kernel::bit_serial_packed(self, x, n_bits, out, invocation, scratch);
+        Ok(())
+    }
 
-        // Fold scales back: weights (w_scale) × activations (x_scale/levels).
-        let back = self.weight_scale() * x_scale / levels as f64;
-        acc.iter().map(|&a| (a * back) as f32).collect()
+    /// Scalar reference bit-serial evaluation at an explicit invocation
+    /// index — the pre-packing per-plane predicate loop kept as the
+    /// equivalence oracle for the `kernel_equivalence` proptests and the
+    /// `mvm_kernels` bench.
+    ///
+    /// Returns results bit-identical to [`Crossbar::mvm_bit_serial_at`]
+    /// for the same `invocation`; it is slower and allocates per plane.
+    ///
+    /// # Errors
+    /// Same conditions as [`Crossbar::mvm_bit_serial`].
+    pub fn mvm_bit_serial_reference_at(
+        &self,
+        x: &[f32],
+        n_bits: u32,
+        invocation: u64,
+    ) -> Result<Vec<f32>, XbarError> {
+        self.check_bit_serial_args(x, n_bits)?;
+        self.next_invocation();
+        Ok(kernel::bit_serial_reference(self, x, n_bits, invocation))
     }
 
     /// Latency of a bit-serial MVM: one array evaluation per bit plane (two

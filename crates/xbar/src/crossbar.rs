@@ -18,10 +18,8 @@
 
 use crate::config::XbarConfig;
 use crate::noise::gaussian;
-use crate::stream;
 use core::fmt;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors returned by crossbar programming and evaluation.
@@ -115,8 +113,14 @@ impl std::error::Error for XbarError {}
 pub struct Crossbar {
     cfg: XbarConfig,
     /// Effective conductances `g⁺ − g⁻`, row-major `rows_used × cols_used`,
-    /// in normalized units (`g_max = 1`).
+    /// in normalized units (`g_max = 1`), preceded by `g_off` zero pads
+    /// chosen at programming time so the data starts 64-byte aligned (the
+    /// MVM kernels stream this as SIMD loads).
     g_eff: Vec<f64>,
+    /// Leading pad length of `g_eff` (see above). Kept as a plain offset so
+    /// clones — whose fresh allocation may land elsewhere — stay correct,
+    /// merely losing the alignment guarantee.
+    g_off: usize,
     rows_used: usize,
     cols_used: usize,
     /// Weight scale: `w = g_eff * w_scale`.
@@ -133,6 +137,7 @@ impl Clone for Crossbar {
         Crossbar {
             cfg: self.cfg.clone(),
             g_eff: self.g_eff.clone(),
+            g_off: self.g_off,
             rows_used: self.rows_used,
             cols_used: self.cols_used,
             w_scale: self.w_scale,
@@ -185,7 +190,11 @@ impl Crossbar {
 
         let levels = (1u64 << cfg.weight_bits) - 1; // per polarity
 
-        let mut g_eff = Vec::with_capacity(rows * cols);
+        // Capacity covers data plus the worst-case alignment pad, so the
+        // pointer (and with it the alignment) never moves after this.
+        let mut g_eff: Vec<f64> = Vec::with_capacity(rows * cols + 7);
+        let g_off = g_eff.as_ptr().align_offset(64).min(7);
+        g_eff.resize(g_off, 0.0);
         for &w in weights {
             let target = (w as f64 / w_scale).clamp(-1.0, 1.0);
             // Differential mapping: only one device of the pair carries the
@@ -203,6 +212,7 @@ impl Crossbar {
         Ok(Crossbar {
             cfg: cfg.clone(),
             g_eff,
+            g_off,
             rows_used: rows,
             cols_used: cols,
             w_scale,
@@ -317,6 +327,87 @@ impl Crossbar {
         Ok(())
     }
 
+    /// Like [`Crossbar::mvm_into_at`] but reusing a caller-owned
+    /// [`crate::MvmScratch`] — the zero-allocation hot path for executors
+    /// that keep per-worker scratch (see `InferScratch` in `aimc-dnn`).
+    ///
+    /// Results are bit-identical to every other evaluation entry point for
+    /// the same invocation index.
+    ///
+    /// # Errors
+    /// Returns [`XbarError::InputLength`] if `x` or `out` have wrong lengths.
+    pub fn mvm_into_with(
+        &self,
+        x: &[f32],
+        out: &mut [f32],
+        invocation: u64,
+        scratch: &mut crate::kernel::MvmScratch,
+    ) -> Result<(), XbarError> {
+        self.check_dims(x.len(), out.len())?;
+        self.mvm_count.fetch_add(1, Ordering::Relaxed);
+        crate::kernel::dac_packed(self, x, out, invocation, scratch);
+        Ok(())
+    }
+
+    /// Batched parallel-DAC evaluation: `invocations.len()` patches
+    /// against this array in one call, each **bit-identical** to a
+    /// [`Crossbar::mvm_into_with`] call with the same patch and
+    /// invocation index (see [`crate::kernel`] on why the lock-step
+    /// accumulation preserves every bit).
+    ///
+    /// `xs` holds the patches back to back (`k · rows_used`), `out`
+    /// receives the results back to back (`k · cols_used`). Batching
+    /// raises arithmetic intensity — each conductance row fetched from
+    /// cache feeds [`crate::kernel::DAC_BATCH`] accumulator chains — so
+    /// the executors' convolution loops prefer this call whenever several
+    /// patches target the same tile.
+    ///
+    /// # Errors
+    /// Returns [`XbarError::InputLength`] if `xs` or `out` is not `k`
+    /// patches long.
+    pub fn mvm_batch_into_with(
+        &self,
+        xs: &[f32],
+        out: &mut [f32],
+        invocations: &[u64],
+        scratch: &mut crate::kernel::MvmScratch,
+    ) -> Result<(), XbarError> {
+        let k = invocations.len();
+        if xs.len() != k * self.rows_used {
+            return Err(XbarError::InputLength {
+                got: xs.len(),
+                expected: k * self.rows_used,
+            });
+        }
+        if out.len() != k * self.cols_used {
+            return Err(XbarError::InputLength {
+                got: out.len(),
+                expected: k * self.cols_used,
+            });
+        }
+        self.mvm_count.fetch_add(k as u64, Ordering::Relaxed);
+        crate::kernel::dac_packed_batch(self, xs, out, invocations, scratch);
+        Ok(())
+    }
+
+    /// Scalar reference evaluation at an explicit invocation index — the
+    /// pre-packing row loop kept as the equivalence oracle for the
+    /// `kernel_equivalence` proptests and the `mvm_kernels` bench.
+    ///
+    /// Returns results bit-identical to [`Crossbar::mvm_into_at`] /
+    /// [`Crossbar::mvm_into_with`] for the same `invocation`; it is slower
+    /// and allocates per call.
+    ///
+    /// # Errors
+    /// Returns [`XbarError::InputLength`] on a dimension mismatch.
+    pub fn mvm_reference_at(&self, x: &[f32], invocation: u64) -> Result<Vec<f32>, XbarError> {
+        let mut y = vec![0.0f32; self.cols_used];
+        self.check_dims(x.len(), y.len())?;
+        self.mvm_count.fetch_add(1, Ordering::Relaxed);
+        crate::kernel::dac_reference(self, x, &mut y, invocation);
+        Ok(y)
+    }
+
     /// Rejects mismatched input/output lengths (before any counter or
     /// stream state is touched).
     fn check_dims(&self, x_len: usize, out_len: usize) -> Result<(), XbarError> {
@@ -338,56 +429,16 @@ impl Crossbar {
     /// The full DAC → analog → ADC signal chain for one pre-validated
     /// evaluation, with read noise drawn from
     /// `derive(noise_seed, invocation)`.
+    ///
+    /// Delegates to the packed kernel ([`crate::kernel`]) with this
+    /// thread's fallback scratch; callers that hold their own scratch use
+    /// [`Crossbar::mvm_into_with`] instead.
     fn mvm_core(&self, x: &[f32], out: &mut [f32], invocation: u64) {
         debug_assert_eq!(x.len(), self.rows_used);
         debug_assert_eq!(out.len(), self.cols_used);
-
-        // --- DAC stage: clip + quantize inputs ------------------------------
-        let dac_levels = ((1u64 << self.cfg.dac_bits) - 1) as f64 / 2.0; // per polarity
-        let clip = self.cfg.x_clip;
-        let mut xq = Vec::with_capacity(x.len());
-        let mut x_scale = 0.0f64;
-        for &xi in x {
-            x_scale = x_scale.max(xi.abs() as f64);
-        }
-        let x_scale = if x_scale > 0.0 { x_scale } else { 1.0 };
-        for &xi in x {
-            let v = (xi as f64 / x_scale).clamp(-clip, clip);
-            xq.push((v * dac_levels).round() / dac_levels);
-        }
-
-        // --- Analog accumulation --------------------------------------------
-        // Kirchhoff summation is exact; the f64 loop is the analog ideal.
-        let cols = self.cols_used;
-        let mut acc = vec![0.0f64; cols];
-        for (r, &xr) in xq.iter().enumerate() {
-            if xr == 0.0 {
-                continue;
-            }
-            let row = &self.g_eff[r * cols..(r + 1) * cols];
-            for (c, &g) in row.iter().enumerate() {
-                acc[c] += xr * g;
-            }
-        }
-
-        // --- Read noise (per bit line, scales with sqrt(active rows)) -------
-        if self.cfg.read_noise_sigma > 0.0 {
-            let mut rng = StdRng::seed_from_u64(stream::derive(self.noise_seed, invocation));
-            let sigma = self.cfg.read_noise_sigma * (self.rows_used as f64).sqrt();
-            for a in acc.iter_mut() {
-                *a += gaussian(&mut rng, sigma);
-            }
-        }
-
-        // --- ADC stage: clip + quantize -------------------------------------
-        let fs = self.cfg.adc_headroom * self.rows_used as f64 * clip;
-        let adc_levels = ((1u64 << self.cfg.adc_bits.min(31)) - 1) as f64 / 2.0;
-        let back_scale = self.w_scale * x_scale;
-        for (c, a) in acc.iter().enumerate() {
-            let clipped = a.clamp(-fs, fs);
-            let q = (clipped / fs * adc_levels).round() / adc_levels * fs;
-            out[c] = (q * back_scale) as f32;
-        }
+        crate::kernel::with_thread_scratch(|s| {
+            crate::kernel::dac_packed(self, x, out, invocation, s)
+        });
     }
 
     /// Applies conductance drift for `t_hours` of elapsed time since
@@ -411,9 +462,10 @@ impl Crossbar {
         self.mvm_count.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Row slice of the effective conductance image (bit-serial path).
-    pub(crate) fn effective_row(&self, r: usize) -> &[f64] {
-        &self.g_eff[r * self.cols_used..(r + 1) * self.cols_used]
+    /// The full effective conductance image, row-major
+    /// `rows_used × cols_used` (the packed kernels' working set).
+    pub(crate) fn g_all(&self) -> &[f64] {
+        &self.g_eff[self.g_off..]
     }
 
     /// Reads back the effective stored weight at `(row, col)` (diagnostics,
@@ -426,7 +478,7 @@ impl Crossbar {
             row < self.rows_used && col < self.cols_used,
             "index out of programmed block"
         );
-        (self.g_eff[row * self.cols_used + col] * self.w_scale) as f32
+        (self.g_eff[self.g_off + row * self.cols_used + col] * self.w_scale) as f32
     }
 }
 

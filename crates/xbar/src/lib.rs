@@ -50,10 +50,12 @@
 mod bitserial;
 mod config;
 mod crossbar;
+pub mod kernel;
 pub mod noise;
 mod programming;
 pub mod stream;
 
 pub use config::XbarConfig;
 pub use crossbar::{Crossbar, XbarError};
+pub use kernel::{MvmScratch, DAC_BATCH};
 pub use programming::{ProgrammingCost, ProgrammingModel};
