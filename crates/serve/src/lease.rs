@@ -221,3 +221,91 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// The lowest index not currently issued — what a lowest-first
+    /// allocator must hand out next.
+    fn lowest_free(outstanding: &BTreeSet<u64>) -> u64 {
+        (0u64..)
+            .find(|i| !outstanding.contains(i))
+            .expect("finite set")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random interleavings of alloc/reclaim/rewind against a
+        /// BTreeSet-of-issued-indices reference model: every lease starts
+        /// at the lowest free index (lowest-first), no index is ever
+        /// issued twice while outstanding, and `outstanding()` /
+        /// `next_index()` agree with the model after every step.
+        ///
+        /// Each op is a raw tuple `(kind, len, sel, off, n)` decoded at
+        /// apply time — kinds 0–3 alloc `len`, 4–7 reclaim a random
+        /// sub-range of a random currently held lease (so every reclaim
+        /// is valid by construction), 8 rewinds. Reclaiming an interior
+        /// sub-range splits the held lease, exercising fragment merge.
+        #[test]
+        fn allocator_matches_a_set_model(
+            ops in prop::collection::vec(
+                (0u32..9, 1u64..=8, any::<usize>(), any::<u32>(), any::<u32>()),
+                1..120,
+            ),
+        ) {
+            let mut a = LeaseAllocator::new();
+            let mut outstanding: BTreeSet<u64> = BTreeSet::new();
+            let mut held: Vec<IndexLease> = Vec::new();
+            for (kind, len, sel, off_seed, len_seed) in ops {
+                match kind {
+                    0..=3 => {
+                        let lease = a.alloc(len);
+                        prop_assert_eq!(
+                            lease.start,
+                            lowest_free(&outstanding),
+                            "allocations are lowest-first"
+                        );
+                        prop_assert!(lease.len >= 1, "leases are never empty");
+                        prop_assert!(lease.len <= len, "leases never exceed the request");
+                        for i in lease.start..lease.end() {
+                            prop_assert!(outstanding.insert(i), "index {} double-issued", i);
+                        }
+                        held.push(lease);
+                    }
+                    4..=7 => {
+                        if held.is_empty() {
+                            continue;
+                        }
+                        let lease = held.swap_remove(sel % held.len());
+                        let off = u64::from(off_seed) % lease.len;
+                        let n = 1 + u64::from(len_seed) % (lease.len - off);
+                        // Split the held lease around the reclaimed range;
+                        // the pieces stay issued and reclaimable later.
+                        if off > 0 {
+                            held.push(IndexLease::new(lease.start, off));
+                        }
+                        let tail = lease.len - off - n;
+                        if tail > 0 {
+                            held.push(IndexLease::new(lease.start + off + n, tail));
+                        }
+                        a.reclaim(IndexLease::new(lease.start + off, n));
+                        for i in lease.start + off..lease.start + off + n {
+                            prop_assert!(outstanding.remove(&i), "index {} was not issued", i);
+                        }
+                    }
+                    _ => {
+                        a.rewind();
+                        outstanding.clear();
+                        held.clear();
+                    }
+                }
+                prop_assert_eq!(a.outstanding(), outstanding.len() as u64);
+                prop_assert_eq!(a.next_index(), lowest_free(&outstanding));
+            }
+        }
+    }
+}

@@ -82,10 +82,10 @@ pub use qos::{
     Admission, AimdPacer, ClassStats, PacerConfig, Priority, QosClass, QosCoalescer, QosOrdering,
     QosPolicy, QosStats, ShardLoad, ShedReason,
 };
-pub use remote::{ShardServer, TcpTransport};
+pub use remote::{Connect, RetryPolicy, ShardServer, TcpTransport};
 pub use router::{FleetHandle, FleetPolicy, FleetStats, RoutePolicy};
 pub use scheduler::{spawn, BatchRunner};
-pub use transport::{LocalTransport, ShardControl, ShardTransport};
+pub use transport::{LocalTransport, Orphan, ShardControl, ShardTransport};
 
 use aimc_dnn::{ExecError, Tensor};
 use std::time::Duration;

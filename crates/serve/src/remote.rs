@@ -4,9 +4,12 @@
 //! [`ShardServer`] is the host side — it owns a shard (any
 //! [`ShardTransport`], typically a [`LocalTransport`](crate::LocalTransport)
 //! whose replica was programmed from the fleet's seed) and serves the
-//! protocol on a connection. [`TcpTransport`] is the router side — it
-//! implements [`ShardTransport`] by encoding every operation as wire
-//! frames, so the router cannot tell a remote shard from a local one.
+//! protocol: [`ShardServer::serve_forever`] accepts concurrent
+//! connections, each with its own protocol loop, so a dropped client can
+//! reconnect to a still-programmed replica while other clients keep
+//! streaming. [`TcpTransport`] is the router side — it implements
+//! [`ShardTransport`] by encoding every operation as wire frames, so the
+//! router cannot tell a remote shard from a local one.
 //!
 //! Both ends are stream-agnostic: a real `TcpStream`, or an in-memory
 //! [`aimc_wire::duplex`] pipe in tests — the protocol bytes are identical.
@@ -23,10 +26,33 @@
 //! byte stream fills, and the client's `submit_indexed` blocks in `write`
 //! — the same push-back a local submitter feels, propagated through the
 //! pipe.
+//!
+//! ## Link death, reconnect, and go-back-N replay
+//!
+//! A transport built with [`TcpTransport::connect`] (or
+//! [`TcpTransport::with_connector`]) survives link death: every submitted
+//! request keeps its `(index, image)` pair buffered until its reply
+//! arrives, so when the connection drops the transport re-dials (bounded
+//! attempts with backoff, per [`RetryPolicy`]), announces itself with
+//! `Hello { resumed: true }`, and retransmits the unacknowledged tail of
+//! each lease in ascending index order — go-back-N per lease, framed by
+//! an advisory `ReplayLeases`. Replay may re-execute a request whose
+//! reply was lost in flight; that is harmless by construction, because
+//! noise is keyed by the global coordinate (re-running index `k` yields
+//! bit-identical logits) and the client ignores a reply for an index it
+//! no longer has pending. Control commands are level-based (drift to an
+//! absolute time, reprogram from the seed), so the client resends one
+//! that was cut off mid-call.
+//!
+//! When the retry budget is exhausted the transport closes and parks its
+//! unacknowledged requests as [`Orphan`]s instead of cancelling them —
+//! the fleet router harvests those with
+//! [`ShardTransport::take_orphans`] and re-routes each at its original
+//! coordinate, so eviction never shifts an index.
 
 use crate::handle::{pending_pair, CompletionSlot, Pending, ServeError, ServeStats};
 use crate::qos::{Admission, Priority, QosClass, ShardLoad};
-use crate::transport::ShardTransport;
+use crate::transport::{Orphan, ShardTransport};
 use aimc_dnn::Tensor;
 use aimc_parallel::Parallelism;
 use aimc_wire::{
@@ -35,8 +61,8 @@ use aimc_wire::{
 };
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -52,8 +78,11 @@ type ReplyReceiver = Receiver<(u64, Pending)>;
 ///
 /// The server is connection-oriented: [`ShardServer::serve_stream`] runs
 /// the protocol loop for one client until it disconnects or sends
-/// `Shutdown`. The shard itself outlives connections, so a dropped client
-/// can reconnect to a still-programmed replica.
+/// `Shutdown`, and [`ShardServer::serve_forever`] accepts connections
+/// concurrently, each on its own session thread. The shard itself
+/// outlives connections, so a dropped client can reconnect to a
+/// still-programmed replica and replay its unacknowledged requests.
+#[derive(Clone)]
 pub struct ShardServer {
     shard: Arc<dyn ShardTransport>,
 }
@@ -86,6 +115,50 @@ impl ShardServer {
         self.serve_stream(stream, writer)
     }
 
+    /// Accepts connections until the shard shuts down, serving each on its
+    /// own session thread — so a reconnecting client never waits behind an
+    /// established one, and several routers can stream to one replica.
+    ///
+    /// Returns once the shard is closed (a client sent `Shutdown`, or the
+    /// shard was shut down out-of-band) and every session has ended;
+    /// sessions end when their client disconnects.
+    ///
+    /// # Errors
+    /// Accept failures other than transient unreadiness.
+    pub fn serve_forever(&self, listener: &TcpListener) -> io::Result<()> {
+        // Non-blocking accept so shard shutdown is noticed promptly even
+        // with no connection attempts arriving.
+        listener.set_nonblocking(true)?;
+        let mut sessions = Vec::new();
+        while !self.shard.is_closed() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true).ok();
+                    let writer = stream.try_clone()?;
+                    let server = self.clone();
+                    sessions.push(
+                        std::thread::Builder::new()
+                            .name("aimc-shard-session".into())
+                            .spawn(move || {
+                                let _ = server.serve_stream(stream, writer);
+                            })
+                            .expect("spawn shard session"),
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+            sessions.retain(|s| !s.is_finished());
+        }
+        for session in sessions {
+            let _ = session.join();
+        }
+        Ok(())
+    }
+
     /// Runs the protocol loop on an established connection: decodes frames
     /// from `reader`, drives the shard, and writes replies to `writer`.
     /// Returns on clean disconnect (EOF between frames) or after answering
@@ -110,11 +183,19 @@ impl ShardServer {
             std::thread::Builder::new()
                 .name("aimc-shard-replier".into())
                 .spawn(move || {
+                    // Once the writer dies the channel is still drained —
+                    // each remaining Pending is waited (so serve_stream
+                    // returns only after every accepted request's shard
+                    // ticket settled) and its reply discarded.
+                    let mut writer_alive = true;
                     for (global_index, pending) in rx {
                         let outcome = match pending.wait() {
                             Ok(t) => Ok(t),
                             Err(e) => Err(reply_error(e)),
                         };
+                        if !writer_alive {
+                            continue;
+                        }
                         // ECN-style marking: each reply carries the
                         // shard's pressure bit at write time (level-
                         // triggered, like a switch marking packets while
@@ -125,9 +206,7 @@ impl ShardServer {
                             outcome,
                         });
                         if write_frame(&mut *writer.lock().unwrap(), &frame).is_err() {
-                            // Writer gone: the client vanished; draining
-                            // the channel keeps shard tickets settling.
-                            break;
+                            writer_alive = false;
                         }
                     }
                 })
@@ -163,6 +242,7 @@ impl ShardServer {
                 Err(e) => return Err(e),
             };
             match frame {
+                Frame::Hello { resumed: _ } => reply(&Frame::HelloAck)?,
                 Frame::Request(ShardRequest {
                     global_index,
                     class,
@@ -178,6 +258,16 @@ impl ShardServer {
                     }))?,
                 },
                 Frame::Lease(lease) => self.shard.grant_lease(lease),
+                // Advisory preface of a go-back-N retransmission: the
+                // leases whose unacknowledged tails follow as Requests.
+                // Replayed requests may duplicate already-executed ones;
+                // coordinate-keyed noise makes the re-execution
+                // bit-identical, and the client drops duplicate replies.
+                Frame::ReplayLeases(leases) => {
+                    for lease in leases {
+                        self.shard.grant_lease(lease);
+                    }
+                }
                 Frame::Drain => {
                     self.shard.drain();
                     reply(&Frame::DrainDone)?;
@@ -298,10 +388,83 @@ fn from_wire_stats(s: WireStats) -> ServeStats {
 
 // ---------------------------------------------------------------- client
 
+/// Dials one fresh connection to a shard server.
+///
+/// A replay-capable [`TcpTransport`] keeps its connector for the
+/// connection's whole lifetime: every time the link dies it re-dials
+/// through it (within the [`RetryPolicy`] budget) and replays the
+/// unacknowledged requests on the new stream. Tests implement this over
+/// in-memory pipes (optionally wrapped in
+/// [`aimc_wire::FaultyEnd`]) to script churn.
+pub trait Connect: Send + Sync {
+    /// Establishes a new connection, returning its reader and writer
+    /// halves.
+    ///
+    /// # Errors
+    /// Dial failures; the caller retries within its [`RetryPolicy`].
+    fn connect(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)>;
+}
+
+/// Reconnect budget of a replay-capable transport: how many dials to
+/// attempt after a link death, with linearly growing backoff between
+/// them. Once the budget is exhausted the transport closes and parks its
+/// unacknowledged requests as [`Orphan`]s for the router to re-route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// At most `max_attempts` dials per outage, sleeping `backoff × n`
+    /// before the n-th re-attempt.
+    pub const fn new(max_attempts: u32, backoff: Duration) -> Self {
+        RetryPolicy {
+            max_attempts,
+            backoff,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new(3, Duration::from_millis(10))
+    }
+}
+
+/// A TCP [`Connect`]or: re-dials the same address.
+struct TcpConnector {
+    addr: SocketAddr,
+}
+
+impl Connect for TcpConnector {
+    fn connect(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        Ok((Box::new(reader), Box::new(stream)))
+    }
+}
+
+/// One submitted-but-unanswered request. The image is retained so a
+/// reconnect can retransmit it (go-back-N); it is dropped with the entry
+/// when the reply lands.
+struct PendingEntry {
+    slot: Arc<CompletionSlot>,
+    class: QosClass,
+    image: Tensor,
+}
+
+/// How a replay-capable transport re-establishes its link.
+struct ReplayConfig {
+    connector: Box<dyn Connect>,
+    retry: RetryPolicy,
+}
+
 struct RemoteState {
-    /// Requests submitted and not yet answered, by global index, with the
-    /// priority band each occupies (for per-class load reporting).
-    pending: HashMap<u64, (Arc<CompletionSlot>, Priority)>,
+    /// Requests submitted and not yet answered, by global index — the
+    /// go-back-N retransmission buffer.
+    pending: HashMap<u64, PendingEntry>,
     /// Client-side refusals (the link was already closed) — the server
     /// never saw these, so they are merged into [`TcpTransport::stats`].
     rejected: u64,
@@ -326,12 +489,24 @@ struct RemoteState {
     /// here before any frame is written, so the server never sees them;
     /// folded into [`ShardTransport::stats`] alongside the server ledger.
     infeasible: [u64; Priority::COUNT],
+    /// Leases granted to this shard, kept so a reconnect can announce the
+    /// blocks whose tails it retransmits. Pruned against `pending` when it
+    /// grows.
+    granted: Vec<IndexLease>,
+    /// Whether the link currently has a live writer. `false` during an
+    /// outage (between link death and a successful replay); submissions
+    /// wait on `state_cv` for it rather than racing the reconnect.
+    link_up: bool,
+    /// Requests stranded by a permanent link death, awaiting
+    /// [`ShardTransport::take_orphans`].
+    orphans: Vec<Orphan>,
 }
 
 struct RemoteInner {
     writer: Mutex<Box<dyn Write + Send>>,
     state: Mutex<RemoteState>,
-    /// Signals `pending` transitions (drain waits on it).
+    /// Signals `pending` transitions (drain waits on it) and link
+    /// up/down/epoch transitions.
     state_cv: Condvar,
     /// One-deep mailbox for control replies; the control lock serializes
     /// users, so depth one suffices.
@@ -339,22 +514,90 @@ struct RemoteInner {
     mailbox_cv: Condvar,
     /// Serializes control commands (one outstanding per connection).
     control: Mutex<()>,
-    /// Set on shutdown or link death; checked lock-free on every path.
+    /// Set on shutdown or permanent link death; checked lock-free on
+    /// every path.
     closed: AtomicBool,
+    /// Reconnect configuration; `None` for a transport over a fixed
+    /// stream ([`TcpTransport::over`]), whose link death cancels instead
+    /// of replaying.
+    replay: Option<ReplayConfig>,
+    /// Bumped on every link death, so a control call waiting for its
+    /// reply can tell "the link I wrote on died" from a slow server and
+    /// resend on the replacement link.
+    link_epoch: AtomicU64,
+    /// Set at the start of [`ShardTransport::shutdown`]: the EOF the
+    /// server sends after `ShutdownDone` must not trigger a reconnect.
+    shutting_down: AtomicBool,
 }
 
 impl RemoteInner {
-    /// Marks the link dead and cancels everything outstanding.
+    /// Marks the link permanently dead and cancels everything
+    /// outstanding.
     fn close_link(&self) {
         self.closed.store(true, Ordering::SeqCst);
         let mut st = self.state.lock().unwrap();
-        for (_, (slot, _)) in st.pending.drain() {
-            slot.fulfill(Err(ServeError::Canceled));
+        st.link_up = false;
+        for (_, entry) in st.pending.drain() {
+            entry.slot.fulfill(Err(ServeError::Canceled));
         }
         st.class_in_flight = [0; Priority::COUNT];
         drop(st);
+        // A reply parked by a link that died mid-control must not be
+        // misdelivered to the next control call.
+        *self.mailbox.lock().unwrap() = None;
         self.state_cv.notify_all();
         self.mailbox_cv.notify_all();
+    }
+
+    /// Marks the link down (but recoverable): submissions start waiting,
+    /// the epoch moves so in-flight control calls abandon the dead link,
+    /// and any stale control reply is dropped.
+    fn note_link_down(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.link_up = false;
+        st.last_reply_at = None;
+        self.link_epoch.fetch_add(1, Ordering::SeqCst);
+        drop(st);
+        *self.mailbox.lock().unwrap() = None;
+        self.state_cv.notify_all();
+        self.mailbox_cv.notify_all();
+    }
+
+    /// Permanent link death after a spent retry budget: closes the
+    /// transport but parks the unacknowledged requests as [`Orphan`]s —
+    /// the router re-routes them at their original coordinates instead of
+    /// surfacing cancellations.
+    fn park_orphans(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let mut st = self.state.lock().unwrap();
+        st.link_up = false;
+        let stranded: Vec<Orphan> = st
+            .pending
+            .drain()
+            .map(|(index, entry)| Orphan {
+                index,
+                image: entry.image,
+                class: entry.class,
+                slot: entry.slot,
+            })
+            .collect();
+        st.orphans.extend(stranded);
+        st.class_in_flight = [0; Priority::COUNT];
+        drop(st);
+        *self.mailbox.lock().unwrap() = None;
+        self.state_cv.notify_all();
+        self.mailbox_cv.notify_all();
+    }
+}
+
+impl Drop for RemoteInner {
+    fn drop(&mut self) {
+        // Orphans nobody harvested settle as cancellations rather than
+        // hanging their callers forever.
+        let state = self.state.get_mut().unwrap();
+        for orphan in state.orphans.drain(..) {
+            orphan.slot.fulfill(Err(ServeError::Canceled));
+        }
     }
 }
 
@@ -362,9 +605,12 @@ impl RemoteInner {
 /// speaking the wire protocol to a [`ShardServer`] (see the module docs).
 ///
 /// Despite the name, the transport runs over **any** byte stream:
-/// [`TcpTransport::connect`] for sockets, [`TcpTransport::over`] for
-/// anything `Read + Write` — e.g. an [`aimc_wire::duplex`] pipe in tests.
-/// Clone-able; clones share the connection.
+/// [`TcpTransport::connect`] for sockets (reconnect-and-replay capable),
+/// [`TcpTransport::with_connector`] for a custom dialer, and
+/// [`TcpTransport::over`] for a fixed `Read + Write` pair — e.g. an
+/// [`aimc_wire::duplex`] pipe in tests — whose link death cancels
+/// outstanding requests instead of replaying. Clone-able; clones share
+/// the connection.
 #[derive(Clone)]
 pub struct TcpTransport {
     inner: Arc<RemoteInner>,
@@ -379,23 +625,58 @@ impl std::fmt::Debug for TcpTransport {
 }
 
 impl TcpTransport {
-    /// Connects to a [`ShardServer`] listening at `addr`.
+    /// Connects to a [`ShardServer`] listening at `addr`, with the default
+    /// [`RetryPolicy`] governing reconnect-and-replay on link death.
     ///
     /// # Errors
-    /// Connection failures.
+    /// Connection or handshake failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = stream.try_clone()?;
-        Ok(Self::over(reader, stream))
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        Self::with_connector(Box::new(TcpConnector { addr }), RetryPolicy::default())
+    }
+
+    /// Connects through an arbitrary [`Connect`]or, keeping it for
+    /// reconnect-and-replay under `retry` when the link dies.
+    ///
+    /// # Errors
+    /// Initial dial or handshake failures.
+    pub fn with_connector(connector: Box<dyn Connect>, retry: RetryPolicy) -> io::Result<Self> {
+        let (mut reader, mut writer) = connector.connect()?;
+        write_frame(&mut writer, &Frame::Hello { resumed: false })?;
+        match read_frame(&mut reader)? {
+            Frame::HelloAck => {}
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected HelloAck, got {other:?}"),
+                ))
+            }
+        }
+        Ok(Self::start(
+            reader,
+            writer,
+            Some(ReplayConfig { connector, retry }),
+        ))
     }
 
     /// Wraps an established duplex byte stream (reader half + writer
     /// half). A background thread consumes `reader` for the connection's
-    /// lifetime.
+    /// lifetime. No reconnect is possible on a fixed stream, so link
+    /// death cancels outstanding requests.
     pub fn over(reader: impl Read + Send + 'static, writer: impl Write + Send + 'static) -> Self {
+        Self::start(Box::new(reader), Box::new(writer), None)
+    }
+
+    fn start(
+        reader: Box<dyn Read + Send>,
+        writer: Box<dyn Write + Send>,
+        replay: Option<ReplayConfig>,
+    ) -> Self {
         let inner = Arc::new(RemoteInner {
-            writer: Mutex::new(Box::new(writer)),
+            writer: Mutex::new(writer),
             state: Mutex::new(RemoteState {
                 pending: HashMap::new(),
                 rejected: 0,
@@ -405,17 +686,25 @@ impl TcpTransport {
                 est_image_ns: 0,
                 last_reply_at: None,
                 infeasible: [0; Priority::COUNT],
+                granted: Vec::new(),
+                link_up: true,
+                orphans: Vec::new(),
             }),
             state_cv: Condvar::new(),
             mailbox: Mutex::new(None),
             mailbox_cv: Condvar::new(),
             control: Mutex::new(()),
             closed: AtomicBool::new(false),
+            replay,
+            link_epoch: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
         });
         let thread_inner = Arc::clone(&inner);
+        // The thread settles everything in close_link/park_orphans before
+        // exiting, so nothing needs to join it.
         std::thread::Builder::new()
             .name("aimc-remote-reader".into())
-            .spawn(move || reader_loop(reader, &thread_inner))
+            .spawn(move || run_reader(reader, &thread_inner))
             .expect("spawn remote reader");
         TcpTransport { inner }
     }
@@ -425,29 +714,66 @@ impl TcpTransport {
     }
 
     /// Sends one control frame and blocks for its reply (control traffic
-    /// is strictly one-outstanding, enforced by the control lock).
-    fn control(&self, frame: &Frame) -> Result<Frame, ServeError> {
+    /// is strictly one-outstanding, enforced by the control lock). On a
+    /// replay-capable link a death mid-call resends the frame on the
+    /// replacement link — control operations are level-based, so
+    /// re-execution is safe.
+    fn control(&self, request: &Frame) -> Result<Frame, ServeError> {
         let _serial = self.inner.control.lock().unwrap();
-        if self.is_link_closed() {
-            return Err(ServeError::ShutDown);
-        }
-        {
-            let mut w = self.inner.writer.lock().unwrap();
-            if write_frame(&mut *w, frame).is_err() {
-                drop(w);
-                self.inner.close_link();
-                return Err(ServeError::ShutDown);
-            }
-        }
-        let mut mail = self.inner.mailbox.lock().unwrap();
         loop {
-            if let Some(reply) = mail.take() {
-                return Ok(reply);
+            // Wait out any reconnect in progress before writing.
+            {
+                let mut st = self.inner.state.lock().unwrap();
+                while !st.link_up {
+                    if self.is_link_closed() {
+                        return Err(ServeError::ShutDown);
+                    }
+                    st = self.inner.state_cv.wait(st).unwrap();
+                }
             }
-            if self.is_link_closed() {
-                return Err(ServeError::ShutDown);
+            let epoch = self.inner.link_epoch.load(Ordering::SeqCst);
+            let write_ok = write_frame(&mut *self.inner.writer.lock().unwrap(), request).is_ok();
+            if !write_ok {
+                if self.inner.replay.is_none() {
+                    self.inner.close_link();
+                    return Err(ServeError::ShutDown);
+                }
+                // The reader thread notices the death and reconnects;
+                // wait for the epoch to move (or the link to close) and
+                // resend.
+                self.wait_epoch_change(epoch);
+                continue;
             }
-            mail = self.inner.mailbox_cv.wait(mail).unwrap();
+            let mut mail = self.inner.mailbox.lock().unwrap();
+            let reply = loop {
+                if let Some(reply) = mail.take() {
+                    break Some(reply);
+                }
+                if self.is_link_closed() {
+                    return Err(ServeError::ShutDown);
+                }
+                if self.inner.link_epoch.load(Ordering::SeqCst) != epoch {
+                    // Link died mid-call; the mailbox was flushed with it.
+                    break None;
+                }
+                mail = self.inner.mailbox_cv.wait(mail).unwrap();
+            };
+            let Some(reply) = reply else { continue };
+            if !control_reply_matches(request, &reply) {
+                return Err(ServeError::Remote(format!(
+                    "protocol violation: control reply {reply:?} does not answer {request:?}"
+                )));
+            }
+            return Ok(reply);
+        }
+    }
+
+    /// Blocks until the link epoch moves past `epoch` or the transport
+    /// closes.
+    fn wait_epoch_change(&self, epoch: u64) {
+        let mut st = self.inner.state.lock().unwrap();
+        while self.inner.link_epoch.load(Ordering::SeqCst) == epoch && !self.is_link_closed() {
+            st = self.inner.state_cv.wait(st).unwrap();
         }
     }
 
@@ -460,9 +786,48 @@ impl TcpTransport {
     }
 }
 
-fn reader_loop(mut reader: impl Read, inner: &RemoteInner) {
+/// Whether `reply` is the reply type that answers control frame
+/// `request`.
+fn control_reply_matches(request: &Frame, reply: &Frame) -> bool {
+    matches!(
+        (request, reply),
+        (Frame::Drain, Frame::DrainDone)
+            | (Frame::Shutdown, Frame::ShutdownDone)
+            | (Frame::ApplyDrift(_), Frame::DriftDone(_))
+            | (Frame::Reprogram, Frame::ReprogramDone(_))
+            | (Frame::SetParallelism(_), Frame::ParallelismSet)
+            | (Frame::StatsProbe, Frame::Stats(_))
+    )
+}
+
+/// The reader thread: consumes replies until the link dies, then — on a
+/// replay-capable transport — reconnects and retransmits go-back-N, or
+/// parks the pendings as orphans once the retry budget is spent.
+fn run_reader(mut reader: Box<dyn Read + Send>, inner: &Arc<RemoteInner>) {
     loop {
-        match read_frame(&mut reader) {
+        reader_loop(&mut reader, inner);
+        // The link is dead: EOF, a decode error, or a protocol violation.
+        let resumable = inner.replay.is_some()
+            && !inner.shutting_down.load(Ordering::SeqCst)
+            && !inner.closed.load(Ordering::SeqCst);
+        if !resumable {
+            inner.close_link();
+            return;
+        }
+        inner.note_link_down();
+        match reconnect_and_replay(inner) {
+            Ok(new_reader) => reader = new_reader,
+            Err(_) => {
+                inner.park_orphans();
+                return;
+            }
+        }
+    }
+}
+
+fn reader_loop(reader: &mut impl Read, inner: &RemoteInner) {
+    loop {
+        match read_frame(reader) {
             Ok(Frame::Reply(ShardReply {
                 global_index,
                 marked,
@@ -470,8 +835,11 @@ fn reader_loop(mut reader: impl Read, inner: &RemoteInner) {
             })) => {
                 let now = Instant::now();
                 let mut st = inner.state.lock().unwrap();
-                if let Some((slot, priority)) = st.pending.remove(&global_index) {
-                    let rank = priority.rank();
+                // A duplicate reply (the original raced a replayed
+                // re-execution) finds no entry and is dropped — both carry
+                // bit-identical logits, so either serves.
+                if let Some(entry) = st.pending.remove(&global_index) {
+                    let rank = entry.class.priority.rank();
                     st.class_in_flight[rank] = st.class_in_flight[rank].saturating_sub(1);
                     // Level-triggered latch of the shard's pressure bit.
                     st.pressure = marked;
@@ -489,7 +857,7 @@ fn reader_loop(mut reader: impl Read, inner: &RemoteInner) {
                         }
                     }
                     st.last_reply_at = (!st.pending.is_empty()).then_some(now);
-                    slot.fulfill(outcome.map_err(serve_error));
+                    entry.slot.fulfill(outcome.map_err(serve_error));
                 }
                 drop(st);
                 inner.state_cv.notify_all();
@@ -507,10 +875,85 @@ fn reader_loop(mut reader: impl Read, inner: &RemoteInner) {
             }
             // Client-to-server frames echoed back, or decode/link errors:
             // the connection is unusable either way.
-            Ok(_) | Err(_) => break,
+            Ok(_) | Err(_) => return,
         }
     }
-    inner.close_link();
+}
+
+/// Re-dials within the retry budget; on success the go-back-N replay has
+/// already been written and the link marked up.
+fn reconnect_and_replay(inner: &RemoteInner) -> io::Result<Box<dyn Read + Send>> {
+    let replay = inner.replay.as_ref().expect("reconnect needs a connector");
+    let mut last = io::Error::new(io::ErrorKind::ConnectionRefused, "retry budget is zero");
+    for attempt in 0..replay.retry.max_attempts {
+        if attempt > 0 {
+            std::thread::sleep(replay.retry.backoff.saturating_mul(attempt));
+        }
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "shutting down"));
+        }
+        match try_resume(inner, replay) {
+            Ok(reader) => return Ok(reader),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// One resume attempt: dial, handshake with `Hello { resumed: true }`,
+/// then — under the writer lock, so no submission interleaves — announce
+/// the leases still carrying unacknowledged work and retransmit those
+/// requests in ascending index order (go-back-N per lease: lease blocks
+/// are contiguous, so the ascending replay is exactly each lease's
+/// unacknowledged tail).
+fn try_resume(inner: &RemoteInner, replay: &ReplayConfig) -> io::Result<Box<dyn Read + Send>> {
+    let (mut reader, mut writer) = replay.connector.connect()?;
+    write_frame(&mut writer, &Frame::Hello { resumed: true })?;
+    match read_frame(&mut reader)? {
+        Frame::HelloAck => {}
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected HelloAck, got {other:?}"),
+            ))
+        }
+    }
+    let mut current = inner.writer.lock().unwrap();
+    // Snapshot under the state lock; anything registered later writes its
+    // own frame once the writer lock frees (submissions wait for link_up,
+    // which is still false here).
+    let (leases, backlog) = {
+        let st = inner.state.lock().unwrap();
+        let leases: Vec<IndexLease> = st
+            .granted
+            .iter()
+            .filter(|lease| st.pending.keys().any(|&i| lease.contains(i)))
+            .copied()
+            .collect();
+        let mut backlog: Vec<(u64, QosClass, Tensor)> = st
+            .pending
+            .iter()
+            .map(|(&i, entry)| (i, entry.class, entry.image.clone()))
+            .collect();
+        backlog.sort_unstable_by_key(|&(i, ..)| i);
+        (leases, backlog)
+    };
+    write_frame(&mut writer, &Frame::ReplayLeases(leases))?;
+    for (global_index, class, image) in backlog {
+        write_frame(
+            &mut writer,
+            &Frame::Request(ShardRequest {
+                global_index,
+                class,
+                image,
+            }),
+        )?;
+    }
+    *current = writer;
+    drop(current);
+    inner.state.lock().unwrap().link_up = true;
+    inner.state_cv.notify_all();
+    Ok(reader)
 }
 
 impl ShardTransport for TcpTransport {
@@ -528,13 +971,31 @@ impl ShardTransport for TcpTransport {
         let rank = class.priority.rank();
         {
             let mut st = self.inner.state.lock().unwrap();
+            // During an outage, wait for the replay to finish rather than
+            // racing it: registering mid-replay could miss both the
+            // snapshot and the new writer.
+            while !st.link_up {
+                if self.is_link_closed() {
+                    st.rejected += 1;
+                    return Err(ServeError::ShutDown);
+                }
+                st = self.inner.state_cv.wait(st).unwrap();
+            }
             if self.is_link_closed() {
                 st.rejected += 1;
                 return Err(ServeError::ShutDown);
             }
             // Registered before the frame is written, so a reply can never
-            // race past its slot.
-            st.pending.insert(index, (slot, class.priority));
+            // race past its slot — and so a link death between here and
+            // the write leaves the request in the replay buffer.
+            st.pending.insert(
+                index,
+                PendingEntry {
+                    slot,
+                    class,
+                    image: image.clone(),
+                },
+            );
             st.class_in_flight[rank] += 1;
         }
         let frame = Frame::Request(ShardRequest {
@@ -544,13 +1005,26 @@ impl ShardTransport for TcpTransport {
         });
         let write_ok = write_frame(&mut *self.inner.writer.lock().unwrap(), &frame).is_ok();
         if !write_ok {
-            // Link died mid-submit: roll the registration back and refuse.
+            if self.inner.replay.is_some() && !self.is_link_closed() {
+                // The link died mid-submit but is recoverable: the request
+                // is registered, so the reconnect replay retransmits it.
+                return Ok(pending);
+            }
+            // Permanently dead: roll the registration back and refuse. The
+            // entry may have moved to the orphan list if the park raced
+            // us — remove it from wherever it landed, since the caller
+            // sees an error and the index will be re-issued.
             let mut st = self.inner.state.lock().unwrap();
-            st.pending.remove(&index);
-            st.class_in_flight[rank] = st.class_in_flight[rank].saturating_sub(1);
+            if st.pending.remove(&index).is_some() {
+                st.class_in_flight[rank] = st.class_in_flight[rank].saturating_sub(1);
+            } else if let Some(pos) = st.orphans.iter().position(|o| o.index == index) {
+                st.orphans.swap_remove(pos);
+            }
             st.rejected += 1;
             drop(st);
-            self.inner.close_link();
+            if self.inner.replay.is_none() {
+                self.inner.close_link();
+            }
             return Err(ServeError::ShutDown);
         }
         Ok(pending)
@@ -597,6 +1071,17 @@ impl ShardTransport for TcpTransport {
         if self.is_link_closed() {
             return;
         }
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.granted.push(lease);
+            // Bound the record: leases whose every index was acknowledged
+            // will never be replayed.
+            if st.granted.len() > 64 {
+                let live: Vec<u64> = st.pending.keys().copied().collect();
+                st.granted
+                    .retain(|l| live.iter().any(|&i| l.contains(i)) || *l == lease);
+            }
+        }
         // Advisory fire-and-forget; a failed write surfaces on the next
         // submission.
         let _ = write_frame(
@@ -613,12 +1098,16 @@ impl ShardTransport for TcpTransport {
         if !self.is_link_closed() {
             let _ = self.control(&Frame::Drain); // DrainDone or closed link
         }
-        // Either way every outstanding request settles: replies were
-        // flushed before DrainDone, and a dead link cancels its pendings.
+        // Either way every outstanding request settles or parks: replies
+        // were flushed before DrainDone, a dead link cancels its pendings,
+        // and an exhausted retry budget moves them to the orphan list.
         self.wait_pending_empty();
     }
 
     fn shutdown(&self) {
+        // From here the reader must not reconnect: the EOF after
+        // ShutdownDone is the server hanging up, not an outage.
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
         if !self.is_link_closed() {
             self.drain();
             // Cache the final server statistics while the link still
@@ -631,10 +1120,19 @@ impl ShardTransport for TcpTransport {
             self.inner.close_link();
         }
         self.wait_pending_empty();
+        // Orphans nobody harvested settle as cancellations at shutdown.
+        let stranded = std::mem::take(&mut self.inner.state.lock().unwrap().orphans);
+        for orphan in stranded {
+            orphan.slot.fulfill(Err(ServeError::Canceled));
+        }
     }
 
     fn is_closed(&self) -> bool {
         self.is_link_closed()
+    }
+
+    fn take_orphans(&self) -> Vec<Orphan> {
+        std::mem::take(&mut self.inner.state.lock().unwrap().orphans)
     }
 
     fn stats(&self) -> ServeStats {
@@ -682,7 +1180,9 @@ mod tests {
     use crate::transport::{LocalTransport, ShardControl};
     use crate::{spawn, BatchPolicy};
     use aimc_dnn::{ExecError, Shape};
-    use aimc_wire::duplex;
+    use aimc_wire::{duplex, FaultPlan, FaultyEnd};
+    use std::collections::VecDeque;
+    use std::sync::atomic::AtomicU32;
 
     fn tensor(v: f32) -> Tensor {
         Tensor::from_vec(Shape::new(1, 1, 1), vec![v])
@@ -716,9 +1216,9 @@ mod tests {
         }
     }
 
-    /// An echo shard over a duplex pipe: results encode (index, value) so
-    /// tests can verify the coordinate each request ran at.
-    fn piped_shard(control: Arc<RecordingControl>) -> (TcpTransport, std::thread::JoinHandle<()>) {
+    /// An echo shard server: results encode (index, value) so tests can
+    /// verify the coordinate each request ran at.
+    fn echo_server(control: Arc<RecordingControl>) -> ShardServer {
         let handle = spawn(
             BatchPolicy::new(2, Duration::from_millis(1)),
             |indices: &[u64], inputs: &[Tensor]| {
@@ -729,7 +1229,12 @@ mod tests {
                     .collect())
             },
         );
-        let server = ShardServer::new(Box::new(LocalTransport::new(handle, Box::new(control))));
+        ShardServer::new(Box::new(LocalTransport::new(handle, Box::new(control))))
+    }
+
+    /// An echo shard over a duplex pipe (the fixed-stream `over` path).
+    fn piped_shard(control: Arc<RecordingControl>) -> (TcpTransport, std::thread::JoinHandle<()>) {
+        let server = echo_server(control);
         let (client_end, server_end) = duplex();
         let server_thread = std::thread::spawn({
             let reader = server_end.clone();
@@ -740,6 +1245,49 @@ mod tests {
         });
         let reader = client_end.clone();
         (TcpTransport::over(reader, client_end), server_thread)
+    }
+
+    /// A [`Connect`]or over in-memory pipes: each dial spawns a fresh
+    /// `serve_stream` session against the shared server and wires the
+    /// client's writer through a scripted [`FaultyEnd`]. An exhausted
+    /// script refuses further dials (a permanently dead host).
+    struct PipeConnector {
+        server: Arc<ShardServer>,
+        plans: Mutex<VecDeque<FaultPlan>>,
+        dials: AtomicU32,
+    }
+
+    impl PipeConnector {
+        fn new(server: ShardServer, plans: Vec<FaultPlan>) -> Self {
+            PipeConnector {
+                server: Arc::new(server),
+                plans: Mutex::new(plans.into()),
+                dials: AtomicU32::new(0),
+            }
+        }
+    }
+
+    impl Connect for PipeConnector {
+        fn connect(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+            let Some(plan) = self.plans.lock().unwrap().pop_front() else {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "host is gone",
+                ));
+            };
+            self.dials.fetch_add(1, Ordering::SeqCst);
+            let (client_end, server_end) = duplex();
+            let server = Arc::clone(&self.server);
+            std::thread::spawn(move || {
+                let reader = server_end.clone();
+                let writer = server_end.clone();
+                let _ = server.serve_stream(reader, writer);
+                // A finished session hangs up, so the client sees EOF.
+                server_end.close();
+            });
+            let reader = client_end.clone();
+            Ok((Box::new(reader), Box::new(FaultyEnd::new(client_end, plan))))
+        }
     }
 
     #[test]
@@ -806,8 +1354,9 @@ mod tests {
         server.join().unwrap();
     }
 
-    /// A vanished server cancels outstanding requests instead of hanging
-    /// the client, and later operations fail cleanly.
+    /// A vanished server cancels outstanding requests on a fixed-stream
+    /// (`over`) transport instead of hanging the client, and later
+    /// operations fail cleanly.
     #[test]
     fn dead_link_cancels_outstanding_requests() {
         let handle = spawn(
@@ -838,5 +1387,201 @@ mod tests {
         assert!(t.reprogram().is_err());
         handle.shutdown();
         server_thread.join().unwrap();
+    }
+
+    /// Regression for the replier short-circuit: after the client
+    /// vanishes mid-stream, the replier must still wait every queued
+    /// `Pending` (discarding the replies), so `serve_stream` returns only
+    /// once all accepted requests' shard tickets settled.
+    #[test]
+    fn replier_waits_every_queued_reply_after_writer_death() {
+        let handle = spawn(
+            BatchPolicy::new(1, Duration::ZERO),
+            |indices: &[u64], inputs: &[Tensor]| {
+                if indices[0] > 0 {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Ok(inputs.to_vec())
+            },
+        );
+        let server = ShardServer::new(Box::new(LocalTransport::new(
+            handle.clone(),
+            Box::new(Arc::new(RecordingControl::default())),
+        )));
+        let (client_end, server_end) = duplex();
+        let server_thread = std::thread::spawn({
+            let reader = server_end.clone();
+            let writer = server_end;
+            move || {
+                let _ = server.serve_stream(reader, writer);
+            }
+        });
+        let t = TcpTransport::over(client_end.clone(), client_end.clone());
+        let p0 = t.submit_indexed(0, tensor(0.0)).unwrap();
+        let _p1 = t.submit_indexed(1, tensor(1.0)).unwrap();
+        let _p2 = t.submit_indexed(2, tensor(2.0)).unwrap();
+        p0.wait().unwrap();
+        // Kill the connection while requests 1 and 2 (slow) still queue
+        // behind the replier.
+        client_end.close();
+        server_thread.join().unwrap();
+        // With the old `break` the join returned while tickets 1 and 2
+        // were still executing; now all three have settled.
+        assert_eq!(handle.stats().completed, 3);
+        handle.shutdown();
+    }
+
+    /// A stale control reply parked by a dying link must not leak into
+    /// the next control call.
+    #[test]
+    fn link_death_flushes_the_control_mailbox() {
+        let (reader, _writer) = duplex();
+        let t = TcpTransport::over(reader.clone(), reader);
+        *t.inner.mailbox.lock().unwrap() = Some(Frame::DrainDone);
+        t.inner.close_link();
+        assert!(t.inner.mailbox.lock().unwrap().is_none());
+
+        let (reader2, _writer2) = duplex();
+        let t2 = TcpTransport::over(reader2.clone(), reader2);
+        *t2.inner.mailbox.lock().unwrap() = Some(Frame::ParallelismSet);
+        t2.inner.note_link_down();
+        assert!(t2.inner.mailbox.lock().unwrap().is_none());
+    }
+
+    /// A control reply of the wrong type is a typed protocol error, not a
+    /// silently misdelivered answer.
+    #[test]
+    fn mismatched_control_reply_is_a_protocol_error() {
+        let (client_end, server_end) = duplex();
+        let confused_server = std::thread::spawn(move || {
+            let mut reader = server_end.clone();
+            let mut writer = server_end;
+            // Answer Reprogram with DrainDone — a confused peer.
+            assert_eq!(read_frame(&mut reader).unwrap(), Frame::Reprogram);
+            write_frame(&mut writer, &Frame::DrainDone).unwrap();
+        });
+        let t = TcpTransport::over(client_end.clone(), client_end);
+        match t.reprogram() {
+            Err(ServeError::Remote(msg)) => {
+                assert!(msg.contains("protocol violation"), "got: {msg}");
+            }
+            other => panic!("expected protocol violation, got {other:?}"),
+        }
+        confused_server.join().unwrap();
+    }
+
+    /// The tentpole reconnect path: a mid-stream sever triggers a
+    /// re-dial, a resumed hello, and a go-back-N replay of the
+    /// unacknowledged requests — every caller's `Pending` settles with
+    /// logits from the correct coordinate and nobody sees the outage.
+    #[test]
+    fn link_death_replays_unacknowledged_requests() {
+        let connector = Arc::new(PipeConnector::new(
+            echo_server(Arc::default()),
+            vec![
+                // Connection 1 dies on its 5th frame (Hello + 3 requests
+                // pass); connection 2 is clean.
+                FaultPlan::new(5).sever_after(4),
+                FaultPlan::new(6),
+            ],
+        ));
+        let t = TcpTransport::with_connector(
+            Box::new(ArcConnector(Arc::clone(&connector))),
+            RetryPolicy::new(5, Duration::from_millis(1)),
+        )
+        .unwrap();
+        let pendings: Vec<Pending> = (0..8)
+            .map(|i| t.submit_indexed(i, tensor(i as f32 * 0.5)).unwrap())
+            .collect();
+        for (i, p) in pendings.into_iter().enumerate() {
+            assert_eq!(
+                p.wait().unwrap().data(),
+                &[i as f32 * 1000.0 + i as f32 * 0.5],
+                "request {i} lost or re-run at the wrong coordinate"
+            );
+        }
+        assert_eq!(connector.dials.load(Ordering::SeqCst), 2, "one reconnect");
+        t.shutdown();
+        assert!(t.is_closed());
+    }
+
+    /// Forwards [`Connect`] through an `Arc` so tests can keep a handle on
+    /// the connector they hand to the transport.
+    struct ArcConnector(Arc<PipeConnector>);
+
+    impl Connect for ArcConnector {
+        fn connect(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+            self.0.connect()
+        }
+    }
+
+    /// When every reconnect attempt fails, the transport closes and parks
+    /// its unacknowledged requests as orphans — fulfillable by a rescuer
+    /// at their original coordinates — instead of cancelling them.
+    #[test]
+    fn reconnect_exhaustion_parks_orphans_for_rescue() {
+        let handle = spawn(
+            // The batch never fills and the latency budget never fires, so
+            // no reply is ever written: both requests stay unacknowledged.
+            BatchPolicy::new(3, Duration::from_secs(3600)),
+            |_idx: &[u64], inputs: &[Tensor]| Ok(inputs.to_vec()),
+        );
+        let server = ShardServer::new(Box::new(LocalTransport::new(
+            handle.clone(),
+            Box::new(Arc::new(RecordingControl::default())),
+        )));
+        // One connection that dies after its 2nd frame, then a dead host.
+        let connector = PipeConnector::new(server, vec![FaultPlan::new(1).sever_after(2)]);
+        let t = TcpTransport::with_connector(
+            Box::new(connector),
+            RetryPolicy::new(2, Duration::from_millis(5)),
+        )
+        .unwrap();
+        let p0 = t.submit_indexed(0, tensor(0.5)).unwrap();
+        let p1 = t.submit_indexed(1, tensor(1.5)).unwrap(); // severs the link
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !t.is_closed() {
+            assert!(Instant::now() < deadline, "retry budget never exhausted");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut orphans = t.take_orphans();
+        orphans.sort_by_key(|o| o.index());
+        assert_eq!(
+            orphans.iter().map(Orphan::index).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(t.take_orphans().len(), 0, "orphans are taken exactly once");
+        // A rescuer fulfills the parked slots; the original Pendings see
+        // the results as if nothing happened.
+        for orphan in orphans {
+            let v = tensor(orphan.index() as f32 * 7.0);
+            orphan.slot.fulfill(Ok(v));
+        }
+        assert_eq!(p0.wait().unwrap().data(), &[0.0]);
+        assert_eq!(p1.wait().unwrap().data(), &[7.0]);
+        handle.shutdown();
+    }
+
+    /// The accept loop serves concurrent connections: a second client is
+    /// answered while the first stays connected (serve_next would leave
+    /// it waiting), and the loop exits once the shard shuts down.
+    #[test]
+    fn serve_forever_accepts_concurrent_clients() {
+        let server = echo_server(Arc::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept_thread = {
+            let server = server.clone();
+            std::thread::spawn(move || server.serve_forever(&listener))
+        };
+        let a = TcpTransport::connect(addr).unwrap();
+        let b = TcpTransport::connect(addr).unwrap();
+        let pa = a.submit_indexed(0, tensor(1.0)).unwrap();
+        let pb = b.submit_indexed(1, tensor(2.0)).unwrap();
+        assert_eq!(pa.wait().unwrap().data(), &[1.0]);
+        assert_eq!(pb.wait().unwrap().data(), &[1002.0]);
+        b.shutdown();
+        a.shutdown();
+        accept_thread.join().unwrap().unwrap();
     }
 }

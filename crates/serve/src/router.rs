@@ -28,6 +28,27 @@
 //! re-issued before any fresh index, so the stamped stream is always
 //! `0, 1, 2, …` in submission order — the invariance's foundation.
 //!
+//! ## Elasticity
+//!
+//! The shard set is not fixed for the fleet's lifetime:
+//!
+//! * **Eviction.** A shard whose transport dies past its replay budget is
+//!   *retired*, not mourned: the unstamped remainder of its active lease
+//!   goes back to the allocator (so those coordinates are re-issued to a
+//!   survivor, never skipped), its stranded requests are harvested as
+//!   [`Orphan`]s and re-submitted **at their original coordinates** on
+//!   survivors, and the failed submission retries on another shard. The
+//!   caller observes nothing: the same `Pending` resolves with the same
+//!   logits.
+//! * **Live join.** [`FleetHandle::add_shard`] programs a fresh replica
+//!   from the fleet seed via the control surface, replays the drift
+//!   history so its conductances match the incumbents', and enters it
+//!   into the routing rotation — where it is granted fresh leases like
+//!   any other shard.
+//!
+//! Both directions preserve the invariance because the stream numbering —
+//! not the placement — determines every logit.
+//!
 //! The router never inspects tensors and never blocks on inference: it is
 //! a stamp-and-forward layer. Shard-side coalescing, backpressure, and
 //! completion plumbing belong to the transports.
@@ -35,11 +56,13 @@
 use crate::handle::{Pending, ServeError, ServeStats};
 use crate::lease::LeaseAllocator;
 use crate::qos::{Admission, AimdPacer, PacerConfig, Priority, QosClass, QosStats, ShedReason};
-use crate::transport::ShardTransport;
+use crate::transport::{Orphan, ShardTransport};
 use aimc_dnn::Tensor;
 use aimc_parallel::Parallelism;
 use aimc_wire::IndexLease;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// How the router picks the shard that receives each claimed lease block
@@ -124,7 +147,8 @@ impl Default for FleetPolicy {
 /// [`FleetHandle::stats`]).
 #[derive(Debug, Clone)]
 pub struct FleetStats {
-    /// One [`ServeStats`] snapshot per shard, in shard-id order.
+    /// One [`ServeStats`] snapshot per shard, in shard-id order (evicted
+    /// shards keep reporting their last observed snapshot).
     pub shards: Vec<ServeStats>,
     /// The router's own QoS ledger: sheds decided at the fleet ingress
     /// (pacer overload, fleet class budgets) plus congestion marks the
@@ -180,16 +204,47 @@ struct RouterState {
     /// Requests stamped since the last reprogram rewind (the observable
     /// stream length).
     stamped: u64,
+    /// Drift transitions applied since the last reprogram, in order —
+    /// replayed onto late joiners so their conductances match the
+    /// incumbents'.
+    drift_log: Vec<f64>,
+}
+
+/// One shard's seat in the fleet: its transport, its congestion pacer,
+/// and whether the router has retired it. Seats are never removed — shard
+/// ids stay stable for stats and the active-lease bookkeeping — they are
+/// only marked evicted and skipped by routing.
+struct ShardSlot {
+    transport: Box<dyn ShardTransport>,
+    /// This shard's AIMD congestion window, fed by its pressure marks on
+    /// every QoS-gated submission. Per-shard (not global) so one
+    /// backpressured remote link closes only its own window.
+    pacer: Mutex<AimdPacer>,
+    evicted: AtomicBool,
+}
+
+impl ShardSlot {
+    fn new(transport: Box<dyn ShardTransport>, pacer: PacerConfig) -> Arc<Self> {
+        Arc::new(ShardSlot {
+            transport,
+            pacer: Mutex::new(AimdPacer::new(pacer)),
+            evicted: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether the router still routes to this shard.
+    fn live(&self) -> bool {
+        !self.evicted.load(Ordering::Acquire)
+    }
 }
 
 struct FleetInner {
-    shards: Vec<Box<dyn ShardTransport>>,
+    /// The shard seats. Behind a `RwLock` so [`FleetHandle::add_shard`]
+    /// can grow the fleet while submissions route; existing seats are
+    /// never removed or reordered.
+    shards: RwLock<Vec<Arc<ShardSlot>>>,
     policy: FleetPolicy,
     state: Mutex<RouterState>,
-    /// One AIMD congestion window per shard, fed by that shard's pressure
-    /// marks on every QoS-gated submission. Per-shard (not global) so one
-    /// backpressured remote link closes only its own window.
-    pacers: Vec<Mutex<AimdPacer>>,
     /// Epoch of the pacers' fake-clock timestamps (cooldown bookkeeping).
     epoch: Instant,
     /// Router-side QoS ledger: only decisions made *here* (pacer
@@ -197,12 +252,16 @@ struct FleetInner {
     /// the shard ledgers, so [`FleetStats::aggregate`] never double
     /// counts.
     qos: Mutex<QosStats>,
+    /// Bridge threads forwarding rescued orphans' results into their
+    /// original completion slots; joined by drain/shutdown so a rescued
+    /// request settles before either returns.
+    rescues: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for FleetInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetInner")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.shards.read().unwrap().len())
             .field("policy", &self.policy)
             .finish_non_exhaustive()
     }
@@ -236,44 +295,69 @@ impl FleetHandle {
         if shards.is_empty() {
             return Err(ServeError::NoShards);
         }
-        let pacers = shards
-            .iter()
-            .map(|_| Mutex::new(AimdPacer::new(policy.pacer)))
+        let slots = shards
+            .into_iter()
+            .map(|t| ShardSlot::new(t, policy.pacer))
             .collect();
         Ok(FleetHandle {
             inner: Arc::new(FleetInner {
-                shards,
+                shards: RwLock::new(slots),
                 policy,
                 state: Mutex::new(RouterState {
                     alloc: LeaseAllocator::new(),
                     active: None,
                     rr: 0,
                     stamped: 0,
+                    drift_log: Vec::new(),
                 }),
-                pacers,
                 epoch: Instant::now(),
                 qos: Mutex::new(QosStats::default()),
+                rescues: Mutex::new(Vec::new()),
             }),
         })
     }
 
+    /// A point-in-time copy of the shard seats (seats are append-only, so
+    /// indices in the snapshot stay valid forever).
+    fn shards_snapshot(&self) -> Vec<Arc<ShardSlot>> {
+        self.inner.shards.read().unwrap().clone()
+    }
+
+    /// Whether no live shard can accept work — the fleet-level shutdown
+    /// condition that distinguishes "this shard died" (evict and re-route)
+    /// from "everything is closed" (report [`ServeError::ShutDown`]).
+    fn fleet_is_dead(&self, shards: &[Arc<ShardSlot>]) -> bool {
+        shards
+            .iter()
+            .filter(|s| s.live())
+            .all(|s| s.transport.is_closed())
+    }
+
     /// Picks the target shard for one lease block under the routing
-    /// policy.
-    fn pick_shard(&self, rr: &mut usize) -> usize {
-        let inner = &self.inner;
-        match inner.policy.route {
+    /// policy, skipping evicted seats. `None` when no live shard remains.
+    fn pick_shard(&self, rr: &mut usize, shards: &[Arc<ShardSlot>]) -> Option<usize> {
+        match self.inner.policy.route {
             RoutePolicy::RoundRobin => {
-                let s = *rr % inner.shards.len();
-                *rr = (*rr + 1) % inner.shards.len();
-                s
+                let n = shards.len();
+                for step in 0..n {
+                    let s = (*rr + step) % n;
+                    if shards[s].live() {
+                        *rr = (s + 1) % n;
+                        return Some(s);
+                    }
+                }
+                None
             }
             RoutePolicy::LeastQueueDepth => {
-                let mut best = 0usize;
+                let mut best = None;
                 let mut best_depth = u64::MAX;
-                for (i, s) in inner.shards.iter().enumerate() {
-                    let depth = s.in_flight();
+                for (i, s) in shards.iter().enumerate() {
+                    if !s.live() {
+                        continue;
+                    }
+                    let depth = s.transport.in_flight();
                     if depth < best_depth {
-                        best = i;
+                        best = Some(i);
                         best_depth = depth;
                     }
                 }
@@ -283,27 +367,45 @@ impl FleetHandle {
     }
 
     /// Claims the next global stream index (and the shard its lease routes
-    /// to), allocating a fresh lease when the active one is exhausted.
+    /// to), allocating a fresh lease when the active one is exhausted —
+    /// or when its shard has been evicted since the block was routed, in
+    /// which case the unstamped remainder is first retired back to the
+    /// allocator so those coordinates re-route instead of vanishing.
     /// When a fresh lease was allocated it is also returned, so the caller
     /// can grant it to the transport **outside** the router lock — a
     /// remote grant is a socket write, and a backpressured shard must
     /// never stall ingress to the others.
-    fn claim(&self, st: &mut RouterState) -> (usize, u64, Option<IndexLease>) {
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] when no live shard remains to route to.
+    fn claim(
+        &self,
+        st: &mut RouterState,
+        shards: &[Arc<ShardSlot>],
+    ) -> Result<(usize, u64, Option<IndexLease>), ServeError> {
         let mut granted = None;
         loop {
             if let Some(active) = st.active.as_mut() {
-                if active.used < active.lease.len {
-                    let index = active.lease.start + active.used;
-                    active.used += 1;
-                    st.stamped += 1;
-                    return (active.shard, index, granted);
+                if shards.get(active.shard).is_some_and(|s| s.live()) {
+                    if active.used < active.lease.len {
+                        let index = active.lease.start + active.used;
+                        active.used += 1;
+                        st.stamped += 1;
+                        return Ok((active.shard, index, granted));
+                    }
+                    st.active = None;
+                } else {
+                    let active = st.active.take().expect("checked Some above");
+                    st.alloc.reclaim(IndexLease::new(
+                        active.lease.start + active.used,
+                        active.lease.len - active.used,
+                    ));
                 }
-                st.active = None;
             }
+            let shard = self
+                .pick_shard(&mut st.rr, shards)
+                .ok_or(ServeError::ShutDown)?;
             let lease = st.alloc.alloc(self.inner.policy.lease_len);
-            let mut rr = st.rr;
-            let shard = self.pick_shard(&mut rr);
-            st.rr = rr;
             granted = Some(lease);
             st.active = Some(ActiveLease {
                 lease,
@@ -324,6 +426,12 @@ impl FleetHandle {
     /// the free list.
     fn unclaim(&self, shard: usize, index: u64) {
         let mut st = self.inner.state.lock().unwrap();
+        self.unclaim_locked(&mut st, shard, index);
+    }
+
+    /// [`FleetHandle::unclaim`] with the router lock already held (the
+    /// block-submission path rolls back mid-claim).
+    fn unclaim_locked(&self, st: &mut RouterState, shard: usize, index: u64) {
         st.stamped -= 1;
         let newest_of_active = matches!(
             st.active,
@@ -341,27 +449,148 @@ impl FleetHandle {
         }
     }
 
+    /// Marks shard `idx` evicted, reclaiming the unstamped remainder of
+    /// its active lease so those coordinates are re-issued (and re-routed)
+    /// before any fresh index — eviction never shifts a surviving
+    /// coordinate. Returns `false` when the seat was already retired (a
+    /// concurrent caller owns the rescue).
+    fn retire_slot(&self, shards: &[Arc<ShardSlot>], idx: usize) -> bool {
+        if shards[idx].evicted.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        let mut st = self.inner.state.lock().unwrap();
+        if let Some(active) = st.active {
+            if active.shard == idx {
+                st.active = None;
+                st.alloc.reclaim(IndexLease::new(
+                    active.lease.start + active.used,
+                    active.lease.len - active.used,
+                ));
+            }
+        }
+        true
+    }
+
+    /// Retires shard `idx` and re-routes every request stranded on it
+    /// (see [`FleetHandle::rescue`]). No-op when a concurrent caller
+    /// already retired the seat — orphans are harvested exactly once.
+    fn evict_and_rescue(&self, shards: &[Arc<ShardSlot>], idx: usize) {
+        if !self.retire_slot(shards, idx) {
+            return;
+        }
+        self.rescue(shards, shards[idx].transport.take_orphans());
+    }
+
+    /// Re-submits harvested orphans **at their original coordinates** on
+    /// surviving shards, bridging each survivor's completion back into
+    /// the orphan's original slot — so the caller's `Pending` resolves
+    /// with the logits of the same stream index, and churn never shifts a
+    /// coordinate. A survivor that refuses mid-rescue is itself retired
+    /// (its strays join the worklist); with no survivor left the orphans
+    /// are cancelled — the terminal outcome the settlement guarantee
+    /// requires.
+    fn rescue(&self, shards: &[Arc<ShardSlot>], orphans: Vec<Orphan>) {
+        let mut work = orphans;
+        while let Some(orphan) = work.pop() {
+            let target = shards
+                .iter()
+                .enumerate()
+                .find(|(_, s)| s.live() && !s.transport.is_closed());
+            let Some((i, survivor)) = target else {
+                orphan.slot.fulfill(Err(ServeError::Canceled));
+                continue;
+            };
+            match survivor.transport.submit_admitted(
+                orphan.index,
+                orphan.image.clone(),
+                orphan.class,
+            ) {
+                Ok(p) => {
+                    let slot = orphan.slot;
+                    let bridge = std::thread::Builder::new()
+                        .name("aimc-fleet-rescue".into())
+                        .spawn(move || slot.fulfill(p.wait()))
+                        .expect("spawn rescue bridge");
+                    self.inner.rescues.lock().unwrap().push(bridge);
+                }
+                Err(_) => {
+                    if self.retire_slot(shards, i) {
+                        work.extend(shards[i].transport.take_orphans());
+                    }
+                    work.push(orphan);
+                }
+            }
+        }
+    }
+
+    /// Harvests and re-routes requests stranded on shards that died
+    /// without a submission noticing (the failure path that usually
+    /// triggers eviction) — drain and shutdown call this so no accepted
+    /// request is left un-terminal. Orphans imply the link is permanently
+    /// dead, so a stranding shard is also retired. Returns whether any
+    /// orphan was harvested — callers loop until a pass comes up empty,
+    /// because a transport may park orphans *while* it is being drained
+    /// (its reconnect budget exhausting mid-quiesce).
+    fn sweep_strays(&self, shards: &[Arc<ShardSlot>]) -> bool {
+        let mut swept = false;
+        for (i, s) in shards.iter().enumerate() {
+            let strays = s.transport.take_orphans();
+            if strays.is_empty() {
+                continue;
+            }
+            swept = true;
+            self.retire_slot(shards, i);
+            self.rescue(shards, strays);
+        }
+        swept
+    }
+
+    /// Joins the rescue bridge threads, so every rescued request has
+    /// settled into its caller's slot.
+    fn join_rescues(&self) {
+        let bridges: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.rescues.lock().unwrap());
+        for b in bridges {
+            let _ = b.join();
+        }
+    }
+
     /// Submits one image to the fleet: claims the next global stream index
     /// from the active lease (allocating and routing a fresh lease if
     /// needed) and forwards the stamped request to the lease's shard.
     /// Blocks only on that shard's backpressure.
     ///
+    /// A shard that refuses because its link died is **evicted**: its
+    /// index is released, its stranded requests are rescued onto
+    /// survivors, and the submission retries on another shard — so one
+    /// dead replica costs retransmission, not errors.
+    ///
     /// # Errors
-    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`] — or if
-    /// the chosen shard refuses (e.g. a died remote link). A refused
-    /// request's index is released back to the allocator, so the stream
-    /// keeps no hole and later requests stay solo-identical.
+    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`] — or once
+    /// no live shard remains. A refused request's index is always released
+    /// back to the allocator, so the stream keeps no hole and later
+    /// requests stay solo-identical.
     pub fn submit(&self, image: Tensor) -> Result<Pending, ServeError> {
-        let (shard, index, granted) = {
-            let mut st = self.inner.state.lock().unwrap();
-            self.claim(&mut st)
-        };
-        if let Some(lease) = granted {
-            self.inner.shards[shard].grant_lease(lease);
+        loop {
+            let shards = self.shards_snapshot();
+            let (shard, index, granted) = {
+                let mut st = self.inner.state.lock().unwrap();
+                self.claim(&mut st, &shards)?
+            };
+            if let Some(lease) = granted {
+                shards[shard].transport.grant_lease(lease);
+            }
+            match shards[shard].transport.submit_indexed(index, image.clone()) {
+                Ok(p) => return Ok(p),
+                Err(e) => {
+                    self.unclaim(shard, index);
+                    if shards[shard].transport.is_closed() && !self.fleet_is_dead(&shards) {
+                        self.evict_and_rescue(&shards, shard);
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
         }
-        self.inner.shards[shard]
-            .submit_indexed(index, image)
-            .inspect_err(|_| self.unclaim(shard, index))
     }
 
     /// Records one router-decided shed in the fleet-ingress ledger.
@@ -395,64 +624,74 @@ impl FleetHandle {
     /// allocator (the PR 5 refused-submission discipline), so admitted
     /// requests always occupy the contiguous prefix `0, 1, 2, …` and stay
     /// bit-identical to a solo run — shedding changes **which** requests
-    /// run, never **what** an admitted request computes.
+    /// run, never **what** an admitted request computes. A shard whose
+    /// link died is evicted and the submission retries, exactly as in
+    /// [`FleetHandle::submit`].
     ///
     /// # Errors
-    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`] or if the
-    /// chosen shard's link died (the index is released, as for `submit`).
+    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`] or once no
+    /// live shard remains (the index is released, as for `submit`).
     pub fn submit_qos(&self, image: Tensor, class: QosClass) -> Result<Admission, ServeError> {
-        let (shard, index, granted) = {
-            let mut st = self.inner.state.lock().unwrap();
-            self.claim(&mut st)
-        };
-        if let Some(lease) = granted {
-            self.inner.shards[shard].grant_lease(lease);
-        }
-        // Probe the shard's congestion signal and drive its pacer before
-        // committing the request.
-        let load = self.inner.shards[shard].load();
-        let in_flight = usize::try_from(load.in_flight).unwrap_or(usize::MAX);
-        let pacer_cfg = self.inner.policy.pacer;
-        let window = {
-            let mut pacer = self.inner.pacers[shard].lock().unwrap();
-            pacer.observe(load.pressure, self.inner.epoch.elapsed());
-            pacer.window()
-        };
-        if load.pressure {
-            self.inner.qos.lock().unwrap().ecn_marks += 1;
-        }
-        let over_hard_limit = in_flight >= pacer_cfg.hard_limit;
-        let over_window = pacer_cfg.enabled && in_flight >= window;
-        if over_hard_limit || (over_window && class.priority != Priority::High) {
-            self.unclaim(shard, index);
-            self.note_shed(class, ShedReason::Overload);
-            return Ok(Admission::Shed(ShedReason::Overload));
-        }
-        let budget = self.inner.policy.class_budgets[class.priority.rank()];
-        if budget != usize::MAX {
-            let mut class_in_flight = load.per_class[class.priority.rank()];
-            for (i, s) in self.inner.shards.iter().enumerate() {
-                if i != shard {
-                    class_in_flight += s.load().per_class[class.priority.rank()];
+        loop {
+            let shards = self.shards_snapshot();
+            let (shard, index, granted) = {
+                let mut st = self.inner.state.lock().unwrap();
+                self.claim(&mut st, &shards)?
+            };
+            let slot = &shards[shard];
+            if let Some(lease) = granted {
+                slot.transport.grant_lease(lease);
+            }
+            // Probe the shard's congestion signal and drive its pacer
+            // before committing the request.
+            let load = slot.transport.load();
+            let in_flight = usize::try_from(load.in_flight).unwrap_or(usize::MAX);
+            let pacer_cfg = self.inner.policy.pacer;
+            let window = {
+                let mut pacer = slot.pacer.lock().unwrap();
+                pacer.observe(load.pressure, self.inner.epoch.elapsed());
+                pacer.window()
+            };
+            if load.pressure {
+                self.inner.qos.lock().unwrap().ecn_marks += 1;
+            }
+            let over_hard_limit = in_flight >= pacer_cfg.hard_limit;
+            let over_window = pacer_cfg.enabled && in_flight >= window;
+            if over_hard_limit || (over_window && class.priority != Priority::High) {
+                self.unclaim(shard, index);
+                self.note_shed(class, ShedReason::Overload);
+                return Ok(Admission::Shed(ShedReason::Overload));
+            }
+            let budget = self.inner.policy.class_budgets[class.priority.rank()];
+            if budget != usize::MAX {
+                let mut class_in_flight = load.per_class[class.priority.rank()];
+                for (i, s) in shards.iter().enumerate() {
+                    if i != shard && s.live() {
+                        class_in_flight += s.transport.load().per_class[class.priority.rank()];
+                    }
+                }
+                if class_in_flight >= budget as u64 {
+                    self.unclaim(shard, index);
+                    self.note_shed(class, ShedReason::ClassBudget);
+                    return Ok(Admission::Shed(ShedReason::ClassBudget));
                 }
             }
-            if class_in_flight >= budget as u64 {
-                self.unclaim(shard, index);
-                self.note_shed(class, ShedReason::ClassBudget);
-                return Ok(Admission::Shed(ShedReason::ClassBudget));
-            }
-        }
-        match self.inner.shards[shard].submit_qos(index, image, class) {
-            Ok(Admission::Admitted(p)) => Ok(Admission::Admitted(p)),
-            Ok(refused) => {
-                // The shard shed (and counted it in its own ledger):
-                // release the index so the stream keeps no hole.
-                self.unclaim(shard, index);
-                Ok(refused)
-            }
-            Err(e) => {
-                self.unclaim(shard, index);
-                Err(e)
+            match slot.transport.submit_qos(index, image.clone(), class) {
+                Ok(Admission::Admitted(p)) => return Ok(Admission::Admitted(p)),
+                Ok(refused) => {
+                    // The shard shed (and counted it in its own ledger):
+                    // release the index so the stream keeps no hole.
+                    self.unclaim(shard, index);
+                    return Ok(refused);
+                }
+                Err(e) => {
+                    self.unclaim(shard, index);
+                    if slot.transport.is_closed() && !self.fleet_is_dead(&shards) {
+                        self.evict_and_rescue(&shards, shard);
+                        continue;
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -465,50 +704,95 @@ impl FleetHandle {
     /// — are exactly the ones a loop of [`FleetHandle::submit`] calls
     /// would produce.
     ///
+    /// A shard dying mid-run is evicted like in [`FleetHandle::submit`]:
+    /// the failed and unsent indices are released, the dead shard's
+    /// strays are rescued, and the remainder of the run re-claims — so
+    /// the block still completes with contiguous coordinates.
+    ///
     /// # Errors
-    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`], or if a
-    /// shard refuses mid-run (images already forwarded still complete, but
+    /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`] or once no
+    /// live shard remains (images already forwarded still complete, but
     /// their completion handles are discarded with the error); the failed
     /// and unsent images' indices are released back to the allocator.
     pub fn submit_block(
         &self,
         images: impl IntoIterator<Item = Tensor>,
     ) -> Result<Vec<Pending>, ServeError> {
-        let images: Vec<Tensor> = images.into_iter().collect();
-        if images.is_empty() {
-            return Ok(Vec::new());
-        }
-        let routes: Vec<(usize, u64, Option<IndexLease>)> = {
-            let mut st = self.inner.state.lock().unwrap();
-            images.iter().map(|_| self.claim(&mut st)).collect()
-        };
+        let mut images: Vec<Tensor> = images.into_iter().collect();
         let mut pendings = Vec::with_capacity(images.len());
-        for (i, image) in images.into_iter().enumerate() {
-            let (shard, index, granted) = routes[i];
-            if let Some(lease) = granted {
-                self.inner.shards[shard].grant_lease(lease);
+        'retry: loop {
+            if images.is_empty() {
+                return Ok(pendings);
             }
-            match self.inner.shards[shard].submit_indexed(index, image) {
-                Ok(p) => pendings.push(p),
-                Err(e) => {
-                    // Release the failed index and the whole unsent tail,
-                    // newest first so lease-cursor rollbacks compose.
-                    for &(shard, index, _) in routes[i..].iter().rev() {
-                        self.unclaim(shard, index);
+            let shards = self.shards_snapshot();
+            let routes: Vec<(usize, u64, Option<IndexLease>)> = {
+                let mut st = self.inner.state.lock().unwrap();
+                let mut routes = Vec::with_capacity(images.len());
+                for _ in &images {
+                    match self.claim(&mut st, &shards) {
+                        Ok(r) => routes.push(r),
+                        Err(e) => {
+                            // No live shard: roll the whole batch back,
+                            // newest first so lease-cursor rollbacks
+                            // compose.
+                            for &(shard, index, _) in routes.iter().rev() {
+                                self.unclaim_locked(&mut st, shard, index);
+                            }
+                            return Err(e);
+                        }
                     }
-                    return Err(e);
+                }
+                routes
+            };
+            for (i, &(shard, index, granted)) in routes.iter().enumerate() {
+                if let Some(lease) = granted {
+                    shards[shard].transport.grant_lease(lease);
+                }
+                match shards[shard]
+                    .transport
+                    .submit_indexed(index, images[i].clone())
+                {
+                    Ok(p) => pendings.push(p),
+                    Err(e) => {
+                        // Release the failed index and the whole unsent
+                        // tail, newest first.
+                        for &(shard, index, _) in routes[i..].iter().rev() {
+                            self.unclaim(shard, index);
+                        }
+                        if shards[shard].transport.is_closed() && !self.fleet_is_dead(&shards) {
+                            self.evict_and_rescue(&shards, shard);
+                            images.drain(..i);
+                            continue 'retry;
+                        }
+                        return Err(e);
+                    }
                 }
             }
+            return Ok(pendings);
         }
-        Ok(pendings)
     }
 
     /// Blocks until every accepted request on every shard has reached a
-    /// terminal outcome, then reclaims the active lease's unused indices
-    /// so they are re-issued (and re-routed) before any fresh index.
+    /// terminal outcome — including requests stranded on dead shards,
+    /// which are rescued onto survivors first — then reclaims the active
+    /// lease's unused indices so they are re-issued (and re-routed) before
+    /// any fresh index.
     pub fn drain(&self) {
-        for s in &self.inner.shards {
-            s.drain();
+        let shards = self.shards_snapshot();
+        // Loop: a transport can park orphans *during* its drain (reconnect
+        // budget exhausting mid-quiesce), and a rescue re-submission lands
+        // new work on a survivor — so sweep and re-drain until a full pass
+        // harvests nothing. Terminates: every harvesting pass retires at
+        // least one shard.
+        loop {
+            self.sweep_strays(&shards);
+            for s in &shards {
+                s.transport.drain();
+            }
+            self.join_rescues();
+            if !self.sweep_strays(&shards) {
+                break;
+            }
         }
         let mut st = self.inner.state.lock().unwrap();
         if let Some(active) = st.active.take() {
@@ -520,40 +804,63 @@ impl FleetHandle {
     }
 
     /// Stops accepting requests fleet-wide, drains everything accepted,
-    /// and releases every shard. Idempotent; safe from any clone.
+    /// and releases every shard. Requests stranded on dead shards are
+    /// rescued onto survivors first, so they settle (rather than cancel)
+    /// whenever a survivor exists. Idempotent; safe from any clone.
     pub fn shutdown(&self) {
-        for s in &self.inner.shards {
-            s.shutdown();
+        let shards = self.shards_snapshot();
+        // First sweep runs while survivors are still open, so strays are
+        // rescued rather than cancelled; later passes (orphans parked
+        // during a shard's own shutdown) find everything closed and
+        // cancel, which is the correct post-shutdown outcome. Shutdown is
+        // idempotent per transport, so re-issuing it each pass is safe.
+        loop {
+            self.sweep_strays(&shards);
+            for s in &shards {
+                s.transport.shutdown();
+            }
+            self.join_rescues();
+            if !self.sweep_strays(&shards) {
+                break;
+            }
         }
     }
 
     /// Whether [`FleetHandle::shutdown`] has run.
     pub fn is_closed(&self) -> bool {
-        self.inner.shards.iter().all(|s| s.is_closed())
+        self.shards_snapshot()
+            .iter()
+            .all(|s| s.transport.is_closed())
     }
 
-    /// Applies conductance drift to **every** replica at the same stream
-    /// position: the fleet is drained first (all accepted requests finish
-    /// on pre-drift conductances), then each shard drifts. Returns whether
-    /// the replicas model drift (`false` for a golden fleet, which ignores
-    /// the call).
+    /// Applies conductance drift to **every** live replica at the same
+    /// stream position: the fleet is drained first (all accepted requests
+    /// finish on pre-drift conductances), then each shard drifts. Returns
+    /// whether the replicas model drift (`false` for a golden fleet, which
+    /// ignores the call).
     ///
     /// Identical replicas drifted identically stay identical — so the
     /// fleet keeps matching a solo session taken through the same
-    /// transition at the same stream position.
+    /// transition at the same stream position. The transition is also
+    /// recorded in the drift log, so a later [`FleetHandle::add_shard`]
+    /// replays it onto the joiner.
     pub fn apply_drift(&self, t_hours: f64) -> bool {
         self.drain();
+        let shards = self.shards_snapshot();
         let mut modeled = false;
-        for s in &self.inner.shards {
-            modeled |= s.apply_drift(t_hours);
+        for s in shards.iter().filter(|s| s.live()) {
+            modeled |= s.transport.apply_drift(t_hours);
         }
+        self.inner.state.lock().unwrap().drift_log.push(t_hours);
         modeled
     }
 
-    /// Reprograms **every** replica from the original seed and rewinds the
-    /// global stream to zero, after draining the fleet — the exact
-    /// semantics of a solo `Session::reprogram`: freshly written
-    /// conductances, coordinates replayed from the start.
+    /// Reprograms **every** live replica from the original seed and
+    /// rewinds the global stream to zero, after draining the fleet — the
+    /// exact semantics of a solo `Session::reprogram`: freshly written
+    /// conductances, coordinates replayed from the start. The drift log is
+    /// cleared: a joiner added after a reprogram starts from the same
+    /// fresh conductances as everyone else.
     ///
     /// The drain also reclaims the active lease, so no outstanding lease
     /// survives the rewind: the next submission claims a fresh lease
@@ -565,27 +872,72 @@ impl FleetHandle {
     /// the stream is only rewound on full success).
     pub fn reprogram(&self) -> Result<(), ServeError> {
         self.drain();
-        for s in &self.inner.shards {
-            s.reprogram()?;
+        let shards = self.shards_snapshot();
+        for s in shards.iter().filter(|s| s.live()) {
+            s.transport.reprogram()?;
         }
         let mut st = self.inner.state.lock().unwrap();
         st.alloc.rewind();
         st.active = None;
         st.stamped = 0;
+        st.drift_log.clear();
         Ok(())
     }
 
     /// Updates the thread budget fleet-wide; in-flight shards pick it up
     /// per dispatched batch. Never changes a logit.
     pub fn set_parallelism(&self, par: Parallelism) {
-        for s in &self.inner.shards {
-            s.set_parallelism(par);
+        for s in self.shards_snapshot().iter().filter(|s| s.live()) {
+            s.transport.set_parallelism(par);
         }
     }
 
-    /// Number of shards behind the router.
+    /// Adds a freshly connected shard to a running fleet — the **live
+    /// join** path of elastic serving. The joiner's replica is programmed
+    /// from the fleet seed via the transport's control surface, the drift
+    /// history recorded since the last reprogram is replayed so its
+    /// conductances match the incumbents' bit-for-bit, and the shard then
+    /// enters the routing rotation, where it is granted fresh leases like
+    /// any other seat.
+    ///
+    /// Joining never shifts a coordinate: the joiner only serves indices
+    /// from leases routed after it joined, and identical programming plus
+    /// identical drift history keeps its logits bit-identical to every
+    /// other replica — the fleet invariance is preserved across elastic
+    /// scale-up.
+    ///
+    /// # Errors
+    /// [`ServeError::ShutDown`] if the fleet is closed; any programming
+    /// error from the joiner's control surface (the shard is not added).
+    pub fn add_shard(&self, transport: Box<dyn ShardTransport>) -> Result<(), ServeError> {
+        if self.is_closed() {
+            return Err(ServeError::ShutDown);
+        }
+        transport.reprogram()?;
+        let drift_log = self.inner.state.lock().unwrap().drift_log.clone();
+        for t_hours in drift_log {
+            transport.apply_drift(t_hours);
+        }
+        let slot = ShardSlot::new(transport, self.inner.policy.pacer);
+        self.inner.shards.write().unwrap().push(slot);
+        Ok(())
+    }
+
+    /// Number of shard seats behind the router, evicted ones included
+    /// (seats are append-only, so this is also the next joiner's id).
     pub fn shard_count(&self) -> usize {
-        self.inner.shards.len()
+        self.inner.shards.read().unwrap().len()
+    }
+
+    /// Number of shards still in the routing rotation (not evicted).
+    pub fn live_shard_count(&self) -> usize {
+        self.inner
+            .shards
+            .read()
+            .unwrap()
+            .iter()
+            .filter(|s| s.live())
+            .count()
     }
 
     /// Requests stamped with global stream indices since the last
@@ -608,7 +960,11 @@ impl FleetHandle {
     /// Point-in-time statistics, per shard and aggregatable.
     pub fn stats(&self) -> FleetStats {
         FleetStats {
-            shards: self.inner.shards.iter().map(|s| s.stats()).collect(),
+            shards: self
+                .shards_snapshot()
+                .iter()
+                .map(|s| s.transport.stats())
+                .collect(),
             router: self.inner.qos.lock().unwrap().clone(),
         }
     }
@@ -617,6 +973,7 @@ impl FleetHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::handle::pending_pair;
     use crate::transport::{LocalTransport, ShardControl};
     use crate::{spawn, BatchPolicy};
     use aimc_dnn::{ExecError, Shape};
@@ -668,18 +1025,21 @@ mod tests {
         }
     }
 
+    fn local_shard(log: &ShardLog, control: &Arc<RecordingControl>) -> Box<dyn ShardTransport> {
+        Box::new(LocalTransport::new(
+            shard_handle(
+                Arc::clone(log),
+                BatchPolicy::new(2, Duration::from_millis(1)),
+            ),
+            Box::new(ControlHandle(Arc::clone(control))),
+        ))
+    }
+
     fn fleet(n: usize, policy: FleetPolicy) -> (FleetHandle, Vec<ShardLog>, Arc<RecordingControl>) {
         let control = Arc::new(RecordingControl::default());
         let logs: Vec<ShardLog> = (0..n).map(|_| Arc::default()).collect();
-        let shards: Vec<Box<dyn ShardTransport>> = logs
-            .iter()
-            .map(|l| {
-                Box::new(LocalTransport::new(
-                    shard_handle(Arc::clone(l), BatchPolicy::new(2, Duration::from_millis(1))),
-                    Box::new(ControlHandle(Arc::clone(&control))),
-                )) as Box<dyn ShardTransport>
-            })
-            .collect();
+        let shards: Vec<Box<dyn ShardTransport>> =
+            logs.iter().map(|l| local_shard(l, &control)).collect();
         (FleetHandle::new(shards, policy).unwrap(), logs, control)
     }
 
@@ -830,7 +1190,9 @@ mod tests {
         );
         assert!(agg.max_batch_observed <= 2);
         f.shutdown();
-        // Post-shutdown submissions are refused and show up aggregated.
+        // Post-shutdown submissions are refused by the routed-to shard —
+        // not retried (the whole fleet is closed, so this is shutdown,
+        // not churn) — and show up aggregated exactly once.
         assert!(matches!(f.submit(tensor(0.0)), Err(ServeError::ShutDown)));
         assert_eq!(f.stats().aggregate().rejected, 1);
     }
@@ -964,80 +1326,252 @@ mod tests {
         fn set_parallelism(&self, _par: Parallelism) {}
     }
 
-    /// A refused submission must release its claimed index: the stream
-    /// keeps no hole, so surviving shards' coordinates stay exactly
-    /// `0, 1, 2, …` — the invariance outlives a dead shard.
+    /// A dead shard is evicted on its first refusal and the submission
+    /// retries on a survivor: the caller sees no error, the stream keeps
+    /// no hole, and every coordinate stays exactly `0, 1, 2, …` — the
+    /// invariance outlives a dead shard without costing a request.
     #[test]
-    fn refused_submission_releases_its_index() {
+    fn dead_shard_is_evicted_and_requests_reroute() {
         let log: ShardLog = Arc::default();
-        let shards: Vec<Box<dyn ShardTransport>> = vec![
-            Box::new(LocalTransport::new(
-                shard_handle(
-                    Arc::clone(&log),
-                    BatchPolicy::new(2, Duration::from_millis(1)),
-                ),
-                Box::new(ControlHandle(Arc::default())),
-            )),
-            Box::new(RefusingTransport),
-        ];
+        let control = Arc::new(RecordingControl::default());
+        let shards: Vec<Box<dyn ShardTransport>> =
+            vec![local_shard(&log, &control), Box::new(RefusingTransport)];
         let f = FleetHandle::new(shards, FleetPolicy::new(RoutePolicy::RoundRobin)).unwrap();
-        let mut pendings = Vec::new();
-        let mut refused = 0;
-        for i in 0..6 {
-            match f.submit(tensor(i as f32)) {
-                Ok(p) => pendings.push(p),
-                Err(ServeError::ShutDown) => refused += 1,
-                Err(other) => panic!("unexpected error {other:?}"),
-            }
-        }
-        assert_eq!(refused, 3, "round-robin hit the dead shard every other");
-        // Successful request k ran at coordinate k — no holes.
+        assert_eq!(f.live_shard_count(), 2);
+        let pendings: Vec<Pending> = (0..6)
+            .map(|i| f.submit(tensor(i as f32)).unwrap())
+            .collect();
+        assert_eq!(
+            f.live_shard_count(),
+            1,
+            "the dead shard was retired on first refusal"
+        );
+        assert_eq!(f.shard_count(), 2, "the seat itself is kept");
         for (k, p) in pendings.into_iter().enumerate() {
-            let tag = 2.0 * k as f32; // images 0, 2, 4 survived
-            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + tag]);
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
         }
         f.drain();
-        assert_eq!(f.images_routed(), 3, "refused stamps were released");
+        assert_eq!(f.images_routed(), 6, "no stamp was lost to the dead shard");
         let seen: Vec<u64> = log.lock().unwrap().iter().map(|&(i, _)| i).collect();
-        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
         f.shutdown();
     }
 
-    /// A refusal mid-`submit_block` releases the failed index and the
-    /// whole unsent tail — a follow-up block re-claims from exactly where
-    /// the stream stopped.
+    /// A shard dying mid-`submit_block` releases the failed index and the
+    /// unsent tail, evicts the dead shard, and re-claims the remainder —
+    /// the block completes whole, at contiguous coordinates, on the
+    /// survivors.
     #[test]
-    fn refused_block_tail_is_released() {
+    fn block_survives_mid_run_eviction() {
         let log: ShardLog = Arc::default();
-        let shards: Vec<Box<dyn ShardTransport>> = vec![
-            Box::new(LocalTransport::new(
-                shard_handle(
-                    Arc::clone(&log),
-                    BatchPolicy::new(2, Duration::from_millis(1)),
-                ),
-                Box::new(ControlHandle(Arc::default())),
-            )),
-            Box::new(RefusingTransport),
-        ];
+        let control = Arc::new(RecordingControl::default());
+        let shards: Vec<Box<dyn ShardTransport>> =
+            vec![local_shard(&log, &control), Box::new(RefusingTransport)];
         let f = FleetHandle::new(
             shards,
             FleetPolicy::new(RoutePolicy::RoundRobin).with_lease_len(3),
         )
         .unwrap();
         // Indices 0–2 land on shard 0; index 3 starts the refusing shard's
-        // lease and fails, releasing 3 and 4.
+        // lease and fails — eviction re-routes [3,6) to the survivor.
+        let pendings = f.submit_block((0..5).map(|i| tensor(i as f32))).unwrap();
+        assert_eq!(pendings.len(), 5);
+        assert_eq!(f.live_shard_count(), 1);
+        for (k, p) in pendings.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
+        }
+        f.drain();
+        assert_eq!(f.images_routed(), 5);
+        let seen: Vec<u64> = log.lock().unwrap().iter().map(|&(i, _)| i).collect();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        f.shutdown();
+    }
+
+    /// A transport that accepts a few requests, strands them, then dies —
+    /// the shape of a remote link that exhausted its replay budget with
+    /// work in flight. Accepted requests park as orphans for the router
+    /// to harvest.
+    struct ParkingTransport {
+        accept: usize,
+        accepted: Mutex<usize>,
+        parked: Mutex<Vec<Orphan>>,
+        closed: AtomicBool,
+    }
+
+    impl ParkingTransport {
+        fn new(accept: usize) -> Self {
+            ParkingTransport {
+                accept,
+                accepted: Mutex::new(0),
+                parked: Mutex::new(Vec::new()),
+                closed: AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl ShardTransport for ParkingTransport {
+        fn submit_indexed(&self, index: u64, image: Tensor) -> Result<Pending, ServeError> {
+            let mut accepted = self.accepted.lock().unwrap();
+            if *accepted < self.accept {
+                *accepted += 1;
+                let (pending, slot) = pending_pair();
+                self.parked.lock().unwrap().push(Orphan {
+                    index,
+                    image,
+                    class: QosClass::default(),
+                    slot,
+                });
+                Ok(pending)
+            } else {
+                self.closed.store(true, Ordering::Release);
+                Err(ServeError::ShutDown)
+            }
+        }
+        fn in_flight(&self) -> u64 {
+            0
+        }
+        fn drain(&self) {}
+        fn shutdown(&self) {
+            self.closed.store(true, Ordering::Release);
+        }
+        fn is_closed(&self) -> bool {
+            self.closed.load(Ordering::Acquire)
+        }
+        fn take_orphans(&self) -> Vec<Orphan> {
+            std::mem::take(&mut *self.parked.lock().unwrap())
+        }
+        fn stats(&self) -> ServeStats {
+            ServeStats::default()
+        }
+        fn apply_drift(&self, _t_hours: f64) -> bool {
+            false
+        }
+        fn reprogram(&self) -> Result<(), ServeError> {
+            Ok(())
+        }
+        fn set_parallelism(&self, _par: Parallelism) {}
+    }
+
+    /// Requests stranded on a dying shard are rescued: eviction harvests
+    /// its orphans and re-runs each **at its original coordinate** on a
+    /// survivor, fulfilling the caller's original `Pending` — so churn is
+    /// invisible in both the results and the coordinates.
+    #[test]
+    fn stranded_requests_are_rescued_at_their_coordinates() {
+        let log: ShardLog = Arc::default();
+        let control = Arc::new(RecordingControl::default());
+        let shards: Vec<Box<dyn ShardTransport>> = vec![
+            Box::new(ParkingTransport::new(2)),
+            local_shard(&log, &control),
+        ];
+        let f = FleetHandle::new(shards, FleetPolicy::new(RoutePolicy::RoundRobin)).unwrap();
+        // Round-robin at lease 1: indices 0 and 2 park on the dying shard;
+        // its third lease (index 4) is refused, triggering eviction — the
+        // rescue re-submits 0 and 2 on the survivor, and 4 retries there.
+        let pendings: Vec<Pending> = (0..6)
+            .map(|i| f.submit(tensor(i as f32)).unwrap())
+            .collect();
+        assert_eq!(f.live_shard_count(), 1);
+        for (k, p) in pendings.into_iter().enumerate() {
+            assert_eq!(
+                p.wait().unwrap().data(),
+                &[k as f32 * 1000.0 + k as f32],
+                "request {k} resolved at its original coordinate"
+            );
+        }
+        f.drain();
+        assert_eq!(f.images_routed(), 6);
+        // The survivor served the whole stream: its own leases plus the
+        // rescued coordinates, each exactly once.
+        let mut seen: Vec<u64> = log.lock().unwrap().iter().map(|&(i, _)| i).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        f.shutdown();
+    }
+
+    /// With no survivor left, stranded requests cancel instead of hanging:
+    /// settlement is guaranteed even when the whole fleet dies.
+    #[test]
+    fn strays_cancel_when_no_survivor_remains() {
+        let shards: Vec<Box<dyn ShardTransport>> = vec![Box::new(ParkingTransport::new(2))];
+        let f = FleetHandle::new(shards, FleetPolicy::default()).unwrap();
+        let p0 = f.submit(tensor(0.0)).unwrap();
+        let p1 = f.submit(tensor(1.0)).unwrap();
+        // The third submission kills the only shard: no survivor, so the
+        // submission errors and the strands cancel.
+        assert!(matches!(f.submit(tensor(2.0)), Err(ServeError::ShutDown)));
+        f.drain();
+        assert_eq!(p0.wait(), Err(ServeError::Canceled));
+        assert_eq!(p1.wait(), Err(ServeError::Canceled));
+        f.shutdown();
+    }
+
+    /// The live-join path: a shard added to a running fleet is programmed
+    /// from the fleet seed, receives the recorded drift history, and
+    /// enters the rotation with fresh leases — serving part of the stream
+    /// without shifting anyone's coordinates.
+    #[test]
+    fn late_joiner_is_programmed_drifted_and_enters_rotation() {
+        let log0: ShardLog = Arc::default();
+        let c0 = Arc::new(RecordingControl::default());
+        let f = FleetHandle::new(
+            vec![local_shard(&log0, &c0)],
+            FleetPolicy::new(RoutePolicy::RoundRobin),
+        )
+        .unwrap();
+        f.submit(tensor(0.0)).unwrap().wait().unwrap();
+        assert!(f.apply_drift(3.5));
+        assert!(f.apply_drift(1.5));
+
+        let log1: ShardLog = Arc::default();
+        let c1 = Arc::new(RecordingControl::default());
+        f.add_shard(local_shard(&log1, &c1)).unwrap();
+        assert_eq!(f.shard_count(), 2);
+        assert_eq!(f.live_shard_count(), 2);
+        assert_eq!(
+            *c1.reprograms.lock().unwrap(),
+            1,
+            "joiner programmed from the fleet seed"
+        );
+        assert_eq!(
+            *c1.drifts.lock().unwrap(),
+            vec![3.5, 1.5],
+            "drift history replayed onto the joiner"
+        );
+
+        // The rotation now alternates; global indices stay contiguous and
+        // solo-identical regardless of which replica serves them.
+        let pendings: Vec<Pending> = (1..5)
+            .map(|i| f.submit(tensor(i as f32)).unwrap())
+            .collect();
+        for (k, p) in pendings.into_iter().enumerate() {
+            let k = (k + 1) as f32;
+            assert_eq!(p.wait().unwrap().data(), &[k * 1000.0 + k]);
+        }
+        f.drain();
+        let j: Vec<u64> = log1.lock().unwrap().iter().map(|&(i, _)| i).collect();
+        assert!(!j.is_empty(), "the joiner served part of the stream");
+        let mut all: Vec<u64> = log0.lock().unwrap().iter().map(|&(i, _)| i).collect();
+        all.extend_from_slice(&j);
+        all.sort_unstable();
+        assert_eq!(all, (0..5).collect::<Vec<u64>>());
+
+        // Reprogram clears the drift history: a post-reprogram joiner is
+        // fresh-seeded with nothing to replay.
+        f.reprogram().unwrap();
+        let c2 = Arc::new(RecordingControl::default());
+        let log2: ShardLog = Arc::default();
+        f.add_shard(local_shard(&log2, &c2)).unwrap();
+        assert_eq!(*c2.drifts.lock().unwrap(), Vec::<f64>::new());
+        f.shutdown();
+
+        // A closed fleet refuses joiners.
+        let c3 = Arc::new(RecordingControl::default());
+        let log3: ShardLog = Arc::default();
         assert!(matches!(
-            f.submit_block((0..5).map(|i| tensor(i as f32))),
+            f.add_shard(local_shard(&log3, &c3)),
             Err(ServeError::ShutDown)
         ));
-        assert_eq!(f.images_routed(), 3);
-        // The released block re-claims at 3 — re-routed to the live shard.
-        let p = f.submit(tensor(9.0)).unwrap();
-        assert_eq!(p.wait().unwrap().data(), &[3.0 * 1000.0 + 9.0]);
-        f.drain();
-        let seen: Vec<u64> = log.lock().unwrap().iter().map(|&(i, _)| i).collect();
-        assert_eq!(seen, vec![0, 1, 2, 3]);
-        f.shutdown();
     }
 
     #[test]
@@ -1054,13 +1588,8 @@ mod tests {
     #[test]
     fn fleet_class_budget_sheds_and_releases_the_index() {
         let log: ShardLog = Arc::default();
-        let shards: Vec<Box<dyn ShardTransport>> = vec![Box::new(LocalTransport::new(
-            shard_handle(
-                Arc::clone(&log),
-                BatchPolicy::new(2, Duration::from_millis(1)),
-            ),
-            Box::new(ControlHandle(Arc::default())),
-        ))];
+        let control = Arc::new(RecordingControl::default());
+        let shards: Vec<Box<dyn ShardTransport>> = vec![local_shard(&log, &control)];
         let policy = FleetPolicy::default().with_class_budget(Priority::Low, 0);
         let f = FleetHandle::new(shards, policy).unwrap();
 

@@ -17,11 +17,44 @@
 //! the results*: any mix of transports produces logits bit-identical to a
 //! solo session.
 
-use crate::handle::{Pending, ServeError, ServeHandle, ServeStats};
+use crate::handle::{CompletionSlot, Pending, ServeError, ServeHandle, ServeStats};
 use crate::qos::{Admission, QosClass, ShardLoad};
 use aimc_dnn::{ExecError, Tensor};
 use aimc_parallel::Parallelism;
 use aimc_wire::IndexLease;
+use std::sync::Arc;
+
+/// One request stranded on a dead shard, recovered for re-routing.
+///
+/// When a replay-capable transport exhausts its reconnect budget it parks
+/// every unacknowledged request as an `Orphan` instead of cancelling it:
+/// the original caller still holds the [`Pending`], and whoever harvests
+/// the orphan (the fleet router, via [`ShardTransport::take_orphans`])
+/// re-submits the image **at the same global index** on a survivor and
+/// forwards the result into the waiting slot — so eviction never shifts a
+/// coordinate and the caller never observes the churn.
+pub struct Orphan {
+    pub(crate) index: u64,
+    pub(crate) image: Tensor,
+    pub(crate) class: QosClass,
+    pub(crate) slot: Arc<CompletionSlot>,
+}
+
+impl std::fmt::Debug for Orphan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Orphan")
+            .field("index", &self.index)
+            .field("class", &self.class)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Orphan {
+    /// The global stream coordinate the request must re-run at.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+}
 
 /// Backend-side control surface of one shard, supplied by the layer that
 /// owns the executor types (the `aimc-platform` facade): the serving layer
@@ -141,6 +174,14 @@ pub trait ShardTransport: Send + Sync {
 
     /// Whether [`ShardTransport::shutdown`] has run (or the link died).
     fn is_closed(&self) -> bool;
+
+    /// Harvests requests stranded by a permanent link death so the caller
+    /// can re-route them (see [`Orphan`]). Each orphan is returned exactly
+    /// once; transports that never strand work return nothing — the
+    /// default.
+    fn take_orphans(&self) -> Vec<Orphan> {
+        Vec::new()
+    }
 
     /// Point-in-time serving statistics of this shard.
     fn stats(&self) -> ServeStats;

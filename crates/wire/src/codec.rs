@@ -42,6 +42,14 @@ const TAG_SET_PARALLELISM: u8 = 11;
 const TAG_PARALLELISM_SET: u8 = 12;
 const TAG_STATS_PROBE: u8 = 13;
 const TAG_STATS: u8 = 14;
+const TAG_HELLO: u8 = 15;
+const TAG_HELLO_ACK: u8 = 16;
+const TAG_REPLAY_LEASES: u8 = 17;
+
+/// The tag byte of an encoded [`Frame::Request`] payload (the first byte
+/// after the length prefix) — used by the fault injector to restrict
+/// reordering to request frames.
+pub(crate) const TAG_REQUEST_BYTE: u8 = TAG_REQUEST;
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -108,6 +116,10 @@ fn put_stats(buf: &mut Vec<u8>, s: &WireStats) {
     put_u64(buf, s.dispatched);
     put_u64(buf, s.max_batch_observed);
     put_u64(buf, s.ecn_marks);
+    // Explicit class count: a decoder built against a different
+    // Priority::COUNT must reject the snapshot instead of silently
+    // truncating or misaligning the per-class ledgers.
+    put_u32(buf, s.classes.len() as u32);
     for c in &s.classes {
         put_u64(buf, c.admitted);
         put_u64(buf, c.shed_queue_full);
@@ -191,6 +203,19 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Stats(s) => {
             buf.push(TAG_STATS);
             put_stats(&mut buf, s);
+        }
+        Frame::Hello { resumed } => {
+            buf.push(TAG_HELLO);
+            buf.push(u8::from(*resumed));
+        }
+        Frame::HelloAck => buf.push(TAG_HELLO_ACK),
+        Frame::ReplayLeases(leases) => {
+            buf.push(TAG_REPLAY_LEASES);
+            put_u32(&mut buf, leases.len() as u32);
+            for lease in leases {
+                put_u64(&mut buf, lease.start);
+                put_u64(&mut buf, lease.len);
+            }
         }
     }
     buf
@@ -310,6 +335,13 @@ impl<'a> Cur<'a> {
         let dispatched = self.u64()?;
         let max_batch_observed = self.u64()?;
         let ecn_marks = self.u64()?;
+        let n_classes = self.u32()? as usize;
+        if n_classes != Priority::COUNT {
+            return Err(bad(format!(
+                "stats class count {n_classes} does not match protocol count {}",
+                Priority::COUNT
+            )));
+        }
         let mut classes: [WireClassStats; Priority::COUNT] = Default::default();
         for c in classes.iter_mut() {
             *c = self.class_stats()?;
@@ -391,6 +423,21 @@ pub fn decode_frame(payload: &[u8]) -> io::Result<Frame> {
         TAG_PARALLELISM_SET => Frame::ParallelismSet,
         TAG_STATS_PROBE => Frame::StatsProbe,
         TAG_STATS => Frame::Stats(cur.stats()?),
+        TAG_HELLO => Frame::Hello {
+            resumed: cur.u8()? != 0,
+        },
+        TAG_HELLO_ACK => Frame::HelloAck,
+        TAG_REPLAY_LEASES => {
+            let n = cur.u32()? as usize;
+            let mut leases = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                leases.push(IndexLease {
+                    start: cur.u64()?,
+                    len: cur.u64()?,
+                });
+            }
+            Frame::ReplayLeases(leases)
+        }
         t => return Err(bad(format!("unknown frame tag {t}"))),
     };
     cur.finish()?;
@@ -495,6 +542,11 @@ mod tests {
     #[test]
     fn control_frames_round_trip() {
         let frames = [
+            Frame::Hello { resumed: false },
+            Frame::Hello { resumed: true },
+            Frame::HelloAck,
+            Frame::ReplayLeases(Vec::new()),
+            Frame::ReplayLeases(vec![IndexLease::new(0, 4), IndexLease::new(96, 32)]),
             Frame::Lease(IndexLease::new(64, 16)),
             Frame::Drain,
             Frame::DrainDone,
@@ -627,6 +679,36 @@ mod tests {
         assert_eq!(
             decode_frame(&bad_rank).unwrap_err().kind(),
             io::ErrorKind::InvalidData
+        );
+    }
+
+    /// A stats snapshot whose class count disagrees with the protocol's
+    /// [`Priority::COUNT`] (codec version skew) is a decode error — never
+    /// a silent truncation of the per-class ledgers.
+    #[test]
+    fn mismatched_stats_class_count_is_a_decode_error() {
+        let stats = WireStats {
+            submitted: 3,
+            completed: 3,
+            ..WireStats::default()
+        };
+        let mut payload = encode_frame(&Frame::Stats(stats.clone()));
+        // Round trip at the correct count first, so the tamper below is
+        // provably the only difference.
+        assert_eq!(decode_frame(&payload).unwrap(), Frame::Stats(stats));
+        // The class-count field sits right after the tag byte and the
+        // seven u64 counters.
+        let count_at = 1 + 7 * 8;
+        assert_eq!(
+            u32::from_le_bytes(payload[count_at..count_at + 4].try_into().unwrap()),
+            Priority::COUNT as u32
+        );
+        payload[count_at..count_at + 4].copy_from_slice(&2u32.to_le_bytes());
+        let err = decode_frame(&payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("class count"),
+            "error names the skew: {err}"
         );
     }
 }

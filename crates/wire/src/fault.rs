@@ -1,0 +1,319 @@
+//! Deterministic fault injection for the shard protocol.
+//!
+//! [`FaultyEnd`] wraps the *write* side of a [`PipeEnd`] with a
+//! frame-aware fault injector driven by a seeded [`FaultPlan`]: it
+//! re-frames the byte stream (length prefix + payload), and per complete
+//! frame may **reorder** it with its successor or **sever** the
+//! connection — cleanly between frames or mid-frame, so the peer sees a
+//! truncated stream. Reads pass through untouched.
+//!
+//! The injector is what the churn proptests drive the fleet with: severs
+//! exercise the client's reconnect-and-replay path (a dropped frame is
+//! only ever dropped *together with* a sever, so the go-back-N replay is
+//! what recovers it — an unconditional drop would silently lose a request
+//! with no failure signal for anyone to act on), and reorders exercise
+//! the index-keyed correlation (requests carry explicit coordinates, so
+//! arrival order is not load-bearing). Reordering is restricted to
+//! `Request` frames: holding back a control frame would stall its
+//! strictly-one-outstanding reply loop rather than test anything.
+//!
+//! All randomness is a seeded SplitMix64 stream — the same plan over the
+//! same traffic injects the same faults, so failures shrink and replay.
+
+use crate::codec::TAG_REQUEST_BYTE;
+use crate::pipe::PipeEnd;
+use std::io::{self, Read, Write};
+
+/// The seeded fault schedule of one [`FaultyEnd`] connection.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-request-frame probability (in 1/1000) of holding the frame
+    /// back and delivering it after its successor.
+    swap_per_mille: u32,
+    /// Sever the connection when this many complete frames have passed
+    /// (`None` = never).
+    sever_after_frames: Option<u64>,
+    /// When severing, first deliver half of the fatal frame's bytes, so
+    /// the peer reads a truncated frame instead of a clean EOF.
+    sever_mid_frame: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (pass-through) under `seed`.
+    pub const fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            swap_per_mille: 0,
+            sever_after_frames: None,
+            sever_mid_frame: false,
+        }
+    }
+
+    /// Enables adjacent-frame reordering of request frames with the given
+    /// probability in 1/1000 (clamped to ≤ 1000).
+    pub const fn swap_per_mille(mut self, per_mille: u32) -> Self {
+        self.swap_per_mille = if per_mille > 1000 { 1000 } else { per_mille };
+        self
+    }
+
+    /// Severs the connection once `frames` complete frames have passed.
+    pub const fn sever_after(mut self, frames: u64) -> Self {
+        self.sever_after_frames = Some(frames);
+        self
+    }
+
+    /// Makes the sever land mid-frame: the peer receives a truncated
+    /// frame (half its bytes) instead of a clean between-frames EOF.
+    pub const fn sever_mid_frame(mut self) -> Self {
+        self.sever_mid_frame = true;
+        self
+    }
+}
+
+/// SplitMix64: tiny, seedable, and good enough to schedule faults.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fault-injecting wrapper over one [`PipeEnd`] (see the module docs).
+///
+/// Write it like any byte sink: bytes are buffered until a complete
+/// length-prefixed frame accumulates, then the frame is delivered,
+/// held-and-swapped, or the connection is severed according to the
+/// [`FaultPlan`]. After a sever every write fails with `BrokenPipe` and
+/// the underlying pipe is closed in both directions, so the peer (and any
+/// reader clone of the same end) observes the link death. Reads delegate
+/// to the pipe untouched.
+#[derive(Debug)]
+pub struct FaultyEnd {
+    inner: PipeEnd,
+    plan: FaultPlan,
+    rng: u64,
+    frames_passed: u64,
+    /// A request frame held back for an adjacent swap.
+    held: Option<Vec<u8>>,
+    /// Bytes of the not-yet-complete frame being accumulated.
+    partial: Vec<u8>,
+    severed: bool,
+}
+
+impl FaultyEnd {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: PipeEnd, plan: FaultPlan) -> Self {
+        FaultyEnd {
+            inner,
+            plan,
+            rng: plan.seed,
+            frames_passed: 0,
+            held: None,
+            partial: Vec::new(),
+            severed: false,
+        }
+    }
+
+    /// Closes the connection cleanly: any held frame is flushed first, so
+    /// a swap at end-of-stream never turns into a drop.
+    pub fn close(&mut self) {
+        if !self.severed {
+            if let Some(held) = self.held.take() {
+                let _ = self.inner.write_all(&held);
+            }
+        }
+        self.inner.close();
+    }
+
+    fn sever(&mut self) -> io::Error {
+        self.severed = true;
+        self.held = None;
+        self.partial.clear();
+        self.inner.close();
+        io::Error::new(io::ErrorKind::BrokenPipe, "fault plan severed the link")
+    }
+
+    /// Dispatches one complete frame (length prefix included) through the
+    /// fault plan.
+    fn pass_frame(&mut self, frame: Vec<u8>) -> io::Result<()> {
+        self.frames_passed += 1;
+        if let Some(n) = self.plan.sever_after_frames {
+            if self.frames_passed > n {
+                if self.plan.sever_mid_frame {
+                    let _ = self.inner.write_all(&frame[..frame.len() / 2]);
+                }
+                return Err(self.sever());
+            }
+        }
+        let is_request = frame.get(4) == Some(&TAG_REQUEST_BYTE);
+        if is_request
+            && self.held.is_none()
+            && self.plan.swap_per_mille > 0
+            && splitmix64(&mut self.rng) % 1000 < u64::from(self.plan.swap_per_mille)
+        {
+            self.held = Some(frame);
+            return Ok(());
+        }
+        self.inner.write_all(&frame)?;
+        if let Some(held) = self.held.take() {
+            self.inner.write_all(&held)?;
+        }
+        Ok(())
+    }
+}
+
+impl Read for FaultyEnd {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for FaultyEnd {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.severed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "fault plan severed the link",
+            ));
+        }
+        self.partial.extend_from_slice(buf);
+        // Deliver every complete length-prefixed frame accumulated so far.
+        while self.partial.len() >= 4 {
+            let len = u32::from_le_bytes(self.partial[..4].try_into().expect("4 bytes")) as usize;
+            if self.partial.len() < 4 + len {
+                break;
+            }
+            let rest = self.partial.split_off(4 + len);
+            let frame = std::mem::replace(&mut self.partial, rest);
+            self.pass_frame(frame)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.severed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "fault plan severed the link",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{duplex, read_frame, write_frame, Frame, QosClass, ShardRequest};
+    use aimc_dnn::{Shape, Tensor};
+
+    fn request(index: u64) -> Frame {
+        Frame::Request(ShardRequest {
+            global_index: index,
+            class: QosClass::default(),
+            image: Tensor::from_vec(Shape::new(1, 1, 1), vec![index as f32]),
+        })
+    }
+
+    fn indices_of(frames: &[Frame]) -> Vec<u64> {
+        frames
+            .iter()
+            .map(|f| match f {
+                Frame::Request(r) => r.global_index,
+                other => panic!("unexpected frame {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn passthrough_plan_preserves_the_stream() {
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyEnd::new(a, FaultPlan::new(1));
+        for i in 0..4 {
+            write_frame(&mut faulty, &request(i)).unwrap();
+        }
+        faulty.close();
+        let mut got = Vec::new();
+        while let Ok(f) = read_frame(&mut b) {
+            got.push(f);
+        }
+        assert_eq!(indices_of(&got), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn swaps_reorder_adjacent_requests_without_loss() {
+        // Always-swap: every request is held and delivered after its
+        // successor, so pairs arrive transposed but nothing is lost.
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyEnd::new(a, FaultPlan::new(7).swap_per_mille(1000));
+        for i in 0..4 {
+            write_frame(&mut faulty, &request(i)).unwrap();
+        }
+        faulty.close();
+        let mut got = Vec::new();
+        while let Ok(f) = read_frame(&mut b) {
+            got.push(f);
+        }
+        let mut indices = indices_of(&got);
+        assert_eq!(indices, vec![1, 0, 3, 2], "adjacent pairs transposed");
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3], "no frame lost or duplicated");
+    }
+
+    #[test]
+    fn a_held_frame_is_flushed_on_close() {
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyEnd::new(a, FaultPlan::new(7).swap_per_mille(1000));
+        write_frame(&mut faulty, &request(42)).unwrap();
+        faulty.close();
+        assert_eq!(indices_of(&[read_frame(&mut b).unwrap()]), vec![42]);
+    }
+
+    #[test]
+    fn control_frames_are_never_reordered() {
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyEnd::new(a, FaultPlan::new(7).swap_per_mille(1000));
+        write_frame(&mut faulty, &Frame::Drain).unwrap();
+        // Delivered immediately despite the always-swap plan.
+        assert_eq!(read_frame(&mut b).unwrap(), Frame::Drain);
+        faulty.close();
+    }
+
+    #[test]
+    fn sever_kills_the_link_after_the_budgeted_frames() {
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyEnd::new(a, FaultPlan::new(3).sever_after(2));
+        write_frame(&mut faulty, &request(0)).unwrap();
+        write_frame(&mut faulty, &request(1)).unwrap();
+        let err = write_frame(&mut faulty, &request(2)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // Subsequent writes stay dead.
+        assert!(write_frame(&mut faulty, &request(3)).is_err());
+        // The peer reads the two delivered frames, then a clean EOF.
+        assert_eq!(indices_of(&[read_frame(&mut b).unwrap()]), vec![0]);
+        assert_eq!(indices_of(&[read_frame(&mut b).unwrap()]), vec![1]);
+        assert_eq!(
+            read_frame(&mut b).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn mid_frame_sever_truncates_the_fatal_frame() {
+        let (a, mut b) = duplex();
+        let mut faulty = FaultyEnd::new(a, FaultPlan::new(3).sever_after(1).sever_mid_frame());
+        write_frame(&mut faulty, &request(0)).unwrap();
+        assert!(write_frame(&mut faulty, &request(1)).is_err());
+        assert_eq!(indices_of(&[read_frame(&mut b).unwrap()]), vec![0]);
+        // Half of frame 1 arrived: the reader sees a truncated stream,
+        // not a clean between-frames EOF.
+        assert_eq!(
+            read_frame(&mut b).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        let mut probe = [0u8; 1];
+        assert_eq!(b.read(&mut probe).unwrap(), 0, "pipe is closed");
+    }
+}

@@ -21,8 +21,10 @@
 //!
 //! | client frame | server frame | meaning |
 //! |---|---|---|
+//! | `Hello { resumed }` | `HelloAck` | (re)establish a protocol session; `resumed` announces a replay |
 //! | `Request { global_index, image }` | `Reply { global_index, outcome }` | evaluate one image at its global stream coordinate |
 //! | `Lease { start, len }` | *(none)* | advisory: subsequent requests draw indices from this block |
+//! | `ReplayLeases(leases)` | *(none)* | advisory: retransmitted requests follow, drawn from these blocks |
 //! | `Drain` | `DrainDone` | finish every accepted request |
 //! | `Shutdown` | `ShutdownDone` | stop accepting, drain, stop the shard |
 //! | `ApplyDrift(t_hours)` | `DriftDone(modeled)` | conductance drift on the replica |
@@ -37,15 +39,19 @@
 //!
 //! For tests (and single-process demos) the crate also ships
 //! [`duplex`] — an in-memory, blocking, bidirectional byte pipe with the
-//! same `Read`/`Write` surface as a `TcpStream` pair.
+//! same `Read`/`Write` surface as a `TcpStream` pair — and [`FaultyEnd`],
+//! a frame-aware fault injector over a pipe end (seeded reorders and
+//! severs) for exercising the fleet's reconnect-and-replay machinery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod codec;
+mod fault;
 mod pipe;
 
 pub use codec::{decode_frame, encode_frame, read_frame, write_frame};
+pub use fault::{FaultPlan, FaultyEnd};
 pub use pipe::{duplex, PipeEnd, PIPE_CAPACITY};
 
 use aimc_dnn::Tensor;
@@ -314,6 +320,20 @@ pub enum Frame {
     StatsProbe,
     /// Server → client: the statistics snapshot.
     Stats(WireStats),
+    /// Client → server: (re)establishes a protocol session. `resumed` is
+    /// `true` when the client reconnects after a link failure and will
+    /// follow up with [`Frame::ReplayLeases`] plus retransmitted
+    /// requests (a go-back-N replay per lease).
+    Hello {
+        /// Whether this connection resumes an interrupted session.
+        resumed: bool,
+    },
+    /// Server → client: the hello is accepted; the session may proceed.
+    HelloAck,
+    /// Client → server (advisory, no reply): the lease blocks whose
+    /// unacknowledged requests are about to be retransmitted after a
+    /// reconnect, so the host can account for the replayed coordinates.
+    ReplayLeases(Vec<IndexLease>),
 }
 
 #[cfg(test)]

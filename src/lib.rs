@@ -101,10 +101,10 @@ pub mod prelude {
         group_area_efficiency, simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall,
     };
     pub use aimc_serve::{
-        Admission, AimdPacer, BatchPolicy, ClassStats, FleetHandle, FleetPolicy, FleetStats,
-        IndexLease, LocalTransport, PacerConfig, Pending, Priority, QosClass, QosOrdering,
-        QosPolicy, QosStats, RoutePolicy, ServeError, ServeHandle, ServeStats, ShardLoad,
-        ShardServer, ShardTransport, ShedReason, TcpTransport,
+        Admission, AimdPacer, BatchPolicy, ClassStats, Connect, FleetHandle, FleetPolicy,
+        FleetStats, IndexLease, LocalTransport, Orphan, PacerConfig, Pending, Priority, QosClass,
+        QosOrdering, QosPolicy, QosStats, RetryPolicy, RoutePolicy, ServeError, ServeHandle,
+        ServeStats, ShardLoad, ShardServer, ShardTransport, ShedReason, TcpTransport,
     };
     pub use aimc_sim::SimTime;
     pub use aimc_xbar::{Crossbar, XbarConfig, XbarError};

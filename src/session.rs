@@ -157,6 +157,13 @@ impl Platform {
     /// independent of any [`Session`]'s backend slots. `n_shards == 0` is
     /// clamped to 1. Call [`FleetHandle::shutdown`] when done.
     ///
+    /// The fleet is also **elastic**: a shard whose transport dies is
+    /// evicted and its stranded requests re-run at their original
+    /// coordinates on survivors, and [`FleetHandle::add_shard`] grows the
+    /// fleet mid-serve (the joiner is programmed from the fleet seed and
+    /// replayed through the accumulated drift history) — neither ever
+    /// changes a logit of a request that completes.
+    ///
     /// This is the all-local convenience path; to mix transports (local
     /// shards, remote [`aimc_serve::TcpTransport`]s) or tune the lease
     /// length, assemble the transports yourself and use
@@ -282,9 +289,11 @@ impl Platform {
 
     /// Builds a wire-protocol server around one freshly programmed replica
     /// shard: the host side of a distributed fleet. Serve connections with
-    /// [`ShardServer::serve_next`] / [`ShardServer::serve_stream`]; a
-    /// router on another host reaches it through
-    /// [`aimc_serve::TcpTransport`].
+    /// [`ShardServer::serve_next`] / [`ShardServer::serve_stream`], or
+    /// accept them concurrently with [`ShardServer::serve_forever`] on a
+    /// listener; a router on another host reaches it through
+    /// [`aimc_serve::TcpTransport`], which reconnects and replays
+    /// unacknowledged requests across link failures.
     ///
     /// # Errors
     /// [`Error::NoWeights`] without functional weights; programming errors
