@@ -1,0 +1,146 @@
+//! Scaling benchmark for the sharded timing simulator: `simulate_with` on
+//! ResNet-18 over the paper's 512-cluster platform, serial vs 1/2/4
+//! workers, with the bit-identity invariant asserted on every point.
+//!
+//! Emits `BENCH_sim_scaling.json` in the working directory: events/s per
+//! worker count, speedups over serial, a per-link peak-demand summary
+//! (HBM channel plus the hottest links of the run), and the
+//! `sim_invariance_ok` flag the CI grep gate checks. Speedups are bounded
+//! by the host's available parallelism — on a 1-core CI runner every ratio
+//! is ≈1 by construction, but the invariance check still has teeth.
+//!
+//! ```text
+//! cargo run --release -p aimc-bench --bin sim_scaling [batch] [--smoke]
+//! ```
+//!
+//! `--smoke` (or `AIMC_BENCH_SMOKE=1`) shrinks the run for CI: a small
+//! batch and one threaded point — it still exercises the windowed sharded
+//! loop and the invariance assert end to end.
+
+use aimc_core::{map_network, ArchConfig, MappingStrategy};
+use aimc_dnn::resnet18;
+use aimc_parallel::Parallelism;
+use aimc_runtime::{link_loads, simulate_with, RunReport};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("AIMC_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let batch = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(if smoke { 2 } else { 8 });
+    let worker_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 4] };
+
+    let g = resnet18(256, 256, 1000);
+    let arch = ArchConfig::paper();
+    let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).expect("paper mapping");
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Timing-simulator scaling — ResNet-18 on the 512-cluster platform, \
+         batch {batch}, host parallelism {host_cpus}{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:<12} {:>14} {:>10} {:>14}",
+        "mode", "events/s", "speedup", "bit-identical"
+    );
+
+    let timed = |par: Parallelism| -> (f64, RunReport) {
+        let t0 = Instant::now();
+        let r = simulate_with(&g, &m, &arch, batch, par).expect("simulate");
+        let dt = t0.elapsed().as_secs_f64();
+        (r.events as f64 / dt, r)
+    };
+
+    let (serial_eps, serial) = timed(Parallelism::Serial);
+    println!(
+        "{:<12} {:>14.0} {:>9.2}x {:>14}   ({} events, makespan {})",
+        "serial", serial_eps, 1.0, "-", serial.events, serial.makespan
+    );
+
+    let mut rows = String::new();
+    let mut invariance_ok = true;
+    for &n in worker_counts {
+        for (label, par, pinned) in [
+            (format!("threads({n})"), Parallelism::Threads(n), false),
+            (format!("pinned({n})"), Parallelism::PinnedThreads(n), true),
+        ] {
+            let (eps, r) = timed(par);
+            let identical = r == serial;
+            invariance_ok &= identical;
+            let speedup = eps / serial_eps;
+            println!("{label:<12} {eps:>14.0} {speedup:>9.2}x {identical:>14}");
+            let _ = write!(
+                rows,
+                "{}{{\"workers\": {n}, \"pinned\": {pinned}, \"events_per_s\": {eps:.0}, \
+                 \"speedup_vs_serial\": {speedup:.4}, \"bit_identical\": {identical}}}",
+                if rows.is_empty() { "" } else { ", " },
+            );
+        }
+    }
+    assert!(
+        invariance_ok,
+        "determinism violation: sharded RunReport diverged from serial"
+    );
+
+    // Per-link peak-demand summary: interconnect tiers plus the hottest
+    // individual links of the run.
+    let span = serial.makespan.as_ps().max(1) as f64;
+    println!(
+        "\n{:<14} {:>6} {:>7} {:>14} {:>6}",
+        "tier", "links", "peak", "bytes", "queue"
+    );
+    let mut tiers = String::new();
+    for l in link_loads(&serial) {
+        println!(
+            "{:<14} {:>6} {:>6.1}% {:>14} {:>6}",
+            l.label,
+            l.links,
+            l.peak_util * 100.0,
+            l.bytes,
+            l.peak_queued
+        );
+        let _ = write!(
+            tiers,
+            "{}{{\"tier\": \"{}\", \"links\": {}, \"peak_util\": {:.4}, \
+             \"mean_util\": {:.4}, \"bytes\": {}, \"peak_queued\": {}}}",
+            if tiers.is_empty() { "" } else { ", " },
+            l.label,
+            l.links,
+            l.peak_util,
+            l.mean_util,
+            l.bytes,
+            l.peak_queued
+        );
+    }
+    let mut hottest = String::new();
+    for l in serial.fabric.hottest(5) {
+        let _ = write!(
+            hottest,
+            "{}{{\"link\": \"{:?}\", \"util\": {:.4}, \"bytes\": {}, \"peak_queued\": {}}}",
+            if hottest.is_empty() { "" } else { ", " },
+            l.id,
+            l.busy.as_ps() as f64 / span,
+            l.bytes,
+            l.peak_queued
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim_scaling\",\n  \"workload\": \"resnet18_paper512\",\n  \
+         \"batch\": {batch},\n  \"smoke\": {smoke},\n  \"host_cpus\": {host_cpus},\n  \
+         \"events\": {},\n  \"makespan_us\": {:.3},\n  \
+         \"serial_events_per_s\": {serial_eps:.0},\n  \
+         \"sharded\": [{rows}],\n  \"link_tiers\": [{tiers}],\n  \
+         \"hottest_links\": [{hottest}],\n  \"sim_invariance_ok\": {invariance_ok}\n}}\n",
+        serial.events,
+        serial.makespan.as_us_f64()
+    );
+    let path = "BENCH_sim_scaling.json";
+    std::fs::write(path, &json).expect("write bench json");
+    println!("\nwrote {path}");
+}

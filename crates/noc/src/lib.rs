@@ -31,7 +31,11 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fabric;
 mod network;
+mod topology;
 
 pub use config::{HbmConfig, NocConfig};
+pub use fabric::{Fabric, FabricReport, LinkReport};
 pub use network::{Endpoint, LinkId, LinkStats, Noc, TxnKind};
+pub use topology::{Hop, Route, Topology};

@@ -21,6 +21,7 @@
 //! latency and does not accumulate.
 
 use crate::config::NocConfig;
+use crate::topology::Topology;
 use aimc_sim::{Cycles, SimTime};
 use std::fmt;
 
@@ -72,6 +73,10 @@ pub enum LinkId {
     HbmUp,
     /// HBM controller → wrapper.
     HbmDown,
+    /// The HBM controller itself (DRAM service). Not a routed link — it is
+    /// the server behind the channel — but it carries the same usage
+    /// statistics, so reports can treat it uniformly.
+    HbmCtrl,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -111,12 +116,9 @@ pub struct LinkStats {
 /// ```
 #[derive(Debug)]
 pub struct Noc {
-    cfg: NocConfig,
-    /// `links[level-1]` holds up/down pairs for each child at that level:
-    /// index `child * 2` = up, `child * 2 + 1` = down.
-    links: Vec<Vec<LinkState>>,
-    hbm_up: LinkState,
-    hbm_down: LinkState,
+    topo: Topology,
+    /// Dense per-link state in [`Topology`] index order.
+    links: Vec<LinkState>,
     hbm_ctrl: LinkState,
     total_transactions: u64,
 }
@@ -127,19 +129,11 @@ impl Noc {
     /// # Panics
     /// Panics if the configuration fails [`NocConfig::validate`].
     pub fn new(cfg: NocConfig) -> Self {
-        cfg.validate().expect("invalid NoC configuration");
-        let mut links = Vec::with_capacity(cfg.n_levels());
-        let mut entities = cfg.n_clusters();
-        for level in 1..=cfg.n_levels() {
-            // One up/down pair per child entity at level-1.
-            links.push(vec![LinkState::default(); entities * 2]);
-            entities = cfg.routers_at_level(level);
-        }
+        let topo = Topology::new(cfg);
+        let links = vec![LinkState::default(); topo.n_links()];
         Noc {
-            cfg,
+            topo,
             links,
-            hbm_up: LinkState::default(),
-            hbm_down: LinkState::default(),
             hbm_ctrl: LinkState::default(),
             total_transactions: 0,
         }
@@ -147,7 +141,12 @@ impl Noc {
 
     /// The configuration in use.
     pub fn config(&self) -> &NocConfig {
-        &self.cfg
+        self.topo.config()
+    }
+
+    /// The topology the engine routes over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// Total transactions injected so far.
@@ -156,12 +155,7 @@ impl Noc {
     }
 
     fn cycles(&self, n: u64) -> SimTime {
-        self.cfg.frequency.cycles_to_time(Cycles(n))
-    }
-
-    fn occupancy(&self, level: usize, bytes: usize) -> SimTime {
-        let width = self.cfg.link_width_bytes[level - 1];
-        self.cycles((bytes.max(1)).div_ceil(width) as u64)
+        self.config().frequency.cycles_to_time(Cycles(n))
     }
 
     /// Reserves `occupancy` on `link` for a payload arriving (head) at `t`.
@@ -181,8 +175,8 @@ impl Noc {
         start + latency
     }
 
-    /// Walks the payload route from `from` to `to`, reserving bandwidth.
-    /// Returns `(head_arrival, tail_arrival)` at the destination.
+    /// Walks the payload route from `from` to `to`, reserving bandwidth on
+    /// every hop. Returns `(head_arrival, tail_arrival)` at the destination.
     fn route_payload(
         &mut self,
         t0: SimTime,
@@ -190,77 +184,23 @@ impl Noc {
         to: Endpoint,
         bytes: usize,
     ) -> (SimTime, SimTime) {
-        let n_levels = self.cfg.n_levels();
+        let route = self.topo.route(from, to);
         let mut t = t0;
         let mut last_occ = SimTime::ZERO;
-
-        // Decompose into an up segment (from a cluster toward the common
-        // ancestor / wrapper) and a down segment.
-        let (up_from, up_to_level, down_from_level, down_to) = match (from, to) {
-            (Endpoint::Cluster(a), Endpoint::Cluster(b)) => {
-                let l = self.cfg.common_ancestor_level(a, b);
-                (Some(a), l, l, Some(b))
-            }
-            (Endpoint::Cluster(a), Endpoint::Hbm) => (Some(a), n_levels, 0, None),
-            (Endpoint::Hbm, Endpoint::Cluster(b)) => (None, 0, n_levels, Some(b)),
-            (Endpoint::Hbm, Endpoint::Hbm) => (None, 0, 0, None),
-        };
-
-        if let Some(a) = up_from {
-            for level in 1..=up_to_level {
-                let child = self.cfg.ancestor(a, level - 1);
-                let occ = self.occupancy(level, bytes);
-                let lat = self.cycles(self.cfg.router_latency_cycles[level - 1]);
-                t = Self::reserve(&mut self.links[level - 1][child * 2], t, occ, lat, bytes);
-                last_occ = occ;
-            }
+        for hop in &route.hops {
+            let occ = self.cycles(bytes.max(1).div_ceil(hop.width_bytes) as u64);
+            let lat = self.cycles(hop.latency_cycles);
+            t = Self::reserve(&mut self.links[hop.index], t, occ, lat, bytes);
+            last_occ = occ;
         }
-
-        // HBM channel crossing (wrapper <-> controller).
-        match (from, to) {
-            (_, Endpoint::Hbm) => {
-                let occ = self.cfg.frequency.cycles_to_time(Cycles(
-                    bytes.max(1).div_ceil(self.cfg.hbm.width_bytes) as u64,
-                ));
-                let lat = self.cycles(self.cfg.hbm.latency_cycles);
-                t = Self::reserve(&mut self.hbm_up, t, occ, lat, bytes);
-                last_occ = occ;
-            }
-            (Endpoint::Hbm, _) => {
-                let occ = self.cfg.frequency.cycles_to_time(Cycles(
-                    bytes.max(1).div_ceil(self.cfg.hbm.width_bytes) as u64,
-                ));
-                let lat = self.cycles(self.cfg.hbm.latency_cycles);
-                t = Self::reserve(&mut self.hbm_down, t, occ, lat, bytes);
-                last_occ = occ;
-            }
-            _ => {}
-        }
-
-        if let Some(b) = down_to {
-            for level in (1..=down_from_level).rev() {
-                let child = self.cfg.ancestor(b, level - 1);
-                let occ = self.occupancy(level, bytes);
-                let lat = self.cycles(self.cfg.router_latency_cycles[level - 1]);
-                t = Self::reserve(
-                    &mut self.links[level - 1][child * 2 + 1],
-                    t,
-                    occ,
-                    lat,
-                    bytes,
-                );
-                last_occ = occ;
-            }
-        }
-
         (t, t + last_occ)
     }
 
     /// Reserves the HBM controller for a burst whose head arrives at `t`.
     /// Returns the time the data is available (read) / absorbed (write).
     fn hbm_service(&mut self, t: SimTime, bytes: usize) -> SimTime {
-        let occ_cycles = self.cfg.hbm.row_overhead_cycles
-            + bytes.max(1).div_ceil(self.cfg.hbm.width_bytes) as u64;
+        let occ_cycles = self.config().hbm.row_overhead_cycles
+            + bytes.max(1).div_ceil(self.config().hbm.width_bytes) as u64;
         let occ = self.cycles(occ_cycles);
         Self::reserve(&mut self.hbm_ctrl, t, occ, occ, bytes)
     }
@@ -283,11 +223,14 @@ impl Noc {
         bytes: usize,
     ) -> SimTime {
         if let Endpoint::Cluster(i) = src {
-            assert!(i < self.cfg.n_clusters(), "source cluster out of range");
+            assert!(
+                i < self.config().n_clusters(),
+                "source cluster out of range"
+            );
         }
         if let Endpoint::Cluster(i) = dst {
             assert!(
-                i < self.cfg.n_clusters(),
+                i < self.config().n_clusters(),
                 "destination cluster out of range"
             );
         }
@@ -306,7 +249,7 @@ impl Noc {
                 if dst == Endpoint::Hbm {
                     tail = self.hbm_service(head, bytes);
                 }
-                if self.cfg.model_protocol_overhead {
+                if self.config().model_protocol_overhead {
                     let (_, resp_tail) = self.route_payload(tail, dst, src, 1);
                     resp_tail
                 } else {
@@ -315,7 +258,7 @@ impl Noc {
             }
             TxnKind::Read => {
                 // 1-beat request src -> dst, service at dst, payload back.
-                let (req_head, req_tail) = if self.cfg.model_protocol_overhead {
+                let (req_head, req_tail) = if self.config().model_protocol_overhead {
                     self.route_payload(now, src, dst, 1)
                 } else {
                     (now, now)
@@ -346,14 +289,8 @@ impl Noc {
         // scratch copy of just the link clocks: we re-run the walk on a
         // throwaway clone. Topologies are small (≤ ~1300 links).
         let mut scratch = Noc {
-            cfg: self.cfg.clone(),
-            links: self
-                .links
-                .iter()
-                .map(|v| vec![LinkState::default(); v.len()])
-                .collect(),
-            hbm_up: LinkState::default(),
-            hbm_down: LinkState::default(),
+            topo: self.topo.clone(),
+            links: vec![LinkState::default(); self.links.len()],
             hbm_ctrl: LinkState::default(),
             total_transactions: 0,
         };
@@ -366,10 +303,8 @@ impl Noc {
     /// Panics if the link does not exist in this topology.
     pub fn link_stats(&self, id: LinkId) -> LinkStats {
         let s = match id {
-            LinkId::Up { level, child } => &self.links[level - 1][child * 2],
-            LinkId::Down { level, child } => &self.links[level - 1][child * 2 + 1],
-            LinkId::HbmUp => &self.hbm_up,
-            LinkId::HbmDown => &self.hbm_down,
+            LinkId::HbmCtrl => &self.hbm_ctrl,
+            _ => &self.links[self.topo.link_index(id)],
         };
         LinkStats {
             busy: SimTime::from_ps(s.busy_ps),
@@ -391,7 +326,10 @@ impl Noc {
 
     /// Aggregate busy time over all tree links at `level` (1-based).
     pub fn level_busy(&self, level: usize) -> SimTime {
-        let ps: u64 = self.links[level - 1].iter().map(|l| l.busy_ps).sum();
+        let ps: u64 = (0..self.links.len())
+            .filter(|&i| self.topo.link_level(self.topo.link_id(i)) == Some(level))
+            .map(|i| self.links[i].busy_ps)
+            .sum();
         SimTime::from_ps(ps)
     }
 }

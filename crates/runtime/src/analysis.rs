@@ -5,6 +5,86 @@ use crate::pipeline::RunReport;
 use crate::power::{AreaModel, EnergyBreakdown, EnergyModel};
 use aimc_core::{bottleneck_per_image, ArchConfig, SystemMapping};
 use aimc_dnn::{group_label, Graph};
+use aimc_noc::LinkId;
+
+/// Utilization of one interconnect tier over a run — the per-link
+/// attribution behind Fig. 6's "communication" bar: whether stalls come
+/// from the HBM channel or from a specific tree level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoad {
+    /// Tier label: `"hbm-channel"` or `"tree-L<level>"`.
+    pub label: String,
+    /// Directed links in the tier.
+    pub links: usize,
+    /// Busy fraction of the tier's busiest link over the makespan.
+    pub peak_util: f64,
+    /// Mean busy fraction across the tier's links.
+    pub mean_util: f64,
+    /// Total bytes carried by the tier.
+    pub bytes: u64,
+    /// Worst per-link queue depth seen anywhere in the tier.
+    pub peak_queued: u32,
+}
+
+/// Groups a run's per-link fabric statistics into interconnect tiers: the
+/// HBM channel (the DRAM controller service) first, then each quadrant-tree
+/// level from the leaves up.
+pub fn link_loads(report: &RunReport) -> Vec<LinkLoad> {
+    let span = report.makespan.as_ps().max(1) as f64;
+    let mut out = Vec::new();
+    // The HBM channel tier: the wrapper<->controller links plus the DRAM
+    // controller service itself.
+    let hbm: Vec<_> = report
+        .fabric
+        .links
+        .iter()
+        .filter(|l| matches!(l.id, LinkId::HbmUp | LinkId::HbmDown | LinkId::HbmCtrl))
+        .collect();
+    if !hbm.is_empty() {
+        let peak = hbm.iter().map(|l| l.busy.as_ps()).max().unwrap_or(0);
+        let total: u64 = hbm.iter().map(|l| l.busy.as_ps()).sum();
+        out.push(LinkLoad {
+            label: "hbm-channel".into(),
+            links: hbm.len(),
+            peak_util: peak as f64 / span,
+            mean_util: total as f64 / span / hbm.len() as f64,
+            bytes: hbm.iter().map(|l| l.bytes).sum(),
+            peak_queued: hbm.iter().map(|l| l.peak_queued).max().unwrap_or(0),
+        });
+    }
+    let n_levels = report
+        .fabric
+        .links
+        .iter()
+        .filter_map(|l| match l.id {
+            LinkId::Up { level, .. } | LinkId::Down { level, .. } => Some(level),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    for level in 1..=n_levels {
+        let rows: Vec<_> = report
+            .fabric
+            .links
+            .iter()
+            .filter(|l| {
+                matches!(l.id,
+                    LinkId::Up { level: lv, .. } | LinkId::Down { level: lv, .. } if lv == level)
+            })
+            .collect();
+        let peak = rows.iter().map(|l| l.busy.as_ps()).max().unwrap_or(0);
+        let total: u64 = rows.iter().map(|l| l.busy.as_ps()).sum();
+        out.push(LinkLoad {
+            label: format!("tree-L{level}"),
+            links: rows.len(),
+            peak_util: peak as f64 / span,
+            mean_util: total as f64 / span / rows.len().max(1) as f64,
+            bytes: rows.iter().map(|l| l.bytes).sum(),
+            peak_queued: rows.iter().map(|l| l.peak_queued).max().unwrap_or(0),
+        });
+    }
+    out
+}
 
 /// The five levels of Fig. 6, in TOPS (nominal-ops convention).
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +101,9 @@ pub struct Waterfall {
     /// Measured steady-state throughput with communication and
     /// synchronization ("communication").
     pub communication: f64,
+    /// Per-tier interconnect load: attributes the final bar's loss to the
+    /// HBM channel vs specific tree levels.
+    pub link_loads: Vec<LinkLoad>,
 }
 
 impl Waterfall {
@@ -52,6 +135,7 @@ impl Waterfall {
             local_mapping: local,
             intra_layer_unbalance: unbalance,
             communication: communication.min(unbalance),
+            link_loads: link_loads(report),
         }
     }
 
@@ -93,6 +177,31 @@ impl Waterfall {
                 step
             );
             prev = tops;
+        }
+        out
+    }
+
+    /// Renders the per-tier interconnect load table that attributes the
+    /// communication bar to specific links.
+    pub fn render_links(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<12} {:>6} {:>7} {:>7} {:>12} {:>6}",
+            "tier", "links", "peak", "mean", "bytes", "queue"
+        );
+        for l in &self.link_loads {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>6} {:>6.1}% {:>6.1}% {:>12} {:>6}",
+                l.label,
+                l.links,
+                l.peak_util * 100.0,
+                l.mean_util * 100.0,
+                l.bytes,
+                l.peak_queued
+            );
         }
         out
     }
@@ -182,6 +291,11 @@ pub struct Headline {
     pub clusters_used: (usize, usize),
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
+    /// HBM channel (DRAM controller) busy fraction over the makespan.
+    pub hbm_channel_util: f64,
+    /// The busiest quadrant-tree tier (label, peak-link busy fraction) —
+    /// where communication stalls concentrate when it is not the HBM.
+    pub hottest_tree_tier: Option<(String, f64)>,
 }
 
 impl Headline {
@@ -198,6 +312,16 @@ impl Headline {
         let avg_w = total_mj * 1e-3 / report.makespan.as_s_f64();
         let tops = report.tops();
         let area = area_model.platform_mm2(arch.n_clusters());
+        let loads = link_loads(report);
+        let hbm_channel_util = loads
+            .iter()
+            .find(|l| l.label == "hbm-channel")
+            .map_or(0.0, |l| l.peak_util);
+        let hottest_tree_tier = loads
+            .iter()
+            .filter(|l| l.label != "hbm-channel")
+            .max_by(|a, b| a.peak_util.total_cmp(&b.peak_util))
+            .map(|l| (l.label.clone(), l.peak_util));
         Headline {
             tops,
             images_per_s: report.images_per_s(),
@@ -209,6 +333,8 @@ impl Headline {
             area_mm2: area,
             clusters_used: (mapping.n_clusters_used, mapping.n_clusters_available),
             energy,
+            hbm_channel_util,
+            hottest_tree_tier,
         }
     }
 
@@ -259,6 +385,22 @@ impl Headline {
         for (name, val, paper) in rows {
             let _ = writeln!(out, "{:<28} {:>12} {:>12}", name, val, paper);
         }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>11.1}% {:>12}",
+            "hbm channel util",
+            self.hbm_channel_util * 100.0,
+            "-"
+        );
+        if let Some((tier, util)) = &self.hottest_tree_tier {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12} {:>12}",
+                "hottest tree tier",
+                format!("{} {:.1}%", tier, util * 100.0),
+                "-"
+            );
+        }
         out
     }
 }
@@ -274,7 +416,7 @@ mod tests {
         let g = resnet18(256, 256, 1000);
         let arch = ArchConfig::paper();
         let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-        let r = simulate(&g, &m, &arch, 4);
+        let r = simulate(&g, &m, &arch, 4).unwrap();
         (g, m, arch, r)
     }
 
@@ -337,6 +479,28 @@ mod tests {
         assert!(eff[5].gops_per_mm2 < eff[2].gops_per_mm2);
         assert!(eff[5].gops_per_mm2 < eff[3].gops_per_mm2);
         assert!(eff[5].gops_per_mm2 < eff[4].gops_per_mm2);
+    }
+
+    #[test]
+    fn link_loads_attribute_traffic_to_tiers() {
+        let (g, m, arch, r) = setup();
+        let w = Waterfall::compute(&g, &m, &arch, &r);
+        // HBM channel first, then one row per tree level.
+        assert_eq!(w.link_loads[0].label, "hbm-channel");
+        assert_eq!(w.link_loads.len(), 1 + arch.noc.n_levels());
+        for l in &w.link_loads {
+            assert!(l.peak_util >= l.mean_util, "{}: peak < mean", l.label);
+            assert!(l.peak_util <= 1.0, "{}: util > 1", l.label);
+        }
+        // ResNet-18 inputs/outputs cross the HBM: the channel must be used.
+        assert!(w.link_loads[0].bytes > 0);
+        assert!(w.link_loads[0].peak_util > 0.0);
+        // Tier bytes (plus the channel itself) cover all routed bytes.
+        let tier_bytes: u64 = w.link_loads.iter().map(|l| l.bytes).sum();
+        assert_eq!(tier_bytes, r.fabric.link_bytes);
+        let table = w.render_links();
+        assert!(table.contains("hbm-channel"));
+        assert!(table.contains("tree-L1"));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! let graph = resnet18(256, 256, 1000);
 //! let arch = ArchConfig::paper();
 //! let mapping = map_network(&graph, &arch, MappingStrategy::OnChipResiduals).unwrap();
-//! let report = simulate(&graph, &mapping, &arch, 16);
+//! let report = simulate(&graph, &mapping, &arch, 16).unwrap();
 //! let headline = Headline::compute(
 //!     &mapping, &arch, &report,
 //!     &EnergyModel::default(), &AreaModel::default(),
@@ -41,6 +41,8 @@ mod power;
 pub mod report;
 pub mod trace;
 
-pub use analysis::{group_area_efficiency, GroupEfficiency, Headline, Waterfall};
-pub use pipeline::{simulate, ClusterBreakdown, FireRecord, RunReport};
+pub use analysis::{
+    group_area_efficiency, link_loads, GroupEfficiency, Headline, LinkLoad, Waterfall,
+};
+pub use pipeline::{simulate, simulate_with, ClusterBreakdown, FireRecord, RunReport, SimError};
 pub use power::{AreaModel, ClusterVariant, EnergyBreakdown, EnergyModel, EnergyTallies};

@@ -16,36 +16,104 @@
 //!    chunk latency is their sum).
 //!
 //! Completed chunks are pushed to consumers as DMA bursts over the
-//! contention-modeled NoC; skip (residual) tensors take two legs through
+//! hop-by-hop [`Fabric`]; skip (residual) tensors take two legs through
 //! their assigned storage (HBM or a spare cluster's L1, Sec. V-4), with the
 //! read leg issued on demand as the consuming chunk's main input lands.
+//!
+//! ## Sharded engine: conservative windows
+//!
+//! Each stage owns a private event queue and advances through global time in
+//! lockstep *windows* of [`LOOKAHEAD_CYCLES`] cycles. Within a window a
+//! stage touches only its own state plus immutable configuration and a
+//! snapshot of every other stage's progress taken at the window barrier;
+//! all cross-stage effects are buffered and applied at the barrier:
+//!
+//! * **DMA bursts** enter the [`Fabric`] one window after issue (the DMA
+//!   descriptor-programming latency) and come back as exactly-timed
+//!   delivery events;
+//! * **credit wakes** (a consumer fired, freeing producer credit) land one
+//!   window later (the credit-return latency), by which point the barrier
+//!   snapshot already reflects the fire.
+//!
+//! Because stages never read each other's live state, the window's work
+//! items are independent and can run on [`aimc_parallel`] workers — and the
+//! merge (sorted transaction injection, sorted fire records, summed
+//! tallies) is a pure function of per-stage results, so a run's
+//! [`RunReport`] is **bit-identical** for any [`Parallelism`] choice.
+//! `simulate` is the serial entry point; [`simulate_with`] picks the worker
+//! pool. The window is not free fidelity-wise: issue and wake latencies
+//! shift DMA traffic by 4 cycles versus a zero-lookahead engine, which is
+//! both physically honest and well under the ~100-cycle chunk
+//! synchronization overhead.
 
 use crate::power::EnergyTallies;
 use aimc_core::{stage_chunk_timing, ArchConfig, EdgeKind, ResidualRoute, SystemMapping};
 use aimc_dnn::Graph;
-use aimc_noc::{Endpoint, Noc, TxnKind};
+use aimc_noc::{Endpoint, Fabric, FabricReport, TxnKind};
+use aimc_parallel::Parallelism;
 use aimc_sim::{
     stats::{Activity, ActivityTracker},
-    Cycles, EventQueue, SimTime,
+    Cycles, OrderedEventQueue, SimTime,
 };
+use std::fmt;
+use std::sync::Mutex;
 
 /// Extra per-chunk orchestration cycles (DMA descriptor programming + event
 /// waits) on top of the kernel-internal setup costs.
 const CHUNK_SYNC_CYCLES: u64 = 100;
 /// Skip-edge credit in *consumer images* (the residual storage window).
 const SKIP_SLACK_IMAGES: u64 = 2;
+/// Conservative lookahead window in core cycles: the DMA-issue latency (a
+/// completed chunk's burst enters the network this many cycles after the
+/// descriptor is programmed) and the credit-return latency (a consumer's
+/// progress becomes visible to producers after the same delay). Both are
+/// physical pipeline latencies, and together they guarantee that nothing a
+/// stage does inside a window can affect another stage within that same
+/// window — the lookahead that makes per-window stage sharding exact.
+const LOOKAHEAD_CYCLES: u64 = 4;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Per-stage events. The `Ord` implementation (variant order, then fields)
+/// is part of the determinism contract: equal-time events drain in a fixed
+/// order — deliveries and state updates first, completions next, fire
+/// attempts last so they observe every update at their timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
-    TryFire { stage: u32, lane: u32 },
-    ChunkDone { stage: u32, lane: u32, chunk: u64 },
-    Delivered { stage: u32, edge: u32, pchunk: u64 },
-    SkipStored { stage: u32, edge: u32, pchunk: u64 },
-    SkipReadDone { stage: u32, edge: u32, cchunk: u64 },
-    FinalDelivered { chunk: u64 },
+    Delivered { edge: u32, pchunk: u64 },
+    SkipStored { edge: u32, pchunk: u64 },
+    SkipReadDone { edge: u32, cchunk: u64 },
+    ChunkDone { lane: u32, chunk: u64 },
+    TryFire { lane: u32 },
 }
 
-struct EdgeRt {
+/// What to do when a fabric transaction (all its parts) completes.
+#[derive(Debug, Clone, Copy)]
+enum Deliver {
+    /// Push `ev` into `stage`'s queue at the completion time.
+    Edge { stage: u32, ev: Ev },
+    /// A final output tile reached the HBM.
+    Final { chunk: u64 },
+}
+
+/// A buffered DMA request: one logical transfer of `parts` bursts that
+/// resolves to a single delivery event at the latest part completion.
+#[derive(Debug)]
+struct TxnReq {
+    issue: SimTime,
+    kind: TxnKind,
+    src: Endpoint,
+    parts: Vec<(Endpoint, usize)>,
+    deliver: Deliver,
+}
+
+#[derive(Debug)]
+struct Pending {
+    remaining: u32,
+    max_t: SimTime,
+    deliver: Deliver,
+}
+
+/// Immutable per-edge configuration, readable from any stage's worker.
+struct EdgeCfg {
     from: usize,
     bytes_per_cchunk: usize,
     transfers: usize,
@@ -63,6 +131,20 @@ struct EdgeRt {
     /// staging packs tiles contiguously (amp = 1), which is precisely the
     /// Sec. V-4 advantage.
     hbm_amp: usize,
+}
+
+impl EdgeCfg {
+    /// Highest producer chunk (global) the consumer chunk `c` depends on.
+    fn required(&self, cchunk: u64) -> u64 {
+        let img = cchunk / self.cc;
+        let jl = cchunk % self.cc;
+        let r = (((jl + 1) * self.cp).div_ceil(self.cc) - 1 + self.halo).min(self.cp - 1);
+        img * self.cp + r
+    }
+}
+
+/// Mutable per-edge state, owned by the consuming stage.
+struct EdgeState {
     delivered: Vec<bool>,
     watermark: i64,
     // Skip-edge state:
@@ -72,19 +154,7 @@ struct EdgeRt {
     next_skip_request: u64,
 }
 
-impl EdgeRt {
-    /// Highest producer chunk (global) the consumer chunk `c` depends on.
-    fn required(&self, cchunk: u64) -> u64 {
-        let img = cchunk / self.cc;
-        let jl = cchunk % self.cc;
-        let r = (((jl + 1) * self.cp).div_ceil(self.cc) - 1 + self.halo).min(self.cp - 1);
-        img * self.cp + r
-    }
-
-    fn stream_ready(&self, cchunk: u64) -> bool {
-        self.watermark >= self.required(cchunk) as i64
-    }
-
+impl EdgeState {
     fn advance(marks: &mut [bool], watermark: &mut i64, chunk: u64) {
         if (chunk as usize) < marks.len() {
             marks[chunk as usize] = true;
@@ -104,23 +174,47 @@ struct LaneRt {
     digital_busy: SimTime,
 }
 
-struct StageRt {
-    lanes: Vec<LaneRt>,
-    edges: Vec<EdgeRt>,
-    consumers: Vec<(usize, usize)>, // (consumer stage, edge index there)
+/// Immutable per-stage configuration shared across all workers.
+struct StageCfg {
     total_chunks: u64,
-    next_fire: u64,
+    n_lanes: usize,
+    lane_clusters: usize,
     service: SimTime,
     latency: SimTime,
     analog_time: SimTime,
     digital_time: SimTime,
     sync_display: SimTime,
     core_cycles_per_chunk: u64,
+    /// Analog MVMs tallied per fire (0 for digital-only stages).
+    mvms_per_fire: u64,
     /// Expected DMA time of one chunk's inputs (bytes over the 64 B/cycle
     /// links plus per-hop latency): the cap on how much of an input-wait is
     /// attributed to *communication*; anything beyond is upstream starvation
     /// or backpressure and counts as *sleep* (the paper's head/tail idling).
     expected_comm_per_chunk: SimTime,
+    edges: Vec<EdgeCfg>,
+    consumers: Vec<(usize, usize)>, // (consumer stage, edge index there)
+    /// Physical cluster ids in lane order (tracker slots align with this).
+    clusters: Vec<usize>,
+    /// Tracker slots of each lane's clusters.
+    lane_slots: Vec<Vec<usize>>,
+}
+
+/// Mutable per-stage runtime state; exactly one worker touches it per
+/// window.
+struct StageState {
+    queue: OrderedEventQueue<Ev>,
+    lanes: Vec<LaneRt>,
+    edges: Vec<EdgeState>,
+    next_fire: u64,
+    trackers: Vec<ActivityTracker>,
+    fires: Vec<FireRecord>,
+    mvms: u64,
+    core_cycles: u64,
+    /// Barrier-buffered DMA requests issued this window.
+    txns: Vec<TxnReq>,
+    /// Barrier-buffered credit wakes: `(wake time, producer stage)`.
+    wakes: Vec<(SimTime, u32)>,
 }
 
 /// Per-cluster execution-time breakdown row (Fig. 5B/C/D).
@@ -160,8 +254,28 @@ pub struct FireRecord {
     pub end: SimTime,
 }
 
+/// A run request the simulator cannot execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run was asked to simulate zero images.
+    ZeroBatch,
+    /// The mapping does not describe the graph it is being simulated with.
+    MappingMismatch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ZeroBatch => write!(f, "batch must be positive"),
+            SimError::MappingMismatch(why) => write!(f, "mapping/graph mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Results of one pipelined batch execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Images in the batch.
     pub batch: usize,
@@ -185,10 +299,14 @@ pub struct RunReport {
     pub hbm_busy: SimTime,
     /// Bytes through the HBM controller.
     pub hbm_bytes: u64,
-    /// Simulator events processed (cost metric).
+    /// Simulator events processed across all stage queues and the fabric
+    /// (cost metric).
     pub events: u64,
-    /// Every chunk execution, in fire order (timeline reconstruction).
+    /// Every chunk execution, sorted by `(start, stage, chunk)` (timeline
+    /// reconstruction).
     pub fires: Vec<FireRecord>,
+    /// Per-link NoC utilization and peak demand.
+    pub fabric: FabricReport,
 }
 
 impl RunReport {
@@ -213,49 +331,107 @@ impl RunReport {
     }
 }
 
-/// Simulates one batch through the mapped pipeline.
+/// Simulates one batch through the mapped pipeline on the calling thread.
 ///
-/// # Panics
-/// Panics if `batch == 0` or the mapping/graph disagree.
+/// Equivalent to [`simulate_with`] under [`Parallelism::Serial`]; any other
+/// parallelism level produces a bit-identical [`RunReport`].
 pub fn simulate(
     graph: &Graph,
     mapping: &SystemMapping,
     arch: &ArchConfig,
     batch: usize,
-) -> RunReport {
-    assert!(batch > 0, "batch must be positive");
+) -> Result<RunReport, SimError> {
+    simulate_with(graph, mapping, arch, batch, Parallelism::Serial)
+}
+
+fn validate(graph: &Graph, mapping: &SystemMapping, batch: usize) -> Result<(), SimError> {
+    if batch == 0 {
+        return Err(SimError::ZeroBatch);
+    }
+    if mapping.stages.is_empty() || mapping.node_final_stage.is_empty() {
+        return Err(SimError::MappingMismatch("mapping has no stages".into()));
+    }
+    if mapping.node_final_stage.len() != graph.len() {
+        return Err(SimError::MappingMismatch(format!(
+            "mapping covers {} graph nodes, graph has {}",
+            mapping.node_final_stage.len(),
+            graph.len()
+        )));
+    }
     let n_stages = mapping.stages.len();
-    let mut noc = Noc::new(arch.noc.clone());
-    let mut queue: EventQueue<Ev> = EventQueue::new();
+    for (nid, &sid) in mapping.node_final_stage.iter().enumerate() {
+        if sid >= n_stages {
+            return Err(SimError::MappingMismatch(format!(
+                "node {nid} maps to stage {sid} of {n_stages}"
+            )));
+        }
+    }
+    for (sid, s) in mapping.stages.iter().enumerate() {
+        for e in &s.producers {
+            if e.from >= n_stages {
+                return Err(SimError::MappingMismatch(format!(
+                    "stage {sid} consumes from stage {} of {n_stages}",
+                    e.from
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Simulates one batch through the mapped pipeline, sharding the per-window
+/// stage work across `par` workers.
+///
+/// The report is a pure function of `(graph, mapping, arch, batch)`:
+/// [`Parallelism::Serial`], [`Parallelism::Threads`] and
+/// [`Parallelism::PinnedThreads`] at any width produce bit-identical
+/// results (see the module docs for why).
+pub fn simulate_with(
+    graph: &Graph,
+    mapping: &SystemMapping,
+    arch: &ArchConfig,
+    batch: usize,
+    par: Parallelism,
+) -> Result<RunReport, SimError> {
+    validate(graph, mapping, batch)?;
+    let n_stages = mapping.stages.len();
     let freq = arch.frequency;
     let sync_extra = freq.cycles_to_time(Cycles(CHUNK_SYNC_CYCLES));
+    let window = freq.cycles_to_time(Cycles(LOOKAHEAD_CYCLES));
+    let window_ps = window.as_ps().max(1);
 
-    // ---- Build runtime state -------------------------------------------------
-    let mut stages: Vec<StageRt> = Vec::with_capacity(n_stages);
+    // ---- Build immutable configuration and per-stage state -------------------
+    let mut cfgs: Vec<StageCfg> = Vec::with_capacity(n_stages);
+    let mut states: Vec<Mutex<StageState>> = Vec::with_capacity(n_stages);
     for s in mapping.stages() {
         let t = stage_chunk_timing(s, arch);
         let total_chunks = (batch * s.tiling.chunks_per_image) as u64;
-        let edges = s
+        let edges: Vec<EdgeCfg> = s
             .producers
             .iter()
             .map(|e| {
                 let ptiling = &mapping.stages[e.from].tiling;
-                let cp = ptiling.chunks_per_image as u64;
-                let cc = s.tiling.chunks_per_image as u64;
-                let total_p = (cp * batch as u64) as usize;
-                let is_skip = matches!(e.kind, EdgeKind::Skip { .. });
                 let hbm_amp =
                     (ptiling.ofm.w.min(arch.noc.hbm.width_bytes) / ptiling.out_tile_w).max(1);
-                EdgeRt {
+                EdgeCfg {
                     from: e.from,
                     bytes_per_cchunk: e.bytes_per_chunk,
                     transfers: e.transfers,
                     halo: e.halo_chunks as u64,
                     kind: e.kind,
-                    cp,
-                    cc,
+                    cp: ptiling.chunks_per_image as u64,
+                    cc: s.tiling.chunks_per_image as u64,
                     slack: 2 * s.lanes as u64 + 2 * mapping.stages[e.from].lanes as u64,
                     hbm_amp,
+                }
+            })
+            .collect();
+        let edge_states: Vec<EdgeState> = edges
+            .iter()
+            .map(|e| {
+                let total_p = (e.cp * batch as u64) as usize;
+                let is_skip = matches!(e.kind, EdgeKind::Skip { .. });
+                EdgeState {
                     delivered: vec![false; total_p],
                     watermark: -1,
                     stored: if is_skip {
@@ -283,7 +459,6 @@ pub fn simulate(
             .iter()
             .map(|e| (e.bytes_per_chunk / 64) as u64 + 40)
             .sum();
-        let expected_comm_per_chunk = freq.cycles_to_time(Cycles(comm_cycles));
         let core_cycles_per_chunk = if s.digital_per_chunk.is_empty() {
             0
         } else {
@@ -295,7 +470,48 @@ pub fn simulate(
             .run_all(&s.digital_per_chunk)
             .core_cycles
         };
-        stages.push(StageRt {
+        let mut clusters = Vec::new();
+        let mut lane_slots = Vec::with_capacity(s.lanes);
+        for l in 0..s.lanes {
+            let mut slots = Vec::with_capacity(s.lane_clusters);
+            if s.lane_clusters > 0 {
+                for &c in s.lane(l) {
+                    slots.push(clusters.len());
+                    clusters.push(c);
+                }
+            }
+            lane_slots.push(slots);
+        }
+        let trackers = clusters
+            .iter()
+            .map(|_| ActivityTracker::new(SimTime::ZERO))
+            .collect();
+        let mut queue = OrderedEventQueue::new();
+        for l in 0..s.lanes {
+            queue.push(SimTime::ZERO, Ev::TryFire { lane: l as u32 });
+        }
+        cfgs.push(StageCfg {
+            total_chunks,
+            n_lanes: s.lanes,
+            lane_clusters: s.lane_clusters,
+            service: t.service + sync_extra,
+            latency: t.latency + sync_extra,
+            analog_time: t.analog,
+            digital_time: t.digital,
+            sync_display: sync_display.min(t.service + sync_extra),
+            core_cycles_per_chunk,
+            mvms_per_fire: s
+                .analog
+                .as_ref()
+                .map_or(0, |a| a.job.n_mvm * s.lane_clusters as u64),
+            expected_comm_per_chunk: freq.cycles_to_time(Cycles(comm_cycles)),
+            edges,
+            consumers: vec![],
+            clusters,
+            lane_slots,
+        });
+        states.push(Mutex::new(StageState {
+            queue,
             lanes: (0..s.lanes)
                 .map(|l| LaneRt {
                     next_chunk: l as u64,
@@ -306,367 +522,205 @@ pub fn simulate(
                     digital_busy: SimTime::ZERO,
                 })
                 .collect(),
-            edges,
-            consumers: vec![],
-            total_chunks,
+            edges: edge_states,
             next_fire: 0,
-            service: t.service + sync_extra,
-            latency: t.latency + sync_extra,
-            analog_time: t.analog,
-            digital_time: t.digital,
-            sync_display: sync_display.min(t.service + sync_extra),
-            core_cycles_per_chunk,
-            expected_comm_per_chunk,
-        });
+            trackers: {
+                let t: Vec<ActivityTracker> = trackers;
+                t
+            },
+            fires: Vec::new(),
+            mvms: 0,
+            core_cycles: 0,
+            txns: Vec::new(),
+            wakes: Vec::new(),
+        }));
     }
     // Reverse edges.
     for sid in 0..n_stages {
         for (eidx, e) in mapping.stages[sid].producers.iter().enumerate() {
-            stages[e.from].consumers.push((sid, eidx));
+            cfgs[e.from].consumers.push((sid, eidx));
         }
     }
 
-    // Activity trackers per physical cluster.
-    let n_clusters = mapping.n_clusters_used;
-    let mut trackers: Vec<ActivityTracker> = (0..n_clusters)
-        .map(|_| ActivityTracker::new(SimTime::ZERO))
-        .collect();
-
-    let mut tallies = EnergyTallies::default();
     let final_stage = *mapping.node_final_stage.last().expect("mapping has nodes");
     let final_chunks_per_image = mapping.stages[final_stage].tiling.chunks_per_image as u64;
     let mut final_done_per_image = vec![0u64; batch];
     let mut image_completions = vec![SimTime::ZERO; batch];
+    let mut final_max = SimTime::ZERO;
+
+    let mut fabric = Fabric::new(arch.noc.clone());
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut wake_buf: Vec<(SimTime, u32)> = Vec::new();
+
+    // ---- Window loop ---------------------------------------------------------
+    loop {
+        // The next window is wherever the earliest pending work sits: a
+        // stage event, a fabric event, or a buffered wake. Windows are
+        // aligned to the lookahead grid; the choice is a pure function of
+        // (deterministic) simulation state, never of worker scheduling.
+        let mut t_min: Option<SimTime> = None;
+        let mut fold = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                t_min = Some(t_min.map_or(t, |m: SimTime| m.min(t)));
+            }
+        };
+        for st in states.iter_mut() {
+            fold(st.get_mut().expect("stage lock poisoned").queue.peek_time());
+        }
+        fold(fabric.next_event_time());
+        for &(t, _) in &wake_buf {
+            fold(Some(t));
+        }
+        let Some(t0) = t_min else { break };
+        let horizon = SimTime::from_ps((t0.as_ps() / window_ps) * window_ps) + window;
+
+        // Barrier, part 1: fly the fabric up to the horizon and deliver
+        // completed transfers into their stages at exact completion times.
+        for (t, tag) in fabric.advance_before(horizon) {
+            let p = &mut pending[tag as usize];
+            p.remaining -= 1;
+            if t > p.max_t {
+                p.max_t = t;
+            }
+            if p.remaining == 0 {
+                match p.deliver {
+                    Deliver::Edge { stage, ev } => states[stage as usize]
+                        .get_mut()
+                        .expect("stage lock poisoned")
+                        .queue
+                        .push(p.max_t, ev),
+                    Deliver::Final { chunk } => {
+                        let img = (chunk / final_chunks_per_image) as usize;
+                        final_done_per_image[img] += 1;
+                        if final_done_per_image[img] == final_chunks_per_image {
+                            image_completions[img] = p.max_t;
+                        }
+                        if p.max_t > final_max {
+                            final_max = p.max_t;
+                        }
+                    }
+                }
+            }
+        }
+        // Barrier, part 2: due credit wakes become TryFire events.
+        let mut due = Vec::new();
+        wake_buf.retain(|&(t, s)| {
+            if t < horizon {
+                due.push((t, s));
+                false
+            } else {
+                true
+            }
+        });
+        for (t, s) in due {
+            let st = states[s as usize].get_mut().expect("stage lock poisoned");
+            for l in 0..cfgs[s as usize].n_lanes {
+                st.queue.push(t, Ev::TryFire { lane: l as u32 });
+            }
+        }
+
+        // Barrier, part 3: snapshot every stage's progress for credit checks.
+        let snaps: Vec<u64> = states
+            .iter_mut()
+            .map(|m| m.get_mut().expect("stage lock poisoned").next_fire)
+            .collect();
+
+        // Process the window: each active stage drains its own queue up to
+        // the horizon, touching only its own state + shared config/snapshot.
+        let mut active: Vec<usize> = Vec::new();
+        for (i, m) in states.iter_mut().enumerate() {
+            if m.get_mut()
+                .expect("stage lock poisoned")
+                .queue
+                .peek_time()
+                .is_some_and(|t| t < horizon)
+            {
+                active.push(i);
+            }
+        }
+        let run = |sid: usize| {
+            let mut st = states[sid].lock().expect("stage lock poisoned");
+            process_stage(
+                sid,
+                &mut st,
+                &cfgs,
+                &snaps,
+                mapping,
+                horizon,
+                window,
+                final_stage,
+            );
+        };
+        if par.is_parallel() && active.len() >= 2 {
+            aimc_parallel::for_each_indexed(par, &active, |_, &sid| run(sid));
+        } else {
+            for &sid in &active {
+                run(sid);
+            }
+        }
+
+        // Barrier, part 4: merge the window's cross-stage effects. DMA
+        // requests are injected in `(issue, stage, emission)` order so
+        // fabric message ids — and therefore FIFO tie-breaks — are
+        // scheduling-independent.
+        let mut reqs: Vec<(SimTime, usize, usize, TxnReq)> = Vec::new();
+        for (sid, m) in states.iter_mut().enumerate() {
+            let st = m.get_mut().expect("stage lock poisoned");
+            for (seq, r) in st.txns.drain(..).enumerate() {
+                reqs.push((r.issue, sid, seq, r));
+            }
+            wake_buf.append(&mut st.wakes);
+        }
+        reqs.sort_by_key(|a| (a.0, a.1, a.2));
+        for (_, _, _, r) in reqs {
+            let pid = pending.len() as u64;
+            pending.push(Pending {
+                remaining: r.parts.len() as u32,
+                max_t: SimTime::ZERO,
+                deliver: r.deliver,
+            });
+            for (dst, bytes) in r.parts {
+                fabric.inject(r.issue + window, r.kind, r.src, dst, bytes, pid);
+            }
+        }
+        wake_buf.sort_unstable_by_key(|&(t, s)| (t, s));
+        wake_buf.dedup();
+    }
+    debug_assert!(fabric.is_idle(), "fabric drained with the event loop");
+
+    // ---- Collect -------------------------------------------------------------
+    let mut states: Vec<StageState> = states
+        .into_iter()
+        .map(|m| m.into_inner().expect("stage lock poisoned"))
+        .collect();
+    let mut makespan = final_max;
+    for st in &states {
+        makespan = makespan.max(st.queue.now());
+    }
 
     let mut fires: Vec<FireRecord> = Vec::new();
-
-    // Kick off every lane.
-    for (sid, s) in stages.iter().enumerate() {
-        for l in 0..s.lanes.len() {
-            queue.push(
-                SimTime::ZERO,
-                Ev::TryFire {
-                    stage: sid as u32,
-                    lane: l as u32,
-                },
-            );
-        }
+    let mut tallies = EnergyTallies::default();
+    for st in &mut states {
+        fires.append(&mut st.fires);
+        tallies.mvms += st.mvms;
+        tallies.core_cycles += st.core_cycles;
     }
+    fires.sort_by_key(|f| (f.start, f.stage, f.chunk));
 
-    // ---- Helper closures as macros (borrow-checker friendly) -----------------
-    macro_rules! lane_rep {
-        ($mapping:expr, $sid:expr, $lane:expr) => {{
-            let st = &$mapping.stages[$sid];
-            if st.lane_clusters == 0 {
-                None
-            } else {
-                Some(st.lane($lane % st.lanes)[0])
-            }
-        }};
-    }
-
-    // ---- Event loop -----------------------------------------------------------
-    while let Some((now, ev)) = queue.pop() {
-        match ev {
-            Ev::TryFire { stage, lane } => {
-                let sid = stage as usize;
-                let l = lane as usize;
-                // Structured as a breakable block: every arm exits after one
-                // pass; continuation is always via a re-queued TryFire.
-                #[allow(clippy::never_loop)]
-                loop {
-                    let k = stages[sid].lanes[l].next_chunk;
-                    if k >= stages[sid].total_chunks {
-                        break;
-                    }
-                    if stages[sid].lanes[l].free_at > now {
-                        // Re-check when the lane frees up.
-                        let at = stages[sid].lanes[l].free_at;
-                        queue.push(at, Ev::TryFire { stage, lane });
-                        break;
-                    }
-                    // Input readiness.
-                    let mut input_ready = true;
-                    for e in &stages[sid].edges {
-                        let ok = match e.kind {
-                            EdgeKind::Stream => e.stream_ready(k),
-                            EdgeKind::Skip { .. } => e.skip_delivered[k as usize],
-                        };
-                        if !ok {
-                            input_ready = false;
-                            break;
-                        }
-                    }
-                    if !input_ready {
-                        break; // a Delivered event will retry us
-                    }
-                    // Consumer credit.
-                    let mut credit = true;
-                    for &(cid, eidx) in &stages[sid].consumers {
-                        let cons = &stages[cid];
-                        if cons.next_fire >= cons.total_chunks {
-                            continue;
-                        }
-                        let e = &cons.edges[eidx];
-                        let slack = match e.kind {
-                            EdgeKind::Stream => e.slack,
-                            EdgeKind::Skip { .. } => SKIP_SLACK_IMAGES * e.cc,
-                        };
-                        let horizon = (cons.next_fire + slack).min(cons.total_chunks - 1);
-                        if k > e.required(horizon) {
-                            credit = false;
-                            break;
-                        }
-                    }
-                    if !credit {
-                        break; // a consumer fire will retry us
-                    }
-
-                    // ---- Fire chunk k on (sid, l) -----------------------------
-                    let st = &mut stages[sid];
-                    let service = st.service;
-                    let latency = st.latency;
-                    let sync_d = st.sync_display;
-                    let comm_cap = st.expected_comm_per_chunk;
-                    let n_lanes = st.lanes.len() as u64;
-                    let ln = &mut st.lanes[l];
-                    let start = now;
-                    ln.free_at = start + service;
-                    ln.next_chunk += n_lanes;
-                    ln.fired_any = true;
-                    ln.analog_busy += st.analog_time;
-                    ln.digital_busy += st.digital_time;
-                    let busy_end = start + service;
-                    let prev_end = ln.last_busy_end;
-                    ln.last_busy_end = busy_end;
-                    st.next_fire = st.lanes.iter().map(|x| x.next_chunk).min().unwrap_or(0);
-                    fires.push(FireRecord {
-                        stage,
-                        lane,
-                        chunk: k,
-                        start,
-                        end: busy_end,
-                    });
-                    queue.push(
-                        start + latency,
-                        Ev::ChunkDone {
-                            stage,
-                            lane,
-                            chunk: k,
-                        },
-                    );
-
-                    // Activity attribution on the lane's clusters: waits are
-                    // communication up to the expected DMA time of the
-                    // chunk's inputs; the remainder is sleep (starvation or
-                    // backpressure — the paper's head/tail idling).
-                    let mstage = &mapping.stages[sid];
-                    if mstage.lane_clusters > 0 {
-                        let first_fire = prev_end == SimTime::ZERO && start > SimTime::ZERO;
-                        for &c in mstage.lane(l) {
-                            let tr = &mut trackers[c];
-                            if !first_fire && start > prev_end {
-                                let comm_start = start.saturating_sub(comm_cap).max(prev_end);
-                                tr.set_state(comm_start, Activity::Communication);
-                            }
-                            tr.set_state(start, Activity::Synchronization);
-                            tr.set_state(start + sync_d, Activity::Compute);
-                            tr.set_state(busy_end, Activity::Sleep);
-                        }
-                    }
-
-                    // Energy tallies: analog MVMs on every split cluster of
-                    // the lane, serial core cycles from the kernel model.
-                    if let Some(a) = &mstage.analog {
-                        tallies.mvms += a.job.n_mvm * mstage.lane_clusters as u64;
-                    }
-                    tallies.core_cycles += st.core_cycles_per_chunk;
-
-                    // Wake producers (credit freed).
-                    for e in 0..stages[sid].edges.len() {
-                        let from = stages[sid].edges[e].from;
-                        for pl in 0..stages[from].lanes.len() {
-                            queue.push(
-                                now,
-                                Ev::TryFire {
-                                    stage: from as u32,
-                                    lane: pl as u32,
-                                },
-                            );
-                        }
-                    }
-                    //
-
-                    // Loop again: the lane might have another ready chunk only
-                    // after free_at; the scheduled TryFire handles it.
-                    let at = stages[sid].lanes[l].free_at;
-                    queue.push(at, Ev::TryFire { stage, lane });
-                    break;
-                }
-            }
-
-            Ev::ChunkDone { stage, lane, chunk } => {
-                let sid = stage as usize;
-                let consumers = stages[sid].consumers.clone();
-                if consumers.is_empty() && sid == final_stage {
-                    // Ship the network output to HBM.
-                    let bytes = mapping.stages[sid].tiling.out_tile_bytes();
-                    let src = lane_rep!(mapping, sid, lane as usize)
-                        .map_or(Endpoint::Hbm, Endpoint::Cluster);
-                    let done = noc.transfer(now, TxnKind::Write, src, Endpoint::Hbm, bytes);
-                    queue.push(done, Ev::FinalDelivered { chunk });
-                }
-                for (cid, eidx) in consumers {
-                    let e = &stages[cid].edges[eidx];
-                    let cp = e.cp;
-                    let cc = e.cc;
-                    let bytes_pp = ((e.bytes_per_cchunk as u64 * cc).div_ceil(cp) as usize).max(1);
-                    let transfers = e.transfers.max(1);
-                    let kind = e.kind;
-                    let src = lane_rep!(mapping, sid, lane as usize)
-                        .map_or(Endpoint::Hbm, Endpoint::Cluster);
-                    match kind {
-                        EdgeKind::Stream => {
-                            // Deliver to the consumer lane that will use it.
-                            let j0 = (chunk * cc) / cp;
-                            let cstage = &mapping.stages[cid];
-                            let clane = (j0 % cstage.lanes as u64) as usize;
-                            let per = bytes_pp.div_ceil(transfers);
-                            let mut done = now;
-                            for i in 0..transfers {
-                                let dst = if cstage.lane_clusters == 0 {
-                                    Endpoint::Hbm
-                                } else {
-                                    Endpoint::Cluster(cstage.lane(clane)[i % cstage.lane_clusters])
-                                };
-                                let t = noc.transfer(now, TxnKind::Write, src, dst, per);
-                                done = done.max(t);
-                            }
-                            queue.push(
-                                done,
-                                Ev::Delivered {
-                                    stage: cid as u32,
-                                    edge: eidx as u32,
-                                    pchunk: chunk,
-                                },
-                            );
-                        }
-                        EdgeKind::Skip { via } => {
-                            // First leg: producer -> storage. HBM staging
-                            // pays the CHW scatter amplification.
-                            let (dst, amp) = match via {
-                                ResidualRoute::Hbm => {
-                                    (Endpoint::Hbm, stages[cid].edges[eidx].hbm_amp)
-                                }
-                                ResidualRoute::StorageCluster(c) => (Endpoint::Cluster(c), 1),
-                            };
-                            let done = noc.transfer(now, TxnKind::Write, src, dst, bytes_pp * amp);
-                            queue.push(
-                                done,
-                                Ev::SkipStored {
-                                    stage: cid as u32,
-                                    edge: eidx as u32,
-                                    pchunk: chunk,
-                                },
-                            );
-                        }
-                    }
-                }
-            }
-
-            Ev::Delivered {
-                stage,
-                edge,
-                pchunk,
-            } => {
-                let sid = stage as usize;
-                {
-                    let e = &mut stages[sid].edges[edge as usize];
-                    let (marks, wm) = (&mut e.delivered, &mut e.watermark);
-                    EdgeRt::advance(marks, wm, pchunk);
-                }
-                request_skip_reads(sid, &mut stages, mapping, &mut noc, &mut queue, now);
-                for l in 0..stages[sid].lanes.len() {
-                    queue.push(
-                        now,
-                        Ev::TryFire {
-                            stage,
-                            lane: l as u32,
-                        },
-                    );
-                }
-            }
-
-            Ev::SkipStored {
-                stage,
-                edge,
-                pchunk,
-            } => {
-                let sid = stage as usize;
-                {
-                    let e = &mut stages[sid].edges[edge as usize];
-                    let (marks, wm) = (&mut e.stored, &mut e.stored_watermark);
-                    EdgeRt::advance(marks, wm, pchunk);
-                }
-                request_skip_reads(sid, &mut stages, mapping, &mut noc, &mut queue, now);
-            }
-
-            Ev::SkipReadDone {
-                stage,
-                edge,
-                cchunk,
-            } => {
-                let sid = stage as usize;
-                stages[sid].edges[edge as usize].skip_delivered[cchunk as usize] = true;
-                let lanes = stages[sid].lanes.len() as u64;
-                queue.push(
-                    now,
-                    Ev::TryFire {
-                        stage,
-                        lane: (cchunk % lanes) as u32,
-                    },
-                );
-            }
-
-            Ev::FinalDelivered { chunk } => {
-                let img = (chunk / final_chunks_per_image) as usize;
-                final_done_per_image[img] += 1;
-                if final_done_per_image[img] == final_chunks_per_image {
-                    image_completions[img] = now;
-                }
-            }
-        }
-    }
-
-    let makespan = queue.now();
-
-    // Close activity trackers.
-    for (sid, s) in mapping.stages().iter().enumerate() {
-        for l in 0..s.lanes {
-            let end = stages[sid].lanes[l].last_busy_end;
-            if s.lane_clusters > 0 {
-                for &c in s.lane(l) {
-                    let tr = &mut trackers[c];
-                    let _ = end; // state already Sleep after last chunk
-                    let _ = tr;
-                }
-            }
-        }
-    }
-    let mut clusters = Vec::with_capacity(n_clusters);
+    let mut clusters = Vec::new();
     for (sid, s) in mapping.stages().iter().enumerate() {
         for l in 0..s.lanes {
             if s.lane_clusters == 0 {
                 continue;
             }
-            let analog_bound = stages[sid].lanes[l].analog_busy
-                >= stages[sid].lanes[l].digital_busy
-                && stages[sid].lanes[l].analog_busy > SimTime::ZERO;
-            for &c in s.lane(l) {
-                let mut tr = trackers[c].clone();
+            let analog_bound = states[sid].lanes[l].analog_busy
+                >= states[sid].lanes[l].digital_busy
+                && states[sid].lanes[l].analog_busy > SimTime::ZERO;
+            for &slot in &cfgs[sid].lane_slots[l] {
+                let mut tr = states[sid].trackers[slot].clone();
                 tr.finish(makespan);
                 clusters.push(ClusterBreakdown {
-                    cluster: c,
+                    cluster: cfgs[sid].clusters[slot],
                     stage_name: s.name.clone(),
                     group: s.group,
                     compute: tr.time_in(Activity::Compute),
@@ -679,7 +733,7 @@ pub fn simulate(
         }
     }
     for &c in &mapping.residuals.storage_clusters {
-        let mut tr = trackers[c].clone();
+        let mut tr = ActivityTracker::new(SimTime::ZERO);
         tr.finish(makespan);
         clusters.push(ClusterBreakdown {
             cluster: c,
@@ -699,28 +753,29 @@ pub fn simulate(
     let mut executed_ops = 0u64;
     for (sid, s) in mapping.stages().iter().enumerate() {
         if let Some(a) = &s.analog {
-            let fires: u64 = stages[sid]
+            let fired: u64 = states[sid]
                 .lanes
                 .iter()
-                .map(|l| l.next_chunk / stages[sid].lanes.len().max(1) as u64)
+                .map(|l| l.next_chunk / states[sid].lanes.len().max(1) as u64)
                 .sum::<u64>()
-                .min(stages[sid].total_chunks);
+                .min(cfgs[sid].total_chunks);
             let per_chunk_useful =
                 2 * (a.split.rows_total * a.split.cols_total) as u64 * a.job.n_mvm;
             let full = (arch.cluster.ima.xbar.rows * arch.cluster.ima.xbar.cols) as u64;
             let per_chunk_exec = 2 * full * a.job.n_mvm * a.split.imas() as u64;
-            useful_ops += per_chunk_useful * fires;
-            executed_ops += per_chunk_exec * fires;
+            useful_ops += per_chunk_useful * fired;
+            executed_ops += per_chunk_exec * fired;
         }
     }
 
+    let fabric_report = fabric.report();
     // Interconnect energy: bytes × levels crossed, plus HBM bytes.
     let mut byte_hops = 0u64;
     for level in 1..=arch.noc.n_levels() {
-        byte_hops += noc_level_bytes(&noc, arch, level);
+        byte_hops += fabric_report.level_bytes(level);
     }
     tallies.noc_byte_hops = byte_hops;
-    tallies.hbm_bytes = noc.hbm_bytes();
+    tallies.hbm_bytes = fabric.hbm_bytes();
     tallies.cluster_seconds = mapping.n_clusters_used as f64 * makespan.as_s_f64();
 
     // Steady-state interval: median of inter-image completion gaps.
@@ -737,7 +792,12 @@ pub fn simulate(
         SimTime::from_ps(gaps[gaps.len() / 2])
     };
 
-    RunReport {
+    let events = states
+        .iter()
+        .map(|s| s.queue.events_processed())
+        .sum::<u64>()
+        + fabric_report.events;
+    Ok(RunReport {
         batch,
         makespan,
         image_completions,
@@ -747,104 +807,340 @@ pub fn simulate(
         executed_ops,
         clusters,
         tallies,
-        hbm_busy: noc.hbm_busy(),
-        hbm_bytes: noc.hbm_bytes(),
-        events: queue.events_processed(),
+        hbm_busy: fabric.hbm_busy(),
+        hbm_bytes: fabric.hbm_bytes(),
+        events,
         fires,
+        fabric: fabric_report,
+    })
+}
+
+/// Representative cluster of a stage lane (DMA endpoint), HBM for
+/// cluster-less stages.
+fn lane_endpoint(mapping: &SystemMapping, sid: usize, lane: usize) -> Endpoint {
+    let st = &mapping.stages[sid];
+    if st.lane_clusters == 0 {
+        Endpoint::Hbm
+    } else {
+        Endpoint::Cluster(st.lane(lane % st.lanes)[0])
     }
 }
 
-/// Sums payload bytes over all links of one tree level.
-fn noc_level_bytes(noc: &Noc, arch: &ArchConfig, level: usize) -> u64 {
-    let entities = if level == 1 {
-        arch.noc.n_clusters()
-    } else {
-        arch.noc.routers_at_level(level - 1)
-    };
-    let mut total = 0;
-    for child in 0..entities {
-        total += noc.link_stats(aimc_noc::LinkId::Up { level, child }).bytes;
-        total += noc
-            .link_stats(aimc_noc::LinkId::Down { level, child })
-            .bytes;
+/// Drains one stage's events up to `horizon`. Only `st` is mutated; every
+/// cross-stage effect is buffered in `st.txns` / `st.wakes` for the merge.
+#[allow(clippy::too_many_arguments)]
+fn process_stage(
+    sid: usize,
+    st: &mut StageState,
+    cfgs: &[StageCfg],
+    snaps: &[u64],
+    mapping: &SystemMapping,
+    horizon: SimTime,
+    window: SimTime,
+    final_stage: usize,
+) {
+    let cfg = &cfgs[sid];
+    while let Some((now, ev)) = st.queue.pop_before(horizon) {
+        match ev {
+            Ev::TryFire { lane } => {
+                let l = lane as usize;
+                // Structured as a breakable block: every arm exits after one
+                // pass; continuation is always via a re-queued TryFire.
+                #[allow(clippy::never_loop)]
+                loop {
+                    let k = st.lanes[l].next_chunk;
+                    if k >= cfg.total_chunks {
+                        break;
+                    }
+                    if st.lanes[l].free_at > now {
+                        // Re-check when the lane frees up.
+                        let at = st.lanes[l].free_at;
+                        st.queue.push(at, Ev::TryFire { lane });
+                        break;
+                    }
+                    // Input readiness.
+                    let mut input_ready = true;
+                    for (e, es) in cfg.edges.iter().zip(&st.edges) {
+                        let ok = match e.kind {
+                            EdgeKind::Stream => es.watermark >= e.required(k) as i64,
+                            EdgeKind::Skip { .. } => es.skip_delivered[k as usize],
+                        };
+                        if !ok {
+                            input_ready = false;
+                            break;
+                        }
+                    }
+                    if !input_ready {
+                        break; // a Delivered event will retry us
+                    }
+                    // Consumer credit, against the window-barrier snapshot
+                    // of each consumer's progress (stale by at most one
+                    // lookahead window — strictly conservative, since
+                    // `next_fire` only grows).
+                    let mut credit = true;
+                    for &(cid, eidx) in &cfg.consumers {
+                        let ccfg = &cfgs[cid];
+                        let cons_next = snaps[cid];
+                        if cons_next >= ccfg.total_chunks {
+                            continue;
+                        }
+                        let e = &ccfg.edges[eidx];
+                        let slack = match e.kind {
+                            EdgeKind::Stream => e.slack,
+                            EdgeKind::Skip { .. } => SKIP_SLACK_IMAGES * e.cc,
+                        };
+                        let h = (cons_next + slack).min(ccfg.total_chunks - 1);
+                        if k > e.required(h) {
+                            credit = false;
+                            break;
+                        }
+                    }
+                    if !credit {
+                        break; // a consumer fire will wake us
+                    }
+
+                    // ---- Fire chunk k on (sid, l) -----------------------------
+                    let n_lanes = cfg.n_lanes as u64;
+                    let ln = &mut st.lanes[l];
+                    let start = now;
+                    ln.free_at = start + cfg.service;
+                    ln.next_chunk += n_lanes;
+                    ln.fired_any = true;
+                    ln.analog_busy += cfg.analog_time;
+                    ln.digital_busy += cfg.digital_time;
+                    let busy_end = start + cfg.service;
+                    let prev_end = ln.last_busy_end;
+                    ln.last_busy_end = busy_end;
+                    st.next_fire = st.lanes.iter().map(|x| x.next_chunk).min().unwrap_or(0);
+                    st.fires.push(FireRecord {
+                        stage: sid as u32,
+                        lane,
+                        chunk: k,
+                        start,
+                        end: busy_end,
+                    });
+                    st.queue
+                        .push(start + cfg.latency, Ev::ChunkDone { lane, chunk: k });
+
+                    // Activity attribution on the lane's clusters: waits are
+                    // communication up to the expected DMA time of the
+                    // chunk's inputs; the remainder is sleep (starvation or
+                    // backpressure — the paper's head/tail idling).
+                    if cfg.lane_clusters > 0 {
+                        let first_fire = prev_end == SimTime::ZERO && start > SimTime::ZERO;
+                        for &slot in &cfg.lane_slots[l] {
+                            let tr = &mut st.trackers[slot];
+                            if !first_fire && start > prev_end {
+                                let comm_start = start
+                                    .saturating_sub(cfg.expected_comm_per_chunk)
+                                    .max(prev_end);
+                                tr.set_state(comm_start, Activity::Communication);
+                            }
+                            tr.set_state(start, Activity::Synchronization);
+                            tr.set_state(start + cfg.sync_display, Activity::Compute);
+                            tr.set_state(busy_end, Activity::Sleep);
+                        }
+                    }
+
+                    // Energy tallies: analog MVMs on every split cluster of
+                    // the lane, serial core cycles from the kernel model.
+                    st.mvms += cfg.mvms_per_fire;
+                    st.core_cycles += cfg.core_cycles_per_chunk;
+
+                    // Wake producers one window out (credit freed; by then
+                    // the barrier snapshot reflects this fire).
+                    for e in &cfg.edges {
+                        st.wakes.push((now + window, e.from as u32));
+                    }
+                    // Residual reads may be unblocked by our own progress.
+                    request_skip_reads(sid, st, cfg, mapping, now);
+
+                    // Loop again: the lane might have another ready chunk only
+                    // after free_at; the scheduled TryFire handles it.
+                    let at = st.lanes[l].free_at;
+                    st.queue.push(at, Ev::TryFire { lane });
+                    break;
+                }
+            }
+
+            Ev::ChunkDone { lane, chunk } => {
+                if cfg.consumers.is_empty() && sid == final_stage {
+                    // Ship the network output to HBM.
+                    let bytes = mapping.stages[sid].tiling.out_tile_bytes();
+                    st.txns.push(TxnReq {
+                        issue: now,
+                        kind: TxnKind::Write,
+                        src: lane_endpoint(mapping, sid, lane as usize),
+                        parts: vec![(Endpoint::Hbm, bytes)],
+                        deliver: Deliver::Final { chunk },
+                    });
+                }
+                for &(cid, eidx) in &cfg.consumers {
+                    let e = &cfgs[cid].edges[eidx];
+                    let bytes_pp =
+                        ((e.bytes_per_cchunk as u64 * e.cc).div_ceil(e.cp) as usize).max(1);
+                    let transfers = e.transfers.max(1);
+                    let src = lane_endpoint(mapping, sid, lane as usize);
+                    match e.kind {
+                        EdgeKind::Stream => {
+                            // Deliver to the consumer lane that will use it.
+                            let j0 = (chunk * e.cc) / e.cp;
+                            let cstage = &mapping.stages[cid];
+                            let clane = (j0 % cstage.lanes as u64) as usize;
+                            let per = bytes_pp.div_ceil(transfers);
+                            let parts = (0..transfers)
+                                .map(|i| {
+                                    let dst = if cstage.lane_clusters == 0 {
+                                        Endpoint::Hbm
+                                    } else {
+                                        Endpoint::Cluster(
+                                            cstage.lane(clane)[i % cstage.lane_clusters],
+                                        )
+                                    };
+                                    (dst, per)
+                                })
+                                .collect();
+                            st.txns.push(TxnReq {
+                                issue: now,
+                                kind: TxnKind::Write,
+                                src,
+                                parts,
+                                deliver: Deliver::Edge {
+                                    stage: cid as u32,
+                                    ev: Ev::Delivered {
+                                        edge: eidx as u32,
+                                        pchunk: chunk,
+                                    },
+                                },
+                            });
+                        }
+                        EdgeKind::Skip { via } => {
+                            // First leg: producer -> storage. HBM staging
+                            // pays the CHW scatter amplification.
+                            let (dst, amp) = match via {
+                                ResidualRoute::Hbm => (Endpoint::Hbm, e.hbm_amp),
+                                ResidualRoute::StorageCluster(c) => (Endpoint::Cluster(c), 1),
+                            };
+                            st.txns.push(TxnReq {
+                                issue: now,
+                                kind: TxnKind::Write,
+                                src,
+                                parts: vec![(dst, bytes_pp * amp)],
+                                deliver: Deliver::Edge {
+                                    stage: cid as u32,
+                                    ev: Ev::SkipStored {
+                                        edge: eidx as u32,
+                                        pchunk: chunk,
+                                    },
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+
+            Ev::Delivered { edge, pchunk } => {
+                {
+                    let es = &mut st.edges[edge as usize];
+                    let (marks, wm) = (&mut es.delivered, &mut es.watermark);
+                    EdgeState::advance(marks, wm, pchunk);
+                }
+                request_skip_reads(sid, st, cfg, mapping, now);
+                for l in 0..cfg.n_lanes {
+                    st.queue.push(now, Ev::TryFire { lane: l as u32 });
+                }
+            }
+
+            Ev::SkipStored { edge, pchunk } => {
+                {
+                    let es = &mut st.edges[edge as usize];
+                    let (marks, wm) = (&mut es.stored, &mut es.stored_watermark);
+                    EdgeState::advance(marks, wm, pchunk);
+                }
+                request_skip_reads(sid, st, cfg, mapping, now);
+            }
+
+            Ev::SkipReadDone { edge, cchunk } => {
+                st.edges[edge as usize].skip_delivered[cchunk as usize] = true;
+                st.queue.push(
+                    now,
+                    Ev::TryFire {
+                        lane: (cchunk % cfg.n_lanes as u64) as u32,
+                    },
+                );
+            }
+        }
     }
-    total
 }
 
 /// Issues on-demand read legs for skip edges whose consumer chunks became
 /// main-input-ready (Sec. V-4: residuals are fetched from storage just in
-/// time for the joining chunk).
+/// time for the joining chunk). The reads are buffered like any other DMA
+/// request and resolve to `SkipReadDone` events.
 fn request_skip_reads(
     sid: usize,
-    stages: &mut [StageRt],
+    st: &mut StageState,
+    cfg: &StageCfg,
     mapping: &SystemMapping,
-    noc: &mut Noc,
-    queue: &mut EventQueue<Ev>,
     now: SimTime,
 ) {
-    let n_edges = stages[sid].edges.len();
-    let has_skip = (0..n_edges).any(|e| {
-        !stages[sid].edges[e].stored.is_empty()
-            || matches!(stages[sid].edges[e].kind, EdgeKind::Skip { .. })
-    });
-    if !has_skip {
+    let n_edges = cfg.edges.len();
+    if !cfg
+        .edges
+        .iter()
+        .any(|e| matches!(e.kind, EdgeKind::Skip { .. }))
+    {
         return;
     }
-    let total = stages[sid].total_chunks;
-    let lanes = stages[sid].lanes.len() as u64;
+    let lanes = cfg.n_lanes as u64;
     for eidx in 0..n_edges {
-        let EdgeKind::Skip { via } = stages[sid].edges[eidx].kind else {
+        let EdgeKind::Skip { via } = cfg.edges[eidx].kind else {
             continue;
         };
         loop {
-            let j = stages[sid].edges[eidx].next_skip_request;
-            if j >= total {
+            let j = st.edges[eidx].next_skip_request;
+            if j >= cfg.total_chunks {
                 break;
             }
             // Window: don't prefetch residuals more than the storage window
             // ahead of consumption.
-            if j >= stages[sid].next_fire + SKIP_SLACK_IMAGES * stages[sid].edges[eidx].cc {
+            if j >= st.next_fire + SKIP_SLACK_IMAGES * cfg.edges[eidx].cc {
                 break;
             }
             // All stream inputs for chunk j ready?
-            let streams_ready = (0..n_edges).all(|k| {
-                let e = &stages[sid].edges[k];
-                match e.kind {
-                    EdgeKind::Stream => e.stream_ready(j),
-                    EdgeKind::Skip { .. } => true,
-                }
+            let streams_ready = (0..n_edges).all(|k| match cfg.edges[k].kind {
+                EdgeKind::Stream => st.edges[k].watermark >= cfg.edges[k].required(j) as i64,
+                EdgeKind::Skip { .. } => true,
             });
             if !streams_ready {
                 break;
             }
             // First leg (store) complete for the required producer chunks?
-            let e = &stages[sid].edges[eidx];
-            if e.stored_watermark < e.required(j) as i64 {
+            if st.edges[eidx].stored_watermark < cfg.edges[eidx].required(j) as i64 {
                 break;
             }
             // Issue the read leg.
-            let cstage = &mapping.stages[sid];
             let clane = (j % lanes) as usize;
-            let src = if cstage.lane_clusters == 0 {
-                Endpoint::Hbm
-            } else {
-                Endpoint::Cluster(cstage.lane(clane)[0])
-            };
+            let src = lane_endpoint(mapping, sid, clane);
             let (dst, amp) = match via {
-                ResidualRoute::Hbm => (Endpoint::Hbm, stages[sid].edges[eidx].hbm_amp),
+                ResidualRoute::Hbm => (Endpoint::Hbm, cfg.edges[eidx].hbm_amp),
                 ResidualRoute::StorageCluster(c) => (Endpoint::Cluster(c), 1),
             };
-            let bytes = stages[sid].edges[eidx].bytes_per_cchunk * amp;
-            let done = noc.transfer(now, TxnKind::Read, src, dst, bytes);
-            queue.push(
-                done,
-                Ev::SkipReadDone {
+            let bytes = cfg.edges[eidx].bytes_per_cchunk * amp;
+            st.txns.push(TxnReq {
+                issue: now,
+                kind: TxnKind::Read,
+                src,
+                parts: vec![(dst, bytes)],
+                deliver: Deliver::Edge {
                     stage: sid as u32,
-                    edge: eidx as u32,
-                    cchunk: j,
+                    ev: Ev::SkipReadDone {
+                        edge: eidx as u32,
+                        cchunk: j,
+                    },
                 },
-            );
-            stages[sid].edges[eidx].next_skip_request += 1;
+            });
+            st.edges[eidx].next_skip_request += 1;
         }
     }
 }
@@ -870,7 +1166,7 @@ mod tests {
         let g = small_graph();
         let arch = ArchConfig::small(4, 8); // 32 clusters
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
-        let r = simulate(&g, &m, &arch, 4);
+        let r = simulate(&g, &m, &arch, 4).unwrap();
         assert_eq!(r.image_completions.len(), 4);
         assert!(r.image_completions.iter().all(|&t| t > SimTime::ZERO));
         assert!(r.makespan >= *r.image_completions.iter().max().unwrap());
@@ -882,7 +1178,7 @@ mod tests {
         let g = small_graph();
         let arch = ArchConfig::small(4, 8);
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
-        let r = simulate(&g, &m, &arch, 6);
+        let r = simulate(&g, &m, &arch, 6).unwrap();
         for w in r.image_completions.windows(2) {
             assert!(
                 w[1] >= w[0],
@@ -897,8 +1193,8 @@ mod tests {
         let g = small_graph();
         let arch = ArchConfig::small(4, 8);
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
-        let r1 = simulate(&g, &m, &arch, 1);
-        let r8 = simulate(&g, &m, &arch, 8);
+        let r1 = simulate(&g, &m, &arch, 1).unwrap();
+        let r8 = simulate(&g, &m, &arch, 8).unwrap();
         // The graph is dominated by one stage (c1 ≈ 134 of 157 µs), so the
         // steady-state bound is ≈ 8×134 µs; the pipeline must overlap the
         // remaining stages (strictly below 8× the single-image latency) and
@@ -917,11 +1213,25 @@ mod tests {
         let g = small_graph();
         let arch = ArchConfig::small(4, 8);
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
-        let a = simulate(&g, &m, &arch, 3);
-        let b = simulate(&g, &m, &arch, 3);
-        assert_eq!(a.makespan, b.makespan);
-        assert_eq!(a.image_completions, b.image_completions);
-        assert_eq!(a.events, b.events);
+        let a = simulate(&g, &m, &arch, 3).unwrap();
+        let b = simulate(&g, &m, &arch, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_shards_are_bit_identical() {
+        let g = small_graph();
+        let arch = ArchConfig::small(4, 8);
+        let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
+        let serial = simulate(&g, &m, &arch, 3).unwrap();
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(4),
+            Parallelism::PinnedThreads(2),
+        ] {
+            let sharded = simulate_with(&g, &m, &arch, 3, par).unwrap();
+            assert_eq!(serial, sharded, "divergence under {par:?}");
+        }
     }
 
     #[test]
@@ -929,7 +1239,7 @@ mod tests {
         let g = small_graph();
         let arch = ArchConfig::small(4, 8);
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
-        let r = simulate(&g, &m, &arch, 2);
+        let r = simulate(&g, &m, &arch, 2).unwrap();
         assert!(!r.clusters.is_empty());
         for c in &r.clusters {
             let sum = c.compute + c.communication + c.synchronization + c.sleep;
@@ -946,7 +1256,7 @@ mod tests {
         let g = small_graph();
         let arch = ArchConfig::small(4, 8);
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
-        let r = simulate(&g, &m, &arch, 2);
+        let r = simulate(&g, &m, &arch, 2).unwrap();
         assert_eq!(r.nominal_ops, g.total_ops() * 2);
         assert!(r.useful_ops > 0);
         assert!(r.executed_ops >= r.useful_ops);
@@ -959,10 +1269,24 @@ mod tests {
         let g = small_graph();
         let arch = ArchConfig::small(4, 8);
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
-        let r = simulate(&g, &m, &arch, 2);
+        let r = simulate(&g, &m, &arch, 2).unwrap();
         // At least the two input images (3*32*32 each) cross the HBM.
         assert!(r.hbm_bytes >= 2 * 3 * 32 * 32, "hbm bytes {}", r.hbm_bytes);
         assert!(r.hbm_busy > SimTime::ZERO);
+    }
+
+    #[test]
+    fn fabric_report_conserves_bytes() {
+        let g = small_graph();
+        let arch = ArchConfig::small(4, 8);
+        let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
+        let r = simulate(&g, &m, &arch, 2).unwrap();
+        assert_eq!(r.fabric.injected, r.fabric.completed);
+        assert!(r.fabric.routed_bytes > 0);
+        assert_eq!(
+            r.fabric.routed_bytes, r.fabric.link_bytes,
+            "per-link bytes must conserve the injected transaction bytes"
+        );
     }
 
     #[test]
@@ -970,7 +1294,7 @@ mod tests {
         let g = resnet18(256, 256, 1000);
         let arch = ArchConfig::paper();
         let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-        let r = simulate(&g, &m, &arch, 2);
+        let r = simulate(&g, &m, &arch, 2).unwrap();
         assert_eq!(r.image_completions.len(), 2);
         assert!(r.image_completions[1] > SimTime::ZERO);
         // Two images through a balanced pipeline: single-digit milliseconds.
@@ -988,8 +1312,8 @@ mod tests {
         let arch = ArchConfig::paper();
         let m_hbm = map_network(&g, &arch, MappingStrategy::Balanced).unwrap();
         let m_l1 = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-        let r_hbm = simulate(&g, &m_hbm, &arch, 4);
-        let r_l1 = simulate(&g, &m_l1, &arch, 4);
+        let r_hbm = simulate(&g, &m_hbm, &arch, 4).unwrap();
+        let r_l1 = simulate(&g, &m_l1, &arch, 4).unwrap();
         assert!(
             r_l1.makespan < r_hbm.makespan,
             "on-chip {} vs HBM {}",
@@ -999,11 +1323,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "batch must be positive")]
     fn rejects_zero_batch() {
         let g = small_graph();
         let arch = ArchConfig::small(4, 8);
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
-        simulate(&g, &m, &arch, 0);
+        assert_eq!(simulate(&g, &m, &arch, 0).unwrap_err(), SimError::ZeroBatch);
+    }
+
+    #[test]
+    fn rejects_mismatched_mapping() {
+        let g = small_graph();
+        let arch = ArchConfig::small(4, 8);
+        let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
+        // A mapping built for the 5-node graph cannot simulate a different
+        // network.
+        let other = {
+            let mut b = GraphBuilder::new(Shape::new(3, 32, 32));
+            let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 16, 1));
+            let _ = b.linear("fc", c0, 10);
+            b.finish()
+        };
+        assert!(matches!(
+            simulate(&other, &m, &arch, 1).unwrap_err(),
+            SimError::MappingMismatch(_)
+        ));
     }
 }

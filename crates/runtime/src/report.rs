@@ -71,6 +71,29 @@ pub fn breakdown_ascii(rows: &[ClusterBreakdown], buckets: usize, width: usize) 
     out
 }
 
+/// Renders the per-link fabric statistics as CSV:
+/// `link,busy_us,util,bytes,transactions,peak_queued` — one row per directed
+/// link (dense topology order, HBM controller last), utilization over the
+/// run makespan.
+pub fn link_csv(r: &RunReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("link,busy_us,util,bytes,transactions,peak_queued\n");
+    let span = r.makespan.as_ps().max(1) as f64;
+    for l in &r.fabric.links {
+        let _ = writeln!(
+            out,
+            "{:?},{:.3},{:.4},{},{},{}",
+            l.id,
+            l.busy.as_us_f64(),
+            l.busy.as_ps() as f64 / span,
+            l.bytes,
+            l.transactions,
+            l.peak_queued,
+        );
+    }
+    out
+}
+
 /// Renders a one-line summary of a run.
 pub fn run_summary(r: &RunReport) -> String {
     format!(
@@ -118,6 +141,22 @@ mod tests {
         let art = breakdown_ascii(&rows, 4, 40);
         assert_eq!(art.lines().count(), 4);
         assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn link_csv_lists_every_link() {
+        use aimc_core::{map_network, ArchConfig, MappingStrategy};
+        use aimc_dnn::{ConvCfg, GraphBuilder, Shape};
+        let mut b = GraphBuilder::new(Shape::new(3, 16, 16));
+        let c0 = b.conv("c0", b.input(), ConvCfg::k3(3, 8, 1));
+        b.linear("fc", c0, 4);
+        let g = b.finish();
+        let arch = ArchConfig::small(4, 8);
+        let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
+        let r = crate::pipeline::simulate(&g, &m, &arch, 2).unwrap();
+        let csv = link_csv(&r);
+        assert_eq!(csv.lines().count(), 1 + r.fabric.links.len());
+        assert!(csv.contains("HbmCtrl"));
     }
 
     #[test]

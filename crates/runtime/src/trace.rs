@@ -106,7 +106,7 @@ mod tests {
         let g = b.finish();
         let arch = ArchConfig::small(4, 8);
         let m = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
-        let r = simulate(&g, &m, &arch, 3);
+        let r = simulate(&g, &m, &arch, 3).unwrap();
         (g, m, arch, r)
     }
 

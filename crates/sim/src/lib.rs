@@ -50,6 +50,6 @@ mod queue;
 pub mod stats;
 mod time;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, OrderedEventQueue};
 pub use stats::{Activity, ActivityTracker};
 pub use time::{Cycles, Frequency, SimTime};

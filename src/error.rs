@@ -8,6 +8,7 @@
 
 use aimc_core::MapError;
 use aimc_dnn::ExecError;
+use aimc_runtime::SimError;
 use aimc_xbar::XbarError;
 use core::fmt;
 
@@ -22,6 +23,8 @@ pub enum Error {
     Xbar(XbarError),
     /// A functional executor rejected its inputs (shape/weight errors).
     Exec(ExecError),
+    /// The timing simulator rejected the run request.
+    Sim(SimError),
     /// The run specification is invalid (e.g. a zero batch).
     InvalidRunSpec(String),
     /// An operation needed functional weights, but the platform has none.
@@ -53,6 +56,7 @@ impl fmt::Display for Error {
             Error::Map(e) => write!(f, "mapping: {e}"),
             Error::Xbar(e) => write!(f, "crossbar: {e}"),
             Error::Exec(e) => write!(f, "execution: {e}"),
+            Error::Sim(e) => write!(f, "timing simulation: {e}"),
             Error::InvalidRunSpec(s) => write!(f, "invalid run spec: {s}"),
             Error::NoWeights => write!(
                 f,
@@ -110,6 +114,12 @@ impl From<ExecError> for Error {
             ExecError::Xbar(x) => Error::Xbar(x),
             other => Error::Exec(other),
         }
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
     }
 }
 

@@ -40,7 +40,7 @@ use aimc_dnn::{
     he_init, AimcExecutor, ExecError, Executor, GoldenExecutor, Graph, Tensor, Weights,
 };
 use aimc_parallel::Parallelism;
-use aimc_runtime::{simulate, AreaModel, EnergyModel, Headline, RunReport, Waterfall};
+use aimc_runtime::{simulate_with, AreaModel, EnergyModel, Headline, RunReport, Waterfall};
 use aimc_serve::{
     BatchPolicy, FleetHandle, FleetPolicy, LocalTransport, QosOrdering, RoutePolicy, ServeError,
     ServeHandle, ShardControl, ShardServer, ShardTransport,
@@ -581,18 +581,30 @@ impl Session {
     /// batch report. Results are cached per batch size — repeated calls
     /// with the same spec are free.
     ///
+    /// The simulation itself is sharded per pipeline stage across the
+    /// session's [`Session::set_parallelism`] workers; the report is
+    /// bit-identical regardless of the thread budget.
+    ///
     /// # Errors
-    /// [`Error::InvalidRunSpec`] if the batch is zero.
+    /// [`Error::InvalidRunSpec`] if the batch is zero;
+    /// [`Error::Sim`] if the simulator rejects the run.
     pub fn run(&mut self, spec: RunSpec) -> Result<&RunReport, Error> {
         if spec.batch == 0 {
             return Err(Error::InvalidRunSpec("batch must be positive".into()));
         }
         self.last_batch = Some(spec.batch);
         let p = &self.platform.inner;
-        Ok(self
-            .runs
-            .entry(spec.batch)
-            .or_insert_with(|| simulate(&p.graph, &p.mapping, &p.arch, spec.batch)))
+        if !self.runs.contains_key(&spec.batch) {
+            let report = simulate_with(
+                &p.graph,
+                &p.mapping,
+                &p.arch,
+                spec.batch,
+                self.parallelism.get(),
+            )?;
+            self.runs.insert(spec.batch, report);
+        }
+        Ok(&self.runs[&spec.batch])
     }
 
     /// The most recent [`Session::run`] report, if any.

@@ -17,7 +17,7 @@ fn minimal_head_network() {
     let fc = m.stages.iter().find(|s| s.name == "fc").unwrap();
     let split = &fc.analog.as_ref().unwrap().split;
     assert_eq!((split.row_splits, split.col_splits), (2, 4));
-    let r = simulate(&g, &m, &arch, 3);
+    let r = simulate(&g, &m, &arch, 3).unwrap();
     assert_eq!(r.image_completions.len(), 3);
 }
 
@@ -31,7 +31,7 @@ fn single_conv_network_maps_and_runs() {
     // Source + one analog stage (27 rows -> 1 IMA), no reductions.
     assert_eq!(m.stages.len(), 2);
     assert_eq!(m.compute_clusters(), 1);
-    let r = simulate(&g, &m, &arch, 2);
+    let r = simulate(&g, &m, &arch, 2).unwrap();
     assert_eq!(r.image_completions.len(), 2);
 }
 
@@ -40,7 +40,7 @@ fn batch_one_still_pipelines_chunks() {
     let g = resnet18(256, 256, 1000);
     let arch = ArchConfig::paper();
     let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-    let r = simulate(&g, &m, &arch, 1);
+    let r = simulate(&g, &m, &arch, 1).unwrap();
     assert_eq!(r.image_completions.len(), 1);
     // A single image cannot saturate replicated lanes, but must still finish
     // well under the naive serial time (sum of all stage times ≈ several ms).
@@ -121,7 +121,7 @@ fn crossbar_noise_does_not_affect_timing() {
     arch_noisy.cluster.ima.xbar.read_noise_sigma = 0.3;
     let m1 = map_network(&g, &arch, MappingStrategy::Naive).unwrap();
     let m2 = map_network(&g, &arch_noisy, MappingStrategy::Naive).unwrap();
-    let r1 = simulate(&g, &m1, &arch, 2);
-    let r2 = simulate(&g, &m2, &arch_noisy, 2);
+    let r1 = simulate(&g, &m1, &arch, 2).unwrap();
+    let r2 = simulate(&g, &m2, &arch_noisy, 2).unwrap();
     assert_eq!(r1.makespan, r2.makespan);
 }

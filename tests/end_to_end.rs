@@ -48,7 +48,7 @@ fn same_graph_flows_through_compiler_and_simulator() {
     let arch = ArchConfig::small(4, 8);
     for strategy in [MappingStrategy::Naive, MappingStrategy::OnChipResiduals] {
         let m = map_network(&g, &arch, strategy).unwrap();
-        let r = simulate(&g, &m, &arch, 4);
+        let r = simulate(&g, &m, &arch, 4).unwrap();
         assert_eq!(r.batch, 4);
         assert!(r.image_completions.iter().all(|&t| t > SimTime::ZERO));
         assert_eq!(r.nominal_ops, g.total_ops() * 4);
@@ -60,7 +60,7 @@ fn breakdown_rows_cover_every_compute_cluster_exactly_once() {
     let g = small_cnn();
     let arch = ArchConfig::small(4, 8);
     let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-    let r = simulate(&g, &m, &arch, 2);
+    let r = simulate(&g, &m, &arch, 2).unwrap();
     let mut ids: Vec<usize> = r.clusters.iter().map(|c| c.cluster).collect();
     ids.sort_unstable();
     ids.dedup();
@@ -73,9 +73,9 @@ fn batch_scaling_improves_throughput_until_saturation() {
     let g = resnet18(256, 256, 1000);
     let arch = ArchConfig::paper();
     let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-    let t1 = simulate(&g, &m, &arch, 1).tops();
-    let t4 = simulate(&g, &m, &arch, 4).tops();
-    let t16 = simulate(&g, &m, &arch, 16).tops();
+    let t1 = simulate(&g, &m, &arch, 1).unwrap().tops();
+    let t4 = simulate(&g, &m, &arch, 4).unwrap().tops();
+    let t16 = simulate(&g, &m, &arch, 16).unwrap().tops();
     assert!(t4 > t1, "batch 4 {t4} vs 1 {t1}");
     assert!(t16 > t4, "batch 16 {t16} vs 4 {t4}");
     // Saturation: going 4→16 gains less than 4x.
@@ -88,7 +88,7 @@ fn whole_stack_is_deterministic() {
     let arch = ArchConfig::paper();
     let run = || {
         let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-        let r = simulate(&g, &m, &arch, 4);
+        let r = simulate(&g, &m, &arch, 4).unwrap();
         (
             r.makespan,
             r.events,

@@ -51,7 +51,7 @@ proptest! {
             // Too big for the 32-cluster test platform — not a failure.
             return Ok(());
         };
-        let r = simulate(&g, &m, &arch, batch);
+        let r = simulate(&g, &m, &arch, batch).unwrap();
 
         // All images complete, monotonically.
         prop_assert_eq!(r.image_completions.len(), batch);
@@ -110,8 +110,8 @@ proptest! {
         ) else {
             return Ok(());
         };
-        let rs = simulate(&g, &ms, &small, batch);
-        let rb = simulate(&g, &mb, &big, batch);
+        let rs = simulate(&g, &ms, &small, batch).unwrap();
+        let rb = simulate(&g, &mb, &big, batch).unwrap();
         // Allow 2% tolerance: placement shifts can move DMA routes slightly.
         prop_assert!(
             rb.makespan.as_ps() as f64 <= rs.makespan.as_ps() as f64 * 1.02,

@@ -85,7 +85,7 @@ fn optimization_sequence_improves_throughput_in_paper_order() {
         MappingStrategy::OnChipResiduals,
     ] {
         let m = map_network(&g, &arch, s).unwrap();
-        let r = simulate(&g, &m, &arch, 8);
+        let r = simulate(&g, &m, &arch, 8).unwrap();
         tops.push(r.tops());
     }
     assert!(tops[1] > tops[0] * 1.3, "replication gain: {tops:?}");
@@ -97,7 +97,7 @@ fn headline_metrics_land_in_the_papers_regime() {
     // Sec. VI: 20.2 TOPS, 3303 img/s, 15 mJ, 6.5 TOPS/W, 42 GOPS/mm²,
     // 480 mm². Our model is within small factors (see EXPERIMENTS.md).
     let (g, arch, m) = paper_setup(MappingStrategy::OnChipResiduals);
-    let r = simulate(&g, &m, &arch, 16);
+    let r = simulate(&g, &m, &arch, 16).unwrap();
     let h = Headline::compute(
         &m,
         &arch,
@@ -128,7 +128,7 @@ fn headline_metrics_land_in_the_papers_regime() {
 #[test]
 fn waterfall_reproduces_fig6_structure() {
     let (g, arch, m) = paper_setup(MappingStrategy::OnChipResiduals);
-    let r = simulate(&g, &m, &arch, 16);
+    let r = simulate(&g, &m, &arch, 16).unwrap();
     let w = Waterfall::compute(&g, &m, &arch, &r);
     let f = w.cumulative_factors();
     // Paper: 1.6x / 4.7x / 23.8x / 28.4x — monotone increase, global < 2.2x,
@@ -165,8 +165,8 @@ fn hbm_residual_traffic_is_the_balanced_bottleneck() {
     let arch = ArchConfig::paper();
     let m_hbm = map_network(&g, &arch, MappingStrategy::Balanced).unwrap();
     let m_l1 = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-    let r_hbm = simulate(&g, &m_hbm, &arch, 8);
-    let r_l1 = simulate(&g, &m_l1, &arch, 8);
+    let r_hbm = simulate(&g, &m_hbm, &arch, 8).unwrap();
+    let r_l1 = simulate(&g, &m_l1, &arch, 8).unwrap();
     // HBM controller must be substantially busier with HBM residuals.
     assert!(
         r_hbm.hbm_busy.as_ps() > 10 * r_l1.hbm_busy.as_ps(),

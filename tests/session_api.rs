@@ -50,7 +50,7 @@ fn session_run_matches_legacy_simulate_totals() {
     let g = small_cnn();
     let arch = ArchConfig::small(4, 8);
     let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-    let old = simulate(&g, &m, &arch, 4);
+    let old = simulate(&g, &m, &arch, 4).unwrap();
 
     assert_eq!(new.batch, old.batch);
     assert_eq!(new.makespan, old.makespan);
@@ -118,7 +118,7 @@ fn headline_matches_legacy_composition() {
     let g = small_cnn();
     let arch = ArchConfig::small(4, 8);
     let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
-    let r = simulate(&g, &m, &arch, 4);
+    let r = simulate(&g, &m, &arch, 4).unwrap();
     let old = Headline::compute(&m, &arch, &r, &energy, &area);
     assert_eq!(new, old);
 }

@@ -1,0 +1,172 @@
+//! The sharded timing simulator's hard invariant, plus the hop-by-hop
+//! fabric's fidelity bounds against the reservation oracle.
+//!
+//! **Invariant:** `simulate_with` produces a bit-identical [`RunReport`] —
+//! makespan, image completions, energy tallies, every fire record, every
+//! per-link statistic — for `Serial` vs `Threads(N)` vs `PinnedThreads(N)`
+//! at any thread count. The report is a pure function of the inputs.
+//!
+//! **Oracle:** the event-driven [`Fabric`] reproduces the reservation
+//! engine ([`Noc`]) arrival times exactly on contention-free routes, and
+//! per-link served bytes conserve the bytes the injected transactions were
+//! routed across.
+
+use aimc_platform::noc::{Endpoint, Fabric, Noc, NocConfig, TxnKind};
+use aimc_platform::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a random plain CNN from a compact genome (same generator family
+/// as `tests/invariants.rs`).
+fn build_graph(widths: &[usize], with_residual: bool, classes: usize) -> Graph {
+    let mut b = GraphBuilder::new(Shape::new(3, 16, 16));
+    let mut prev = b.conv("c0", b.input(), ConvCfg::k3(3, widths[0], 1));
+    let mut prev_width = widths[0];
+    for (i, &w) in widths.iter().enumerate().skip(1) {
+        let stride = if i % 2 == 0 { 2 } else { 1 };
+        let id = b.conv(
+            &format!("c{i}"),
+            Some(prev),
+            ConvCfg::k3(prev_width, w, stride),
+        );
+        prev = if with_residual && stride == 1 && w == prev_width {
+            b.residual(&format!("r{i}"), id, prev, None)
+        } else {
+            id
+        };
+        prev_width = w;
+    }
+    let gap = b.global_avgpool("gap", prev);
+    b.linear("fc", gap, classes);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random arch configs × batch sizes × thread counts: the sharded
+    /// simulation is bit-identical to the serial one.
+    #[test]
+    fn sharded_reports_are_bit_identical(
+        n_layers in 1usize..5,
+        width_sel in 0usize..3,
+        with_residual in any::<bool>(),
+        batch in 1usize..5,
+        quads in 0usize..2,
+        threads in 2usize..6,
+    ) {
+        let widths: Vec<usize> = (0..n_layers)
+            .map(|i| [8, 16, 32][(width_sel + i) % 3])
+            .collect();
+        let g = build_graph(&widths, with_residual, 4 + n_layers);
+        let arch = ArchConfig::small(4, [8, 16][quads]);
+        let Ok(m) = map_network(&g, &arch, MappingStrategy::OnChipResiduals) else {
+            return Ok(()); // too big for the small test platform
+        };
+        let serial = simulate(&g, &m, &arch, batch).unwrap();
+        for par in [Parallelism::Threads(threads), Parallelism::PinnedThreads(threads)] {
+            let sharded = simulate_with(&g, &m, &arch, batch, par).unwrap();
+            prop_assert_eq!(&serial, &sharded, "divergence under {:?}", par);
+        }
+        // Per-link bytes conserve the injected transaction bytes.
+        prop_assert_eq!(serial.fabric.routed_bytes, serial.fabric.link_bytes);
+        prop_assert_eq!(serial.fabric.injected, serial.fabric.completed);
+    }
+
+    /// Oracle bound, contention-free: a lone transfer's fabric completion
+    /// time equals the reservation engine's exactly — for random endpoint
+    /// pairs, sizes and directions.
+    #[test]
+    fn lone_transfers_match_reservation_oracle(
+        src in 0usize..32,
+        dst in 0usize..32,
+        to_hbm in any::<bool>(),
+        bytes in 1usize..10_000,
+        is_read in any::<bool>(),
+    ) {
+        let cfg = NocConfig::small(4, 8);
+        let kind = if is_read { TxnKind::Read } else { TxnKind::Write };
+        let s = Endpoint::Cluster(src);
+        let d = if to_hbm { Endpoint::Hbm } else { Endpoint::Cluster(dst) };
+        let mut noc = Noc::new(cfg.clone());
+        let expect = noc.transfer(SimTime::ZERO, kind, s, d, bytes);
+        let mut fab = Fabric::new(cfg);
+        fab.inject(SimTime::ZERO, kind, s, d, bytes, 7);
+        let done = fab.advance_all();
+        prop_assert_eq!(done.len(), 1);
+        prop_assert_eq!(done[0], (expect, 7));
+    }
+}
+
+#[test]
+fn resnet18_paper_platform_is_thread_invariant() {
+    // The headline workload on the full 512-cluster platform: one heavy
+    // anchor outside proptest so the invariant is exercised at scale.
+    let g = resnet18(256, 256, 1000);
+    let arch = ArchConfig::paper();
+    let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
+    let serial = simulate(&g, &m, &arch, 2).unwrap();
+    let sharded = simulate_with(&g, &m, &arch, 2, Parallelism::Threads(4)).unwrap();
+    assert_eq!(serial, sharded);
+    assert_eq!(serial.fabric.routed_bytes, serial.fabric.link_bytes);
+}
+
+#[test]
+fn contended_transfers_stay_within_one_router_latency_of_oracle() {
+    // Two bursts converging on one destination from different quadrants.
+    // The engines may legitimately order the contended link differently
+    // (physical arrival vs reservation order), but each completion stays
+    // within one router traversal of the oracle.
+    let cfg = NocConfig::small(4, 8);
+    let router_lat = cfg.frequency.cycles_to_time(aimc_platform::sim::Cycles(
+        *cfg.router_latency_cycles.iter().max().unwrap(),
+    ));
+    let streams = [
+        (Endpoint::Cluster(0), 256usize),
+        (Endpoint::Cluster(17), 256),
+    ];
+    let dst = Endpoint::Cluster(5);
+    let mut noc = Noc::new(cfg.clone());
+    let mut expect: Vec<SimTime> = streams
+        .iter()
+        .map(|&(s, b)| noc.transfer(SimTime::ZERO, TxnKind::Write, s, dst, b))
+        .collect();
+    let mut fab = Fabric::new(cfg);
+    for (i, &(s, b)) in streams.iter().enumerate() {
+        fab.inject(SimTime::ZERO, TxnKind::Write, s, dst, b, i as u64);
+    }
+    let mut done: Vec<SimTime> = fab.advance_all().into_iter().map(|(t, _)| t).collect();
+    expect.sort();
+    done.sort();
+    for (e, d) in expect.iter().zip(&done) {
+        let diff = if e > d {
+            e.saturating_sub(*d)
+        } else {
+            d.saturating_sub(*e)
+        };
+        assert!(
+            diff <= router_lat,
+            "fabric {d} vs reservation {e}: diff {diff} > router latency {router_lat}"
+        );
+    }
+}
+
+#[test]
+fn session_run_report_is_parallelism_invariant() {
+    // End-to-end through the facade: the session's parallelism knob now
+    // reaches the timing simulator without changing its results.
+    let g = build_graph(&[8, 16], true, 6);
+    let run = |par: Parallelism| {
+        let mut s = Platform::builder()
+            .graph(g.clone())
+            .arch(ArchConfig::small(4, 8))
+            .parallelism(par)
+            .build()
+            .unwrap()
+            .session();
+        s.run(RunSpec { batch: 3 }).unwrap().clone()
+    };
+    let serial = run(Parallelism::Serial);
+    let sharded = run(Parallelism::Threads(4));
+    assert_eq!(serial, sharded);
+    assert!(serial.fabric.links.iter().any(|l| l.transactions > 0));
+}

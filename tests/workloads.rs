@@ -14,7 +14,7 @@ fn vgg11_maps_without_residual_machinery() {
     let m = map_network(&g, &arch, MappingStrategy::OnChipResiduals).unwrap();
     assert!(m.residuals.storage_clusters.is_empty());
     assert_eq!(m.residuals.total_bytes, 0);
-    let r = simulate(&g, &m, &arch, 4);
+    let r = simulate(&g, &m, &arch, 4).unwrap();
     assert!(r.image_completions.iter().all(|&t| t > SimTime::ZERO));
     assert!(r.tops() > 1.0, "VGG-11 TOPS {}", r.tops());
 }
@@ -27,7 +27,7 @@ fn vgg16_fits_and_outweighs_resnet18_in_compute() {
     let arch = ArchConfig::paper();
     let m = map_network(&g, &arch, MappingStrategy::Balanced).unwrap();
     assert!(m.n_clusters_used <= 512);
-    let r = simulate(&g, &m, &arch, 2);
+    let r = simulate(&g, &m, &arch, 2).unwrap();
     assert_eq!(r.image_completions.len(), 2);
 }
 
@@ -42,7 +42,7 @@ fn resnet34_maps_with_more_stages_than_resnet18() {
     assert!(m34.n_clusters_used <= 512, "used {}", m34.n_clusters_used);
     // 16 skip edges → bigger residual footprint than ResNet-18's 8.
     assert!(m34.residuals.total_bytes > m18.residuals.total_bytes);
-    let r = simulate(&g34, &m34, &arch, 4);
+    let r = simulate(&g34, &m34, &arch, 4).unwrap();
     assert!(r.tops() > 1.0, "ResNet-34 TOPS {}", r.tops());
 }
 
@@ -69,7 +69,7 @@ fn mobilenet_mixes_digital_depthwise_and_analog_pointwise() {
     {
         assert!(s.analog.is_some(), "{} must be analog", s.name);
     }
-    let r = simulate(&g, &m, &arch, 4);
+    let r = simulate(&g, &m, &arch, 4).unwrap();
     assert_eq!(r.image_completions.len(), 4);
     assert!(r.images_per_s() > 1000.0);
 }
@@ -83,8 +83,8 @@ fn deeper_network_sustains_similar_steady_throughput() {
     let arch = ArchConfig::paper();
     let m34 = map_network(&g34, &arch, MappingStrategy::OnChipResiduals).unwrap();
     let m18 = map_network(&g18, &arch, MappingStrategy::OnChipResiduals).unwrap();
-    let r34 = simulate(&g34, &m34, &arch, 8);
-    let r18 = simulate(&g18, &m18, &arch, 8);
+    let r34 = simulate(&g34, &m34, &arch, 8).unwrap();
+    let r18 = simulate(&g18, &m18, &arch, 8).unwrap();
     // Single-image latency grows with depth…
     assert!(r34.image_completions[0] > r18.image_completions[0]);
     // …but steady images/s stays within 4x (budget pressure allowed).
