@@ -32,6 +32,17 @@ pub enum ServeError {
     /// A fleet was assembled with zero transports — there is nowhere to
     /// route.
     NoShards,
+    /// A request named a model id no shard group serves.
+    UnknownModel(String),
+    /// Two transports claimed the same model id with different device/seed
+    /// recipes — they would compute different bits for the same stream, so
+    /// the registry refuses to group them. The message names the model.
+    SpecMismatch(String),
+    /// Removing or recalibrating this shard would leave its model group
+    /// with no live member to absorb the traffic.
+    LiveFloor,
+    /// A maintenance operation named a shard id no seat ever held.
+    UnknownShard(usize),
 }
 
 impl std::fmt::Display for ServeError {
@@ -42,6 +53,22 @@ impl std::fmt::Display for ServeError {
             ServeError::Exec(e) => write!(f, "batch execution failed: {e}"),
             ServeError::Remote(msg) => write!(f, "remote shard failed: {msg}"),
             ServeError::NoShards => write!(f, "a fleet needs at least one shard transport"),
+            ServeError::UnknownModel(id) => {
+                write!(f, "no shard group serves model id {id:?}")
+            }
+            ServeError::SpecMismatch(id) => write!(
+                f,
+                "conflicting shard specs for model id {id:?}: replicas of one \
+                 model must share the same xbar config, noise channels and seed"
+            ),
+            ServeError::LiveFloor => write!(
+                f,
+                "operation refused: it would leave the shard's model group \
+                 with no live member"
+            ),
+            ServeError::UnknownShard(idx) => {
+                write!(f, "no shard seat has id {idx}")
+            }
         }
     }
 }
@@ -360,6 +387,13 @@ pub struct ServeStats {
     /// Per-class admission/shed/deadline accounting plus completion
     /// latencies (see [`QosStats`]).
     pub qos: QosStats,
+    /// Drift events applied since the shard was last (re)programmed — its
+    /// staleness in drift-log steps. Local `ServeHandle`s (no drift-aware
+    /// transport above them) always report 0; fleet transports fill it in.
+    pub drift_age: u64,
+    /// Times the shard has been reprogrammed from its seed since it
+    /// started serving (cumulative).
+    pub reprograms: u64,
 }
 
 impl ServeStats {
@@ -772,6 +806,8 @@ impl ServeHandle {
             max_batch_observed: st.max_batch_observed,
             queue_waits: st.queue_waits.clone(),
             qos: st.qos.clone(),
+            drift_age: 0,
+            reprograms: 0,
         }
     }
 }

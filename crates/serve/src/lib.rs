@@ -69,12 +69,13 @@ mod coalesce;
 mod handle;
 mod lease;
 pub mod qos;
+mod recal;
 mod remote;
 mod router;
 mod scheduler;
 mod transport;
 
-pub use aimc_wire::IndexLease;
+pub use aimc_wire::{IndexLease, NoiseSpec, ShardSpec};
 pub use coalesce::Coalescer;
 pub use handle::{Pending, ServeError, ServeHandle, ServeStats};
 pub use lease::LeaseAllocator;
@@ -82,8 +83,9 @@ pub use qos::{
     Admission, AimdPacer, ClassStats, PacerConfig, Priority, QosClass, QosCoalescer, QosOrdering,
     QosPolicy, QosStats, ShardLoad, ShedReason,
 };
+pub use recal::{RecalHandle, RecalPolicy, RecalStats};
 pub use remote::{Connect, RetryPolicy, ShardServer, TcpTransport};
-pub use router::{FleetHandle, FleetPolicy, FleetStats, RoutePolicy};
+pub use router::{FleetHandle, FleetPolicy, FleetStats, RoutePolicy, ShardHealth};
 pub use scheduler::{spawn, BatchRunner};
 pub use transport::{LocalTransport, Orphan, ShardControl, ShardTransport};
 

@@ -56,7 +56,7 @@ use crate::transport::{Orphan, ShardTransport};
 use aimc_dnn::Tensor;
 use aimc_parallel::Parallelism;
 use aimc_wire::{
-    read_frame, write_frame, Frame, IndexLease, ReplyError, ShardReply, ShardRequest,
+    read_frame, write_frame, Frame, IndexLease, ReplyError, ShardReply, ShardRequest, ShardSpec,
     WireClassStats, WireStats,
 };
 use std::collections::HashMap;
@@ -294,6 +294,9 @@ impl ShardServer {
                     let stats = to_wire_stats(&self.shard.stats());
                     reply(&Frame::Stats(stats))?;
                 }
+                Frame::SpecProbe => {
+                    reply(&Frame::Spec(self.shard.spec()))?;
+                }
                 // Server-to-client frames arriving at the server are a
                 // protocol violation.
                 other => {
@@ -313,6 +316,12 @@ fn reply_error(e: ServeError) -> ReplyError {
         ServeError::Canceled => ReplyError::Canceled,
         ServeError::Exec(err) => ReplyError::Exec(err.to_string()),
         ServeError::Remote(msg) => ReplyError::Exec(msg),
+        // Registry errors never originate on a shard host, but the mapping
+        // must stay total: render them like any other execution failure.
+        e @ (ServeError::UnknownModel(_)
+        | ServeError::SpecMismatch(_)
+        | ServeError::LiveFloor
+        | ServeError::UnknownShard(_)) => ReplyError::Exec(e.to_string()),
     }
 }
 
@@ -349,6 +358,8 @@ fn to_wire_stats(s: &ServeStats) -> WireStats {
         dispatched: s.dispatched,
         max_batch_observed: s.max_batch_observed as u64,
         ecn_marks: s.qos.ecn_marks,
+        drift_age: s.drift_age,
+        reprograms: s.reprograms,
         classes,
         queue_waits_ns: s.queue_waits.iter().map(ns).collect(),
     }
@@ -367,6 +378,8 @@ fn from_wire_stats(s: WireStats) -> ServeStats {
             .into_iter()
             .map(Duration::from_nanos)
             .collect(),
+        drift_age: s.drift_age,
+        reprograms: s.reprograms,
         ..ServeStats::default()
     };
     stats.qos.ecn_marks = s.ecn_marks;
@@ -471,6 +484,9 @@ struct RemoteState {
     /// Last statistics snapshot fetched from the server; served after the
     /// link closes.
     last_stats: ServeStats,
+    /// The shard's spec, fetched once over the wire and cached — a shard's
+    /// identity never changes for the life of a connection.
+    spec: Option<ShardSpec>,
     /// In-flight occupancy per priority class (client-side count).
     class_in_flight: [u64; Priority::COUNT],
     /// Latched congestion state: the `marked` bit of the most recent
@@ -681,6 +697,7 @@ impl TcpTransport {
                 pending: HashMap::new(),
                 rejected: 0,
                 last_stats: ServeStats::default(),
+                spec: None,
                 class_in_flight: [0; Priority::COUNT],
                 pressure: false,
                 est_image_ns: 0,
@@ -797,6 +814,7 @@ fn control_reply_matches(request: &Frame, reply: &Frame) -> bool {
             | (Frame::Reprogram, Frame::ReprogramDone(_))
             | (Frame::SetParallelism(_), Frame::ParallelismSet)
             | (Frame::StatsProbe, Frame::Stats(_))
+            | (Frame::SpecProbe, Frame::Spec(_))
     )
 }
 
@@ -868,7 +886,8 @@ fn reader_loop(reader: &mut impl Read, inner: &RemoteInner) {
                 | Frame::DriftDone(_)
                 | Frame::ReprogramDone(_)
                 | Frame::ParallelismSet
-                | Frame::Stats(_)),
+                | Frame::Stats(_)
+                | Frame::Spec(_)),
             ) => {
                 *inner.mailbox.lock().unwrap() = Some(reply);
                 inner.mailbox_cv.notify_all();
@@ -1152,6 +1171,21 @@ impl ShardTransport for TcpTransport {
         stats
     }
 
+    fn spec(&self) -> ShardSpec {
+        if let Some(spec) = self.inner.state.lock().unwrap().spec.clone() {
+            return spec;
+        }
+        if let Ok(Frame::Spec(spec)) = self.control(&Frame::SpecProbe) {
+            self.inner.state.lock().unwrap().spec = Some(spec.clone());
+            return spec;
+        }
+        // Dead link before the first probe: report the spec-less default.
+        // The registry will group this transport with other defaults; a
+        // transport that cannot even answer a probe is evicted on first
+        // use anyway.
+        ShardSpec::default()
+    }
+
     fn apply_drift(&self, t_hours: f64) -> bool {
         matches!(
             self.control(&Frame::ApplyDrift(t_hours)),
@@ -1332,6 +1366,9 @@ mod tests {
         assert_eq!(*control.reprograms.lock().unwrap(), 1);
         t.set_parallelism(Parallelism::Threads(3));
         assert_eq!(*control.pars.lock().unwrap(), vec![Parallelism::Threads(3)]);
+        // The spec probe answers over the *live* link (regression: a Spec
+        // reply must land in the control mailbox, not sever the link).
+        assert_eq!(t.spec(), ShardSpec::default());
         t.grant_lease(IndexLease::new(0, 8));
         let p = t.submit_indexed(0, tensor(5.0)).unwrap();
         assert_eq!(p.wait().unwrap().data(), &[5.0]);

@@ -1,4 +1,5 @@
-//! The fleet router: one global request stream over N shard transports.
+//! The fleet router: per-model global request streams over N shard
+//! transports, grouped by a spec registry.
 //!
 //! The paper's architecture scales by *replicating compute* — many
 //! identically-configured AIMC clusters behind an interconnect, all
@@ -10,12 +11,27 @@
 //! behind a wire ([`TcpTransport`](crate::TcpTransport)) is invisible
 //! here.
 //!
+//! ## The registry: heterogeneous fleets
+//!
+//! Shards need not be identical. At assembly (and on every
+//! [`FleetHandle::add_shard`]) the router probes each transport's
+//! [`ShardSpec`] — `{model_id, xbar_cfg, noise, seed}` — and groups
+//! transports by `model_id` into **model groups**. Each group owns its own
+//! lease allocator, active lease, routing cursor, and stream counter, so
+//! each model keeps its own bit-identical global stream `0, 1, 2, …`;
+//! requests route by model id ([`FleetHandle::submit_to`]) and never cross
+//! groups. Two transports claiming one model id with different device
+//! recipes are refused ([`ServeError::SpecMismatch`]) — they would compute
+//! different bits for the same coordinates. The classic single-model API
+//! ([`FleetHandle::submit`] etc.) targets the first group, so homogeneous
+//! fleets behave exactly as before the registry existed.
+//!
 //! > **Fleet invariance.** Because every request carries its global
-//! > coordinate and every replica holds bit-identical conductances, the
-//! > logits of request *k* are bit-identical to a solo single-session
-//! > stream of the same images — for ANY shard count, ANY transport mix,
-//! > ANY lease size, and ANY routing policy, no matter which shard
-//! > evaluated which request.
+//! > coordinate and every replica of its model group holds bit-identical
+//! > conductances, the logits of request *k* are bit-identical to a solo
+//! > single-session stream of the same images on that model's spec — for
+//! > ANY shard count, ANY transport mix, ANY lease size, and ANY routing
+//! > policy, no matter which shard evaluated which request.
 //!
 //! Indices come from a lease-based range allocator instead of a per-
 //! request counter: the router claims an [`IndexLease`] block, picks the
@@ -59,8 +75,8 @@ use crate::qos::{Admission, AimdPacer, PacerConfig, Priority, QosClass, QosStats
 use crate::transport::{Orphan, ShardTransport};
 use aimc_dnn::Tensor;
 use aimc_parallel::Parallelism;
-use aimc_wire::IndexLease;
-use std::sync::atomic::{AtomicBool, Ordering};
+use aimc_wire::{IndexLease, ShardSpec};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -143,18 +159,47 @@ impl Default for FleetPolicy {
     }
 }
 
+/// The router's view of one shard seat: identity, availability, and the
+/// calibration-freshness counters the background recalibration scheduler
+/// plans from (see [`FleetHandle::shard_health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// The model id of the group this seat belongs to.
+    pub model_id: String,
+    /// The seat's model-group index (stable, like shard ids).
+    pub group: usize,
+    /// Whether the seat is still in the routing rotation (not evicted).
+    pub live: bool,
+    /// Whether a maintenance operation (graceful removal or background
+    /// recalibration) is currently keeping new work off the seat.
+    pub draining: bool,
+    /// Fleet drift transitions applied since this replica was last
+    /// (re)programmed — zeroed by reprogram, live join, and background
+    /// recalibration. The staleness signal [`RecalPolicy`] thresholds on.
+    ///
+    /// [`RecalPolicy`]: crate::RecalPolicy
+    pub drift_age: u64,
+    /// Background recalibrations completed on this seat.
+    pub recals: u64,
+}
+
 /// Per-shard plus aggregated statistics of a fleet (see
 /// [`FleetHandle::stats`]).
 #[derive(Debug, Clone)]
 pub struct FleetStats {
     /// One [`ServeStats`] snapshot per shard, in shard-id order (evicted
-    /// shards keep reporting their last observed snapshot).
+    /// shards keep reporting their last observed snapshot). Each
+    /// snapshot's `drift_age` is the router's view of that seat (see
+    /// [`ShardHealth::drift_age`]), so it is comparable across local and
+    /// remote transports.
     pub shards: Vec<ServeStats>,
     /// The router's own QoS ledger: sheds decided at the fleet ingress
     /// (pacer overload, fleet class budgets) plus congestion marks the
     /// router observed. Disjoint from the shard ledgers — every admission
     /// outcome is counted exactly once, by the component that decided it.
     pub router: QosStats,
+    /// One [`ShardHealth`] row per seat, in shard-id order.
+    pub health: Vec<ShardHealth>,
 }
 
 impl FleetStats {
@@ -179,6 +224,11 @@ impl FleetStats {
             agg.max_batch_observed = agg.max_batch_observed.max(s.max_batch_observed);
             agg.queue_waits.extend_from_slice(&s.queue_waits);
             agg.qos.merge(&s.qos);
+            // Staleness is a worst-case property (the stalest replica
+            // bounds the fleet's calibration freshness), so ages max
+            // rather than sum; reprogram work performed does sum.
+            agg.drift_age = agg.drift_age.max(s.drift_age);
+            agg.reprograms += s.reprograms;
         }
         agg.qos.merge(&self.router);
         agg
@@ -194,19 +244,53 @@ struct ActiveLease {
     shard: usize,
 }
 
-/// Mutable routing state, under one lock: the allocator, the active
-/// lease, the round-robin cursor, and the stamped count.
+/// One model group's routing state: the shard seats serving one model id,
+/// plus that model's **own** global stream — allocator, active lease,
+/// round-robin cursor, and stamped count. Streams never cross groups, so
+/// every model keeps the bit-identical numbering `0, 1, 2, …` a solo
+/// session of its spec would produce.
 #[derive(Debug)]
-struct RouterState {
+struct GroupState {
+    /// The spec every member must match exactly (replicas of one model id
+    /// with different device recipes would compute different bits for the
+    /// same coordinates — refused at registration).
+    spec: ShardSpec,
     alloc: LeaseAllocator,
     active: Option<ActiveLease>,
     rr: usize,
-    /// Requests stamped since the last reprogram rewind (the observable
-    /// stream length).
+    /// Requests stamped on this group's stream since the last reprogram
+    /// rewind (the observable stream length).
     stamped: u64,
+    /// Member seat ids, in registration order (append-only, like seats).
+    members: Vec<usize>,
+}
+
+impl GroupState {
+    fn new(spec: ShardSpec) -> Self {
+        GroupState {
+            spec,
+            alloc: LeaseAllocator::new(),
+            active: None,
+            rr: 0,
+            stamped: 0,
+            members: Vec::new(),
+        }
+    }
+}
+
+/// Mutable routing state, under one lock: the registry's model groups and
+/// the fleet-wide drift history.
+#[derive(Debug)]
+struct RouterState {
+    /// The registry: one group per distinct model id, in first-appearance
+    /// order. Group 0 is the assembly's first model — the target of the
+    /// un-addressed (single-model) submission API.
+    groups: Vec<GroupState>,
     /// Drift transitions applied since the last reprogram, in order —
-    /// replayed onto late joiners so their conductances match the
-    /// incumbents'.
+    /// replayed onto late joiners and recalibrated shards so their
+    /// conductances match the incumbents'. Fleet-wide: drift is a
+    /// physical, per-device process, so every group experiences the same
+    /// history.
     drift_log: Vec<f64>,
 }
 
@@ -220,21 +304,63 @@ struct ShardSlot {
     /// every QoS-gated submission. Per-shard (not global) so one
     /// backpressured remote link closes only its own window.
     pacer: Mutex<AimdPacer>,
+    /// The model group this seat was registered into (fixed for the
+    /// seat's lifetime).
+    group: usize,
     evicted: AtomicBool,
+    /// Set while a maintenance operation (graceful removal, background
+    /// recalibration) keeps new work off the seat; cleared when the seat
+    /// returns to rotation. Routing skips draining seats exactly like
+    /// evicted ones, but the state is temporary.
+    draining: AtomicBool,
+    /// Submissions that have claimed an index routed to this seat but not
+    /// yet been forwarded to the transport. Maintenance operations wait
+    /// for this to reach zero after setting `draining`, so no request can
+    /// slip between the drain and the reprogram and observe
+    /// mid-calibration conductances.
+    submitting: AtomicU64,
+    /// Fleet drift transitions since this replica was last (re)programmed
+    /// (see [`ShardHealth::drift_age`]).
+    drift_age: AtomicU64,
+    /// Background recalibrations completed on this seat.
+    recals: AtomicU64,
 }
 
 impl ShardSlot {
-    fn new(transport: Box<dyn ShardTransport>, pacer: PacerConfig) -> Arc<Self> {
+    fn new(transport: Box<dyn ShardTransport>, pacer: PacerConfig, group: usize) -> Arc<Self> {
         Arc::new(ShardSlot {
             transport,
             pacer: Mutex::new(AimdPacer::new(pacer)),
+            group,
             evicted: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            submitting: AtomicU64::new(0),
+            drift_age: AtomicU64::new(0),
+            recals: AtomicU64::new(0),
         })
     }
 
     /// Whether the router still routes to this shard.
     fn live(&self) -> bool {
         !self.evicted.load(Ordering::Acquire)
+    }
+
+    /// Whether new work may land on this seat right now: live and not
+    /// held out of rotation by a maintenance drain.
+    fn routable(&self) -> bool {
+        self.live() && !self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// RAII token for one claimed-but-not-yet-forwarded submission: claimed
+/// under the router lock, released when the transport call returns — the
+/// window [`FleetHandle`] maintenance operations wait out (see
+/// [`ShardSlot::submitting`]).
+struct SubmitPermit<'a>(&'a ShardSlot);
+
+impl Drop for SubmitPermit<'_> {
+    fn drop(&mut self) {
+        self.0.submitting.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -256,6 +382,11 @@ struct FleetInner {
     /// original completion slots; joined by drain/shutdown so a rescued
     /// request settles before either returns.
     rescues: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes the fleet-mutating maintenance operations (drift,
+    /// reprogram, join, removal, recalibration) against each other —
+    /// submissions never take it, so serving continues while one shard is
+    /// in maintenance.
+    ops: Mutex<()>,
 }
 
 impl std::fmt::Debug for FleetInner {
@@ -283,11 +414,21 @@ pub struct FleetHandle {
 impl FleetHandle {
     /// Assembles a fleet from shard transports under `policy`.
     ///
+    /// Each transport is probed for its [`ShardSpec`] and registered into
+    /// the model group of its `model_id` (groups are created in
+    /// first-appearance order, so group 0 — the target of the un-addressed
+    /// submission API — is the first transport's model). Spec-less
+    /// transports report [`ShardSpec::default`] and form one homogeneous
+    /// group, exactly as before the registry existed.
+    ///
     /// # Errors
     /// [`ServeError::NoShards`] if `shards` is empty — an empty fleet has
     /// nowhere to route, and the error is centralized here so every
     /// assembly path (`serve_fleet`, `serve_fleet_with`, direct
     /// construction) reports it identically instead of panicking.
+    /// [`ServeError::SpecMismatch`] if two transports claim one model id
+    /// with different device recipes — they could not be bit-identical
+    /// replicas.
     pub fn new(
         shards: Vec<Box<dyn ShardTransport>>,
         policy: FleetPolicy,
@@ -295,24 +436,37 @@ impl FleetHandle {
         if shards.is_empty() {
             return Err(ServeError::NoShards);
         }
-        let slots = shards
-            .into_iter()
-            .map(|t| ShardSlot::new(t, policy.pacer))
-            .collect();
+        let mut groups: Vec<GroupState> = Vec::new();
+        let mut slots = Vec::with_capacity(shards.len());
+        for (idx, t) in shards.into_iter().enumerate() {
+            let spec = t.spec();
+            let gid = match groups.iter().position(|g| g.spec.model_id == spec.model_id) {
+                Some(gid) => {
+                    if groups[gid].spec != spec {
+                        return Err(ServeError::SpecMismatch(spec.model_id));
+                    }
+                    gid
+                }
+                None => {
+                    groups.push(GroupState::new(spec));
+                    groups.len() - 1
+                }
+            };
+            groups[gid].members.push(idx);
+            slots.push(ShardSlot::new(t, policy.pacer, gid));
+        }
         Ok(FleetHandle {
             inner: Arc::new(FleetInner {
                 shards: RwLock::new(slots),
                 policy,
                 state: Mutex::new(RouterState {
-                    alloc: LeaseAllocator::new(),
-                    active: None,
-                    rr: 0,
-                    stamped: 0,
+                    groups,
                     drift_log: Vec::new(),
                 }),
                 epoch: Instant::now(),
                 qos: Mutex::new(QosStats::default()),
                 rescues: Mutex::new(Vec::new()),
+                ops: Mutex::new(()),
             }),
         })
     }
@@ -333,16 +487,20 @@ impl FleetHandle {
             .all(|s| s.transport.is_closed())
     }
 
-    /// Picks the target shard for one lease block under the routing
-    /// policy, skipping evicted seats. `None` when no live shard remains.
-    fn pick_shard(&self, rr: &mut usize, shards: &[Arc<ShardSlot>]) -> Option<usize> {
+    /// Picks the target shard for one of `g`'s lease blocks under the
+    /// routing policy, skipping evicted and draining seats. `None` when no
+    /// routable member remains. (Member ids can briefly outrun an older
+    /// seat snapshot while a join is in flight — such members are skipped
+    /// until the submitter sees the new seat.)
+    fn pick_shard(&self, g: &mut GroupState, shards: &[Arc<ShardSlot>]) -> Option<usize> {
         match self.inner.policy.route {
             RoutePolicy::RoundRobin => {
-                let n = shards.len();
+                let n = g.members.len();
                 for step in 0..n {
-                    let s = (*rr + step) % n;
-                    if shards[s].live() {
-                        *rr = (s + 1) % n;
+                    let c = (g.rr + step) % n;
+                    let s = g.members[c];
+                    if shards.get(s).is_some_and(|slot| slot.routable()) {
+                        g.rr = (c + 1) % n;
                         return Some(s);
                     }
                 }
@@ -351,13 +509,14 @@ impl FleetHandle {
             RoutePolicy::LeastQueueDepth => {
                 let mut best = None;
                 let mut best_depth = u64::MAX;
-                for (i, s) in shards.iter().enumerate() {
-                    if !s.live() {
+                for &s in &g.members {
+                    let Some(slot) = shards.get(s) else { continue };
+                    if !slot.routable() {
                         continue;
                     }
-                    let depth = s.transport.in_flight();
+                    let depth = slot.transport.in_flight();
                     if depth < best_depth {
-                        best = Some(i);
+                        best = Some(s);
                         best_depth = depth;
                     }
                 }
@@ -366,48 +525,57 @@ impl FleetHandle {
         }
     }
 
-    /// Claims the next global stream index (and the shard its lease routes
-    /// to), allocating a fresh lease when the active one is exhausted —
-    /// or when its shard has been evicted since the block was routed, in
-    /// which case the unstamped remainder is first retired back to the
-    /// allocator so those coordinates re-route instead of vanishing.
-    /// When a fresh lease was allocated it is also returned, so the caller
-    /// can grant it to the transport **outside** the router lock — a
-    /// remote grant is a socket write, and a backpressured shard must
-    /// never stall ingress to the others.
+    /// Claims group `gid`'s next global stream index (and the shard its
+    /// lease routes to), allocating a fresh lease when the active one is
+    /// exhausted — or when its shard has been evicted or entered a
+    /// maintenance drain since the block was routed, in which case the
+    /// unstamped remainder is first retired back to the allocator so those
+    /// coordinates re-route instead of vanishing. When a fresh lease was
+    /// allocated it is also returned, so the caller can grant it to the
+    /// transport **outside** the router lock — a remote grant is a socket
+    /// write, and a backpressured shard must never stall ingress to the
+    /// others.
+    ///
+    /// The claimed seat's [`ShardSlot::submitting`] window is opened
+    /// before the lock is released; the caller owns a [`SubmitPermit`]
+    /// closing it once the request has been forwarded.
     ///
     /// # Errors
-    /// [`ServeError::ShutDown`] when no live shard remains to route to.
+    /// [`ServeError::ShutDown`] when no routable member of the group
+    /// remains to route to.
     fn claim(
         &self,
         st: &mut RouterState,
+        gid: usize,
         shards: &[Arc<ShardSlot>],
     ) -> Result<(usize, u64, Option<IndexLease>), ServeError> {
+        let g = &mut st.groups[gid];
         let mut granted = None;
         loop {
-            if let Some(active) = st.active.as_mut() {
-                if shards.get(active.shard).is_some_and(|s| s.live()) {
+            if let Some(active) = g.active.as_mut() {
+                if shards.get(active.shard).is_some_and(|s| s.routable()) {
                     if active.used < active.lease.len {
                         let index = active.lease.start + active.used;
                         active.used += 1;
-                        st.stamped += 1;
+                        g.stamped += 1;
+                        shards[active.shard]
+                            .submitting
+                            .fetch_add(1, Ordering::SeqCst);
                         return Ok((active.shard, index, granted));
                     }
-                    st.active = None;
+                    g.active = None;
                 } else {
-                    let active = st.active.take().expect("checked Some above");
-                    st.alloc.reclaim(IndexLease::new(
+                    let active = g.active.take().expect("checked Some above");
+                    g.alloc.reclaim(IndexLease::new(
                         active.lease.start + active.used,
                         active.lease.len - active.used,
                     ));
                 }
             }
-            let shard = self
-                .pick_shard(&mut st.rr, shards)
-                .ok_or(ServeError::ShutDown)?;
-            let lease = st.alloc.alloc(self.inner.policy.lease_len);
+            let shard = self.pick_shard(g, shards).ok_or(ServeError::ShutDown)?;
+            let lease = g.alloc.alloc(self.inner.policy.lease_len);
             granted = Some(lease);
-            st.active = Some(ActiveLease {
+            g.active = Some(ActiveLease {
                 lease,
                 used: 0,
                 shard,
@@ -424,28 +592,29 @@ impl FleetHandle {
     /// instead of re-hitting the refusing shard. Otherwise (a concurrent
     /// submitter advanced the stream past it) the single index re-enters
     /// the free list.
-    fn unclaim(&self, shard: usize, index: u64) {
+    fn unclaim(&self, gid: usize, shard: usize, index: u64) {
         let mut st = self.inner.state.lock().unwrap();
-        self.unclaim_locked(&mut st, shard, index);
+        self.unclaim_locked(&mut st, gid, shard, index);
     }
 
     /// [`FleetHandle::unclaim`] with the router lock already held (the
     /// block-submission path rolls back mid-claim).
-    fn unclaim_locked(&self, st: &mut RouterState, shard: usize, index: u64) {
-        st.stamped -= 1;
+    fn unclaim_locked(&self, st: &mut RouterState, gid: usize, shard: usize, index: u64) {
+        let g = &mut st.groups[gid];
+        g.stamped -= 1;
         let newest_of_active = matches!(
-            st.active,
+            g.active,
             Some(a) if a.shard == shard && a.used > 0 && a.lease.start + a.used - 1 == index
         );
         if newest_of_active {
-            let mut active = st.active.take().expect("matched Some above");
+            let mut active = g.active.take().expect("matched Some above");
             active.used -= 1;
-            st.alloc.reclaim(IndexLease::new(
+            g.alloc.reclaim(IndexLease::new(
                 active.lease.start + active.used,
                 active.lease.len - active.used,
             ));
         } else {
-            st.alloc.reclaim(IndexLease::new(index, 1));
+            g.alloc.reclaim(IndexLease::new(index, 1));
         }
     }
 
@@ -459,10 +628,11 @@ impl FleetHandle {
             return false;
         }
         let mut st = self.inner.state.lock().unwrap();
-        if let Some(active) = st.active {
+        let g = &mut st.groups[shards[idx].group];
+        if let Some(active) = g.active {
             if active.shard == idx {
-                st.active = None;
-                st.alloc.reclaim(IndexLease::new(
+                g.active = None;
+                g.alloc.reclaim(IndexLease::new(
                     active.lease.start + active.used,
                     active.lease.len - active.used,
                 ));
@@ -478,47 +648,68 @@ impl FleetHandle {
         if !self.retire_slot(shards, idx) {
             return;
         }
-        self.rescue(shards, shards[idx].transport.take_orphans());
+        self.rescue(
+            shards,
+            shards[idx].group,
+            shards[idx].transport.take_orphans(),
+        );
     }
 
     /// Re-submits harvested orphans **at their original coordinates** on
-    /// surviving shards, bridging each survivor's completion back into
-    /// the orphan's original slot — so the caller's `Pending` resolves
-    /// with the logits of the same stream index, and churn never shifts a
-    /// coordinate. A survivor that refuses mid-rescue is itself retired
-    /// (its strays join the worklist); with no survivor left the orphans
-    /// are cancelled — the terminal outcome the settlement guarantee
-    /// requires.
-    fn rescue(&self, shards: &[Arc<ShardSlot>], orphans: Vec<Orphan>) {
+    /// surviving members of their model group, bridging each survivor's
+    /// completion back into the orphan's original slot — so the caller's
+    /// `Pending` resolves with the logits of the same stream index, and
+    /// churn never shifts a coordinate. Only same-group members qualify:
+    /// another group's replicas hold different conductances and would
+    /// compute different bits. A survivor that refuses mid-rescue is
+    /// itself retired (its strays join the worklist); with no survivor
+    /// left the orphans are cancelled — the terminal outcome the
+    /// settlement guarantee requires.
+    fn rescue(&self, shards: &[Arc<ShardSlot>], gid: usize, orphans: Vec<Orphan>) {
         let mut work = orphans;
-        while let Some(orphan) = work.pop() {
-            let target = shards
-                .iter()
-                .enumerate()
-                .find(|(_, s)| s.live() && !s.transport.is_closed());
-            let Some((i, survivor)) = target else {
-                orphan.slot.fulfill(Err(ServeError::Canceled));
-                continue;
-            };
-            match survivor.transport.submit_admitted(
-                orphan.index,
-                orphan.image.clone(),
-                orphan.class,
-            ) {
-                Ok(p) => {
-                    let slot = orphan.slot;
-                    let bridge = std::thread::Builder::new()
-                        .name("aimc-fleet-rescue".into())
-                        .spawn(move || slot.fulfill(p.wait()))
-                        .expect("spawn rescue bridge");
-                    self.inner.rescues.lock().unwrap().push(bridge);
+        'orphans: while let Some(orphan) = work.pop() {
+            loop {
+                let target = shards
+                    .iter()
+                    .enumerate()
+                    .find(|(_, s)| s.group == gid && s.routable() && !s.transport.is_closed());
+                let Some((i, survivor)) = target else {
+                    orphan.slot.fulfill(Err(ServeError::Canceled));
+                    continue 'orphans;
+                };
+                // Open the submit window, then re-check the draining flag:
+                // either a concurrent maintenance drain sees our window and
+                // waits for it, or we see its flag and pick another target
+                // — a rescued request can never land on mid-calibration
+                // conductances.
+                survivor.submitting.fetch_add(1, Ordering::SeqCst);
+                if survivor.draining.load(Ordering::SeqCst) {
+                    survivor.submitting.fetch_sub(1, Ordering::SeqCst);
+                    continue;
                 }
-                Err(_) => {
-                    if self.retire_slot(shards, i) {
-                        work.extend(shards[i].transport.take_orphans());
+                let sent = survivor.transport.submit_admitted(
+                    orphan.index,
+                    orphan.image.clone(),
+                    orphan.class,
+                );
+                survivor.submitting.fetch_sub(1, Ordering::SeqCst);
+                match sent {
+                    Ok(p) => {
+                        let slot = orphan.slot;
+                        let bridge = std::thread::Builder::new()
+                            .name("aimc-fleet-rescue".into())
+                            .spawn(move || slot.fulfill(p.wait()))
+                            .expect("spawn rescue bridge");
+                        self.inner.rescues.lock().unwrap().push(bridge);
                     }
-                    work.push(orphan);
+                    Err(_) => {
+                        if self.retire_slot(shards, i) {
+                            work.extend(shards[i].transport.take_orphans());
+                        }
+                        work.push(orphan);
+                    }
                 }
+                continue 'orphans;
             }
         }
     }
@@ -540,7 +731,7 @@ impl FleetHandle {
             }
             swept = true;
             self.retire_slot(shards, i);
-            self.rescue(shards, strays);
+            self.rescue(shards, s.group, strays);
         }
         swept
     }
@@ -570,19 +761,47 @@ impl FleetHandle {
     /// back to the allocator, so the stream keeps no hole and later
     /// requests stay solo-identical.
     pub fn submit(&self, image: Tensor) -> Result<Pending, ServeError> {
+        self.submit_routed(0, image)
+    }
+
+    /// [`FleetHandle::submit`] addressed to a model id: the request joins
+    /// **that model's** global stream and runs on a member of its shard
+    /// group — never on another model's replicas.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when no group serves `model_id`;
+    /// otherwise as [`FleetHandle::submit`].
+    pub fn submit_to(&self, model_id: &str, image: Tensor) -> Result<Pending, ServeError> {
+        self.submit_routed(self.resolve_model(model_id)?, image)
+    }
+
+    /// Resolves a model id to its group index in the registry.
+    fn resolve_model(&self, model_id: &str) -> Result<usize, ServeError> {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .groups
+            .iter()
+            .position(|g| g.spec.model_id == model_id)
+            .ok_or_else(|| ServeError::UnknownModel(model_id.to_string()))
+    }
+
+    fn submit_routed(&self, gid: usize, image: Tensor) -> Result<Pending, ServeError> {
         loop {
             let shards = self.shards_snapshot();
             let (shard, index, granted) = {
                 let mut st = self.inner.state.lock().unwrap();
-                self.claim(&mut st, &shards)?
+                self.claim(&mut st, gid, &shards)?
             };
+            let _permit = SubmitPermit(&shards[shard]);
             if let Some(lease) = granted {
                 shards[shard].transport.grant_lease(lease);
             }
             match shards[shard].transport.submit_indexed(index, image.clone()) {
                 Ok(p) => return Ok(p),
                 Err(e) => {
-                    self.unclaim(shard, index);
+                    self.unclaim(gid, shard, index);
                     if shards[shard].transport.is_closed() && !self.fleet_is_dead(&shards) {
                         self.evict_and_rescue(&shards, shard);
                         continue;
@@ -632,13 +851,40 @@ impl FleetHandle {
     /// [`ServeError::ShutDown`] after [`FleetHandle::shutdown`] or once no
     /// live shard remains (the index is released, as for `submit`).
     pub fn submit_qos(&self, image: Tensor, class: QosClass) -> Result<Admission, ServeError> {
+        self.submit_qos_routed(0, image, class)
+    }
+
+    /// [`FleetHandle::submit_qos`] addressed to a model id — the same
+    /// admission pipeline over **that model's** stream and shard group.
+    /// The pacer and fleet class budgets stay fleet-wide: overload is a
+    /// host-resource property, not a per-model one.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when no group serves `model_id`;
+    /// otherwise as [`FleetHandle::submit_qos`].
+    pub fn submit_qos_to(
+        &self,
+        model_id: &str,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Admission, ServeError> {
+        self.submit_qos_routed(self.resolve_model(model_id)?, image, class)
+    }
+
+    fn submit_qos_routed(
+        &self,
+        gid: usize,
+        image: Tensor,
+        class: QosClass,
+    ) -> Result<Admission, ServeError> {
         loop {
             let shards = self.shards_snapshot();
             let (shard, index, granted) = {
                 let mut st = self.inner.state.lock().unwrap();
-                self.claim(&mut st, &shards)?
+                self.claim(&mut st, gid, &shards)?
             };
             let slot = &shards[shard];
+            let _permit = SubmitPermit(slot);
             if let Some(lease) = granted {
                 slot.transport.grant_lease(lease);
             }
@@ -658,7 +904,7 @@ impl FleetHandle {
             let over_hard_limit = in_flight >= pacer_cfg.hard_limit;
             let over_window = pacer_cfg.enabled && in_flight >= window;
             if over_hard_limit || (over_window && class.priority != Priority::High) {
-                self.unclaim(shard, index);
+                self.unclaim(gid, shard, index);
                 self.note_shed(class, ShedReason::Overload);
                 return Ok(Admission::Shed(ShedReason::Overload));
             }
@@ -671,7 +917,7 @@ impl FleetHandle {
                     }
                 }
                 if class_in_flight >= budget as u64 {
-                    self.unclaim(shard, index);
+                    self.unclaim(gid, shard, index);
                     self.note_shed(class, ShedReason::ClassBudget);
                     return Ok(Admission::Shed(ShedReason::ClassBudget));
                 }
@@ -681,11 +927,11 @@ impl FleetHandle {
                 Ok(refused) => {
                     // The shard shed (and counted it in its own ledger):
                     // release the index so the stream keeps no hole.
-                    self.unclaim(shard, index);
+                    self.unclaim(gid, shard, index);
                     return Ok(refused);
                 }
                 Err(e) => {
-                    self.unclaim(shard, index);
+                    self.unclaim(gid, shard, index);
                     if slot.transport.is_closed() && !self.fleet_is_dead(&shards) {
                         self.evict_and_rescue(&shards, shard);
                         continue;
@@ -718,6 +964,7 @@ impl FleetHandle {
         &self,
         images: impl IntoIterator<Item = Tensor>,
     ) -> Result<Vec<Pending>, ServeError> {
+        let gid = 0;
         let mut images: Vec<Tensor> = images.into_iter().collect();
         let mut pendings = Vec::with_capacity(images.len());
         'retry: loop {
@@ -729,14 +976,15 @@ impl FleetHandle {
                 let mut st = self.inner.state.lock().unwrap();
                 let mut routes = Vec::with_capacity(images.len());
                 for _ in &images {
-                    match self.claim(&mut st, &shards) {
+                    match self.claim(&mut st, gid, &shards) {
                         Ok(r) => routes.push(r),
                         Err(e) => {
                             // No live shard: roll the whole batch back,
                             // newest first so lease-cursor rollbacks
                             // compose.
                             for &(shard, index, _) in routes.iter().rev() {
-                                self.unclaim_locked(&mut st, shard, index);
+                                shards[shard].submitting.fetch_sub(1, Ordering::SeqCst);
+                                self.unclaim_locked(&mut st, gid, shard, index);
                             }
                             return Err(e);
                         }
@@ -744,6 +992,10 @@ impl FleetHandle {
                 }
                 routes
             };
+            let _permits: Vec<SubmitPermit<'_>> = routes
+                .iter()
+                .map(|&(shard, _, _)| SubmitPermit(&shards[shard]))
+                .collect();
             for (i, &(shard, index, granted)) in routes.iter().enumerate() {
                 if let Some(lease) = granted {
                     shards[shard].transport.grant_lease(lease);
@@ -757,7 +1009,7 @@ impl FleetHandle {
                         // Release the failed index and the whole unsent
                         // tail, newest first.
                         for &(shard, index, _) in routes[i..].iter().rev() {
-                            self.unclaim(shard, index);
+                            self.unclaim(gid, shard, index);
                         }
                         if shards[shard].transport.is_closed() && !self.fleet_is_dead(&shards) {
                             self.evict_and_rescue(&shards, shard);
@@ -795,11 +1047,13 @@ impl FleetHandle {
             }
         }
         let mut st = self.inner.state.lock().unwrap();
-        if let Some(active) = st.active.take() {
-            st.alloc.reclaim(IndexLease::new(
-                active.lease.start + active.used,
-                active.lease.len - active.used,
-            ));
+        for g in &mut st.groups {
+            if let Some(active) = g.active.take() {
+                g.alloc.reclaim(IndexLease::new(
+                    active.lease.start + active.used,
+                    active.lease.len - active.used,
+                ));
+            }
         }
     }
 
@@ -845,11 +1099,13 @@ impl FleetHandle {
     /// recorded in the drift log, so a later [`FleetHandle::add_shard`]
     /// replays it onto the joiner.
     pub fn apply_drift(&self, t_hours: f64) -> bool {
+        let _ops = self.inner.ops.lock().unwrap();
         self.drain();
         let shards = self.shards_snapshot();
         let mut modeled = false;
         for s in shards.iter().filter(|s| s.live()) {
             modeled |= s.transport.apply_drift(t_hours);
+            s.drift_age.fetch_add(1, Ordering::SeqCst);
         }
         self.inner.state.lock().unwrap().drift_log.push(t_hours);
         modeled
@@ -871,15 +1127,19 @@ impl FleetHandle {
     /// re-program (shards already re-programmed keep their fresh state;
     /// the stream is only rewound on full success).
     pub fn reprogram(&self) -> Result<(), ServeError> {
+        let _ops = self.inner.ops.lock().unwrap();
         self.drain();
         let shards = self.shards_snapshot();
         for s in shards.iter().filter(|s| s.live()) {
             s.transport.reprogram()?;
+            s.drift_age.store(0, Ordering::SeqCst);
         }
         let mut st = self.inner.state.lock().unwrap();
-        st.alloc.rewind();
-        st.active = None;
-        st.stamped = 0;
+        for g in &mut st.groups {
+            g.alloc.rewind();
+            g.active = None;
+            g.stamped = 0;
+        }
         st.drift_log.clear();
         Ok(())
     }
@@ -906,20 +1166,192 @@ impl FleetHandle {
     /// other replica — the fleet invariance is preserved across elastic
     /// scale-up.
     ///
+    /// The joiner is registered into the model group of its
+    /// [`ShardSpec`]'s model id — an unknown id founds a new group with
+    /// its own stream. Re-joining a model whose previous replica was
+    /// evicted goes through this same path: fresh programming from the
+    /// spec seed plus the drift-log replay reproduce the incumbents'
+    /// conductances exactly, so the rejoined host serves bit-identical
+    /// logits.
+    ///
     /// # Errors
-    /// [`ServeError::ShutDown`] if the fleet is closed; any programming
-    /// error from the joiner's control surface (the shard is not added).
+    /// [`ServeError::ShutDown`] if the fleet is closed;
+    /// [`ServeError::SpecMismatch`] if the joiner claims an existing model
+    /// id with a different device recipe; any programming error from the
+    /// joiner's control surface (the shard is not added).
     pub fn add_shard(&self, transport: Box<dyn ShardTransport>) -> Result<(), ServeError> {
+        let _ops = self.inner.ops.lock().unwrap();
         if self.is_closed() {
             return Err(ServeError::ShutDown);
+        }
+        let spec = transport.spec();
+        {
+            let st = self.inner.state.lock().unwrap();
+            if let Some(g) = st.groups.iter().find(|g| g.spec.model_id == spec.model_id) {
+                if g.spec != spec {
+                    return Err(ServeError::SpecMismatch(spec.model_id));
+                }
+            }
         }
         transport.reprogram()?;
         let drift_log = self.inner.state.lock().unwrap().drift_log.clone();
         for t_hours in drift_log {
             transport.apply_drift(t_hours);
         }
-        let slot = ShardSlot::new(transport, self.inner.policy.pacer);
-        self.inner.shards.write().unwrap().push(slot);
+        let mut shards = self.inner.shards.write().unwrap();
+        let mut st = self.inner.state.lock().unwrap();
+        let gid = match st
+            .groups
+            .iter()
+            .position(|g| g.spec.model_id == spec.model_id)
+        {
+            Some(gid) => gid,
+            None => {
+                st.groups.push(GroupState::new(spec));
+                st.groups.len() - 1
+            }
+        };
+        let idx = shards.len();
+        shards.push(ShardSlot::new(transport, self.inner.policy.pacer, gid));
+        st.groups[gid].members.push(idx);
+        Ok(())
+    }
+
+    /// Blocks until every submission already claimed for `slot` has been
+    /// forwarded to its transport. Callers set the seat draining first
+    /// (under the router lock), so no new claim can extend the wait — the
+    /// window is a few instructions plus one transport call.
+    fn wait_submits(&self, slot: &ShardSlot) {
+        while slot.submitting.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Counts the seats of `slot.group` (excluding seat `idx` itself) that
+    /// could serve a request right now — the live-floor guard for
+    /// maintenance operations.
+    fn routable_peers(&self, shards: &[Arc<ShardSlot>], idx: usize) -> usize {
+        shards
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != idx && s.group == shards[idx].group && s.routable())
+            .count()
+    }
+
+    /// Gracefully decommissions seat `idx`: the seat leaves the routing
+    /// rotation, the unstamped remainder of its active lease returns to
+    /// its group's allocator (those coordinates re-route, never skip),
+    /// in-flight work finishes on the shard, and the transport is shut
+    /// down — no request is cancelled, no coordinate shifts, no logit
+    /// changes. The counterpart of [`FleetHandle::add_shard`] for elastic
+    /// scale-down.
+    ///
+    /// Removing an already-retired seat is a no-op (`Ok`): the seat is
+    /// already out of rotation, which is what removal asks for.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownShard`] for an id no seat ever held;
+    /// [`ServeError::LiveFloor`] when the seat is its model group's last
+    /// routable member — removal would strand the group's stream (shut the
+    /// fleet down instead).
+    pub fn remove_shard(&self, idx: usize) -> Result<(), ServeError> {
+        let _ops = self.inner.ops.lock().unwrap();
+        let shards = self.shards_snapshot();
+        if idx >= shards.len() {
+            return Err(ServeError::UnknownShard(idx));
+        }
+        let slot = &shards[idx];
+        if !slot.live() {
+            return Ok(());
+        }
+        if self.routable_peers(&shards, idx) == 0 {
+            return Err(ServeError::LiveFloor);
+        }
+        self.quiesce_slot(&shards, idx);
+        slot.evicted.store(true, Ordering::SeqCst);
+        slot.draining.store(false, Ordering::SeqCst);
+        slot.transport.shutdown();
+        // A link that died mid-drain may still have parked strays — rescue
+        // them onto the group's survivors so the guarantee holds even for
+        // an unhealthy seat being removed.
+        let strays = slot.transport.take_orphans();
+        if !strays.is_empty() {
+            self.rescue(&shards, slot.group, strays);
+        }
+        Ok(())
+    }
+
+    /// Takes seat `idx` out of rotation and waits until it is fully quiet:
+    /// sets the draining flag and reclaims its active-lease remainder
+    /// under the router lock, waits out claims already in flight, then
+    /// drains the transport.
+    fn quiesce_slot(&self, shards: &[Arc<ShardSlot>], idx: usize) {
+        let slot = &shards[idx];
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            slot.draining.store(true, Ordering::SeqCst);
+            let g = &mut st.groups[slot.group];
+            if let Some(active) = g.active {
+                if active.shard == idx {
+                    g.active = None;
+                    g.alloc.reclaim(IndexLease::new(
+                        active.lease.start + active.used,
+                        active.lease.len - active.used,
+                    ));
+                }
+            }
+        }
+        self.wait_submits(slot);
+        slot.transport.drain();
+    }
+
+    /// Recalibrates seat `idx` in the background: the seat drains (its
+    /// group's other members keep serving), its replica is reprogrammed
+    /// from the spec seed, the fleet's drift history is replayed so its
+    /// conductances match the incumbents' bit-for-bit, and the seat
+    /// returns to rotation with its drift age reset — **no completed or
+    /// concurrent logit changes**, because every request carries its
+    /// global coordinate and the recalibrated replica computes the same
+    /// bits at every coordinate as any incumbent.
+    ///
+    /// This is the rotation step [`RecalHandle`] schedules; call it
+    /// directly for one-shot manual recalibration.
+    ///
+    /// [`RecalHandle`]: crate::RecalHandle
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownShard`] for an id no seat ever held;
+    /// [`ServeError::ShutDown`] if the seat was evicted; [`ServeError::LiveFloor`]
+    /// when the seat is its group's last routable member (recalibrating it
+    /// would leave the model unservable for the duration); any
+    /// re-programming error (the seat is then retired and its strays
+    /// rescued — a replica that cannot re-program is unusable).
+    pub fn recalibrate_shard(&self, idx: usize) -> Result<(), ServeError> {
+        let _ops = self.inner.ops.lock().unwrap();
+        let shards = self.shards_snapshot();
+        if idx >= shards.len() {
+            return Err(ServeError::UnknownShard(idx));
+        }
+        let slot = &shards[idx];
+        if !slot.live() {
+            return Err(ServeError::ShutDown);
+        }
+        if self.routable_peers(&shards, idx) == 0 {
+            return Err(ServeError::LiveFloor);
+        }
+        self.quiesce_slot(&shards, idx);
+        if let Err(e) = slot.transport.reprogram() {
+            slot.draining.store(false, Ordering::SeqCst);
+            self.evict_and_rescue(&shards, idx);
+            return Err(e);
+        }
+        let drift_log = self.inner.state.lock().unwrap().drift_log.clone();
+        for t_hours in drift_log {
+            slot.transport.apply_drift(t_hours);
+        }
+        slot.drift_age.store(0, Ordering::SeqCst);
+        slot.recals.fetch_add(1, Ordering::SeqCst);
+        slot.draining.store(false, Ordering::SeqCst);
         Ok(())
     }
 
@@ -941,9 +1373,61 @@ impl FleetHandle {
     }
 
     /// Requests stamped with global stream indices since the last
-    /// reprogram rewind.
+    /// reprogram rewind, summed across every model group.
     pub fn images_routed(&self) -> u64 {
-        self.inner.state.lock().unwrap().stamped
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .groups
+            .iter()
+            .map(|g| g.stamped)
+            .sum()
+    }
+
+    /// Requests stamped on one model's stream since the last reprogram
+    /// rewind.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when no group serves `model_id`.
+    pub fn images_routed_for(&self, model_id: &str) -> Result<u64, ServeError> {
+        let gid = self.resolve_model(model_id)?;
+        Ok(self.inner.state.lock().unwrap().groups[gid].stamped)
+    }
+
+    /// The registered model ids, in group order (group 0 first — the
+    /// target of the un-addressed submission API).
+    pub fn model_ids(&self) -> Vec<String> {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .groups
+            .iter()
+            .map(|g| g.spec.model_id.clone())
+            .collect()
+    }
+
+    /// The router's per-seat health view: group membership, availability,
+    /// drift age, and recalibration count — the input the background
+    /// recalibration scheduler plans from.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.shard_health_of(&self.shards_snapshot())
+    }
+
+    fn shard_health_of(&self, shards: &[Arc<ShardSlot>]) -> Vec<ShardHealth> {
+        let st = self.inner.state.lock().unwrap();
+        shards
+            .iter()
+            .map(|s| ShardHealth {
+                model_id: st.groups[s.group].spec.model_id.clone(),
+                group: s.group,
+                live: s.live(),
+                draining: s.draining.load(Ordering::SeqCst),
+                drift_age: s.drift_age.load(Ordering::SeqCst),
+                recals: s.recals.load(Ordering::SeqCst),
+            })
+            .collect()
     }
 
     /// The routing policy this fleet was assembled with.
@@ -959,13 +1443,24 @@ impl FleetHandle {
 
     /// Point-in-time statistics, per shard and aggregatable.
     pub fn stats(&self) -> FleetStats {
+        let shards = self.shards_snapshot();
+        let health = self.shard_health_of(&shards);
         FleetStats {
-            shards: self
-                .shards_snapshot()
+            shards: shards
                 .iter()
-                .map(|s| s.transport.stats())
+                .map(|s| {
+                    let mut stats = s.transport.stats();
+                    // The router's drift-age view supersedes the
+                    // transport's own count: it is reset by background
+                    // recalibration (whose drift-log replay the transport
+                    // counts as fresh drift) and uniform across local and
+                    // remote seats.
+                    stats.drift_age = s.drift_age.load(Ordering::SeqCst);
+                    stats
+                })
                 .collect(),
             router: self.inner.qos.lock().unwrap().clone(),
+            health,
         }
     }
 }
@@ -1222,6 +1717,7 @@ mod tests {
         let stats = FleetStats {
             shards: vec![fast.clone(), slow.clone()],
             router: QosStats::default(),
+            health: Vec::new(),
         };
         let agg = stats.aggregate();
         assert_eq!(agg.queue_waits.len(), 100, "every sample is pooled");
@@ -1716,6 +2212,7 @@ mod tests {
         let agg = FleetStats {
             shards: vec![shard_a, shard_b],
             router,
+            health: Vec::new(),
         }
         .aggregate();
 
@@ -1736,6 +2233,229 @@ mod tests {
         assert_eq!(agg.qos.ecn_marks, 6);
         assert_eq!(agg.qos.admitted_total(), 5);
         assert_eq!(agg.qos.shed_total(), 10);
+    }
+
+    fn spec_shard(
+        log: &ShardLog,
+        control: &Arc<RecordingControl>,
+        spec: ShardSpec,
+    ) -> Box<dyn ShardTransport> {
+        Box::new(LocalTransport::with_spec(
+            shard_handle(
+                Arc::clone(log),
+                BatchPolicy::new(2, Duration::from_millis(1)),
+            ),
+            Box::new(ControlHandle(Arc::clone(control))),
+            spec,
+        ))
+    }
+
+    /// The registry: transports group by model id, each group owns an
+    /// independent stream `0, 1, 2, …`, and requests never cross groups.
+    #[test]
+    fn registry_groups_by_model_id_with_independent_streams() {
+        let control = Arc::new(RecordingControl::default());
+        let logs: Vec<ShardLog> = (0..3).map(|_| Arc::default()).collect();
+        let f = FleetHandle::new(
+            vec![
+                spec_shard(&logs[0], &control, ShardSpec::golden("alpha")),
+                spec_shard(&logs[1], &control, ShardSpec::golden("alpha")),
+                spec_shard(&logs[2], &control, ShardSpec::golden("beta")),
+            ],
+            FleetPolicy::new(RoutePolicy::RoundRobin),
+        )
+        .unwrap();
+        assert_eq!(f.model_ids(), vec!["alpha".to_string(), "beta".to_string()]);
+
+        let a: Vec<Pending> = (0..4)
+            .map(|i| f.submit_to("alpha", tensor(i as f32)).unwrap())
+            .collect();
+        let b: Vec<Pending> = (0..3)
+            .map(|i| f.submit_to("beta", tensor(i as f32)).unwrap())
+            .collect();
+        // Each model's stream starts at 0 — coordinates are per group, so
+        // both models stay solo-identical.
+        for (k, p) in a.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
+        }
+        for (k, p) in b.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
+        }
+        f.drain();
+        assert_eq!(f.images_routed(), 7);
+        assert_eq!(f.images_routed_for("alpha").unwrap(), 4);
+        assert_eq!(f.images_routed_for("beta").unwrap(), 3);
+        // Beta's only shard saw its whole stream; alpha's two split theirs.
+        let beta: Vec<u64> = logs[2].lock().unwrap().iter().map(|&(i, _)| i).collect();
+        assert_eq!(beta, vec![0, 1, 2]);
+        let mut alpha: Vec<u64> = logs[0].lock().unwrap().iter().map(|&(i, _)| i).collect();
+        alpha.extend(logs[1].lock().unwrap().iter().map(|&(i, _)| i));
+        alpha.sort_unstable();
+        assert_eq!(alpha, vec![0, 1, 2, 3]);
+
+        // The un-addressed API is group 0 ("alpha") and continues its
+        // stream.
+        let p = f.submit(tensor(9.0)).unwrap();
+        assert_eq!(p.wait().unwrap().data(), &[4.0 * 1000.0 + 9.0]);
+
+        assert!(matches!(
+            f.submit_to("gamma", tensor(0.0)),
+            Err(ServeError::UnknownModel(id)) if id == "gamma"
+        ));
+        assert!(matches!(
+            f.images_routed_for("gamma"),
+            Err(ServeError::UnknownModel(_))
+        ));
+        f.shutdown();
+    }
+
+    /// One model id with two different device recipes is refused — at
+    /// assembly and at live join alike.
+    #[test]
+    fn conflicting_specs_for_one_model_are_refused() {
+        let control = Arc::new(RecordingControl::default());
+        let logs: Vec<ShardLog> = (0..3).map(|_| Arc::default()).collect();
+        let reseeded = ShardSpec {
+            seed: 7,
+            ..ShardSpec::golden("alpha")
+        };
+        match FleetHandle::new(
+            vec![
+                spec_shard(&logs[0], &control, ShardSpec::golden("alpha")),
+                spec_shard(&logs[1], &control, reseeded.clone()),
+            ],
+            FleetPolicy::default(),
+        ) {
+            Err(ServeError::SpecMismatch(id)) => assert_eq!(id, "alpha"),
+            other => panic!("expected SpecMismatch, got {other:?}"),
+        }
+
+        let f = FleetHandle::new(
+            vec![spec_shard(&logs[0], &control, ShardSpec::golden("alpha"))],
+            FleetPolicy::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            f.add_shard(spec_shard(&logs[2], &control, reseeded)),
+            Err(ServeError::SpecMismatch(_))
+        ));
+        // A joiner with a *new* model id founds a new group instead.
+        f.add_shard(spec_shard(&logs[2], &control, ShardSpec::golden("beta")))
+            .unwrap();
+        assert_eq!(f.model_ids(), vec!["alpha".to_string(), "beta".to_string()]);
+        let p = f.submit_to("beta", tensor(1.0)).unwrap();
+        assert_eq!(p.wait().unwrap().data(), &[1.0]);
+        f.shutdown();
+    }
+
+    /// Graceful decommission: the seat drains, in-flight work finishes,
+    /// later requests re-route with contiguous coordinates, and the
+    /// operation is idempotent — but a group's last member is protected.
+    #[test]
+    fn remove_shard_drains_gracefully_and_guards_the_floor() {
+        let (f, logs, _) = fleet(2, FleetPolicy::new(RoutePolicy::RoundRobin));
+        let pendings: Vec<Pending> = (0..4)
+            .map(|i| f.submit(tensor(i as f32)).unwrap())
+            .collect();
+        f.remove_shard(0).unwrap();
+        assert_eq!(f.live_shard_count(), 1);
+        // Every pre-removal request settled at its coordinate — removal
+        // cancelled nothing.
+        for (k, p) in pendings.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap().data(), &[k as f32 * 1000.0 + k as f32]);
+        }
+        // Later requests land on the survivor, stream still contiguous.
+        let p = f.submit(tensor(4.0)).unwrap();
+        assert_eq!(p.wait().unwrap().data(), &[4.0 * 1000.0 + 4.0]);
+        f.drain();
+        let survivor: Vec<u64> = logs[1].lock().unwrap().iter().map(|&(i, _)| i).collect();
+        assert!(survivor.contains(&4));
+
+        f.remove_shard(0).unwrap(); // idempotent: already out of rotation
+        assert!(matches!(f.remove_shard(1), Err(ServeError::LiveFloor)));
+        assert!(matches!(
+            f.remove_shard(9),
+            Err(ServeError::UnknownShard(9))
+        ));
+        assert_eq!(f.live_shard_count(), 1, "the floor held");
+        f.shutdown();
+    }
+
+    /// Background recalibration: reprogram from the spec seed plus a
+    /// drift-log replay, drift age reset, stream untouched — and the
+    /// group's last routable member is never taken.
+    #[test]
+    fn recalibrate_shard_replays_drift_and_resets_age() {
+        let c0 = Arc::new(RecordingControl::default());
+        let c1 = Arc::new(RecordingControl::default());
+        let log0: ShardLog = Arc::default();
+        let log1: ShardLog = Arc::default();
+        let f = FleetHandle::new(
+            vec![local_shard(&log0, &c0), local_shard(&log1, &c1)],
+            FleetPolicy::new(RoutePolicy::RoundRobin),
+        )
+        .unwrap();
+        f.submit(tensor(0.0)).unwrap().wait().unwrap();
+        f.apply_drift(3.5);
+        f.apply_drift(1.5);
+        let health = f.shard_health();
+        assert_eq!(health[0].drift_age, 2);
+        assert_eq!(health[1].drift_age, 2);
+
+        f.recalibrate_shard(0).unwrap();
+        assert_eq!(
+            *c0.reprograms.lock().unwrap(),
+            1,
+            "recal reprograms from the spec seed"
+        );
+        assert_eq!(
+            *c0.drifts.lock().unwrap(),
+            vec![3.5, 1.5, 3.5, 1.5],
+            "the fleet drift history is replayed after the reprogram"
+        );
+        assert_eq!(*c1.reprograms.lock().unwrap(), 0, "only the target seat");
+        let health = f.shard_health();
+        assert_eq!(health[0].drift_age, 0, "recal resets the drift age");
+        assert_eq!(health[0].recals, 1);
+        assert!(!health[0].draining, "the seat returned to rotation");
+        assert_eq!(health[1].drift_age, 2);
+
+        // The stream continued where it left off — recal shifted nothing.
+        let p = f.submit(tensor(1.0)).unwrap();
+        assert_eq!(p.wait().unwrap().data(), &[1.0 * 1000.0 + 1.0]);
+        f.drain();
+        assert_eq!(f.images_routed(), 2);
+
+        // The fleet-level stats surface the same view, and aggregate
+        // pools ages as a max (stalest replica), reprograms as a sum.
+        let stats = f.stats();
+        assert_eq!(stats.health, f.shard_health());
+        assert_eq!(stats.shards[0].drift_age, 0);
+        assert_eq!(stats.shards[1].drift_age, 2);
+        let agg = stats.aggregate();
+        assert_eq!(agg.drift_age, 2);
+        assert_eq!(agg.reprograms, 1);
+
+        f.shutdown();
+    }
+
+    /// A one-member group refuses recalibration (the model would go dark);
+    /// an evicted seat refuses too.
+    #[test]
+    fn recalibrate_refuses_the_last_routable_member() {
+        let (f, _, _) = fleet(1, FleetPolicy::default());
+        assert!(matches!(f.recalibrate_shard(0), Err(ServeError::LiveFloor)));
+        assert!(matches!(
+            f.recalibrate_shard(3),
+            Err(ServeError::UnknownShard(3))
+        ));
+        f.shutdown();
+
+        let (f, _, _) = fleet(2, FleetPolicy::default());
+        f.remove_shard(0).unwrap();
+        assert!(matches!(f.recalibrate_shard(0), Err(ServeError::ShutDown)));
+        assert!(matches!(f.recalibrate_shard(1), Err(ServeError::LiveFloor)));
+        f.shutdown();
     }
 
     /// Lease exhaustion mid-`submit_block`: a block bigger than the lease

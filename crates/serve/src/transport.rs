@@ -21,7 +21,8 @@ use crate::handle::{CompletionSlot, Pending, ServeError, ServeHandle, ServeStats
 use crate::qos::{Admission, QosClass, ShardLoad};
 use aimc_dnn::{ExecError, Tensor};
 use aimc_parallel::Parallelism;
-use aimc_wire::IndexLease;
+use aimc_wire::{IndexLease, ShardSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One request stranded on a dead shard, recovered for re-routing.
@@ -186,6 +187,16 @@ pub trait ShardTransport: Send + Sync {
     /// Point-in-time serving statistics of this shard.
     fn stats(&self) -> ServeStats;
 
+    /// The shard's identity: which model it serves and the device/seed
+    /// recipe its bits come from. The router's registry groups transports
+    /// by this — equal specs are replicas; distinct model ids own distinct
+    /// streams. The default reports [`ShardSpec::default`] (golden,
+    /// model id `"default"`), so spec-less transports form one
+    /// homogeneous group exactly as before the registry existed.
+    fn spec(&self) -> ShardSpec {
+        ShardSpec::default()
+    }
+
     /// Applies conductance drift to the shard's replica, after the caller
     /// drained. Returns whether the backend models drift.
     fn apply_drift(&self, t_hours: f64) -> bool;
@@ -211,6 +222,9 @@ pub trait ShardTransport: Send + Sync {
 pub struct LocalTransport {
     handle: ServeHandle,
     control: Box<dyn ShardControl>,
+    spec: ShardSpec,
+    drift_age: AtomicU64,
+    reprograms: AtomicU64,
 }
 
 impl std::fmt::Debug for LocalTransport {
@@ -222,9 +236,23 @@ impl std::fmt::Debug for LocalTransport {
 }
 
 impl LocalTransport {
-    /// Wraps a running scheduler and its backend control as one shard.
+    /// Wraps a running scheduler and its backend control as one shard with
+    /// the default (spec-less) identity.
     pub fn new(handle: ServeHandle, control: Box<dyn ShardControl>) -> Self {
-        LocalTransport { handle, control }
+        LocalTransport::with_spec(handle, control, ShardSpec::default())
+    }
+
+    /// Wraps a running scheduler and its backend control as one shard
+    /// carrying an explicit [`ShardSpec`] — the form the facade uses so a
+    /// registry can group replicas by model id and device recipe.
+    pub fn with_spec(handle: ServeHandle, control: Box<dyn ShardControl>, spec: ShardSpec) -> Self {
+        LocalTransport {
+            handle,
+            control,
+            spec,
+            drift_age: AtomicU64::new(0),
+            reprograms: AtomicU64::new(0),
+        }
     }
 
     /// The wrapped scheduler handle (e.g. to share it with non-fleet
@@ -278,15 +306,26 @@ impl ShardTransport for LocalTransport {
     }
 
     fn stats(&self) -> ServeStats {
-        self.handle.stats()
+        let mut stats = self.handle.stats();
+        stats.drift_age = self.drift_age.load(Ordering::Acquire);
+        stats.reprograms = self.reprograms.load(Ordering::Acquire);
+        stats
+    }
+
+    fn spec(&self) -> ShardSpec {
+        self.spec.clone()
     }
 
     fn apply_drift(&self, t_hours: f64) -> bool {
+        self.drift_age.fetch_add(1, Ordering::AcqRel);
         self.control.apply_drift(t_hours)
     }
 
     fn reprogram(&self) -> Result<(), ServeError> {
-        self.control.reprogram().map_err(ServeError::Exec)
+        self.control.reprogram().map_err(ServeError::Exec)?;
+        self.drift_age.store(0, Ordering::Release);
+        self.reprograms.fetch_add(1, Ordering::AcqRel);
+        Ok(())
     }
 
     fn set_parallelism(&self, par: Parallelism) {

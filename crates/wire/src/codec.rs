@@ -9,11 +9,12 @@
 //! cannot trigger an absurd allocation.
 
 use crate::{
-    Frame, IndexLease, Priority, QosClass, ReplyError, ShardReply, ShardRequest, WireClassStats,
-    WireStats,
+    Frame, IndexLease, NoiseSpec, Priority, QosClass, ReplyError, ShardReply, ShardRequest,
+    ShardSpec, WireClassStats, WireStats,
 };
 use aimc_dnn::{Shape, Tensor};
 use aimc_parallel::Parallelism;
+use aimc_xbar::XbarConfig;
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -45,6 +46,8 @@ const TAG_STATS: u8 = 14;
 const TAG_HELLO: u8 = 15;
 const TAG_HELLO_ACK: u8 = 16;
 const TAG_REPLAY_LEASES: u8 = 17;
+const TAG_SPEC_PROBE: u8 = 18;
+const TAG_SPEC: u8 = 19;
 
 /// The tag byte of an encoded [`Frame::Request`] payload (the first byte
 /// after the length prefix) — used by the fault injector to restrict
@@ -108,6 +111,27 @@ fn put_parallelism(buf: &mut Vec<u8>, par: Parallelism) {
     }
 }
 
+fn put_spec(buf: &mut Vec<u8>, spec: &ShardSpec) {
+    put_str(buf, &spec.model_id);
+    let cfg = &spec.xbar_cfg;
+    put_u64(buf, cfg.rows as u64);
+    put_u64(buf, cfg.cols as u64);
+    put_u32(buf, cfg.weight_bits);
+    put_u32(buf, cfg.dac_bits);
+    put_u32(buf, cfg.adc_bits);
+    put_f64(buf, cfg.prog_noise_sigma);
+    put_f64(buf, cfg.read_noise_sigma);
+    put_f64(buf, cfg.drift_nu);
+    put_f64(buf, cfg.x_clip);
+    put_f64(buf, cfg.adc_headroom);
+    put_f64(buf, cfg.mvm_latency_ns);
+    put_f64(buf, cfg.mvm_energy_nj);
+    put_f64(buf, spec.noise.prog_sigma);
+    put_f64(buf, spec.noise.read_sigma);
+    put_f64(buf, spec.noise.drift_nu);
+    put_u64(buf, spec.seed);
+}
+
 fn put_stats(buf: &mut Vec<u8>, s: &WireStats) {
     put_u64(buf, s.submitted);
     put_u64(buf, s.completed);
@@ -116,6 +140,8 @@ fn put_stats(buf: &mut Vec<u8>, s: &WireStats) {
     put_u64(buf, s.dispatched);
     put_u64(buf, s.max_batch_observed);
     put_u64(buf, s.ecn_marks);
+    put_u64(buf, s.drift_age);
+    put_u64(buf, s.reprograms);
     // Explicit class count: a decoder built against a different
     // Priority::COUNT must reject the snapshot instead of silently
     // truncating or misaligning the per-class ledgers.
@@ -216,6 +242,11 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 put_u64(&mut buf, lease.start);
                 put_u64(&mut buf, lease.len);
             }
+        }
+        Frame::SpecProbe => buf.push(TAG_SPEC_PROBE),
+        Frame::Spec(spec) => {
+            buf.push(TAG_SPEC);
+            put_spec(&mut buf, spec);
         }
     }
     buf
@@ -327,6 +358,36 @@ impl<'a> Cur<'a> {
         })
     }
 
+    fn spec(&mut self) -> io::Result<ShardSpec> {
+        let model_id = self.str()?;
+        let xbar_cfg = XbarConfig {
+            rows: self.u64()? as usize,
+            cols: self.u64()? as usize,
+            weight_bits: self.u32()?,
+            dac_bits: self.u32()?,
+            adc_bits: self.u32()?,
+            prog_noise_sigma: self.f64()?,
+            read_noise_sigma: self.f64()?,
+            drift_nu: self.f64()?,
+            x_clip: self.f64()?,
+            adc_headroom: self.f64()?,
+            mvm_latency_ns: self.f64()?,
+            mvm_energy_nj: self.f64()?,
+        };
+        let noise = NoiseSpec {
+            prog_sigma: self.f64()?,
+            read_sigma: self.f64()?,
+            drift_nu: self.f64()?,
+        };
+        let seed = self.u64()?;
+        Ok(ShardSpec {
+            model_id,
+            xbar_cfg,
+            noise,
+            seed,
+        })
+    }
+
     fn stats(&mut self) -> io::Result<WireStats> {
         let submitted = self.u64()?;
         let completed = self.u64()?;
@@ -335,6 +396,8 @@ impl<'a> Cur<'a> {
         let dispatched = self.u64()?;
         let max_batch_observed = self.u64()?;
         let ecn_marks = self.u64()?;
+        let drift_age = self.u64()?;
+        let reprograms = self.u64()?;
         let n_classes = self.u32()? as usize;
         if n_classes != Priority::COUNT {
             return Err(bad(format!(
@@ -359,6 +422,8 @@ impl<'a> Cur<'a> {
             dispatched,
             max_batch_observed,
             ecn_marks,
+            drift_age,
+            reprograms,
             classes,
             queue_waits_ns,
         })
@@ -438,6 +503,8 @@ pub fn decode_frame(payload: &[u8]) -> io::Result<Frame> {
             }
             Frame::ReplayLeases(leases)
         }
+        TAG_SPEC_PROBE => Frame::SpecProbe,
+        TAG_SPEC => Frame::Spec(cur.spec()?),
         t => return Err(bad(format!("unknown frame tag {t}"))),
     };
     cur.finish()?;
@@ -571,6 +638,8 @@ mod tests {
                 dispatched: 9,
                 max_batch_observed: 3,
                 ecn_marks: 5,
+                drift_age: 2,
+                reprograms: 1,
                 classes: [
                     WireClassStats {
                         admitted: 4,
@@ -606,6 +675,76 @@ mod tests {
         for f in &frames {
             assert_eq!(&decode_frame(&encode_frame(f)).unwrap(), f);
         }
+    }
+
+    #[test]
+    fn spec_frames_round_trip() {
+        let frames = [
+            Frame::SpecProbe,
+            Frame::Spec(ShardSpec::golden("resnet18")),
+            Frame::Spec(ShardSpec::default()),
+            Frame::Spec(ShardSpec::analog(
+                "vgg-a",
+                XbarConfig::hermes_256().with_size(32, 4),
+                0xDEAD_BEEF,
+            )),
+            Frame::Spec(ShardSpec {
+                model_id: String::new(), // empty ids survive too
+                xbar_cfg: XbarConfig::ideal(1, 1),
+                noise: NoiseSpec {
+                    prog_sigma: f64::MIN_POSITIVE,
+                    read_sigma: -0.0,
+                    drift_nu: 0.05,
+                },
+                seed: u64::MAX,
+            }),
+        ];
+        for f in &frames {
+            let decoded = decode_frame(&encode_frame(f)).unwrap();
+            match (f, &decoded) {
+                (Frame::SpecProbe, Frame::SpecProbe) => {}
+                (Frame::Spec(a), Frame::Spec(b)) => {
+                    assert_eq!(a.model_id, b.model_id);
+                    assert_eq!(a.seed, b.seed);
+                    assert_eq!(a.xbar_cfg, b.xbar_cfg);
+                    // Float fields compare on raw bits (the -0.0 case).
+                    assert_eq!(a.noise.prog_sigma.to_bits(), b.noise.prog_sigma.to_bits());
+                    assert_eq!(a.noise.read_sigma.to_bits(), b.noise.read_sigma.to_bits());
+                    assert_eq!(a.noise.drift_nu.to_bits(), b.noise.drift_nu.to_bits());
+                }
+                _ => panic!("frame kind changed over the wire"),
+            }
+        }
+        // Truncations of a spec frame are decode errors, never panics.
+        let good = encode_frame(&Frame::Spec(ShardSpec::analog(
+            "m",
+            XbarConfig::hermes_256(),
+            7,
+        )));
+        for cut in 0..good.len() {
+            assert!(decode_frame(&good[..cut]).is_err());
+        }
+    }
+
+    /// The analog constructor derives the noise channels from the crossbar
+    /// configuration, and the golden constructor is seed-free: all golden
+    /// shards of one model are replicas.
+    #[test]
+    fn spec_constructors_encode_the_grouping_rules() {
+        let cfg = XbarConfig::hermes_256();
+        let a = ShardSpec::analog("m", cfg.clone(), 7);
+        assert_eq!(a.noise.prog_sigma, cfg.prog_noise_sigma);
+        assert_eq!(a.noise.read_sigma, cfg.read_noise_sigma);
+        assert_eq!(a.noise.drift_nu, cfg.drift_nu);
+        assert_ne!(a, ShardSpec::analog("m", cfg.clone(), 8), "seed matters");
+        assert_ne!(
+            a,
+            ShardSpec::analog("m2", cfg, 7),
+            "model id matters even at equal device recipes"
+        );
+        assert_eq!(ShardSpec::golden("g"), ShardSpec::golden("g"));
+        assert_eq!(ShardSpec::default().model_id, "default");
+        assert_eq!(NoiseSpec::none(), NoiseSpec::default());
     }
 
     #[test]
@@ -697,8 +836,8 @@ mod tests {
         // provably the only difference.
         assert_eq!(decode_frame(&payload).unwrap(), Frame::Stats(stats));
         // The class-count field sits right after the tag byte and the
-        // seven u64 counters.
-        let count_at = 1 + 7 * 8;
+        // nine u64 counters.
+        let count_at = 1 + 9 * 8;
         assert_eq!(
             u32::from_le_bytes(payload[count_at..count_at + 4].try_into().unwrap()),
             Priority::COUNT as u32

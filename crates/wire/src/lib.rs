@@ -31,6 +31,7 @@
 //! | `Reprogram` | `ReprogramDone(result)` | rewrite the replica from its seed, rewind its stream |
 //! | `SetParallelism(par)` | `ParallelismSet` | retune the shard's thread budget |
 //! | `StatsProbe` | `Stats(stats)` | point-in-time serving statistics |
+//! | `SpecProbe` | `Spec(spec)` | the shard's [`ShardSpec`] (model id + device/seed recipe) |
 //!
 //! Every frame is length-prefixed (`u32` LE) so a reader can never
 //! misframe a stream; tensors travel as shape + raw `f32` LE bits, so the
@@ -56,7 +57,115 @@ pub use pipe::{duplex, PipeEnd, PIPE_CAPACITY};
 
 use aimc_dnn::Tensor;
 use aimc_parallel::Parallelism;
+use aimc_xbar::XbarConfig;
 use std::time::Duration;
+
+/// The device-noise channels of one shard's analog stack, in wire form.
+///
+/// A shard's results depend on exactly three noise channels (programming
+/// noise at write time, read noise per MVM, conductance drift over time)
+/// plus the seed that keys them. Carrying the sigmas separately from the
+/// full [`XbarConfig`] lets a registry compare "would these replicas
+/// compute the same bits" at a glance, and keeps the door open for specs
+/// whose noise is *not* derived from a crossbar model (e.g. golden shards,
+/// where every channel is zero).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NoiseSpec {
+    /// Relative programming-noise sigma per device (write-time).
+    pub prog_sigma: f64,
+    /// Relative read-noise sigma per device per MVM.
+    pub read_sigma: f64,
+    /// Conductance-drift exponent ν in `g(t) = g₀ (t/t₀)^(−ν)`.
+    pub drift_nu: f64,
+}
+
+impl NoiseSpec {
+    /// A noiseless spec (golden shards).
+    pub const fn none() -> Self {
+        NoiseSpec {
+            prog_sigma: 0.0,
+            read_sigma: 0.0,
+            drift_nu: 0.0,
+        }
+    }
+
+    /// The noise channels of a crossbar configuration.
+    pub fn from_xbar(cfg: &XbarConfig) -> Self {
+        NoiseSpec {
+            prog_sigma: cfg.prog_noise_sigma,
+            read_sigma: cfg.read_noise_sigma,
+            drift_nu: cfg.drift_nu,
+        }
+    }
+}
+
+/// The full identity of what one shard computes: which model it serves and
+/// the device/seed recipe that makes its logits bit-reproducible.
+///
+/// Two transports with **equal** specs are replicas — interchangeable
+/// members of one model group whose logits at a given stream coordinate
+/// are bit-identical. Two transports with different `model_id`s serve
+/// different streams and must never share a lease. The router's registry
+/// enforces both rules; a heterogeneous fleet is simply a fleet whose
+/// specs differ across groups.
+///
+/// The spec is also a *rebuild recipe*: reprogramming a shard from
+/// `(xbar_cfg, seed)` and replaying the fleet drift log reproduces its
+/// incumbent replicas' conductances bit for bit — which is what makes
+/// background recalibration and evict→rejoin invisible in the results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// The model (stream) this shard serves. Requests are routed by this
+    /// id; each distinct id owns its own global index stream `0, 1, 2, …`.
+    pub model_id: String,
+    /// Crossbar geometry/resolution of the shard's analog arrays. Golden
+    /// shards carry an ideal placeholder configuration.
+    pub xbar_cfg: XbarConfig,
+    /// The shard's device-noise channels.
+    pub noise: NoiseSpec,
+    /// The seed keying programming and read noise. Same `(xbar_cfg, seed)`
+    /// ⇒ same conductances ⇒ same logits at the same coordinates.
+    pub seed: u64,
+}
+
+impl ShardSpec {
+    /// The model id of spec-less legacy transports and of the un-addressed
+    /// submit path — the one group every homogeneous fleet lives in.
+    pub const DEFAULT_MODEL_ID: &'static str = "default";
+
+    /// The spec of an analog shard: noise channels derived from the
+    /// crossbar configuration, keyed by `seed`.
+    pub fn analog(model_id: impl Into<String>, xbar_cfg: XbarConfig, seed: u64) -> Self {
+        let noise = NoiseSpec::from_xbar(&xbar_cfg);
+        ShardSpec {
+            model_id: model_id.into(),
+            xbar_cfg,
+            noise,
+            seed,
+        }
+    }
+
+    /// The spec of a golden (noiseless floating-point) shard. All golden
+    /// shards of one model are replicas regardless of seed, so the spec is
+    /// a constant per `model_id`.
+    pub fn golden(model_id: impl Into<String>) -> Self {
+        ShardSpec {
+            model_id: model_id.into(),
+            xbar_cfg: XbarConfig::ideal(256, 256),
+            noise: NoiseSpec::none(),
+            seed: 0,
+        }
+    }
+}
+
+impl Default for ShardSpec {
+    /// The spec a legacy (spec-less) transport reports: golden shards of
+    /// the model id `"default"`. All such transports group together, which
+    /// preserves the pre-registry homogeneous-fleet behavior exactly.
+    fn default() -> Self {
+        ShardSpec::golden(Self::DEFAULT_MODEL_ID)
+    }
+}
 
 /// Service priority of one request — the class a request is admitted,
 /// queued, and (under the EDF ordering) dispatched by.
@@ -251,6 +360,13 @@ pub struct WireStats {
     pub max_batch_observed: u64,
     /// Admissions that found the queue at or above the ECN threshold.
     pub ecn_marks: u64,
+    /// Drift events applied since the shard was last (re)programmed — its
+    /// staleness in drift-log steps. Reset to zero by every reprogram
+    /// (including background recalibration).
+    pub drift_age: u64,
+    /// Times the shard has been reprogrammed from its spec seed since it
+    /// started serving (cumulative; never reset).
+    pub reprograms: u64,
     /// Per-class admission/shed/deadline accounting, indexed by
     /// [`Priority::rank`].
     pub classes: [WireClassStats; Priority::COUNT],
@@ -334,6 +450,12 @@ pub enum Frame {
     /// unacknowledged requests are about to be retransmitted after a
     /// reconnect, so the host can account for the replayed coordinates.
     ReplayLeases(Vec<IndexLease>),
+    /// Client → server: request the shard's [`ShardSpec`] (model id +
+    /// device/seed recipe), so a router can place the transport into the
+    /// right model group at fleet-assembly time.
+    SpecProbe,
+    /// Server → client: the shard's spec.
+    Spec(ShardSpec),
 }
 
 #[cfg(test)]

@@ -6,9 +6,10 @@
 use aimc_dnn::{Shape, Tensor};
 use aimc_parallel::Parallelism;
 use aimc_wire::{
-    decode_frame, encode_frame, read_frame, write_frame, Frame, IndexLease, Priority, QosClass,
-    ReplyError, ShardReply, ShardRequest, WireClassStats, WireStats,
+    decode_frame, encode_frame, read_frame, write_frame, Frame, IndexLease, NoiseSpec, Priority,
+    QosClass, ReplyError, ShardReply, ShardRequest, ShardSpec, WireClassStats, WireStats,
 };
+use aimc_xbar::XbarConfig;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -64,9 +65,38 @@ fn random_class_stats(rng: &mut StdRng) -> WireClassStats {
     }
 }
 
+/// A random shard spec: arbitrary model id, geometry, noise channels and
+/// seed (non-NaN floats so `PartialEq` can witness the round trip).
+fn random_spec(rng: &mut StdRng) -> ShardSpec {
+    let finite = |rng: &mut StdRng| {
+        let v = f64::from_bits(rng.gen::<u64>()).abs() % 1e6;
+        if v.is_finite() {
+            v
+        } else {
+            0.5
+        }
+    };
+    let mut cfg = XbarConfig::hermes_256()
+        .with_size(rng.gen_range(1usize..1024), rng.gen_range(1usize..1024));
+    cfg.weight_bits = rng.gen_range(1..16);
+    cfg.prog_noise_sigma = finite(rng);
+    cfg.read_noise_sigma = finite(rng);
+    cfg.drift_nu = finite(rng);
+    ShardSpec {
+        model_id: random_string(rng),
+        xbar_cfg: cfg,
+        noise: NoiseSpec {
+            prog_sigma: finite(rng),
+            read_sigma: finite(rng),
+            drift_nu: finite(rng),
+        },
+        seed: rng.gen(),
+    }
+}
+
 /// Draws one frame covering every variant and every nested outcome arm.
 fn random_frame(rng: &mut StdRng) -> Frame {
-    match rng.gen_range(0u32..17) {
+    match rng.gen_range(0u32..19) {
         0 => Frame::Request(ShardRequest {
             global_index: rng.gen(),
             class: random_class(rng),
@@ -114,6 +144,8 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             dispatched: rng.gen(),
             max_batch_observed: rng.gen(),
             ecn_marks: rng.gen(),
+            drift_age: rng.gen(),
+            reprograms: rng.gen(),
             classes: [
                 random_class_stats(rng),
                 random_class_stats(rng),
@@ -121,6 +153,8 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             ],
             queue_waits_ns: (0..rng.gen_range(0usize..64)).map(|_| rng.gen()).collect(),
         }),
+        16 => Frame::SpecProbe,
+        17 => Frame::Spec(random_spec(rng)),
         _ => Frame::Request(ShardRequest {
             global_index: 0,
             class: QosClass::default(),

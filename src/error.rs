@@ -38,6 +38,10 @@ pub enum Error {
     /// A serving fleet was assembled with zero shard transports — there is
     /// nowhere to route.
     NoShards,
+    /// Two shards claimed the same model id with different replica specs
+    /// (crossbar config, noise model, or seed) — the fleet registry cannot
+    /// route to them interchangeably without breaking bit-identity.
+    SpecMismatch(String),
 }
 
 /// What was missing from a [`PlatformBuilder`](crate::PlatformBuilder).
@@ -79,6 +83,7 @@ impl fmt::Display for Error {
                  transport vector to Platform::serve_fleet_with (or n_shards >= 1 to \
                  Platform::serve_fleet)"
             ),
+            Error::SpecMismatch(why) => write!(f, "shard spec mismatch: {why}"),
         }
     }
 }

@@ -85,11 +85,13 @@ mod session;
 
 pub use aimc_parallel::Parallelism;
 pub use error::{BuildError, Error};
-pub use session::{Backend, Platform, PlatformBuilder, RunSpec, Session};
+pub use session::{Backend, ModelGroup, Platform, PlatformBuilder, RunSpec, Session};
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
-    pub use crate::{Backend, BuildError, Error, Platform, PlatformBuilder, RunSpec, Session};
+    pub use crate::{
+        Backend, BuildError, Error, ModelGroup, Platform, PlatformBuilder, RunSpec, Session,
+    };
     pub use aimc_core::{map_network, ArchConfig, MapError, MappingStrategy, SystemMapping};
     pub use aimc_dnn::{
         execute_golden, he_init, infer_golden, resnet18, resnet18_cifar, try_execute_golden,
@@ -103,9 +105,10 @@ pub mod prelude {
     };
     pub use aimc_serve::{
         Admission, AimdPacer, BatchPolicy, ClassStats, Connect, FleetHandle, FleetPolicy,
-        FleetStats, IndexLease, LocalTransport, Orphan, PacerConfig, Pending, Priority, QosClass,
-        QosOrdering, QosPolicy, QosStats, RetryPolicy, RoutePolicy, ServeError, ServeHandle,
-        ServeStats, ShardLoad, ShardServer, ShardTransport, ShedReason, TcpTransport,
+        FleetStats, IndexLease, LocalTransport, NoiseSpec, Orphan, PacerConfig, Pending, Priority,
+        QosClass, QosOrdering, QosPolicy, QosStats, RecalHandle, RecalPolicy, RecalStats,
+        RetryPolicy, RoutePolicy, ServeError, ServeHandle, ServeStats, ShardHealth, ShardLoad,
+        ShardServer, ShardSpec, ShardTransport, ShedReason, TcpTransport,
     };
     pub use aimc_sim::SimTime;
     pub use aimc_xbar::{Crossbar, XbarConfig, XbarError};

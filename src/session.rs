@@ -43,7 +43,7 @@ use aimc_parallel::Parallelism;
 use aimc_runtime::{simulate_with, AreaModel, EnergyModel, Headline, RunReport, Waterfall};
 use aimc_serve::{
     BatchPolicy, FleetHandle, FleetPolicy, LocalTransport, QosOrdering, RoutePolicy, ServeError,
-    ServeHandle, ShardControl, ShardServer, ShardTransport,
+    ServeHandle, ShardControl, ShardServer, ShardSpec, ShardTransport,
 };
 use aimc_xbar::XbarConfig;
 use std::collections::HashMap;
@@ -189,29 +189,83 @@ impl Platform {
         self.serve_fleet_with(transports, FleetPolicy::new(route))
     }
 
+    /// Starts a **heterogeneous serving fleet**: one fleet serving several
+    /// models at once, each model group its own replica set. For every
+    /// [`ModelGroup`] the platform builds `replicas` in-process shards
+    /// from the group's backend, all carrying the group's
+    /// [`ShardSpec`] — the router's registry then routes
+    /// [`FleetHandle::submit_to`]`(model_id, ..)` requests to a compatible
+    /// seat, with a **per-group** global stream counter, so each model's
+    /// logits stay bit-identical to a solo session over that model's
+    /// backend no matter how the groups interleave.
+    ///
+    /// Background recalibration ([`FleetHandle::start_recal`]) and the
+    /// maintenance surface ([`FleetHandle::remove_shard`],
+    /// [`FleetHandle::add_shard`], [`FleetHandle::recalibrate_shard`])
+    /// operate on such a fleet group-by-group: a rotation drains one seat
+    /// of one group while every other seat keeps serving.
+    ///
+    /// All groups share this platform's graph, weights, and mapping — the
+    /// groups differ in *backend* (golden vs. analog, seeds, device
+    /// configs), which is exactly the heterogeneity the registry keys on.
+    ///
+    /// # Errors
+    /// [`Error::NoShards`] if `groups` is empty;
+    /// [`Error::SpecMismatch`] if two groups claim one model id with
+    /// different backends; [`Error::NoWeights`] / programming errors as in
+    /// [`Session::program`], per shard.
+    pub fn serve_hetero_fleet(
+        &self,
+        groups: &[ModelGroup],
+        policy: BatchPolicy,
+        route: RoutePolicy,
+    ) -> Result<FleetHandle, Error> {
+        let mut transports: Vec<Box<dyn ShardTransport>> = Vec::new();
+        for group in groups {
+            for _ in 0..group.replicas.max(1) {
+                transports.push(Box::new(self.local_shard_for(
+                    &group.model_id,
+                    policy,
+                    &group.backend,
+                )?));
+            }
+        }
+        self.serve_fleet_with(transports, FleetPolicy::new(route))
+    }
+
     /// Assembles a serving fleet from caller-supplied shard transports —
     /// the transport-agnostic twin of [`Platform::serve_fleet`]: the
     /// router speaks only [`ShardTransport`], so the vector may mix
     /// in-process shards ([`Platform::local_shard`]) with remote ones
     /// ([`aimc_serve::TcpTransport`] connected to a
-    /// [`Platform::shard_server`] on another host) in any proportion.
+    /// [`Platform::shard_server`] on another host) in any proportion —
+    /// and, since each transport self-describes through its
+    /// [`ShardSpec`], may span several model groups
+    /// (built via [`Platform::local_shard_for`] /
+    /// [`Platform::shard_server_for`]) in one fleet.
     ///
     /// The fleet invariance carries over verbatim: provided every shard's
     /// replica is programmed from the same seed, the logits of request *k*
     /// are bit-identical to a solo [`Session::infer_one`] stream — for any
-    /// transport mix, any lease length, and any routing policy.
+    /// transport mix, any lease length, and any routing policy. With
+    /// several groups the invariance holds per model id.
     ///
     /// # Errors
-    /// [`Error::NoShards`] if `transports` is empty.
+    /// [`Error::NoShards`] if `transports` is empty;
+    /// [`Error::SpecMismatch`] if two transports claim the same model id
+    /// with different replica specs.
     pub fn serve_fleet_with(
         &self,
         transports: Vec<Box<dyn ShardTransport>>,
         policy: FleetPolicy,
     ) -> Result<FleetHandle, Error> {
-        // NoShards is the router constructor's only failure mode.
-        FleetHandle::new(transports, policy).map_err(|e| {
-            debug_assert!(matches!(e, ServeError::NoShards));
-            Error::NoShards
+        FleetHandle::new(transports, policy).map_err(|e| match e {
+            ServeError::SpecMismatch(why) => Error::SpecMismatch(why),
+            other => {
+                // NoShards is the only other constructor failure mode.
+                debug_assert!(matches!(other, ServeError::NoShards));
+                Error::NoShards
+            }
         })
     }
 
@@ -221,6 +275,11 @@ impl Platform {
     /// [`ShardTransport`] boundary — the building block of
     /// [`Platform::serve_fleet_with`] and of [`Platform::shard_server`].
     ///
+    /// The shard carries the default model id (`"default"`), so a fleet of
+    /// such shards forms one homogeneous group — exactly the pre-registry
+    /// behavior. Use [`Platform::local_shard_for`] to place the shard in a
+    /// named model group of a heterogeneous fleet.
+    ///
     /// # Errors
     /// [`Error::NoWeights`] without functional weights; programming errors
     /// as in [`Session::program`].
@@ -229,6 +288,25 @@ impl Platform {
         policy: BatchPolicy,
         backend: &Backend,
     ) -> Result<LocalTransport, Error> {
+        self.local_shard_for(ShardSpec::DEFAULT_MODEL_ID, policy, backend)
+    }
+
+    /// [`Platform::local_shard`] with an explicit model id: the shard's
+    /// [`ShardSpec`] — the backend's crossbar config,
+    /// noise model, and seed under `model_id` — is what the fleet registry
+    /// groups seats by, what [`FleetHandle::submit_to`] routes on, and
+    /// what a recalibration reprograms from.
+    ///
+    /// # Errors
+    /// [`Error::NoWeights`] without functional weights; programming errors
+    /// as in [`Session::program`].
+    pub fn local_shard_for(
+        &self,
+        model_id: &str,
+        policy: BatchPolicy,
+        backend: &Backend,
+    ) -> Result<LocalTransport, Error> {
+        let spec = backend.shard_spec(model_id);
         let inner = &self.inner;
         let weights = inner.weights.clone().ok_or(Error::NoWeights)?;
         let graph = Arc::clone(&inner.graph);
@@ -245,9 +323,10 @@ impl Platform {
                     Box::new(move |indices: &[u64], inputs: &[Tensor]| {
                         exec.infer_batch_indexed(&zip_indexed(indices, inputs), p.get())
                     });
-                Ok(LocalTransport::new(
+                Ok(LocalTransport::with_spec(
                     aimc_serve::spawn(policy, runner),
                     Box::new(GoldenShardControl { par }),
+                    spec,
                 ))
             }
             Backend::Analog { seed, xbar_cfg } => {
@@ -272,7 +351,7 @@ impl Platform {
                         let exec = s.read().unwrap();
                         exec.try_infer_batch_indexed(&zip_indexed(indices, inputs), par)
                     });
-                Ok(LocalTransport::new(
+                Ok(LocalTransport::with_spec(
                     aimc_serve::spawn(policy, runner),
                     Box::new(AnalogShardControl {
                         slot,
@@ -282,6 +361,7 @@ impl Platform {
                         seed: *seed,
                         par,
                     }),
+                    spec,
                 ))
             }
         }
@@ -306,6 +386,49 @@ impl Platform {
         Ok(ShardServer::new(Box::new(
             self.local_shard(policy, backend)?,
         )))
+    }
+
+    /// [`Platform::shard_server`] with an explicit model id: the hosted
+    /// replica carries the named [`ShardSpec`], which a
+    /// remote router probes over the wire and groups by — so a
+    /// heterogeneous fleet can span hosts just like a homogeneous one.
+    ///
+    /// # Errors
+    /// [`Error::NoWeights`] without functional weights; programming errors
+    /// as in [`Session::program`].
+    pub fn shard_server_for(
+        &self,
+        model_id: &str,
+        policy: BatchPolicy,
+        backend: &Backend,
+    ) -> Result<ShardServer, Error> {
+        Ok(ShardServer::new(Box::new(
+            self.local_shard_for(model_id, policy, backend)?,
+        )))
+    }
+}
+
+/// One replica group of a heterogeneous fleet (see
+/// [`Platform::serve_hetero_fleet`]): `replicas` in-process shards built
+/// from `backend`, all serving the model stream `model_id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelGroup {
+    /// The model id requests address via [`FleetHandle::submit_to`].
+    pub model_id: String,
+    /// The backend every replica of this group is programmed from.
+    pub backend: Backend,
+    /// Seats in the group (0 is clamped to 1).
+    pub replicas: usize,
+}
+
+impl ModelGroup {
+    /// A group of `replicas` seats serving `model_id` on `backend`.
+    pub fn new(model_id: impl Into<String>, replicas: usize, backend: Backend) -> Self {
+        ModelGroup {
+            model_id: model_id.into(),
+            backend,
+            replicas,
+        }
     }
 }
 
@@ -510,6 +633,19 @@ impl Backend {
     /// Analog backend with the given seed and device configuration.
     pub fn analog(seed: u64, xbar_cfg: XbarConfig) -> Self {
         Backend::Analog { seed, xbar_cfg }
+    }
+
+    /// The replica identity a shard built from this backend carries under
+    /// `model_id` — what the fleet registry groups seats by and what a
+    /// recalibration reprograms from. Golden backends map to the constant
+    /// noiseless spec; analog backends carry their device config and seed.
+    pub fn shard_spec(&self, model_id: &str) -> ShardSpec {
+        match self {
+            Backend::Golden => ShardSpec::golden(model_id),
+            Backend::Analog { seed, xbar_cfg } => {
+                ShardSpec::analog(model_id, xbar_cfg.clone(), *seed)
+            }
+        }
     }
 }
 

@@ -265,9 +265,9 @@ fn permanent_kill_mid_lease_is_invisible() {
     let want = solo_logits(&backend, &images);
     let platform = platform();
     let batch = BatchPolicy::new(2, Duration::from_millis(1));
-    // Frame 1 is the protocol Hello, frame 2 the lease grant; the sever
-    // truncates a request frame of the first lease block. Redials are
-    // refused: a permanently dead host.
+    // Frame 1 is the protocol Hello, frame 2 the registry's spec probe,
+    // frame 3 the lease grant; the sever truncates a request frame of the
+    // first lease block. Redials are refused: a permanently dead host.
     let transports: Vec<Box<dyn ShardTransport>> = vec![
         wire_shard(
             &platform,
